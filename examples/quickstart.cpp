@@ -1,0 +1,90 @@
+//===- examples/quickstart.cpp - EffectiveSan in five minutes -------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Quickstart: typed allocation, dynamic type checks and (sub-)object
+/// bounds — the paper's Figures 5 and 6 driven by hand. Reproduces
+/// Examples 1, 2 and 5 from the paper with the Example 1 types:
+///
+///   struct S { int a[3]; char *s; };
+///   struct T { float f; struct S t; };
+///
+/// Build and run:  ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Effective.h"
+
+#include <cstdio>
+
+using namespace effective;
+
+// The paper's Example 1 types. EFFECTIVE_REFLECT makes the dynamic type
+// (layout and all) available to the runtime.
+struct S {
+  int A[3];
+  char *Str;
+};
+struct T {
+  float F;
+  S Sub;
+};
+
+EFFECTIVE_REFLECT(S, A, Str);
+EFFECTIVE_REFLECT(T, F, Sub);
+
+int main() {
+  TypeContext &Ctx = TypeContext::global();
+  Runtime &RT = Runtime::global();
+
+  const TypeInfo *TType = TypeOf<T>::get(Ctx);
+  const TypeInfo *IntType = Ctx.getInt();
+  const TypeInfo *DoubleType = Ctx.getDouble();
+
+  std::printf("== EffectiveSan quickstart ==\n\n");
+
+  // Example 1: "r = (T *)malloc(sizeof(T))" — the allocation is bound
+  // to dynamic type T[1].
+  T *P = static_cast<T *>(RT.allocate(sizeof(T), TType));
+  std::printf("allocated a %s of %zu bytes; dynamic type: %s\n",
+              TType->str().c_str(), sizeof(T),
+              RT.dynamicTypeOf(P)->str().c_str());
+
+  // Example 5: the interior pointer q = p + 12 points into the int[3]
+  // sub-object. (The paper's illustration assumes a padding-free
+  // layout with Sub at offset 4; the real C++ layout aligns Sub to 8
+  // because of the char* member, so the array spans [8, 20) and q
+  // points at element A[1].) type_check(q, int[]) succeeds and returns
+  // the bounds of the *array* sub-object.
+  char *Raw = reinterpret_cast<char *>(P);
+  void *Q = Raw + 12;
+  Bounds B = RT.typeCheck(Q, IntType);
+  std::printf("\ntype_check(p+12, int[]) -> sub-object bounds "
+              "[base+%td, base+%td)\n",
+              reinterpret_cast<char *>(B.Lo) - Raw,
+              reinterpret_cast<char *>(B.Hi) - Raw);
+
+  // The same pointer checked against double[] is a type error: no
+  // sub-object of type double lives at offset 12 (Example 5, part 2).
+  std::printf("\ntype_check(p+12, double[]) — expecting a type error:\n");
+  RT.typeCheck(Q, DoubleType);
+
+  // Sub-object bounds in action: P->Sub.A has bounds [8,20); writing
+  // A[3] (offset 20) would clobber padding/P->Sub.Str. With the
+  // returned bounds the instrumentation catches it before the write.
+  std::printf("\nbounds_check(&A[3], 4 bytes) — expecting a bounds "
+              "error:\n");
+  RT.boundsCheck(Raw + 20, sizeof(int), B);
+
+  // Deallocation rebinds the object to the FREE type; a later check
+  // reports use-after-free (Section 3's rule (h)).
+  RT.deallocate(P);
+  std::printf("\ntype_check after free — expecting use-after-free:\n");
+  RT.typeCheck(Q, IntType);
+
+  std::printf("\n%llu issue(s) reported in total; see log above.\n",
+              static_cast<unsigned long long>(RT.reporter().numIssues()));
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- examples/type_confusion.cpp - Bad casts, explicit and implicit -----===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Type confusion, two ways:
+///
+///  1. the xalancbmk-style bad downcast from Section 6.1 — a Grammar
+///     that is really a DTDGrammar cast to SchemaGrammar; and
+///  2. the Section 2.1 implicit cast: a pointer laundered bytewise
+///     through a buffer (memcpy), which cast-site sanitizers (CaVer,
+///     TypeSan, HexType) never see. EffectiveSan checks *use*, so the
+///     confusion still surfaces.
+///
+/// Build and run:  ./build/examples/type_confusion
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Effective.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace effective;
+
+// A miniature class hierarchy in the xalancbmk style. Base classes are
+// embedded members of the dynamic type (Section 3).
+struct Grammar {
+  int GrammarType;
+  int ElementCount;
+};
+struct SchemaGrammar {
+  Grammar Base;
+  int ComplexTypes;
+  double ValidationBudget;
+};
+struct DtdGrammar {
+  Grammar Base;
+  int EntityCount;
+};
+
+EFFECTIVE_REFLECT(Grammar, GrammarType, ElementCount);
+EFFECTIVE_REFLECT(SchemaGrammar, Base, ComplexTypes, ValidationBudget);
+EFFECTIVE_REFLECT(DtdGrammar, Base, EntityCount);
+
+int main() {
+  TypeContext &Ctx = TypeContext::global();
+  Runtime &RT = Runtime::global();
+
+  std::printf("== type confusion ==\n");
+
+  // -- 1. Bad downcast ---------------------------------------------------
+  // nextElement() really returned a DtdGrammar...
+  void *Obj = RT.allocate(sizeof(DtdGrammar),
+                          TypeOf<DtdGrammar>::get(Ctx));
+
+  // Upcast to the shared base: fine — Grammar is a sub-object at
+  // offset 0 of the dynamic type DtdGrammar.
+  Bounds BaseBounds = RT.typeCheck(Obj, TypeOf<Grammar>::get(Ctx));
+  std::printf("\nupcast to Grammar: ok (sub-object bounds %zu bytes)\n",
+              static_cast<size_t>(BaseBounds.Hi - BaseBounds.Lo));
+
+  // ...but the code downcasts to SchemaGrammar (the paper's
+  // "(SchemaGrammar&)grammarEnum.nextElement()"). No sub-object of that
+  // type exists: type error.
+  std::printf("\nbad downcast to SchemaGrammar — expecting a type "
+              "error:\n");
+  RT.typeCheck(Obj, TypeOf<SchemaGrammar>::get(Ctx));
+  RT.deallocate(Obj);
+
+  // -- 2. Implicit cast through memory ------------------------------------
+  // float *F laundered through a byte buffer into int *P: no cast
+  // operator anywhere, yet P's first *use* is checked against the
+  // dynamic type (float[8]) and flagged.
+  float *F = static_cast<float *>(
+      RT.allocate(8 * sizeof(float), Ctx.getFloat()));
+  char Buffer[sizeof(void *)];
+  std::memcpy(Buffer, &F, sizeof(void *)); // memcpy(buf, &ptrA, 8);
+  int *P;
+  std::memcpy(&P, Buffer, sizeof(void *)); // memcpy(&ptrB, buf, 8);
+
+  std::printf("\nimplicit cast via memcpy, then use as int[] — "
+              "expecting a type error:\n");
+  Bounds B = RT.typeCheck(P, Ctx.getInt()); // Rule (c): checked at use.
+  RT.boundsCheck(P, sizeof(int), B);
+  RT.deallocate(F);
+
+  std::printf("\n%llu issue(s) reported in total.\n",
+              static_cast<unsigned long long>(RT.reporter().numIssues()));
+  return 0;
+}

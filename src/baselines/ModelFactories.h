@@ -1,0 +1,40 @@
+//===- baselines/ModelFactories.h - Internal model factories ----*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal (library-private) factory functions, one per model family.
+/// The public entry point is createModel() in SanitizerModel.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_BASELINES_MODELFACTORIES_H
+#define EFFECTIVE_BASELINES_MODELFACTORIES_H
+
+#include "baselines/SanitizerModel.h"
+
+namespace effective {
+namespace baselines {
+
+/// AddressSanitizer, LowFat, BaggyBounds, Intel MPX, SoftBound.
+std::unique_ptr<SanitizerModel> createSpatialModel(ModelKind Kind,
+                                                   TypeContext &Ctx);
+
+/// CETS and SoftBound+CETS.
+std::unique_ptr<SanitizerModel> createTemporalModel(ModelKind Kind,
+                                                    TypeContext &Ctx);
+
+/// CaVer, TypeSan, HexType, UBSan, libcrunch.
+std::unique_ptr<SanitizerModel> createTypeCastModel(ModelKind Kind,
+                                                    TypeContext &Ctx);
+
+/// None and the EffectiveSan variants.
+std::unique_ptr<SanitizerModel> createEffectiveModel(ModelKind Kind,
+                                                     TypeContext &Ctx);
+
+} // namespace baselines
+} // namespace effective
+
+#endif // EFFECTIVE_BASELINES_MODELFACTORIES_H

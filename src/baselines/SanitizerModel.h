@@ -1,0 +1,164 @@
+//===- baselines/SanitizerModel.h - Comparison sanitizer models -*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event-based sanitizer-model interface used to regenerate the
+/// paper's Figure 1 capability matrix. Each model reimplements the
+/// detection mechanism of one published tool (shadow memory + redzones
+/// for AddressSanitizer, pointer-derived allocation bounds for
+/// LowFat/BaggyBounds, per-pointer narrowed bounds for MPX/SoftBound,
+/// lock-and-key for CETS, cast checking for CaVer/TypeSan/HexType/
+/// UBSan/libcrunch, and the EffectiveSan runtime itself).
+///
+/// Error scenarios (baselines/ErrorSuite.h) drive models through a
+/// common event stream: allocate / deallocate / access / cast. Events
+/// carry the pointer *provenance* a compiler pass would have had
+/// statically (which allocation the pointer derives from, and the
+/// sub-object selected by field accesses), so each model can consume
+/// exactly the information its real counterpart uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_BASELINES_SANITIZERMODEL_H
+#define EFFECTIVE_BASELINES_SANITIZERMODEL_H
+
+#include "core/TypeContext.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace effective {
+namespace baselines {
+
+/// How a pointer cast was written in the source (drives which cast
+/// checkers fire; Section 2.1 of the paper).
+enum class CastKind : uint8_t {
+  /// C++ static_cast downcast between class types.
+  StaticDowncast,
+  /// C++ reinterpret_cast between object types.
+  ReinterpretCast,
+  /// C-style pointer cast.
+  CCast,
+  /// No visible cast at all (pointer smuggled through memcpy/unions):
+  /// only pointer-use instrumentation can see these.
+  Implicit,
+};
+
+/// One allocation made through a model.
+struct Allocation {
+  void *Ptr = nullptr;
+  /// Opaque provenance token (distinct per allocation event); temporal
+  /// tools key their lock-and-key metadata on it.
+  uint64_t Token = 0;
+};
+
+/// A memory access event with static provenance.
+struct AccessInfo {
+  /// The accessed address.
+  const void *Ptr = nullptr;
+  /// Access size in bytes.
+  size_t Size = 0;
+  /// The static (element) type the program used for the access.
+  const TypeInfo *StaticType = nullptr;
+  /// Base pointer of the allocation this pointer was derived from.
+  const void *AllocPtr = nullptr;
+  /// Provenance token of that allocation.
+  uint64_t Token = 0;
+  /// When the pointer was formed by member selection, the sub-object's
+  /// base and size (bounds-narrowing tools use this; others ignore it).
+  const void *SubObjectPtr = nullptr;
+  size_t SubObjectSize = 0;
+  bool IsWrite = false;
+};
+
+/// A pointer cast event.
+struct CastInfo {
+  const void *Ptr = nullptr;
+  const void *AllocPtr = nullptr;
+  uint64_t Token = 0;
+  /// Static source type (may be null when unknown).
+  const TypeInfo *FromType = nullptr;
+  /// Static destination (element) type.
+  const TypeInfo *ToType = nullptr;
+  CastKind Kind = CastKind::CCast;
+};
+
+/// Abstract sanitizer model. One instance per scenario run; errors
+/// accumulate in a counter.
+class SanitizerModel {
+public:
+  virtual ~SanitizerModel() = default;
+
+  virtual const char *name() const = 0;
+
+  /// Allocates real, usable memory of \p Size bytes. \p Type is the
+  /// allocation's dynamic type (models that track types use it; others
+  /// ignore it).
+  virtual Allocation allocate(size_t Size, const TypeInfo *Type) = 0;
+
+  /// Frees an allocation made by this model.
+  virtual void deallocate(void *Ptr) = 0;
+
+  /// A load/store event.
+  virtual void access(const AccessInfo &Info) = 0;
+
+  /// A pointer-cast event.
+  virtual void cast(const CastInfo &Info) = 0;
+
+  /// Number of errors this model has flagged.
+  uint64_t errorsDetected() const { return Errors; }
+
+protected:
+  void flagError() { ++Errors; }
+
+private:
+  uint64_t Errors = 0;
+};
+
+/// The sanitizer rows of Figure 1 (plus the uninstrumented baseline and
+/// the EffectiveSan variants).
+enum class ModelKind : uint8_t {
+  None,
+  AddressSanitizer,
+  LowFat,
+  BaggyBounds,
+  IntelMpx,
+  SoftBound,
+  Cets,
+  SoftBoundCets,
+  CaVer,
+  TypeSan,
+  HexType,
+  UBSan,
+  Libcrunch,
+  EffectiveSanType,
+  EffectiveSanBounds,
+  EffectiveSan,
+};
+
+inline constexpr ModelKind AllModelKinds[] = {
+    ModelKind::None,          ModelKind::CaVer,
+    ModelKind::TypeSan,       ModelKind::UBSan,
+    ModelKind::HexType,       ModelKind::Libcrunch,
+    ModelKind::BaggyBounds,   ModelKind::LowFat,
+    ModelKind::IntelMpx,      ModelKind::SoftBound,
+    ModelKind::Cets,          ModelKind::AddressSanitizer,
+    ModelKind::SoftBoundCets, ModelKind::EffectiveSanType,
+    ModelKind::EffectiveSanBounds, ModelKind::EffectiveSan,
+};
+
+/// Stable display name for a model kind (the Figure 1 row label).
+const char *modelKindName(ModelKind Kind);
+
+/// Creates a fresh model instance. Types used in events must come from
+/// \p Ctx.
+std::unique_ptr<SanitizerModel> createModel(ModelKind Kind,
+                                            TypeContext &Ctx);
+
+} // namespace baselines
+} // namespace effective
+
+#endif // EFFECTIVE_BASELINES_SANITIZERMODEL_H

@@ -1,0 +1,84 @@
+//===- core/Effective.h - Umbrella header and paper-name facade -*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Umbrella header for the EffectiveSan core library, plus a facade with
+/// the paper's function names (Figures 3 and 6) over the process-wide
+/// runtime, for code that wants to read like the paper:
+///
+/// \code
+///   int *p = (int *)effective_malloc(100 * sizeof(int), IntType);
+///   BOUNDS b = effective_type_check(p, IntType);
+///   effective_bounds_check(p + i, sizeof(int), b);
+///   effective_free(p);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_CORE_EFFECTIVE_H
+#define EFFECTIVE_CORE_EFFECTIVE_H
+
+#include "core/Bounds.h"
+#include "core/CheckedPtr.h"
+#include "core/ErrorReporter.h"
+#include "core/Layout.h"
+#include "core/Meta.h"
+#include "core/Reflect.h"
+#include "core/Runtime.h"
+#include "core/TypeContext.h"
+#include "core/TypeInfo.h"
+
+namespace effective {
+
+/// BOUNDS, as the paper spells it.
+using BOUNDS = Bounds;
+/// TYPE, as the paper spells it (Figure 6 treats types as first-class).
+using TYPE = const TypeInfo *;
+
+/// Figure 6 type_malloc over the global runtime.
+inline void *effective_malloc(size_t Size, TYPE Type) {
+  return Runtime::global().allocate(Size, Type);
+}
+
+/// Figure 6 type_free over the global runtime.
+inline void effective_free(void *Ptr) {
+  Runtime::global().deallocate(Ptr);
+}
+
+/// type_calloc over the global runtime.
+inline void *effective_calloc(size_t Count, size_t Size, TYPE Type) {
+  return Runtime::global().allocateZeroed(Count, Size, Type);
+}
+
+/// type_realloc over the global runtime.
+inline void *effective_realloc(void *Ptr, size_t Size, TYPE Type) {
+  return Runtime::global().reallocate(Ptr, Size, Type);
+}
+
+/// Figure 6 type_check over the global runtime.
+inline BOUNDS effective_type_check(const void *Ptr, TYPE Type) {
+  return Runtime::global().typeCheck(Ptr, Type);
+}
+
+/// The bounds_get of the EffectiveSan-bounds variant.
+inline BOUNDS effective_bounds_get(const void *Ptr) {
+  return Runtime::global().boundsGet(Ptr);
+}
+
+/// Figure 3 bounds_check over the global runtime.
+inline void effective_bounds_check(const void *Ptr, size_t Size, BOUNDS B) {
+  Runtime::global().boundsCheck(Ptr, Size, B);
+}
+
+/// Figure 3 bounds_narrow.
+inline BOUNDS effective_bounds_narrow(BOUNDS B, const void *Field,
+                                      size_t Size) {
+  return Runtime::global().boundsNarrow(B, Field, Size);
+}
+
+} // namespace effective
+
+#endif // EFFECTIVE_CORE_EFFECTIVE_H

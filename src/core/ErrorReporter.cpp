@@ -1,0 +1,117 @@
+//===- core/ErrorReporter.cpp - Error logging and bucketing ---------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ErrorReporter.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+
+using namespace effective;
+
+const char *effective::errorKindName(ErrorKind Kind) {
+  switch (Kind) {
+  case ErrorKind::TypeError:
+    return "TYPE ERROR";
+  case ErrorKind::BoundsError:
+    return "BOUNDS ERROR";
+  case ErrorKind::UseAfterFree:
+    return "USE-AFTER-FREE ERROR";
+  case ErrorKind::DoubleFree:
+    return "DOUBLE-FREE ERROR";
+  }
+  return "ERROR";
+}
+
+std::string ErrorReporter::renderMessage(const ErrorInfo &Info) const {
+  std::string Msg = errorKindName(Info.Kind);
+  Msg += formatString(": pointer %p", Info.Pointer);
+  if (Info.StaticType)
+    Msg += formatString(" of static type (%s)",
+                        Info.StaticType->str().c_str());
+  if (Info.AllocType)
+    Msg += formatString(" points to object of dynamic type (%s) at offset "
+                        "%lld",
+                        Info.AllocType->str().c_str(),
+                        (long long)Info.Offset);
+  else
+    Msg += formatString(" at offset %lld", (long long)Info.Offset);
+  if (Info.Detail) {
+    Msg += " [";
+    Msg += Info.Detail;
+    Msg += "]";
+  }
+  return Msg;
+}
+
+void ErrorReporter::report(const ErrorInfo &Info) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  ++Events;
+
+  BucketKey Key{Info.Kind, Info.StaticType, Info.AllocType, Info.Offset};
+  auto [It, Inserted] = BucketIndex.try_emplace(Key, Buckets.size());
+  if (Inserted) {
+    ErrorBucket Bucket;
+    Bucket.Kind = Info.Kind;
+    Bucket.StaticType = Info.StaticType;
+    Bucket.AllocType = Info.AllocType;
+    Bucket.Offset = Info.Offset;
+    Bucket.Events = 1;
+    Bucket.Message = renderMessage(Info);
+    if (Options.Mode == ReportMode::Log && Options.Stream)
+      std::fprintf(Options.Stream, "%s\n", Bucket.Message.c_str());
+    Buckets.push_back(std::move(Bucket));
+  } else {
+    ++Buckets[It->second].Events;
+  }
+
+  if (Options.AbortAfter && Events >= Options.AbortAfter) {
+    if (Options.Stream)
+      std::fprintf(Options.Stream,
+                   "EffectiveSan: aborting after %llu error(s)\n",
+                   (unsigned long long)Events);
+    std::abort();
+  }
+}
+
+uint64_t ErrorReporter::numIssues() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Buckets.size();
+}
+
+uint64_t ErrorReporter::numIssues(ErrorKind Kind) const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  uint64_t N = 0;
+  for (const ErrorBucket &B : Buckets)
+    if (B.Kind == Kind)
+      ++N;
+  return N;
+}
+
+uint64_t ErrorReporter::numEvents() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Events;
+}
+
+std::vector<ErrorBucket> ErrorReporter::buckets() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Buckets;
+}
+
+bool ErrorReporter::hasIssueMatching(std::string_view Needle) const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  for (const ErrorBucket &B : Buckets)
+    if (B.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+void ErrorReporter::clear() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  BucketIndex.clear();
+  Buckets.clear();
+  Events = 0;
+}

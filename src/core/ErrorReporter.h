@@ -1,0 +1,145 @@
+//===- core/ErrorReporter.h - Error logging and bucketing -------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error reporting for the EffectiveSan runtime. Matches the paper's
+/// Section 6 methodology: errors are *bucketed by type and offset* so the
+/// same issue is counted once; the runtime can log every new bucket
+/// (logging mode), count silently (counting mode, used for performance
+/// measurements), and optionally abort after N errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_CORE_ERRORREPORTER_H
+#define EFFECTIVE_CORE_ERRORREPORTER_H
+
+#include "core/TypeInfo.h"
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace effective {
+
+/// Classes of errors the runtime detects.
+enum class ErrorKind : uint8_t {
+  /// type_check found no matching (sub-)object (Figure 6 line 22).
+  TypeError,
+  /// bounds_check failed — (sub-)object bounds overflow.
+  BoundsError,
+  /// Access through a pointer whose object has the FREE dynamic type.
+  UseAfterFree,
+  /// type_free of an already-freed object.
+  DoubleFree,
+};
+
+/// Returns a stable name for \p Kind ("type", "bounds", ...).
+const char *errorKindName(ErrorKind Kind);
+
+/// How the reporter reacts to errors.
+enum class ReportMode : uint8_t {
+  /// Log each new bucket to the stream (default; Section 6 "logging
+  /// mode is used to find errors").
+  Log,
+  /// Count only ("counting mode is used for measuring performance").
+  Count,
+};
+
+/// One detected error event.
+struct ErrorInfo {
+  ErrorKind Kind = ErrorKind::TypeError;
+  /// The static type the program used (null when not applicable).
+  const TypeInfo *StaticType = nullptr;
+  /// The dynamic (allocation) type of the object (null for legacy).
+  const TypeInfo *AllocType = nullptr;
+  /// Byte offset of the pointer within the allocation.
+  int64_t Offset = 0;
+  /// The offending pointer.
+  const void *Pointer = nullptr;
+  /// Optional free-form detail appended to the log line.
+  const char *Detail = nullptr;
+};
+
+/// One deduplicated issue (the paper's Figure 7 "#Issues-found" counts
+/// these buckets).
+struct ErrorBucket {
+  ErrorKind Kind;
+  const TypeInfo *StaticType;
+  const TypeInfo *AllocType;
+  int64_t Offset;
+  uint64_t Events = 0;
+  std::string Message;
+};
+
+/// Reporter configuration.
+struct ReporterOptions {
+  ReportMode Mode = ReportMode::Log;
+  std::FILE *Stream = stderr;
+  /// Abort the process after this many error events; 0 = never.
+  uint64_t AbortAfter = 0;
+};
+
+/// Collects, deduplicates, and renders runtime errors. Thread-safe.
+class ErrorReporter {
+public:
+  explicit ErrorReporter(const ReporterOptions &Options = ReporterOptions())
+      : Options(Options) {}
+
+  /// Records one error event; logs it if its bucket is new and the mode
+  /// is Log.
+  void report(const ErrorInfo &Info);
+
+  /// Number of distinct issues (buckets) — the Figure 7 metric.
+  uint64_t numIssues() const;
+
+  /// Number of distinct issues of one kind.
+  uint64_t numIssues(ErrorKind Kind) const;
+
+  /// Total error events (multiple events may map to one bucket).
+  uint64_t numEvents() const;
+
+  /// Snapshot of all buckets (sorted by first occurrence).
+  std::vector<ErrorBucket> buckets() const;
+
+  /// True if some bucket's message contains \p Needle (test helper).
+  bool hasIssueMatching(std::string_view Needle) const;
+
+  /// Drops all recorded issues and counters.
+  void clear();
+
+  ReporterOptions &options() { return Options; }
+
+private:
+  struct BucketKey {
+    ErrorKind Kind;
+    const TypeInfo *StaticType;
+    const TypeInfo *AllocType;
+    int64_t Offset;
+    bool operator<(const BucketKey &O) const {
+      if (Kind != O.Kind)
+        return Kind < O.Kind;
+      if (StaticType != O.StaticType)
+        return StaticType < O.StaticType;
+      if (AllocType != O.AllocType)
+        return AllocType < O.AllocType;
+      return Offset < O.Offset;
+    }
+  };
+
+  std::string renderMessage(const ErrorInfo &Info) const;
+
+  ReporterOptions Options;
+  mutable std::mutex Lock;
+  std::map<BucketKey, size_t> BucketIndex;
+  std::vector<ErrorBucket> Buckets;
+  uint64_t Events = 0;
+};
+
+} // namespace effective
+
+#endif // EFFECTIVE_CORE_ERRORREPORTER_H

@@ -1,0 +1,40 @@
+//===- core/Meta.h - Object meta data header --------------------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The object META header (Figure 5 of the paper): a type/size pair
+/// stored immediately before every typed allocation, at the base address
+/// returned by the low-fat base(p) operation. It is "analogous to a
+/// malloc header that is invisible to the program" — the C/C++ object
+/// layout itself is unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_CORE_META_H
+#define EFFECTIVE_CORE_META_H
+
+#include <cstdint>
+
+namespace effective {
+
+class TypeInfo;
+
+/// The META header of Figure 5/6. POD; 16 bytes; survives free until the
+/// block is reallocated (the allocator's free-list link is placed after
+/// it).
+struct MetaHeader {
+  /// The dynamic (allocation) type; the FREE type after deallocation;
+  /// null for untyped low-fat blocks.
+  const TypeInfo *Type;
+  /// The requested allocation size in bytes (the paper's meta->size).
+  uint64_t Size;
+};
+
+static_assert(sizeof(MetaHeader) == 16, "META header must be 16 bytes");
+
+} // namespace effective
+
+#endif // EFFECTIVE_CORE_META_H

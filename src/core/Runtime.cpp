@@ -1,0 +1,278 @@
+//===- core/Runtime.cpp - The EffectiveSan runtime system -----------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+
+#include "core/Layout.h"
+
+#include <cassert>
+#include <cstring>
+#include <map>
+#include <memory>
+
+using namespace effective;
+
+Runtime::Runtime(TypeContext &Ctx, const RuntimeOptions &Options)
+    : Ctx(Ctx), Heap(Options.Heap), Globals(Heap),
+      Reporter(Options.Reporter),
+      VoidPtrType(Ctx.getPointer(Ctx.getVoid())) {}
+
+Runtime &Runtime::global() {
+  static Runtime RT(TypeContext::global());
+  return RT;
+}
+
+//===----------------------------------------------------------------------===//
+// Typed allocation (Figure 6 lines 1-7)
+//===----------------------------------------------------------------------===//
+
+void *Runtime::allocate(size_t Size, const TypeInfo *Type) {
+  void *Block = Heap.allocate(Size + sizeof(MetaHeader));
+  if (EFFSAN_UNLIKELY(!Heap.isLowFat(Block))) {
+    // Oversized request: the block is a legacy pointer; base(p) cannot
+    // reach a META header, so the object is simply untyped (checked
+    // with wide bounds), matching the paper's legacy-pointer story.
+    return Block;
+  }
+  auto *Meta = static_cast<MetaHeader *>(Block);
+  Meta->Type = Type;
+  Meta->Size = Size;
+  return Meta + 1;
+}
+
+void *Runtime::allocateZeroed(size_t Count, size_t Size,
+                              const TypeInfo *Type) {
+  size_t Total = Count * Size;
+  assert((Size == 0 || Total / Size == Count) && "calloc overflow");
+  void *Ptr = allocate(Total, Type);
+  std::memset(Ptr, 0, Total);
+  return Ptr;
+}
+
+void *Runtime::reallocate(void *Ptr, size_t NewSize, const TypeInfo *Type) {
+  if (!Ptr)
+    return allocate(NewSize, Type);
+  size_t OldSize = 0;
+  if (const MetaHeader *Meta = metaOf(Ptr)) {
+    if (Meta->Type && Meta->Type->isFree()) {
+      Reporter.report(ErrorInfo{ErrorKind::UseAfterFree, nullptr,
+                                Ctx.getFree(), 0, Ptr,
+                                "realloc of freed object"});
+      return allocate(NewSize, Type);
+    }
+    OldSize = Meta->Size;
+  }
+  void *Fresh = allocate(NewSize, Type);
+  if (OldSize != 0)
+    std::memcpy(Fresh, Ptr, OldSize < NewSize ? OldSize : NewSize);
+  deallocate(Ptr);
+  return Fresh;
+}
+
+void Runtime::deallocate(void *Ptr) {
+  if (!Ptr)
+    return;
+  void *Base = Heap.allocationBase(Ptr);
+  if (!Base) {
+    // Legacy pointer: pass through to the underlying allocator.
+    Heap.deallocate(Ptr);
+    return;
+  }
+  auto *Meta = static_cast<MetaHeader *>(Base);
+  if (Meta->Type && Meta->Type->isFree()) {
+    Reporter.report(ErrorInfo{ErrorKind::DoubleFree, nullptr, Ctx.getFree(),
+                              0, Ptr, "double free"});
+    return;
+  }
+  assert(Ptr == Meta + 1 && "free of an interior pointer");
+  // Rebind to the FREE type (Section 3); the allocator preserves the
+  // header until the block is reallocated.
+  Meta->Type = Ctx.getFree();
+  Heap.deallocate(Base);
+}
+
+//===----------------------------------------------------------------------===//
+// Typed stack and globals
+//===----------------------------------------------------------------------===//
+
+lowfat::StackPool &Runtime::stackPool() {
+  // One pool per (thread, runtime); pools die with the thread.
+  thread_local std::map<Runtime *, std::unique_ptr<lowfat::StackPool>>
+      Pools;
+  std::unique_ptr<lowfat::StackPool> &Slot = Pools[this];
+  if (!Slot)
+    Slot = std::make_unique<lowfat::StackPool>(Heap);
+  return *Slot;
+}
+
+void *Runtime::stackAllocate(size_t Size, const TypeInfo *Type) {
+  void *Block = stackPool().allocate(Size + sizeof(MetaHeader));
+  if (EFFSAN_UNLIKELY(!Heap.isLowFat(Block)))
+    return Block;
+  auto *Meta = static_cast<MetaHeader *>(Block);
+  Meta->Type = Type;
+  Meta->Size = Size;
+  return Meta + 1;
+}
+
+size_t Runtime::stackMark() { return stackPool().mark(); }
+
+void Runtime::stackRelease(size_t Mark) {
+  lowfat::StackPool &Pool = stackPool();
+  for (void *Block : Pool.blocksSince(Mark)) {
+    if (!Heap.isLowFat(Block))
+      continue;
+    auto *Meta = static_cast<MetaHeader *>(Block);
+    Meta->Type = Ctx.getFree();
+  }
+  Pool.release(Mark);
+}
+
+void *Runtime::globalAllocate(size_t Size, const TypeInfo *Type,
+                              std::string_view Name) {
+  void *Block = Globals.allocate(Size + sizeof(MetaHeader), Name);
+  if (EFFSAN_UNLIKELY(!Heap.isLowFat(Block)))
+    return Block;
+  auto *Meta = static_cast<MetaHeader *>(Block);
+  Meta->Type = Type;
+  Meta->Size = Size;
+  std::memset(Meta + 1, 0, Size); // Globals are zero-initialized.
+  return Meta + 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic checks (Figure 6 lines 9-24)
+//===----------------------------------------------------------------------===//
+
+const MetaHeader *Runtime::metaOf(const void *Ptr) const {
+  void *Base = Heap.allocationBase(Ptr);
+  return static_cast<const MetaHeader *>(Base);
+}
+
+const TypeInfo *Runtime::dynamicTypeOf(const void *Ptr) const {
+  const MetaHeader *Meta = metaOf(Ptr);
+  return Meta ? Meta->Type : nullptr;
+}
+
+Bounds Runtime::allocationBounds(const void *Ptr) const {
+  const MetaHeader *Meta = metaOf(Ptr);
+  if (!Meta)
+    return Bounds::wide();
+  return Bounds::forObject(Meta + 1, Meta->Size);
+}
+
+/// Converts a layout-relative bound into an absolute one, clamped to the
+/// allocation (Figure 6 line 20: the final bounds are narrowed to the
+/// actual allocation size).
+static Bounds relativeToAbsolute(const LayoutEntry &E, uintptr_t P,
+                                 Bounds Alloc) {
+  Bounds B;
+  B.Lo = E.RelLo == RelNegInf ? Alloc.Lo
+                              : static_cast<uintptr_t>(
+                                    static_cast<int64_t>(P) + E.RelLo);
+  B.Hi = E.RelHi == RelPosInf ? Alloc.Hi
+                              : static_cast<uintptr_t>(
+                                    static_cast<int64_t>(P) + E.RelHi);
+  return B.intersect(Alloc);
+}
+
+Bounds Runtime::typeCheck(const void *Ptr, const TypeInfo *StaticType) {
+  CheckCounters::bump(Counters.TypeChecks);
+  assert(StaticType && "type check against null static type");
+
+  // Step 1 (lines 10-12): meta data retrieval; legacy pointers get wide
+  // bounds for compatibility.
+  void *Base = Heap.allocationBase(Ptr);
+  if (!Base) {
+    CheckCounters::bump(Counters.LegacyTypeChecks);
+    return Bounds::wide();
+  }
+  const auto *Meta = static_cast<const MetaHeader *>(Base);
+  const TypeInfo *Alloc = Meta->Type;
+  if (EFFSAN_UNLIKELY(!Alloc))
+    return Bounds::wide(); // Untyped low-fat block.
+
+  uintptr_t ObjBase = reinterpret_cast<uintptr_t>(Meta + 1);
+  uintptr_t P = reinterpret_cast<uintptr_t>(Ptr);
+  Bounds AllocBounds{ObjBase, ObjBase + Meta->Size};
+
+  // Deallocated memory: every access is a use-after-free (rule (h)).
+  if (EFFSAN_UNLIKELY(Alloc->isFree())) {
+    Reporter.report(ErrorInfo{ErrorKind::UseAfterFree, StaticType, Alloc,
+                              static_cast<int64_t>(P - ObjBase), Ptr,
+                              "use of freed object"});
+    return Bounds::wide();
+  }
+
+  // Step 2 (line 16): sub-object offset.
+  if (EFFSAN_UNLIKELY(P < ObjBase || P > AllocBounds.Hi)) {
+    Reporter.report(ErrorInfo{ErrorKind::BoundsError, StaticType, Alloc,
+                              static_cast<int64_t>(P) -
+                                  static_cast<int64_t>(ObjBase),
+                              Ptr, "input pointer outside allocation"});
+    return Bounds::wide();
+  }
+  uint64_t K = P - ObjBase;
+
+  // char/void coercion: casting to (char *)/(void *) resets the bounds
+  // to the containing allocation (Section 6.1 discussion).
+  if (StaticType->isCharLike() || StaticType->isVoid())
+    return AllocBounds;
+
+  // Step 3 (lines 17-21): layout hash table probe.
+  const LayoutTable &Table = Alloc->layout();
+  uint64_t NK = Table.normalizeOffset(K, Meta->Size);
+  const LayoutEntry *E = Table.lookup(StaticType, NK);
+  if (!E && StaticType->isPointer()) {
+    // (T*) <-> (void*) coercions: a static (void*) matches any pointer
+    // member (AnyPointer index); any static pointer matches a (void*)
+    // member.
+    const auto *PT = cast<PointerType>(StaticType);
+    const TypeInfo *Fallback =
+        PT->pointee()->isVoid() ? Ctx.getAnyPointer() : VoidPtrType;
+    E = Table.lookup(Fallback, NK);
+  }
+  if (!E) {
+    // The paper's second lookup: coercion from (char[]) to (S[]).
+    E = Table.lookup(Ctx.getChar(), NK);
+  }
+  if (E)
+    return relativeToAbsolute(*E, P, AllocBounds);
+
+  // Line 22: no match — type error; wide bounds afterwards (line 23).
+  Reporter.report(ErrorInfo{ErrorKind::TypeError, StaticType, Alloc,
+                            static_cast<int64_t>(K), Ptr, nullptr});
+  return Bounds::wide();
+}
+
+Bounds Runtime::boundsGet(const void *Ptr) {
+  CheckCounters::bump(Counters.BoundsGets);
+  const MetaHeader *Meta = metaOf(Ptr);
+  if (!Meta || !Meta->Type)
+    return Bounds::wide();
+  if (EFFSAN_UNLIKELY(Meta->Type->isFree())) {
+    Reporter.report(ErrorInfo{ErrorKind::UseAfterFree, nullptr,
+                              Meta->Type, 0, Ptr, "use of freed object"});
+    return Bounds::wide();
+  }
+  return Bounds::forObject(Meta + 1, Meta->Size);
+}
+
+void Runtime::boundsCheckFail(const void *Ptr, size_t Size, Bounds B) {
+  const MetaHeader *Meta = metaOf(Ptr);
+  const TypeInfo *Alloc = Meta ? Meta->Type : nullptr;
+  int64_t Offset = 0;
+  if (Meta)
+    Offset = static_cast<int64_t>(reinterpret_cast<uintptr_t>(Ptr)) -
+             static_cast<int64_t>(reinterpret_cast<uintptr_t>(Meta + 1));
+  if (Alloc && Alloc->isFree()) {
+    Reporter.report(ErrorInfo{ErrorKind::UseAfterFree, nullptr, Alloc,
+                              Offset, Ptr, "access to freed object"});
+    return;
+  }
+  Reporter.report(ErrorInfo{ErrorKind::BoundsError, nullptr, Alloc, Offset,
+                            Ptr, "out-of-bounds access"});
+}

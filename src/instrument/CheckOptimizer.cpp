@@ -1,0 +1,215 @@
+//===- instrument/CheckOptimizer.cpp - Pre-pass IR cleanups ---------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/CheckOptimizer.h"
+
+#include "support/Hashing.h"
+
+#include <bit>
+#include <unordered_map>
+#include <vector>
+
+using namespace effective;
+using namespace effective::instrument;
+using namespace effective::ir;
+
+namespace {
+
+/// True for instructions whose result depends only on their operands
+/// (no memory reads, no side effects), so a repeated occurrence with
+/// identical operands computes the same value.
+bool isPure(const Instr &I) {
+  switch (I.Op) {
+  case Opcode::ConstInt:
+  case Opcode::ConstFloat:
+  case Opcode::ConstNull:
+  case Opcode::StringAddr:
+  case Opcode::GlobalAddr:
+  case Opcode::SlotAddr:
+  case Opcode::Arith:
+  case Opcode::Compare:
+  case Opcode::Convert:
+  case Opcode::PtrCast:
+  case Opcode::FieldAddr:
+  case Opcode::IndexAddr:
+  case Opcode::PtrDiff:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Value-numbering key for a pure instruction.
+struct VNKey {
+  uint8_t Op, AOp, Pred;
+  Reg A, B;
+  const TypeInfo *Type;
+  uint64_t Imm, FBits;
+
+  static VNKey of(const Instr &I) {
+    return VNKey{static_cast<uint8_t>(I.Op), static_cast<uint8_t>(I.AOp),
+                 static_cast<uint8_t>(I.CmpPred), I.A, I.B, I.Type,
+                 I.Imm, std::bit_cast<uint64_t>(I.FImm)};
+  }
+
+  bool operator==(const VNKey &) const = default;
+};
+
+struct VNKeyHash {
+  size_t operator()(const VNKey &K) const {
+    uint64_t H = K.Op;
+    H = hashCombine(H, (uint64_t(K.AOp) << 8) | K.Pred);
+    H = hashCombine(H, (uint64_t(K.A) << 32) | K.B);
+    H = hashCombine(H, reinterpret_cast<uintptr_t>(K.Type));
+    H = hashCombine(H, K.Imm);
+    H = hashCombine(H, K.FBits);
+    return static_cast<size_t>(H);
+  }
+};
+
+class BlockCSE {
+public:
+  BlockCSE(Function &F, const std::vector<bool> &BlockLocal,
+           CSEStats &Stats)
+      : F(F), BlockLocal(BlockLocal), Stats(Stats) {}
+
+  void run(Block &B) {
+    Fwd.clear();
+    Values.clear();
+
+    std::vector<Instr> Out;
+    Out.reserve(B.Instrs.size());
+    for (Instr &I : B.Instrs) {
+      // Rewrite operand registers through copy forwarding.
+      rewrite(I.A);
+      rewrite(I.B);
+      for (Reg &Arg : I.Args)
+        rewrite(Arg);
+
+      if (I.Op == Opcode::Copy) {
+        invalidate(I.Dst);
+        if (I.Dst != I.A)
+          Fwd[I.Dst] = I.A;
+        Out.push_back(I);
+        continue;
+      }
+
+      if (isPure(I) && I.Dst != NoReg) {
+        VNKey K = VNKey::of(I);
+        auto It = Values.find(K);
+        if (It != Values.end() && It->second != I.Dst &&
+            BlockLocal[I.Dst]) {
+          // Same value already available: drop the instruction and
+          // forward the register.
+          invalidate(I.Dst);
+          Fwd[I.Dst] = It->second;
+          ++Stats.Deduplicated;
+          continue;
+        }
+        invalidate(I.Dst);
+        Values[K] = I.Dst;
+        Out.push_back(I);
+        continue;
+      }
+
+      if (I.Dst != NoReg)
+        invalidate(I.Dst);
+      Out.push_back(I);
+    }
+    B.Instrs = std::move(Out);
+  }
+
+private:
+  void rewrite(Reg &R) {
+    if (R == NoReg)
+      return;
+    unsigned Guard = 0;
+    auto It = Fwd.find(R);
+    while (It != Fwd.end() && ++Guard < 64) {
+      if (R != It->second)
+        ++Stats.CopiesForwarded;
+      R = It->second;
+      It = Fwd.find(R);
+    }
+  }
+
+  /// Register \p R was redefined: every cached fact mentioning it dies.
+  void invalidate(Reg R) {
+    Fwd.erase(R);
+    for (auto It = Fwd.begin(); It != Fwd.end();) {
+      if (It->second == R)
+        It = Fwd.erase(It);
+      else
+        ++It;
+    }
+    for (auto It = Values.begin(); It != Values.end();) {
+      if (It->first.A == R || It->first.B == R || It->second == R)
+        It = Values.erase(It);
+      else
+        ++It;
+    }
+  }
+
+  Function &F;
+  const std::vector<bool> &BlockLocal;
+  CSEStats &Stats;
+  std::unordered_map<Reg, Reg> Fwd;
+  std::unordered_map<VNKey, Reg, VNKeyHash> Values;
+};
+
+/// Registers whose every occurrence (read or write) is confined to a
+/// single block; only their definitions may be deleted.
+std::vector<bool> computeBlockLocal(const Function &F) {
+  constexpr uint32_t None = ~0u;
+  constexpr uint32_t Many = ~0u - 1;
+  std::vector<uint32_t> Home(F.numRegs(), None);
+  auto touch = [&](Reg R, uint32_t B) {
+    if (R == NoReg)
+      return;
+    if (Home[R] == None)
+      Home[R] = B;
+    else if (Home[R] != B)
+      Home[R] = Many;
+  };
+  for (uint32_t B = 0; B < F.Blocks.size(); ++B) {
+    for (const Instr &I : F.Blocks[B].Instrs) {
+      touch(I.Dst, B);
+      touch(I.A, B);
+      touch(I.B, B);
+      for (Reg Arg : I.Args)
+        touch(Arg, B);
+    }
+  }
+  // Parameters are defined by the caller, i.e. outside every block.
+  for (const Param &P : F.Params)
+    if (P.R != NoReg)
+      Home[P.R] = Many;
+  std::vector<bool> Local(F.numRegs());
+  for (Reg R = 0; R < F.numRegs(); ++R)
+    Local[R] = Home[R] != Many && Home[R] != None;
+  return Local;
+}
+
+} // namespace
+
+CSEStats instrument::localCSE(Function &F) {
+  CSEStats Stats;
+  std::vector<bool> BlockLocal = computeBlockLocal(F);
+  BlockCSE CSE(F, BlockLocal, Stats);
+  for (Block &B : F.Blocks)
+    CSE.run(B);
+  return Stats;
+}
+
+CSEStats instrument::localCSE(Module &M) {
+  CSEStats Stats;
+  for (auto &F : M.Functions) {
+    CSEStats S = localCSE(*F);
+    Stats.Deduplicated += S.Deduplicated;
+    Stats.CopiesForwarded += S.CopiesForwarded;
+  }
+  return Stats;
+}

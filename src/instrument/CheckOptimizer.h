@@ -1,0 +1,47 @@
+//===- instrument/CheckOptimizer.h - Pre-pass IR cleanups -------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-local value numbering (CSE) with copy propagation over pure
+/// instructions. The paper's instrumentation pass runs inside clang's
+/// -O2 pipeline, which has already canonicalized repeated address
+/// computations; this pass stands in for that. It matters for check
+/// quality: two accesses to `s.x` must share one field_addr register,
+/// or the subsumed-bounds-check rule (Section 6's "removing subsumed
+/// bounds checks") never sees them as the same check.
+///
+/// Safety: only *pure* instructions are deduplicated, instructions are
+/// never reordered, and a definition is only deleted when its register
+/// is block-local (read and written in one block only) — mutable
+/// registers that carry values across blocks (promoted variables,
+/// short-circuit results) are left in place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_INSTRUMENT_CHECKOPTIMIZER_H
+#define EFFECTIVE_INSTRUMENT_CHECKOPTIMIZER_H
+
+#include "ir/IR.h"
+
+namespace effective {
+namespace instrument {
+
+/// Statistics for the ablation benchmark.
+struct CSEStats {
+  uint64_t Deduplicated = 0; ///< Pure instructions removed.
+  uint64_t CopiesForwarded = 0;
+};
+
+/// Runs block-local CSE + copy propagation on \p F.
+CSEStats localCSE(ir::Function &F);
+
+/// Runs localCSE on every function of \p M.
+CSEStats localCSE(ir::Module &M);
+
+} // namespace instrument
+} // namespace effective
+
+#endif // EFFECTIVE_INSTRUMENT_CHECKOPTIMIZER_H

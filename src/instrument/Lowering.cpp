@@ -1,0 +1,1295 @@
+//===- instrument/Lowering.cpp - MiniC AST to IR --------------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/Lowering.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace effective;
+using namespace effective::instrument;
+using namespace effective::minic;
+using ir::BlockId;
+using ir::Instr;
+using ir::NoReg;
+using ir::Opcode;
+using ir::Reg;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Address-taken analysis
+//===----------------------------------------------------------------------===//
+
+/// Collects every VarDecl whose address is taken with unary '&'. Such
+/// variables (plus all aggregates) live in stack slots; the rest are
+/// promoted to registers.
+class AddressTakenScan {
+public:
+  std::unordered_set<const VarDecl *> Taken;
+
+  void scanStmt(const Stmt *S) {
+    if (!S)
+      return;
+    switch (S->kind()) {
+    case StmtKind::Expr:
+      scanExpr(cast<ExprStmt>(S)->expr());
+      break;
+    case StmtKind::Decl:
+      scanExpr(cast<DeclStmt>(S)->decl()->init());
+      break;
+    case StmtKind::Compound:
+      for (const Stmt *Sub : cast<CompoundStmt>(S)->body())
+        scanStmt(Sub);
+      break;
+    case StmtKind::If: {
+      const auto *If = cast<IfStmt>(S);
+      scanExpr(If->cond());
+      scanStmt(If->thenStmt());
+      scanStmt(If->elseStmt());
+      break;
+    }
+    case StmtKind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      scanExpr(W->cond());
+      scanStmt(W->body());
+      break;
+    }
+    case StmtKind::For: {
+      const auto *For = cast<ForStmt>(S);
+      scanStmt(For->init());
+      scanExpr(For->cond());
+      scanExpr(For->step());
+      scanStmt(For->body());
+      break;
+    }
+    case StmtKind::Return:
+      scanExpr(cast<ReturnStmt>(S)->value());
+      break;
+    case StmtKind::Break:
+    case StmtKind::Continue:
+      break;
+    }
+  }
+
+  void scanExpr(const Expr *E) {
+    if (!E)
+      return;
+    switch (E->kind()) {
+    case ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      if (U->op() == UnaryOp::AddrOf)
+        if (const auto *Ref = dyn_cast<VarRefExpr>(U->sub()))
+          if (Ref->decl())
+            Taken.insert(Ref->decl());
+      scanExpr(U->sub());
+      break;
+    }
+    case ExprKind::Binary:
+      scanExpr(cast<BinaryExpr>(E)->lhs());
+      scanExpr(cast<BinaryExpr>(E)->rhs());
+      break;
+    case ExprKind::Assign:
+      scanExpr(cast<AssignExpr>(E)->target());
+      scanExpr(cast<AssignExpr>(E)->value());
+      break;
+    case ExprKind::Index:
+      scanExpr(cast<IndexExpr>(E)->base());
+      scanExpr(cast<IndexExpr>(E)->index());
+      break;
+    case ExprKind::Member:
+      scanExpr(cast<MemberExpr>(E)->base());
+      break;
+    case ExprKind::Call:
+      for (const Expr *Arg : cast<CallExpr>(E)->args())
+        scanExpr(Arg);
+      break;
+    case ExprKind::Cast:
+      scanExpr(cast<CastExpr>(E)->sub());
+      break;
+    case ExprKind::Malloc:
+      scanExpr(cast<MallocExpr>(E)->size());
+      break;
+    case ExprKind::Free:
+      scanExpr(cast<FreeExpr>(E)->ptr());
+      break;
+    default:
+      break;
+    }
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Module-level lowering state
+//===----------------------------------------------------------------------===//
+
+struct ModuleState {
+  ir::Module *M = nullptr;
+  TypeContext *Types = nullptr;
+  DiagnosticEngine *Diags = nullptr;
+  std::unordered_map<const VarDecl *, uint32_t> GlobalIndex;
+  std::unordered_map<const FunctionDecl *, ir::Function *> FuncMap;
+};
+
+/// Returns the allocation element type and size for a declared object
+/// type: arrays bind their scalar element (Section 3's allocation-type
+/// convention); everything else binds the type itself.
+void allocationTypeFor(const TypeInfo *Decl, const TypeInfo *&Elem,
+                       uint64_t &Size) {
+  Size = Decl->size();
+  if (const auto *A = dyn_cast<ArrayType>(Decl))
+    Elem = A->scalarElement();
+  else
+    Elem = Decl;
+}
+
+//===----------------------------------------------------------------------===//
+// Function lowering
+//===----------------------------------------------------------------------===//
+
+class FunctionLowering {
+public:
+  FunctionLowering(ModuleState &MS, ir::Function *F) : MS(MS), F(F) {}
+
+  void lowerBody(const FunctionDecl *Decl);
+  /// Lowers global initializers into this function (the synthetic
+  /// __global_init).
+  void lowerGlobalInits(const std::vector<VarDecl *> &Globals);
+
+private:
+  TypeContext &types() { return *MS.Types; }
+
+  void error(SourceLoc Loc, std::string Msg) {
+    MS.Diags->error(Loc, std::move(Msg));
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Block and instruction plumbing
+  //===--------------------------------------------------------------------===//
+
+  BlockId newBlock(const char *Hint) {
+    return F->newBlock(std::string(Hint) + "." + std::to_string(++NameCnt));
+  }
+
+  void setBlock(BlockId B) {
+    Cur = B;
+    Terminated = false;
+  }
+
+  Instr &emit(Instr I) {
+    if (Terminated) {
+      // Code after return/break/continue: emit into a fresh unreachable
+      // block so the block invariant (single trailing terminator) holds.
+      setBlock(newBlock("dead"));
+    }
+    F->Blocks[Cur].Instrs.push_back(std::move(I));
+    Instr &Ref = F->Blocks[Cur].Instrs.back();
+    if (Ref.isTerminator())
+      Terminated = true;
+    return Ref;
+  }
+
+  void branchTo(BlockId Target, SourceLoc Loc) {
+    if (Terminated)
+      return;
+    Instr I;
+    I.Op = Opcode::Br;
+    I.Target0 = Target;
+    I.Loc = Loc;
+    emit(std::move(I));
+  }
+
+  Reg constInt(int64_t V, const TypeInfo *T, SourceLoc Loc) {
+    Instr I;
+    I.Op = Opcode::ConstInt;
+    I.Dst = F->newReg(T);
+    I.Type = T;
+    I.Imm = static_cast<uint64_t>(V);
+    I.Loc = Loc;
+    Reg R = I.Dst;
+    emit(std::move(I));
+    return R;
+  }
+
+  /// Converts \p R from type \p From to \p To when needed.
+  Reg convert(Reg R, const TypeInfo *From, const TypeInfo *To,
+              SourceLoc Loc) {
+    if (!From || !To || From == To)
+      return R;
+    if (From->isPointer() && To->isPointer())
+      return R; // Representation-identical; casts are explicit PtrCast.
+    Instr I;
+    I.Op = Opcode::Convert;
+    I.Dst = F->newReg(To);
+    I.A = R;
+    I.Type = To;
+    I.Loc = Loc;
+    Reg D = I.Dst;
+    emit(std::move(I));
+    return D;
+  }
+
+  /// The usual arithmetic conversions over decayed scalar types.
+  const TypeInfo *commonType(const TypeInfo *L, const TypeInfo *R) {
+    if (L->isPointer())
+      return L;
+    if (R->isPointer())
+      return R;
+    if (L->isFloating() || R->isFloating()) {
+      if (!L->isFloating())
+        return R;
+      if (!R->isFloating())
+        return L;
+      return L->size() >= R->size() ? L : R;
+    }
+    // Integers: promote to at least int, wider size wins.
+    const TypeInfo *Int = types().getInt();
+    if (L->size() < Int->size())
+      L = Int;
+    if (R->size() < Int->size())
+      R = Int;
+    return L->size() >= R->size() ? L : R;
+  }
+
+  const TypeInfo *decayed(const TypeInfo *T) {
+    if (const auto *A = dyn_cast<ArrayType>(T))
+      return types().getPointer(A->element());
+    return T;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Variables
+  //===--------------------------------------------------------------------===//
+
+  void bindLocal(const VarDecl *D) {
+    const TypeInfo *T = D->type();
+    bool Promote = (T->isInteger() || T->isFloating() || T->isPointer()) &&
+                   !T->isVoid() && !Taken.count(D);
+    if (Promote) {
+      RegVars[D] = F->newReg(T);
+      return;
+    }
+    ir::StackSlot Slot;
+    Slot.Name = std::string(D->name());
+    Slot.DeclType = T;
+    allocationTypeFor(T, Slot.ElemType, Slot.Size);
+    F->Slots.push_back(Slot);
+    SlotVars[D] = static_cast<uint32_t>(F->Slots.size() - 1);
+  }
+
+  /// The address of a slot or global variable.
+  Reg emitVarAddr(const VarDecl *D, SourceLoc Loc) {
+    Instr I;
+    I.Loc = Loc;
+    if (auto It = SlotVars.find(D); It != SlotVars.end()) {
+      I.Op = Opcode::SlotAddr;
+      I.Imm = It->second;
+    } else if (auto GIt = MS.GlobalIndex.find(D);
+               GIt != MS.GlobalIndex.end()) {
+      I.Op = Opcode::GlobalAddr;
+      I.Imm = GIt->second;
+    } else {
+      error(Loc, "variable '" + std::string(D->name()) +
+                     "' has no storage (lowering bug)");
+      return constInt(0, types().getPointer(types().getVoid()), Loc);
+    }
+    // The address register is typed as pointer-to-declared-type; array
+    // decay happens at use sites (loadFrom).
+    I.Dst = F->newReg(types().getPointer(D->type()));
+    Reg R = I.Dst;
+    emit(std::move(I));
+    return R;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // L-values and loads
+  //===--------------------------------------------------------------------===//
+
+  /// Lowers an lvalue expression to an address register. Returns NoReg
+  /// for promoted-variable lvalues (caller handles them specially).
+  Reg lowerAddr(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::VarRef: {
+      const auto *Ref = cast<VarRefExpr>(E);
+      if (RegVars.count(Ref->decl()))
+        return NoReg;
+      return emitVarAddr(Ref->decl(), E->loc());
+    }
+    case ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      if (U->op() == UnaryOp::Deref)
+        return lowerExpr(U->sub());
+      break;
+    }
+    case ExprKind::Index: {
+      const auto *Ix = cast<IndexExpr>(E);
+      Reg Base = lowerExpr(Ix->base()); // Decays arrays.
+      Reg Index = lowerExpr(Ix->index());
+      const TypeInfo *Elem = E->type();
+      Instr I;
+      I.Op = Opcode::IndexAddr;
+      I.Dst = F->newReg(types().getPointer(decayed(Elem)));
+      I.A = Base;
+      I.B = Index;
+      I.Type = Elem;
+      I.Loc = E->loc();
+      Reg R = I.Dst;
+      emit(std::move(I));
+      return R;
+    }
+    case ExprKind::Member: {
+      const auto *Mem = cast<MemberExpr>(E);
+      Reg Base;
+      const RecordType *Record;
+      if (Mem->isArrow()) {
+        Base = lowerExpr(Mem->base());
+        Record = cast<RecordType>(
+            cast<PointerType>(decayed(Mem->base()->type()))->pointee());
+      } else {
+        Base = lowerAddrStrict(Mem->base());
+        Record = cast<RecordType>(Mem->base()->type());
+      }
+      uint64_t FieldIdx = 0;
+      for (const FieldInfo &Fi : Record->fields()) {
+        if (&Fi == Mem->field())
+          break;
+        ++FieldIdx;
+      }
+      Instr I;
+      I.Op = Opcode::FieldAddr;
+      I.Dst = F->newReg(types().getPointer(decayed(E->type())));
+      I.A = Base;
+      I.Type = Record;
+      I.Imm = FieldIdx;
+      I.Loc = E->loc();
+      Reg R = I.Dst;
+      emit(std::move(I));
+      return R;
+    }
+    default:
+      break;
+    }
+    error(E->loc(), "expression is not a supported lvalue");
+    return constInt(0, types().getPointer(types().getVoid()), E->loc());
+  }
+
+  /// lowerAddr for contexts that cannot handle promoted variables
+  /// (struct bases); Sema guarantees these are aggregates, which are
+  /// never promoted.
+  Reg lowerAddrStrict(const Expr *E) {
+    Reg R = lowerAddr(E);
+    if (R == NoReg) {
+      error(E->loc(), "aggregate lvalue unexpectedly promoted");
+      return constInt(0, types().getPointer(types().getVoid()), E->loc());
+    }
+    return R;
+  }
+
+  /// Loads a scalar of type \p T from \p Addr; arrays decay to a typed
+  /// pointer without loading.
+  Reg loadFrom(Reg Addr, const TypeInfo *T, SourceLoc Loc) {
+    if (const auto *A = dyn_cast<ArrayType>(T)) {
+      // Array lvalue used as a value: decay to pointer-to-first-element.
+      Instr I;
+      I.Op = Opcode::PtrCast;
+      I.Dst = F->newReg(types().getPointer(A->element()));
+      I.A = Addr;
+      I.Type = A->element();
+      I.Loc = Loc;
+      // Array decay is not a bounds-resetting cast: mark it so the
+      // instrumentation pass propagates bounds instead of re-checking.
+      I.Imm = 1; // IsDecay flag.
+      Reg R = I.Dst;
+      emit(std::move(I));
+      return R;
+    }
+    if (isa<RecordType>(T)) {
+      error(Loc, "loading a whole struct value is not supported");
+      return constInt(0, types().getInt(), Loc);
+    }
+    Instr I;
+    I.Op = Opcode::Load;
+    I.Dst = F->newReg(T);
+    I.A = Addr;
+    I.Type = T;
+    I.Loc = Loc;
+    Reg R = I.Dst;
+    emit(std::move(I));
+    return R;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Expressions
+  //===--------------------------------------------------------------------===//
+
+  Reg lowerExpr(const Expr *E) {
+    switch (E->kind()) {
+    case ExprKind::IntLiteral:
+      return constInt(
+          static_cast<int64_t>(cast<IntLiteralExpr>(E)->value()), E->type(),
+          E->loc());
+    case ExprKind::FloatLiteral: {
+      Instr I;
+      I.Op = Opcode::ConstFloat;
+      I.Dst = F->newReg(E->type());
+      I.Type = E->type();
+      I.FImm = cast<FloatLiteralExpr>(E)->value();
+      I.Loc = E->loc();
+      Reg R = I.Dst;
+      emit(std::move(I));
+      return R;
+    }
+    case ExprKind::StringLiteral: {
+      MS.M->Strings.push_back(
+          std::string(cast<StringLiteralExpr>(E)->bytes()));
+      Instr I;
+      I.Op = Opcode::StringAddr;
+      I.Dst = F->newReg(types().getPointer(types().getChar()));
+      I.Imm = MS.M->Strings.size() - 1;
+      I.Loc = E->loc();
+      Reg R = I.Dst;
+      emit(std::move(I));
+      return R;
+    }
+    case ExprKind::Null: {
+      Instr I;
+      I.Op = Opcode::ConstNull;
+      I.Dst = F->newReg(E->type());
+      I.Type = E->type();
+      I.Loc = E->loc();
+      Reg R = I.Dst;
+      emit(std::move(I));
+      return R;
+    }
+    case ExprKind::VarRef: {
+      const auto *Ref = cast<VarRefExpr>(E);
+      if (auto It = RegVars.find(Ref->decl()); It != RegVars.end()) {
+        // Copy into a temp so later re-assignment of the variable does
+        // not retroactively change this use.
+        Instr I;
+        I.Op = Opcode::Copy;
+        I.Dst = F->newReg(Ref->decl()->type());
+        I.A = It->second;
+        I.Loc = E->loc();
+        Reg R = I.Dst;
+        emit(std::move(I));
+        return R;
+      }
+      Reg Addr = emitVarAddr(Ref->decl(), E->loc());
+      return loadFrom(Addr, Ref->decl()->type(), E->loc());
+    }
+    case ExprKind::Unary:
+      return lowerUnary(cast<UnaryExpr>(E));
+    case ExprKind::Binary:
+      return lowerBinary(cast<BinaryExpr>(E));
+    case ExprKind::Assign:
+      return lowerAssign(cast<AssignExpr>(E));
+    case ExprKind::Index:
+    case ExprKind::Member: {
+      Reg Addr = lowerAddrStrict(E);
+      return loadFrom(Addr, E->type(), E->loc());
+    }
+    case ExprKind::Call:
+      return lowerCall(cast<CallExpr>(E));
+    case ExprKind::Cast:
+      return lowerCast(cast<CastExpr>(E));
+    case ExprKind::SizeofType:
+      return constInt(
+          static_cast<int64_t>(cast<SizeofExpr>(E)->target()->size()),
+          E->type(), E->loc());
+    case ExprKind::Malloc: {
+      const auto *M = cast<MallocExpr>(E);
+      Reg Size = lowerExpr(M->size());
+      Size = convert(Size, decayed(M->size()->type()), types().getULong(),
+                     E->loc());
+      Instr I;
+      I.Op = Opcode::Malloc;
+      I.Dst = F->newReg(E->type());
+      I.A = Size;
+      I.Type = M->allocType(); // May be null: untyped allocation.
+      I.Loc = E->loc();
+      Reg R = I.Dst;
+      emit(std::move(I));
+      return R;
+    }
+    case ExprKind::Free: {
+      const auto *Fr = cast<FreeExpr>(E);
+      Reg Ptr = lowerExpr(Fr->ptr());
+      Instr I;
+      I.Op = Opcode::Free;
+      I.A = Ptr;
+      I.Loc = E->loc();
+      emit(std::move(I));
+      return constInt(0, types().getInt(), E->loc());
+    }
+    }
+    EFFSAN_UNREACHABLE("unknown expression kind");
+  }
+
+  Reg lowerUnary(const UnaryExpr *E) {
+    switch (E->op()) {
+    case UnaryOp::AddrOf: {
+      const Expr *Sub = E->sub();
+      if (const auto *Ref = dyn_cast<VarRefExpr>(Sub))
+        if (RegVars.count(Ref->decl())) {
+          // Cannot happen: address-taken vars are not promoted.
+          error(E->loc(), "address of promoted variable (lowering bug)");
+          return constInt(0, E->type(), E->loc());
+        }
+      return lowerAddrStrict(Sub);
+    }
+    case UnaryOp::Deref: {
+      Reg Addr = lowerExpr(E->sub());
+      return loadFrom(Addr, E->type(), E->loc());
+    }
+    case UnaryOp::Neg: {
+      Reg Zero = lowerZeroOf(E->type(), E->loc());
+      Reg V = lowerExpr(E->sub());
+      V = convert(V, decayed(E->sub()->type()), E->type(), E->loc());
+      return emitArith(ir::ArithOp::Sub, Zero, V, E->type(), E->loc());
+    }
+    case UnaryOp::BitNot: {
+      Reg AllOnes = constInt(-1, E->type(), E->loc());
+      Reg V = lowerExpr(E->sub());
+      V = convert(V, decayed(E->sub()->type()), E->type(), E->loc());
+      return emitArith(ir::ArithOp::Xor, V, AllOnes, E->type(), E->loc());
+    }
+    case UnaryOp::LogicalNot: {
+      Reg V = lowerExpr(E->sub());
+      Reg Zero = lowerZeroOf(decayed(E->sub()->type()), E->loc());
+      return emitCompare(ir::Pred::Eq, V, Zero,
+                         decayed(E->sub()->type()), E->loc());
+    }
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+      return lowerIncDec(E);
+    }
+    EFFSAN_UNREACHABLE("unknown unary operator");
+  }
+
+  /// Zero constant of an arithmetic or pointer type.
+  Reg lowerZeroOf(const TypeInfo *T, SourceLoc Loc) {
+    if (T->isFloating()) {
+      Instr I;
+      I.Op = Opcode::ConstFloat;
+      I.Dst = F->newReg(T);
+      I.Type = T;
+      I.FImm = 0;
+      I.Loc = Loc;
+      Reg R = I.Dst;
+      emit(std::move(I));
+      return R;
+    }
+    if (T->isPointer()) {
+      Instr I;
+      I.Op = Opcode::ConstNull;
+      I.Dst = F->newReg(T);
+      I.Type = T;
+      I.Loc = Loc;
+      Reg R = I.Dst;
+      emit(std::move(I));
+      return R;
+    }
+    return constInt(0, T, Loc);
+  }
+
+  Reg emitArith(ir::ArithOp Op, Reg A, Reg B, const TypeInfo *T,
+                SourceLoc Loc) {
+    Instr I;
+    I.Op = Opcode::Arith;
+    I.AOp = Op;
+    I.Dst = F->newReg(T);
+    I.A = A;
+    I.B = B;
+    I.Type = T;
+    I.Loc = Loc;
+    Reg R = I.Dst;
+    emit(std::move(I));
+    return R;
+  }
+
+  Reg emitCompare(ir::Pred P, Reg A, Reg B, const TypeInfo *OperandType,
+                  SourceLoc Loc) {
+    Instr I;
+    I.Op = Opcode::Compare;
+    I.CmpPred = P;
+    I.Dst = F->newReg(types().getInt());
+    I.A = A;
+    I.B = B;
+    I.Type = OperandType;
+    I.Loc = Loc;
+    Reg R = I.Dst;
+    emit(std::move(I));
+    return R;
+  }
+
+  /// Pointer arithmetic: Base + Index * sizeof(elem) — rule (f).
+  Reg emitIndexAddr(Reg Base, Reg Index, const TypeInfo *PtrType,
+                    SourceLoc Loc) {
+    const auto *PT = cast<PointerType>(PtrType);
+    Instr I;
+    I.Op = Opcode::IndexAddr;
+    I.Dst = F->newReg(PtrType);
+    I.A = Base;
+    I.B = Index;
+    I.Type = PT->pointee();
+    I.Loc = Loc;
+    Reg R = I.Dst;
+    emit(std::move(I));
+    return R;
+  }
+
+  Reg lowerIncDec(const UnaryExpr *E) {
+    const Expr *Sub = E->sub();
+    const TypeInfo *T = decayed(E->type());
+    bool Inc = E->op() == UnaryOp::PreInc;
+
+    auto Bump = [&](Reg Old) -> Reg {
+      if (T->isPointer()) {
+        Reg One = constInt(Inc ? 1 : -1, types().getLong(), E->loc());
+        return emitIndexAddr(Old, One, T, E->loc());
+      }
+      Reg One;
+      if (T->isFloating()) {
+        Instr CI;
+        CI.Op = Opcode::ConstFloat;
+        CI.Dst = F->newReg(T);
+        CI.Type = T;
+        CI.FImm = 1;
+        CI.Loc = E->loc();
+        One = CI.Dst;
+        emit(std::move(CI));
+      } else {
+        One = constInt(1, T, E->loc());
+      }
+      return emitArith(Inc ? ir::ArithOp::Add : ir::ArithOp::Sub, Old, One,
+                       T, E->loc());
+    };
+
+    if (const auto *Ref = dyn_cast<VarRefExpr>(Sub)) {
+      if (auto It = RegVars.find(Ref->decl()); It != RegVars.end()) {
+        Reg New = Bump(It->second);
+        Instr I;
+        I.Op = Opcode::Copy;
+        I.Dst = It->second;
+        I.A = New;
+        I.Loc = E->loc();
+        emit(std::move(I));
+        return New;
+      }
+    }
+    Reg Addr = lowerAddrStrict(Sub);
+    Reg Old = loadFrom(Addr, Sub->type(), E->loc());
+    Reg New = Bump(Old);
+    Instr I;
+    I.Op = Opcode::Store;
+    I.A = Addr;
+    I.B = New;
+    I.Type = decayed(Sub->type());
+    I.Loc = E->loc();
+    emit(std::move(I));
+    return New;
+  }
+
+  Reg lowerBinary(const BinaryExpr *E) {
+    BinaryOp Op = E->op();
+    if (Op == BinaryOp::LogicalAnd || Op == BinaryOp::LogicalOr)
+      return lowerLogical(E);
+
+    const TypeInfo *LT = decayed(E->lhs()->type());
+    const TypeInfo *RT = decayed(E->rhs()->type());
+
+    // Pointer arithmetic forms.
+    if (Op == BinaryOp::Add && LT->isPointer() && RT->isInteger()) {
+      Reg Base = lowerExpr(E->lhs());
+      Reg Index = lowerExpr(E->rhs());
+      return emitIndexAddr(Base, Index, LT, E->loc());
+    }
+    if (Op == BinaryOp::Add && LT->isInteger() && RT->isPointer()) {
+      Reg Index = lowerExpr(E->lhs());
+      Reg Base = lowerExpr(E->rhs());
+      return emitIndexAddr(Base, Index, RT, E->loc());
+    }
+    if (Op == BinaryOp::Sub && LT->isPointer() && RT->isInteger()) {
+      Reg Base = lowerExpr(E->lhs());
+      Reg Index = lowerExpr(E->rhs());
+      Reg Zero = constInt(0, types().getLong(), E->loc());
+      Reg Neg = emitArith(ir::ArithOp::Sub, Zero, Index, types().getLong(),
+                          E->loc());
+      return emitIndexAddr(Base, Neg, LT, E->loc());
+    }
+    if (Op == BinaryOp::Sub && LT->isPointer() && RT->isPointer()) {
+      Reg A = lowerExpr(E->lhs());
+      Reg B = lowerExpr(E->rhs());
+      Instr I;
+      I.Op = Opcode::PtrDiff;
+      I.Dst = F->newReg(types().getLong());
+      I.A = A;
+      I.B = B;
+      I.Type = cast<PointerType>(LT)->pointee();
+      I.Loc = E->loc();
+      Reg R = I.Dst;
+      emit(std::move(I));
+      return R;
+    }
+
+    // Comparisons.
+    if (Op >= BinaryOp::Lt && Op <= BinaryOp::Ne) {
+      const TypeInfo *CT = commonType(LT, RT);
+      Reg A = convert(lowerExpr(E->lhs()), LT, CT, E->loc());
+      Reg B = convert(lowerExpr(E->rhs()), RT, CT, E->loc());
+      ir::Pred P;
+      switch (Op) {
+      case BinaryOp::Lt:
+        P = ir::Pred::Lt;
+        break;
+      case BinaryOp::Gt:
+        P = ir::Pred::Gt;
+        break;
+      case BinaryOp::Le:
+        P = ir::Pred::Le;
+        break;
+      case BinaryOp::Ge:
+        P = ir::Pred::Ge;
+        break;
+      case BinaryOp::Eq:
+        P = ir::Pred::Eq;
+        break;
+      default:
+        P = ir::Pred::Ne;
+        break;
+      }
+      return emitCompare(P, A, B, CT, E->loc());
+    }
+
+    // Plain arithmetic; Sema computed the result type.
+    const TypeInfo *T = E->type();
+    Reg A = convert(lowerExpr(E->lhs()), LT, T, E->loc());
+    Reg B = convert(lowerExpr(E->rhs()), RT, T, E->loc());
+    ir::ArithOp AOp;
+    switch (Op) {
+    case BinaryOp::Add:
+      AOp = ir::ArithOp::Add;
+      break;
+    case BinaryOp::Sub:
+      AOp = ir::ArithOp::Sub;
+      break;
+    case BinaryOp::Mul:
+      AOp = ir::ArithOp::Mul;
+      break;
+    case BinaryOp::Div:
+      AOp = ir::ArithOp::Div;
+      break;
+    case BinaryOp::Rem:
+      AOp = ir::ArithOp::Rem;
+      break;
+    case BinaryOp::BitAnd:
+      AOp = ir::ArithOp::And;
+      break;
+    case BinaryOp::BitOr:
+      AOp = ir::ArithOp::Or;
+      break;
+    case BinaryOp::BitXor:
+      AOp = ir::ArithOp::Xor;
+      break;
+    case BinaryOp::Shl:
+      AOp = ir::ArithOp::Shl;
+      break;
+    case BinaryOp::Shr:
+      AOp = ir::ArithOp::Shr;
+      break;
+    default:
+      EFFSAN_UNREACHABLE("handled above");
+    }
+    return emitArith(AOp, A, B, T, E->loc());
+  }
+
+  Reg lowerLogical(const BinaryExpr *E) {
+    bool IsAnd = E->op() == BinaryOp::LogicalAnd;
+    Reg Result = F->newReg(types().getInt());
+
+    Reg L = lowerExpr(E->lhs());
+    BlockId RhsB = newBlock(IsAnd ? "and.rhs" : "or.rhs");
+    BlockId ShortB = newBlock(IsAnd ? "and.false" : "or.true");
+    BlockId JoinB = newBlock(IsAnd ? "and.join" : "or.join");
+
+    Instr Br;
+    Br.Op = Opcode::CondBr;
+    Br.A = L;
+    Br.Target0 = IsAnd ? RhsB : ShortB;
+    Br.Target1 = IsAnd ? ShortB : RhsB;
+    Br.Loc = E->loc();
+    emit(std::move(Br));
+
+    setBlock(RhsB);
+    Reg Rv = lowerExpr(E->rhs());
+    Reg Zero = lowerZeroOf(decayed(E->rhs()->type()), E->loc());
+    Reg Norm = emitCompare(ir::Pred::Ne, Rv, Zero,
+                           decayed(E->rhs()->type()), E->loc());
+    Instr CopyI;
+    CopyI.Op = Opcode::Copy;
+    CopyI.Dst = Result;
+    CopyI.A = Norm;
+    CopyI.Loc = E->loc();
+    emit(std::move(CopyI));
+    branchTo(JoinB, E->loc());
+
+    setBlock(ShortB);
+    Instr K;
+    K.Op = Opcode::ConstInt;
+    K.Dst = Result;
+    K.Type = types().getInt();
+    K.Imm = IsAnd ? 0 : 1;
+    K.Loc = E->loc();
+    emit(std::move(K));
+    branchTo(JoinB, E->loc());
+
+    setBlock(JoinB);
+    return Result;
+  }
+
+  Reg lowerAssign(const AssignExpr *E) {
+    const Expr *Target = E->target();
+    const TypeInfo *TT = decayed(Target->type());
+
+    auto Combine = [&](Reg Old, Reg Val) -> Reg {
+      if (E->op() == AssignExpr::OpKind::Plain)
+        return Val;
+      if (TT->isPointer()) {
+        Reg Index = Val;
+        if (E->op() == AssignExpr::OpKind::Sub) {
+          Reg Zero = constInt(0, types().getLong(), E->loc());
+          Index = emitArith(ir::ArithOp::Sub, Zero, Val, types().getLong(),
+                            E->loc());
+        }
+        return emitIndexAddr(Old, Index, TT, E->loc());
+      }
+      return emitArith(E->op() == AssignExpr::OpKind::Add
+                           ? ir::ArithOp::Add
+                           : ir::ArithOp::Sub,
+                       Old, Val, TT, E->loc());
+    };
+
+    if (const auto *Ref = dyn_cast<VarRefExpr>(Target)) {
+      if (auto It = RegVars.find(Ref->decl()); It != RegVars.end()) {
+        Reg Val = lowerExpr(E->value());
+        Val = convert(Val, decayed(E->value()->type()), TT, E->loc());
+        Reg New = Combine(It->second, Val);
+        Instr I;
+        I.Op = Opcode::Copy;
+        I.Dst = It->second;
+        I.A = New;
+        I.Loc = E->loc();
+        emit(std::move(I));
+        return New;
+      }
+    }
+
+    Reg Addr = lowerAddrStrict(Target);
+    Reg Val = lowerExpr(E->value());
+    Val = convert(Val, decayed(E->value()->type()), TT, E->loc());
+    Reg New = Val;
+    if (E->op() != AssignExpr::OpKind::Plain) {
+      Reg Old = loadFrom(Addr, Target->type(), E->loc());
+      New = Combine(Old, Val);
+    }
+    Instr I;
+    I.Op = Opcode::Store;
+    I.A = Addr;
+    I.B = New;
+    I.Type = TT;
+    I.Loc = E->loc();
+    emit(std::move(I));
+    return New;
+  }
+
+  Reg lowerCall(const CallExpr *E) {
+    std::vector<Reg> Args;
+    ir::BuiltinId BId;
+    bool IsBuiltin = !E->decl() && ir::lookupBuiltin(E->callee(), BId);
+
+    for (size_t I = 0; I < E->args().size(); ++I) {
+      const Expr *Arg = E->args()[I];
+      Reg R = lowerExpr(Arg);
+      const TypeInfo *To = nullptr;
+      if (E->decl() && I < E->decl()->params().size())
+        To = decayed(E->decl()->params()[I]->type());
+      else if (IsBuiltin && BId == ir::BuiltinId::PrintInt)
+        To = types().getLong();
+      else if (IsBuiltin && BId == ir::BuiltinId::PrintFloat)
+        To = types().getDouble();
+      if (To)
+        R = convert(R, decayed(Arg->type()), To, Arg->loc());
+      Args.push_back(R);
+    }
+
+    Instr I;
+    I.Loc = E->loc();
+    I.Args = std::move(Args);
+    if (IsBuiltin) {
+      I.Op = Opcode::CallBuiltin;
+      I.Imm = static_cast<uint64_t>(BId);
+      emit(std::move(I));
+      return constInt(0, types().getInt(), E->loc());
+    }
+    if (!E->decl()) {
+      error(E->loc(), "call to unknown function (lowering bug)");
+      return constInt(0, types().getInt(), E->loc());
+    }
+    ir::Function *Callee = MS.FuncMap.at(E->decl());
+    I.Op = Opcode::Call;
+    I.Imm = MS.M->indexOf(Callee);
+    const TypeInfo *RetT = E->decl()->returnType();
+    Reg R = NoReg;
+    if (RetT && !RetT->isVoid()) {
+      I.Dst = F->newReg(RetT);
+      R = I.Dst;
+    }
+    emit(std::move(I));
+    if (R == NoReg)
+      return constInt(0, types().getInt(), E->loc());
+    return R;
+  }
+
+  Reg lowerCast(const CastExpr *E) {
+    const TypeInfo *To = E->target();
+    const TypeInfo *From = decayed(E->sub()->type());
+    Reg V = lowerExpr(E->sub());
+    if (To == From || To == E->sub()->type())
+      return V;
+    if (To->isPointer()) {
+      // Pointer-producing cast: rule (d) site, whether from a pointer
+      // or from an integer.
+      Instr I;
+      I.Op = Opcode::PtrCast;
+      I.Dst = F->newReg(To);
+      I.A = V;
+      I.Type = cast<PointerType>(To)->pointee();
+      I.Loc = E->loc();
+      Reg R = I.Dst;
+      emit(std::move(I));
+      return R;
+    }
+    if (From->isPointer()) {
+      // Pointer-to-integer: a plain value conversion.
+      return convert(V, From, To, E->loc());
+    }
+    return convert(V, From, To, E->loc());
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Statements
+  //===--------------------------------------------------------------------===//
+
+  void lowerStmt(const Stmt *S) {
+    switch (S->kind()) {
+    case StmtKind::Expr:
+      lowerExpr(cast<ExprStmt>(S)->expr());
+      break;
+    case StmtKind::Decl: {
+      const VarDecl *D = cast<DeclStmt>(S)->decl();
+      bindLocal(D);
+      if (const Expr *Init = D->init()) {
+        Reg V = lowerExpr(Init);
+        V = convert(V, decayed(Init->type()), decayed(D->type()),
+                    D->loc());
+        if (auto It = RegVars.find(D); It != RegVars.end()) {
+          Instr I;
+          I.Op = Opcode::Copy;
+          I.Dst = It->second;
+          I.A = V;
+          I.Loc = D->loc();
+          emit(std::move(I));
+        } else {
+          Reg Addr = emitVarAddr(D, D->loc());
+          Instr I;
+          I.Op = Opcode::Store;
+          I.A = Addr;
+          I.B = V;
+          I.Type = decayed(D->type());
+          I.Loc = D->loc();
+          emit(std::move(I));
+        }
+      }
+      break;
+    }
+    case StmtKind::Compound:
+      for (const Stmt *Sub : cast<CompoundStmt>(S)->body())
+        lowerStmt(Sub);
+      break;
+    case StmtKind::If: {
+      const auto *If = cast<IfStmt>(S);
+      Reg Cond = lowerExpr(If->cond());
+      BlockId ThenB = newBlock("if.then");
+      BlockId ElseB = If->elseStmt() ? newBlock("if.else") : 0;
+      BlockId JoinB = newBlock("if.join");
+      if (!If->elseStmt())
+        ElseB = JoinB;
+      Instr Br;
+      Br.Op = Opcode::CondBr;
+      Br.A = Cond;
+      Br.Target0 = ThenB;
+      Br.Target1 = ElseB;
+      Br.Loc = S->loc();
+      emit(std::move(Br));
+      setBlock(ThenB);
+      lowerStmt(If->thenStmt());
+      branchTo(JoinB, S->loc());
+      if (If->elseStmt()) {
+        setBlock(ElseB);
+        lowerStmt(If->elseStmt());
+        branchTo(JoinB, S->loc());
+      }
+      setBlock(JoinB);
+      break;
+    }
+    case StmtKind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      BlockId CondB = newBlock("while.cond");
+      BlockId BodyB = newBlock("while.body");
+      BlockId ExitB = newBlock("while.exit");
+      branchTo(CondB, S->loc());
+      setBlock(CondB);
+      Reg Cond = lowerExpr(W->cond());
+      Instr Br;
+      Br.Op = Opcode::CondBr;
+      Br.A = Cond;
+      Br.Target0 = BodyB;
+      Br.Target1 = ExitB;
+      Br.Loc = S->loc();
+      emit(std::move(Br));
+      setBlock(BodyB);
+      BreakStack.push_back(ExitB);
+      ContinueStack.push_back(CondB);
+      lowerStmt(W->body());
+      BreakStack.pop_back();
+      ContinueStack.pop_back();
+      branchTo(CondB, S->loc());
+      setBlock(ExitB);
+      break;
+    }
+    case StmtKind::For: {
+      const auto *For = cast<ForStmt>(S);
+      if (For->init())
+        lowerStmt(For->init());
+      BlockId CondB = newBlock("for.cond");
+      BlockId BodyB = newBlock("for.body");
+      BlockId StepB = newBlock("for.step");
+      BlockId ExitB = newBlock("for.exit");
+      branchTo(CondB, S->loc());
+      setBlock(CondB);
+      if (For->cond()) {
+        Reg Cond = lowerExpr(For->cond());
+        Instr Br;
+        Br.Op = Opcode::CondBr;
+        Br.A = Cond;
+        Br.Target0 = BodyB;
+        Br.Target1 = ExitB;
+        Br.Loc = S->loc();
+        emit(std::move(Br));
+      } else {
+        branchTo(BodyB, S->loc());
+      }
+      setBlock(BodyB);
+      BreakStack.push_back(ExitB);
+      ContinueStack.push_back(StepB);
+      lowerStmt(For->body());
+      BreakStack.pop_back();
+      ContinueStack.pop_back();
+      branchTo(StepB, S->loc());
+      setBlock(StepB);
+      if (For->step())
+        lowerExpr(For->step());
+      branchTo(CondB, S->loc());
+      setBlock(ExitB);
+      break;
+    }
+    case StmtKind::Return: {
+      const auto *Ret = cast<ReturnStmt>(S);
+      Instr I;
+      I.Op = Opcode::Ret;
+      I.Loc = S->loc();
+      if (Ret->value()) {
+        Reg V = lowerExpr(Ret->value());
+        I.A = convert(V, decayed(Ret->value()->type()),
+                      decayed(F->returnType()), S->loc());
+      }
+      emit(std::move(I));
+      break;
+    }
+    case StmtKind::Break:
+      if (BreakStack.empty())
+        error(S->loc(), "break outside a loop");
+      else
+        branchTo(BreakStack.back(), S->loc());
+      Terminated = true;
+      break;
+    case StmtKind::Continue:
+      if (ContinueStack.empty())
+        error(S->loc(), "continue outside a loop");
+      else
+        branchTo(ContinueStack.back(), S->loc());
+      Terminated = true;
+      break;
+    }
+  }
+
+  ModuleState &MS;
+  ir::Function *F;
+  BlockId Cur = 0;
+  bool Terminated = false;
+  unsigned NameCnt = 0;
+  std::unordered_set<const VarDecl *> Taken;
+  std::unordered_map<const VarDecl *, Reg> RegVars;
+  std::unordered_map<const VarDecl *, uint32_t> SlotVars;
+  std::vector<BlockId> BreakStack;
+  std::vector<BlockId> ContinueStack;
+};
+
+void FunctionLowering::lowerBody(const FunctionDecl *Decl) {
+  AddressTakenScan Scan;
+  Scan.scanStmt(Decl->body());
+  Taken = std::move(Scan.Taken);
+
+  setBlock(F->newBlock("entry"));
+
+  // Parameters: a register each; address-taken ones are spilled into a
+  // slot at entry.
+  for (size_t I = 0; I < Decl->params().size(); ++I) {
+    const VarDecl *P = Decl->params()[I];
+    Reg R = F->Params[I].R;
+    if (!Taken.count(P) &&
+        (P->type()->isInteger() || P->type()->isFloating() ||
+         P->type()->isPointer())) {
+      RegVars[P] = R;
+      continue;
+    }
+    bindLocal(P);
+    Reg Addr = emitVarAddr(P, P->loc());
+    Instr I2;
+    I2.Op = Opcode::Store;
+    I2.A = Addr;
+    I2.B = R;
+    I2.Type = decayed(P->type());
+    I2.Loc = P->loc();
+    emit(std::move(I2));
+  }
+
+  lowerStmt(Decl->body());
+
+  // Implicit trailing return.
+  if (!Terminated) {
+    Instr I;
+    I.Op = Opcode::Ret;
+    if (F->returnType() && !F->returnType()->isVoid())
+      I.A = lowerZeroOf(decayed(F->returnType()), Decl->loc());
+    emit(std::move(I));
+  }
+}
+
+void FunctionLowering::lowerGlobalInits(
+    const std::vector<VarDecl *> &Globals) {
+  setBlock(F->newBlock("entry"));
+  for (const VarDecl *G : Globals) {
+    if (!G->init())
+      continue;
+    Reg V = lowerExpr(G->init());
+    V = convert(V, decayed(G->init()->type()), decayed(G->type()),
+                G->loc());
+    Reg Addr = emitVarAddr(G, G->loc());
+    Instr I;
+    I.Op = Opcode::Store;
+    I.A = Addr;
+    I.B = V;
+    I.Type = decayed(G->type());
+    I.Loc = G->loc();
+    emit(std::move(I));
+  }
+  Instr I;
+  I.Op = Opcode::Ret;
+  emit(std::move(I));
+}
+
+} // namespace
+
+std::unique_ptr<ir::Module>
+instrument::lowerToIR(const TranslationUnit &Unit, TypeContext &Types,
+                      DiagnosticEngine &Diags) {
+  auto M = std::make_unique<ir::Module>(Types);
+  ModuleState MS;
+  MS.M = M.get();
+  MS.Types = &Types;
+  MS.Diags = &Diags;
+
+  // Globals first (functions reference them).
+  for (const VarDecl *G : Unit.Globals) {
+    ir::Global IG;
+    IG.Name = std::string(G->name());
+    IG.DeclType = G->type();
+    allocationTypeFor(G->type(), IG.ElemType, IG.Size);
+    MS.GlobalIndex[G] = static_cast<uint32_t>(M->Globals.size());
+    M->Globals.push_back(std::move(IG));
+  }
+
+  // Group forward declarations with their definitions: one IR function
+  // per name, built from the defining declaration when there is one.
+  std::unordered_map<std::string_view, const FunctionDecl *> Chosen;
+  for (const FunctionDecl *FD : Unit.Functions) {
+    auto [It, Fresh] = Chosen.try_emplace(FD->name(), FD);
+    if (!Fresh && FD->body() && !It->second->body())
+      It->second = FD;
+  }
+
+  // Declare every function (bodies may call forward).
+  std::unordered_map<std::string_view, ir::Function *> ByName;
+  for (const FunctionDecl *FD : Unit.Functions) {
+    if (Chosen.at(FD->name()) != FD)
+      continue;
+    ir::Function *F = M->addFunction(std::string(FD->name()),
+                                     FD->returnType());
+    for (const VarDecl *P : FD->params()) {
+      ir::Param IP;
+      IP.Name = std::string(P->name());
+      IP.Type = P->type();
+      IP.R = F->newReg(P->type());
+      F->Params.push_back(std::move(IP));
+    }
+    ByName[FD->name()] = F;
+  }
+  // Calls may resolve to any declaration of the name.
+  for (const FunctionDecl *FD : Unit.Functions)
+    MS.FuncMap[FD] = ByName.at(FD->name());
+
+  // Synthetic global initializer, run by the interpreter before main.
+  bool AnyInit = false;
+  for (const VarDecl *G : Unit.Globals)
+    AnyInit |= G->init() != nullptr;
+  if (AnyInit) {
+    ir::Function *InitF =
+        M->addFunction("__global_init", Types.getVoid());
+    FunctionLowering FL(MS, InitF);
+    FL.lowerGlobalInits(Unit.Globals);
+  }
+
+  // Lower bodies (only the chosen declaration of each name).
+  for (const FunctionDecl *FD : Unit.Functions) {
+    if (!FD->body() || Chosen.at(FD->name()) != FD)
+      continue;
+    FunctionLowering FL(MS, MS.FuncMap.at(FD));
+    FL.lowerBody(FD);
+  }
+
+  // A used function that was never defined has no blocks; diagnose it
+  // rather than letting the verifier fault later.
+  for (const auto &F : M->Functions)
+    if (F->Blocks.empty())
+      Diags.error(SourceLoc(), "function '" + F->name() +
+                                   "' declared but never defined");
+
+  if (Diags.hasErrors())
+    return nullptr;
+  return M;
+}

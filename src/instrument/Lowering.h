@@ -1,0 +1,43 @@
+//===- instrument/Lowering.h - MiniC AST to IR ------------------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a type-checked MiniC translation unit to IR. Lowering emits
+/// *uninstrumented* IR — all dynamic checks are inserted afterwards by
+/// InstrumentPass, mirroring the paper's two-step pipeline (type
+/// annotated IR, then the Figure 3 instrumentation schema).
+///
+/// Scalar locals whose address is never taken are promoted to mutable
+/// virtual registers (the moral equivalent of LLVM's mem2reg), so
+/// re-assignment of a pointer variable redefines its register — which
+/// is exactly where the schema re-checks it (Figure 4 line 10).
+/// Address-taken and aggregate locals become typed stack slots that the
+/// interpreter materializes through the low-fat stack allocator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_INSTRUMENT_LOWERING_H
+#define EFFECTIVE_INSTRUMENT_LOWERING_H
+
+#include "ir/IR.h"
+#include "minic/AST.h"
+
+#include <memory>
+
+namespace effective {
+namespace instrument {
+
+/// Lowers \p Unit to a fresh IR module. Problems (unsupported
+/// constructs) are reported to \p Diags; returns null if any were
+/// errors. \p Unit must have passed Sema.
+std::unique_ptr<ir::Module> lowerToIR(const minic::TranslationUnit &Unit,
+                                      TypeContext &Types,
+                                      DiagnosticEngine &Diags);
+
+} // namespace instrument
+} // namespace effective
+
+#endif // EFFECTIVE_INSTRUMENT_LOWERING_H

@@ -1,0 +1,52 @@
+//===- instrument/Pipeline.cpp - Source-to-instrumented-IR driver ---------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instrument/Pipeline.h"
+
+#include "instrument/CheckOptimizer.h"
+#include "instrument/Lowering.h"
+#include "ir/Verifier.h"
+#include "minic/Parser.h"
+#include "minic/Sema.h"
+
+using namespace effective;
+using namespace effective::instrument;
+
+CompileResult instrument::compileMiniC(std::string_view Source,
+                                       TypeContext &Types,
+                                       DiagnosticEngine &Diags,
+                                       const InstrumentOptions &Opts) {
+  CompileResult Result;
+
+  minic::ASTContext Ctx(Types);
+  minic::TranslationUnit Unit;
+  minic::Parser P(Source, Ctx, Diags);
+  if (!P.parseUnit(Unit))
+    return Result;
+  minic::Sema S(Ctx, Diags);
+  if (!S.check(Unit))
+    return Result;
+
+  std::unique_ptr<ir::Module> M = lowerToIR(Unit, Types, Diags);
+  if (!M)
+    return Result;
+  if (!ir::verifyModule(*M, Diags))
+    return Result;
+
+  // The stand-in for the -O2 pipeline the paper's pass runs inside:
+  // canonicalize repeated address computations so the subsumed-check
+  // rule sees them as one (see CheckOptimizer.h).
+  localCSE(*M);
+  if (!ir::verifyModule(*M, Diags))
+    return Result;
+
+  Result.Stats = instrumentModule(*M, Opts);
+  if (!ir::verifyModule(*M, Diags))
+    return Result;
+
+  Result.M = std::move(M);
+  return Result;
+}

@@ -1,0 +1,42 @@
+//===- instrument/Pipeline.h - Source-to-instrumented-IR driver -*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two-step compilation pipeline of Section 6: parse + type-check
+/// MiniC into a type-annotated AST, lower to IR, then instrument with
+/// the Figure 3 schema. Used by tests, the ablation benchmark and the
+/// minic_sanitizer example driver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_INSTRUMENT_PIPELINE_H
+#define EFFECTIVE_INSTRUMENT_PIPELINE_H
+
+#include "instrument/InstrumentPass.h"
+#include "ir/IR.h"
+
+#include <memory>
+#include <string_view>
+
+namespace effective {
+namespace instrument {
+
+/// The result of compiling one MiniC source buffer.
+struct CompileResult {
+  std::unique_ptr<ir::Module> M; ///< Null on any frontend/verifier error.
+  InstrumentStats Stats;         ///< What the instrumentation pass did.
+};
+
+/// Compiles \p Source under \p Opts. Diagnostics (including verifier
+/// failures, which indicate compiler bugs) accumulate in \p Diags.
+CompileResult compileMiniC(std::string_view Source, TypeContext &Types,
+                           DiagnosticEngine &Diags,
+                           const InstrumentOptions &Opts);
+
+} // namespace instrument
+} // namespace effective
+
+#endif // EFFECTIVE_INSTRUMENT_PIPELINE_H

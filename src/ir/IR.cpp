@@ -1,0 +1,100 @@
+//===- ir/IR.cpp - IR support routines ------------------------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IR.h"
+
+using namespace effective;
+using namespace effective::ir;
+
+std::string_view ir::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::ConstInt:
+    return "const_int";
+  case Opcode::ConstFloat:
+    return "const_float";
+  case Opcode::ConstNull:
+    return "const_null";
+  case Opcode::StringAddr:
+    return "string_addr";
+  case Opcode::GlobalAddr:
+    return "global_addr";
+  case Opcode::SlotAddr:
+    return "slot_addr";
+  case Opcode::Copy:
+    return "copy";
+  case Opcode::Arith:
+    return "arith";
+  case Opcode::Compare:
+    return "cmp";
+  case Opcode::Convert:
+    return "convert";
+  case Opcode::PtrCast:
+    return "ptr_cast";
+  case Opcode::FieldAddr:
+    return "field_addr";
+  case Opcode::IndexAddr:
+    return "index_addr";
+  case Opcode::PtrDiff:
+    return "ptr_diff";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Malloc:
+    return "malloc";
+  case Opcode::Free:
+    return "free";
+  case Opcode::Call:
+    return "call";
+  case Opcode::CallBuiltin:
+    return "call_builtin";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "cond_br";
+  case Opcode::TypeCheck:
+    return "type_check";
+  case Opcode::BoundsGet:
+    return "bounds_get";
+  case Opcode::BoundsCheck:
+    return "bounds_check";
+  case Opcode::BoundsNarrow:
+    return "bounds_narrow";
+  case Opcode::WideBounds:
+    return "wide_bounds";
+  }
+  return "<bad-opcode>";
+}
+
+std::string_view ir::builtinName(BuiltinId Id) {
+  switch (Id) {
+  case BuiltinId::PrintInt:
+    return "print_int";
+  case BuiltinId::PrintFloat:
+    return "print_float";
+  case BuiltinId::PrintStr:
+    return "print_str";
+  }
+  return "<bad-builtin>";
+}
+
+bool ir::lookupBuiltin(std::string_view Name, BuiltinId &Id) {
+  if (Name == "print_int") {
+    Id = BuiltinId::PrintInt;
+    return true;
+  }
+  if (Name == "print_float") {
+    Id = BuiltinId::PrintFloat;
+    return true;
+  }
+  if (Name == "print_str") {
+    Id = BuiltinId::PrintStr;
+    return true;
+  }
+  return false;
+}

@@ -1,0 +1,282 @@
+//===- ir/Printer.cpp - Textual IR dump -----------------------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace effective;
+using namespace effective::ir;
+
+namespace {
+
+std::string reg(Reg R) {
+  if (R == NoReg)
+    return "%none";
+  return "%r" + std::to_string(R);
+}
+
+std::string breg(BReg B) {
+  if (B == NoBReg)
+    return "%bnone";
+  return "%b" + std::to_string(B);
+}
+
+std::string_view arithName(ArithOp Op) {
+  switch (Op) {
+  case ArithOp::Add:
+    return "add";
+  case ArithOp::Sub:
+    return "sub";
+  case ArithOp::Mul:
+    return "mul";
+  case ArithOp::Div:
+    return "div";
+  case ArithOp::Rem:
+    return "rem";
+  case ArithOp::And:
+    return "and";
+  case ArithOp::Or:
+    return "or";
+  case ArithOp::Xor:
+    return "xor";
+  case ArithOp::Shl:
+    return "shl";
+  case ArithOp::Shr:
+    return "shr";
+  }
+  return "<bad-arith>";
+}
+
+std::string_view predName(Pred P) {
+  switch (P) {
+  case Pred::Eq:
+    return "eq";
+  case Pred::Ne:
+    return "ne";
+  case Pred::Lt:
+    return "lt";
+  case Pred::Le:
+    return "le";
+  case Pred::Gt:
+    return "gt";
+  case Pred::Ge:
+    return "ge";
+  }
+  return "<bad-pred>";
+}
+
+std::string typeStr(const TypeInfo *T) {
+  return T ? T->str() : std::string("<null>");
+}
+
+std::string blockRef(const Function &F, BlockId Id) {
+  if (Id < F.Blocks.size())
+    return "^" + F.Blocks[Id].Name;
+  return "^<bad-block>";
+}
+
+} // namespace
+
+std::string ir::printInstr(const Function &F, const Module &M,
+                           const Instr &I) {
+  char Buf[256];
+  switch (I.Op) {
+  case Opcode::ConstInt:
+    std::snprintf(Buf, sizeof(Buf), "%s = const_int %" PRId64 " : %s",
+                  reg(I.Dst).c_str(), static_cast<int64_t>(I.Imm),
+                  typeStr(I.Type).c_str());
+    return Buf;
+  case Opcode::ConstFloat:
+    std::snprintf(Buf, sizeof(Buf), "%s = const_float %g : %s",
+                  reg(I.Dst).c_str(), I.FImm, typeStr(I.Type).c_str());
+    return Buf;
+  case Opcode::ConstNull:
+    return reg(I.Dst) + " = const_null : " + typeStr(I.Type);
+  case Opcode::StringAddr:
+    std::snprintf(Buf, sizeof(Buf), "%s = string_addr @str%" PRIu64,
+                  reg(I.Dst).c_str(), I.Imm);
+    break;
+  case Opcode::GlobalAddr:
+    std::snprintf(Buf, sizeof(Buf), "%s = global_addr @%s",
+                  reg(I.Dst).c_str(),
+                  I.Imm < M.Globals.size() ? M.Globals[I.Imm].Name.c_str()
+                                           : "<bad-global>");
+    break;
+  case Opcode::SlotAddr:
+    std::snprintf(Buf, sizeof(Buf), "%s = slot_addr $%s",
+                  reg(I.Dst).c_str(),
+                  I.Imm < F.Slots.size() ? F.Slots[I.Imm].Name.c_str()
+                                         : "<bad-slot>");
+    break;
+  case Opcode::Copy:
+    std::snprintf(Buf, sizeof(Buf), "%s = copy %s", reg(I.Dst).c_str(),
+                  reg(I.A).c_str());
+    break;
+  case Opcode::Arith:
+    std::snprintf(Buf, sizeof(Buf), "%s = %s %s, %s : %s",
+                  reg(I.Dst).c_str(), arithName(I.AOp).data(),
+                  reg(I.A).c_str(), reg(I.B).c_str(),
+                  typeStr(I.Type).c_str());
+    return Buf;
+  case Opcode::Compare:
+    std::snprintf(Buf, sizeof(Buf), "%s = cmp_%s %s, %s",
+                  reg(I.Dst).c_str(), predName(I.CmpPred).data(),
+                  reg(I.A).c_str(), reg(I.B).c_str());
+    return Buf;
+  case Opcode::Convert:
+    std::snprintf(Buf, sizeof(Buf), "%s = convert %s : %s",
+                  reg(I.Dst).c_str(), reg(I.A).c_str(),
+                  typeStr(I.Type).c_str());
+    return Buf;
+  case Opcode::PtrCast:
+    std::snprintf(Buf, sizeof(Buf), "%s = ptr_cast %s : %s *",
+                  reg(I.Dst).c_str(), reg(I.A).c_str(),
+                  typeStr(I.Type).c_str());
+    break;
+  case Opcode::FieldAddr: {
+    std::string Field = "<bad-field>";
+    if (const auto *R = dyn_cast_if_present<RecordType>(I.Type))
+      if (I.Imm < R->fields().size())
+        Field = std::string(R->fields()[I.Imm].Name);
+    std::snprintf(Buf, sizeof(Buf), "%s = field_addr %s, %s.%s",
+                  reg(I.Dst).c_str(), reg(I.A).c_str(),
+                  typeStr(I.Type).c_str(), Field.c_str());
+    break;
+  }
+  case Opcode::IndexAddr:
+    std::snprintf(Buf, sizeof(Buf), "%s = index_addr %s, %s : %s",
+                  reg(I.Dst).c_str(), reg(I.A).c_str(), reg(I.B).c_str(),
+                  typeStr(I.Type).c_str());
+    break;
+  case Opcode::PtrDiff:
+    std::snprintf(Buf, sizeof(Buf), "%s = ptr_diff %s, %s : %s",
+                  reg(I.Dst).c_str(), reg(I.A).c_str(), reg(I.B).c_str(),
+                  typeStr(I.Type).c_str());
+    return Buf;
+  case Opcode::Load:
+    std::snprintf(Buf, sizeof(Buf), "%s = load %s : %s",
+                  reg(I.Dst).c_str(), reg(I.A).c_str(),
+                  typeStr(I.Type).c_str());
+    return Buf;
+  case Opcode::Store:
+    std::snprintf(Buf, sizeof(Buf), "store %s, %s : %s", reg(I.A).c_str(),
+                  reg(I.B).c_str(), typeStr(I.Type).c_str());
+    return Buf;
+  case Opcode::Malloc:
+    std::snprintf(Buf, sizeof(Buf), "%s = malloc %s : %s",
+                  reg(I.Dst).c_str(), reg(I.A).c_str(),
+                  I.Type ? typeStr(I.Type).c_str() : "<untyped>");
+    break;
+  case Opcode::Free:
+    return "free " + reg(I.A);
+  case Opcode::Call: {
+    std::string S = I.Dst != NoReg ? reg(I.Dst) + " = call @" : "call @";
+    S += I.Imm < M.Functions.size() ? M.Functions[I.Imm]->name()
+                                    : "<bad-callee>";
+    S += "(";
+    for (size_t K = 0; K < I.Args.size(); ++K)
+      S += (K ? ", " : "") + reg(I.Args[K]);
+    S += ")";
+    return S;
+  }
+  case Opcode::CallBuiltin: {
+    std::string S = I.Dst != NoReg ? reg(I.Dst) + " = call @" : "call @";
+    S += builtinName(static_cast<BuiltinId>(I.Imm));
+    S += "(";
+    for (size_t K = 0; K < I.Args.size(); ++K)
+      S += (K ? ", " : "") + reg(I.Args[K]);
+    S += ")";
+    return S;
+  }
+  case Opcode::Ret:
+    return I.A == NoReg ? std::string("ret") : "ret " + reg(I.A);
+  case Opcode::Br:
+    return "br " + blockRef(F, I.Target0);
+  case Opcode::CondBr:
+    return "cond_br " + reg(I.A) + ", " + blockRef(F, I.Target0) + ", " +
+           blockRef(F, I.Target1);
+  case Opcode::TypeCheck:
+    std::snprintf(Buf, sizeof(Buf), "%s = type_check %s, %s[]",
+                  breg(I.BDst).c_str(), reg(I.A).c_str(),
+                  typeStr(I.Type).c_str());
+    return Buf;
+  case Opcode::BoundsGet:
+    std::snprintf(Buf, sizeof(Buf), "%s = bounds_get %s",
+                  breg(I.BDst).c_str(), reg(I.A).c_str());
+    return Buf;
+  case Opcode::BoundsCheck:
+    std::snprintf(Buf, sizeof(Buf), "bounds_check %s, %" PRIu64 ", %s",
+                  reg(I.A).c_str(), I.Imm, breg(I.BSrc).c_str());
+    return Buf;
+  case Opcode::BoundsNarrow:
+    std::snprintf(Buf, sizeof(Buf),
+                  "%s = bounds_narrow %s, %s, %" PRIu64,
+                  breg(I.BDst).c_str(), breg(I.BSrc).c_str(),
+                  reg(I.A).c_str(), I.Imm);
+    return Buf;
+  case Opcode::WideBounds:
+    return breg(I.BDst) + " = wide_bounds";
+  }
+  // Fall-through cases that used snprintf into Buf plus optional bounds.
+  std::string S = Buf;
+  if (I.BDst != NoBReg)
+    S += " [" + breg(I.BDst) + "]";
+  return S;
+}
+
+std::string ir::printFunction(const Function &F, const Module &M) {
+  std::string S = "func @" + F.name() + "(";
+  for (size_t I = 0; I < F.Params.size(); ++I) {
+    const Param &P = F.Params[I];
+    S += (I ? ", " : "") + (P.Type ? P.Type->str() : "<null>") + " %r" +
+         std::to_string(P.R);
+  }
+  S += ") -> ";
+  S += F.returnType() ? F.returnType()->str() : "void";
+  S += " {\n";
+  for (const StackSlot &Slot : F.Slots) {
+    S += "  slot $" + Slot.Name + " : ";
+    S += Slot.DeclType ? Slot.DeclType->str() : "<null>";
+    S += " (" + std::to_string(Slot.Size) + " bytes)\n";
+  }
+  for (const Block &B : F.Blocks) {
+    S += B.Name + ":\n";
+    for (const Instr &I : B.Instrs) {
+      S += "  " + printInstr(F, M, I) + "\n";
+    }
+  }
+  S += "}\n";
+  return S;
+}
+
+std::string ir::printModule(const Module &M) {
+  std::string S;
+  for (size_t I = 0; I < M.Strings.size(); ++I) {
+    S += "@str" + std::to_string(I) + " = \"";
+    for (char C : M.Strings[I]) {
+      if (C == '\n')
+        S += "\\n";
+      else if (C == '"')
+        S += "\\\"";
+      else
+        S += C;
+    }
+    S += "\"\n";
+  }
+  for (const Global &G : M.Globals)
+    S += "@" + G.Name + " : " +
+         (G.DeclType ? G.DeclType->str() : "<null>") + " (" +
+         std::to_string(G.Size) + " bytes)\n";
+  if (!M.Strings.empty() || !M.Globals.empty())
+    S += "\n";
+  for (const auto &F : M.Functions) {
+    S += printFunction(*F, M);
+    S += "\n";
+  }
+  return S;
+}

@@ -1,0 +1,36 @@
+//===- ir/Printer.h - Textual IR dump ---------------------------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders IR to text for tests, debugging and the minic_sanitizer
+/// driver's -emit-ir mode. The format is stable: instrumentation tests
+/// assert on exact instruction sequences (the Figure 4 encodings).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_IR_PRINTER_H
+#define EFFECTIVE_IR_PRINTER_H
+
+#include "ir/IR.h"
+
+#include <string>
+
+namespace effective {
+namespace ir {
+
+/// Renders one instruction (no trailing newline).
+std::string printInstr(const Function &F, const Module &M, const Instr &I);
+
+/// Renders a whole function.
+std::string printFunction(const Function &F, const Module &M);
+
+/// Renders a whole module.
+std::string printModule(const Module &M);
+
+} // namespace ir
+} // namespace effective
+
+#endif // EFFECTIVE_IR_PRINTER_H

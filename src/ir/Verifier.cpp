@@ -1,0 +1,237 @@
+//===- ir/Verifier.cpp - IR structural invariants -------------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Printer.h"
+
+using namespace effective;
+using namespace effective::ir;
+
+namespace {
+
+/// Per-function verification state.
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Function &F, const Module &M,
+                   DiagnosticEngine &Diags)
+      : F(F), M(M), Diags(Diags) {}
+
+  bool run() {
+    if (F.Blocks.empty()) {
+      error(0, 0, "function has no blocks");
+      return false;
+    }
+    for (BlockId B = 0; B < F.Blocks.size(); ++B)
+      verifyBlock(B);
+    return Ok;
+  }
+
+private:
+  void error(BlockId B, size_t Idx, std::string Msg) {
+    Ok = false;
+    std::string Where = "in @" + F.name();
+    if (B < F.Blocks.size()) {
+      Where += ", block ^" + F.Blocks[B].Name;
+      if (Idx < F.Blocks[B].Instrs.size())
+        Where += ", '" + printInstr(F, M, F.Blocks[B].Instrs[Idx]) + "'";
+    }
+    Diags.error(SourceLoc(), Msg + " (" + Where + ")");
+  }
+
+  void checkReg(BlockId B, size_t Idx, Reg R, const char *What) {
+    if (R == NoReg || R >= F.numRegs())
+      error(B, Idx, std::string("invalid ") + What + " register");
+  }
+
+  void checkBReg(BlockId B, size_t Idx, BReg R, const char *What) {
+    if (R == NoBReg || R >= F.numBRegs())
+      error(B, Idx, std::string("invalid ") + What + " bounds register");
+  }
+
+  void checkTarget(BlockId B, size_t Idx, BlockId T) {
+    if (T >= F.Blocks.size())
+      error(B, Idx, "branch to nonexistent block");
+  }
+
+  void checkType(BlockId B, size_t Idx, const TypeInfo *T,
+                 const char *What) {
+    if (!T)
+      error(B, Idx, std::string("missing ") + What + " type");
+  }
+
+  void verifyBlock(BlockId BId) {
+    const Block &B = F.Blocks[BId];
+    if (B.Instrs.empty()) {
+      error(BId, ~size_t(0), "empty block");
+      return;
+    }
+    if (!B.Instrs.back().isTerminator())
+      error(BId, B.Instrs.size() - 1, "block does not end in a terminator");
+    for (size_t Idx = 0; Idx < B.Instrs.size(); ++Idx) {
+      const Instr &I = B.Instrs[Idx];
+      if (I.isTerminator() && Idx + 1 != B.Instrs.size())
+        error(BId, Idx, "terminator in the middle of a block");
+      verifyInstr(BId, Idx, I);
+    }
+  }
+
+  void verifyInstr(BlockId B, size_t Idx, const Instr &I) {
+    switch (I.Op) {
+    case Opcode::ConstInt:
+    case Opcode::ConstFloat:
+    case Opcode::ConstNull:
+      checkReg(B, Idx, I.Dst, "destination");
+      checkType(B, Idx, I.Type, "constant");
+      break;
+    case Opcode::StringAddr:
+      checkReg(B, Idx, I.Dst, "destination");
+      if (I.Imm >= M.Strings.size())
+        error(B, Idx, "string index out of range");
+      break;
+    case Opcode::GlobalAddr:
+      checkReg(B, Idx, I.Dst, "destination");
+      if (I.Imm >= M.Globals.size())
+        error(B, Idx, "global index out of range");
+      break;
+    case Opcode::SlotAddr:
+      checkReg(B, Idx, I.Dst, "destination");
+      if (I.Imm >= F.Slots.size())
+        error(B, Idx, "slot index out of range");
+      break;
+    case Opcode::Copy:
+      checkReg(B, Idx, I.Dst, "destination");
+      checkReg(B, Idx, I.A, "source");
+      break;
+    case Opcode::Arith:
+    case Opcode::Compare:
+      checkReg(B, Idx, I.Dst, "destination");
+      checkReg(B, Idx, I.A, "lhs");
+      checkReg(B, Idx, I.B, "rhs");
+      checkType(B, Idx, I.Type, "operand");
+      break;
+    case Opcode::Convert:
+      checkReg(B, Idx, I.Dst, "destination");
+      checkReg(B, Idx, I.A, "source");
+      checkType(B, Idx, I.Type, "target");
+      break;
+    case Opcode::PtrCast:
+      checkReg(B, Idx, I.Dst, "destination");
+      checkReg(B, Idx, I.A, "source");
+      checkType(B, Idx, I.Type, "pointee");
+      break;
+    case Opcode::FieldAddr: {
+      checkReg(B, Idx, I.Dst, "destination");
+      checkReg(B, Idx, I.A, "base");
+      checkType(B, Idx, I.Type, "record");
+      const auto *R = dyn_cast_if_present<RecordType>(I.Type);
+      if (!R)
+        error(B, Idx, "field_addr type is not a record");
+      else if (I.Imm >= R->fields().size())
+        error(B, Idx, "field index out of range");
+      break;
+    }
+    case Opcode::IndexAddr:
+    case Opcode::PtrDiff:
+      checkReg(B, Idx, I.Dst, "destination");
+      checkReg(B, Idx, I.A, "base");
+      checkReg(B, Idx, I.B, "index");
+      checkType(B, Idx, I.Type, "element");
+      break;
+    case Opcode::Load:
+      checkReg(B, Idx, I.Dst, "destination");
+      checkReg(B, Idx, I.A, "address");
+      checkType(B, Idx, I.Type, "value");
+      break;
+    case Opcode::Store:
+      checkReg(B, Idx, I.A, "address");
+      checkReg(B, Idx, I.B, "value");
+      checkType(B, Idx, I.Type, "value");
+      break;
+    case Opcode::Malloc:
+      checkReg(B, Idx, I.Dst, "destination");
+      checkReg(B, Idx, I.A, "size");
+      break;
+    case Opcode::Free:
+      checkReg(B, Idx, I.A, "pointer");
+      break;
+    case Opcode::Call: {
+      if (I.Imm >= M.Functions.size()) {
+        error(B, Idx, "callee index out of range");
+        break;
+      }
+      const Function &Callee = *M.Functions[I.Imm];
+      if (I.Args.size() != Callee.Params.size())
+        error(B, Idx, "argument count mismatch");
+      for (Reg A : I.Args)
+        checkReg(B, Idx, A, "argument");
+      if (I.Dst != NoReg)
+        checkReg(B, Idx, I.Dst, "destination");
+      break;
+    }
+    case Opcode::CallBuiltin:
+      if (I.Imm > static_cast<uint64_t>(BuiltinId::PrintStr))
+        error(B, Idx, "unknown builtin");
+      for (Reg A : I.Args)
+        checkReg(B, Idx, A, "argument");
+      break;
+    case Opcode::Ret:
+      if (I.A != NoReg)
+        checkReg(B, Idx, I.A, "return value");
+      else if (F.returnType() && !F.returnType()->isVoid())
+        error(B, Idx, "missing return value in non-void function");
+      break;
+    case Opcode::Br:
+      checkTarget(B, Idx, I.Target0);
+      break;
+    case Opcode::CondBr:
+      checkReg(B, Idx, I.A, "condition");
+      checkTarget(B, Idx, I.Target0);
+      checkTarget(B, Idx, I.Target1);
+      break;
+    case Opcode::TypeCheck:
+      checkReg(B, Idx, I.A, "pointer");
+      checkBReg(B, Idx, I.BDst, "destination");
+      checkType(B, Idx, I.Type, "static");
+      break;
+    case Opcode::BoundsGet:
+      checkReg(B, Idx, I.A, "pointer");
+      checkBReg(B, Idx, I.BDst, "destination");
+      break;
+    case Opcode::BoundsCheck:
+      checkReg(B, Idx, I.A, "pointer");
+      checkBReg(B, Idx, I.BSrc, "source");
+      break;
+    case Opcode::BoundsNarrow:
+      checkReg(B, Idx, I.A, "field address");
+      checkBReg(B, Idx, I.BSrc, "source");
+      checkBReg(B, Idx, I.BDst, "destination");
+      break;
+    case Opcode::WideBounds:
+      checkBReg(B, Idx, I.BDst, "destination");
+      break;
+    }
+  }
+
+  const Function &F;
+  const Module &M;
+  DiagnosticEngine &Diags;
+  bool Ok = true;
+};
+
+} // namespace
+
+bool ir::verifyFunction(const Function &F, const Module &M,
+                        DiagnosticEngine &Diags) {
+  return FunctionVerifier(F, M, Diags).run();
+}
+
+bool ir::verifyModule(const Module &M, DiagnosticEngine &Diags) {
+  bool Ok = true;
+  for (const auto &F : M.Functions)
+    Ok &= verifyFunction(*F, M, Diags);
+  return Ok;
+}

@@ -1,0 +1,33 @@
+//===- ir/Verifier.h - IR structural invariants -----------------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verification of IR modules, run after lowering and again
+/// after instrumentation. Reported problems indicate compiler bugs, not
+/// user errors, so messages name functions and instruction positions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_IR_VERIFIER_H
+#define EFFECTIVE_IR_VERIFIER_H
+
+#include "ir/IR.h"
+
+namespace effective {
+namespace ir {
+
+/// Verifies \p M; appends one error per violation to \p Diags. Returns
+/// true when the module is well-formed.
+bool verifyModule(const Module &M, DiagnosticEngine &Diags);
+
+/// Verifies one function (see verifyModule).
+bool verifyFunction(const Function &F, const Module &M,
+                    DiagnosticEngine &Diags);
+
+} // namespace ir
+} // namespace effective
+
+#endif // EFFECTIVE_IR_VERIFIER_H

@@ -1,0 +1,82 @@
+//===- lowfat/GlobalPool.h - Low-fat global allocation ----------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registration pool for "global" objects, standing in for the low-fat
+/// global allocator of Duck & Yap (the extended low-fat allocator API,
+/// arXiv:1804.04812). The original places program globals into low-fat
+/// regions at link time; here globals are allocated from the low-fat heap
+/// at program/module initialization and are never freed. A registry keeps
+/// name/size records for reflection and tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_LOWFAT_GLOBALPOOL_H
+#define EFFECTIVE_LOWFAT_GLOBALPOOL_H
+
+#include "lowfat/LowFatHeap.h"
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace effective {
+namespace lowfat {
+
+/// One registered global object.
+struct GlobalRecord {
+  void *Address;
+  size_t Size;
+  std::string Name;
+};
+
+/// Allocates never-freed global objects from a LowFatHeap. Thread-safe.
+class GlobalPool {
+public:
+  explicit GlobalPool(LowFatHeap &Heap) : Heap(Heap) {}
+
+  ~GlobalPool() {
+    for (const GlobalRecord &G : Globals)
+      Heap.deallocate(G.Address);
+  }
+
+  GlobalPool(const GlobalPool &) = delete;
+  GlobalPool &operator=(const GlobalPool &) = delete;
+
+  /// Allocates a global object and records it under \p Name.
+  void *allocate(size_t Size, std::string_view Name) {
+    void *Ptr = Heap.allocate(Size);
+    std::lock_guard<std::mutex> Guard(Lock);
+    Globals.push_back(GlobalRecord{Ptr, Size, std::string(Name)});
+    return Ptr;
+  }
+
+  /// Looks up a registered global by name; null if absent.
+  void *lookup(std::string_view Name) const {
+    std::lock_guard<std::mutex> Guard(Lock);
+    for (const GlobalRecord &G : Globals)
+      if (G.Name == Name)
+        return G.Address;
+    return nullptr;
+  }
+
+  /// Number of registered globals.
+  size_t size() const {
+    std::lock_guard<std::mutex> Guard(Lock);
+    return Globals.size();
+  }
+
+private:
+  LowFatHeap &Heap;
+  mutable std::mutex Lock;
+  std::vector<GlobalRecord> Globals;
+};
+
+} // namespace lowfat
+} // namespace effective
+
+#endif // EFFECTIVE_LOWFAT_GLOBALPOOL_H

@@ -1,0 +1,255 @@
+//===- lowfat/LowFatHeap.cpp - Low-fat pointer heap allocator -------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lowfat/LowFatHeap.h"
+
+#include "support/Compiler.h"
+
+#include <bit>
+#include <cassert>
+#include <cstdlib>
+#include <cstring>
+
+#include <sys/mman.h>
+
+using namespace effective;
+using namespace effective::lowfat;
+
+/// Intrusive free-list link. Placed 16 bytes into the block so that the
+/// freed object's META header survives until reallocation (Section 5:
+/// "the low-fat allocator has also been modified to ensure that the meta
+/// data will be preserved until the memory is reallocated").
+struct LowFatHeap::FreeNode {
+  FreeNode *Next;
+};
+
+/// Byte offset of the intrusive link inside a free block.
+static constexpr size_t FreeLinkOffset = 16;
+
+static_assert(MinClassSize >= FreeLinkOffset + sizeof(void *),
+              "smallest class must fit META header plus free-list link");
+
+LowFatHeap::LowFatHeap(const HeapOptions &Options) {
+  assert(std::has_single_bit(Options.RegionSize) &&
+         "region size must be a power of two");
+  QuarantineLimit = Options.QuarantineBytes;
+
+  // Reserve the arena; retry with smaller regions if the reservation is
+  // refused. MAP_NORESERVE keeps untouched pages free of charge.
+  uint64_t TryRegion = Options.RegionSize;
+  void *Arena = MAP_FAILED;
+  while (TryRegion >= (1ull << 26)) {
+    ArenaBytes = TryRegion * NumSizeClasses;
+    Arena = ::mmap(nullptr, ArenaBytes, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+    if (Arena != MAP_FAILED)
+      break;
+    TryRegion >>= 1;
+  }
+  if (Arena == MAP_FAILED) {
+    std::fprintf(stderr,
+                 "FATAL: low-fat heap: cannot reserve arena (%zu bytes)\n",
+                 ArenaBytes);
+    std::abort();
+  }
+  RegionSize = TryRegion;
+  RegionShift = static_cast<unsigned>(std::countr_zero(RegionSize));
+  ArenaBase = reinterpret_cast<uintptr_t>(Arena);
+  ArenaEnd = ArenaBase + ArenaBytes;
+
+  for (unsigned I = 0; I < NumSizeClasses; ++I) {
+    Region &R = Regions[I];
+    R.Begin = ArenaBase + static_cast<uintptr_t>(I) * RegionSize;
+    R.End = R.Begin + RegionSize;
+    R.Bump.store(R.Begin, std::memory_order_relaxed);
+  }
+}
+
+LowFatHeap::~LowFatHeap() {
+  ::munmap(reinterpret_cast<void *>(ArenaBase), ArenaBytes);
+  for (auto &Entry : LegacyAllocs)
+    std::free(Entry.first);
+}
+
+LowFatHeap &LowFatHeap::global() {
+  static LowFatHeap Heap;
+  return Heap;
+}
+
+void LowFatHeap::noteAlloc(size_t Block, bool Legacy) {
+  std::lock_guard<std::mutex> Guard(StatsLock);
+  Stats.BlockBytesInUse += Block;
+  ++Stats.NumAllocs;
+  if (Legacy)
+    ++Stats.NumLegacyAllocs;
+  if (Stats.BlockBytesInUse > Stats.PeakBlockBytesInUse)
+    Stats.PeakBlockBytesInUse = Stats.BlockBytesInUse;
+}
+
+void LowFatHeap::noteFree(size_t Block) {
+  std::lock_guard<std::mutex> Guard(StatsLock);
+  assert(Stats.BlockBytesInUse >= Block && "free underflow");
+  Stats.BlockBytesInUse -= Block;
+  ++Stats.NumFrees;
+}
+
+void *LowFatHeap::allocate(size_t Size) {
+  if (Size == 0)
+    Size = 1;
+  if (Size > MaxClassSize || Size > RegionSize)
+    return allocateLegacy(Size);
+
+  unsigned ClassIndex = sizeToClass(Size);
+  uint64_t Block = classSize(ClassIndex);
+  Region &R = Regions[ClassIndex];
+
+  void *Result = nullptr;
+  {
+    std::lock_guard<std::mutex> Guard(R.Lock);
+    if (R.FreeList) {
+      FreeNode *Node = R.FreeList;
+      R.FreeList = Node->Next;
+      Result = reinterpret_cast<char *>(Node) - FreeLinkOffset;
+    } else {
+      uintptr_t Bump = R.Bump.load(std::memory_order_relaxed);
+      if (Bump + Block <= R.End) {
+        Result = reinterpret_cast<void *>(Bump);
+        R.Bump.store(Bump + Block, std::memory_order_release);
+      }
+    }
+  }
+  if (EFFSAN_UNLIKELY(!Result))
+    return allocateLegacy(Size); // Region exhausted.
+
+  noteAlloc(Block, /*Legacy=*/false);
+  return Result;
+}
+
+void *LowFatHeap::allocateLegacy(size_t Size) {
+  void *Ptr = std::malloc(Size);
+  if (!Ptr) {
+    std::fprintf(stderr, "FATAL: low-fat heap: out of memory (%zu bytes)\n",
+                 Size);
+    std::abort();
+  }
+  {
+    std::lock_guard<std::mutex> Guard(LegacyLock);
+    LegacyAllocs.emplace(Ptr, Size);
+  }
+  noteAlloc(Size, /*Legacy=*/true);
+  return Ptr;
+}
+
+bool LowFatHeap::deallocateLegacy(void *Ptr) {
+  size_t Size;
+  {
+    std::lock_guard<std::mutex> Guard(LegacyLock);
+    auto It = LegacyAllocs.find(Ptr);
+    if (It == LegacyAllocs.end())
+      return false;
+    Size = It->second;
+    LegacyAllocs.erase(It);
+  }
+  std::free(Ptr);
+  noteFree(Size);
+  return true;
+}
+
+void LowFatHeap::reclaim(void *Ptr, unsigned ClassIndex) {
+  Region &R = Regions[ClassIndex];
+  auto *Node = reinterpret_cast<FreeNode *>(static_cast<char *>(Ptr) +
+                                            FreeLinkOffset);
+  std::lock_guard<std::mutex> Guard(R.Lock);
+  Node->Next = R.FreeList;
+  R.FreeList = Node;
+}
+
+void LowFatHeap::deallocate(void *Ptr) {
+  if (!Ptr)
+    return;
+  if (!isLowFat(Ptr)) {
+    bool Known = deallocateLegacy(Ptr);
+    assert(Known && "deallocate of pointer not owned by this heap");
+    (void)Known;
+    return;
+  }
+  assert(Ptr == allocationBase(Ptr) &&
+         "deallocate of an interior pointer");
+  unsigned ClassIndex = allocationClass(Ptr);
+  uint64_t Block = classSize(ClassIndex);
+  noteFree(Block);
+
+  if (QuarantineLimit == 0) {
+    reclaim(Ptr, ClassIndex);
+    return;
+  }
+
+  // FIFO quarantine: park the block and evict the oldest blocks once the
+  // byte budget is exceeded.
+  std::lock_guard<std::mutex> Guard(QuarantineLock);
+  Quarantine.emplace_back(Ptr, ClassIndex);
+  QuarantineBytes.fetch_add(Block, std::memory_order_relaxed);
+  while (QuarantineBytes.load(std::memory_order_relaxed) > QuarantineLimit &&
+         !Quarantine.empty()) {
+    auto [Oldest, OldClass] = Quarantine.front();
+    Quarantine.pop_front();
+    QuarantineBytes.fetch_sub(classSize(OldClass),
+                              std::memory_order_relaxed);
+    reclaim(Oldest, OldClass);
+  }
+}
+
+bool LowFatHeap::isLowFat(const void *Ptr) const {
+  uintptr_t P = reinterpret_cast<uintptr_t>(Ptr);
+  if (P < ArenaBase || P >= ArenaEnd)
+    return false;
+  // Only the already-allocated prefix of a region contains objects; a
+  // pointer at or beyond the bump pointer was never handed out and is
+  // treated as legacy (a hardening refinement over the original
+  // allocator, which cannot make this distinction). This also means a
+  // one-past-the-end pointer of the newest block degrades gracefully to
+  // legacy (wide bounds) rather than resolving to an unallocated block.
+  const Region &R = Regions[regionIndexFor(P)];
+  return P < R.Bump.load(std::memory_order_acquire);
+}
+
+size_t LowFatHeap::allocationSize(const void *Ptr) const {
+  uintptr_t P = reinterpret_cast<uintptr_t>(Ptr);
+  if (!isLowFat(Ptr))
+    return SIZE_MAX;
+  return classSize(regionIndexFor(P));
+}
+
+void *LowFatHeap::allocationBase(const void *Ptr) const {
+  uintptr_t P = reinterpret_cast<uintptr_t>(Ptr);
+  if (!isLowFat(Ptr))
+    return nullptr;
+  unsigned ClassIndex = regionIndexFor(P);
+  const Region &R = Regions[ClassIndex];
+  uint64_t Offset = P - R.Begin;
+  uint64_t Base = Offset - classModulo(ClassIndex, Offset);
+  // A pointer one-past-the-end of block N computes as the base of block
+  // N+1; that is the correct allocation for derived-pointer checks only
+  // if N+1 was allocated, which isLowFat() already established.
+  return reinterpret_cast<void *>(R.Begin + Base);
+}
+
+unsigned LowFatHeap::allocationClass(const void *Ptr) const {
+  assert(isLowFat(Ptr) && "allocationClass on legacy pointer");
+  return regionIndexFor(reinterpret_cast<uintptr_t>(Ptr));
+}
+
+HeapStats LowFatHeap::stats() const {
+  std::lock_guard<std::mutex> Guard(StatsLock);
+  HeapStats Copy = Stats;
+  Copy.QuarantinedBytes = QuarantineBytes.load(std::memory_order_relaxed);
+  return Copy;
+}
+
+void LowFatHeap::resetPeaks() {
+  std::lock_guard<std::mutex> Guard(StatsLock);
+  Stats.PeakBlockBytesInUse = Stats.BlockBytesInUse;
+}

@@ -1,0 +1,178 @@
+//===- lowfat/LowFatHeap.h - Low-fat pointer heap allocator -----*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A user-space reimplementation of the low-fat pointer heap allocator
+/// (Duck & Yap, "Heap Bounds Protection with Low Fat Pointers", CC 2016):
+/// one large virtual-memory arena is reserved up front and subdivided into
+/// one region per size class. An allocation of class C is placed at a
+/// multiple of classSize(C) bytes from the base of region C, so that for
+/// any interior pointer p:
+///
+///   size(p) = classSize((p - ArenaBase) / RegionSize)          -- O(1)
+///   base(p) = p - ((p - regionBase) mod classSize)             -- O(1)
+///
+/// Pointers outside the arena are "legacy" pointers: size(p) = SIZE_MAX
+/// and base(p) = nullptr, exactly the compatibility contract of Section 5
+/// of the EffectiveSan paper. Requests larger than the largest class fall
+/// back to the system allocator and therefore yield legacy pointers.
+///
+/// The allocator guarantees that the first 16 bytes of a freed block (the
+/// object META header, Section 5) are preserved until the block is
+/// reallocated: intrusive free-list links are stored at byte offset 16.
+/// An optional FIFO quarantine delays reuse of freed blocks, the same
+/// mitigation AddressSanitizer employs (discussed in Section 2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_LOWFAT_LOWFATHEAP_H
+#define EFFECTIVE_LOWFAT_LOWFATHEAP_H
+
+#include "lowfat/SizeClass.h"
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+namespace effective {
+namespace lowfat {
+
+/// Construction-time options for a LowFatHeap.
+struct HeapOptions {
+  /// Bytes of virtual address space reserved per size-class region.
+  /// Must be a power of two.
+  uint64_t RegionSize = 1ull << 29;
+
+  /// Maximum bytes of freed blocks held in quarantine before reuse;
+  /// 0 disables the quarantine.
+  size_t QuarantineBytes = 0;
+};
+
+/// Point-in-time allocator statistics. The heap tracks block (size-class
+/// rounded) bytes — the real memory footprint; requested-byte accounting
+/// lives in the typed runtime, which knows each object's META header.
+struct HeapStats {
+  /// Block bytes currently live.
+  uint64_t BlockBytesInUse = 0;
+  /// High-water mark of BlockBytesInUse.
+  uint64_t PeakBlockBytesInUse = 0;
+  uint64_t NumAllocs = 0;
+  uint64_t NumFrees = 0;
+  /// Allocations that fell back to the system allocator.
+  uint64_t NumLegacyAllocs = 0;
+  /// Bytes currently parked in the quarantine.
+  uint64_t QuarantinedBytes = 0;
+};
+
+/// The low-fat heap. Thread-safe: each region has its own lock and the
+/// size/base queries are lock-free reads.
+class LowFatHeap {
+public:
+  explicit LowFatHeap(const HeapOptions &Options = HeapOptions());
+  ~LowFatHeap();
+
+  LowFatHeap(const LowFatHeap &) = delete;
+  LowFatHeap &operator=(const LowFatHeap &) = delete;
+
+  /// Allocates \p Size bytes (never returns null; aborts on OOM). The
+  /// result is a low-fat pointer unless \p Size exceeds the largest size
+  /// class, in which case it is a legacy pointer.
+  void *allocate(size_t Size);
+
+  /// Frees a pointer previously returned by allocate(). Interior
+  /// pointers are rejected by assertion. The first 16 bytes of the block
+  /// remain intact until the block is handed out again.
+  void deallocate(void *Ptr);
+
+  /// Returns true if \p Ptr points into the low-fat arena (including
+  /// one-past-the-end of an allocated block).
+  bool isLowFat(const void *Ptr) const;
+
+  /// True if \p Ptr lies anywhere inside the reserved arena. The whole
+  /// arena is demand-paged read/write, so accesses inside it are
+  /// host-safe even when they are program errors — which is what lets
+  /// the interpreter keep executing after logging an error, as the
+  /// paper's logging mode does.
+  bool isInArena(const void *Ptr) const {
+    uintptr_t P = reinterpret_cast<uintptr_t>(Ptr);
+    return P >= ArenaBase && P < ArenaEnd;
+  }
+
+  /// The paper's size(p): the allocation (size-class) size for low-fat
+  /// pointers, SIZE_MAX for legacy pointers.
+  size_t allocationSize(const void *Ptr) const;
+
+  /// The paper's base(p): the start of the allocated block for low-fat
+  /// pointers, nullptr for legacy pointers.
+  void *allocationBase(const void *Ptr) const;
+
+  /// Size class index for a low-fat pointer. \pre isLowFat(Ptr).
+  unsigned allocationClass(const void *Ptr) const;
+
+  /// Snapshot of the statistics.
+  HeapStats stats() const;
+
+  /// Resets the peak counters to the current values (used between
+  /// benchmark phases).
+  void resetPeaks();
+
+  /// The region size this heap actually reserved (options may be reduced
+  /// if the initial reservation fails).
+  uint64_t regionSize() const { return RegionSize; }
+
+  /// The process-wide heap used by the EffectiveSan runtime.
+  static LowFatHeap &global();
+
+private:
+  struct FreeNode;
+
+  /// Per-size-class region state.
+  struct Region {
+    std::mutex Lock;
+    /// Next never-allocated address (absolute). Atomic so isLowFat() can
+    /// read it without taking Lock.
+    std::atomic<uintptr_t> Bump{0};
+    uintptr_t Begin = 0;
+    uintptr_t End = 0;
+    FreeNode *FreeList = nullptr;
+  };
+
+  void *allocateLegacy(size_t Size);
+  bool deallocateLegacy(void *Ptr);
+  void reclaim(void *Ptr, unsigned ClassIndex);
+  void noteAlloc(size_t Block, bool Legacy);
+  void noteFree(size_t Block);
+
+  unsigned regionIndexFor(uintptr_t P) const {
+    return static_cast<unsigned>((P - ArenaBase) >> RegionShift);
+  }
+
+  uint64_t RegionSize = 0;
+  unsigned RegionShift = 0;
+  uintptr_t ArenaBase = 0;
+  uintptr_t ArenaEnd = 0;
+  size_t ArenaBytes = 0;
+  Region Regions[NumSizeClasses];
+
+  size_t QuarantineLimit = 0;
+  mutable std::mutex QuarantineLock;
+  std::deque<std::pair<void *, unsigned>> Quarantine;
+  std::atomic<uint64_t> QuarantineBytes{0};
+
+  mutable std::mutex LegacyLock;
+  std::unordered_map<void *, size_t> LegacyAllocs;
+
+  mutable std::mutex StatsLock;
+  HeapStats Stats;
+};
+
+} // namespace lowfat
+} // namespace effective
+
+#endif // EFFECTIVE_LOWFAT_LOWFATHEAP_H

@@ -1,0 +1,48 @@
+//===- lowfat/SizeClass.cpp - Low-fat allocation size classes -------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lowfat/SizeClass.h"
+
+#include <bit>
+#include <cassert>
+
+using namespace effective;
+using namespace effective::lowfat;
+
+static constexpr SizeClass makeClass(uint64_t Size) {
+  return SizeClass{Size, ~0ull / Size + 1};
+}
+
+/// Builds the class table: for exponent e in [5, 25] the classes 2^e and
+/// 3*2^(e-1) (its 1.5x midpoint), then the final 2^26. Evaluated at
+/// compile time, so no static constructor is emitted.
+static constexpr std::array<SizeClass, NumSizeClasses> buildTable() {
+  std::array<SizeClass, NumSizeClasses> Table{};
+  unsigned Out = 0;
+  for (unsigned E = 5; E <= 25; ++E) {
+    Table[Out++] = makeClass(1ull << E);
+    Table[Out++] = makeClass(3ull << (E - 1));
+  }
+  Table[Out++] = makeClass(1ull << 26);
+  return Table;
+}
+
+constexpr std::array<SizeClass, NumSizeClasses>
+    effective::lowfat::SizeClasses = buildTable();
+
+unsigned effective::lowfat::sizeToClass(size_t Bytes) {
+  assert(Bytes <= MaxClassSize && "request exceeds largest size class");
+  if (Bytes <= MinClassSize)
+    return 0;
+  // Smallest E with 2^E >= Bytes.
+  unsigned E = 64 - std::countl_zero(static_cast<uint64_t>(Bytes - 1));
+  // The midpoint class 3*2^(E-2) lies between 2^(E-1) and 2^E; prefer it
+  // when it is large enough (it belongs to exponent pair E-1).
+  uint64_t Midpoint = 3ull << (E - 2);
+  if (Bytes <= Midpoint)
+    return 2 * (E - 1 - 5) + 1;
+  return 2 * (E - 5);
+}

@@ -1,0 +1,95 @@
+//===- lowfat/StackPool.h - Low-fat stack allocation ------------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LIFO stack allocation on top of the low-fat heap, standing in for the
+/// native low-fat stack allocator of Duck, Yap & Cavallaro (NDSS 2017).
+/// The original aliases the machine stack onto size-class regions with
+/// virtual-memory tricks; here each stack object is a heap block with
+/// strict frame (mark/release) discipline, which preserves the property
+/// the EffectiveSan runtime needs: every stack object is a low-fat
+/// allocation with O(1) size(p)/base(p) and a META header slot.
+///
+/// The typed runtime wraps this class: before release() it walks
+/// blocksSince(Mark) to rebind each META header to the FREE type.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_LOWFAT_STACKPOOL_H
+#define EFFECTIVE_LOWFAT_STACKPOOL_H
+
+#include "lowfat/LowFatHeap.h"
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace effective {
+namespace lowfat {
+
+/// Per-thread LIFO allocator over a LowFatHeap. Not thread-safe; create
+/// one per thread (the EffectiveSan runtime keeps one in TLS).
+class StackPool {
+public:
+  explicit StackPool(LowFatHeap &Heap) : Heap(Heap) {}
+
+  ~StackPool() { release(0); }
+
+  StackPool(const StackPool &) = delete;
+  StackPool &operator=(const StackPool &) = delete;
+
+  /// Current frame mark; pass to release() to free everything allocated
+  /// after this point.
+  size_t mark() const { return Live.size(); }
+
+  /// Allocates one stack object of \p Size bytes.
+  void *allocate(size_t Size) {
+    void *Ptr = Heap.allocate(Size);
+    Live.push_back(Ptr);
+    return Ptr;
+  }
+
+  /// The blocks allocated since \p Mark, oldest first.
+  std::span<void *const> blocksSince(size_t Mark) const {
+    return std::span<void *const>(Live).subspan(Mark);
+  }
+
+  /// Frees all blocks allocated after \p Mark (in reverse order).
+  void release(size_t Mark) {
+    while (Live.size() > Mark) {
+      Heap.deallocate(Live.back());
+      Live.pop_back();
+    }
+  }
+
+  /// Number of live stack objects.
+  size_t liveObjects() const { return Live.size(); }
+
+  /// RAII frame: releases on scope exit.
+  class Frame {
+  public:
+    explicit Frame(StackPool &Pool) : Pool(Pool), Mark(Pool.mark()) {}
+    ~Frame() { Pool.release(Mark); }
+
+    Frame(const Frame &) = delete;
+    Frame &operator=(const Frame &) = delete;
+
+    size_t markValue() const { return Mark; }
+
+  private:
+    StackPool &Pool;
+    size_t Mark;
+  };
+
+private:
+  LowFatHeap &Heap;
+  std::vector<void *> Live;
+};
+
+} // namespace lowfat
+} // namespace effective
+
+#endif // EFFECTIVE_LOWFAT_STACKPOOL_H

@@ -1,0 +1,332 @@
+//===- minic/Lexer.cpp - MiniC lexer --------------------------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minic/Lexer.h"
+
+#include "support/Compiler.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+using namespace effective;
+using namespace effective::minic;
+
+std::string_view effective::minic::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Eof:
+    return "end of file";
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::IntLiteral:
+    return "integer literal";
+  case TokenKind::FloatLiteral:
+    return "floating literal";
+  case TokenKind::CharLiteral:
+    return "character literal";
+  case TokenKind::StringLiteral:
+    return "string literal";
+  case TokenKind::KwStruct:
+    return "'struct'";
+  case TokenKind::KwUnion:
+    return "'union'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LBracket:
+    return "'['";
+  case TokenKind::RBracket:
+    return "']'";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Equal:
+    return "'='";
+  default:
+    return "token";
+  }
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+bool Lexer::match(char Expected) {
+  if (peek() != Expected)
+    return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  for (;;) {
+    char C = peek();
+    if (C == ' ' || C == '\t' || C == '\r' || C == '\n') {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (peek() != '\n' && peek() != '\0')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      SourceLoc Start = location();
+      advance();
+      advance();
+      while (!(peek() == '*' && peek(1) == '/')) {
+        if (peek() == '\0') {
+          Diags.error(Start, "unterminated block comment");
+          return;
+        }
+        advance();
+      }
+      advance();
+      advance();
+      continue;
+    }
+    return;
+  }
+}
+
+Token Lexer::makeToken(TokenKind Kind, size_t Begin, SourceLoc Loc) const {
+  Token T;
+  T.Kind = Kind;
+  T.Text = Source.substr(Begin, Pos - Begin);
+  T.Loc = Loc;
+  return T;
+}
+
+Token Lexer::lexIdentifierOrKeyword(SourceLoc Loc) {
+  size_t Begin = Pos;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+    advance();
+  Token T = makeToken(TokenKind::Identifier, Begin, Loc);
+
+  struct Keyword {
+    std::string_view Text;
+    TokenKind Kind;
+  };
+  static constexpr Keyword Keywords[] = {
+      {"int", TokenKind::KwInt},         {"char", TokenKind::KwChar},
+      {"float", TokenKind::KwFloat},     {"double", TokenKind::KwDouble},
+      {"long", TokenKind::KwLong},       {"short", TokenKind::KwShort},
+      {"void", TokenKind::KwVoid},       {"unsigned", TokenKind::KwUnsigned},
+      {"signed", TokenKind::KwSigned},   {"struct", TokenKind::KwStruct},
+      {"union", TokenKind::KwUnion},     {"sizeof", TokenKind::KwSizeof},
+      {"if", TokenKind::KwIf},           {"else", TokenKind::KwElse},
+      {"while", TokenKind::KwWhile},     {"for", TokenKind::KwFor},
+      {"return", TokenKind::KwReturn},   {"break", TokenKind::KwBreak},
+      {"continue", TokenKind::KwContinue},
+      {"NULL", TokenKind::KwNull},
+  };
+  for (const Keyword &K : Keywords) {
+    if (T.Text == K.Text) {
+      T.Kind = K.Kind;
+      break;
+    }
+  }
+  return T;
+}
+
+Token Lexer::lexNumber(SourceLoc Loc) {
+  size_t Begin = Pos;
+  bool IsFloat = false;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    advance();
+    advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek())))
+      advance();
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek())))
+      advance();
+    if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+      IsFloat = true;
+      advance();
+      while (std::isdigit(static_cast<unsigned char>(peek())))
+        advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      char Next = peek(1);
+      if (std::isdigit(static_cast<unsigned char>(Next)) || Next == '-' ||
+          Next == '+') {
+        IsFloat = true;
+        advance();
+        if (peek() == '-' || peek() == '+')
+          advance();
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+          advance();
+      }
+    }
+  }
+  Token T = makeToken(IsFloat ? TokenKind::FloatLiteral
+                              : TokenKind::IntLiteral,
+                      Begin, Loc);
+  std::string Text(T.Text);
+  if (IsFloat)
+    T.FloatValue = std::strtod(Text.c_str(), nullptr);
+  else
+    T.IntValue = std::strtoull(Text.c_str(), nullptr, 0);
+  return T;
+}
+
+static char decodeEscape(char C) {
+  switch (C) {
+  case 'n':
+    return '\n';
+  case 't':
+    return '\t';
+  case 'r':
+    return '\r';
+  case '0':
+    return '\0';
+  case '\\':
+    return '\\';
+  case '\'':
+    return '\'';
+  case '"':
+    return '"';
+  default:
+    return C;
+  }
+}
+
+Token Lexer::lexCharLiteral(SourceLoc Loc) {
+  size_t Begin = Pos;
+  advance(); // opening quote
+  char Value = 0;
+  if (peek() == '\\') {
+    advance();
+    Value = decodeEscape(advance());
+  } else if (peek() != '\0') {
+    Value = advance();
+  }
+  if (!match('\''))
+    Diags.error(Loc, "unterminated character literal");
+  Token T = makeToken(TokenKind::CharLiteral, Begin, Loc);
+  T.IntValue = static_cast<unsigned char>(Value);
+  return T;
+}
+
+Token Lexer::lexStringLiteral(SourceLoc Loc) {
+  size_t Begin = Pos;
+  advance(); // opening quote
+  while (peek() != '"' && peek() != '\0') {
+    if (peek() == '\\')
+      advance();
+    advance();
+  }
+  if (!match('"'))
+    Diags.error(Loc, "unterminated string literal");
+  return makeToken(TokenKind::StringLiteral, Begin, Loc);
+}
+
+Token Lexer::next() {
+  skipWhitespaceAndComments();
+  SourceLoc Loc = location();
+  char C = peek();
+  if (C == '\0')
+    return makeToken(TokenKind::Eof, Pos, Loc);
+  if (std::isalpha(static_cast<unsigned char>(C)) || C == '_')
+    return lexIdentifierOrKeyword(Loc);
+  if (std::isdigit(static_cast<unsigned char>(C)))
+    return lexNumber(Loc);
+  if (C == '\'')
+    return lexCharLiteral(Loc);
+  if (C == '"')
+    return lexStringLiteral(Loc);
+
+  size_t Begin = Pos;
+  advance();
+  switch (C) {
+  case '(':
+    return makeToken(TokenKind::LParen, Begin, Loc);
+  case ')':
+    return makeToken(TokenKind::RParen, Begin, Loc);
+  case '{':
+    return makeToken(TokenKind::LBrace, Begin, Loc);
+  case '}':
+    return makeToken(TokenKind::RBrace, Begin, Loc);
+  case '[':
+    return makeToken(TokenKind::LBracket, Begin, Loc);
+  case ']':
+    return makeToken(TokenKind::RBracket, Begin, Loc);
+  case ';':
+    return makeToken(TokenKind::Semicolon, Begin, Loc);
+  case ',':
+    return makeToken(TokenKind::Comma, Begin, Loc);
+  case '.':
+    return makeToken(TokenKind::Dot, Begin, Loc);
+  case '~':
+    return makeToken(TokenKind::Tilde, Begin, Loc);
+  case '^':
+    return makeToken(TokenKind::Caret, Begin, Loc);
+  case '+':
+    if (match('+'))
+      return makeToken(TokenKind::PlusPlus, Begin, Loc);
+    if (match('='))
+      return makeToken(TokenKind::PlusEqual, Begin, Loc);
+    return makeToken(TokenKind::Plus, Begin, Loc);
+  case '-':
+    if (match('>'))
+      return makeToken(TokenKind::Arrow, Begin, Loc);
+    if (match('-'))
+      return makeToken(TokenKind::MinusMinus, Begin, Loc);
+    if (match('='))
+      return makeToken(TokenKind::MinusEqual, Begin, Loc);
+    return makeToken(TokenKind::Minus, Begin, Loc);
+  case '*':
+    return makeToken(TokenKind::Star, Begin, Loc);
+  case '/':
+    return makeToken(TokenKind::Slash, Begin, Loc);
+  case '%':
+    return makeToken(TokenKind::Percent, Begin, Loc);
+  case '&':
+    if (match('&'))
+      return makeToken(TokenKind::AmpAmp, Begin, Loc);
+    return makeToken(TokenKind::Amp, Begin, Loc);
+  case '|':
+    if (match('|'))
+      return makeToken(TokenKind::PipePipe, Begin, Loc);
+    return makeToken(TokenKind::Pipe, Begin, Loc);
+  case '!':
+    if (match('='))
+      return makeToken(TokenKind::ExclaimEqual, Begin, Loc);
+    return makeToken(TokenKind::Exclaim, Begin, Loc);
+  case '=':
+    if (match('='))
+      return makeToken(TokenKind::EqualEqual, Begin, Loc);
+    return makeToken(TokenKind::Equal, Begin, Loc);
+  case '<':
+    if (match('='))
+      return makeToken(TokenKind::LessEqual, Begin, Loc);
+    if (match('<'))
+      return makeToken(TokenKind::LessLess, Begin, Loc);
+    return makeToken(TokenKind::Less, Begin, Loc);
+  case '>':
+    if (match('='))
+      return makeToken(TokenKind::GreaterEqual, Begin, Loc);
+    if (match('>'))
+      return makeToken(TokenKind::GreaterGreater, Begin, Loc);
+    return makeToken(TokenKind::Greater, Begin, Loc);
+  default:
+    Diags.error(Loc, "unexpected character '" + std::string(1, C) + "'");
+    return next();
+  }
+}

@@ -1,0 +1,58 @@
+//===- minic/Lexer.h - MiniC lexer ------------------------------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written lexer for MiniC. Supports // and /* */ comments,
+/// decimal/hex integer literals, floating literals, character and
+/// string literals with the common escapes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_MINIC_LEXER_H
+#define EFFECTIVE_MINIC_LEXER_H
+
+#include "minic/Token.h"
+
+namespace effective {
+namespace minic {
+
+/// Tokenizes one source buffer. The buffer must outlive the lexer and
+/// all tokens (token text is a view into it).
+class Lexer {
+public:
+  Lexer(std::string_view Source, DiagnosticEngine &Diags)
+      : Source(Source), Diags(Diags) {}
+
+  /// Lexes the next token (Eof at end; errors produce diagnostics and
+  /// skip the offending character).
+  Token next();
+
+private:
+  char peek(unsigned Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  bool match(char Expected);
+  void skipWhitespaceAndComments();
+  SourceLoc location() const { return SourceLoc{Line, Column}; }
+
+  Token makeToken(TokenKind Kind, size_t Begin, SourceLoc Loc) const;
+  Token lexIdentifierOrKeyword(SourceLoc Loc);
+  Token lexNumber(SourceLoc Loc);
+  Token lexCharLiteral(SourceLoc Loc);
+  Token lexStringLiteral(SourceLoc Loc);
+
+  std::string_view Source;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace minic
+} // namespace effective
+
+#endif // EFFECTIVE_MINIC_LEXER_H

@@ -1,0 +1,493 @@
+//===- minic/Sema.cpp - MiniC semantic analysis ---------------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minic/Sema.h"
+
+#include "support/Compiler.h"
+
+using namespace effective;
+using namespace effective::minic;
+
+//===----------------------------------------------------------------------===//
+// Scopes
+//===----------------------------------------------------------------------===//
+
+void Sema::pushScope() { Scopes.emplace_back(); }
+
+void Sema::popScope() { Scopes.pop_back(); }
+
+VarDecl *Sema::lookupVar(std::string_view Name) const {
+  for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+    auto Found = It->find(Name);
+    if (Found != It->end())
+      return Found->second;
+  }
+  return nullptr;
+}
+
+void Sema::declareVar(VarDecl *D) {
+  auto &Scope = Scopes.back();
+  if (Scope.count(D->name()))
+    Diags.error(D->loc(),
+                "redefinition of '" + std::string(D->name()) + "'");
+  Scope[D->name()] = D;
+}
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+const TypeInfo *Sema::decay(const TypeInfo *T) {
+  if (const auto *A = dyn_cast<ArrayType>(T))
+    return Ctx.types().getPointer(A->element());
+  return T;
+}
+
+const TypeInfo *Sema::arithCommonType(const TypeInfo *A,
+                                      const TypeInfo *B) {
+  TypeContext &Types = Ctx.types();
+  if (A->kind() == TypeKind::LongDouble || B->kind() == TypeKind::LongDouble)
+    return Types.getLongDouble();
+  if (A->kind() == TypeKind::Double || B->kind() == TypeKind::Double)
+    return Types.getDouble();
+  if (A->kind() == TypeKind::Float || B->kind() == TypeKind::Float)
+    return Types.getFloat();
+  // Integers: promote to the larger, preferring the unsigned variant on
+  // ties (a simplification of the C rules).
+  const TypeInfo *Winner = A->size() >= B->size() ? A : B;
+  if (Winner->size() < Types.getInt()->size())
+    return Types.getInt();
+  return Winner;
+}
+
+bool Sema::assignable(const TypeInfo *To, const TypeInfo *From) {
+  if (To == From)
+    return true;
+  bool ToNum = To->isInteger() || To->isFloating();
+  bool FromNum = From->isInteger() || From->isFloating();
+  if (ToNum && FromNum)
+    return true;
+  // C-style permissive pointer assignments (the dynamic checks will
+  // catch actual misuse at runtime, which is the whole point).
+  if (To->isPointer() && (From->isPointer() || From->isInteger()))
+    return true;
+  if (To->isInteger() && From->isPointer())
+    return true;
+  return false;
+}
+
+void Sema::inferMallocType(Expr *Value, const TypeInfo *TargetType) {
+  auto *M = dyn_cast_if_present<MallocExpr>(Value);
+  if (!M || M->allocType())
+    return;
+  const auto *PT = dyn_cast<PointerType>(TargetType);
+  if (!PT || PT->pointee()->isVoid())
+    return;
+  M->setAllocType(PT->pointee());
+  M->setType(TargetType);
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+const TypeInfo *Sema::checkExpr(Expr *E) {
+  TypeContext &Types = Ctx.types();
+  switch (E->kind()) {
+  case ExprKind::IntLiteral: {
+    auto *Lit = cast<IntLiteralExpr>(E);
+    E->setType(Lit->value() > 0x7fffffffull ? Types.getLong()
+                                            : Types.getInt());
+    break;
+  }
+  case ExprKind::FloatLiteral:
+    E->setType(Types.getDouble());
+    break;
+  case ExprKind::StringLiteral: {
+    auto *S = cast<StringLiteralExpr>(E);
+    E->setType(Types.getArray(Types.getChar(), S->bytes().size() + 1));
+    break;
+  }
+  case ExprKind::Null:
+    E->setType(Types.getPointer(Types.getVoid()));
+    break;
+  case ExprKind::VarRef: {
+    auto *Ref = cast<VarRefExpr>(E);
+    VarDecl *D = lookupVar(Ref->name());
+    if (!D) {
+      Diags.error(E->loc(), "use of undeclared identifier '" +
+                                std::string(Ref->name()) + "'");
+      E->setType(Types.getInt());
+      break;
+    }
+    Ref->setDecl(D);
+    E->setType(D->type());
+    E->setLValue(true);
+    break;
+  }
+  case ExprKind::Unary:
+    E->setType(checkUnary(cast<UnaryExpr>(E)));
+    break;
+  case ExprKind::Binary:
+    E->setType(checkBinary(cast<BinaryExpr>(E)));
+    break;
+  case ExprKind::Assign:
+    E->setType(checkAssign(cast<AssignExpr>(E)));
+    break;
+  case ExprKind::Index:
+    E->setType(checkIndex(cast<IndexExpr>(E)));
+    E->setLValue(true);
+    break;
+  case ExprKind::Member:
+    E->setType(checkMember(cast<MemberExpr>(E)));
+    E->setLValue(true);
+    break;
+  case ExprKind::Call:
+    E->setType(checkCall(cast<CallExpr>(E)));
+    break;
+  case ExprKind::Cast:
+    E->setType(checkCast(cast<CastExpr>(E)));
+    break;
+  case ExprKind::SizeofType:
+    E->setType(Types.getULong());
+    break;
+  case ExprKind::Malloc: {
+    auto *M = cast<MallocExpr>(E);
+    checkExpr(M->size());
+    if (!M->size()->type()->isInteger())
+      Diags.error(E->loc(), "malloc size must be an integer");
+    E->setType(Types.getPointer(Types.getVoid()));
+    break;
+  }
+  case ExprKind::Free: {
+    auto *F = cast<FreeExpr>(E);
+    const TypeInfo *T = decay(checkExpr(F->ptr()));
+    if (!T->isPointer())
+      Diags.error(E->loc(), "free requires a pointer");
+    E->setType(Types.getVoid());
+    break;
+  }
+  }
+  assert(E->type() && "expression not typed");
+  return E->type();
+}
+
+const TypeInfo *Sema::checkUnary(UnaryExpr *E) {
+  TypeContext &Types = Ctx.types();
+  const TypeInfo *Sub = checkExpr(E->sub());
+  switch (E->op()) {
+  case UnaryOp::Neg:
+  case UnaryOp::BitNot:
+    if (!Sub->isInteger() && !Sub->isFloating())
+      Diags.error(E->loc(), "operand must be arithmetic");
+    return Sub;
+  case UnaryOp::LogicalNot:
+    return Types.getInt();
+  case UnaryOp::AddrOf:
+    if (!E->sub()->isLValue())
+      Diags.error(E->loc(), "cannot take the address of an rvalue");
+    return Types.getPointer(Sub);
+  case UnaryOp::Deref: {
+    const TypeInfo *T = decay(Sub);
+    const auto *PT = dyn_cast<PointerType>(T);
+    if (!PT) {
+      Diags.error(E->loc(), "cannot dereference non-pointer type " +
+                                Sub->str());
+      return Types.getInt();
+    }
+    if (PT->pointee()->isVoid()) {
+      Diags.error(E->loc(), "cannot dereference void pointer");
+      return Types.getInt();
+    }
+    E->setLValue(true);
+    return PT->pointee();
+  }
+  case UnaryOp::PreInc:
+  case UnaryOp::PreDec:
+    if (!E->sub()->isLValue())
+      Diags.error(E->loc(), "operand of ++/-- must be an lvalue");
+    return Sub;
+  }
+  EFFSAN_UNREACHABLE("unknown unary operator");
+}
+
+const TypeInfo *Sema::checkBinary(BinaryExpr *E) {
+  TypeContext &Types = Ctx.types();
+  const TypeInfo *L = decay(checkExpr(E->lhs()));
+  const TypeInfo *R = decay(checkExpr(E->rhs()));
+  switch (E->op()) {
+  case BinaryOp::Add:
+    if (L->isPointer() && R->isInteger())
+      return L;
+    if (L->isInteger() && R->isPointer())
+      return R;
+    [[fallthrough]];
+  case BinaryOp::Sub:
+    if (E->op() == BinaryOp::Sub) {
+      if (L->isPointer() && R->isPointer())
+        return Types.getLong();
+      if (L->isPointer() && R->isInteger())
+        return L;
+    }
+    [[fallthrough]];
+  case BinaryOp::Mul:
+  case BinaryOp::Div:
+    if ((!L->isInteger() && !L->isFloating()) ||
+        (!R->isInteger() && !R->isFloating())) {
+      Diags.error(E->loc(), "invalid operands to arithmetic operator");
+      return Types.getInt();
+    }
+    return arithCommonType(L, R);
+  case BinaryOp::Rem:
+  case BinaryOp::BitAnd:
+  case BinaryOp::BitOr:
+  case BinaryOp::BitXor:
+  case BinaryOp::Shl:
+  case BinaryOp::Shr:
+    if (!L->isInteger() || !R->isInteger()) {
+      Diags.error(E->loc(), "operands must be integers");
+      return Types.getInt();
+    }
+    return arithCommonType(L, R);
+  case BinaryOp::LogicalAnd:
+  case BinaryOp::LogicalOr:
+  case BinaryOp::Lt:
+  case BinaryOp::Gt:
+  case BinaryOp::Le:
+  case BinaryOp::Ge:
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+    return Types.getInt();
+  }
+  EFFSAN_UNREACHABLE("unknown binary operator");
+}
+
+const TypeInfo *Sema::checkAssign(AssignExpr *E) {
+  const TypeInfo *Target = checkExpr(E->target());
+  checkExpr(E->value());
+  if (!E->target()->isLValue())
+    Diags.error(E->loc(), "assignment target must be an lvalue");
+  // The paper's malloc inference: T *p; p = malloc(n);
+  if (E->op() == AssignExpr::OpKind::Plain)
+    inferMallocType(E->value(), decay(Target));
+  const TypeInfo *Value = decay(E->value()->type());
+  if (!assignable(decay(Target), Value))
+    Diags.error(E->loc(), "cannot assign " + Value->str() + " to " +
+                              Target->str());
+  return Target;
+}
+
+const TypeInfo *Sema::checkIndex(IndexExpr *E) {
+  const TypeInfo *Base = checkExpr(E->base());
+  const TypeInfo *Index = checkExpr(E->index());
+  if (!Index->isInteger())
+    Diags.error(E->loc(), "array index must be an integer");
+  if (const auto *A = dyn_cast<ArrayType>(Base))
+    return A->element();
+  if (const auto *P = dyn_cast<PointerType>(Base)) {
+    if (P->pointee()->isVoid() || P->pointee()->size() == 0) {
+      Diags.error(E->loc(), "cannot index incomplete pointee type");
+      return Ctx.types().getInt();
+    }
+    return P->pointee();
+  }
+  Diags.error(E->loc(), "subscripted value is not an array or pointer");
+  return Ctx.types().getInt();
+}
+
+const TypeInfo *Sema::checkMember(MemberExpr *E) {
+  const TypeInfo *Base = checkExpr(E->base());
+  const RecordType *Record = nullptr;
+  if (E->isArrow()) {
+    const auto *PT = dyn_cast<PointerType>(decay(Base));
+    if (PT)
+      Record = dyn_cast<RecordType>(PT->pointee());
+  } else {
+    Record = dyn_cast<RecordType>(Base);
+  }
+  if (!Record) {
+    Diags.error(E->loc(), std::string("member access on non-record type ") +
+                              Base->str());
+    return Ctx.types().getInt();
+  }
+  if (!Record->isComplete()) {
+    Diags.error(E->loc(), "member access on incomplete type " +
+                              Record->str());
+    return Ctx.types().getInt();
+  }
+  for (const FieldInfo &F : Record->fields()) {
+    if (F.Name == E->member()) {
+      E->setField(&F);
+      return F.Type;
+    }
+  }
+  Diags.error(E->loc(), "no member named '" + std::string(E->member()) +
+                            "' in " + Record->str());
+  return Ctx.types().getInt();
+}
+
+const TypeInfo *Sema::checkCall(CallExpr *E) {
+  FunctionDecl *Callee = Unit->findFunction(E->callee());
+  if (!Callee) {
+    // Builtins have no FunctionDecl; lowering resolves them by name.
+    TypeContext &Types = Ctx.types();
+    const TypeInfo *ParamType = nullptr;
+    if (E->callee() == "print_int")
+      ParamType = Types.getLong();
+    else if (E->callee() == "print_float")
+      ParamType = Types.getDouble();
+    else if (E->callee() == "print_str")
+      ParamType = Types.getPointer(Types.getChar());
+    if (ParamType) {
+      if (E->args().size() != 1) {
+        Diags.error(E->loc(), "wrong number of arguments to '" +
+                                  std::string(E->callee()) + "'");
+      } else {
+        const TypeInfo *Arg = decay(checkExpr(E->args()[0]));
+        if (!assignable(ParamType, Arg))
+          Diags.error(E->args()[0]->loc(), "cannot pass " + Arg->str() +
+                                               " as " + ParamType->str());
+      }
+      return Types.getVoid();
+    }
+    Diags.error(E->loc(), "call to undeclared function '" +
+                              std::string(E->callee()) + "'");
+    for (Expr *Arg : E->args())
+      checkExpr(Arg);
+    return Ctx.types().getInt();
+  }
+  E->setDecl(Callee);
+  if (E->args().size() != Callee->params().size())
+    Diags.error(E->loc(), "wrong number of arguments to '" +
+                              std::string(E->callee()) + "'");
+  for (size_t I = 0; I < E->args().size(); ++I) {
+    const TypeInfo *Arg = decay(checkExpr(E->args()[I]));
+    if (I < Callee->params().size()) {
+      const TypeInfo *Param = Callee->params()[I]->type();
+      // Malloc passed directly as a typed pointer argument.
+      inferMallocType(E->args()[I], decay(Param));
+      if (!assignable(decay(Param), Arg))
+        Diags.error(E->args()[I]->loc(),
+                    "cannot pass " + Arg->str() + " as " + Param->str());
+    }
+  }
+  return Callee->returnType();
+}
+
+const TypeInfo *Sema::checkCast(CastExpr *E) {
+  checkExpr(E->sub());
+  // The paper's primary inference: (T *)malloc(n) binds T.
+  inferMallocType(E->sub(), E->target());
+  return E->target();
+}
+
+//===----------------------------------------------------------------------===//
+// Statements and declarations
+//===----------------------------------------------------------------------===//
+
+void Sema::checkVarDecl(VarDecl *D) {
+  if (D->type()->isVoid()) {
+    Diags.error(D->loc(), "variable '" + std::string(D->name()) +
+                              "' has void type");
+  }
+  if (const auto *R = dyn_cast<RecordType>(D->type()))
+    if (!R->isComplete())
+      Diags.error(D->loc(), "variable of incomplete type " + R->str());
+  if (D->init()) {
+    checkExpr(D->init());
+    inferMallocType(D->init(), decay(D->type()));
+    if (!assignable(decay(D->type()), decay(D->init()->type())))
+      Diags.error(D->loc(), "cannot initialize " + D->type()->str() +
+                                " with " + D->init()->type()->str());
+  }
+  declareVar(D);
+}
+
+void Sema::checkStmt(Stmt *S) {
+  switch (S->kind()) {
+  case StmtKind::Expr:
+    checkExpr(cast<ExprStmt>(S)->expr());
+    return;
+  case StmtKind::Decl:
+    checkVarDecl(cast<DeclStmt>(S)->decl());
+    return;
+  case StmtKind::Compound: {
+    pushScope();
+    for (Stmt *Child : cast<CompoundStmt>(S)->body())
+      checkStmt(Child);
+    popScope();
+    return;
+  }
+  case StmtKind::If: {
+    auto *If = cast<IfStmt>(S);
+    checkExpr(If->cond());
+    checkStmt(If->thenStmt());
+    if (If->elseStmt())
+      checkStmt(If->elseStmt());
+    return;
+  }
+  case StmtKind::While: {
+    auto *While = cast<WhileStmt>(S);
+    checkExpr(While->cond());
+    checkStmt(While->body());
+    return;
+  }
+  case StmtKind::For: {
+    auto *For = cast<ForStmt>(S);
+    pushScope();
+    if (For->init())
+      checkStmt(For->init());
+    if (For->cond())
+      checkExpr(For->cond());
+    if (For->step())
+      checkExpr(For->step());
+    checkStmt(For->body());
+    popScope();
+    return;
+  }
+  case StmtKind::Return: {
+    auto *Ret = cast<ReturnStmt>(S);
+    const TypeInfo *Expected = CurrentFunction->returnType();
+    if (Ret->value()) {
+      const TypeInfo *Got = decay(checkExpr(Ret->value()));
+      if (Expected->isVoid())
+        Diags.error(S->loc(), "void function returns a value");
+      else if (!assignable(Expected, Got))
+        Diags.error(S->loc(), "cannot return " + Got->str() + " from a "
+                                  "function returning " + Expected->str());
+    } else if (!Expected->isVoid()) {
+      Diags.error(S->loc(), "non-void function must return a value");
+    }
+    return;
+  }
+  case StmtKind::Break:
+  case StmtKind::Continue:
+    return;
+  }
+}
+
+void Sema::checkFunction(FunctionDecl *F) {
+  CurrentFunction = F;
+  pushScope();
+  for (VarDecl *Param : F->params())
+    declareVar(Param);
+  if (F->body())
+    checkStmt(F->body());
+  popScope();
+  CurrentFunction = nullptr;
+}
+
+bool Sema::check(TranslationUnit &TheUnit) {
+  Unit = &TheUnit;
+  pushScope(); // Global scope.
+  for (VarDecl *G : TheUnit.Globals)
+    checkVarDecl(G);
+  for (FunctionDecl *F : TheUnit.Functions)
+    checkFunction(F);
+  popScope();
+  Unit = nullptr;
+  return !Diags.hasErrors();
+}

@@ -1,0 +1,79 @@
+//===- minic/Sema.h - MiniC semantic analysis -------------------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis for MiniC: name resolution, type checking (every
+/// expression receives an interned TypeInfo; lvalues are marked), and
+/// the paper's malloc allocation-type inference ("for malloc the
+/// dynamic type is deemed equivalent to the first lvalue usage type...
+/// determined by a simple program analysis", Example 1): a malloc call
+/// that is cast to (T*) or assigned/initialized into a T* variable is
+/// bound to dynamic type T; otherwise it stays untyped (checked with
+/// wide bounds).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_MINIC_SEMA_H
+#define EFFECTIVE_MINIC_SEMA_H
+
+#include "minic/AST.h"
+
+namespace effective {
+namespace minic {
+
+/// Type checks one translation unit in place.
+class Sema {
+public:
+  Sema(ASTContext &Ctx, DiagnosticEngine &Diags)
+      : Ctx(Ctx), Diags(Diags) {}
+
+  /// Returns false if any semantic error was diagnosed.
+  bool check(TranslationUnit &Unit);
+
+private:
+  // Scope handling.
+  void pushScope();
+  void popScope();
+  VarDecl *lookupVar(std::string_view Name) const;
+  void declareVar(VarDecl *D);
+
+  // Checking.
+  void checkFunction(FunctionDecl *F);
+  void checkStmt(Stmt *S);
+  void checkVarDecl(VarDecl *D);
+  const TypeInfo *checkExpr(Expr *E);
+
+  const TypeInfo *checkUnary(UnaryExpr *E);
+  const TypeInfo *checkBinary(BinaryExpr *E);
+  const TypeInfo *checkAssign(AssignExpr *E);
+  const TypeInfo *checkIndex(IndexExpr *E);
+  const TypeInfo *checkMember(MemberExpr *E);
+  const TypeInfo *checkCall(CallExpr *E);
+  const TypeInfo *checkCast(CastExpr *E);
+
+  /// Array-to-pointer decay for rvalue uses.
+  const TypeInfo *decay(const TypeInfo *T);
+  /// The common type of an arithmetic operation.
+  const TypeInfo *arithCommonType(const TypeInfo *A, const TypeInfo *B);
+  /// True if a value of type From may be assigned to To (C-style, with
+  /// the usual scalar conversions and permissive pointer rules).
+  bool assignable(const TypeInfo *To, const TypeInfo *From);
+
+  /// Malloc inference: if \p Value is malloc() (possibly parenthesized)
+  /// and \p PointerType is T*, bind the allocation to T.
+  void inferMallocType(Expr *Value, const TypeInfo *TargetType);
+
+  ASTContext &Ctx;
+  DiagnosticEngine &Diags;
+  TranslationUnit *Unit = nullptr;
+  FunctionDecl *CurrentFunction = nullptr;
+  std::vector<std::unordered_map<std::string_view, VarDecl *>> Scopes;
+};
+
+} // namespace minic
+} // namespace effective
+
+#endif // EFFECTIVE_MINIC_SEMA_H

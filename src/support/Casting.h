@@ -1,0 +1,83 @@
+//===- support/Casting.h - LLVM-style isa/cast/dyn_cast ---------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small reimplementation of the LLVM casting machinery (\c isa<>,
+/// \c cast<>, \c dyn_cast<> and the *_if_present variants). Class
+/// hierarchies opt in by providing a static \c classof(const Base*)
+/// predicate, typically implemented with a kind discriminator. RTTI is
+/// not used anywhere in this project.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_SUPPORT_CASTING_H
+#define EFFECTIVE_SUPPORT_CASTING_H
+
+#include "support/Compiler.h"
+
+#include <cassert>
+#include <type_traits>
+
+namespace effective {
+
+/// Returns true if \p Val is an instance of any of the types \p To....
+/// \p Val must be non-null.
+template <typename To, typename... Tos, typename From>
+inline bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val) || (... || Tos::classof(Val));
+}
+
+/// Checked downcast: asserts that \p Val is a \p To. \p Val must be
+/// non-null.
+template <typename To, typename From> inline To *cast(From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(To::classof(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+/// Checked downcast, const overload.
+template <typename To, typename From> inline const To *cast(const From *Val) {
+  assert(Val && "cast<> used on a null pointer");
+  assert(To::classof(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+/// Checking downcast: returns null if \p Val is not a \p To. \p Val must
+/// be non-null.
+template <typename To, typename From> inline To *dyn_cast(From *Val) {
+  assert(Val && "dyn_cast<> used on a null pointer");
+  return To::classof(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+/// Checking downcast, const overload.
+template <typename To, typename From>
+inline const To *dyn_cast(const From *Val) {
+  assert(Val && "dyn_cast<> used on a null pointer");
+  return To::classof(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// Like \c isa<>, but tolerates a null pointer (returns false).
+template <typename To, typename... Tos, typename From>
+inline bool isa_and_present(const From *Val) {
+  return Val && isa<To, Tos...>(Val);
+}
+
+/// Like \c dyn_cast<>, but tolerates a null pointer (propagates it).
+template <typename To, typename From>
+inline To *dyn_cast_if_present(From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+/// Like \c dyn_cast<>, const overload tolerating null.
+template <typename To, typename From>
+inline const To *dyn_cast_if_present(const From *Val) {
+  return Val ? dyn_cast<To>(Val) : nullptr;
+}
+
+} // namespace effective
+
+#endif // EFFECTIVE_SUPPORT_CASTING_H

@@ -1,0 +1,40 @@
+//===- support/Diagnostics.cpp - Diagnostic engine ------------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+
+using namespace effective;
+
+bool DiagnosticEngine::containsMessage(std::string_view Needle) const {
+  for (const Diagnostic &D : Diags)
+    if (D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+static const char *diagKindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+void DiagnosticEngine::print(std::FILE *Out, std::string_view FileName) const {
+  for (const Diagnostic &D : Diags) {
+    if (D.Loc.isValid())
+      std::fprintf(Out, "%.*s:%u:%u: %s: %s\n", (int)FileName.size(),
+                   FileName.data(), D.Loc.Line, D.Loc.Column,
+                   diagKindName(D.Kind), D.Message.c_str());
+    else
+      std::fprintf(Out, "%.*s: %s: %s\n", (int)FileName.size(),
+                   FileName.data(), diagKindName(D.Kind), D.Message.c_str());
+  }
+}

@@ -1,0 +1,82 @@
+//===- support/Diagnostics.h - Source locations and diagnostics -*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source locations and a diagnostic engine shared by the MiniC frontend
+/// and the IR verifier. Diagnostics are collected (not printed) so tests
+/// can assert on them; a driver can render them to a FILE* at the end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_SUPPORT_DIAGNOSTICS_H
+#define EFFECTIVE_SUPPORT_DIAGNOSTICS_H
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace effective {
+
+/// A position in a source buffer (1-based line/column; 0 means unknown).
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool isValid() const { return Line != 0; }
+  bool operator==(const SourceLoc &) const = default;
+};
+
+/// Severity of a diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One rendered diagnostic message.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+};
+
+/// Collects diagnostics produced while processing one source buffer.
+///
+/// Messages follow the LLVM style: they begin with a lowercase letter and
+/// have no trailing period.
+class DiagnosticEngine {
+public:
+  void error(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Error, Loc, std::move(Message)});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Warning, Loc, std::move(Message)});
+  }
+  void note(SourceLoc Loc, std::string Message) {
+    Diags.push_back({DiagKind::Note, Loc, std::move(Message)});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+
+  /// Returns true if any collected diagnostic message contains \p Needle.
+  bool containsMessage(std::string_view Needle) const;
+
+  /// Renders all diagnostics to \p Out as "file:line:col: kind: message".
+  void print(std::FILE *Out, std::string_view FileName) const;
+
+  void clear() {
+    Diags.clear();
+    NumErrors = 0;
+  }
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace effective
+
+#endif // EFFECTIVE_SUPPORT_DIAGNOSTICS_H

@@ -1,0 +1,64 @@
+//===- support/Hashing.h - Hashing utilities --------------------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hash primitives shared by the layout hash table (core/LayoutTable) and
+/// the various interning maps. Uses a 64-bit FNV-1a core with a strong
+/// finalizer (murmur-style mixing) so that low bits are usable as bucket
+/// indices.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_SUPPORT_HASHING_H
+#define EFFECTIVE_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace effective {
+
+/// 64-bit finalizer from MurmurHash3; distributes entropy to all bits.
+inline uint64_t hashMix(uint64_t X) {
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdULL;
+  X ^= X >> 33;
+  X *= 0xc4ceb9fe1a85ec53ULL;
+  X ^= X >> 33;
+  return X;
+}
+
+/// Combines two hash values into one.
+inline uint64_t hashCombine(uint64_t Seed, uint64_t Value) {
+  return hashMix(Seed ^ (Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) +
+                         (Seed >> 2)));
+}
+
+/// FNV-1a over a byte range.
+inline uint64_t hashBytes(const void *Data, size_t Len) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= 0x100000001b3ULL;
+  }
+  return hashMix(H);
+}
+
+/// Hash of a string.
+inline uint64_t hashString(std::string_view S) {
+  return hashBytes(S.data(), S.size());
+}
+
+/// Hash of a pointer value (identity hash; pointers in this project are
+/// interned so identity equals semantic equality).
+inline uint64_t hashPointer(const void *P) {
+  return hashMix(reinterpret_cast<uintptr_t>(P));
+}
+
+} // namespace effective
+
+#endif // EFFECTIVE_SUPPORT_HASHING_H

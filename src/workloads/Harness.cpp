@@ -1,0 +1,74 @@
+//===- workloads/Harness.cpp - Workload measurement harness ---------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Harness.h"
+
+#include "workloads/Support.h"
+
+#include <chrono>
+
+using namespace effective;
+using namespace effective::workloads;
+
+const char *effective::workloads::policyKindName(PolicyKind Kind) {
+  switch (Kind) {
+  case PolicyKind::None:
+    return "Uninstrumented";
+  case PolicyKind::Type:
+    return "EffectiveSan-type";
+  case PolicyKind::Bounds:
+    return "EffectiveSan-bounds";
+  case PolicyKind::Full:
+    return "EffectiveSan (full)";
+  }
+  return "?";
+}
+
+RunStats effective::workloads::runWorkload(const Workload &W,
+                                           PolicyKind Kind, unsigned Scale,
+                                           std::FILE *LogStream) {
+  RuntimeOptions Options;
+  Options.Reporter.Mode =
+      LogStream ? ReportMode::Log : ReportMode::Count;
+  Options.Reporter.Stream = LogStream;
+  // All workloads share the global type context (types are interned
+  // once, like the paper's weak-symbol meta data) but get a private
+  // heap and reporter per run.
+  Runtime RT(TypeContext::global(), Options);
+  RuntimeScope Scope(RT);
+  MallocTally::reset();
+
+  uint64_t (*Run)(Runtime &, unsigned) = nullptr;
+  switch (Kind) {
+  case PolicyKind::None:
+    Run = W.RunNone;
+    break;
+  case PolicyKind::Type:
+    Run = W.RunType;
+    break;
+  case PolicyKind::Bounds:
+    Run = W.RunBounds;
+    break;
+  case PolicyKind::Full:
+    Run = W.RunFull;
+    break;
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  uint64_t Checksum = Run(RT, Scale);
+  auto End = std::chrono::steady_clock::now();
+
+  RunStats Stats;
+  Stats.Seconds = std::chrono::duration<double>(End - Start).count();
+  Stats.Checks = RT.counters().snapshot();
+  Stats.Issues = RT.reporter().numIssues();
+  Stats.ErrorEvents = RT.reporter().numEvents();
+  Stats.PeakHeapBytes = Kind == PolicyKind::None
+                            ? MallocTally::peakBytes()
+                            : RT.heap().stats().PeakBlockBytesInUse;
+  Stats.Checksum = Checksum;
+  return Stats;
+}

@@ -1,0 +1,54 @@
+//===- workloads/Harness.h - Workload measurement harness -------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a workload under one instrumentation policy with a fresh
+/// runtime, measuring wall-clock time, dynamic check counts, issues
+/// found, and peak memory — everything Figures 7, 8, 9 and 10 report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_WORKLOADS_HARNESS_H
+#define EFFECTIVE_WORKLOADS_HARNESS_H
+
+#include "workloads/Workload.h"
+
+#include <cstdio>
+
+namespace effective {
+namespace workloads {
+
+/// The paper's build variants (Figure 8).
+enum class PolicyKind : uint8_t { None, Type, Bounds, Full };
+
+/// Display name ("Uninstrumented", "EffectiveSan-type", ...).
+const char *policyKindName(PolicyKind Kind);
+
+/// Everything measured for one run.
+struct RunStats {
+  double Seconds = 0;
+  CheckCounters::Snapshot Checks{};
+  /// Distinct issues (Figure 7 buckets).
+  uint64_t Issues = 0;
+  /// Raw error events.
+  uint64_t ErrorEvents = 0;
+  /// Peak heap footprint: low-fat block bytes under instrumented
+  /// policies; malloc usable bytes under the uninstrumented baseline.
+  uint64_t PeakHeapBytes = 0;
+  /// The workload checksum (identical across policies by construction).
+  uint64_t Checksum = 0;
+};
+
+/// Runs \p W once under \p Kind at \p Scale. When \p LogStream is
+/// non-null the runtime logs each issue there (Figure 7 logging mode);
+/// otherwise errors are only counted (performance mode).
+RunStats runWorkload(const Workload &W, PolicyKind Kind, unsigned Scale,
+                     std::FILE *LogStream = nullptr);
+
+} // namespace workloads
+} // namespace effective
+
+#endif // EFFECTIVE_WORKLOADS_HARNESS_H

@@ -1,0 +1,69 @@
+//===- workloads/Workload.h - Benchmark workload framework ------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The workload framework behind the Figure 7-10 reproductions. Each
+/// SPEC2006 benchmark (and each Firefox browser benchmark) is
+/// represented by a synthetic kernel with the same allocation and
+/// access pattern, templated over the instrumentation Policy so the
+/// paper's four build variants (uninstrumented / -type / -bounds /
+/// full) compile to genuinely different native code.
+///
+/// Every kernel returns a checksum that must be identical across
+/// policies — the harness verifies this, guaranteeing all variants do
+/// the same work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_WORKLOADS_WORKLOAD_H
+#define EFFECTIVE_WORKLOADS_WORKLOAD_H
+
+#include "core/CheckedPtr.h"
+
+#include <vector>
+
+namespace effective {
+namespace workloads {
+
+/// Static facts about one workload (display data for the tables; the
+/// kilo-sLOC column reproduces the paper's Figure 7 values for the
+/// original programs our kernels stand in for).
+struct WorkloadInfo {
+  const char *Name;
+  /// "C" or "C++" (Figure 7 marks C++ benchmarks).
+  const char *Language;
+  /// The original program's kilo-sLOC (Figure 7 column).
+  double KiloSloc;
+  /// Number of distinct seeded issues (what Figure 7's #Issues-found
+  /// should report when run under full instrumentation; 0 = clean).
+  unsigned SeededIssues;
+};
+
+/// One workload: info plus one entry point per instrumentation policy.
+struct Workload {
+  WorkloadInfo Info;
+  uint64_t (*RunFull)(Runtime &RT, unsigned Scale);
+  uint64_t (*RunBounds)(Runtime &RT, unsigned Scale);
+  uint64_t (*RunType)(Runtime &RT, unsigned Scale);
+  uint64_t (*RunNone)(Runtime &RT, unsigned Scale);
+};
+
+/// Expands to the four per-policy instantiations of a workload
+/// function template.
+#define EFFSAN_WORKLOAD_ENTRIES(FN)                                          \
+  FN<::effective::FullPolicy>, FN<::effective::BoundsPolicy>,                \
+      FN<::effective::TypePolicy>, FN<::effective::NonePolicy>
+
+/// The 19 SPEC2006 stand-in kernels, in Figure 7 order.
+const std::vector<Workload> &specWorkloads();
+
+/// The browser benchmark stand-ins, in Figure 10 order.
+const std::vector<Workload> &browserWorkloads();
+
+} // namespace workloads
+} // namespace effective
+
+#endif // EFFECTIVE_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,425 @@
+//===- workloads/browser/Browser.cpp - Firefox stand-in workloads ---------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Browser-benchmark stand-ins for the Figure 10 evaluation (Firefox 52
+/// under Octane, Dromaeo JS, SunSpider, JS V8, JS DOM, CoreJS, JS Lib
+/// and CSS Selector). Three engines are shared across the benchmarks
+/// with different mixes:
+///
+///  * a JS-engine-like object system (hidden-class shapes, slot-based
+///    objects, massive temporary churn — the behavior [11] blames for
+///    browsers' higher type-checking overheads);
+///  * a polymorphic DOM tree (build / mutate / traverse, with the
+///    checked downcasts layout engines perform constantly);
+///  * a CSS selector matcher over that DOM.
+///
+/// Seeded issues (JS DOM only) mirror the paper's Firefox findings:
+/// casts between template instantiations (nsTArray_Impl<void*> vs
+/// <T*>), a custom-memory-allocator header type clash (XPT_ArenaCalloc
+/// / BLK_HDR), and a container cast.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Support.h"
+#include "workloads/Workload.h"
+
+#include <new>
+
+namespace brw {
+
+//===----------------------------------------------------------------------===//
+// JS engine objects
+//===----------------------------------------------------------------------===//
+
+struct JsShape {
+  int NumProps;
+  int ShapeId;
+  JsShape *Parent;
+};
+
+struct JsObject {
+  JsShape *Shape;
+  JsObject *Proto;
+  double Slots[6];
+};
+
+struct JsString {
+  unsigned Len;
+  unsigned Hash;
+  char Chars[24];
+};
+
+//===----------------------------------------------------------------------===//
+// DOM
+//===----------------------------------------------------------------------===//
+
+struct DomNode {
+  virtual ~DomNode() = default;
+  DomNode *FirstChild = nullptr;
+  DomNode *NextSibling = nullptr;
+  int NodeType = 0;
+};
+
+struct DomElement : DomNode {
+  int Tag = 0;
+  unsigned ClassBits = 0;
+  int AttrCount = 0;
+};
+
+struct DomText : DomNode {
+  unsigned TextLen = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Types for the seeded Firefox issues
+//===----------------------------------------------------------------------===//
+
+/// nsTArray_Impl<PVRLayerParent*> vs nsTArray_Impl<void*>: equivalent
+/// modulo template parameters, but distinct dynamic types.
+struct ArrayImplLayer {
+  DomNode **Elements;
+  unsigned Length;
+  unsigned Capacity;
+};
+
+struct ArrayImplVoid {
+  void **Elements;
+  unsigned Length;
+  unsigned Capacity;
+};
+
+/// The XPT arena's internal block header (a CMA the paper flags).
+struct BlkHdr {
+  BlkHdr *NextBlock;
+  unsigned FreeBytes;
+  unsigned Flags;
+};
+
+struct XptMethodDescriptor {
+  long NameOffset;
+  int NumArgs;
+  int Flags;
+};
+
+} // namespace brw
+
+EFFECTIVE_REFLECT(brw::JsShape, NumProps, ShapeId, Parent);
+EFFECTIVE_REFLECT(brw::JsObject, Shape, Proto, Slots);
+EFFECTIVE_REFLECT(brw::JsString, Len, Hash, Chars);
+EFFECTIVE_REFLECT_POLY(brw::DomNode, FirstChild, NextSibling, NodeType);
+EFFECTIVE_REFLECT_DERIVED(brw::DomElement, brw::DomNode, Tag, ClassBits,
+                          AttrCount);
+EFFECTIVE_REFLECT_DERIVED(brw::DomText, brw::DomNode, TextLen);
+EFFECTIVE_REFLECT(brw::ArrayImplLayer, Elements, Length, Capacity);
+EFFECTIVE_REFLECT(brw::ArrayImplVoid, Elements, Length, Capacity);
+EFFECTIVE_REFLECT(brw::BlkHdr, NextBlock, FreeBytes, Flags);
+EFFECTIVE_REFLECT(brw::XptMethodDescriptor, NameOffset, NumArgs, Flags);
+
+namespace effective {
+namespace workloads {
+namespace {
+
+using namespace brw;
+
+//===----------------------------------------------------------------------===//
+// JS engine churn
+//===----------------------------------------------------------------------===//
+
+/// Allocates shape-lineage objects, reads/writes slots, and discards
+/// most of them immediately — the temporary-object churn of [11].
+template <typename P>
+uint64_t jsChurn(Runtime &RT, Rng &R, unsigned Ops, unsigned StringRatio) {
+  constexpr unsigned NumShapes = 24;
+  constexpr unsigned LiveSetSize = 64;
+
+  // Shape lineage (hidden classes).
+  CheckedPtr<JsShape, P> Shapes[NumShapes];
+  for (unsigned I = 0; I < NumShapes; ++I) {
+    Shapes[I] = allocOne<JsShape, P>(RT);
+    Shapes[I]->NumProps = static_cast<int>(I % 6) + 1;
+    Shapes[I]->ShapeId = static_cast<int>(I);
+    Shapes[I]->Parent = I == 0 ? nullptr : Shapes[I - 1].raw();
+  }
+
+  CheckedPtr<JsObject, P> LiveSet[LiveSetSize];
+  uint64_t Accum = 0;
+  for (unsigned Op = 0; Op < Ops; ++Op) {
+    auto Obj = allocOne<JsObject, P>(RT);
+    Obj->Shape = Shapes[R.next(NumShapes)].raw();
+    Obj->Proto = nullptr;
+    auto Slots = Obj.field(&JsObject::Slots);
+    auto Shape = CheckedPtr<JsShape, P>::input(Obj->Shape);
+    int Props = Shape->NumProps;
+    for (int S = 0; S < Props; ++S)
+      Slots[S] = static_cast<double>(Op + S);
+    // Property lookup: one proto hop plus a shape-lineage walk, like a
+    // JS [[Get]] doing shape checks on the way up. Every hop loads a
+    // pointer from memory and re-checks it (rule (c)), which is where
+    // type-checking tools pay on engine workloads [11]. (Only the
+    // immediate proto is dereferenced — older chain entries may have
+    // been evicted from the live set and freed.)
+    unsigned Slot = R.next(LiveSetSize);
+    if (LiveSet[Slot].raw()) {
+      Obj->Proto = LiveSet[Slot].raw();
+      auto Proto = CheckedPtr<JsObject, P>::input(Obj->Proto);
+      auto ProtoSlots = Proto.field(&JsObject::Slots);
+      Accum += static_cast<uint64_t>(ProtoSlots[0]);
+    }
+    auto Lineage = CheckedPtr<JsShape, P>::input(Obj->Shape);
+    for (int Hop = 0; Hop < 8 && Lineage.raw(); ++Hop) {
+      Accum += static_cast<uint64_t>(Lineage->ShapeId);
+      Lineage = CheckedPtr<JsShape, P>::input(Lineage->Parent);
+    }
+    if (StringRatio && Op % StringRatio == 0) {
+      auto Str = allocOne<JsString, P>(RT);
+      auto Chars = Str.field(&JsString::Chars);
+      unsigned Len = static_cast<unsigned>(R.next(23));
+      for (unsigned I = 0; I < Len; ++I)
+        Chars[I] = static_cast<char>('a' + (Op + I) % 26);
+      Str->Len = Len;
+      Str->Hash = static_cast<unsigned>(hashMix(Op));
+      Accum += Str->Hash & 0xff;
+      freeArray(RT, Str); // Temporary: dies immediately.
+    }
+    // Rotate the live set; evicted objects die (churn).
+    if (LiveSet[Slot].raw())
+      freeArray(RT, LiveSet[Slot]);
+    LiveSet[Slot] = Obj;
+  }
+
+  for (unsigned I = 0; I < LiveSetSize; ++I)
+    if (LiveSet[I].raw())
+      freeArray(RT, LiveSet[I]);
+  for (unsigned I = 0; I < NumShapes; ++I)
+    freeArray(RT, Shapes[I]);
+  return Accum;
+}
+
+//===----------------------------------------------------------------------===//
+// DOM build / traverse / mutate
+//===----------------------------------------------------------------------===//
+
+template <typename P>
+CheckedPtr<DomElement, P> buildDom(Runtime &RT, Rng &R, int Depth,
+                                   int &Budget) {
+  auto Elem = allocOne<DomElement, P>(RT);
+  new (Elem.raw()) DomElement();
+  Elem->NodeType = 1;
+  Elem->Tag = static_cast<int>(R.next(24));
+  Elem->ClassBits = static_cast<unsigned>(R.next());
+  DomNode *Prev = nullptr;
+  int Children = Depth > 0 ? static_cast<int>(R.next(4)) + 1 : 0;
+  for (int C = 0; C < Children && Budget > 0; ++C) {
+    --Budget;
+    CheckedPtr<DomNode, P> Child;
+    if (R.next(3) == 0) {
+      auto Text = allocOne<DomText, P>(RT);
+      new (Text.raw()) DomText();
+      Text->NodeType = 3;
+      Text->TextLen = static_cast<unsigned>(R.next(80));
+      Child = CheckedPtr<DomNode, P>::fromCast(Text);
+    } else {
+      auto Sub = buildDom<P>(RT, R, Depth - 1, Budget);
+      Child = CheckedPtr<DomNode, P>::fromCast(Sub);
+    }
+    if (Prev)
+      CheckedPtr<DomNode, P>::input(Prev)->NextSibling = Child.escape();
+    else
+      Elem->FirstChild = Child.escape();
+    Prev = Child.raw();
+  }
+  return Elem;
+}
+
+template <typename P>
+uint64_t traverseDom(CheckedPtr<DomNode, P> Node, unsigned &Elements) {
+  uint64_t Sum = 0;
+  while (Node.raw()) {
+    if (Node->NodeType == 1) {
+      auto Elem = CheckedPtr<DomElement, P>::fromCast(Node);
+      ++Elements;
+      Sum += static_cast<uint64_t>(Elem->Tag);
+      Sum += traverseDom(CheckedPtr<DomNode, P>::input(Node->FirstChild),
+                         Elements);
+    } else {
+      Sum += 1;
+    }
+    Node = CheckedPtr<DomNode, P>::input(Node->NextSibling);
+  }
+  return Sum;
+}
+
+template <typename P>
+void freeDom(Runtime &RT, CheckedPtr<DomNode, P> Node) {
+  while (Node.raw()) {
+    auto Next = CheckedPtr<DomNode, P>::input(Node->NextSibling);
+    freeDom(RT, CheckedPtr<DomNode, P>::input(Node->FirstChild));
+    freeArray(RT, Node);
+    Node = Next;
+  }
+}
+
+/// A compiled CSS selector: optional ancestor (tag) then subject
+/// (tag + class bit).
+struct Selector {
+  int AncestorTag; // -1 = none.
+  int SubjectTag;  // -1 = any.
+  unsigned ClassMask;
+};
+
+template <typename P>
+uint64_t matchSelectors(CheckedPtr<DomNode, P> Node, const Selector &Sel,
+                        bool UnderAncestor) {
+  uint64_t Matches = 0;
+  while (Node.raw()) {
+    bool NowUnder = UnderAncestor;
+    if (Node->NodeType == 1) {
+      auto Elem = CheckedPtr<DomElement, P>::fromCast(Node);
+      if (Sel.AncestorTag >= 0 && Elem->Tag == Sel.AncestorTag)
+        NowUnder = true;
+      bool SubjectOk = Sel.SubjectTag < 0 || Elem->Tag == Sel.SubjectTag;
+      bool ClassOk = (Elem->ClassBits & Sel.ClassMask) == Sel.ClassMask;
+      bool AncestorOk = Sel.AncestorTag < 0 || UnderAncestor;
+      if (SubjectOk && ClassOk && AncestorOk)
+        ++Matches;
+      Matches += matchSelectors(
+          CheckedPtr<DomNode, P>::input(Node->FirstChild), Sel, NowUnder);
+    }
+    Node = CheckedPtr<DomNode, P>::input(Node->NextSibling);
+  }
+  return Matches;
+}
+
+template <typename P> void seededFirefoxBugs(Runtime &RT) {
+  if constexpr (!isInstrumented<P>())
+    return;
+  // (1) Template-parameter confusion: nsTArray_Impl<T*> as <void*>.
+  // (The void* direction is an allowed coercion; the reverse between
+  // two concrete instantiations is flagged.)
+  {
+    auto Layers = allocOne<ArrayImplLayer, P>(RT);
+    auto AsVoid = CheckedPtr<ArrayImplVoid, P>::fromCast(Layers); // 1
+    (void)AsVoid;
+    freeArray(RT, Layers);
+  }
+  // (2) CMA header confusion: the XPT arena returns blocks typed as its
+  // internal BLK_HDR.
+  {
+    auto Block = allocOne<BlkHdr, P>(RT);
+    auto Desc = CheckedPtr<XptMethodDescriptor, P>::fromCast(Block); // 2
+    (void)Desc;
+    freeArray(RT, Block);
+  }
+  // (3) Struct cast to a fundamental array (int[]) for hashing.
+  {
+    auto Desc = allocOne<XptMethodDescriptor, P>(RT);
+    auto Words = CheckedPtr<int, P>::fromCast(Desc); // 3
+    (void)Words;
+    freeArray(RT, Desc);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Benchmark mixes
+//===----------------------------------------------------------------------===//
+
+/// Parameter mix for one browser benchmark.
+struct BrowserMix {
+  unsigned JsOps;        // jsChurn operations per scale unit.
+  unsigned StringRatio;  // 0 = no strings; else every Nth op.
+  unsigned DomBudget;    // DOM nodes per document (0 = no DOM).
+  unsigned Selectors;    // CSS selector queries per document.
+  bool SeedBugs;
+};
+
+template <BrowserMix const &Mix, typename P>
+uint64_t runBrowser(Runtime &RT, unsigned Scale) {
+  Rng R(0xb0b);
+  uint64_t Checksum = 0xb0;
+  for (unsigned Round = 0; Round < Scale; ++Round) {
+    if (Mix.JsOps)
+      Checksum = mixChecksum(
+          Checksum, jsChurn<P>(RT, R, Mix.JsOps, Mix.StringRatio));
+    if (Mix.DomBudget) {
+      int Budget = static_cast<int>(Mix.DomBudget);
+      auto Root = buildDom<P>(RT, R, 7, Budget);
+      unsigned Elements = 0;
+      Checksum = mixChecksum(
+          Checksum,
+          traverseDom(CheckedPtr<DomNode, P>::fromCast(Root), Elements));
+      for (unsigned S = 0; S < Mix.Selectors; ++S) {
+        Selector Sel;
+        Sel.AncestorTag = S % 3 == 0 ? static_cast<int>(R.next(24)) : -1;
+        Sel.SubjectTag = static_cast<int>(R.next(24));
+        Sel.ClassMask = 1u << R.next(8);
+        Checksum = mixChecksum(
+            Checksum,
+            matchSelectors(CheckedPtr<DomNode, P>::fromCast(Root), Sel,
+                           false));
+      }
+      freeDom(RT, CheckedPtr<DomNode, P>::fromCast(Root));
+    }
+  }
+  if (Mix.SeedBugs)
+    seededFirefoxBugs<P>(RT);
+  return Checksum;
+}
+
+// The eight Figure 10 benchmarks as parameter mixes.
+constexpr BrowserMix OctaneMix = {2600, 16, 300, 6, false};
+constexpr BrowserMix DromaeoMix = {2200, 8, 0, 0, false};
+constexpr BrowserMix SunSpiderMix = {1700, 4, 0, 0, false};
+constexpr BrowserMix V8Mix = {2800, 0, 0, 0, false};
+constexpr BrowserMix JsDomMix = {420, 0, 900, 24, true};
+constexpr BrowserMix CoreJsMix = {1900, 12, 0, 0, false};
+constexpr BrowserMix JsLibMix = {1300, 6, 380, 12, false};
+constexpr BrowserMix CssMix = {0, 0, 900, 64, false};
+
+template <typename P> uint64_t runOctane(Runtime &RT, unsigned Scale) {
+  return runBrowser<OctaneMix, P>(RT, Scale);
+}
+template <typename P> uint64_t runDromaeo(Runtime &RT, unsigned Scale) {
+  return runBrowser<DromaeoMix, P>(RT, Scale);
+}
+template <typename P> uint64_t runSunSpider(Runtime &RT, unsigned Scale) {
+  return runBrowser<SunSpiderMix, P>(RT, Scale);
+}
+template <typename P> uint64_t runV8(Runtime &RT, unsigned Scale) {
+  return runBrowser<V8Mix, P>(RT, Scale);
+}
+template <typename P> uint64_t runJsDom(Runtime &RT, unsigned Scale) {
+  return runBrowser<JsDomMix, P>(RT, Scale);
+}
+template <typename P> uint64_t runCoreJs(Runtime &RT, unsigned Scale) {
+  return runBrowser<CoreJsMix, P>(RT, Scale);
+}
+template <typename P> uint64_t runJsLib(Runtime &RT, unsigned Scale) {
+  return runBrowser<JsLibMix, P>(RT, Scale);
+}
+template <typename P> uint64_t runCss(Runtime &RT, unsigned Scale) {
+  return runBrowser<CssMix, P>(RT, Scale);
+}
+
+} // namespace
+
+const std::vector<Workload> &browserWorkloads() {
+  static const std::vector<Workload> Workloads = {
+      {{"Octane", "C++", 7900, 0}, EFFSAN_WORKLOAD_ENTRIES(runOctane)},
+      {{"Dromaeo JS", "C++", 7900, 0},
+       EFFSAN_WORKLOAD_ENTRIES(runDromaeo)},
+      {{"SunSpider", "C++", 7900, 0},
+       EFFSAN_WORKLOAD_ENTRIES(runSunSpider)},
+      {{"JS V8", "C++", 7900, 0}, EFFSAN_WORKLOAD_ENTRIES(runV8)},
+      {{"JS DOM", "C++", 7900, 3}, EFFSAN_WORKLOAD_ENTRIES(runJsDom)},
+      {{"CoreJS", "C++", 7900, 0}, EFFSAN_WORKLOAD_ENTRIES(runCoreJs)},
+      {{"JS Lib", "C++", 7900, 0}, EFFSAN_WORKLOAD_ENTRIES(runJsLib)},
+      {{"CSS Selector", "C++", 7900, 0}, EFFSAN_WORKLOAD_ENTRIES(runCss)},
+  };
+  return Workloads;
+}
+
+} // namespace workloads
+} // namespace effective

@@ -1,0 +1,174 @@
+//===- workloads/spec/Astar.cpp - 473.astar stand-in ----------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A pathfinding kernel standing in for 473.astar: A* search over
+/// procedurally generated terrain grids with a binary-heap open list.
+/// Clean: the paper reports zero issues for astar.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Support.h"
+#include "workloads/spec/SpecWorkloads.h"
+
+namespace effective {
+namespace workloads {
+namespace {
+
+constexpr int GridW = 96;
+constexpr int GridH = 96;
+constexpr int NumCells = GridW * GridH;
+
+template <typename P> struct AstarState {
+  CheckedPtr<unsigned char, P> Cost;  // Terrain cost; 255 = wall.
+  CheckedPtr<int, P> Dist;            // g-scores.
+  CheckedPtr<int, P> Heap;            // Open list (cell indices).
+  CheckedPtr<int, P> HeapPos;         // Cell -> heap slot, -1 if absent.
+};
+
+template <typename P>
+int heuristic(int Cell, int Goal) {
+  int Dx = Cell % GridW - Goal % GridW;
+  int Dy = Cell / GridW - Goal / GridW;
+  return (Dx < 0 ? -Dx : Dx) + (Dy < 0 ? -Dy : Dy);
+}
+
+template <typename P>
+void heapSwap(AstarState<P> &S, int A, int B) {
+  int Tmp = S.Heap[A];
+  S.Heap[A] = S.Heap[B];
+  S.Heap[B] = Tmp;
+  S.HeapPos[S.Heap[A]] = A;
+  S.HeapPos[S.Heap[B]] = B;
+}
+
+template <typename P>
+void heapUp(AstarState<P> &S, int I, int Goal, int Count) {
+  (void)Count;
+  while (I > 0) {
+    int Parent = (I - 1) / 2;
+    int Ci = S.Heap[I], Cp = S.Heap[Parent];
+    if (S.Dist[Cp] + heuristic<P>(Cp, Goal) <=
+        S.Dist[Ci] + heuristic<P>(Ci, Goal))
+      break;
+    heapSwap(S, I, Parent);
+    I = Parent;
+  }
+}
+
+template <typename P>
+void heapDown(AstarState<P> &S, int I, int Goal, int Count) {
+  for (;;) {
+    int L = 2 * I + 1, R = 2 * I + 2, Best = I;
+    if (L < Count && S.Dist[S.Heap[L]] + heuristic<P>(S.Heap[L], Goal) <
+                         S.Dist[S.Heap[Best]] +
+                             heuristic<P>(S.Heap[Best], Goal))
+      Best = L;
+    if (R < Count && S.Dist[S.Heap[R]] + heuristic<P>(S.Heap[R], Goal) <
+                         S.Dist[S.Heap[Best]] +
+                             heuristic<P>(S.Heap[Best], Goal))
+      Best = R;
+    if (Best == I)
+      break;
+    heapSwap(S, I, Best);
+    I = Best;
+  }
+}
+
+/// One A* query; returns the path cost or -1.
+template <typename P>
+int astarSearch(AstarState<P> &S, int Start, int Goal) {
+  // Function entry: the search-state pointers are parameters and are
+  // re-checked per query (rule (a)).
+  S.Cost = enterFunction(S.Cost);
+  S.Dist = enterFunction(S.Dist);
+  S.Heap = enterFunction(S.Heap);
+  S.HeapPos = enterFunction(S.HeapPos);
+  for (int I = 0; I < NumCells; ++I) {
+    S.Dist[I] = 1 << 28;
+    S.HeapPos[I] = -1;
+  }
+  int Count = 0;
+  S.Dist[Start] = 0;
+  S.Heap[Count] = Start;
+  S.HeapPos[Start] = 0;
+  ++Count;
+
+  while (Count > 0) {
+    int Cell = S.Heap[0];
+    if (Cell == Goal)
+      return S.Dist[Cell];
+    heapSwap(S, 0, Count - 1);
+    --Count;
+    S.HeapPos[Cell] = -1;
+    heapDown(S, 0, Goal, Count);
+
+    int Row = Cell / GridW, Col = Cell % GridW;
+    const int Neighbors[4] = {
+        Row > 0 ? Cell - GridW : -1,
+        Row < GridH - 1 ? Cell + GridW : -1,
+        Col > 0 ? Cell - 1 : -1,
+        Col < GridW - 1 ? Cell + 1 : -1,
+    };
+    for (int N : Neighbors) {
+      if (N < 0 || S.Cost[N] == 255)
+        continue;
+      int Tentative = S.Dist[Cell] + 1 + S.Cost[N];
+      if (Tentative >= S.Dist[N])
+        continue;
+      S.Dist[N] = Tentative;
+      if (S.HeapPos[N] < 0) {
+        S.Heap[Count] = N;
+        S.HeapPos[N] = Count;
+        ++Count;
+        heapUp(S, Count - 1, Goal, Count);
+      } else {
+        heapUp(S, S.HeapPos[N], Goal, Count);
+      }
+    }
+  }
+  return -1;
+}
+
+template <typename P> uint64_t runAstar(Runtime &RT, unsigned Scale) {
+  Rng R(0xa57a);
+  uint64_t Checksum = 0xa57a;
+
+  AstarState<P> S;
+  S.Cost = allocArray<unsigned char, P>(RT, NumCells);
+  S.Dist = allocArray<int, P>(RT, NumCells);
+  S.Heap = allocArray<int, P>(RT, NumCells);
+  S.HeapPos = allocArray<int, P>(RT, NumCells);
+
+  unsigned Maps = 2 * Scale;
+  for (unsigned Map = 0; Map < Maps; ++Map) {
+    for (int I = 0; I < NumCells; ++I) {
+      uint64_t V = R.next(16);
+      S.Cost[I] = V == 0 ? 255 : static_cast<unsigned char>(V % 4);
+    }
+    for (int Query = 0; Query < 6; ++Query) {
+      int Start = static_cast<int>(R.next(NumCells));
+      int Goal = static_cast<int>(R.next(NumCells));
+      if (S.Cost[Start] == 255 || S.Cost[Goal] == 255)
+        continue;
+      int Cost = astarSearch(S, Start, Goal);
+      Checksum = mixChecksum(Checksum, static_cast<uint64_t>(Cost + 2));
+    }
+  }
+
+  freeArray(RT, S.Cost);
+  freeArray(RT, S.Dist);
+  freeArray(RT, S.Heap);
+  freeArray(RT, S.HeapPos);
+  return Checksum;
+}
+
+} // namespace
+} // namespace workloads
+} // namespace effective
+
+const effective::workloads::Workload effective::workloads::AstarWorkload = {
+    {"astar", "C++", 4.3, /*SeededIssues=*/0},
+    EFFSAN_WORKLOAD_ENTRIES(runAstar)};

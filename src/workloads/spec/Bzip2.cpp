@@ -1,0 +1,113 @@
+//===- workloads/spec/Bzip2.cpp - 401.bzip2 stand-in ----------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A block-compression kernel standing in for 401.bzip2: run-length
+/// encoding, move-to-front transform and an order-0 frequency model
+/// over synthetic data. Seeded issue: the fundamental-type confusion
+/// the paper reports for bzip2 (an int table read as float).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Support.h"
+#include "workloads/spec/SpecWorkloads.h"
+
+namespace effective {
+namespace workloads {
+namespace {
+
+constexpr unsigned BlockSize = 4096;
+
+/// Run-length encodes Input into Output; returns encoded length.
+template <typename P>
+unsigned rleEncode(CheckedPtr<unsigned char, P> Input, unsigned Len,
+                   CheckedPtr<unsigned char, P> Output) {
+  unsigned Out = 0;
+  unsigned I = 0;
+  while (I < Len) {
+    unsigned char Byte = Input[I];
+    unsigned Run = 1;
+    while (I + Run < Len && Run < 255 && Input[I + Run] == Byte)
+      ++Run;
+    Output[Out++] = Byte;
+    Output[Out++] = static_cast<unsigned char>(Run);
+    I += Run;
+  }
+  return Out;
+}
+
+/// Move-to-front transform (in place).
+template <typename P>
+void moveToFront(CheckedPtr<unsigned char, P> Data, unsigned Len,
+                 CheckedPtr<unsigned char, P> Alphabet) {
+  for (unsigned I = 0; I < 256; ++I)
+    Alphabet[I] = static_cast<unsigned char>(I);
+  for (unsigned I = 0; I < Len; ++I) {
+    unsigned char Byte = Data[I];
+    unsigned Pos = 0;
+    while (Alphabet[Pos] != Byte)
+      ++Pos;
+    for (unsigned J = Pos; J > 0; --J)
+      Alphabet[J] = Alphabet[J - 1];
+    Alphabet[0] = Byte;
+    Data[I] = static_cast<unsigned char>(Pos);
+  }
+}
+
+template <typename P> uint64_t runBzip2(Runtime &RT, unsigned Scale) {
+  Rng R(0xb21b);
+  uint64_t Checksum = 0xb2;
+  unsigned Blocks = 6 * Scale;
+
+  auto Input = allocArray<unsigned char, P>(RT, BlockSize);
+  auto Encoded = allocArray<unsigned char, P>(RT, 2 * BlockSize);
+  auto Alphabet = allocArray<unsigned char, P>(RT, 256);
+  auto Freq = allocArray<int, P>(RT, 256);
+
+  for (unsigned B = 0; B < Blocks; ++B) {
+    // Synthetic compressible data: runs with occasional noise.
+    unsigned char Current = static_cast<unsigned char>(R.next(64));
+    for (unsigned I = 0; I < BlockSize; ++I) {
+      if (R.next(16) == 0)
+        Current = static_cast<unsigned char>(R.next(64));
+      Input[I] = Current;
+    }
+    unsigned EncLen = rleEncode<P>(Input, BlockSize, Encoded);
+    moveToFront<P>(Encoded, EncLen, Alphabet);
+    for (unsigned I = 0; I < 256; ++I)
+      Freq[I] = 0;
+    for (unsigned I = 0; I < EncLen; ++I)
+      ++Freq[Encoded[I]];
+    // Order-0 "entropy" proxy: sum f*log2-ish via bit widths.
+    uint64_t Bits = 0;
+    for (unsigned I = 0; I < 256; ++I)
+      if (Freq[I])
+        Bits += static_cast<uint64_t>(Freq[I]) *
+                (64 - __builtin_clzll(
+                          static_cast<uint64_t>(EncLen / Freq[I]) + 1));
+    Checksum = mixChecksum(Checksum, Bits + EncLen);
+  }
+
+  // Seeded issue: the frequency table (int[]) read through a float
+  // pointer — bzip2's fundamental-type confusion (Section 6.1).
+  if constexpr (isInstrumented<P>()) {
+    auto AsFloat = CheckedPtr<float, P>::fromCast(Freq);
+    (void)AsFloat;
+  }
+
+  freeArray(RT, Input);
+  freeArray(RT, Encoded);
+  freeArray(RT, Alphabet);
+  freeArray(RT, Freq);
+  return Checksum;
+}
+
+} // namespace
+} // namespace workloads
+} // namespace effective
+
+const effective::workloads::Workload effective::workloads::Bzip2Workload = {
+    {"bzip2", "C", 5.7, /*SeededIssues=*/1},
+    EFFSAN_WORKLOAD_ENTRIES(runBzip2)};

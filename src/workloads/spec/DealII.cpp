@@ -1,0 +1,195 @@
+//===- workloads/spec/DealII.cpp - 447.dealII stand-in --------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A finite-element kernel standing in for 447.dealII: sparse (CSR)
+/// matrix assembly from local element stencils followed by conjugate-
+/// gradient iterations. dealII contributes many C-style cast type
+/// checks in the paper (Section 6.2 attributes much of the -type
+/// variant's check volume to dealII); the seeded issues are C-style
+/// cast confusions on the solver's internal buffers.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Support.h"
+#include "workloads/spec/SpecWorkloads.h"
+
+namespace dealw {
+
+struct SparsityHeader {
+  int Rows;
+  int Cols;
+  long NumNonzero;
+};
+
+struct SolverControl {
+  int MaxIter;
+  double Tolerance;
+  int LogLevel;
+};
+
+} // namespace dealw
+
+EFFECTIVE_REFLECT(dealw::SparsityHeader, Rows, Cols, NumNonzero);
+EFFECTIVE_REFLECT(dealw::SolverControl, MaxIter, Tolerance, LogLevel);
+
+namespace effective {
+namespace workloads {
+namespace {
+
+using namespace dealw;
+
+constexpr int GridN = 24;                  // GridN x GridN Laplace grid.
+constexpr int NumDofs = GridN * GridN;
+constexpr int MaxNnzPerRow = 5;
+
+template <typename P> struct CsrMatrix {
+  CheckedPtr<int, P> RowPtr;   // [NumDofs + 1]
+  CheckedPtr<int, P> ColIdx;   // [NumDofs * MaxNnzPerRow]
+  CheckedPtr<double, P> Value; // same length
+};
+
+/// Assembles the 5-point Laplace stencil into CSR form.
+template <typename P> void assemble(CsrMatrix<P> &A) {
+  int Nnz = 0;
+  for (int Row = 0; Row < NumDofs; ++Row) {
+    A.RowPtr[Row] = Nnz;
+    int R = Row / GridN, C = Row % GridN;
+    const int Neighbors[5] = {Row,
+                              R > 0 ? Row - GridN : -1,
+                              R < GridN - 1 ? Row + GridN : -1,
+                              C > 0 ? Row - 1 : -1,
+                              C < GridN - 1 ? Row + 1 : -1};
+    for (int N : Neighbors) {
+      if (N < 0)
+        continue;
+      A.ColIdx[Nnz] = N;
+      A.Value[Nnz] = N == Row ? 4.0 : -1.0;
+      ++Nnz;
+    }
+  }
+  A.RowPtr[NumDofs] = Nnz;
+}
+
+/// y = A * x.
+template <typename P>
+void spmv(const CsrMatrix<P> &A, CheckedPtr<double, P> X,
+          CheckedPtr<double, P> Y) {
+  for (int Row = 0; Row < NumDofs; ++Row) {
+    double Sum = 0;
+    int End = A.RowPtr[Row + 1];
+    for (int K = A.RowPtr[Row]; K < End; ++K)
+      Sum += A.Value[K] * X[A.ColIdx[K]];
+    Y[Row] = Sum;
+  }
+}
+
+template <typename P>
+double dot(CheckedPtr<double, P> A, CheckedPtr<double, P> B) {
+  double Sum = 0;
+  for (int I = 0; I < NumDofs; ++I)
+    Sum += A[I] * B[I];
+  return Sum;
+}
+
+template <typename P> void seededBugs(Runtime &RT) {
+  if constexpr (!isInstrumented<P>())
+    return;
+  // (1) Sparsity header hashed as int[] past the leading ints.
+  {
+    auto H = allocOne<SparsityHeader, P>(RT);
+    H->Rows = GridN;
+    H->Cols = GridN;
+    auto Words = CheckedPtr<int, P>::fromCast(H);
+    (void)Words[2]; // issue 1: reads NumNonzero's first word
+    freeArray(RT, H);
+  }
+  // (2) SolverControl read through long* (C-style cast).
+  {
+    auto S = allocOne<SolverControl, P>(RT);
+    auto AsLong = CheckedPtr<long, P>::fromCast(S); // issue 2
+    (void)AsLong;
+    freeArray(RT, S);
+  }
+  // (3) A double vector aliased as SolverControl (container-style).
+  {
+    auto V = allocArray<double, P>(RT, 8);
+    auto Bad = CheckedPtr<SolverControl, P>::fromCast(V); // issue 3
+    (void)Bad;
+    freeArray(RT, V);
+  }
+  // (4) Workspace reused as a different type without reallocation.
+  {
+    auto V = allocArray<double, P>(RT, 6);
+    freeArray(RT, V);
+    auto W = allocArray<long, P>(RT, 6); // Same class: block reused.
+    auto Stale = CheckedPtr<double, P>::input(V.raw()); // issue 4
+    (void)Stale;
+    freeArray(RT, W);
+  }
+}
+
+template <typename P> uint64_t runDealII(Runtime &RT, unsigned Scale) {
+  Rng R(0xdea1);
+  uint64_t Checksum = 0xdea1;
+
+  CsrMatrix<P> A;
+  A.RowPtr = allocArray<int, P>(RT, NumDofs + 1);
+  A.ColIdx = allocArray<int, P>(RT, NumDofs * MaxNnzPerRow);
+  A.Value = allocArray<double, P>(RT, NumDofs * MaxNnzPerRow);
+  auto X = allocArray<double, P>(RT, NumDofs);
+  auto B = allocArray<double, P>(RT, NumDofs);
+  auto Rv = allocArray<double, P>(RT, NumDofs);
+  auto Pv = allocArray<double, P>(RT, NumDofs);
+  auto Ap = allocArray<double, P>(RT, NumDofs);
+
+  unsigned Systems = 2 * Scale;
+  for (unsigned Sys = 0; Sys < Systems; ++Sys) {
+    assemble(A);
+    for (int I = 0; I < NumDofs; ++I) {
+      B[I] = R.nextDouble();
+      X[I] = 0;
+      Rv[I] = B[I];
+      Pv[I] = B[I];
+    }
+    double RdotR = dot<P>(Rv, Rv);
+    // Conjugate gradient iterations.
+    for (int Iter = 0; Iter < 40 && RdotR > 1e-12; ++Iter) {
+      spmv(A, Pv, Ap);
+      double Alpha = RdotR / dot<P>(Pv, Ap);
+      for (int I = 0; I < NumDofs; ++I) {
+        X[I] += Alpha * Pv[I];
+        Rv[I] -= Alpha * Ap[I];
+      }
+      double Fresh = dot<P>(Rv, Rv);
+      double Beta = Fresh / RdotR;
+      for (int I = 0; I < NumDofs; ++I)
+        Pv[I] = Rv[I] + Beta * Pv[I];
+      RdotR = Fresh;
+    }
+    Checksum = mixChecksum(Checksum,
+                           static_cast<uint64_t>(dot<P>(X, X) * 1000));
+  }
+
+  seededBugs<P>(RT);
+
+  freeArray(RT, A.RowPtr);
+  freeArray(RT, A.ColIdx);
+  freeArray(RT, A.Value);
+  freeArray(RT, X);
+  freeArray(RT, B);
+  freeArray(RT, Rv);
+  freeArray(RT, Pv);
+  freeArray(RT, Ap);
+  return Checksum;
+}
+
+} // namespace
+} // namespace workloads
+} // namespace effective
+
+const effective::workloads::Workload effective::workloads::DealIIWorkload = {
+    {"dealII", "C++", 94.4, /*SeededIssues=*/4},
+    EFFSAN_WORKLOAD_ENTRIES(runDealII)};

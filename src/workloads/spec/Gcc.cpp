@@ -1,0 +1,249 @@
+//===- workloads/spec/Gcc.cpp - 403.gcc stand-in --------------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// An RTL-manipulation kernel standing in for 403.gcc: building random
+/// expression DAGs of rtx-like nodes, constant folding, and common
+/// sub-expression elimination through a hash table. gcc is the
+/// benchmark with the most issues in Figure 7; the seeded set mirrors
+/// Section 6.1: the (mode) field overflow into structure padding,
+/// incompatible definitions of the same struct tag, casts to (int[])
+/// for hashing, container casts and free-list type reuse.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Support.h"
+#include "workloads/spec/SpecWorkloads.h"
+
+namespace gccw {
+
+struct RtxNode {
+  int Code;
+  int Mode;
+  RtxNode *Op0;
+  RtxNode *Op1;
+  long Value;
+};
+
+/// The paper's rtx_const: a short mode followed by compiler-inserted
+/// padding that gcc (invalidly) reads through the mode field.
+struct RtxConst {
+  int Code;
+  short Mode;
+  // 2 bytes of padding here.
+  long Value;
+};
+
+struct SymbolEntry {
+  long NameHash;
+  int Index;
+  int Flags;
+};
+
+struct DoubleConst {
+  double Value;
+  int Mode;
+};
+
+/// Container idiom: an rtx embedded at the head of a list cell.
+struct RtxList {
+  RtxNode Head;
+  RtxList *Tail;
+};
+
+} // namespace gccw
+
+EFFECTIVE_REFLECT(gccw::RtxNode, Code, Mode, Op0, Op1, Value);
+EFFECTIVE_REFLECT(gccw::RtxConst, Code, Mode, Value);
+EFFECTIVE_REFLECT(gccw::SymbolEntry, NameHash, Index, Flags);
+EFFECTIVE_REFLECT(gccw::DoubleConst, Value, Mode);
+EFFECTIVE_REFLECT(gccw::RtxList, Head, Tail);
+
+namespace effective {
+namespace workloads {
+namespace {
+
+using namespace gccw;
+
+enum RtxCode { CodeConst = 0, CodePlus, CodeMult, CodeNeg, NumCodes };
+
+template <typename P>
+CheckedPtr<RtxNode, P> buildDag(Runtime &RT, Rng &R, unsigned Depth) {
+  auto Node = allocOne<RtxNode, P>(RT);
+  if (Depth == 0 || R.next(4) == 0) {
+    Node->Code = CodeConst;
+    Node->Mode = 0;
+    Node->Op0 = nullptr;
+    Node->Op1 = nullptr;
+    Node->Value = static_cast<long>(R.next(1000));
+    return Node;
+  }
+  Node->Code = static_cast<int>(1 + R.next(NumCodes - 1));
+  Node->Mode = 1;
+  Node->Value = 0;
+  Node->Op0 = buildDag<P>(RT, R, Depth - 1).escape();
+  Node->Op1 = Node->Code == CodeNeg
+                  ? nullptr
+                  : buildDag<P>(RT, R, Depth - 1).escape();
+  return Node;
+}
+
+/// Constant folding: collapses const subtrees bottom-up.
+template <typename P>
+long foldConstants(Runtime &RT, CheckedPtr<RtxNode, P> Node) {
+  if (!Node.raw())
+    return 0;
+  if (Node->Code == CodeConst)
+    return Node->Value;
+  long L = foldConstants(RT, CheckedPtr<RtxNode, P>::input(Node->Op0));
+  long Rv = foldConstants(RT, CheckedPtr<RtxNode, P>::input(Node->Op1));
+  long Result;
+  switch (Node->Code) {
+  case CodePlus:
+    Result = L + Rv;
+    break;
+  case CodeMult:
+    Result = (L % 9973) * (Rv % 9973);
+    break;
+  default:
+    Result = -L;
+    break;
+  }
+  Node->Code = CodeConst;
+  Node->Value = Result;
+  return Result;
+}
+
+template <typename P>
+void freeDag(Runtime &RT, CheckedPtr<RtxNode, P> Node) {
+  if (!Node.raw())
+    return;
+  freeDag(RT, CheckedPtr<RtxNode, P>::input(Node->Op0));
+  freeDag(RT, CheckedPtr<RtxNode, P>::input(Node->Op1));
+  freeArray(RT, Node);
+}
+
+template <typename P> void seededBugs(Runtime &RT) {
+  if constexpr (!isInstrumented<P>())
+    return;
+  TypeContext &Ctx = RT.typeContext();
+  // (1) The rtx_const (mode) overflow into structure padding: the
+  // 2-byte field is read as 4 bytes.
+  {
+    auto C = allocOne<RtxConst, P>(RT);
+    C->Code = CodeConst;
+    C->Mode = 5;
+    auto Mode = C.field(&RtxConst::Mode);
+    Mode.at(0, sizeof(int)); // issue 1: 4-byte read of a short field
+    freeArray(RT, C);
+  }
+  // (2)+(3) Incompatible definitions of the same tag: two "tree_node"
+  // records with different layouts (distinct dynamic types). These are
+  // cast-site type checks, so they exist only under policies that check
+  // casts (full / -type); the -bounds variant never compares types.
+  if constexpr (P::CheckCasts) {
+    RecordType *DefA = RecordBuilder(Ctx, TypeKind::Struct, "tree_node")
+                           .addField("code", Ctx.getInt())
+                           .addField("chain", Ctx.getPointer(Ctx.getInt()))
+                           .finish();
+    RecordType *DefB = RecordBuilder(Ctx, TypeKind::Struct, "tree_node")
+                           .addField("code", Ctx.getDouble())
+                           .addField("flags", Ctx.getLong())
+                           .finish();
+    void *Obj = RT.allocate(DefA->size(), DefA);
+    RT.typeCheck(Obj, DefB);                               // issue 2
+    RT.typeCheck(static_cast<char *>(Obj) + 8,
+                 Ctx.getDouble());                         // issue 3
+    RT.deallocate(Obj);
+  }
+  // (4)+(5) Casts to (int[]) to compute hash values: the checksum loop
+  // runs off the matched leading int sub-object.
+  {
+    auto Node = allocOne<RtxNode, P>(RT);
+    Node->Code = 1;
+    Node->Mode = 2;
+    Node->Op0 = nullptr;
+    Node->Op1 = nullptr;
+    auto Words = CheckedPtr<int, P>::fromCast(Node); // Matches Code...
+    uint64_t H = 0;
+    for (unsigned I = 0; I < 2; ++I)
+      H = H * 31 + static_cast<uint64_t>(Words[I]); // issue 4 at word 1
+    (void)H;
+    freeArray(RT, Node);
+  }
+  {
+    auto Sym = allocOne<SymbolEntry, P>(RT);
+    Sym->NameHash = 42;
+    auto Words = CheckedPtr<int, P>::fromCast(Sym); // issue 5: long head
+    (void)Words;
+    freeArray(RT, Sym);
+  }
+  // (6) A double-headed struct hashed as int[].
+  {
+    auto D = allocOne<DoubleConst, P>(RT);
+    auto Words = CheckedPtr<int, P>::fromCast(D); // issue 6
+    (void)Words;
+    freeArray(RT, D);
+  }
+  // (7) Container cast: an RtxNode treated as the RtxList containing
+  // it.
+  {
+    auto Node = allocOne<RtxNode, P>(RT);
+    auto List = CheckedPtr<RtxList, P>::fromCast(Node); // issue 7
+    (void)List;
+    freeArray(RT, Node);
+  }
+  // (8) obstack-style reuse as a different type.
+  {
+    auto Node = allocOne<RtxNode, P>(RT);
+    freeArray(RT, Node);
+    // Two SymbolEntry records fill the same size class, so the LIFO
+    // free list hands back the node's block.
+    auto Sym = allocArray<SymbolEntry, P>(RT, 2);
+    auto Stale = CheckedPtr<RtxNode, P>::input(Node.raw()); // issue 8
+    (void)Stale;
+    freeArray(RT, Sym);
+  }
+  // (9) double* read as long* (TBAA-violating bit tricks).
+  {
+    auto D = allocArray<double, P>(RT, 4);
+    auto AsLong = CheckedPtr<long, P>::fromCast(D); // issue 9
+    (void)AsLong;
+    freeArray(RT, D);
+  }
+  // (10) Sub-object overflow: scanning past Op0 into Op1 through a
+  // narrowed field pointer.
+  {
+    auto Node = allocOne<RtxNode, P>(RT);
+    Node->Op0 = nullptr;
+    Node->Op1 = nullptr;
+    auto Op = Node.field(&RtxNode::Op0);
+    auto Beyond = Op + 1;
+    (void)*Beyond; // issue 10: read outside the narrowed field
+    freeArray(RT, Node);
+  }
+}
+
+template <typename P> uint64_t runGcc(Runtime &RT, unsigned Scale) {
+  Rng R(0x6cc);
+  uint64_t Checksum = 0x6cc;
+  unsigned Dags = 40 * Scale;
+  for (unsigned I = 0; I < Dags; ++I) {
+    auto Root = buildDag<P>(RT, R, 6);
+    Checksum = mixChecksum(Checksum,
+                           static_cast<uint64_t>(foldConstants(RT, Root)));
+    freeDag(RT, Root);
+  }
+  seededBugs<P>(RT);
+  return Checksum;
+}
+
+} // namespace
+} // namespace workloads
+} // namespace effective
+
+const effective::workloads::Workload effective::workloads::GccWorkload = {
+    {"gcc", "C", 235.8, /*SeededIssues=*/10},
+    EFFSAN_WORKLOAD_ENTRIES(runGcc)};

@@ -1,0 +1,152 @@
+//===- workloads/spec/Gobmk.cpp - 445.gobmk stand-in ----------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A Go-playing kernel standing in for 445.gobmk: random legal move
+/// generation on a 19x19 board with flood-fill liberty counting and
+/// capture handling. Clean: the paper reports zero issues for gobmk.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Support.h"
+#include "workloads/spec/SpecWorkloads.h"
+
+namespace effective {
+namespace workloads {
+namespace {
+
+constexpr int BoardSize = 19;
+constexpr int NumPoints = BoardSize * BoardSize;
+
+enum Stone : signed char { Empty = 0, Black = 1, White = 2 };
+
+template <typename P> struct Board {
+  CheckedPtr<signed char, P> Points;
+  CheckedPtr<int, P> Stack;   // Flood-fill worklist.
+  CheckedPtr<signed char, P> Mark;
+};
+
+/// Counts liberties of the group at \p Start via flood fill; marks the
+/// group in Mark with \p Tag.
+template <typename P>
+int countLiberties(Board<P> &B, int Start, signed char Tag) {
+  // The board pointers arrive as function parameters (Figure 3 rule
+  // (a)): the callee re-checks them against its declared types.
+  B.Points = enterFunction(B.Points);
+  B.Stack = enterFunction(B.Stack);
+  B.Mark = enterFunction(B.Mark);
+  signed char Color = B.Points[Start];
+  int Top = 0;
+  B.Stack[Top++] = Start;
+  B.Mark[Start] = Tag;
+  int Liberties = 0;
+  while (Top > 0) {
+    int Point = B.Stack[--Top];
+    int Row = Point / BoardSize, Col = Point % BoardSize;
+    const int Neighbors[4] = {
+        Row > 0 ? Point - BoardSize : -1,
+        Row < BoardSize - 1 ? Point + BoardSize : -1,
+        Col > 0 ? Point - 1 : -1,
+        Col < BoardSize - 1 ? Point + 1 : -1,
+    };
+    for (int N : Neighbors) {
+      if (N < 0 || B.Mark[N] == Tag)
+        continue;
+      if (B.Points[N] == Empty) {
+        B.Mark[N] = Tag;
+        ++Liberties;
+      } else if (B.Points[N] == Color) {
+        B.Mark[N] = Tag;
+        B.Stack[Top++] = N;
+      }
+    }
+  }
+  return Liberties;
+}
+
+/// Removes the group marked by the last flood fill if it has no
+/// liberties; returns captured stones.
+template <typename P>
+int captureIfDead(Board<P> &B, int Start, signed char Tag) {
+  if (countLiberties(B, Start, Tag) > 0)
+    return 0;
+  signed char Color = B.Points[Start];
+  int Captured = 0;
+  for (int Point = 0; Point < NumPoints; ++Point) {
+    if (B.Mark[Point] == Tag && B.Points[Point] == Color) {
+      B.Points[Point] = Empty;
+      ++Captured;
+    }
+  }
+  return Captured;
+}
+
+template <typename P> uint64_t runGobmk(Runtime &RT, unsigned Scale) {
+  Rng R(0x60b);
+  uint64_t Checksum = 0x60b;
+
+  Board<P> B;
+  B.Points = allocArray<signed char, P>(RT, NumPoints);
+  B.Stack = allocArray<int, P>(RT, NumPoints);
+  B.Mark = allocArray<signed char, P>(RT, NumPoints);
+
+  unsigned Games = 2 * Scale;
+  for (unsigned Game = 0; Game < Games; ++Game) {
+    for (int I = 0; I < NumPoints; ++I) {
+      B.Points[I] = Empty;
+      B.Mark[I] = 0;
+    }
+    signed char Tag = 0;
+    signed char ToMove = Black;
+    int Captures = 0;
+    for (int Move = 0; Move < 260; ++Move) {
+      int Point = static_cast<int>(R.next(NumPoints));
+      if (B.Points[Point] != Empty)
+        continue;
+      B.Points[Point] = ToMove;
+      // Check opponent neighbors for captures.
+      int Row = Point / BoardSize, Col = Point % BoardSize;
+      const int Neighbors[4] = {
+          Row > 0 ? Point - BoardSize : -1,
+          Row < BoardSize - 1 ? Point + BoardSize : -1,
+          Col > 0 ? Point - 1 : -1,
+          Col < BoardSize - 1 ? Point + 1 : -1,
+      };
+      for (int N : Neighbors) {
+        if (N < 0 || B.Points[N] == Empty || B.Points[N] == ToMove)
+          continue;
+        ++Tag;
+        if (Tag == 0)
+          Tag = 1;
+        Captures += captureIfDead(B, N, Tag);
+      }
+      // Suicide check for our own stone.
+      ++Tag;
+      if (Tag == 0)
+        Tag = 1;
+      if (countLiberties(B, Point, Tag) == 0)
+        B.Points[Point] = Empty;
+      ToMove = ToMove == Black ? White : Black;
+    }
+    uint64_t Occupied = 0;
+    for (int I = 0; I < NumPoints; ++I)
+      Occupied += B.Points[I] != Empty;
+    Checksum = mixChecksum(Checksum, Occupied * 1000 +
+                                         static_cast<uint64_t>(Captures));
+  }
+
+  freeArray(RT, B.Points);
+  freeArray(RT, B.Stack);
+  freeArray(RT, B.Mark);
+  return Checksum;
+}
+
+} // namespace
+} // namespace workloads
+} // namespace effective
+
+const effective::workloads::Workload effective::workloads::GobmkWorkload = {
+    {"gobmk", "C", 157.6, /*SeededIssues=*/0},
+    EFFSAN_WORKLOAD_ENTRIES(runGobmk)};

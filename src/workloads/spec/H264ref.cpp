@@ -1,0 +1,171 @@
+//===- workloads/spec/H264ref.cpp - 464.h264ref stand-in ------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A video-encoding kernel standing in for 464.h264ref: block motion
+/// estimation (SAD search) between synthetic frames plus a 4x4 integer
+/// transform. Seeded issues mirror the paper: the known bounds
+/// overflow reported in [32], the sub-object overflow of the
+/// (blc_size) field of InputParameters, and an adjacent config-array
+/// overflow.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Support.h"
+#include "workloads/spec/SpecWorkloads.h"
+
+namespace h264w {
+
+/// The paper's InputParameters: blc_size is a small matrix (8 rows of
+/// 2, stored flat) followed by further configuration, so an off-by-one
+/// row lands inside the struct.
+struct InputParameters {
+  int BlcSize[16]; // 8 rows x 2 columns.
+  int SearchRange;
+  int QuantParam;
+};
+
+} // namespace h264w
+
+EFFECTIVE_REFLECT(h264w::InputParameters, BlcSize, SearchRange, QuantParam);
+
+namespace effective {
+namespace workloads {
+namespace {
+
+using namespace h264w;
+
+constexpr int FrameW = 128;
+constexpr int FrameH = 96;
+constexpr int BlockSize = 8;
+
+/// Sum of absolute differences between a block in Cur and a candidate
+/// position in Ref.
+template <typename P>
+int blockSad(CheckedPtr<unsigned char, P> Cur,
+             CheckedPtr<unsigned char, P> Ref, int Bx, int By, int Mx,
+             int My) {
+  // Function entry: frame pointers re-checked per call (rule (a)).
+  Cur = enterFunction(Cur);
+  Ref = enterFunction(Ref);
+  int Sad = 0;
+  for (int Y = 0; Y < BlockSize; ++Y) {
+    for (int X = 0; X < BlockSize; ++X) {
+      int C = Cur[(By + Y) * FrameW + Bx + X];
+      int Rv = Ref[(By + My + Y) * FrameW + Bx + Mx + X];
+      Sad += C > Rv ? C - Rv : Rv - C;
+    }
+  }
+  return Sad;
+}
+
+/// 4x4 integer transform (H.264 core transform) over a residual block.
+template <typename P>
+long transform4x4(CheckedPtr<int, P> Block) {
+  Block = enterFunction(Block);
+  long Energy = 0;
+  // Horizontal then vertical butterflies.
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    for (int I = 0; I < 4; ++I) {
+      int S = Pass == 0 ? 4 * I : I;       // Row or column stride base.
+      int Step = Pass == 0 ? 1 : 4;
+      int A = Block[S], B = Block[S + Step], C = Block[S + 2 * Step],
+          D = Block[S + 3 * Step];
+      Block[S] = A + B + C + D;
+      Block[S + Step] = 2 * A + B - C - 2 * D;
+      Block[S + 2 * Step] = A - B - C + D;
+      Block[S + 3 * Step] = A - 2 * B + 2 * C - D;
+    }
+  }
+  for (int I = 0; I < 16; ++I)
+    Energy += Block[I] > 0 ? Block[I] : -Block[I];
+  return Energy;
+}
+
+template <typename P> void seededBugs(Runtime &RT) {
+  if constexpr (!isInstrumented<P>())
+    return;
+  // (1) The known object bounds overflow from [32]: reading one element
+  // past a motion-vector cost table.
+  {
+    auto Costs = allocArray<int, P>(RT, 33); // 132 bytes: slack in class.
+    for (int I = 0; I < 33; ++I)
+      Costs[I] = I;
+    (void)Costs[33]; // issue 1
+    freeArray(RT, Costs);
+  }
+  // (2) The sub-object overflow of the blc_size field: writing row [8]
+  // of an 8-row config matrix lands in SearchRange.
+  {
+    auto Params = allocOne<InputParameters, P>(RT);
+    auto Blc = Params.field(&InputParameters::BlcSize);
+    Blc[8 * 2] = 16; // issue 2: row 8 of 8 lands in SearchRange
+    freeArray(RT, Params);
+  }
+  // (3) Config struct hashed as int[]: runs past the matched leading
+  // sub-object (gcc/sphinx3-style idiom h264ref shares).
+  {
+    auto Params = allocOne<InputParameters, P>(RT);
+    auto SearchField = Params.field(&InputParameters::SearchRange);
+    (void)*(SearchField + 1); // issue 3: reads QuantParam
+    freeArray(RT, Params);
+  }
+}
+
+template <typename P> uint64_t runH264ref(Runtime &RT, unsigned Scale) {
+  Rng R(0x4264);
+  uint64_t Checksum = 0x4264;
+
+  auto Cur = allocArray<unsigned char, P>(RT, FrameW * FrameH);
+  auto Ref = allocArray<unsigned char, P>(RT, FrameW * FrameH);
+  auto Residual = allocArray<int, P>(RT, 16);
+
+  unsigned Frames = 2 * Scale;
+  for (unsigned F = 0; F < Frames; ++F) {
+    // Synthetic frames: smooth gradient plus noise; Ref is Cur shifted.
+    for (int Y = 0; Y < FrameH; ++Y) {
+      for (int X = 0; X < FrameW; ++X) {
+        auto Value = static_cast<unsigned char>(
+            (X + Y + static_cast<int>(R.next(8))) & 0xff);
+        Cur[Y * FrameW + X] = Value;
+        Ref[Y * FrameW + X] =
+            static_cast<unsigned char>((Value + 3) & 0xff);
+      }
+    }
+    long TotalSad = 0;
+    for (int By = 8; By + BlockSize + 8 < FrameH; By += BlockSize) {
+      for (int Bx = 8; Bx + BlockSize + 8 < FrameW; Bx += BlockSize) {
+        int BestSad = 1 << 30;
+        for (int My = -4; My <= 4; My += 2) {
+          for (int Mx = -4; Mx <= 4; Mx += 2) {
+            int Sad = blockSad<P>(Cur, Ref, Bx, By, Mx, My);
+            if (Sad < BestSad)
+              BestSad = Sad;
+          }
+        }
+        TotalSad += BestSad;
+      }
+    }
+    for (int I = 0; I < 16; ++I)
+      Residual[I] = static_cast<int>(R.next(64)) - 32;
+    Checksum = mixChecksum(Checksum, static_cast<uint64_t>(TotalSad));
+    Checksum = mixChecksum(Checksum,
+                           static_cast<uint64_t>(transform4x4<P>(Residual)));
+  }
+
+  seededBugs<P>(RT);
+  freeArray(RT, Cur);
+  freeArray(RT, Ref);
+  freeArray(RT, Residual);
+  return Checksum;
+}
+
+} // namespace
+} // namespace workloads
+} // namespace effective
+
+const effective::workloads::Workload effective::workloads::H264refWorkload =
+    {{"h264ref", "C", 36.1, /*SeededIssues=*/3},
+     EFFSAN_WORKLOAD_ENTRIES(runH264ref)};

@@ -1,0 +1,145 @@
+//===- workloads/spec/Hmmer.cpp - 456.hmmer stand-in ----------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A profile-HMM Viterbi kernel standing in for 456.hmmer: dynamic
+/// programming over match/insert/delete state matrices against random
+/// sequences. Bounds-check heavy, matching hmmer's Figure 7 profile
+/// (by far the highest #Bounds-to-#Type ratio). Clean: zero issues.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Support.h"
+#include "workloads/spec/SpecWorkloads.h"
+
+namespace effective {
+namespace workloads {
+namespace {
+
+constexpr int ModelLen = 64;
+constexpr int SeqLen = 96;
+constexpr int Alphabet = 20;
+constexpr long NegInf = -(1 << 28);
+
+template <typename P> struct HmmModel {
+  CheckedPtr<long, P> MatchEmit;  // [ModelLen][Alphabet]
+  CheckedPtr<long, P> InsertEmit; // [Alphabet]
+  CheckedPtr<long, P> TransMM;    // [ModelLen]
+  CheckedPtr<long, P> TransMI;
+  CheckedPtr<long, P> TransMD;
+};
+
+template <typename P>
+long viterbi(const HmmModel<P> &Model, CheckedPtr<signed char, P> Seq,
+             CheckedPtr<long, P> MatchRow, CheckedPtr<long, P> InsRow,
+             CheckedPtr<long, P> DelRow, CheckedPtr<long, P> PrevMatch,
+             CheckedPtr<long, P> PrevIns, CheckedPtr<long, P> PrevDel) {
+  // Function entry: all pointer parameters are re-checked (rule (a)).
+  // One type_check per call amortized over the whole DP sweep gives
+  // hmmer its extreme #Bounds-to-#Type ratio from Figure 7.
+  Seq = enterFunction(Seq);
+  MatchRow = enterFunction(MatchRow);
+  InsRow = enterFunction(InsRow);
+  DelRow = enterFunction(DelRow);
+  PrevMatch = enterFunction(PrevMatch);
+  PrevIns = enterFunction(PrevIns);
+  PrevDel = enterFunction(PrevDel);
+  for (int K = 0; K <= ModelLen; ++K) {
+    PrevMatch[K] = K == 0 ? 0 : NegInf;
+    PrevIns[K] = NegInf;
+    PrevDel[K] = NegInf;
+  }
+  for (int I = 1; I <= SeqLen; ++I) {
+    int Sym = Seq[I - 1];
+    MatchRow[0] = NegInf;
+    InsRow[0] = NegInf;
+    DelRow[0] = NegInf;
+    for (int K = 1; K <= ModelLen; ++K) {
+      long FromM = PrevMatch[K - 1] + Model.TransMM[K - 1];
+      long FromI = PrevIns[K - 1];
+      long FromD = PrevDel[K - 1];
+      long Best = FromM > FromI ? FromM : FromI;
+      if (FromD > Best)
+        Best = FromD;
+      MatchRow[K] = Best + Model.MatchEmit[(K - 1) * Alphabet + Sym];
+      long IM = PrevMatch[K] + Model.TransMI[K - 1];
+      long II = PrevIns[K];
+      InsRow[K] = (IM > II ? IM : II) + Model.InsertEmit[Sym];
+      long DM = MatchRow[K - 1] + Model.TransMD[K - 1];
+      long DD = DelRow[K - 1];
+      DelRow[K] = DM > DD ? DM : DD;
+    }
+    for (int K = 0; K <= ModelLen; ++K) {
+      PrevMatch[K] = MatchRow[K];
+      PrevIns[K] = InsRow[K];
+      PrevDel[K] = DelRow[K];
+    }
+  }
+  long Best = NegInf;
+  for (int K = 0; K <= ModelLen; ++K)
+    if (PrevMatch[K] > Best)
+      Best = PrevMatch[K];
+  return Best;
+}
+
+template <typename P> uint64_t runHmmer(Runtime &RT, unsigned Scale) {
+  Rng R(0x4a3);
+  uint64_t Checksum = 0x4a3;
+
+  HmmModel<P> Model;
+  Model.MatchEmit = allocArray<long, P>(RT, ModelLen * Alphabet);
+  Model.InsertEmit = allocArray<long, P>(RT, Alphabet);
+  Model.TransMM = allocArray<long, P>(RT, ModelLen);
+  Model.TransMI = allocArray<long, P>(RT, ModelLen);
+  Model.TransMD = allocArray<long, P>(RT, ModelLen);
+  for (int I = 0; I < ModelLen * Alphabet; ++I)
+    Model.MatchEmit[I] = static_cast<long>(R.next(64)) - 32;
+  for (int I = 0; I < Alphabet; ++I)
+    Model.InsertEmit[I] = static_cast<long>(R.next(16)) - 8;
+  for (int I = 0; I < ModelLen; ++I) {
+    Model.TransMM[I] = -static_cast<long>(R.next(4));
+    Model.TransMI[I] = -static_cast<long>(R.next(12)) - 4;
+    Model.TransMD[I] = -static_cast<long>(R.next(12)) - 4;
+  }
+
+  auto Seq = allocArray<signed char, P>(RT, SeqLen);
+  auto MatchRow = allocArray<long, P>(RT, ModelLen + 1);
+  auto InsRow = allocArray<long, P>(RT, ModelLen + 1);
+  auto DelRow = allocArray<long, P>(RT, ModelLen + 1);
+  auto PrevMatch = allocArray<long, P>(RT, ModelLen + 1);
+  auto PrevIns = allocArray<long, P>(RT, ModelLen + 1);
+  auto PrevDel = allocArray<long, P>(RT, ModelLen + 1);
+
+  unsigned Sequences = 10 * Scale;
+  for (unsigned S = 0; S < Sequences; ++S) {
+    for (int I = 0; I < SeqLen; ++I)
+      Seq[I] = static_cast<signed char>(R.next(Alphabet));
+    long Score = viterbi(Model, Seq, MatchRow, InsRow, DelRow, PrevMatch,
+                         PrevIns, PrevDel);
+    Checksum = mixChecksum(Checksum, static_cast<uint64_t>(Score));
+  }
+
+  freeArray(RT, Model.MatchEmit);
+  freeArray(RT, Model.InsertEmit);
+  freeArray(RT, Model.TransMM);
+  freeArray(RT, Model.TransMI);
+  freeArray(RT, Model.TransMD);
+  freeArray(RT, Seq);
+  freeArray(RT, MatchRow);
+  freeArray(RT, InsRow);
+  freeArray(RT, DelRow);
+  freeArray(RT, PrevMatch);
+  freeArray(RT, PrevIns);
+  freeArray(RT, PrevDel);
+  return Checksum;
+}
+
+} // namespace
+} // namespace workloads
+} // namespace effective
+
+const effective::workloads::Workload effective::workloads::HmmerWorkload = {
+    {"hmmer", "C", 20.7, /*SeededIssues=*/0},
+    EFFSAN_WORKLOAD_ENTRIES(runHmmer)};

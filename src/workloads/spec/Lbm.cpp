@@ -1,0 +1,106 @@
+//===- workloads/spec/Lbm.cpp - 470.lbm stand-in --------------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A lattice-Boltzmann kernel standing in for 470.lbm: D2Q9
+/// collide-and-stream sweeps over a periodic grid. One seeded
+/// fundamental-type confusion (the case reported in [15]), matching
+/// lbm's single Figure 7 issue.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Support.h"
+#include "workloads/spec/SpecWorkloads.h"
+
+namespace effective {
+namespace workloads {
+namespace {
+
+constexpr int GridW = 64;
+constexpr int GridH = 48;
+constexpr int NumDirs = 9;
+constexpr int NumCells = GridW * GridH;
+
+// D2Q9 lattice velocities and weights.
+constexpr int Cx[NumDirs] = {0, 1, 0, -1, 0, 1, -1, -1, 1};
+constexpr int Cy[NumDirs] = {0, 0, 1, 0, -1, 1, 1, -1, -1};
+constexpr double W[NumDirs] = {4.0 / 9, 1.0 / 9,  1.0 / 9,
+                               1.0 / 9, 1.0 / 9,  1.0 / 36,
+                               1.0 / 36, 1.0 / 36, 1.0 / 36};
+
+template <typename P>
+void collideAndStream(CheckedPtr<double, P> Src,
+                      CheckedPtr<double, P> Dst, double Omega) {
+  for (int Y = 0; Y < GridH; ++Y) {
+    for (int X = 0; X < GridW; ++X) {
+      int Cell = Y * GridW + X;
+      // Macroscopic density and velocity.
+      double Rho = 0, Ux = 0, Uy = 0;
+      for (int D = 0; D < NumDirs; ++D) {
+        double F = Src[Cell * NumDirs + D];
+        Rho += F;
+        Ux += F * Cx[D];
+        Uy += F * Cy[D];
+      }
+      if (Rho > 1e-12) {
+        Ux /= Rho;
+        Uy /= Rho;
+      }
+      double Usq = 1.5 * (Ux * Ux + Uy * Uy);
+      // Collide (BGK) and stream to neighbors with periodic wrap.
+      for (int D = 0; D < NumDirs; ++D) {
+        double Cu = 3 * (Cx[D] * Ux + Cy[D] * Uy);
+        double Feq = W[D] * Rho * (1 + Cu + 0.5 * Cu * Cu - Usq);
+        double F = Src[Cell * NumDirs + D];
+        double Out = F + Omega * (Feq - F);
+        int Nx = (X + Cx[D] + GridW) % GridW;
+        int Ny = (Y + Cy[D] + GridH) % GridH;
+        Dst[(Ny * GridW + Nx) * NumDirs + D] = Out;
+      }
+    }
+  }
+}
+
+template <typename P> uint64_t runLbm(Runtime &RT, unsigned Scale) {
+  Rng R(0x1b3);
+  uint64_t Checksum = 0x1b3;
+
+  auto GridA = allocArray<double, P>(RT, NumCells * NumDirs);
+  auto GridB = allocArray<double, P>(RT, NumCells * NumDirs);
+  for (int I = 0; I < NumCells * NumDirs; ++I)
+    GridA[I] = W[I % NumDirs] * (1 + 0.01 * (R.nextDouble() - 0.5));
+
+  unsigned Steps = 6 * Scale;
+  for (unsigned Step = 0; Step < Steps; ++Step) {
+    if (Step % 2 == 0)
+      collideAndStream<P>(GridA, GridB, 1.2);
+    else
+      collideAndStream<P>(GridB, GridA, 1.2);
+  }
+
+  double Mass = 0;
+  auto &Final = Steps % 2 == 0 ? GridA : GridB;
+  for (int I = 0; I < NumCells * NumDirs; ++I)
+    Mass += Final[I];
+  Checksum = mixChecksum(Checksum, static_cast<uint64_t>(Mass * 1000));
+
+  // Seeded issue: the distribution grid read as long[] (the
+  // fundamental-type confusion reported in [15]).
+  if constexpr (isInstrumented<P>()) {
+    auto AsLong = CheckedPtr<long, P>::fromCast(GridA);
+    (void)AsLong;
+  }
+
+  freeArray(RT, GridA);
+  freeArray(RT, GridB);
+  return Checksum;
+}
+
+} // namespace
+} // namespace workloads
+} // namespace effective
+
+const effective::workloads::Workload effective::workloads::LbmWorkload = {
+    {"lbm", "C", 0.9, /*SeededIssues=*/1}, EFFSAN_WORKLOAD_ENTRIES(runLbm)};

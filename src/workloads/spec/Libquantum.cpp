@@ -1,0 +1,123 @@
+//===- workloads/spec/Libquantum.cpp - 462.libquantum stand-in ------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A quantum-register simulation kernel standing in for 462.libquantum:
+/// a sparse state vector of basis-state nodes, with Hadamard-like and
+/// controlled-not gate sweeps (libquantum's dominant operations).
+/// Pointer-dense, matching its very high #Type count in Figure 7.
+/// Clean: zero issues.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Support.h"
+#include "workloads/spec/SpecWorkloads.h"
+
+namespace lqw {
+
+struct QuantumNode {
+  uint64_t State;   // Basis state bits.
+  float AmpRe;
+  float AmpIm;
+  QuantumNode *Next;
+};
+
+} // namespace lqw
+
+EFFECTIVE_REFLECT(lqw::QuantumNode, State, AmpRe, AmpIm, Next);
+
+namespace effective {
+namespace workloads {
+namespace {
+
+using namespace lqw;
+
+/// Applies a controlled-not: flips bit Target of every state where bit
+/// Control is set (a permutation of basis states; list walk).
+template <typename P>
+void applyCnot(CheckedPtr<QuantumNode, P> Head, int Control, int Target) {
+  auto Node = Head;
+  while (Node.raw()) {
+    if (Node->State & (1ull << Control))
+      Node->State ^= 1ull << Target;
+    Node = CheckedPtr<QuantumNode, P>::input(Node->Next);
+  }
+}
+
+/// A phase-ish "gate": rotates amplitudes of states with bit set.
+template <typename P>
+void applyPhase(CheckedPtr<QuantumNode, P> Head, int Target) {
+  auto Node = Head;
+  while (Node.raw()) {
+    if (Node->State & (1ull << Target)) {
+      float Re = Node->AmpRe, Im = Node->AmpIm;
+      Node->AmpRe = -Im;
+      Node->AmpIm = Re;
+    }
+    Node = CheckedPtr<QuantumNode, P>::input(Node->Next);
+  }
+}
+
+template <typename P> uint64_t runLibquantum(Runtime &RT, unsigned Scale) {
+  Rng R(0x11b9);
+  uint64_t Checksum = 0x11b9;
+
+  constexpr int NumQubits = 16;
+  unsigned NumStates = 512;
+
+  // Build the sparse register as a linked list of basis states.
+  CheckedPtr<QuantumNode, P> Head;
+  for (unsigned I = 0; I < NumStates; ++I) {
+    auto Node = allocOne<QuantumNode, P>(RT);
+    Node->State = R.next() & ((1ull << NumQubits) - 1);
+    Node->AmpRe = static_cast<float>(R.nextDouble() - 0.5);
+    Node->AmpIm = static_cast<float>(R.nextDouble() - 0.5);
+    Node->Next = Head.raw();
+    Head = Node;
+  }
+
+  unsigned Gates = 160 * Scale;
+  for (unsigned G = 0; G < Gates; ++G) {
+    int A = static_cast<int>(R.next(NumQubits));
+    int B = static_cast<int>(R.next(NumQubits));
+    if (A == B)
+      B = (B + 1) % NumQubits;
+    if (G % 3 == 0)
+      applyPhase(Head, A);
+    else
+      applyCnot(Head, A, B);
+  }
+
+  // Measurement proxy: histogram of low bits weighted by amplitude
+  // magnitudes.
+  double Norm = 0;
+  uint64_t Bits = 0;
+  auto Node = Head;
+  while (Node.raw()) {
+    Norm += Node->AmpRe * Node->AmpRe + Node->AmpIm * Node->AmpIm;
+    Bits += Node->State & 0xff;
+    Node = CheckedPtr<QuantumNode, P>::input(Node->Next);
+  }
+  Checksum = mixChecksum(Checksum, Bits);
+  Checksum = mixChecksum(Checksum, static_cast<uint64_t>(Norm * 1000));
+
+  // Free the register.
+  Node = Head;
+  while (Node.raw()) {
+    auto Next = CheckedPtr<QuantumNode, P>::input(Node->Next);
+    freeArray(RT, Node);
+    Node = Next;
+  }
+  return Checksum;
+}
+
+} // namespace
+} // namespace workloads
+} // namespace effective
+
+const effective::workloads::Workload
+    effective::workloads::LibquantumWorkload = {
+        {"libquantum", "C", 2.6, /*SeededIssues=*/0},
+        EFFSAN_WORKLOAD_ENTRIES(runLibquantum)};

@@ -1,0 +1,120 @@
+//===- workloads/spec/Milc.cpp - 433.milc stand-in ------------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A lattice-QCD kernel standing in for 433.milc: SU(3)-like complex
+/// 3x3 matrix multiplication sweeps over a 4D lattice. One seeded
+/// fundamental-type confusion, matching milc's single Figure 7 issue.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Support.h"
+#include "workloads/spec/SpecWorkloads.h"
+
+namespace milcw {
+
+struct Complex {
+  double Re;
+  double Im;
+};
+
+struct Su3Matrix {
+  Complex E[9]; // Row-major 3x3.
+};
+
+} // namespace milcw
+
+EFFECTIVE_REFLECT(milcw::Complex, Re, Im);
+EFFECTIVE_REFLECT(milcw::Su3Matrix, E);
+
+namespace effective {
+namespace workloads {
+namespace {
+
+using namespace milcw;
+
+constexpr int LatticeSize = 4 * 4 * 4 * 8; // 4D lattice, flattened.
+
+/// C = A * B for 3x3 complex matrices.
+template <typename P>
+void su3Mult(CheckedPtr<Su3Matrix, P> A, CheckedPtr<Su3Matrix, P> B,
+             CheckedPtr<Su3Matrix, P> C) {
+  auto Ae = A.field(&Su3Matrix::E);
+  auto Be = B.field(&Su3Matrix::E);
+  auto Ce = C.field(&Su3Matrix::E);
+  for (int I = 0; I < 3; ++I) {
+    for (int J = 0; J < 3; ++J) {
+      double Re = 0, Im = 0;
+      for (int K = 0; K < 3; ++K) {
+        const Complex &X = Ae[I * 3 + K];
+        const Complex &Y = Be[K * 3 + J];
+        Re += X.Re * Y.Re - X.Im * Y.Im;
+        Im += X.Re * Y.Im + X.Im * Y.Re;
+      }
+      Ce[I * 3 + J].Re = Re;
+      Ce[I * 3 + J].Im = Im;
+    }
+  }
+}
+
+template <typename P> uint64_t runMilc(Runtime &RT, unsigned Scale) {
+  Rng R(0x311c);
+  uint64_t Checksum = 0x311c;
+
+  auto Links = allocArray<Su3Matrix, P>(RT, LatticeSize);
+  auto Staples = allocArray<Su3Matrix, P>(RT, LatticeSize);
+  auto Temp = allocOne<Su3Matrix, P>(RT);
+
+  for (int S = 0; S < LatticeSize; ++S) {
+    auto E = (Links + S).field(&Su3Matrix::E);
+    auto F = (Staples + S).field(&Su3Matrix::E);
+    for (int I = 0; I < 9; ++I) {
+      E[I] = Complex{R.nextDouble() - 0.5, R.nextDouble() - 0.5};
+      F[I] = Complex{R.nextDouble() - 0.5, R.nextDouble() - 0.5};
+    }
+  }
+
+  unsigned Sweeps = 3 * Scale;
+  double Action = 0;
+  for (unsigned Sweep = 0; Sweep < Sweeps; ++Sweep) {
+    for (int S = 0; S < LatticeSize; ++S) {
+      int Neighbor = (S + 1) % LatticeSize;
+      su3Mult<P>(Links + S, Staples + Neighbor, Temp);
+      // "Link update": mix the product back in and accumulate the
+      // plaquette trace.
+      auto L = (Links + S).field(&Su3Matrix::E);
+      auto T = Temp.field(&Su3Matrix::E);
+      double Trace = 0;
+      for (int I = 0; I < 9; ++I) {
+        L[I].Re = 0.9 * L[I].Re + 0.1 * T[I].Re;
+        L[I].Im = 0.9 * L[I].Im + 0.1 * T[I].Im;
+        if (I % 4 == 0)
+          Trace += T[I].Re;
+      }
+      Action += Trace;
+    }
+  }
+  Checksum = mixChecksum(Checksum, static_cast<uint64_t>(Action * 100));
+
+  // Seeded issue: the site buffer read as long[] for a checksum (milc's
+  // fundamental-type confusion).
+  if constexpr (isInstrumented<P>()) {
+    auto AsLong = CheckedPtr<long, P>::fromCast(Links);
+    (void)AsLong;
+  }
+
+  freeArray(RT, Links);
+  freeArray(RT, Staples);
+  freeArray(RT, Temp);
+  return Checksum;
+}
+
+} // namespace
+} // namespace workloads
+} // namespace effective
+
+const effective::workloads::Workload effective::workloads::MilcWorkload = {
+    {"milc", "C", 9.6, /*SeededIssues=*/1},
+    EFFSAN_WORKLOAD_ENTRIES(runMilc)};

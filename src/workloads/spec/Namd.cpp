@@ -1,0 +1,159 @@
+//===- workloads/spec/Namd.cpp - 444.namd stand-in ------------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A molecular-dynamics kernel standing in for 444.namd: cell-list
+/// based pairwise Lennard-Jones force evaluation and velocity-Verlet
+/// integration. One seeded issue (a force array read through the wrong
+/// fundamental type), matching namd's single Figure 7 issue.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Support.h"
+#include "workloads/spec/SpecWorkloads.h"
+
+#include <cmath>
+
+namespace namdw {
+
+struct Atom {
+  double X, Y, Z;
+  double Vx, Vy, Vz;
+  double Fx, Fy, Fz;
+  int CellIndex;
+};
+
+} // namespace namdw
+
+EFFECTIVE_REFLECT(namdw::Atom, X, Y, Z, Vx, Vy, Vz, Fx, Fy, Fz, CellIndex);
+
+namespace effective {
+namespace workloads {
+namespace {
+
+using namespace namdw;
+
+constexpr int NumAtoms = 320;
+constexpr int CellsPerDim = 4;
+constexpr int NumCells = CellsPerDim * CellsPerDim * CellsPerDim;
+constexpr double BoxSize = 8.0;
+constexpr double Cutoff2 = 2.25;
+
+template <typename P>
+void computeForces(CheckedPtr<Atom, P> Atoms, CheckedPtr<int, P> CellHead,
+                   CheckedPtr<int, P> CellNext, double &Energy) {
+  for (int I = 0; I < NumAtoms; ++I) {
+    Atoms[I].Fx = 0;
+    Atoms[I].Fy = 0;
+    Atoms[I].Fz = 0;
+  }
+  Energy = 0;
+  // For each cell, interact with itself and +1 neighbors.
+  for (int C = 0; C < NumCells; ++C) {
+    for (int D = 0; D < 4; ++D) {
+      int Other = (C + D * 7) % NumCells;
+      for (int I = CellHead[C]; I >= 0; I = CellNext[I]) {
+        for (int J = CellHead[Other]; J >= 0; J = CellNext[J]) {
+          if (J <= I)
+            continue;
+          double Dx = Atoms[I].X - Atoms[J].X;
+          double Dy = Atoms[I].Y - Atoms[J].Y;
+          double Dz = Atoms[I].Z - Atoms[J].Z;
+          double R2 = Dx * Dx + Dy * Dy + Dz * Dz;
+          // Lower cutoff keeps the force bounded; without it two nearly
+          // coincident atoms produce ~1e38 forces and the integrator
+          // diverges (positions overflow the periodic box wrap).
+          if (R2 > Cutoff2 || R2 < 0.64)
+            continue;
+          double Inv2 = 1.0 / R2;
+          double Inv6 = Inv2 * Inv2 * Inv2;
+          double Force = 24 * Inv6 * (2 * Inv6 - 1) * Inv2;
+          Atoms[I].Fx += Force * Dx;
+          Atoms[I].Fy += Force * Dy;
+          Atoms[I].Fz += Force * Dz;
+          Atoms[J].Fx -= Force * Dx;
+          Atoms[J].Fy -= Force * Dy;
+          Atoms[J].Fz -= Force * Dz;
+          Energy += 4 * Inv6 * (Inv6 - 1);
+        }
+      }
+    }
+  }
+}
+
+template <typename P> uint64_t runNamd(Runtime &RT, unsigned Scale) {
+  Rng R(0x9a3d);
+  uint64_t Checksum = 0x9a3d;
+
+  auto Atoms = allocArray<Atom, P>(RT, NumAtoms);
+  auto CellHead = allocArray<int, P>(RT, NumCells);
+  auto CellNext = allocArray<int, P>(RT, NumAtoms);
+
+  for (int I = 0; I < NumAtoms; ++I) {
+    Atoms[I].X = R.nextDouble() * BoxSize;
+    Atoms[I].Y = R.nextDouble() * BoxSize;
+    Atoms[I].Z = R.nextDouble() * BoxSize;
+    Atoms[I].Vx = R.nextDouble() - 0.5;
+    Atoms[I].Vy = R.nextDouble() - 0.5;
+    Atoms[I].Vz = R.nextDouble() - 0.5;
+  }
+
+  unsigned Steps = 6 * Scale;
+  double Energy = 0;
+  for (unsigned Step = 0; Step < Steps; ++Step) {
+    // Rebuild cell lists.
+    for (int C = 0; C < NumCells; ++C)
+      CellHead[C] = -1;
+    for (int I = 0; I < NumAtoms; ++I) {
+      auto CellOf = [](double V) {
+        int C = static_cast<int>(V / (BoxSize / CellsPerDim));
+        return C < 0 ? 0 : (C >= CellsPerDim ? CellsPerDim - 1 : C);
+      };
+      int C = CellOf(Atoms[I].X) * CellsPerDim * CellsPerDim +
+              CellOf(Atoms[I].Y) * CellsPerDim + CellOf(Atoms[I].Z);
+      Atoms[I].CellIndex = C;
+      CellNext[I] = CellHead[C];
+      CellHead[C] = I;
+    }
+    computeForces<P>(Atoms, CellHead, CellNext, Energy);
+    // Velocity Verlet half-kick + drift with periodic wrap.
+    for (int I = 0; I < NumAtoms; ++I) {
+      constexpr double Dt = 0.001;
+      Atoms[I].Vx += Dt * Atoms[I].Fx;
+      Atoms[I].Vy += Dt * Atoms[I].Fy;
+      Atoms[I].Vz += Dt * Atoms[I].Fz;
+      auto Wrap = [](double V) {
+        V = std::fmod(V, BoxSize);
+        if (V < 0)
+          V += BoxSize;
+        return V;
+      };
+      Atoms[I].X = Wrap(Atoms[I].X + Dt * Atoms[I].Vx);
+      Atoms[I].Y = Wrap(Atoms[I].Y + Dt * Atoms[I].Vy);
+      Atoms[I].Z = Wrap(Atoms[I].Z + Dt * Atoms[I].Vz);
+    }
+  }
+  Checksum = mixChecksum(Checksum, static_cast<uint64_t>(Energy * 10));
+
+  // Seeded issue: the atom array checksummed through float* (wrong
+  // fundamental type).
+  if constexpr (isInstrumented<P>()) {
+    auto AsFloat = CheckedPtr<float, P>::fromCast(Atoms);
+    (void)AsFloat;
+  }
+
+  freeArray(RT, Atoms);
+  freeArray(RT, CellHead);
+  freeArray(RT, CellNext);
+  return Checksum;
+}
+
+} // namespace
+} // namespace workloads
+} // namespace effective
+
+const effective::workloads::Workload effective::workloads::NamdWorkload = {
+    {"namd", "C++", 3.9, /*SeededIssues=*/1},
+    EFFSAN_WORKLOAD_ENTRIES(runNamd)};

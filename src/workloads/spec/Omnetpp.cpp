@@ -1,0 +1,185 @@
+//===- workloads/spec/Omnetpp.cpp - 471.omnetpp stand-in ------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A discrete-event network simulation standing in for 471.omnetpp:
+/// modules exchanging messages through a binary-heap future event set,
+/// with heavy allocation churn of small message objects (omnetpp's
+/// signature behavior). Clean: the paper reports zero issues.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Support.h"
+#include "workloads/spec/SpecWorkloads.h"
+
+namespace omw {
+
+struct Message {
+  double ArrivalTime;
+  int SrcModule;
+  int DstModule;
+  int Kind;
+  long Payload;
+};
+
+struct Module {
+  long PacketsSeen;
+  long BytesSeen;
+  int Id;
+  int FanOut;
+};
+
+} // namespace omw
+
+EFFECTIVE_REFLECT(omw::Message, ArrivalTime, SrcModule, DstModule, Kind,
+                  Payload);
+EFFECTIVE_REFLECT(omw::Module, PacketsSeen, BytesSeen, Id, FanOut);
+
+namespace effective {
+namespace workloads {
+namespace {
+
+using namespace omw;
+
+constexpr unsigned NumModules = 32;
+constexpr unsigned HeapCap = 4096;
+
+/// Future-event-set: a binary min-heap of Message pointers keyed by
+/// arrival time.
+template <typename P> class EventHeap {
+public:
+  EventHeap(Runtime &RT)
+      : Slots(allocArray<Message *, P>(RT, HeapCap)) {}
+
+  void destroy(Runtime &RT) { freeArray(RT, Slots); }
+
+  bool empty() const { return Count == 0; }
+  unsigned size() const { return Count; }
+
+  void push(CheckedPtr<Message, P> Msg) {
+    unsigned I = Count++;
+    Slots[I] = Msg.escape();
+    while (I > 0) {
+      unsigned Parent = (I - 1) / 2;
+      auto Child = CheckedPtr<Message, P>::input(Slots[I]);
+      auto Par = CheckedPtr<Message, P>::input(Slots[Parent]);
+      if (Par->ArrivalTime <= Child->ArrivalTime)
+        break;
+      Message *Tmp = Slots[I];
+      Slots[I] = Slots[Parent];
+      Slots[Parent] = Tmp;
+      I = Parent;
+    }
+  }
+
+  CheckedPtr<Message, P> pop() {
+    auto Top = CheckedPtr<Message, P>::input(Slots[0]);
+    Slots[0] = Slots[--Count];
+    unsigned I = 0;
+    for (;;) {
+      unsigned L = 2 * I + 1, R = 2 * I + 2, Smallest = I;
+      if (L < Count &&
+          CheckedPtr<Message, P>::input(Slots[L])->ArrivalTime <
+              CheckedPtr<Message, P>::input(Slots[Smallest])->ArrivalTime)
+        Smallest = L;
+      if (R < Count &&
+          CheckedPtr<Message, P>::input(Slots[R])->ArrivalTime <
+              CheckedPtr<Message, P>::input(Slots[Smallest])->ArrivalTime)
+        Smallest = R;
+      if (Smallest == I)
+        break;
+      Message *Tmp = Slots[I];
+      Slots[I] = Slots[Smallest];
+      Slots[Smallest] = Tmp;
+      I = Smallest;
+    }
+    return Top;
+  }
+
+private:
+  CheckedPtr<Message *, P> Slots;
+  unsigned Count = 0;
+};
+
+template <typename P> uint64_t runOmnetpp(Runtime &RT, unsigned Scale) {
+  Rng R(0x03e7);
+  uint64_t Checksum = 0x03e7;
+
+  auto Modules = allocArray<Module, P>(RT, NumModules);
+  for (unsigned I = 0; I < NumModules; ++I) {
+    Modules[I].PacketsSeen = 0;
+    Modules[I].BytesSeen = 0;
+    Modules[I].Id = static_cast<int>(I);
+    Modules[I].FanOut = static_cast<int>(1 + R.next(3));
+  }
+
+  EventHeap<P> Fes(RT);
+  double Now = 0;
+  // Seed initial events.
+  for (unsigned I = 0; I < 64; ++I) {
+    auto Msg = allocOne<Message, P>(RT);
+    Msg->ArrivalTime = R.nextDouble();
+    Msg->SrcModule = static_cast<int>(R.next(NumModules));
+    Msg->DstModule = static_cast<int>(R.next(NumModules));
+    Msg->Kind = 0;
+    Msg->Payload = static_cast<long>(R.next(1500));
+    Fes.push(Msg);
+  }
+
+  uint64_t Events = 12000ull * Scale;
+  for (uint64_t E = 0; E < Events && !Fes.empty(); ++E) {
+    auto Msg = Fes.pop();
+    Now = Msg->ArrivalTime;
+    unsigned Dst = static_cast<unsigned>(Msg->DstModule) % NumModules;
+    auto Mod = Modules + Dst;
+    ++Mod->PacketsSeen;
+    Mod->BytesSeen += Msg->Payload;
+    // Forward to fan-out neighbors with jittered delays (new message
+    // objects; the old one dies — omnetpp's temporary churn).
+    int FanOut = Mod->FanOut;
+    for (int F = 0; F < FanOut && Fes.size() + 1 < HeapCap; ++F) {
+      auto Fresh = allocOne<Message, P>(RT);
+      Fresh->ArrivalTime = Now + R.nextDouble() * 0.1 + 1e-6;
+      Fresh->SrcModule = static_cast<int>(Dst);
+      Fresh->DstModule =
+          static_cast<int>((Dst + 1 + R.next(NumModules - 1)) %
+                           NumModules);
+      Fresh->Kind = Msg->Kind + 1;
+      Fresh->Payload = (Msg->Payload * 7 + 13) % 1500;
+      Fes.push(Fresh);
+    }
+    freeArray(RT, Msg);
+    if (Fes.size() < 8) {
+      auto Boost = allocOne<Message, P>(RT);
+      Boost->ArrivalTime = Now + 0.01;
+      Boost->SrcModule = 0;
+      Boost->DstModule = static_cast<int>(R.next(NumModules));
+      Boost->Kind = 0;
+      Boost->Payload = 64;
+      Fes.push(Boost);
+    }
+  }
+
+  uint64_t Total = 0;
+  for (unsigned I = 0; I < NumModules; ++I)
+    Total += static_cast<uint64_t>(Modules[I].PacketsSeen) * 31 +
+             static_cast<uint64_t>(Modules[I].BytesSeen);
+  Checksum = mixChecksum(Checksum, Total);
+  Checksum = mixChecksum(Checksum, static_cast<uint64_t>(Now * 1e6));
+
+  while (!Fes.empty())
+    freeArray(RT, Fes.pop());
+  Fes.destroy(RT);
+  freeArray(RT, Modules);
+  return Checksum;
+}
+
+} // namespace
+} // namespace workloads
+} // namespace effective
+
+const effective::workloads::Workload effective::workloads::OmnetppWorkload =
+    {{"omnetpp", "C++", 20.0, /*SeededIssues=*/0},
+     EFFSAN_WORKLOAD_ENTRIES(runOmnetpp)};

@@ -1,0 +1,263 @@
+//===- workloads/spec/Perlbench.cpp - 400.perlbench stand-in --------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A hash-table-heavy interpreter kernel standing in for 400.perlbench:
+/// chained hash tables of scalar values ("SVs") with kind dispatch and
+/// string manipulation. Seeded issues mirror Section 6.1's perlbench
+/// findings: struct-prefix "inheritance" confusion, (T*) confused with
+/// (T**), memory reused as a different type instead of being freed, and
+/// the known use-after-free from [32].
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Support.h"
+#include "workloads/spec/SpecWorkloads.h"
+
+namespace perlw {
+
+/// Perl-style scalar variants sharing a common prefix — the paper's
+/// "ad hoc implementation of C++-style inheritance".
+struct SvAny {
+  int Kind;
+  int Flags;
+};
+
+struct SvInt {
+  int Kind;
+  int Flags;
+  long IntVal;
+};
+
+struct SvNum {
+  int Kind;
+  int Flags;
+  double NumVal;
+};
+
+struct SvStr {
+  int Kind;
+  int Flags;
+  char Buf[32];
+  unsigned Len;
+};
+
+struct HashEntry {
+  HashEntry *Next;
+  uint64_t Hash;
+  long Key;
+  SvInt *Value;
+};
+
+} // namespace perlw
+
+EFFECTIVE_REFLECT(perlw::SvAny, Kind, Flags);
+EFFECTIVE_REFLECT(perlw::SvInt, Kind, Flags, IntVal);
+EFFECTIVE_REFLECT(perlw::SvNum, Kind, Flags, NumVal);
+EFFECTIVE_REFLECT(perlw::SvStr, Kind, Flags, Buf, Len);
+EFFECTIVE_REFLECT(perlw::HashEntry, Next, Hash, Key, Value);
+
+namespace effective {
+namespace workloads {
+namespace {
+
+using namespace perlw;
+
+constexpr unsigned NumBuckets = 256;
+
+template <typename P>
+uint64_t hashInsertLookup(Runtime &RT, Rng &R, unsigned Ops,
+                          uint64_t &Checksum) {
+  // Bucket array of HashEntry* heads.
+  auto Buckets = allocArray<HashEntry *, P>(RT, NumBuckets);
+  for (unsigned I = 0; I < NumBuckets; ++I)
+    Buckets[I] = nullptr;
+
+  uint64_t Live = 0;
+  for (unsigned Op = 0; Op < Ops; ++Op) {
+    long Key = static_cast<long>(R.next(Ops / 2 + 1));
+    uint64_t H = hashMix(static_cast<uint64_t>(Key));
+    unsigned B = H % NumBuckets;
+    // Chain walk: each loaded pointer is an input (rule (c)).
+    auto Entry = CheckedPtr<HashEntry, P>::input(Buckets[B]);
+    bool Found = false;
+    while (Entry.raw()) {
+      if (Entry->Key == Key) {
+        Checksum = mixChecksum(Checksum, Entry->Value
+                                             ? static_cast<uint64_t>(
+                                                   CheckedPtr<SvInt, P>::
+                                                       input(Entry->Value)
+                                                           ->IntVal)
+                                             : 0);
+        Found = true;
+        break;
+      }
+      Entry = CheckedPtr<HashEntry, P>::input(Entry->Next);
+    }
+    if (Found)
+      continue;
+    auto Value = allocOne<SvInt, P>(RT);
+    Value->Kind = 1;
+    Value->Flags = 0;
+    Value->IntVal = Key * 3 + 1;
+    auto Fresh = allocOne<HashEntry, P>(RT);
+    Fresh->Next = Buckets[B];
+    Fresh->Hash = H;
+    Fresh->Key = Key;
+    Fresh->Value = Value.escape();
+    Buckets[B] = Fresh.escape();
+    ++Live;
+  }
+
+  // Tear the table down (exercises type_free heavily, like perl's
+  // scope exits).
+  for (unsigned B = 0; B < NumBuckets; ++B) {
+    auto Entry = CheckedPtr<HashEntry, P>::input(Buckets[B]);
+    while (Entry.raw()) {
+      auto Next = CheckedPtr<HashEntry, P>::input(Entry->Next);
+      freeArray(RT, CheckedPtr<SvInt, P>::input(Entry->Value));
+      freeArray(RT, Entry);
+      Entry = Next;
+    }
+  }
+  freeArray(RT, Buckets);
+  return Live;
+}
+
+/// String append/interpolate kernel over SvStr values.
+template <typename P>
+uint64_t stringOps(Runtime &RT, Rng &R, unsigned Ops, uint64_t &Checksum) {
+  uint64_t Total = 0;
+  for (unsigned Op = 0; Op < Ops; ++Op) {
+    auto S = allocOne<SvStr, P>(RT);
+    S->Kind = 3;
+    S->Flags = 0;
+    auto Buf = S.field(&SvStr::Buf);
+    unsigned Len = static_cast<unsigned>(R.next(31));
+    for (unsigned I = 0; I < Len; ++I)
+      Buf[I] = static_cast<char>('a' + (R.next() % 26));
+    if (Len < 31)
+      Buf[Len] = 0;
+    S->Len = Len;
+    for (unsigned I = 0; I < Len; ++I)
+      Total += static_cast<unsigned char>(Buf[I]);
+    freeArray(RT, S);
+  }
+  Checksum = mixChecksum(Checksum, Total);
+  return Total;
+}
+
+/// Section 6.1 seeded issues, one bucket each.
+template <typename P> void seededBugs(Runtime &RT) {
+  if constexpr (!isInstrumented<P>())
+    return;
+  // (1)-(4): struct-prefix inheritance confusion in both directions —
+  // SvAny is used as the "base class" of the other variants.
+  {
+    auto Base = allocOne<SvAny, P>(RT);
+    Base->Kind = 0;
+    auto AsInt = CheckedPtr<SvInt, P>::fromCast(Base);   // issue 1
+    (void)AsInt;
+    auto AsNum = CheckedPtr<SvNum, P>::fromCast(Base);   // issue 2
+    (void)AsNum;
+    auto AsStr = CheckedPtr<SvStr, P>::fromCast(Base);   // issue 3
+    (void)AsStr;
+    freeArray(RT, Base);
+  }
+  {
+    auto IntSv = allocOne<SvInt, P>(RT);
+    auto AsNum = CheckedPtr<SvNum, P>::fromCast(IntSv);  // issue 4
+    (void)AsNum;
+    freeArray(RT, IntSv);
+  }
+  // (5): (T *) confused with (T **) — an SvInt object read as if it
+  // held SvInt pointers.
+  {
+    auto IntSv = allocOne<SvInt, P>(RT);
+    auto AsPtrPtr = CheckedPtr<SvInt *, P>::fromCast(IntSv); // issue 5
+    (void)AsPtrPtr;
+    freeArray(RT, IntSv);
+  }
+  // (6): reusing memory as a different type rather than freeing it.
+  {
+    auto IntSv = allocOne<SvInt, P>(RT);
+    freeArray(RT, IntSv);
+    auto NumSv = allocOne<SvNum, P>(RT); // Reuses the block (LIFO).
+    auto Stale = CheckedPtr<SvInt, P>::input(IntSv.raw()); // issue 6
+    (void)Stale;
+    freeArray(RT, NumSv);
+  }
+  // (7): the known use-after-free reported in [32] (test workload).
+  {
+    auto S = allocOne<SvStr, P>(RT);
+    freeArray(RT, S);
+    auto Dangling = CheckedPtr<SvStr, P>::input(S.raw()); // issue 7
+    (void)Dangling;
+  }
+  // (8): double free.
+  {
+    auto S = allocOne<SvInt, P>(RT);
+    freeArray(RT, S);
+    freeArray(RT, S); // issue 8
+  }
+  // (9): scalar buffer overflowed by one into the Len field
+  // (sub-object bounds).
+  {
+    auto S = allocOne<SvStr, P>(RT);
+    auto Buf = S.field(&SvStr::Buf);
+    Buf[32] = 1; // issue 9: off-by-one into Len
+    freeArray(RT, S);
+  }
+}
+
+/// Interop with uninstrumented-library memory: perl links against libc
+/// and friends whose buffers are not low-fat allocations. Checks on
+/// such pointers take the legacy path (wide bounds, Figure 6 lines
+/// 11-12); Section 6.1 reports ~1.1% of all type checks were legacy.
+template <typename P>
+uint64_t legacyLibraryPhase(Rng &R, unsigned Ops, uint64_t Seed) {
+  unsigned Size = 512;
+  char *Buffer = static_cast<char *>(std::malloc(Size));
+  MallocTally::noteAlloc(Buffer);
+  for (unsigned I = 0; I < Size; ++I)
+    Buffer[I] = static_cast<char>((Seed + I) & 0x7f);
+  uint64_t Acc = Seed;
+  for (unsigned Op = 0; Op < Ops; ++Op) {
+    // The library hands back an interior pointer; instrumented code
+    // re-checks it on input (rule (a)) and reads through it.
+    auto In = CheckedPtr<char, P>::input(
+        Buffer + R.next(Size - 8));
+    for (int K = 0; K < 8; ++K)
+      Acc = Acc * 131 + static_cast<uint64_t>(In[K]);
+  }
+  MallocTally::noteFree(Buffer);
+  std::free(Buffer);
+  return Acc;
+}
+
+template <typename P> uint64_t runPerlbench(Runtime &RT, unsigned Scale) {
+  Rng R(0x9e11);
+  uint64_t Checksum = 0x517;
+  unsigned Ops = 220 * Scale;
+  for (int Round = 0; Round < 3; ++Round) {
+    Checksum =
+        mixChecksum(Checksum, hashInsertLookup<P>(RT, R, Ops, Checksum));
+    Checksum = mixChecksum(Checksum, stringOps<P>(RT, R, Ops / 2,
+                                                  Checksum));
+    Checksum = mixChecksum(Checksum,
+                           legacyLibraryPhase<P>(R, Ops * 12, Checksum));
+  }
+  seededBugs<P>(RT);
+  return Checksum;
+}
+
+} // namespace
+} // namespace workloads
+} // namespace effective
+
+const effective::workloads::Workload
+    effective::workloads::PerlbenchWorkload = {
+        {"perlbench", "C", 126.4, /*SeededIssues=*/9},
+        EFFSAN_WORKLOAD_ENTRIES(runPerlbench)};

@@ -1,0 +1,233 @@
+//===- workloads/spec/Povray.cpp - 453.povray stand-in --------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A ray-tracing kernel standing in for 453.povray: sphere/plane
+/// intersection with Lambertian shading and one reflection bounce.
+/// povray's Section 6.1 issues come from its "idiosyncratic
+/// implementation of C++-style inheritance using C-style structs with
+/// overlapping layouts" — the seeded bugs cast between such prefix-
+/// sharing object structs in both directions.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Support.h"
+#include "workloads/spec/SpecWorkloads.h"
+
+#include <cmath>
+
+namespace povw {
+
+/// C-style object "hierarchy" with shared prefixes (pre-C++ povray).
+struct ObjectBase {
+  int Kind;
+  int Flags;
+  double Transform[3];
+};
+
+struct SphereObj {
+  int Kind;
+  int Flags;
+  double Transform[3];
+  double Center[3];
+  double Radius;
+};
+
+struct PlaneObj {
+  int Kind;
+  int Flags;
+  double Transform[3];
+  double Normal[3];
+  double Offset;
+};
+
+struct LightObj {
+  int Kind;
+  int Flags;
+  double Transform[3];
+  double Position[3];
+  double Intensity;
+};
+
+} // namespace povw
+
+EFFECTIVE_REFLECT(povw::ObjectBase, Kind, Flags, Transform);
+EFFECTIVE_REFLECT(povw::SphereObj, Kind, Flags, Transform, Center, Radius);
+EFFECTIVE_REFLECT(povw::PlaneObj, Kind, Flags, Transform, Normal, Offset);
+EFFECTIVE_REFLECT(povw::LightObj, Kind, Flags, Transform, Position,
+                  Intensity);
+
+namespace effective {
+namespace workloads {
+namespace {
+
+using namespace povw;
+
+constexpr int NumSpheres = 12;
+constexpr int ImageW = 48;
+constexpr int ImageH = 32;
+
+struct Vec3 {
+  double X, Y, Z;
+};
+
+static Vec3 sub(Vec3 A, Vec3 B) { return {A.X - B.X, A.Y - B.Y, A.Z - B.Z}; }
+static double dotp(Vec3 A, Vec3 B) {
+  return A.X * B.X + A.Y * B.Y + A.Z * B.Z;
+}
+static Vec3 scale(Vec3 A, double S) { return {A.X * S, A.Y * S, A.Z * S}; }
+static Vec3 add(Vec3 A, Vec3 B) { return {A.X + B.X, A.Y + B.Y, A.Z + B.Z}; }
+
+/// Intersects a ray with a sphere; returns t or -1.
+template <typename P>
+double hitSphere(CheckedPtr<SphereObj, P> S, Vec3 Origin, Vec3 Dir) {
+  auto C = S.field(&SphereObj::Center);
+  Vec3 Center{C[0], C[1], C[2]};
+  double Radius = S->Radius;
+  Vec3 Oc = sub(Origin, Center);
+  double B = 2 * dotp(Oc, Dir);
+  double Cc = dotp(Oc, Oc) - Radius * Radius;
+  double Disc = B * B - 4 * Cc;
+  if (Disc < 0)
+    return -1;
+  double T = (-B - std::sqrt(Disc)) / 2;
+  return T > 1e-6 ? T : -1;
+}
+
+template <typename P>
+double traceRay(CheckedPtr<SphereObj *, P> Scene,
+                CheckedPtr<LightObj, P> Light, Vec3 Origin, Vec3 Dir,
+                int Depth) {
+  double BestT = 1e30;
+  int BestIdx = -1;
+  for (int I = 0; I < NumSpheres; ++I) {
+    auto S = CheckedPtr<SphereObj, P>::input(Scene[I]);
+    double T = hitSphere(S, Origin, Dir);
+    if (T > 0 && T < BestT) {
+      BestT = T;
+      BestIdx = I;
+    }
+  }
+  if (BestIdx < 0)
+    return 0.05; // Background.
+  auto S = CheckedPtr<SphereObj, P>::input(Scene[BestIdx]);
+  Vec3 Hit = add(Origin, scale(Dir, BestT));
+  auto C = S.field(&SphereObj::Center);
+  Vec3 Normal = sub(Hit, Vec3{C[0], C[1], C[2]});
+  double Len = std::sqrt(dotp(Normal, Normal));
+  Normal = scale(Normal, 1.0 / (Len > 1e-9 ? Len : 1));
+  auto LP = Light.field(&LightObj::Position);
+  Vec3 ToLight = sub(Vec3{LP[0], LP[1], LP[2]}, Hit);
+  double LLen = std::sqrt(dotp(ToLight, ToLight));
+  ToLight = scale(ToLight, 1.0 / (LLen > 1e-9 ? LLen : 1));
+  double Diffuse = dotp(Normal, ToLight);
+  if (Diffuse < 0)
+    Diffuse = 0;
+  double Shade = 0.1 + Diffuse * Light->Intensity;
+  if (Depth > 0) {
+    Vec3 Reflect = sub(Dir, scale(Normal, 2 * dotp(Dir, Normal)));
+    Shade += 0.3 * traceRay(Scene, Light, Hit, Reflect, Depth - 1);
+  }
+  return Shade;
+}
+
+template <typename P> void seededBugs(Runtime &RT) {
+  if constexpr (!isInstrumented<P>())
+    return;
+  // Prefix-struct "inheritance" in all its povray glory: base-to-
+  // derived and cross-sibling casts (issues 1-4).
+  {
+    auto Base = allocOne<ObjectBase, P>(RT);
+    Base->Kind = 1;
+    auto AsSphere = CheckedPtr<SphereObj, P>::fromCast(Base);  // issue 1
+    (void)AsSphere;
+    auto AsPlane = CheckedPtr<PlaneObj, P>::fromCast(Base);    // issue 2
+    (void)AsPlane;
+    freeArray(RT, Base);
+  }
+  {
+    auto Sphere = allocOne<SphereObj, P>(RT);
+    auto AsPlane = CheckedPtr<PlaneObj, P>::fromCast(Sphere);  // issue 3
+    (void)AsPlane;
+    auto AsLight = CheckedPtr<LightObj, P>::fromCast(Sphere);  // issue 4
+    (void)AsLight;
+    freeArray(RT, Sphere);
+  }
+  // (5) Downcast-then-overflow: treating a base allocation as derived
+  // and reaching the "derived" fields past the base's end.
+  {
+    auto Base = allocOne<ObjectBase, P>(RT);
+    auto Tr = Base.field(&ObjectBase::Transform);
+    (void)*(Tr + 3); // issue 5: reads past Transform (and the object)
+    freeArray(RT, Base);
+  }
+  // (6) Texture memory reused as another object kind.
+  {
+    auto Sphere = allocOne<SphereObj, P>(RT);
+    freeArray(RT, Sphere);
+    auto Plane = allocOne<PlaneObj, P>(RT); // Same class: reused.
+    auto Stale = CheckedPtr<SphereObj, P>::input(Sphere.raw()); // issue 6
+    (void)Stale;
+    freeArray(RT, Plane);
+  }
+}
+
+template <typename P> uint64_t runPovray(Runtime &RT, unsigned Scale) {
+  Rng R(0x90f);
+  uint64_t Checksum = 0x90f;
+
+  auto Scene = allocArray<SphereObj *, P>(RT, NumSpheres);
+  for (int I = 0; I < NumSpheres; ++I) {
+    auto S = allocOne<SphereObj, P>(RT);
+    S->Kind = 1;
+    S->Flags = 0;
+    auto C = S.field(&SphereObj::Center);
+    C[0] = R.nextDouble() * 8 - 4;
+    C[1] = R.nextDouble() * 8 - 4;
+    C[2] = 4 + R.nextDouble() * 6;
+    S->Radius = 0.4 + R.nextDouble();
+    Scene[I] = S.escape();
+  }
+  auto Light = allocOne<LightObj, P>(RT);
+  Light->Kind = 2;
+  auto LP = Light.field(&LightObj::Position);
+  LP[0] = 5;
+  LP[1] = 8;
+  LP[2] = -2;
+  Light->Intensity = 0.9;
+
+  unsigned Frames = Scale;
+  for (unsigned F = 0; F < Frames; ++F) {
+    double Accum = 0;
+    for (int Y = 0; Y < ImageH; ++Y) {
+      for (int X = 0; X < ImageW; ++X) {
+        Vec3 Dir{(X - ImageW / 2.0) / ImageW,
+                 (Y - ImageH / 2.0) / ImageH, 1.0};
+        double Len = std::sqrt(dotp(Dir, Dir));
+        Dir = scale(Dir, 1.0 / Len);
+        Accum += traceRay<P>(Scene, Light, Vec3{0, 0, -6}, Dir, 2);
+      }
+    }
+    // Move the light between frames.
+    LP[0] = 5 + static_cast<double>(F % 7);
+    Checksum = mixChecksum(Checksum, static_cast<uint64_t>(Accum * 100));
+  }
+
+  seededBugs<P>(RT);
+
+  for (int I = 0; I < NumSpheres; ++I)
+    freeArray(RT, CheckedPtr<SphereObj, P>::input(Scene[I]));
+  freeArray(RT, Scene);
+  freeArray(RT, Light);
+  return Checksum;
+}
+
+} // namespace
+} // namespace workloads
+} // namespace effective
+
+const effective::workloads::Workload effective::workloads::PovrayWorkload =
+    {{"povray", "C++", 78.7, /*SeededIssues=*/6},
+     EFFSAN_WORKLOAD_ENTRIES(runPovray)};

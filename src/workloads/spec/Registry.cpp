@@ -1,0 +1,24 @@
+//===- workloads/spec/Registry.cpp - SPEC workload registry ---------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/spec/SpecWorkloads.h"
+
+using namespace effective;
+using namespace effective::workloads;
+
+const std::vector<Workload> &effective::workloads::specWorkloads() {
+  // Figure 7 order.
+  static const std::vector<Workload> Workloads = {
+      PerlbenchWorkload, Bzip2Workload,   GccWorkload,
+      McfWorkload,       GobmkWorkload,   HmmerWorkload,
+      SjengWorkload,     LibquantumWorkload, H264refWorkload,
+      OmnetppWorkload,   AstarWorkload,   XalancbmkWorkload,
+      MilcWorkload,      NamdWorkload,    DealIIWorkload,
+      SoplexWorkload,    PovrayWorkload,  LbmWorkload,
+      Sphinx3Workload,
+  };
+  return Workloads;
+}

@@ -1,0 +1,144 @@
+//===- workloads/spec/Sjeng.cpp - 458.sjeng stand-in ----------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A game-tree-search kernel standing in for 458.sjeng: negamax with
+/// alpha-beta pruning over a simplified 8x8 piece game, with a
+/// transposition table. Clean: the paper reports zero issues.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Support.h"
+#include "workloads/spec/SpecWorkloads.h"
+
+namespace sjengw {
+
+struct TtEntry {
+  uint64_t Key;
+  int Depth;
+  int Score;
+};
+
+} // namespace sjengw
+
+EFFECTIVE_REFLECT(sjengw::TtEntry, Key, Depth, Score);
+
+namespace effective {
+namespace workloads {
+namespace {
+
+using namespace sjengw;
+
+constexpr int NumSquares = 64;
+constexpr unsigned TtSize = 1 << 12;
+
+template <typename P> struct Search {
+  CheckedPtr<signed char, P> Board; // Piece values -3..3; 0 empty.
+  CheckedPtr<TtEntry, P> Tt;
+  CheckedPtr<uint64_t, P> Zobrist;  // [NumSquares * 7]
+  uint64_t Nodes = 0;
+};
+
+template <typename P> uint64_t hashBoard(Search<P> &S) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (int Sq = 0; Sq < NumSquares; ++Sq)
+    H ^= S.Zobrist[Sq * 7 + (S.Board[Sq] + 3)];
+  return H;
+}
+
+template <typename P> int evaluate(Search<P> &S, int Side) {
+  int Score = 0;
+  for (int Sq = 0; Sq < NumSquares; ++Sq)
+    Score += S.Board[Sq];
+  return Side * Score * 10;
+}
+
+template <typename P>
+int negamax(Search<P> &S, Rng &R, int Depth, int Alpha, int Beta,
+            int Side) {
+  ++S.Nodes;
+  // Function entry: the search-state pointers are parameters and are
+  // re-checked on every recursive call (rule (a)).
+  S.Board = enterFunction(S.Board);
+  S.Tt = enterFunction(S.Tt);
+  S.Zobrist = enterFunction(S.Zobrist);
+  if (Depth == 0)
+    return evaluate(S, Side);
+
+  uint64_t Key = hashBoard(S);
+  auto Entry = S.Tt + static_cast<ptrdiff_t>(Key % TtSize);
+  if (Entry->Key == Key && Entry->Depth >= Depth)
+    return Entry->Score;
+
+  int Best = -(1 << 20);
+  // Try a handful of pseudo-moves: move a friendly piece to a random
+  // square (capturing whatever is there).
+  for (int Try = 0; Try < 6; ++Try) {
+    int From = static_cast<int>(R.next(NumSquares));
+    int To = static_cast<int>(R.next(NumSquares));
+    signed char Piece = S.Board[From];
+    if (Piece * Side <= 0 || From == To)
+      continue;
+    signed char Captured = S.Board[To];
+    S.Board[To] = Piece;
+    S.Board[From] = 0;
+    int Score = -negamax(S, R, Depth - 1, -Beta, -Alpha, -Side);
+    S.Board[From] = Piece;
+    S.Board[To] = Captured;
+    if (Score > Best)
+      Best = Score;
+    if (Best > Alpha)
+      Alpha = Best;
+    if (Alpha >= Beta)
+      break;
+  }
+  if (Best == -(1 << 20))
+    Best = evaluate(S, Side);
+
+  Entry->Key = Key;
+  Entry->Depth = Depth;
+  Entry->Score = Best;
+  return Best;
+}
+
+template <typename P> uint64_t runSjeng(Runtime &RT, unsigned Scale) {
+  Rng R(0x51e);
+  uint64_t Checksum = 0x51e;
+
+  Search<P> S;
+  S.Board = allocArray<signed char, P>(RT, NumSquares);
+  S.Tt = allocArray<TtEntry, P>(RT, TtSize);
+  S.Zobrist = allocArray<uint64_t, P>(RT, NumSquares * 7);
+  for (int I = 0; I < NumSquares * 7; ++I)
+    S.Zobrist[I] = R.next();
+  for (unsigned I = 0; I < TtSize; ++I)
+    S.Tt[I] = TtEntry{0, -1, 0};
+
+  unsigned Positions = 2 * Scale;
+  for (unsigned Pos = 0; Pos < Positions; ++Pos) {
+    for (int Sq = 0; Sq < NumSquares; ++Sq) {
+      uint64_t V = R.next(12);
+      S.Board[Sq] = V < 3 ? static_cast<signed char>(V + 1)
+                  : V < 6 ? static_cast<signed char>(-(long)(V - 2))
+                          : 0;
+    }
+    int Score = negamax(S, R, 5, -(1 << 20), 1 << 20, 1);
+    Checksum = mixChecksum(Checksum, static_cast<uint64_t>(Score));
+  }
+  Checksum = mixChecksum(Checksum, S.Nodes);
+
+  freeArray(RT, S.Board);
+  freeArray(RT, S.Tt);
+  freeArray(RT, S.Zobrist);
+  return Checksum;
+}
+
+} // namespace
+} // namespace workloads
+} // namespace effective
+
+const effective::workloads::Workload effective::workloads::SjengWorkload = {
+    {"sjeng", "C", 10.5, /*SeededIssues=*/0},
+    EFFSAN_WORKLOAD_ENTRIES(runSjeng)};

@@ -1,0 +1,148 @@
+//===- workloads/spec/Soplex.cpp - 450.soplex stand-in --------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// A linear-programming kernel standing in for 450.soplex: dense
+/// tableau simplex iterations on random feasible LPs. The seeded issue
+/// is the paper's soplex finding: a sub-object *underflow* of the
+/// (themem1) field of a UnitVector (intentional in the original code,
+/// relying on field adjacency).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Support.h"
+#include "workloads/spec/SpecWorkloads.h"
+
+namespace soplexw {
+
+/// The paper's UnitVector: a one-element value array (themem1) directly
+/// preceded by bookkeeping that soplex reaches by underflowing it.
+struct UnitVector {
+  int Index;
+  int Dim;
+  double TheMem1[1];
+};
+
+} // namespace soplexw
+
+EFFECTIVE_REFLECT(soplexw::UnitVector, Index, Dim, TheMem1);
+
+namespace effective {
+namespace workloads {
+namespace {
+
+using namespace soplexw;
+
+constexpr int NumRows = 24;
+constexpr int NumCols = 40; // Including slack variables.
+
+template <typename P> uint64_t runSoplex(Runtime &RT, unsigned Scale) {
+  Rng R(0x50f1);
+  uint64_t Checksum = 0x50f1;
+
+  // Tableau with objective row at index NumRows.
+  auto Tableau = allocArray<double, P>(RT, (NumRows + 1) * (NumCols + 1));
+  auto Basis = allocArray<int, P>(RT, NumRows);
+
+  unsigned Problems = 3 * Scale;
+  for (unsigned Prob = 0; Prob < Problems; ++Prob) {
+    // Each problem corresponds to a solve(tableau, basis) call in the
+    // original; the pointers re-enter through the function boundary.
+    Tableau = enterFunction(Tableau);
+    Basis = enterFunction(Basis);
+    // Random standard-form LP: maximize cx s.t. Ax <= b, x >= 0, with
+    // slack variables already in the basis.
+    for (int Row = 0; Row < NumRows; ++Row) {
+      for (int Col = 0; Col < NumCols - NumRows; ++Col)
+        Tableau[Row * (NumCols + 1) + Col] =
+            static_cast<double>(R.next(9)) / 4.0;
+      for (int Col = NumCols - NumRows; Col < NumCols; ++Col)
+        Tableau[Row * (NumCols + 1) + Col] =
+            Col - (NumCols - NumRows) == Row ? 1.0 : 0.0;
+      Tableau[Row * (NumCols + 1) + NumCols] =
+          static_cast<double>(R.next(40) + 10);
+      Basis[Row] = NumCols - NumRows + Row;
+    }
+    for (int Col = 0; Col < NumCols - NumRows; ++Col)
+      Tableau[NumRows * (NumCols + 1) + Col] =
+          -static_cast<double>(R.next(9) + 1);
+    for (int Col = NumCols - NumRows; Col <= NumCols; ++Col)
+      Tableau[NumRows * (NumCols + 1) + Col] = 0;
+
+    // Simplex pivots (Dantzig rule), bounded iterations.
+    int Pivots = 0;
+    for (int Iter = 0; Iter < 60; ++Iter) {
+      // Entering column: most negative reduced cost.
+      int Enter = -1;
+      double BestCost = -1e-9;
+      for (int Col = 0; Col < NumCols; ++Col) {
+        double Cost = Tableau[NumRows * (NumCols + 1) + Col];
+        if (Cost < BestCost) {
+          BestCost = Cost;
+          Enter = Col;
+        }
+      }
+      if (Enter < 0)
+        break;
+      // Ratio test.
+      int Leave = -1;
+      double BestRatio = 1e30;
+      for (int Row = 0; Row < NumRows; ++Row) {
+        double Coef = Tableau[Row * (NumCols + 1) + Enter];
+        if (Coef <= 1e-9)
+          continue;
+        double Ratio = Tableau[Row * (NumCols + 1) + NumCols] / Coef;
+        if (Ratio < BestRatio) {
+          BestRatio = Ratio;
+          Leave = Row;
+        }
+      }
+      if (Leave < 0)
+        break; // Unbounded.
+      // Pivot.
+      double PivotVal = Tableau[Leave * (NumCols + 1) + Enter];
+      for (int Col = 0; Col <= NumCols; ++Col)
+        Tableau[Leave * (NumCols + 1) + Col] /= PivotVal;
+      for (int Row = 0; Row <= NumRows; ++Row) {
+        if (Row == Leave)
+          continue;
+        double Factor = Tableau[Row * (NumCols + 1) + Enter];
+        if (Factor == 0)
+          continue;
+        for (int Col = 0; Col <= NumCols; ++Col)
+          Tableau[Row * (NumCols + 1) + Col] -=
+              Factor * Tableau[Leave * (NumCols + 1) + Col];
+      }
+      Basis[Leave] = Enter;
+      ++Pivots;
+    }
+    double Objective = Tableau[NumRows * (NumCols + 1) + NumCols];
+    Checksum = mixChecksum(
+        Checksum, static_cast<uint64_t>(Objective * 100) + Pivots);
+  }
+
+  // Seeded issue: the (themem1) sub-object underflow — reading one
+  // double *before* the array reaches the Index/Dim header fields.
+  if constexpr (isInstrumented<P>()) {
+    auto U = allocOne<UnitVector, P>(RT);
+    U->Index = 3;
+    U->Dim = 1;
+    auto Mem = U.field(&UnitVector::TheMem1);
+    (void)*(Mem - 1); // Underflow into Dim/Index (documented in soplex).
+    freeArray(RT, U);
+  }
+
+  freeArray(RT, Tableau);
+  freeArray(RT, Basis);
+  return Checksum;
+}
+
+} // namespace
+} // namespace workloads
+} // namespace effective
+
+const effective::workloads::Workload effective::workloads::SoplexWorkload =
+    {{"soplex", "C++", 28.3, /*SeededIssues=*/1},
+     EFFSAN_WORKLOAD_ENTRIES(runSoplex)};

@@ -1,0 +1,46 @@
+//===- workloads/spec/SpecWorkloads.h - SPEC2006 stand-ins ------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declarations of the 19 SPEC2006 stand-in kernels (one per paper
+/// Figure 7 row). Each kernel reproduces the allocation/access pattern
+/// of the original benchmark and seeds exactly the classes of issues
+/// the paper reports for it (see DESIGN.md, substitution 1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_WORKLOADS_SPEC_SPECWORKLOADS_H
+#define EFFECTIVE_WORKLOADS_SPEC_SPECWORKLOADS_H
+
+#include "workloads/Workload.h"
+
+namespace effective {
+namespace workloads {
+
+extern const Workload PerlbenchWorkload;
+extern const Workload Bzip2Workload;
+extern const Workload GccWorkload;
+extern const Workload McfWorkload;
+extern const Workload GobmkWorkload;
+extern const Workload HmmerWorkload;
+extern const Workload SjengWorkload;
+extern const Workload LibquantumWorkload;
+extern const Workload H264refWorkload;
+extern const Workload OmnetppWorkload;
+extern const Workload AstarWorkload;
+extern const Workload XalancbmkWorkload;
+extern const Workload MilcWorkload;
+extern const Workload NamdWorkload;
+extern const Workload DealIIWorkload;
+extern const Workload SoplexWorkload;
+extern const Workload PovrayWorkload;
+extern const Workload LbmWorkload;
+extern const Workload Sphinx3Workload;
+
+} // namespace workloads
+} // namespace effective
+
+#endif // EFFECTIVE_WORKLOADS_SPEC_SPECWORKLOADS_H

@@ -1,0 +1,258 @@
+//===- workloads/spec/Xalancbmk.cpp - 483.xalancbmk stand-in --------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// An XML-transformation kernel standing in for 483.xalancbmk: parsing
+/// a synthetic markup stream into a polymorphic node tree, then running
+/// template-matching traversals. Seeded issues mirror Section 6.1's
+/// xalancbmk findings: the two bad C++ downcasts (SchemaGrammar /
+/// DOMElementImpl), container casts around stdlib-style buffers, and a
+/// phantom-class cast.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Support.h"
+#include "workloads/spec/SpecWorkloads.h"
+
+#include <new>
+
+namespace xalanw {
+
+/// Polymorphic grammar hierarchy (the paper's first bad downcast).
+struct Grammar {
+  virtual ~Grammar() = default;
+  virtual int grammarType() const { return 0; }
+  int GType = 0;
+};
+
+struct SchemaGrammar : Grammar {
+  int grammarType() const override { return 1; }
+  long SchemaInfo = 0;
+};
+
+struct DTDGrammar : Grammar {
+  int grammarType() const override { return 2; }
+  double DtdEntities = 0;
+};
+
+/// Simplified DOM node hierarchy (the paper's second bad downcast is
+/// DOMDocumentImpl -> DOMElementImpl).
+struct DomNode {
+  virtual ~DomNode() = default;
+  DomNode *FirstChild = nullptr;
+  DomNode *NextSibling = nullptr;
+  int NodeKind = 0;
+};
+
+struct DomElement : DomNode {
+  int TagCode = 0;
+  int NumAttrs = 0;
+};
+
+struct DomText : DomNode {
+  long TextHash = 0;
+};
+
+struct DomDocument : DomNode {
+  DomElement *Root = nullptr;
+  int NumNodes = 0;
+};
+
+/// Phantom classes: same layout, different tags (Section 6.1).
+struct XalanVectorA {
+  long *Data;
+  unsigned Size;
+  unsigned Cap;
+};
+
+struct XalanVectorB {
+  long *Data;
+  unsigned Size;
+  unsigned Cap;
+};
+
+/// Container idiom: a buffer embedded at the head of a pool block.
+struct PoolBlock {
+  long Buffer[8];
+  PoolBlock *NextBlock;
+};
+
+} // namespace xalanw
+
+EFFECTIVE_REFLECT_POLY(xalanw::Grammar, GType);
+EFFECTIVE_REFLECT_DERIVED(xalanw::SchemaGrammar, xalanw::Grammar,
+                          SchemaInfo);
+EFFECTIVE_REFLECT_DERIVED(xalanw::DTDGrammar, xalanw::Grammar, DtdEntities);
+EFFECTIVE_REFLECT_POLY(xalanw::DomNode, FirstChild, NextSibling, NodeKind);
+EFFECTIVE_REFLECT_DERIVED(xalanw::DomElement, xalanw::DomNode, TagCode,
+                          NumAttrs);
+EFFECTIVE_REFLECT_DERIVED(xalanw::DomText, xalanw::DomNode, TextHash);
+EFFECTIVE_REFLECT_DERIVED(xalanw::DomDocument, xalanw::DomNode, Root,
+                          NumNodes);
+EFFECTIVE_REFLECT(xalanw::XalanVectorA, Data, Size, Cap);
+EFFECTIVE_REFLECT(xalanw::XalanVectorB, Data, Size, Cap);
+EFFECTIVE_REFLECT(xalanw::PoolBlock, Buffer, NextBlock);
+
+namespace effective {
+namespace workloads {
+namespace {
+
+using namespace xalanw;
+
+/// Builds a random document tree; returns the element count.
+template <typename P>
+int buildTree(Runtime &RT, Rng &R, CheckedPtr<DomElement, P> Parent,
+              int Depth, int &Budget) {
+  int Built = 0;
+  int Children = static_cast<int>(R.next(4)) + (Depth > 0 ? 1 : 0);
+  DomNode *PrevRaw = nullptr;
+  for (int C = 0; C < Children && Budget > 0; ++C) {
+    --Budget;
+    CheckedPtr<DomNode, P> Fresh;
+    if (Depth > 0 && R.next(3) != 0) {
+      auto Elem = allocOne<DomElement, P>(RT);
+      new (Elem.raw()) DomElement();
+      Elem->NodeKind = 1;
+      Elem->TagCode = static_cast<int>(R.next(32));
+      Elem->NumAttrs = static_cast<int>(R.next(4));
+      Built += 1 + buildTree(RT, R, Elem, Depth - 1, Budget);
+      Fresh = CheckedPtr<DomNode, P>::fromCast(Elem);
+    } else {
+      auto Text = allocOne<DomText, P>(RT);
+      new (Text.raw()) DomText();
+      Text->NodeKind = 3;
+      Text->TextHash = static_cast<long>(R.next());
+      Fresh = CheckedPtr<DomNode, P>::fromCast(Text);
+      ++Built;
+    }
+    if (PrevRaw) {
+      auto Prev = CheckedPtr<DomNode, P>::input(PrevRaw);
+      Prev->NextSibling = Fresh.escape();
+    } else {
+      Parent->FirstChild = Fresh.escape();
+    }
+    PrevRaw = Fresh.raw();
+  }
+  return Built;
+}
+
+/// Template matching: counts elements whose tag matches, recursively.
+template <typename P>
+long matchTemplates(CheckedPtr<DomNode, P> Node, int Tag) {
+  long Matches = 0;
+  while (Node.raw()) {
+    if (Node->NodeKind == 1) {
+      // Valid downcast: NodeKind was checked (like dynamic dispatch).
+      auto Elem = CheckedPtr<DomElement, P>::fromCast(Node);
+      if (Elem->TagCode == Tag)
+        ++Matches;
+      Matches +=
+          matchTemplates(CheckedPtr<DomNode, P>::input(Node->FirstChild),
+                         Tag);
+    }
+    Node = CheckedPtr<DomNode, P>::input(Node->NextSibling);
+  }
+  return Matches;
+}
+
+template <typename P>
+void freeTree(Runtime &RT, CheckedPtr<DomNode, P> Node) {
+  while (Node.raw()) {
+    auto Next = CheckedPtr<DomNode, P>::input(Node->NextSibling);
+    freeTree(RT, CheckedPtr<DomNode, P>::input(Node->FirstChild));
+    freeArray(RT, Node);
+    Node = Next;
+  }
+}
+
+template <typename P> void seededBugs(Runtime &RT) {
+  if constexpr (!isInstrumented<P>())
+    return;
+  // (1) The SchemaGrammar bad downcast: nextElement() returned a
+  // DTDGrammar.
+  {
+    auto Dtd = allocOne<DTDGrammar, P>(RT);
+    new (Dtd.raw()) DTDGrammar();
+    auto Bad = CheckedPtr<SchemaGrammar, P>::fromCast(Dtd); // issue 1
+    (void)Bad;
+    freeArray(RT, Dtd);
+  }
+  // (2) The DOMDocumentImpl -> DOMElementImpl bad downcast.
+  {
+    auto Doc = allocOne<DomDocument, P>(RT);
+    new (Doc.raw()) DomDocument();
+    auto Bad = CheckedPtr<DomElement, P>::fromCast(Doc); // issue 2
+    (void)Bad;
+    freeArray(RT, Doc);
+  }
+  // (3) Container cast: a long buffer treated as the PoolBlock that
+  // contains it.
+  {
+    auto Buf = allocArray<long, P>(RT, 8);
+    auto Block = CheckedPtr<PoolBlock, P>::fromCast(Buf); // issue 3
+    (void)Block;
+    freeArray(RT, Buf);
+  }
+  // (4) Phantom classes: same layout, different tag.
+  {
+    auto VecA = allocOne<XalanVectorA, P>(RT);
+    auto VecB = CheckedPtr<XalanVectorB, P>::fromCast(VecA); // issue 4
+    (void)VecB;
+    freeArray(RT, VecA);
+  }
+  // (5) stdlib-style container cast: element type confused with the
+  // vector header (CaVer's reported class of errors).
+  {
+    auto VecA = allocOne<XalanVectorA, P>(RT);
+    auto AsLong = CheckedPtr<long, P>::fromCast(VecA);
+    (void)*(AsLong + 1); // issue 5: reads Size/Cap as long
+    freeArray(RT, VecA);
+  }
+}
+
+template <typename P> uint64_t runXalancbmk(Runtime &RT, unsigned Scale) {
+  Rng R(0xa1a);
+  uint64_t Checksum = 0xa1a;
+
+  unsigned Documents = 3 * Scale;
+  for (unsigned D = 0; D < Documents; ++D) {
+    auto Doc = allocOne<DomDocument, P>(RT);
+    new (Doc.raw()) DomDocument();
+    Doc->NodeKind = 9;
+    auto Root = allocOne<DomElement, P>(RT);
+    new (Root.raw()) DomElement();
+    Root->NodeKind = 1;
+    Root->TagCode = 0;
+    Doc->Root = Root.escape();
+
+    int Budget = 1400;
+    int Built = buildTree(RT, R, Root, 6, Budget);
+    Doc->NumNodes = Built;
+
+    long Matches = 0;
+    for (int Tag = 0; Tag < 8; ++Tag)
+      Matches += matchTemplates(
+          CheckedPtr<DomNode, P>::input(Root->FirstChild),
+          static_cast<int>(R.next(32)));
+    Checksum = mixChecksum(Checksum,
+                           static_cast<uint64_t>(Matches * 131 + Built));
+
+    freeTree(RT, CheckedPtr<DomNode, P>::input(Root->FirstChild));
+    freeArray(RT, Root);
+    freeArray(RT, Doc);
+  }
+
+  seededBugs<P>(RT);
+  return Checksum;
+}
+
+} // namespace
+} // namespace workloads
+} // namespace effective
+
+const effective::workloads::Workload
+    effective::workloads::XalancbmkWorkload = {
+        {"xalancbmk", "C++", 267.4, /*SeededIssues=*/5},
+        EFFSAN_WORKLOAD_ENTRIES(runXalancbmk)};

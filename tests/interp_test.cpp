@@ -1,0 +1,552 @@
+//===- tests/interp_test.cpp - End-to-end VM + sanitizer tests ------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// End-to-end tests: MiniC programs compiled with the Figure 3 schema
+/// and executed on the VM against the real runtime. Clean programs are
+/// silent under full instrumentation; seeded type/bounds/use-after-free
+/// errors are detected (and the run still completes, as in the paper's
+/// logging mode); the reduced variants detect exactly their classes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "instrument/Pipeline.h"
+#include "interp/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace effective;
+using namespace effective::instrument;
+
+namespace {
+
+struct ProgramRun {
+  interp::RunResult R;
+  uint64_t TypeErrors = 0;
+  uint64_t BoundsErrors = 0;
+  uint64_t UafErrors = 0;
+  uint64_t DoubleFrees = 0;
+};
+
+/// Compiles and runs \p Source under \p V; asserts compilation itself
+/// succeeds.
+ProgramRun runProgram(std::string_view Source,
+                      Variant V = Variant::Full) {
+  TypeContext Types;
+  RuntimeOptions RTOpts;
+  RTOpts.Reporter.Mode = ReportMode::Count;
+  Runtime RT(Types, RTOpts);
+
+  DiagnosticEngine Diags;
+  InstrumentOptions Opts;
+  Opts.V = V;
+  CompileResult C = compileMiniC(Source, Types, Diags, Opts);
+  for (const Diagnostic &D : Diags.diagnostics())
+    ADD_FAILURE() << D.Loc.Line << ":" << D.Loc.Column << ": "
+                  << D.Message;
+  ProgramRun Out;
+  if (!C.M)
+    return Out;
+
+  Out.R = interp::run(*C.M, RT);
+  Out.TypeErrors = RT.reporter().numIssues(ErrorKind::TypeError);
+  Out.BoundsErrors = RT.reporter().numIssues(ErrorKind::BoundsError);
+  Out.UafErrors = RT.reporter().numIssues(ErrorKind::UseAfterFree);
+  Out.DoubleFrees = RT.reporter().numIssues(ErrorKind::DoubleFree);
+  return Out;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Clean programs: correct results, zero reports
+//===----------------------------------------------------------------------===//
+
+TEST(Execution, Arithmetic) {
+  ProgramRun P = runProgram(R"(
+int main() { return (3 + 4) * 5 - 100 / 4 + (27 % 4); }
+)");
+  ASSERT_TRUE(P.R.Ok) << P.R.Fault;
+  EXPECT_EQ(P.R.ExitCode, 35 - 25 + 3);
+  EXPECT_EQ(P.R.IssuesReported, 0u);
+}
+
+TEST(Execution, FibonacciRecursion) {
+  ProgramRun P = runProgram(R"(
+int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+int main() { return fib(15); }
+)");
+  ASSERT_TRUE(P.R.Ok) << P.R.Fault;
+  EXPECT_EQ(P.R.ExitCode, 610);
+  EXPECT_EQ(P.R.IssuesReported, 0u);
+}
+
+TEST(Execution, PrintBuiltins) {
+  ProgramRun P = runProgram(R"(
+int main() {
+  print_int(42);
+  print_float(2.5);
+  print_str("hello world");
+  return 0;
+}
+)");
+  ASSERT_TRUE(P.R.Ok) << P.R.Fault;
+  EXPECT_EQ(P.R.Output, "42\n2.5\nhello world\n");
+  EXPECT_EQ(P.R.IssuesReported, 0u);
+}
+
+TEST(Execution, LinkedListLength) {
+  ProgramRun P = runProgram(R"(
+struct node { int value; struct node *next; };
+
+struct node *push(struct node *head, int v) {
+  struct node *n = (struct node *)malloc(sizeof(struct node));
+  n->value = v;
+  n->next = head;
+  return n;
+}
+
+int length(struct node *xs) {
+  int len = 0;
+  while (xs != NULL) {
+    len = len + 1;
+    xs = xs->next;
+  }
+  return len;
+}
+
+int main() {
+  struct node *head = NULL;
+  int i;
+  for (i = 0; i < 10; i = i + 1)
+    head = push(head, i);
+  int len = length(head);
+  while (head != NULL) {
+    struct node *next = head->next;
+    free(head);
+    head = next;
+  }
+  return len;
+}
+)");
+  ASSERT_TRUE(P.R.Ok) << P.R.Fault;
+  EXPECT_EQ(P.R.ExitCode, 10);
+  EXPECT_EQ(P.R.IssuesReported, 0u);
+  EXPECT_GT(P.R.Checks.TypeChecks, 10u); // Re-checked per node.
+}
+
+TEST(Execution, SumArray) {
+  ProgramRun P = runProgram(R"(
+int sum(int *a, int len) {
+  int s = 0;
+  int i;
+  for (i = 0; i < len; i = i + 1)
+    s = s + a[i];
+  return s;
+}
+int main() {
+  int *a = (int *)malloc(100 * sizeof(int));
+  int i;
+  for (i = 0; i < 100; i = i + 1)
+    a[i] = i;
+  int s = sum(a, 100);
+  free(a);
+  return s % 251;
+}
+)");
+  ASSERT_TRUE(P.R.Ok) << P.R.Fault;
+  EXPECT_EQ(P.R.ExitCode, 4950 % 251);
+  EXPECT_EQ(P.R.IssuesReported, 0u);
+  // One type check at sum() entry, one per element access elided to
+  // bounds checks: the Figure 4 shape.
+  EXPECT_GT(P.R.Checks.BoundsChecks, 100u);
+}
+
+TEST(Execution, GlobalsStringsStructs) {
+  ProgramRun P = runProgram(R"(
+struct config { int verbose; double scale; };
+struct config g_config;
+int g_calls = 3;
+
+double scaled(double v) {
+  g_calls = g_calls + 1;
+  return v * g_config.scale;
+}
+
+int main() {
+  g_config.verbose = 1;
+  g_config.scale = 2.5;
+  double r = scaled(4.0);
+  return (int)r + g_calls;
+}
+)");
+  ASSERT_TRUE(P.R.Ok) << P.R.Fault;
+  EXPECT_EQ(P.R.ExitCode, 10 + 4);
+  EXPECT_EQ(P.R.IssuesReported, 0u);
+}
+
+TEST(Execution, CleanProgramSilentUnderAllVariants) {
+  constexpr const char *Source = R"(
+struct pair { int a; int b; };
+int main() {
+  struct pair *p = (struct pair *)malloc(4 * sizeof(struct pair));
+  int i;
+  for (i = 0; i < 4; i = i + 1) {
+    p[i].a = i;
+    p[i].b = 2 * i;
+  }
+  int total = 0;
+  for (i = 0; i < 4; i = i + 1)
+    total = total + p[i].a + p[i].b;
+  free(p);
+  return total;
+}
+)";
+  for (Variant V :
+       {Variant::None, Variant::Type, Variant::Bounds, Variant::Full}) {
+    ProgramRun P = runProgram(Source, V);
+    ASSERT_TRUE(P.R.Ok) << P.R.Fault;
+    EXPECT_EQ(P.R.ExitCode, 0 + 0 + 1 + 2 + 2 + 4 + 3 + 6);
+    EXPECT_EQ(P.R.IssuesReported, 0u) << variantName(V);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Error detection: type confusion
+//===----------------------------------------------------------------------===//
+
+TEST(Detection, BadCastIsATypeError) {
+  ProgramRun P = runProgram(R"(
+int main() {
+  int *p = (int *)malloc(8 * sizeof(int));
+  float *q = (float *)p;
+  float f = *q;
+  free(p);
+  return (int)f;
+}
+)");
+  ASSERT_TRUE(P.R.Ok) << P.R.Fault;
+  EXPECT_GE(P.TypeErrors, 1u);
+}
+
+TEST(Detection, TypeVariantCatchesBadCastOnly) {
+  constexpr const char *Source = R"(
+struct S { int x[8]; };
+int main() {
+  struct S *s = (struct S *)malloc(sizeof(struct S));
+  double *q = (double *)s;      /* bad cast, result used below */
+  double d = *q;
+  s->x[9] = 1;                  /* sub-object overflow */
+  free(s);
+  return d != 0.0;
+}
+)";
+  ProgramRun Type = runProgram(Source, Variant::Type);
+  ASSERT_TRUE(Type.R.Ok) << Type.R.Fault;
+  EXPECT_GE(Type.TypeErrors, 1u);
+  EXPECT_EQ(Type.BoundsErrors, 0u); // No bounds checking at all.
+
+  ProgramRun Full = runProgram(Source, Variant::Full);
+  ASSERT_TRUE(Full.R.Ok) << Full.R.Fault;
+  EXPECT_GE(Full.TypeErrors, 1u);
+  EXPECT_GE(Full.BoundsErrors, 1u); // Full catches both.
+}
+
+TEST(Detection, UnusedBadCastIsDeliberatelySkippedByFull) {
+  // Section 4: instrumentation is limited to used pointers — "it is
+  // the responsibility of the eventual user of the pointer to check
+  // the type". The -type variant instead checks every cast (Section
+  // 6.2), so it catches what full instrumentation skips here.
+  constexpr const char *Source = R"(
+struct S { int x[8]; };
+int main() {
+  struct S *s = (struct S *)malloc(sizeof(struct S));
+  double *q = (double *)s;      /* bad cast, result never used */
+  free(s);
+  return 0;
+}
+)";
+  ProgramRun Full = runProgram(Source, Variant::Full);
+  ASSERT_TRUE(Full.R.Ok) << Full.R.Fault;
+  EXPECT_EQ(Full.TypeErrors, 0u);
+
+  ProgramRun Type = runProgram(Source, Variant::Type);
+  ASSERT_TRUE(Type.R.Ok) << Type.R.Fault;
+  EXPECT_GE(Type.TypeErrors, 1u);
+}
+
+TEST(Detection, ImplicitCastThroughMemoryIsCaught) {
+  // The Section 2.1 memcpy example, MiniC-style: the cast happens via a
+  // void* stored in memory; the error surfaces at *use*, which is what
+  // distinguishes EffectiveSan from cast-site-only tools.
+  ProgramRun P = runProgram(R"(
+struct holder { int *slot; };
+int main() {
+  float *f = (float *)malloc(4 * sizeof(float));
+  struct holder h;
+  h.slot = (int *)f;
+  int *p = h.slot;
+  int v = *p;
+  free(f);
+  return v;
+}
+)");
+  ASSERT_TRUE(P.R.Ok) << P.R.Fault;
+  EXPECT_GE(P.TypeErrors, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Error detection: (sub-)object bounds
+//===----------------------------------------------------------------------===//
+
+TEST(Detection, ObjectBoundsOverflow) {
+  ProgramRun P = runProgram(R"(
+int main() {
+  int *a = (int *)malloc(33 * sizeof(int));
+  int i;
+  int total = 0;
+  for (i = 0; i <= 33; i = i + 1)   /* off-by-one */
+    total = total + a[i];
+  free(a);
+  return total != 0;
+}
+)");
+  ASSERT_TRUE(P.R.Ok) << P.R.Fault;
+  EXPECT_GE(P.BoundsErrors, 1u);
+}
+
+TEST(Detection, SubObjectOverflowWithinStruct) {
+  // The paper's "account" example from the introduction: an overflow of
+  // number[] lands in balance — inside the same allocation, invisible
+  // to allocation-bounds tools.
+  constexpr const char *Source = R"(
+struct account { int number[8]; float balance; };
+int main() {
+  struct account *a = (struct account *)malloc(sizeof(struct account));
+  a->balance = 100.0;
+  a->number[8] = 7;           /* clobbers balance */
+  free(a);
+  return 0;
+}
+)";
+  ProgramRun Full = runProgram(Source, Variant::Full);
+  ASSERT_TRUE(Full.R.Ok) << Full.R.Fault;
+  EXPECT_GE(Full.BoundsErrors, 1u);
+
+  // The -bounds variant only enforces allocation bounds, so the write
+  // inside the struct passes — exactly the LowFat/ASan blind spot.
+  ProgramRun Bounds = runProgram(Source, Variant::Bounds);
+  ASSERT_TRUE(Bounds.R.Ok) << Bounds.R.Fault;
+  EXPECT_EQ(Bounds.BoundsErrors, 0u);
+}
+
+TEST(Detection, StackArrayOverflow) {
+  ProgramRun P = runProgram(R"(
+int main() {
+  int a[4];
+  int i;
+  for (i = 0; i <= 4; i = i + 1)    /* off-by-one on the stack */
+    a[i] = i;
+  return a[0];
+}
+)");
+  ASSERT_TRUE(P.R.Ok) << P.R.Fault;
+  EXPECT_GE(P.BoundsErrors, 1u);
+}
+
+TEST(Detection, NegativeIndexUnderflow) {
+  ProgramRun P = runProgram(R"(
+struct vec { int header; double data[4]; };
+int main() {
+  struct vec *v = (struct vec *)malloc(sizeof(struct vec));
+  double *d = v->data;
+  double x = *(d - 1);              /* underflow into header */
+  free(v);
+  return x != 0.0;
+}
+)");
+  ASSERT_TRUE(P.R.Ok) << P.R.Fault;
+  EXPECT_GE(P.BoundsErrors, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Error detection: temporal
+//===----------------------------------------------------------------------===//
+
+TEST(Detection, UseAfterFreeAtInputEvent) {
+  // The FREE type surfaces at the next input event — here the callee's
+  // rule (a) parameter check after the object was freed.
+  ProgramRun P = runProgram(R"(
+struct node { int value; struct node *next; };
+int readValue(struct node *n) { return n->value; }
+int main() {
+  struct node *n = (struct node *)malloc(sizeof(struct node));
+  n->value = 42;
+  free(n);
+  return readValue(n);            /* use after free */
+}
+)");
+  ASSERT_TRUE(P.R.Ok) << P.R.Fault;
+  EXPECT_GE(P.UafErrors, 1u);
+}
+
+TEST(Detection, UseAfterFreeThroughReloadedPointer) {
+  // Rule (c): the dangling pointer is re-loaded from memory after the
+  // free, re-checking it against the (now FREE) dynamic type.
+  ProgramRun P = runProgram(R"(
+struct node { int value; struct node *next; };
+struct node *g_head;
+int main() {
+  g_head = (struct node *)malloc(sizeof(struct node));
+  g_head->value = 7;
+  free(g_head);
+  struct node *n = g_head;        /* load of a dangling pointer */
+  return n->value;
+}
+)");
+  ASSERT_TRUE(P.R.Ok) << P.R.Fault;
+  EXPECT_GE(P.UafErrors, 1u);
+}
+
+TEST(Detection, DirectDerefAfterFreeIsTheKnownPartialCase) {
+  // Section 4: "the Figure 3 schema is not designed to be complete
+  // with respect to use-after-free errors" — a register-held pointer
+  // dereferenced right after free, with no intervening input event,
+  // has stale (still valid) bounds, so nothing fires. This test pins
+  // the documented partiality.
+  ProgramRun P = runProgram(R"(
+struct node { int value; struct node *next; };
+int main() {
+  struct node *n = (struct node *)malloc(sizeof(struct node));
+  n->value = 42;
+  free(n);
+  int v = n->value;               /* missed: no input event since free */
+  return v;
+}
+)");
+  ASSERT_TRUE(P.R.Ok) << P.R.Fault;
+  EXPECT_EQ(P.UafErrors, 0u);
+}
+
+TEST(Detection, DoubleFree) {
+  ProgramRun P = runProgram(R"(
+int main() {
+  int *p = (int *)malloc(16 * sizeof(int));
+  free(p);
+  free(p);
+  return 0;
+}
+)");
+  ASSERT_TRUE(P.R.Ok) << P.R.Fault;
+  EXPECT_GE(P.DoubleFrees, 1u);
+}
+
+TEST(Detection, DanglingStackPointer) {
+  // The callee's slot is rebound to FREE when the frame is released;
+  // using the escaped pointer afterwards is a use-after-free.
+  ProgramRun P = runProgram(R"(
+int *escape() {
+  int local[4];
+  local[0] = 9;
+  int *p = local;
+  return p;
+}
+int main() {
+  int *p = escape();
+  return *p;
+}
+)");
+  ASSERT_TRUE(P.R.Ok) << P.R.Fault;
+  EXPECT_GE(P.UafErrors, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Checks actually execute (dynamic counts)
+//===----------------------------------------------------------------------===//
+
+TEST(Dynamic, VariantsScaleExecutedChecks) {
+  constexpr const char *Source = R"(
+int main() {
+  int *a = (int *)malloc(64 * sizeof(int));
+  int i;
+  for (i = 0; i < 64; i = i + 1)
+    a[i] = i;
+  int t = 0;
+  for (i = 0; i < 64; i = i + 1)
+    t = t + a[i];
+  free(a);
+  return t % 100;
+}
+)";
+  ProgramRun None = runProgram(Source, Variant::None);
+  ProgramRun Type = runProgram(Source, Variant::Type);
+  ProgramRun Bounds = runProgram(Source, Variant::Bounds);
+  ProgramRun Full = runProgram(Source, Variant::Full);
+
+  ASSERT_TRUE(None.R.Ok && Type.R.Ok && Bounds.R.Ok && Full.R.Ok);
+  // Same program result everywhere.
+  EXPECT_EQ(None.R.ExitCode, Full.R.ExitCode);
+  EXPECT_EQ(Type.R.ExitCode, Full.R.ExitCode);
+  EXPECT_EQ(Bounds.R.ExitCode, Full.R.ExitCode);
+  // None: no checks at all.
+  EXPECT_EQ(None.R.Checks.TypeChecks + None.R.Checks.BoundsChecks +
+                None.R.Checks.BoundsGets,
+            0u);
+  // Type: no bounds activity.
+  EXPECT_EQ(Type.R.Checks.BoundsChecks + Type.R.Checks.BoundsGets, 0u);
+  // Bounds: bounds checks but zero type comparisons.
+  EXPECT_EQ(Bounds.R.Checks.TypeChecks, 0u);
+  EXPECT_GT(Bounds.R.Checks.BoundsChecks, 64u);
+  // Full: checks everything, at least as many bounds checks as -bounds.
+  EXPECT_GE(Full.R.Checks.BoundsChecks, Bounds.R.Checks.BoundsChecks);
+}
+
+//===----------------------------------------------------------------------===//
+// VM robustness
+//===----------------------------------------------------------------------===//
+
+TEST(VmFaults, InfiniteLoopHitsBudget) {
+  TypeContext Types;
+  RuntimeOptions RTOpts;
+  RTOpts.Reporter.Mode = ReportMode::Count;
+  Runtime RT(Types, RTOpts);
+  DiagnosticEngine Diags;
+  CompileResult C = compileMiniC("int main() { while (1) { } return 0; }",
+                                 Types, Diags, InstrumentOptions());
+  ASSERT_TRUE(C.M);
+  interp::RunOptions Opts;
+  Opts.MaxSteps = 10000;
+  interp::RunResult R = interp::run(*C.M, RT, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Fault.find("budget"), std::string::npos);
+}
+
+TEST(VmFaults, RunawayRecursionHitsDepthLimit) {
+  TypeContext Types;
+  RuntimeOptions RTOpts;
+  RTOpts.Reporter.Mode = ReportMode::Count;
+  Runtime RT(Types, RTOpts);
+  DiagnosticEngine Diags;
+  CompileResult C = compileMiniC("int f(int n) { return f(n + 1); }\n"
+                                 "int main() { return f(0); }",
+                                 Types, Diags, InstrumentOptions());
+  ASSERT_TRUE(C.M);
+  interp::RunOptions Opts;
+  Opts.MaxCallDepth = 64;
+  interp::RunResult R = interp::run(*C.M, RT, Opts);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Fault.find("depth"), std::string::npos);
+}
+
+TEST(VmFaults, NullDereferenceIsAFault) {
+  ProgramRun P = runProgram(R"(
+int main() {
+  int *p = NULL;
+  return *p;
+}
+)");
+  EXPECT_FALSE(P.R.Ok);
+  EXPECT_NE(P.R.Fault.find("null"), std::string::npos);
+}

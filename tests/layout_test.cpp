@@ -1,0 +1,346 @@
+//===- tests/layout_test.cpp - Layout function and hash table tests -------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Encodes the paper's Examples 2, 5 and 6 literally, plus property
+/// sweeps over the Figure 2 rules, FAM normalization, tie-breaking and
+/// coercion indexing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Layout.h"
+#include "core/TypeContext.h"
+
+#include <gtest/gtest.h>
+
+using namespace effective;
+
+namespace {
+
+/// Builds the paper's Example 1/2 types with the paper's (padding-free)
+/// layout: struct S {int a[3]; char *s;} (a@0, s@12, size 20) and
+/// struct T {float f; struct S t;} (f@0, t@4, size 24).
+class PaperExampleLayout : public ::testing::Test {
+protected:
+  void SetUp() override {
+    S = Ctx.createRecord(TypeKind::Struct, "S");
+    T = Ctx.createRecord(TypeKind::Struct, "T");
+    IntArr3 = Ctx.getArray(Ctx.getInt(), 3);
+    CharPtr = Ctx.getPointer(Ctx.getChar());
+    FieldInfo SFields[] = {
+        {"a", IntArr3, 0, false},
+        {"s", CharPtr, 12, false},
+    };
+    Ctx.defineRecord(S, SFields, /*Size=*/20, /*Align=*/4);
+    FieldInfo TFields[] = {
+        {"f", Ctx.getFloat(), 0, false},
+        {"t", S, 4, false},
+    };
+    Ctx.defineRecord(T, TFields, /*Size=*/24, /*Align=*/4);
+  }
+
+  TypeContext Ctx;
+  RecordType *S = nullptr;
+  RecordType *T = nullptr;
+  const ArrayType *IntArr3 = nullptr;
+  const PointerType *CharPtr = nullptr;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Example 6: the layout hash table for T[]
+//===----------------------------------------------------------------------===//
+
+TEST_F(PaperExampleLayout, Example6TopLevelEntryIsUnbounded) {
+  const LayoutTable &Table = T->layout();
+  const LayoutEntry *E = Table.lookup(T, 0);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->RelLo, RelNegInf) << "(T, T, 0) -> -inf..inf";
+  EXPECT_EQ(E->RelHi, RelPosInf);
+}
+
+TEST_F(PaperExampleLayout, Example6FloatEntry) {
+  const LayoutEntry *E = T->layout().lookup(Ctx.getFloat(), 0);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->RelLo, 0) << "(T, float, 0) -> 0..4";
+  EXPECT_EQ(E->RelHi, 4);
+}
+
+TEST_F(PaperExampleLayout, Example6StructSEntry) {
+  const LayoutEntry *E = T->layout().lookup(S, 4);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->RelLo, 0) << "(T, S, 4) -> 0..20";
+  EXPECT_EQ(E->RelHi, 20);
+}
+
+TEST_F(PaperExampleLayout, Example6IntEntriesCarryArrayBounds) {
+  const LayoutTable &Table = T->layout();
+  struct Expectation {
+    uint64_t Offset;
+    int64_t Lo, Hi;
+  };
+  // (T,int,4) -> 0..12, (T,int,8) -> -4..8, (T,int,12) -> -8..4.
+  for (Expectation Exp :
+       {Expectation{4, 0, 12}, {8, -4, 8}, {12, -8, 4}}) {
+    const LayoutEntry *E = Table.lookup(Ctx.getInt(), Exp.Offset);
+    ASSERT_NE(E, nullptr) << "offset " << Exp.Offset;
+    EXPECT_EQ(E->RelLo, Exp.Lo) << "offset " << Exp.Offset;
+    EXPECT_EQ(E->RelHi, Exp.Hi) << "offset " << Exp.Offset;
+  }
+}
+
+TEST_F(PaperExampleLayout, Example6CharPtrEntry) {
+  const LayoutEntry *E = T->layout().lookup(CharPtr, 16);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->RelLo, 0) << "(T, char *, 16) -> 0..8";
+  EXPECT_EQ(E->RelHi, 8);
+}
+
+TEST_F(PaperExampleLayout, Example6MissingEntryForDouble) {
+  EXPECT_EQ(T->layout().lookup(Ctx.getDouble(), 12), nullptr)
+      << "type check of (double[]) at offset 12 must fail";
+}
+
+TEST_F(PaperExampleLayout, PointerToArrayKeyAlsoIndexed) {
+  // A pointer of static type int(*)[3] (element type int[3]) must match
+  // the sub-object p->t.a.
+  const LayoutEntry *E = T->layout().lookup(IntArr3, 4);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->RelLo, 0);
+  EXPECT_EQ(E->RelHi, 12);
+}
+
+TEST_F(PaperExampleLayout, EndEntriesExistButLoseTieBreaks) {
+  const LayoutTable &Table = T->layout();
+  // Offset 4 is both the end of p->f and the base of p->t.a; the float
+  // entry at offset 4 is the end-of-f (rule (b)).
+  const LayoutEntry *E = Table.lookup(Ctx.getFloat(), 4);
+  ASSERT_NE(E, nullptr);
+  EXPECT_TRUE(E->IsEnd);
+  EXPECT_EQ(E->RelLo, -4);
+  EXPECT_EQ(E->RelHi, 0);
+  // At offset 16 (end of the int[3] array) the int key maps to the
+  // array's one-past-the-end entry.
+  const LayoutEntry *IntEnd = Table.lookup(Ctx.getInt(), 16);
+  ASSERT_NE(IntEnd, nullptr);
+  EXPECT_TRUE(IntEnd->IsEnd);
+  EXPECT_EQ(IntEnd->RelLo, -12);
+  EXPECT_EQ(IntEnd->RelHi, 0);
+}
+
+TEST_F(PaperExampleLayout, ElementOneBaseEntriesAtSizeofT) {
+  // Offset sizeof(T) doubles as the base of element 1 for allocations
+  // T[N]; interior entries from offset 0 must be mirrored there.
+  const LayoutTable &Table = T->layout();
+  const LayoutEntry *E = Table.lookup(Ctx.getFloat(), 24);
+  ASSERT_NE(E, nullptr);
+  EXPECT_FALSE(E->IsEnd);
+  EXPECT_EQ(E->RelLo, 0);
+  EXPECT_EQ(E->RelHi, 4);
+}
+
+TEST_F(PaperExampleLayout, NormalizeOffset) {
+  const LayoutTable &Table = T->layout();
+  uint64_t AllocSize = 100 * 24; // T[100]
+  EXPECT_EQ(Table.normalizeOffset(0, AllocSize), 0u);
+  EXPECT_EQ(Table.normalizeOffset(12, AllocSize), 12u);
+  EXPECT_EQ(Table.normalizeOffset(24, AllocSize), 24u)
+      << "k == sizeof(T) is in the table domain";
+  EXPECT_EQ(Table.normalizeOffset(24 + 12, AllocSize), 12u)
+      << "element 1 interior normalizes mod sizeof(T)";
+  EXPECT_EQ(Table.normalizeOffset(99 * 24 + 4, AllocSize), 4u);
+  EXPECT_EQ(Table.normalizeOffset(100 * 24, AllocSize), 24u)
+      << "exact end of allocation keeps one-past-the-end semantics";
+}
+
+//===----------------------------------------------------------------------===//
+// Scalars, arrays, records: Figure 2 rules
+//===----------------------------------------------------------------------===//
+
+TEST(LayoutTest, ScalarLayout) {
+  TypeContext Ctx;
+  const LayoutTable &Table = Ctx.getInt()->layout();
+  const LayoutEntry *Base = Table.lookup(Ctx.getInt(), 0);
+  ASSERT_NE(Base, nullptr);
+  // The allocation type is int[] — unbounded, narrowed at runtime.
+  EXPECT_EQ(Base->RelLo, RelNegInf);
+  EXPECT_EQ(Base->RelHi, RelPosInf);
+  EXPECT_EQ(Table.lookup(Ctx.getFloat(), 0), nullptr);
+}
+
+TEST(LayoutTest, StructOfScalars) {
+  TypeContext Ctx;
+  RecordType *R = RecordBuilder(Ctx, TypeKind::Struct, "pair")
+                      .addField("a", Ctx.getInt())
+                      .addField("b", Ctx.getInt())
+                      .finish();
+  const LayoutTable &Table = R->layout();
+  // Offset 4 is both end-of-a and base-of-b; the base entry must win
+  // (tie-breaking rule 2).
+  const LayoutEntry *E = Table.lookup(Ctx.getInt(), 4);
+  ASSERT_NE(E, nullptr);
+  EXPECT_FALSE(E->IsEnd);
+  EXPECT_EQ(E->RelLo, 0);
+  EXPECT_EQ(E->RelHi, 4);
+}
+
+TEST(LayoutTest, UnionPrefersWiderBounds) {
+  // union { float a[10]; float b[20]; }: a float check always returns
+  // b's bounds (Section 6 "Limitations" example).
+  TypeContext Ctx;
+  RecordType *U = RecordBuilder(Ctx, TypeKind::Union, "fu")
+                      .addField("a", Ctx.getArray(Ctx.getFloat(), 10))
+                      .addField("b", Ctx.getArray(Ctx.getFloat(), 20))
+                      .finish();
+  const LayoutEntry *E = U->layout().lookup(Ctx.getFloat(), 0);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->RelLo, 0);
+  EXPECT_EQ(E->RelHi, 80) << "the wider float[20] must win";
+}
+
+TEST(LayoutTest, MultiDimensionalArrayReductions) {
+  TypeContext Ctx;
+  const ArrayType *Inner = Ctx.getArray(Ctx.getInt(), 3);
+  const ArrayType *Outer = Ctx.getArray(Inner, 2); // int[2][3]
+  RecordType *R = RecordBuilder(Ctx, TypeKind::Struct, "m")
+                      .addField("grid", Outer)
+                      .finish();
+  const LayoutTable &Table = R->layout();
+  // int* at the start of row 1 gets the full 24-byte grid (wider bounds
+  // preferred over the 12-byte row).
+  const LayoutEntry *E = Table.lookup(Ctx.getInt(), 12);
+  ASSERT_NE(E, nullptr);
+  EXPECT_EQ(E->RelLo, -12);
+  EXPECT_EQ(E->RelHi, 12);
+  // int(*)[3] at row 1 also gets grid bounds.
+  const LayoutEntry *Row = Table.lookup(Inner, 12);
+  ASSERT_NE(Row, nullptr);
+  EXPECT_EQ(Row->RelLo, -12);
+  EXPECT_EQ(Row->RelHi, 12);
+  // Mid-row int entries carry row-relative bounds from the inner array
+  // recursion: at offset 16 (row 1, column 1) the widest containing
+  // int-array is row 1 (the outer grid only matches row boundaries).
+  const LayoutEntry *Mid = Table.lookup(Ctx.getInt(), 16);
+  ASSERT_NE(Mid, nullptr);
+  EXPECT_EQ(Mid->RelLo, -4);
+  EXPECT_EQ(Mid->RelHi, 8);
+}
+
+TEST(LayoutTest, AnyPointerIndexesPointerMembers) {
+  TypeContext Ctx;
+  RecordType *R = RecordBuilder(Ctx, TypeKind::Struct, "ptrs")
+                      .addField("p", Ctx.getPointer(Ctx.getInt()))
+                      .addField("x", Ctx.getInt())
+                      .finish();
+  const LayoutTable &Table = R->layout();
+  // The AnyPointer sentinel (static void*) matches the int* member...
+  const LayoutEntry *Base = Table.lookup(Ctx.getAnyPointer(), 0);
+  ASSERT_NE(Base, nullptr);
+  EXPECT_FALSE(Base->IsEnd);
+  // ...its one-past-the-end position is an end entry...
+  const LayoutEntry *End = Table.lookup(Ctx.getAnyPointer(), 8);
+  ASSERT_NE(End, nullptr);
+  EXPECT_TRUE(End->IsEnd);
+  // ...and the interior of the int member has no pointer entry.
+  EXPECT_EQ(Table.lookup(Ctx.getAnyPointer(), 12), nullptr);
+}
+
+TEST(LayoutTest, FlexibleArrayMemberNormalization) {
+  TypeContext Ctx;
+  RecordType *R = RecordBuilder(Ctx, TypeKind::Struct, "fam")
+                      .addField("len", Ctx.getLong())
+                      .addFlexibleArray("data", Ctx.getDouble())
+                      .finish();
+  ASSERT_EQ(R->size(), 16u);
+  const LayoutTable &Table = R->layout();
+  // Allocation: header + 10 doubles = 8 + 8 + 9*8 = 88 bytes.
+  uint64_t AllocSize = 88;
+  // Element 0 (inside sizeof(R)) is not normalized.
+  EXPECT_EQ(Table.normalizeOffset(8, AllocSize), 8u);
+  // Element 3 at offset 8 + 3*8 = 32 normalizes into the tail domain.
+  EXPECT_EQ(Table.normalizeOffset(32, AllocSize), 16u);
+  EXPECT_EQ(Table.normalizeOffset(36, AllocSize), 20u);
+  // Both the in-struct element and the tail position match double.
+  EXPECT_NE(Table.lookup(Ctx.getDouble(), 8), nullptr);
+  const LayoutEntry *Tail = Table.lookup(Ctx.getDouble(), 16);
+  ASSERT_NE(Tail, nullptr);
+  EXPECT_EQ(Tail->RelHi, RelPosInf)
+      << "FAM bounds extend to the allocation end";
+}
+
+TEST(LayoutTest, TableIsDeterministicAndIndexed) {
+  TypeContext Ctx;
+  RecordType *R = RecordBuilder(Ctx, TypeKind::Struct, "big")
+                      .addField("a", Ctx.getArray(Ctx.getInt(), 16))
+                      .addField("b", Ctx.getDouble())
+                      .addField("c", Ctx.getPointer(Ctx.getChar()))
+                      .finish();
+  const LayoutTable &T1 = R->layout();
+  const LayoutTable &T2 = R->layout();
+  EXPECT_EQ(&T1, &T2) << "layout is built once and cached";
+  EXPECT_GT(T1.numEntries(), 0u);
+  EXPECT_GT(T1.memoryBytes(), 0u);
+  // Every listed entry must be findable through the index.
+  for (const LayoutEntry &E : T1.entries()) {
+    const LayoutEntry *Found = T1.lookup(E.Key, E.Offset);
+    ASSERT_NE(Found, nullptr);
+    EXPECT_EQ(Found->RelLo, E.RelLo);
+    EXPECT_EQ(Found->RelHi, E.RelHi);
+  }
+}
+
+namespace {
+
+/// Property sweep: every non-end entry of a record layout stays within
+/// [0, sizeof(T)] and its bounds contain the probe position.
+class LayoutInvariantTest : public ::testing::TestWithParam<int> {};
+
+} // namespace
+
+TEST_P(LayoutInvariantTest, EntriesAreWellFormed) {
+  TypeContext Ctx;
+  // Build a pseudo-random record from the seed.
+  unsigned Seed = GetParam();
+  RecordBuilder B(Ctx, Seed % 2 ? TypeKind::Struct : TypeKind::Union,
+                  "rand");
+  const TypeInfo *Pool[] = {
+      Ctx.getChar(),
+      Ctx.getInt(),
+      Ctx.getDouble(),
+      Ctx.getPointer(Ctx.getInt()),
+      Ctx.getArray(Ctx.getShort(), 5),
+      Ctx.getArray(Ctx.getArray(Ctx.getFloat(), 2), 3),
+  };
+  unsigned State = Seed * 2654435761u + 1;
+  unsigned NumFields = State % 5 + 1;
+  for (unsigned I = 0; I < NumFields; ++I) {
+    State = State * 1664525u + 1013904223u;
+    B.addField("f" + std::to_string(I), Pool[State % std::size(Pool)]);
+  }
+  RecordType *R = B.finish();
+  const LayoutTable &Table = R->layout();
+  for (const LayoutEntry &E : Table.entries()) {
+    EXPECT_LE(E.Offset, R->size()) << R->str();
+    if (E.RelLo != RelNegInf) {
+      EXPECT_LE(E.RelLo, 0) << "bounds must start at or before the probe";
+      EXPECT_GE((int64_t)E.Offset + E.RelLo, 0)
+          << "bounds must not precede the object";
+    }
+    if (E.RelHi != RelPosInf) {
+      EXPECT_GE(E.RelHi, 0);
+      // Entries mirrored at offset sizeof(T) describe element 1 of a
+      // multi-element allocation, hence the 2x slack.
+      EXPECT_LE((int64_t)E.Offset + E.RelHi, 2 * (int64_t)R->size())
+          << "bounds must stay within the element pair";
+    }
+    if (!E.IsEnd && E.RelHi != RelPosInf) {
+      EXPECT_GT(E.RelHi, E.RelLo) << "non-end entries are non-empty";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayoutInvariantTest,
+                         ::testing::Range(0, 40));

@@ -1,0 +1,320 @@
+//===- tests/lowfat_test.cpp - Low-fat allocator unit tests ---------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "lowfat/GlobalPool.h"
+#include "lowfat/LowFatHeap.h"
+#include "lowfat/SizeClass.h"
+#include "lowfat/StackPool.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <thread>
+#include <vector>
+
+using namespace effective;
+using namespace effective::lowfat;
+
+//===----------------------------------------------------------------------===//
+// Size classes
+//===----------------------------------------------------------------------===//
+
+TEST(SizeClassTest, TableIsAscendingAndBounded) {
+  EXPECT_EQ(SizeClasses.front().Size, MinClassSize);
+  EXPECT_EQ(SizeClasses.back().Size, MaxClassSize);
+  for (unsigned I = 1; I < NumSizeClasses; ++I) {
+    EXPECT_LT(SizeClasses[I - 1].Size, SizeClasses[I].Size)
+        << "class " << I;
+  }
+}
+
+TEST(SizeClassTest, PowersOfTwoAndMidpoints) {
+  EXPECT_EQ(classSize(0), 32u);
+  EXPECT_EQ(classSize(1), 48u);
+  EXPECT_EQ(classSize(2), 64u);
+  EXPECT_EQ(classSize(3), 96u);
+  EXPECT_EQ(classSize(4), 128u);
+}
+
+TEST(SizeClassTest, SizeToClassReturnsSmallestFit) {
+  for (size_t Bytes : {1u, 31u, 32u}) {
+    EXPECT_EQ(sizeToClass(Bytes), 0u) << Bytes;
+  }
+  EXPECT_EQ(sizeToClass(33), 1u);
+  EXPECT_EQ(sizeToClass(48), 1u);
+  EXPECT_EQ(sizeToClass(49), 2u);
+  EXPECT_EQ(sizeToClass(64), 2u);
+  EXPECT_EQ(sizeToClass(65), 3u);
+  EXPECT_EQ(sizeToClass(MaxClassSize), NumSizeClasses - 1);
+}
+
+TEST(SizeClassTest, SizeToClassIsExhaustivelyConsistent) {
+  std::mt19937_64 Rng(42);
+  for (int I = 0; I < 20000; ++I) {
+    size_t Bytes = Rng() % MaxClassSize + 1;
+    unsigned C = sizeToClass(Bytes);
+    EXPECT_GE(classSize(C), Bytes);
+    if (C > 0) {
+      EXPECT_LT(classSize(C - 1), Bytes);
+    }
+  }
+}
+
+TEST(SizeClassTest, InternalFragmentationBounded) {
+  // The 1.5x midpoint scheme wastes at most 50% (size 2^k+1 maps to
+  // 1.5*2^k, i.e. < 1.5x the request).
+  std::mt19937_64 Rng(7);
+  for (int I = 0; I < 10000; ++I) {
+    size_t Bytes = Rng() % MaxClassSize + 1;
+    if (Bytes < MinClassSize)
+      continue;
+    EXPECT_LE(classSize(sizeToClass(Bytes)), Bytes + Bytes / 2)
+        << "request " << Bytes;
+  }
+}
+
+TEST(SizeClassTest, ClassModuloMatchesDivision) {
+  std::mt19937_64 Rng(123);
+  for (unsigned C = 0; C < NumSizeClasses; ++C) {
+    for (int I = 0; I < 200; ++I) {
+      uint64_t Offset = Rng() % (1ull << 38);
+      EXPECT_EQ(classModulo(C, Offset), Offset % classSize(C))
+          << "class " << C << " offset " << Offset;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// LowFatHeap
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class LowFatHeapTest : public ::testing::Test {
+protected:
+  LowFatHeap Heap;
+};
+
+} // namespace
+
+TEST_F(LowFatHeapTest, AllocateGivesLowFatPointer) {
+  void *P = Heap.allocate(100);
+  ASSERT_NE(P, nullptr);
+  EXPECT_TRUE(Heap.isLowFat(P));
+  EXPECT_EQ(Heap.allocationBase(P), P);
+  EXPECT_GE(Heap.allocationSize(P), 100u);
+  Heap.deallocate(P);
+}
+
+TEST_F(LowFatHeapTest, InteriorPointersResolveToBase) {
+  char *P = static_cast<char *>(Heap.allocate(100));
+  size_t Size = Heap.allocationSize(P);
+  for (size_t Off : {size_t(1), size_t(50), size_t(99), Size - 1}) {
+    EXPECT_TRUE(Heap.isLowFat(P + Off)) << Off;
+    EXPECT_EQ(Heap.allocationBase(P + Off), P) << Off;
+    EXPECT_EQ(Heap.allocationSize(P + Off), Size) << Off;
+  }
+  Heap.deallocate(P);
+}
+
+TEST_F(LowFatHeapTest, LegacyPointersReportWide) {
+  int Local = 0;
+  EXPECT_FALSE(Heap.isLowFat(&Local));
+  EXPECT_EQ(Heap.allocationSize(&Local), SIZE_MAX);
+  EXPECT_EQ(Heap.allocationBase(&Local), nullptr);
+  EXPECT_FALSE(Heap.isLowFat(nullptr));
+}
+
+TEST_F(LowFatHeapTest, OversizedRequestsFallBackToLegacy) {
+  void *P = Heap.allocate(MaxClassSize + 1);
+  ASSERT_NE(P, nullptr);
+  EXPECT_FALSE(Heap.isLowFat(P));
+  EXPECT_EQ(Heap.stats().NumLegacyAllocs, 1u);
+  std::memset(P, 0xab, MaxClassSize + 1); // Must be usable.
+  Heap.deallocate(P);
+  EXPECT_EQ(Heap.stats().NumFrees, 1u);
+}
+
+TEST_F(LowFatHeapTest, DistinctAllocationsDoNotOverlap) {
+  std::vector<char *> Ptrs;
+  for (int I = 0; I < 64; ++I)
+    Ptrs.push_back(static_cast<char *>(Heap.allocate(48)));
+  std::sort(Ptrs.begin(), Ptrs.end());
+  for (size_t I = 1; I < Ptrs.size(); ++I)
+    EXPECT_GE(Ptrs[I] - Ptrs[I - 1], 48) << I;
+  for (char *P : Ptrs)
+    Heap.deallocate(P);
+}
+
+TEST_F(LowFatHeapTest, FreePreservesFirstSixteenBytes) {
+  // The META header (16 bytes) must survive free until reallocation
+  // (Section 5 of the paper).
+  char *P = static_cast<char *>(Heap.allocate(64));
+  std::memset(P, 0x5a, 64);
+  Heap.deallocate(P);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(static_cast<unsigned char>(P[I]), 0x5a) << "byte " << I;
+}
+
+TEST_F(LowFatHeapTest, FreeListReusesBlocks) {
+  void *P = Heap.allocate(64);
+  Heap.deallocate(P);
+  void *Q = Heap.allocate(64);
+  EXPECT_EQ(P, Q) << "LIFO free list should reuse the freed block";
+  Heap.deallocate(Q);
+}
+
+TEST_F(LowFatHeapTest, QuarantineDelaysReuse) {
+  LowFatHeap QHeap(HeapOptions{1ull << 29, /*QuarantineBytes=*/1 << 20});
+  void *P = QHeap.allocate(64);
+  QHeap.deallocate(P);
+  void *Q = QHeap.allocate(64);
+  EXPECT_NE(P, Q) << "quarantined block must not be reused immediately";
+  EXPECT_GT(QHeap.stats().QuarantinedBytes, 0u);
+}
+
+TEST_F(LowFatHeapTest, QuarantineEvictsWhenOverBudget) {
+  LowFatHeap QHeap(HeapOptions{1ull << 29, /*QuarantineBytes=*/256});
+  std::vector<void *> Ptrs;
+  for (int I = 0; I < 16; ++I)
+    Ptrs.push_back(QHeap.allocate(64));
+  for (void *P : Ptrs)
+    QHeap.deallocate(P);
+  EXPECT_LE(QHeap.stats().QuarantinedBytes, 256u + 96u);
+}
+
+TEST_F(LowFatHeapTest, StatsTrackPeaks) {
+  HeapStats Before = Heap.stats();
+  void *A = Heap.allocate(1000);
+  void *B = Heap.allocate(2000);
+  HeapStats During = Heap.stats();
+  EXPECT_GT(During.BlockBytesInUse, Before.BlockBytesInUse);
+  Heap.deallocate(A);
+  Heap.deallocate(B);
+  HeapStats After = Heap.stats();
+  EXPECT_EQ(After.BlockBytesInUse, Before.BlockBytesInUse);
+  EXPECT_GE(After.PeakBlockBytesInUse, During.BlockBytesInUse);
+  EXPECT_EQ(After.NumAllocs, Before.NumAllocs + 2);
+  EXPECT_EQ(After.NumFrees, Before.NumFrees + 2);
+}
+
+TEST_F(LowFatHeapTest, PointerBeyondBumpIsLegacy) {
+  char *P = static_cast<char *>(Heap.allocate(64));
+  size_t Class = Heap.allocationSize(P);
+  // One-past-the-end of the newest block was never allocated.
+  EXPECT_FALSE(Heap.isLowFat(P + Class));
+  Heap.deallocate(P);
+}
+
+namespace {
+
+/// Property sweep: for many sizes, allocation/base/size invariants hold.
+class LowFatHeapPropertyTest : public ::testing::TestWithParam<size_t> {
+protected:
+  static LowFatHeap &heap() {
+    static LowFatHeap Heap;
+    return Heap;
+  }
+};
+
+} // namespace
+
+TEST_P(LowFatHeapPropertyTest, BaseAndSizeInvariants) {
+  size_t Request = GetParam();
+  char *P = static_cast<char *>(heap().allocate(Request));
+  ASSERT_NE(P, nullptr);
+  ASSERT_TRUE(heap().isLowFat(P));
+  size_t Size = heap().allocationSize(P);
+  EXPECT_GE(Size, Request);
+  EXPECT_EQ(heap().allocationBase(P), P);
+  // Interior pointers throughout the block resolve to the same base.
+  for (size_t Off = 1; Off < Request; Off = Off * 2 + 1) {
+    EXPECT_EQ(heap().allocationBase(P + Off), P) << Off;
+    EXPECT_EQ(heap().allocationSize(P + Off), Size) << Off;
+  }
+  std::memset(P, 0xcd, Request); // The block must be writable.
+  heap().deallocate(P);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LowFatHeapPropertyTest,
+                         ::testing::Values(1, 16, 31, 32, 33, 48, 63, 64,
+                                           100, 256, 1000, 4096, 10000,
+                                           1 << 16, (1 << 16) + 1, 1 << 20,
+                                           (3 << 19), 1 << 24));
+
+TEST(LowFatHeapThreadTest, ConcurrentAllocFree) {
+  LowFatHeap Heap;
+  constexpr int NumThreads = 4;
+  constexpr int Iterations = 2000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&Heap, T] {
+      std::mt19937 Rng(T);
+      std::vector<void *> Live;
+      for (int I = 0; I < Iterations; ++I) {
+        size_t Size = Rng() % 500 + 1;
+        void *P = Heap.allocate(Size);
+        ASSERT_TRUE(Heap.isLowFat(P));
+        ASSERT_EQ(Heap.allocationBase(P), P);
+        Live.push_back(P);
+        if (Live.size() > 16) {
+          Heap.deallocate(Live.front());
+          Live.erase(Live.begin());
+        }
+      }
+      for (void *P : Live)
+        Heap.deallocate(P);
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Heap.stats().NumAllocs, Heap.stats().NumFrees);
+}
+
+//===----------------------------------------------------------------------===//
+// StackPool and GlobalPool
+//===----------------------------------------------------------------------===//
+
+TEST(StackPoolTest, LifoFrames) {
+  LowFatHeap Heap;
+  StackPool Stack(Heap);
+  size_t Outer = Stack.mark();
+  void *A = Stack.allocate(64);
+  {
+    StackPool::Frame Frame(Stack);
+    void *B = Stack.allocate(128);
+    EXPECT_TRUE(Heap.isLowFat(B));
+    EXPECT_EQ(Stack.liveObjects(), 2u);
+  }
+  EXPECT_EQ(Stack.liveObjects(), 1u) << "frame exit frees its objects";
+  EXPECT_EQ(Heap.allocationBase(A), A) << "outer object still live";
+  Stack.release(Outer);
+  EXPECT_EQ(Stack.liveObjects(), 0u);
+}
+
+TEST(StackPoolTest, BlocksSinceMark) {
+  LowFatHeap Heap;
+  StackPool Stack(Heap);
+  size_t Mark = Stack.mark();
+  void *A = Stack.allocate(32);
+  void *B = Stack.allocate(32);
+  auto Blocks = Stack.blocksSince(Mark);
+  ASSERT_EQ(Blocks.size(), 2u);
+  EXPECT_EQ(Blocks[0], A);
+  EXPECT_EQ(Blocks[1], B);
+  Stack.release(Mark);
+}
+
+TEST(GlobalPoolTest, RegistersAndLooksUp) {
+  LowFatHeap Heap;
+  GlobalPool Globals(Heap);
+  void *G = Globals.allocate(256, "my_global");
+  EXPECT_TRUE(Heap.isLowFat(G));
+  EXPECT_EQ(Globals.lookup("my_global"), G);
+  EXPECT_EQ(Globals.lookup("missing"), nullptr);
+  EXPECT_EQ(Globals.size(), 1u);
+}

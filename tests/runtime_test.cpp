@@ -1,0 +1,414 @@
+//===- tests/runtime_test.cpp - Runtime (type_check et al.) tests ---------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Covers Figure 6 (type_malloc / type_check), Example 5, the FREE type
+/// (use-after-free / double-free / reuse-after-free semantics), legacy
+/// pointers, coercions, bucketing and the counting/logging modes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+
+#include "core/Layout.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+using namespace effective;
+
+namespace {
+
+class RuntimeTest : public ::testing::Test {
+protected:
+  RuntimeTest() : RT(Ctx, quietOptions()) {
+    // The paper's Example 2 types with its padding-free layout.
+    S = Ctx.createRecord(TypeKind::Struct, "S");
+    T = Ctx.createRecord(TypeKind::Struct, "T");
+    FieldInfo SFields[] = {
+        {"a", Ctx.getArray(Ctx.getInt(), 3), 0, false},
+        {"s", Ctx.getPointer(Ctx.getChar()), 12, false},
+    };
+    Ctx.defineRecord(S, SFields, 20, 4);
+    FieldInfo TFields[] = {
+        {"f", Ctx.getFloat(), 0, false},
+        {"t", S, 4, false},
+    };
+    Ctx.defineRecord(T, TFields, 24, 4);
+  }
+
+  static RuntimeOptions quietOptions() {
+    RuntimeOptions Options;
+    Options.Reporter.Mode = ReportMode::Count;
+    return Options;
+  }
+
+  TypeContext Ctx;
+  Runtime RT;
+  RecordType *S = nullptr;
+  RecordType *T = nullptr;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Typed allocation
+//===----------------------------------------------------------------------===//
+
+TEST_F(RuntimeTest, AllocateBindsTypeAndSize) {
+  void *P = RT.allocate(100 * sizeof(int), Ctx.getInt());
+  const MetaHeader *Meta = RT.metaOf(P);
+  ASSERT_NE(Meta, nullptr);
+  EXPECT_EQ(Meta->Type, Ctx.getInt());
+  EXPECT_EQ(Meta->Size, 100 * sizeof(int));
+  EXPECT_EQ(RT.dynamicTypeOf(P), Ctx.getInt());
+  Bounds B = RT.allocationBounds(P);
+  EXPECT_EQ(B.Lo, reinterpret_cast<uintptr_t>(P));
+  EXPECT_EQ(B.Hi - B.Lo, 100 * sizeof(int));
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, MetaIsInvisibleToTheObject) {
+  // Writing the full object must not corrupt the META header.
+  char *P = static_cast<char *>(RT.allocate(64, Ctx.getChar()));
+  std::memset(P, 0xff, 64);
+  EXPECT_EQ(RT.dynamicTypeOf(P), Ctx.getChar());
+  EXPECT_EQ(RT.metaOf(P)->Size, 64u);
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, CallocZeroes) {
+  int *P = static_cast<int *>(RT.allocateZeroed(16, sizeof(int),
+                                                Ctx.getInt()));
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(P[I], 0) << I;
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, ReallocCopiesAndRebinds) {
+  int *P = static_cast<int *>(RT.allocate(4 * sizeof(int), Ctx.getInt()));
+  for (int I = 0; I < 4; ++I)
+    P[I] = I + 1;
+  auto *Q = static_cast<int *>(
+      RT.reallocate(P, 100 * sizeof(int), Ctx.getInt()));
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Q[I], I + 1) << I;
+  EXPECT_EQ(RT.metaOf(Q)->Size, 100 * sizeof(int));
+  // The old block is now FREE.
+  EXPECT_TRUE(RT.dynamicTypeOf(P)->isFree());
+  RT.deallocate(Q);
+}
+
+//===----------------------------------------------------------------------===//
+// type_check: Example 5 and friends
+//===----------------------------------------------------------------------===//
+
+TEST_F(RuntimeTest, Example5InteriorPointerCheck) {
+  // Let p point to an object of type T; q = p + 12.
+  char *P = static_cast<char *>(RT.allocate(24, T));
+  char *Q = P + 12;
+  // type_check(q, int[]) matches <int[3], 8>: bounds p+4 .. p+16.
+  Bounds B = RT.typeCheck(Q, Ctx.getInt());
+  EXPECT_EQ(B.Lo, reinterpret_cast<uintptr_t>(P) + 4);
+  EXPECT_EQ(B.Hi, reinterpret_cast<uintptr_t>(P) + 16);
+  EXPECT_EQ(RT.reporter().numIssues(), 0u);
+  // type_check(q, double[]) fails: no matching sub-object.
+  Bounds W = RT.typeCheck(Q, Ctx.getDouble());
+  EXPECT_TRUE(W.isWide());
+  EXPECT_EQ(RT.reporter().numIssues(ErrorKind::TypeError), 1u);
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, CheckAtBaseReturnsAllocationBounds) {
+  char *P = static_cast<char *>(RT.allocate(10 * 24, T)); // T[10]
+  Bounds B = RT.typeCheck(P, T);
+  EXPECT_EQ(B.Lo, reinterpret_cast<uintptr_t>(P));
+  EXPECT_EQ(B.Hi, reinterpret_cast<uintptr_t>(P) + 10 * 24);
+  // Element 7 also matches with full array bounds (T[] is incomplete).
+  Bounds B7 = RT.typeCheck(P + 7 * 24, T);
+  EXPECT_EQ(B7, B);
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, SubObjectBoundsStopOverflow) {
+  // The introduction's account example: an overflow of number[8] into
+  // balance must be stopped by the narrowed bounds.
+  RecordType *Account = RecordBuilder(Ctx, TypeKind::Struct, "account")
+                            .addField("number", Ctx.getArray(Ctx.getInt(), 8))
+                            .addField("balance", Ctx.getFloat())
+                            .finish();
+  char *P = static_cast<char *>(RT.allocate(Account->size(), Account));
+  Bounds B = RT.typeCheck(P, Ctx.getInt()); // int* into number[8].
+  EXPECT_EQ(B.Hi - B.Lo, 8 * sizeof(int))
+      << "bounds must cover number[8] only, not balance";
+  EXPECT_TRUE(B.contains(P + 7 * sizeof(int), sizeof(int)));
+  EXPECT_FALSE(B.contains(P + 8 * sizeof(int), sizeof(int)))
+      << "number[8] aliases balance and must be out of bounds";
+  RT.boundsCheck(P + 8 * sizeof(int), sizeof(int), B);
+  EXPECT_EQ(RT.reporter().numIssues(ErrorKind::BoundsError), 1u);
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, OneElementAllocationEndPointer) {
+  char *P = static_cast<char *>(RT.allocate(24, T));
+  // One-past-the-end pointer may be formed and checked, but any access
+  // through it must fail the bounds check.
+  Bounds B = RT.typeCheck(P + 24, T);
+  EXPECT_EQ(RT.reporter().numIssues(), 0u)
+      << "one-past-the-end is not an error by itself";
+  EXPECT_FALSE(B.contains(P + 24, 1));
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, PointerOutsideAllocationReports) {
+  char *P = static_cast<char *>(RT.allocate(24, T));
+  // Far out-of-bounds input pointer (still within the low-fat region of
+  // another block would be different; here beyond the alloc size but
+  // within the block's size class).
+  RT.typeCheck(P + 30, Ctx.getInt());
+  EXPECT_GE(RT.reporter().numIssues(ErrorKind::BoundsError), 1u);
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, LegacyPointersGetWideBounds) {
+  int Local[4] = {0, 1, 2, 3};
+  Bounds B = RT.typeCheck(&Local[0], Ctx.getFloat());
+  EXPECT_TRUE(B.isWide());
+  EXPECT_EQ(RT.reporter().numIssues(), 0u)
+      << "legacy pointers are never type errors";
+  auto C = RT.counters().snapshot();
+  EXPECT_EQ(C.LegacyTypeChecks, 1u);
+  EXPECT_EQ(C.TypeChecks, 1u);
+}
+
+TEST_F(RuntimeTest, UntypedAllocationGetsWideBounds) {
+  void *P = RT.allocate(64, nullptr);
+  Bounds B = RT.typeCheck(P, Ctx.getInt());
+  EXPECT_TRUE(B.isWide());
+  EXPECT_EQ(RT.reporter().numIssues(), 0u);
+  RT.deallocate(P);
+}
+
+//===----------------------------------------------------------------------===//
+// Coercions
+//===----------------------------------------------------------------------===//
+
+TEST_F(RuntimeTest, CharCastResetsBoundsToAllocation) {
+  char *P = static_cast<char *>(RT.allocate(24, T));
+  Bounds B = RT.typeCheck(P + 4, Ctx.getChar());
+  EXPECT_EQ(B.Lo, reinterpret_cast<uintptr_t>(P));
+  EXPECT_EQ(B.Hi, reinterpret_cast<uintptr_t>(P) + 24);
+  EXPECT_EQ(RT.reporter().numIssues(), 0u);
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, CharBufferCoercesToAnyType) {
+  // An allocation first used as char[] may later be read as any type
+  // (the paper's second hash table lookup).
+  char *P = static_cast<char *>(RT.allocate(64, Ctx.getChar()));
+  Bounds B = RT.typeCheck(P + 8, Ctx.getInt());
+  EXPECT_EQ(RT.reporter().numIssues(), 0u);
+  EXPECT_EQ(B.Lo, reinterpret_cast<uintptr_t>(P));
+  EXPECT_EQ(B.Hi, reinterpret_cast<uintptr_t>(P) + 64);
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, VoidPointerCoercions) {
+  RecordType *Holder = RecordBuilder(Ctx, TypeKind::Struct, "holder")
+                           .addField("vp", Ctx.getPointer(Ctx.getVoid()))
+                           .addField("x", Ctx.getLong())
+                           .addField("ip", Ctx.getPointer(Ctx.getInt()))
+                           .finish();
+  char *P = static_cast<char *>(RT.allocate(Holder->size(), Holder));
+  // A static (int*) matches the void* member at offset 0...
+  RT.typeCheck(P + 0, Ctx.getPointer(Ctx.getInt()));
+  EXPECT_EQ(RT.reporter().numIssues(), 0u);
+  // ...and a static (void*) matches the int* member at offset 16.
+  RT.typeCheck(P + 16, Ctx.getPointer(Ctx.getVoid()));
+  EXPECT_EQ(RT.reporter().numIssues(), 0u);
+  // But (float*) against the (int*) member is a type error (perlbench's
+  // T* vs T** class of bugs must stay detectable; offset 16 is not
+  // adjacent to any void* member, so no coercion applies).
+  RT.typeCheck(P + 16, Ctx.getPointer(Ctx.getFloat()));
+  EXPECT_EQ(RT.reporter().numIssues(ErrorKind::TypeError), 1u);
+  RT.deallocate(P);
+}
+
+//===----------------------------------------------------------------------===//
+// FREE type: use-after-free, double free, reuse-after-free
+//===----------------------------------------------------------------------===//
+
+TEST_F(RuntimeTest, UseAfterFreeDetected) {
+  int *P = static_cast<int *>(RT.allocate(sizeof(int), Ctx.getInt()));
+  RT.deallocate(P);
+  EXPECT_TRUE(RT.dynamicTypeOf(P)->isFree());
+  Bounds B = RT.typeCheck(P, Ctx.getInt());
+  EXPECT_TRUE(B.isWide());
+  EXPECT_EQ(RT.reporter().numIssues(ErrorKind::UseAfterFree), 1u);
+}
+
+TEST_F(RuntimeTest, DoubleFreeDetected) {
+  int *P = static_cast<int *>(RT.allocate(sizeof(int), Ctx.getInt()));
+  RT.deallocate(P);
+  RT.deallocate(P);
+  EXPECT_EQ(RT.reporter().numIssues(ErrorKind::DoubleFree), 1u);
+}
+
+TEST_F(RuntimeTest, ReuseAfterFreeDifferentTypeDetected) {
+  // Free an int block, reallocate (LIFO gives the same block) as float;
+  // the dangling int* check now sees dynamic type float -> type error.
+  int *P = static_cast<int *>(RT.allocate(40, Ctx.getInt()));
+  RT.deallocate(P);
+  void *Q = RT.allocate(40, Ctx.getFloat());
+  ASSERT_EQ(static_cast<void *>(P), Q) << "test requires block reuse";
+  RT.typeCheck(P, Ctx.getInt());
+  EXPECT_EQ(RT.reporter().numIssues(ErrorKind::TypeError), 1u)
+      << "reuse-after-free with a different type is a type error";
+  RT.deallocate(Q);
+}
+
+TEST_F(RuntimeTest, ReuseAfterFreeSameTypeIsMissed) {
+  // The paper's documented partial coverage: same-type reuse passes.
+  int *P = static_cast<int *>(RT.allocate(40, Ctx.getInt()));
+  RT.deallocate(P);
+  void *Q = RT.allocate(40, Ctx.getInt());
+  ASSERT_EQ(static_cast<void *>(P), Q);
+  RT.typeCheck(P, Ctx.getInt());
+  EXPECT_EQ(RT.reporter().numIssues(), 0u)
+      << "same-type reuse-after-free is (by design) not detected";
+  RT.deallocate(Q);
+}
+
+TEST_F(RuntimeTest, ReallocOfFreedObjectReports) {
+  int *P = static_cast<int *>(RT.allocate(sizeof(int), Ctx.getInt()));
+  RT.deallocate(P);
+  void *Q = RT.reallocate(P, 64, Ctx.getInt());
+  EXPECT_NE(Q, nullptr);
+  EXPECT_EQ(RT.reporter().numIssues(ErrorKind::UseAfterFree), 1u);
+  RT.deallocate(Q);
+}
+
+//===----------------------------------------------------------------------===//
+// Typed stack and globals
+//===----------------------------------------------------------------------===//
+
+TEST_F(RuntimeTest, StackObjectsAreTyped) {
+  size_t Mark = RT.stackMark();
+  void *P = RT.stackAllocate(24, T);
+  EXPECT_EQ(RT.dynamicTypeOf(P), T);
+  Bounds B = RT.typeCheck(P, T);
+  EXPECT_EQ(B.Hi - B.Lo, 24u);
+  RT.stackRelease(Mark);
+  // The dangling stack pointer is now FREE.
+  RT.typeCheck(P, T);
+  EXPECT_EQ(RT.reporter().numIssues(ErrorKind::UseAfterFree), 1u);
+}
+
+TEST_F(RuntimeTest, GlobalObjectsAreTypedAndZeroed) {
+  auto *G = static_cast<int *>(
+      RT.globalAllocate(8 * sizeof(int), Ctx.getInt(), "counters"));
+  EXPECT_EQ(RT.dynamicTypeOf(G), Ctx.getInt());
+  for (int I = 0; I < 8; ++I)
+    EXPECT_EQ(G[I], 0) << I;
+  Bounds B = RT.typeCheck(G + 5, Ctx.getInt());
+  EXPECT_TRUE(B.contains(G + 5, sizeof(int)));
+}
+
+//===----------------------------------------------------------------------===//
+// bounds_check / bounds_narrow / bounds_get
+//===----------------------------------------------------------------------===//
+
+TEST_F(RuntimeTest, BoundsCheckCountsAndReports) {
+  int *P = static_cast<int *>(RT.allocate(4 * sizeof(int), Ctx.getInt()));
+  Bounds B = RT.typeCheck(P, Ctx.getInt());
+  RT.boundsCheck(P + 3, sizeof(int), B); // OK.
+  EXPECT_EQ(RT.reporter().numIssues(), 0u);
+  RT.boundsCheck(P + 4, sizeof(int), B); // Overflow.
+  EXPECT_EQ(RT.reporter().numIssues(ErrorKind::BoundsError), 1u);
+  auto C = RT.counters().snapshot();
+  EXPECT_EQ(C.BoundsChecks, 2u);
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, BoundsNarrowIsIntersection) {
+  int *P = static_cast<int *>(RT.allocate(24, T));
+  Bounds B = RT.allocationBounds(P);
+  Bounds N = RT.boundsNarrow(B, reinterpret_cast<char *>(P) + 4, 12);
+  EXPECT_EQ(N.Lo, reinterpret_cast<uintptr_t>(P) + 4);
+  EXPECT_EQ(N.Hi, reinterpret_cast<uintptr_t>(P) + 16);
+  auto C = RT.counters().snapshot();
+  EXPECT_EQ(C.BoundsNarrows, 1u);
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, BoundsGetSkipsTypeCheck) {
+  // bounds_get must succeed even with a mismatched static type
+  // (EffectiveSan-bounds protects object bounds only).
+  char *P = static_cast<char *>(RT.allocate(24, T));
+  Bounds B = RT.boundsGet(P + 4);
+  EXPECT_EQ(B.Lo, reinterpret_cast<uintptr_t>(P));
+  EXPECT_EQ(B.Hi, reinterpret_cast<uintptr_t>(P) + 24);
+  EXPECT_EQ(RT.reporter().numIssues(), 0u);
+  auto C = RT.counters().snapshot();
+  EXPECT_EQ(C.BoundsGets, 1u);
+  EXPECT_EQ(C.TypeChecks, 0u);
+  RT.deallocate(P);
+}
+
+//===----------------------------------------------------------------------===//
+// Reporting modes and bucketing
+//===----------------------------------------------------------------------===//
+
+TEST_F(RuntimeTest, ErrorsAreBucketedByTypeAndOffset) {
+  char *P = static_cast<char *>(RT.allocate(24, T));
+  for (int I = 0; I < 100; ++I)
+    RT.typeCheck(P + 12, Ctx.getDouble()); // Same issue repeatedly.
+  EXPECT_EQ(RT.reporter().numIssues(), 1u) << "one bucket";
+  EXPECT_EQ(RT.reporter().numEvents(), 100u) << "many events";
+  RT.typeCheck(P + 4, Ctx.getDouble()); // Different offset, new bucket.
+  EXPECT_EQ(RT.reporter().numIssues(), 2u);
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, LoggingModeWritesMessages) {
+  std::FILE *Tmp = std::tmpfile();
+  ASSERT_NE(Tmp, nullptr);
+  RuntimeOptions Options;
+  Options.Reporter.Mode = ReportMode::Log;
+  Options.Reporter.Stream = Tmp;
+  Runtime LogRT(Ctx, Options);
+  char *P = static_cast<char *>(LogRT.allocate(24, T));
+  LogRT.typeCheck(P + 12, Ctx.getDouble());
+  LogRT.deallocate(P);
+  std::fflush(Tmp);
+  std::rewind(Tmp);
+  char Buffer[512] = {};
+  ASSERT_NE(std::fgets(Buffer, sizeof(Buffer), Tmp), nullptr);
+  EXPECT_NE(std::string(Buffer).find("TYPE ERROR"), std::string::npos);
+  EXPECT_NE(std::string(Buffer).find("double"), std::string::npos);
+  EXPECT_NE(std::string(Buffer).find("struct T"), std::string::npos);
+  std::fclose(Tmp);
+}
+
+TEST_F(RuntimeTest, ConcurrentChecksAreSafe) {
+  char *P = static_cast<char *>(RT.allocate(100 * 24, T));
+  std::vector<std::thread> Threads;
+  for (int W = 0; W < 4; ++W) {
+    Threads.emplace_back([&] {
+      for (int I = 0; I < 5000; ++I) {
+        Bounds B = RT.typeCheck(P + (I % 100) * 24, T);
+        RT.boundsCheck(P + (I % 100) * 24, 4, B);
+      }
+    });
+  }
+  for (std::thread &Th : Threads)
+    Th.join();
+  EXPECT_EQ(RT.reporter().numIssues(), 0u);
+  EXPECT_EQ(RT.counters().snapshot().TypeChecks, 4u * 5000u);
+  RT.deallocate(P);
+}

@@ -1,0 +1,429 @@
+//===- tests/semantics_test.cpp - MiniC execution semantics sweeps --------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Property-style sweeps over the pipeline:
+///
+///  * a table of small programs with known results, each executed under
+///    all four variants (instrumentation must never change semantics);
+///  * off-by-one overflows at parameterized array sizes (detection must
+///    not depend on the size class the allocation lands in);
+///  * the CSE pre-pass preserves program behaviour while shrinking the
+///    instruction stream.
+///
+//===----------------------------------------------------------------------===//
+
+#include "instrument/CheckOptimizer.h"
+#include "instrument/Lowering.h"
+#include "instrument/Pipeline.h"
+#include "interp/Interp.h"
+#include "minic/Parser.h"
+#include "minic/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace effective;
+using namespace effective::instrument;
+
+namespace {
+
+interp::RunResult compileAndRun(std::string_view Source, Variant V,
+                                uint64_t *Issues = nullptr) {
+  TypeContext Types;
+  RuntimeOptions RTOpts;
+  RTOpts.Reporter.Mode = ReportMode::Count;
+  Runtime RT(Types, RTOpts);
+  DiagnosticEngine Diags;
+  InstrumentOptions Opts;
+  Opts.V = V;
+  CompileResult C = compileMiniC(Source, Types, Diags, Opts);
+  for (const Diagnostic &D : Diags.diagnostics())
+    ADD_FAILURE() << D.Loc.Line << ":" << D.Loc.Column << ": "
+                  << D.Message;
+  if (!C.M)
+    return {};
+  interp::RunResult R = interp::run(*C.M, RT);
+  if (Issues)
+    *Issues = RT.reporter().numIssues();
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Known-result program table
+//===----------------------------------------------------------------------===//
+
+struct KnownProgram {
+  const char *Name;
+  const char *Source;
+  int64_t Expected;
+};
+
+const KnownProgram KnownPrograms[] = {
+    {"gcd",
+     R"(
+int gcd(int a, int b) { while (b != 0) { int t = a % b; a = b; b = t; }
+                        return a; }
+int main() { return gcd(252, 105); }
+)",
+     21},
+    {"short_circuit",
+     R"(
+int g;
+int bump() { g = g + 1; return 1; }
+int main() {
+  int a = 0 && bump();     /* bump not called */
+  int b = 1 || bump();     /* bump not called */
+  int c = 1 && bump();     /* called once */
+  int d = 0 || bump();     /* called once */
+  return g * 10 + a + b + c + d;
+}
+)",
+     23},
+    {"break_continue",
+     R"(
+int main() {
+  int total = 0;
+  int i;
+  for (i = 0; i < 100; i = i + 1) {
+    if (i % 2 == 0) continue;
+    if (i > 10) break;
+    total = total + i;
+  }
+  return total;
+}
+)",
+     1 + 3 + 5 + 7 + 9},
+    {"char_arith",
+     R"(
+int main() {
+  char c = 'A';
+  c = c + 1;
+  char buf[4];
+  buf[0] = c;
+  return buf[0];
+}
+)",
+     'B'},
+    {"nested_struct",
+     R"(
+struct inner { int a; int b; };
+struct outer { struct inner i; int c; };
+int main() {
+  struct outer o;
+  o.i.a = 3; o.i.b = 4; o.c = 5;
+  struct inner *p = &o.i;
+  return p->a * 100 + p->b * 10 + o.c;
+}
+)",
+     345},
+    {"pointer_walk",
+     R"(
+int main() {
+  int *xs = (int *)malloc(16 * sizeof(int));
+  int i;
+  for (i = 0; i < 16; i = i + 1) xs[i] = i;
+  int *p = xs;
+  int *end = xs + 16;
+  int total = 0;
+  while (p != end) { total = total + *p; p = p + 1; }
+  free(xs);
+  return total;
+}
+)",
+     120},
+    {"unsigned_wrap",
+     R"(
+int main() {
+  unsigned int u = 0;
+  u = u - 1;
+  return u > 1000000;         /* wrapped to UINT_MAX */
+}
+)",
+     1},
+    {"float_convert",
+     R"(
+int main() {
+  double d = 7.9;
+  int i = (int)d;             /* truncates */
+  float f = 0.5;
+  return i * 10 + (int)(f * 4.0);
+}
+)",
+     72},
+    {"sizeof_values",
+     R"(
+struct s { int a[3]; char *p; };
+int main() {
+  return (int)(sizeof(int) + sizeof(double) * 10 + sizeof(struct s) * 100);
+}
+)",
+     4 + 80 + 2400},
+    {"recursion_mutual",
+     R"(
+int isOdd(int n);
+int isEven(int n) { if (n == 0) return 1; return isOdd(n - 1); }
+int isOdd(int n) { if (n == 0) return 0; return isEven(n - 1); }
+int main() { return isEven(10) * 10 + isOdd(7); }
+)",
+     11},
+    {"matrix2d",
+     R"(
+int main() {
+  int m[4][3];
+  int i; int j;
+  for (i = 0; i < 4; i = i + 1)
+    for (j = 0; j < 3; j = j + 1)
+      m[i][j] = i * 10 + j;
+  int total = 0;
+  for (i = 0; i < 4; i = i + 1)
+    for (j = 0; j < 3; j = j + 1)
+      total = total + m[i][j];
+  return total;
+}
+)",
+     (0 + 10 + 20 + 30) * 3 + (0 + 1 + 2) * 4},
+    {"union_pun",
+     R"(
+union bits { float f; int i; };
+int main() {
+  union bits b;
+  b.f = 1.0;
+  int asInt = b.i;
+  b.i = 0;
+  return (asInt != 0) * 10 + (b.f == 0.0);
+}
+)",
+     11},
+    {"addr_taken_param",
+     R"(
+int set(int *p, int v) { *p = v; return *p; }
+int bump(int x) {
+  int *p = &x;
+  set(p, x + 5);
+  return x;
+}
+int main() { return bump(10); }
+)",
+     15},
+    {"global_array",
+     R"(
+int g_table[10];
+int g_seed = 3;
+int main() {
+  int i;
+  for (i = 0; i < 10; i = i + 1)
+    g_table[i] = g_seed * i;
+  return g_table[9] + g_table[1];
+}
+)",
+     27 + 3},
+    {"bit_ops",
+     R"(
+int main() {
+  int a = 0xF0;
+  int b = a >> 4;          /* 0x0F */
+  int c = (a | b) & 0x3C;  /* 0xFF & 0x3C = 0x3C */
+  int d = c ^ 0xFF;        /* 0xC3 */
+  return (b << 8) + d - (1 << 2);
+}
+)",
+     (0x0F << 8) + 0xC3 - 4},
+};
+
+class KnownProgramTest
+    : public ::testing::TestWithParam<std::tuple<size_t, int>> {};
+
+std::string knownName(
+    const ::testing::TestParamInfo<std::tuple<size_t, int>> &Info) {
+  const char *Variants[] = {"None", "Type", "Bounds", "Full"};
+  return std::string(KnownPrograms[std::get<0>(Info.param)].Name) + "_" +
+         Variants[std::get<1>(Info.param)];
+}
+
+} // namespace
+
+TEST_P(KnownProgramTest, ComputesExpectedResultUnderEveryVariant) {
+  auto [Idx, V] = GetParam();
+  const KnownProgram &P = KnownPrograms[Idx];
+  uint64_t Issues = 0;
+  interp::RunResult R =
+      compileAndRun(P.Source, static_cast<Variant>(V), &Issues);
+  ASSERT_TRUE(R.Ok) << R.Fault;
+  EXPECT_EQ(R.ExitCode, P.Expected);
+  EXPECT_EQ(Issues, 0u) << "clean program reported issues";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, KnownProgramTest,
+    ::testing::Combine(
+        ::testing::Range<size_t>(0, std::size(KnownPrograms)),
+        ::testing::Range(0, 4)),
+    knownName);
+
+//===----------------------------------------------------------------------===//
+// Off-by-one detection across allocation sizes
+//===----------------------------------------------------------------------===//
+
+class OffByOneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(OffByOneTest, HeapOverflowDetectedAtEverySize) {
+  int N = GetParam();
+  char Source[512];
+  std::snprintf(Source, sizeof(Source), R"(
+int main() {
+  long *a = (long *)malloc(%d * sizeof(long));
+  int i;
+  for (i = 0; i <= %d; i = i + 1)
+    a[i] = i;
+  free(a);
+  return 0;
+}
+)",
+                N, N);
+  uint64_t Issues = 0;
+  interp::RunResult R = compileAndRun(Source, Variant::Full, &Issues);
+  ASSERT_TRUE(R.Ok) << R.Fault;
+  EXPECT_GE(Issues, 1u) << "size " << N;
+}
+
+TEST_P(OffByOneTest, InBoundsLoopIsSilentAtEverySize) {
+  int N = GetParam();
+  char Source[512];
+  std::snprintf(Source, sizeof(Source), R"(
+int main() {
+  long *a = (long *)malloc(%d * sizeof(long));
+  int i;
+  for (i = 0; i < %d; i = i + 1)
+    a[i] = i;
+  free(a);
+  return 0;
+}
+)",
+                N, N);
+  uint64_t Issues = 0;
+  interp::RunResult R = compileAndRun(Source, Variant::Full, &Issues);
+  ASSERT_TRUE(R.Ok) << R.Fault;
+  EXPECT_EQ(Issues, 0u) << "size " << N;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, OffByOneTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 17, 31, 64,
+                                           100, 1000));
+
+//===----------------------------------------------------------------------===//
+// CSE preserves behaviour
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Compiles without instrumentation, optionally skipping CSE (compileMiniC
+/// always applies it, so this drives the pieces directly).
+std::unique_ptr<ir::Module> lowerOnly(std::string_view Source,
+                                      TypeContext &Types, bool RunCSE) {
+  minic::ASTContext Ctx(Types);
+  minic::TranslationUnit Unit;
+  DiagnosticEngine Diags;
+  minic::Parser P(Source, Ctx, Diags);
+  if (!P.parseUnit(Unit))
+    return nullptr;
+  minic::Sema S(Ctx, Diags);
+  if (!S.check(Unit))
+    return nullptr;
+  std::unique_ptr<ir::Module> M = lowerToIR(Unit, Types, Diags);
+  if (M && RunCSE)
+    localCSE(*M);
+  return M;
+}
+
+uint64_t instructionCount(const ir::Module &M) {
+  uint64_t N = 0;
+  for (const auto &F : M.Functions)
+    for (const ir::Block &B : F->Blocks)
+      N += B.Instrs.size();
+  return N;
+}
+
+} // namespace
+
+TEST(CSE, PreservesBehaviourAndShrinksTheStream) {
+  constexpr const char *Source = R"(
+struct v { int x; int y; };
+int main() {
+  struct v a;
+  a.x = 3;
+  a.y = a.x + a.x * 2;
+  int t = 0;
+  int i;
+  for (i = 0; i < 10; i = i + 1)
+    t = t + a.x * a.y + a.x * a.y;
+  return t;
+}
+)";
+  TypeContext TypesA, TypesB;
+  auto Plain = lowerOnly(Source, TypesA, /*RunCSE=*/false);
+  auto Optimized = lowerOnly(Source, TypesB, /*RunCSE=*/true);
+  ASSERT_TRUE(Plain);
+  ASSERT_TRUE(Optimized);
+  EXPECT_LT(instructionCount(*Optimized), instructionCount(*Plain));
+
+  RuntimeOptions RTOpts;
+  RTOpts.Reporter.Mode = ReportMode::Count;
+  Runtime RTA(TypesA, RTOpts), RTB(TypesB, RTOpts);
+  interp::RunResult A = interp::run(*Plain, RTA);
+  interp::RunResult B = interp::run(*Optimized, RTB);
+  ASSERT_TRUE(A.Ok) << A.Fault;
+  ASSERT_TRUE(B.Ok) << B.Fault;
+  EXPECT_EQ(A.ExitCode, B.ExitCode);
+  EXPECT_EQ(A.ExitCode, 3 * 9 * 2 * 10);
+  EXPECT_LT(B.Steps, A.Steps);
+}
+
+TEST(CSE, MutableRegistersAreRespected) {
+  // The loop variable's register is redefined every iteration: CSE must
+  // not treat stale copies of it as equal.
+  constexpr const char *Source = R"(
+int main() {
+  int total = 0;
+  int i;
+  for (i = 0; i < 5; i = i + 1) {
+    int a = i * 2;
+    int b = i * 2;   /* equal only within one iteration */
+    total = total + a + b;
+  }
+  return total;
+}
+)";
+  TypeContext Types;
+  auto M = lowerOnly(Source, Types, /*RunCSE=*/true);
+  ASSERT_TRUE(M);
+  RuntimeOptions RTOpts;
+  RTOpts.Reporter.Mode = ReportMode::Count;
+  Runtime RT(Types, RTOpts);
+  interp::RunResult R = interp::run(*M, RT);
+  ASSERT_TRUE(R.Ok) << R.Fault;
+  EXPECT_EQ(R.ExitCode, (0 + 2 + 4 + 6 + 8) * 2);
+}
+
+TEST(CSE, ShortCircuitResultSurvives) {
+  // The && result register is written in two blocks and read in a
+  // third; CSE must not delete either definition.
+  constexpr const char *Source = R"(
+int main() {
+  int x = 3;
+  int a = (x > 1) && (x < 10);
+  int b = (x > 5) && (x < 10);
+  return a * 10 + b;
+}
+)";
+  TypeContext Types;
+  auto M = lowerOnly(Source, Types, /*RunCSE=*/true);
+  ASSERT_TRUE(M);
+  RuntimeOptions RTOpts;
+  RTOpts.Reporter.Mode = ReportMode::Count;
+  Runtime RT(Types, RTOpts);
+  interp::RunResult R = interp::run(*M, RT);
+  ASSERT_TRUE(R.Ok) << R.Fault;
+  EXPECT_EQ(R.ExitCode, 10);
+}

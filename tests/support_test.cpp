@@ -1,0 +1,178 @@
+//===- tests/support_test.cpp - Support library tests ---------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Unit coverage for the support layer: arena allocation/alignment and
+/// string interning, hashing, string formatting, and the diagnostic
+/// engine.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Arena.h"
+#include "support/Casting.h"
+#include "support/Diagnostics.h"
+#include "support/Hashing.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+using namespace effective;
+
+//===----------------------------------------------------------------------===//
+// Arena
+//===----------------------------------------------------------------------===//
+
+TEST(Arena, RespectsAlignment) {
+  Arena A;
+  for (size_t Align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    void *P = A.allocate(3, Align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(P) % Align, 0u) << Align;
+  }
+}
+
+TEST(Arena, AllocationsDoNotOverlap) {
+  Arena A(128); // Tiny slabs force slab growth.
+  std::set<uintptr_t> Seen;
+  for (int I = 0; I < 200; ++I) {
+    char *P = static_cast<char *>(A.allocate(16, 8));
+    std::memset(P, I & 0xff, 16);
+    for (uintptr_t B = reinterpret_cast<uintptr_t>(P);
+         B < reinterpret_cast<uintptr_t>(P) + 16; ++B)
+      EXPECT_TRUE(Seen.insert(B).second) << "overlap at iteration " << I;
+  }
+}
+
+TEST(Arena, LargeAllocationExceedingSlabSize) {
+  Arena A(64);
+  void *P = A.allocate(4096, 16);
+  std::memset(P, 0xab, 4096); // Must be fully usable.
+  EXPECT_NE(P, nullptr);
+}
+
+TEST(Arena, InternStringIsStableAndIndependent) {
+  Arena A;
+  std::string Source = "hello world";
+  std::string_view V = A.internString(Source);
+  Source[0] = 'X'; // The intern must not alias the original.
+  EXPECT_EQ(V, "hello world");
+  EXPECT_EQ(A.internString(""), std::string_view());
+}
+
+TEST(Arena, CreateRunsConstructors) {
+  Arena A;
+  struct Node {
+    int X;
+    double Y;
+    Node(int X, double Y) : X(X), Y(Y) {}
+  };
+  Node *N = A.create<Node>(3, 1.5);
+  EXPECT_EQ(N->X, 3);
+  EXPECT_DOUBLE_EQ(N->Y, 1.5);
+}
+
+//===----------------------------------------------------------------------===//
+// Hashing
+//===----------------------------------------------------------------------===//
+
+TEST(Hashing, MixSpreadsNearbyValues) {
+  std::set<uint64_t> Hashes;
+  for (uint64_t I = 0; I < 1000; ++I)
+    Hashes.insert(hashMix(I));
+  EXPECT_EQ(Hashes.size(), 1000u); // No collisions on a small range.
+}
+
+TEST(Hashing, CombineIsOrderSensitive) {
+  uint64_t AB = hashCombine(hashMix(1), 2);
+  uint64_t BA = hashCombine(hashMix(2), 1);
+  EXPECT_NE(AB, BA);
+}
+
+//===----------------------------------------------------------------------===//
+// String utilities
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtils, FormatString) {
+  EXPECT_EQ(formatString("%d-%s", 42, "x"), "42-x");
+  // Results longer than any internal stack buffer.
+  std::string Long(500, 'a');
+  EXPECT_EQ(formatString("%s", Long.c_str()), Long);
+}
+
+TEST(StringUtils, ThousandsSeparators) {
+  EXPECT_EQ(withThousandsSep(0), "0");
+  EXPECT_EQ(withThousandsSep(999), "999");
+  EXPECT_EQ(withThousandsSep(1000), "1,000");
+  EXPECT_EQ(withThousandsSep(1234567), "1,234,567");
+}
+
+TEST(StringUtils, FormatBytes) {
+  EXPECT_EQ(formatBytes(512), "512 B");
+  EXPECT_NE(formatBytes(1536).find("KB"), std::string::npos);
+  EXPECT_NE(formatBytes(3u << 20).find("MB"), std::string::npos);
+}
+
+TEST(StringUtils, StartsWith) {
+  EXPECT_TRUE(startsWith("type_check", "type"));
+  EXPECT_FALSE(startsWith("type", "type_check"));
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(Diagnostics, CountsOnlyErrors) {
+  DiagnosticEngine D;
+  D.warning(SourceLoc{1, 1}, "w");
+  D.note(SourceLoc{1, 2}, "n");
+  EXPECT_FALSE(D.hasErrors());
+  D.error(SourceLoc{2, 1}, "e");
+  EXPECT_TRUE(D.hasErrors());
+  EXPECT_EQ(D.errorCount(), 1u);
+  EXPECT_EQ(D.diagnostics().size(), 3u);
+}
+
+TEST(Diagnostics, ContainsMessage) {
+  DiagnosticEngine D;
+  D.error(SourceLoc{1, 1}, "no member named 'balance'");
+  EXPECT_TRUE(D.containsMessage("balance"));
+  EXPECT_FALSE(D.containsMessage("missing"));
+}
+
+//===----------------------------------------------------------------------===//
+// Casting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Animal {
+  enum Kind { DogKind, CatKind } K;
+  explicit Animal(Kind K) : K(K) {}
+};
+struct Dog : Animal {
+  Dog() : Animal(DogKind) {}
+  static bool classof(const Animal *A) { return A->K == DogKind; }
+};
+struct Cat : Animal {
+  Cat() : Animal(CatKind) {}
+  static bool classof(const Animal *A) { return A->K == CatKind; }
+};
+
+} // namespace
+
+TEST(Casting, IsaCastDynCast) {
+  Dog D;
+  Animal *A = &D;
+  EXPECT_TRUE(isa<Dog>(A));
+  EXPECT_FALSE(isa<Cat>(A));
+  EXPECT_TRUE((isa<Cat, Dog>(A))); // Multi-type isa.
+  EXPECT_EQ(cast<Dog>(A), &D);
+  EXPECT_EQ(dyn_cast<Cat>(A), nullptr);
+  EXPECT_EQ(dyn_cast_if_present<Dog>(static_cast<Animal *>(nullptr)),
+            nullptr);
+  EXPECT_FALSE(isa_and_present<Dog>(static_cast<Animal *>(nullptr)));
+}

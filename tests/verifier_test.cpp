@@ -1,0 +1,238 @@
+//===- tests/verifier_test.cpp - IR verifier + reporter negative paths ----===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Negative-path coverage: the IR verifier must reject each class of
+/// malformed module (these guard against instrumentation-pass bugs),
+/// and the error reporter's modes must behave (bucketing, counting vs
+/// logging, abort-after-N).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/ErrorReporter.h"
+#include "core/TypeContext.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace effective;
+using namespace effective::ir;
+
+namespace {
+
+/// A minimal well-formed function: entry block with `ret %r0` after a
+/// constant, to mutate into invalid shapes.
+struct ModuleFixture {
+  TypeContext Types;
+  Module M{Types};
+  Function *F = nullptr;
+
+  ModuleFixture() {
+    F = M.addFunction("f", Types.getInt());
+    BlockId B = F->newBlock("entry");
+    Instr C;
+    C.Op = Opcode::ConstInt;
+    C.Dst = F->newReg(Types.getInt());
+    C.Type = Types.getInt();
+    C.Imm = 7;
+    F->Blocks[B].Instrs.push_back(C);
+    Instr R;
+    R.Op = Opcode::Ret;
+    R.A = C.Dst;
+    F->Blocks[B].Instrs.push_back(R);
+  }
+
+  bool verify() {
+    DiagnosticEngine Diags;
+    return verifyModule(M, Diags);
+  }
+
+  std::string firstError() {
+    DiagnosticEngine Diags;
+    verifyModule(M, Diags);
+    return Diags.diagnostics().empty() ? ""
+                                       : Diags.diagnostics()[0].Message;
+  }
+};
+
+} // namespace
+
+TEST(Verifier, AcceptsWellFormedModule) {
+  ModuleFixture Fx;
+  EXPECT_TRUE(Fx.verify());
+}
+
+TEST(Verifier, RejectsEmptyFunction) {
+  ModuleFixture Fx;
+  Fx.M.addFunction("empty", Fx.Types.getVoid());
+  EXPECT_FALSE(Fx.verify());
+  EXPECT_NE(Fx.firstError().find("no blocks"), std::string::npos);
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  ModuleFixture Fx;
+  Fx.F->Blocks[0].Instrs.pop_back(); // Drop the ret.
+  EXPECT_FALSE(Fx.verify());
+  EXPECT_NE(Fx.firstError().find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, RejectsTerminatorMidBlock) {
+  ModuleFixture Fx;
+  Instr R;
+  R.Op = Opcode::Ret;
+  R.A = 0;
+  Fx.F->Blocks[0].Instrs.insert(Fx.F->Blocks[0].Instrs.begin(), R);
+  EXPECT_FALSE(Fx.verify());
+}
+
+TEST(Verifier, RejectsOutOfRangeRegister) {
+  ModuleFixture Fx;
+  Fx.F->Blocks[0].Instrs[1].A = 999; // ret of an undefined register.
+  EXPECT_FALSE(Fx.verify());
+  EXPECT_NE(Fx.firstError().find("register"), std::string::npos);
+}
+
+TEST(Verifier, RejectsBranchToNowhere) {
+  ModuleFixture Fx;
+  Instr &Ret = Fx.F->Blocks[0].Instrs[1];
+  Ret.Op = Opcode::Br;
+  Ret.Target0 = 42;
+  EXPECT_FALSE(Fx.verify());
+  EXPECT_NE(Fx.firstError().find("nonexistent block"), std::string::npos);
+}
+
+TEST(Verifier, RejectsFieldIndexOutOfRange) {
+  ModuleFixture Fx;
+  RecordType *R = Fx.Types.createRecord(TypeKind::Struct, "r");
+  FieldInfo Fields[] = {{"x", Fx.Types.getInt(), 0, false}};
+  Fx.Types.defineRecord(R, Fields, 4, 4);
+
+  Instr FA;
+  FA.Op = Opcode::FieldAddr;
+  FA.Dst = Fx.F->newReg(Fx.Types.getPointer(Fx.Types.getInt()));
+  FA.A = 0;
+  FA.Type = R;
+  FA.Imm = 5; // Only one field.
+  Fx.F->Blocks[0].Instrs.insert(Fx.F->Blocks[0].Instrs.begin() + 1, FA);
+  EXPECT_FALSE(Fx.verify());
+  EXPECT_NE(Fx.firstError().find("field index"), std::string::npos);
+}
+
+TEST(Verifier, RejectsCalleeOutOfRange) {
+  ModuleFixture Fx;
+  Instr Call;
+  Call.Op = Opcode::Call;
+  Call.Imm = 9; // No such function.
+  Fx.F->Blocks[0].Instrs.insert(Fx.F->Blocks[0].Instrs.begin() + 1, Call);
+  EXPECT_FALSE(Fx.verify());
+  EXPECT_NE(Fx.firstError().find("callee"), std::string::npos);
+}
+
+TEST(Verifier, RejectsArgumentCountMismatch) {
+  ModuleFixture Fx;
+  Function *G = Fx.M.addFunction("g", Fx.Types.getVoid());
+  Param P;
+  P.Name = "x";
+  P.Type = Fx.Types.getInt();
+  P.R = G->newReg(Fx.Types.getInt());
+  G->Params.push_back(P);
+  BlockId B = G->newBlock("entry");
+  Instr R;
+  R.Op = Opcode::Ret;
+  G->Blocks[B].Instrs.push_back(R);
+
+  Instr Call;
+  Call.Op = Opcode::Call;
+  Call.Imm = Fx.M.indexOf(G);
+  // No arguments for a one-parameter function.
+  Fx.F->Blocks[0].Instrs.insert(Fx.F->Blocks[0].Instrs.begin() + 1, Call);
+  EXPECT_FALSE(Fx.verify());
+  EXPECT_NE(Fx.firstError().find("argument count"), std::string::npos);
+}
+
+TEST(Verifier, RejectsCheckWithoutBoundsRegister) {
+  ModuleFixture Fx;
+  Instr TC;
+  TC.Op = Opcode::TypeCheck;
+  TC.A = 0;
+  TC.Type = Fx.Types.getInt();
+  TC.BDst = NoBReg; // Missing destination.
+  Fx.F->Blocks[0].Instrs.insert(Fx.F->Blocks[0].Instrs.begin() + 1, TC);
+  EXPECT_FALSE(Fx.verify());
+  EXPECT_NE(Fx.firstError().find("bounds register"), std::string::npos);
+}
+
+TEST(Verifier, RejectsMissingReturnValue) {
+  ModuleFixture Fx;
+  Fx.F->Blocks[0].Instrs[1].A = NoReg; // int function returning nothing.
+  EXPECT_FALSE(Fx.verify());
+  EXPECT_NE(Fx.firstError().find("return value"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Error reporter modes
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+ErrorInfo typeError(int64_t Offset) {
+  ErrorInfo Info;
+  Info.Kind = ErrorKind::TypeError;
+  Info.Offset = Offset;
+  return Info;
+}
+
+} // namespace
+
+TEST(Reporter, BucketsByKindAndOffset) {
+  ReporterOptions Opts;
+  Opts.Mode = ReportMode::Count;
+  ErrorReporter R(Opts);
+  R.report(typeError(4));
+  R.report(typeError(4)); // Same bucket.
+  R.report(typeError(8)); // New bucket.
+  ErrorInfo Uaf;
+  Uaf.Kind = ErrorKind::UseAfterFree;
+  Uaf.Offset = 4;
+  R.report(Uaf); // Different kind: new bucket.
+  EXPECT_EQ(R.numIssues(), 3u);
+  EXPECT_EQ(R.numEvents(), 4u);
+  EXPECT_EQ(R.numIssues(ErrorKind::TypeError), 2u);
+  EXPECT_EQ(R.numIssues(ErrorKind::UseAfterFree), 1u);
+}
+
+TEST(Reporter, CountingModeWritesNothing) {
+  // Stream null + Count mode: pure counting, as used for Figure 8.
+  ReporterOptions Opts;
+  Opts.Mode = ReportMode::Count;
+  Opts.Stream = nullptr;
+  ErrorReporter R(Opts);
+  for (int I = 0; I < 1000; ++I)
+    R.report(typeError(I % 10));
+  EXPECT_EQ(R.numIssues(), 10u);
+  EXPECT_EQ(R.numEvents(), 1000u);
+}
+
+TEST(Reporter, ClearResets) {
+  ReporterOptions Opts;
+  Opts.Mode = ReportMode::Count;
+  ErrorReporter R(Opts);
+  R.report(typeError(0));
+  R.clear();
+  EXPECT_EQ(R.numIssues(), 0u);
+  EXPECT_EQ(R.numEvents(), 0u);
+}
+
+TEST(ReporterDeathTest, AbortAfterNErrors) {
+  ReporterOptions Opts;
+  Opts.Mode = ReportMode::Count;
+  Opts.Stream = nullptr;
+  Opts.AbortAfter = 3;
+  ErrorReporter R(Opts);
+  R.report(typeError(1));
+  R.report(typeError(2));
+  EXPECT_DEATH(R.report(typeError(3)), "");
+}
