@@ -16,6 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "api/Sanitizer.h"
 #include "instrument/Pipeline.h"
 #include "interp/Interp.h"
 
@@ -117,12 +118,12 @@ struct Config {
   InstrumentOptions Opts;
 };
 
-double bestSeconds(const ir::Module &M, Runtime &RT, unsigned Reps,
+double bestSeconds(const ir::Module &M, Sanitizer &Session, unsigned Reps,
                    interp::RunResult &Out) {
   double Best = 1e30;
   for (unsigned R = 0; R < Reps; ++R) {
     auto T0 = std::chrono::steady_clock::now();
-    interp::RunResult Res = interp::run(M, RT);
+    interp::RunResult Res = interp::run(M, Session);
     auto T1 = std::chrono::steady_clock::now();
     double Sec = std::chrono::duration<double>(T1 - T0).count();
     if (Res.Ok && Sec < Best) {
@@ -175,18 +176,19 @@ int main(int argc, char **argv) {
 
   double Baseline = 0;
   for (const Config &C : Configs) {
-    TypeContext Types;
-    RuntimeOptions RTOpts;
-    RTOpts.Reporter.Mode = ReportMode::Count;
-    Runtime RT(Types, RTOpts);
+    // A fresh session per configuration: private types, heap, counters.
+    SessionOptions SessionOpts;
+    SessionOpts.Reporter.Mode = ReportMode::Count;
+    Sanitizer Session(SessionOpts);
     DiagnosticEngine Diags;
-    CompileResult R = compileMiniC(Program, Types, Diags, C.Opts);
+    CompileResult R =
+        compileMiniC(Program, Session.types(), Diags, C.Opts);
     if (!R.M) {
       Diags.print(stderr, "<ablation>");
       return 1;
     }
     interp::RunResult Run;
-    double Sec = bestSeconds(*R.M, RT, Reps, Run);
+    double Sec = bestSeconds(*R.M, Session, Reps, Run);
     if (Baseline == 0)
       Baseline = Sec;
     uint64_t Static = R.Stats.TypeChecks + R.Stats.BoundsChecks +

@@ -29,11 +29,14 @@ using namespace effective;
 
 namespace {
 
-/// Benchmark fixture state: a private runtime plus the paper's
-/// Example 1/2 types, built once.
+/// Benchmark fixture state: a private sanitizer session plus the
+/// paper's Example 1/2 types, built once. The primitive benchmarks go
+/// straight at the session's Runtime; the BM_Session* ones measure the
+/// policy-dispatch layer the public API adds on top.
 struct MicroState {
-  TypeContext Ctx;
-  Runtime RT;
+  Sanitizer Session;
+  TypeContext &Ctx;
+  Runtime &RT;
   RecordType *S;
   RecordType *T;
   void *IntArray;   // int[100]
@@ -41,7 +44,9 @@ struct MicroState {
   void *CharArray;  // char[64]
   int Local = 0;    // A legacy (host stack) location.
 
-  MicroState() : RT(Ctx, countingOptions()) {
+  MicroState()
+      : Session(countingOptions()), Ctx(Session.types()),
+        RT(Session.runtime()) {
     S = Ctx.createRecord(TypeKind::Struct, "S");
     FieldInfo SFields[] = {
         {"a", Ctx.getArray(Ctx.getInt(), 3), 0, false},
@@ -60,8 +65,8 @@ struct MicroState {
     CharArray = RT.allocate(64, Ctx.getChar());
   }
 
-  static RuntimeOptions countingOptions() {
-    RuntimeOptions Options;
+  static SessionOptions countingOptions() {
+    SessionOptions Options;
     Options.Reporter.Mode = ReportMode::Count;
     return Options;
   }
@@ -154,6 +159,29 @@ static void BM_LayoutLookup_LinearScan(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_LayoutLookup_LinearScan);
+
+//===----------------------------------------------------------------------===//
+// Session-dispatch overhead (the public API's policy switch)
+//===----------------------------------------------------------------------===//
+
+static void BM_SessionTypeCheck(benchmark::State &State) {
+  // Same probe as BM_TypeCheck_RecordInterior, but through the
+  // Sanitizer session — the delta is the policy-dispatch cost.
+  MicroState &M = MicroState::get();
+  char *P = static_cast<char *>(M.TObject) + 12;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(M.Session.typeCheck(P, M.Ctx.getInt()));
+}
+BENCHMARK(BM_SessionTypeCheck);
+
+static void BM_SessionBoundsCheck(benchmark::State &State) {
+  MicroState &M = MicroState::get();
+  Bounds B = Bounds::forObject(M.IntArray, 400);
+  char *P = static_cast<char *>(M.IntArray) + 64;
+  for (auto _ : State)
+    M.Session.boundsCheck(P, 4, B);
+}
+BENCHMARK(BM_SessionBoundsCheck);
 
 //===----------------------------------------------------------------------===//
 // bounds operations

@@ -13,7 +13,8 @@
 ///
 /// Usage:
 ///   minic_sanitizer [options] file.mc
-///     -variant=full|bounds|type|none   instrumentation variant
+///     -variant=full|bounds|type|count|none   check policy (drives both
+///                                      the pass and the session)
 ///     -emit-ir                         print instrumented IR, don't run
 ///     -O0                              schema-literal instrumentation
 ///                                      (no check optimizations)
@@ -24,6 +25,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "api/Sanitizer.h"
 #include "instrument/Pipeline.h"
 #include "interp/Interp.h"
 #include "ir/Printer.h"
@@ -80,7 +82,8 @@ int main() {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: minic_sanitizer [-variant=full|bounds|type|none] "
+               "usage: minic_sanitizer "
+               "[-variant=full|bounds|type|count|none] "
                "[-emit-ir] [-O0]\n                       "
                "[-max-steps=N] [file.mc]\n");
 }
@@ -88,7 +91,8 @@ void usage() {
 } // namespace
 
 int main(int argc, char **argv) {
-  InstrumentOptions Opts;
+  InstrumentOptions BaseOpts;
+  CheckPolicy Policy = CheckPolicy::Full;
   interp::RunOptions RunOpts;
   bool EmitIR = false;
   std::string Source = DemoProgram;
@@ -99,23 +103,19 @@ int main(int argc, char **argv) {
     if (Arg == "-emit-ir") {
       EmitIR = true;
     } else if (Arg == "-O0") {
-      Opts.OnlyUsedPointers = false;
-      Opts.ElideNeverFailingChecks = false;
-      Opts.ElideSubsumedChecks = false;
+      BaseOpts.OnlyUsedPointers = false;
+      BaseOpts.ElideNeverFailingChecks = false;
+      BaseOpts.ElideSubsumedChecks = false;
     } else if (Arg.rfind("-variant=", 0) == 0) {
-      std::string_view V = Arg.substr(9);
-      if (V == "full")
-        Opts.V = Variant::Full;
-      else if (V == "bounds")
-        Opts.V = Variant::Bounds;
-      else if (V == "type")
-        Opts.V = Variant::Type;
-      else if (V == "none")
-        Opts.V = Variant::None;
-      else {
+      // One CheckPolicy value drives both the instrumentation pass and
+      // the runtime session below.
+      std::optional<CheckPolicy> Parsed =
+          parseCheckPolicy(Arg.substr(9));
+      if (!Parsed) {
         usage();
         return 2;
       }
+      Policy = *Parsed;
     } else if (Arg.rfind("-max-steps=", 0) == 0) {
       RunOpts.MaxSteps = std::strtoull(Arg.data() + 11, nullptr, 10);
     } else if (!Arg.empty() && Arg[0] == '-') {
@@ -134,14 +134,16 @@ int main(int argc, char **argv) {
     }
   }
 
-  TypeContext Types;
-  RuntimeOptions RTOpts;
-  RTOpts.Reporter.Mode = ReportMode::Log;
-  RTOpts.Reporter.Stream = stderr;
-  Runtime RT(Types, RTOpts);
+  // The session: a private type context and heap, logging each issue.
+  SessionOptions SessionOpts;
+  SessionOpts.Policy = Policy;
+  SessionOpts.Reporter.Mode = ReportMode::Log;
+  SessionOpts.Reporter.Stream = stderr;
+  Sanitizer Session(SessionOpts);
 
+  InstrumentOptions Opts = instrumentOptionsFor(Policy, BaseOpts);
   DiagnosticEngine Diags;
-  CompileResult C = compileMiniC(Source, Types, Diags, Opts);
+  CompileResult C = compileMiniC(Source, Session.types(), Diags, Opts);
   if (Diags.hasErrors() || !C.M) {
     Diags.print(stderr, FileName);
     return 1;
@@ -164,7 +166,7 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  interp::RunResult R = interp::run(*C.M, RT, RunOpts);
+  interp::RunResult R = interp::run(*C.M, Session, RunOpts);
   if (!R.Ok) {
     std::fprintf(stderr, "vm fault: %s\n", R.Fault.c_str());
     return 1;

@@ -36,8 +36,10 @@ EFFECTIVE_REFLECT(S, A, Str);
 EFFECTIVE_REFLECT(T, F, Sub);
 
 int main() {
-  TypeContext &Ctx = TypeContext::global();
-  Runtime &RT = Runtime::global();
+  // One private sanitizer session: its own type context, heap,
+  // counters and error log (see api/Sanitizer.h).
+  Sanitizer S;
+  TypeContext &Ctx = S.types();
 
   const TypeInfo *TType = TypeOf<T>::get(Ctx);
   const TypeInfo *IntType = Ctx.getInt();
@@ -47,10 +49,10 @@ int main() {
 
   // Example 1: "r = (T *)malloc(sizeof(T))" — the allocation is bound
   // to dynamic type T[1].
-  T *P = static_cast<T *>(RT.allocate(sizeof(T), TType));
+  T *P = static_cast<T *>(S.malloc(sizeof(T), TType));
   std::printf("allocated a %s of %zu bytes; dynamic type: %s\n",
               TType->str().c_str(), sizeof(T),
-              RT.dynamicTypeOf(P)->str().c_str());
+              S.dynamicTypeOf(P)->str().c_str());
 
   // Example 5: the interior pointer q = p + 12 points into the int[3]
   // sub-object. (The paper's illustration assumes a padding-free
@@ -60,7 +62,7 @@ int main() {
   // the bounds of the *array* sub-object.
   char *Raw = reinterpret_cast<char *>(P);
   void *Q = Raw + 12;
-  Bounds B = RT.typeCheck(Q, IntType);
+  Bounds B = S.typeCheck(Q, IntType);
   std::printf("\ntype_check(p+12, int[]) -> sub-object bounds "
               "[base+%td, base+%td)\n",
               reinterpret_cast<char *>(B.Lo) - Raw,
@@ -69,22 +71,22 @@ int main() {
   // The same pointer checked against double[] is a type error: no
   // sub-object of type double lives at offset 12 (Example 5, part 2).
   std::printf("\ntype_check(p+12, double[]) — expecting a type error:\n");
-  RT.typeCheck(Q, DoubleType);
+  S.typeCheck(Q, DoubleType);
 
   // Sub-object bounds in action: P->Sub.A has bounds [8,20); writing
   // A[3] (offset 20) would clobber padding/P->Sub.Str. With the
   // returned bounds the instrumentation catches it before the write.
   std::printf("\nbounds_check(&A[3], 4 bytes) — expecting a bounds "
               "error:\n");
-  RT.boundsCheck(Raw + 20, sizeof(int), B);
+  S.boundsCheck(Raw + 20, sizeof(int), B);
 
   // Deallocation rebinds the object to the FREE type; a later check
   // reports use-after-free (Section 3's rule (h)).
-  RT.deallocate(P);
+  S.free(P);
   std::printf("\ntype_check after free — expecting use-after-free:\n");
-  RT.typeCheck(Q, IntType);
+  S.typeCheck(Q, IntType);
 
   std::printf("\n%llu issue(s) reported in total; see log above.\n",
-              static_cast<unsigned long long>(RT.reporter().numIssues()));
+              static_cast<unsigned long long>(S.issuesFound()));
   return 0;
 }

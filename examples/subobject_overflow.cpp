@@ -31,8 +31,10 @@ EFFECTIVE_REFLECT(Account, Number, Balance);
 namespace {
 
 /// The buggy routine: writes digit \p I of the account number for
-/// I = 0..8 — one past the end of the field.
+/// I = 0..8 — one past the end of the field. Runs against whatever
+/// session it is handed (a Sanitizer converts to its Runtime).
 template <typename Policy> void writeDigits(Runtime &RT) {
+  RuntimeScope Scope(RT); // CheckedPtr checks report through RT.
   auto Acc = allocateChecked<Account, Policy>(RT);
   Acc.field(&Account::Balance)[0] = 1000.0f;
 
@@ -49,31 +51,37 @@ template <typename Policy> void writeDigits(Runtime &RT) {
 } // namespace
 
 int main() {
-  Runtime &RT = Runtime::global();
   std::printf("== sub-object overflow: struct account "
               "{int number[8]; float balance;} ==\n");
 
+  // One private session per variant — the Section 6.2 ablation as
+  // three session configurations in one process, with independent
+  // error counts.
   std::printf("\n-- EffectiveSan (full): field access narrows bounds, "
               "number[8] is caught --\n");
-  uint64_t Before = RT.reporter().numEvents();
-  writeDigits<FullPolicy>(RT);
+  Sanitizer Full;
+  writeDigits<FullPolicy>(Full);
   std::printf("  errors reported: %llu\n",
-              static_cast<unsigned long long>(RT.reporter().numEvents() -
-                                              Before));
+              static_cast<unsigned long long>(
+                  Full.reporter().numEvents()));
 
   std::printf("\n-- EffectiveSan-bounds: allocation bounds only, the "
               "write passes silently --\n");
-  Before = RT.reporter().numEvents();
-  writeDigits<BoundsPolicy>(RT);
+  SessionOptions BoundsOpts;
+  BoundsOpts.Policy = CheckPolicy::BoundsOnly;
+  Sanitizer BoundsSession(BoundsOpts);
+  writeDigits<BoundsPolicy>(BoundsSession);
   std::printf("  errors reported: %llu (the LowFat/ASan blind spot)\n",
-              static_cast<unsigned long long>(RT.reporter().numEvents() -
-                                              Before));
+              static_cast<unsigned long long>(
+                  BoundsSession.reporter().numEvents()));
 
   std::printf("\n-- Uninstrumented: nothing checks anything --\n");
-  Before = RT.reporter().numEvents();
-  writeDigits<NonePolicy>(RT);
+  SessionOptions OffOpts;
+  OffOpts.Policy = CheckPolicy::Off;
+  Sanitizer OffSession(OffOpts);
+  writeDigits<NonePolicy>(OffSession);
   std::printf("  errors reported: %llu\n",
-              static_cast<unsigned long long>(RT.reporter().numEvents() -
-                                              Before));
+              static_cast<unsigned long long>(
+                  OffSession.reporter().numEvents()));
   return 0;
 }

@@ -45,19 +45,20 @@ EFFECTIVE_REFLECT(SchemaGrammar, Base, ComplexTypes, ValidationBudget);
 EFFECTIVE_REFLECT(DtdGrammar, Base, EntityCount);
 
 int main() {
-  TypeContext &Ctx = TypeContext::global();
-  Runtime &RT = Runtime::global();
+  // A private session keeps this demo's heap and error log to itself.
+  Sanitizer S;
+  TypeContext &Ctx = S.types();
 
   std::printf("== type confusion ==\n");
 
   // -- 1. Bad downcast ---------------------------------------------------
   // nextElement() really returned a DtdGrammar...
-  void *Obj = RT.allocate(sizeof(DtdGrammar),
-                          TypeOf<DtdGrammar>::get(Ctx));
+  void *Obj = S.malloc(sizeof(DtdGrammar),
+                         TypeOf<DtdGrammar>::get(Ctx));
 
   // Upcast to the shared base: fine — Grammar is a sub-object at
   // offset 0 of the dynamic type DtdGrammar.
-  Bounds BaseBounds = RT.typeCheck(Obj, TypeOf<Grammar>::get(Ctx));
+  Bounds BaseBounds = S.typeCheck(Obj, TypeOf<Grammar>::get(Ctx));
   std::printf("\nupcast to Grammar: ok (sub-object bounds %zu bytes)\n",
               static_cast<size_t>(BaseBounds.Hi - BaseBounds.Lo));
 
@@ -66,15 +67,15 @@ int main() {
   // type exists: type error.
   std::printf("\nbad downcast to SchemaGrammar — expecting a type "
               "error:\n");
-  RT.typeCheck(Obj, TypeOf<SchemaGrammar>::get(Ctx));
-  RT.deallocate(Obj);
+  S.typeCheck(Obj, TypeOf<SchemaGrammar>::get(Ctx));
+  S.free(Obj);
 
   // -- 2. Implicit cast through memory ------------------------------------
   // float *F laundered through a byte buffer into int *P: no cast
   // operator anywhere, yet P's first *use* is checked against the
   // dynamic type (float[8]) and flagged.
   float *F = static_cast<float *>(
-      RT.allocate(8 * sizeof(float), Ctx.getFloat()));
+      S.malloc(8 * sizeof(float), Ctx.getFloat()));
   char Buffer[sizeof(void *)];
   std::memcpy(Buffer, &F, sizeof(void *)); // memcpy(buf, &ptrA, 8);
   int *P;
@@ -82,11 +83,11 @@ int main() {
 
   std::printf("\nimplicit cast via memcpy, then use as int[] — "
               "expecting a type error:\n");
-  Bounds B = RT.typeCheck(P, Ctx.getInt()); // Rule (c): checked at use.
-  RT.boundsCheck(P, sizeof(int), B);
-  RT.deallocate(F);
+  Bounds B = S.typeCheck(P, Ctx.getInt()); // Rule (c): checked at use.
+  S.boundsCheck(P, sizeof(int), B);
+  S.free(F);
 
   std::printf("\n%llu issue(s) reported in total.\n",
-              static_cast<unsigned long long>(RT.reporter().numIssues()));
+              static_cast<unsigned long long>(S.issuesFound()));
   return 0;
 }

@@ -26,61 +26,66 @@ struct Session {
   long Token;
 };
 struct Packet {
-  char Payload[16];
+  // Not char[]: a char-typed buffer would legitimately accept any
+  // static type through the paper's char[] coercion, hiding the
+  // reuse-after-free type error this demo is about.
+  long Payload[2];
 };
 
 EFFECTIVE_REFLECT(Session, Id, Token);
 EFFECTIVE_REFLECT(Packet, Payload);
 
 int main() {
-  TypeContext &Ctx = TypeContext::global();
-  Runtime &RT = Runtime::global();
+  // A private session: its FREE-type rebinding and reports stay local.
+  Sanitizer San;
+  TypeContext &Ctx = San.types();
   const TypeInfo *SessionT = TypeOf<Session>::get(Ctx);
   const TypeInfo *PacketT = TypeOf<Packet>::get(Ctx);
 
   std::printf("== temporal errors via the FREE type ==\n");
 
   // -- use-after-free ------------------------------------------------------
-  auto *S = static_cast<Session *>(RT.allocate(sizeof(Session), SessionT));
-  S->Id = 7;
-  RT.deallocate(S);
+  auto *Sess = static_cast<Session *>(San.malloc(sizeof(Session), SessionT));
+  Sess->Id = 7;
+  San.free(Sess);
   std::printf("\ndynamic type after free: %s\n",
-              RT.dynamicTypeOf(S)->str().c_str());
+              San.dynamicTypeOf(Sess)->str().c_str());
   std::printf("use after free — expecting a report:\n");
-  RT.typeCheck(S, SessionT); // The dangling pointer re-enters checked code.
+  San.typeCheck(Sess, SessionT); // The dangling pointer re-enters
+                                 // checked code.
 
   // -- double free ---------------------------------------------------------
   std::printf("\ndouble free — expecting a report:\n");
-  RT.deallocate(S);
+  San.free(Sess);
 
   // -- reuse-after-free, different type ------------------------------------
   // The freed Session block is recycled for a Packet (same size class,
   // LIFO free list). The stale Session pointer now sees dynamic type
   // Packet: reported.
-  auto *Pkt = static_cast<Packet *>(RT.allocate(sizeof(Packet), PacketT));
+  auto *Pkt = static_cast<Packet *>(San.malloc(sizeof(Packet), PacketT));
   std::printf("\nblock recycled as %s at %s address\n",
-              RT.dynamicTypeOf(Pkt)->str().c_str(),
-              static_cast<void *>(Pkt) == static_cast<void *>(S)
+              San.dynamicTypeOf(Pkt)->str().c_str(),
+              static_cast<void *>(Pkt) == static_cast<void *>(Sess)
                   ? "the same"
                   : "a different");
   std::printf("stale Session pointer used — expecting a type error:\n");
-  RT.typeCheck(S, SessionT);
-  RT.deallocate(Pkt);
+  San.typeCheck(Sess, SessionT);
+  San.free(Pkt);
 
   // -- reuse-after-free, same type (the documented miss) -------------------
-  auto *A = static_cast<Session *>(RT.allocate(sizeof(Session), SessionT));
-  RT.deallocate(A);
-  auto *B = static_cast<Session *>(RT.allocate(sizeof(Session), SessionT));
-  uint64_t Before = RT.reporter().numEvents();
-  RT.typeCheck(A, SessionT); // Stale pointer, but the types coincide.
+  auto *A = static_cast<Session *>(San.malloc(sizeof(Session), SessionT));
+  San.free(A);
+  auto *B = static_cast<Session *>(San.malloc(sizeof(Session), SessionT));
+  uint64_t Before = San.reporter().numEvents();
+  San.typeCheck(A, SessionT); // Stale pointer, but the types coincide.
   std::printf("\nreuse with the *same* type: %llu report(s) — the "
               "paper's caveat (§):\nonly reuse under a different type "
               "is detectable by dynamic typing alone\n",
-              static_cast<unsigned long long>(RT.reporter().numEvents() -
+              static_cast<unsigned long long>(San.reporter().numEvents() -
                                               Before));
-  RT.deallocate(B);
+  San.free(B);
 
   std::printf("\n%llu issue(s) reported in total.\n",
-              static_cast<unsigned long long>(RT.reporter().numIssues()));
+              static_cast<unsigned long long>(San.issuesFound()));
   return 0;
 }

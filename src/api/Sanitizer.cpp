@@ -1,0 +1,128 @@
+//===- api/Sanitizer.cpp - Instance-scoped sanitizer sessions -------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Sanitizer.h"
+
+using namespace effective;
+
+static RuntimeOptions runtimeOptions(const SessionOptions &Options) {
+  RuntimeOptions RTOpts;
+  RTOpts.Reporter = Options.Reporter;
+  RTOpts.Heap = Options.Heap;
+  return RTOpts;
+}
+
+Sanitizer::Sanitizer(const SessionOptions &Options)
+    : OwnedTypes(std::make_unique<TypeContext>()), Types(OwnedTypes.get()),
+      OwnedRT(std::make_unique<Runtime>(*Types, runtimeOptions(Options))),
+      RT(OwnedRT.get()), Policy(Options.Policy) {}
+
+Sanitizer::Sanitizer(TypeContext &SharedTypes, const SessionOptions &Options)
+    : Types(&SharedTypes),
+      OwnedRT(std::make_unique<Runtime>(SharedTypes,
+                                        runtimeOptions(Options))),
+      RT(OwnedRT.get()), Policy(Options.Policy) {}
+
+Sanitizer::Sanitizer(Runtime &Existing, CheckPolicy Policy)
+    : Types(&Existing.typeContext()), RT(&Existing), Policy(Policy) {}
+
+Sanitizer::~Sanitizer() = default;
+
+Sanitizer &Sanitizer::defaultSession() {
+  static Sanitizer Session(Runtime::global(), CheckPolicy::Full);
+  return Session;
+}
+
+//===----------------------------------------------------------------------===//
+// Typed allocation
+//===----------------------------------------------------------------------===//
+
+void *Sanitizer::malloc(size_t Size, const TypeInfo *Type) {
+  return RT->allocate(Size, Type);
+}
+
+void *Sanitizer::calloc(size_t Count, size_t Size, const TypeInfo *Type) {
+  return RT->allocateZeroed(Count, Size, Type);
+}
+
+void *Sanitizer::realloc(void *Ptr, size_t NewSize, const TypeInfo *Type) {
+  return RT->reallocate(Ptr, NewSize, Type);
+}
+
+void Sanitizer::free(void *Ptr) { RT->deallocate(Ptr); }
+
+//===----------------------------------------------------------------------===//
+// Policy-dispatched checks
+//===----------------------------------------------------------------------===//
+
+Bounds Sanitizer::typeCheck(const void *Ptr, const TypeInfo *StaticType) {
+  switch (Policy) {
+  case CheckPolicy::Full:
+  case CheckPolicy::TypeOnly:
+    return RT->typeCheck(Ptr, StaticType);
+  case CheckPolicy::BoundsOnly:
+    // Section 6.2: the -bounds variant replaces type_check by
+    // bounds_get.
+    return RT->boundsGet(Ptr);
+  case CheckPolicy::CountOnly:
+    CheckCounters::bump(RT->counters().TypeChecks);
+    return Bounds::wide();
+  case CheckPolicy::Off:
+    return Bounds::wide();
+  }
+  return Bounds::wide();
+}
+
+Bounds Sanitizer::boundsGet(const void *Ptr) {
+  switch (Policy) {
+  case CheckPolicy::Full:
+  case CheckPolicy::BoundsOnly:
+    return RT->boundsGet(Ptr);
+  case CheckPolicy::TypeOnly:
+  case CheckPolicy::Off:
+    return Bounds::wide();
+  case CheckPolicy::CountOnly:
+    CheckCounters::bump(RT->counters().BoundsGets);
+    return Bounds::wide();
+  }
+  return Bounds::wide();
+}
+
+void Sanitizer::boundsCheck(const void *Ptr, size_t Size, Bounds B) {
+  switch (Policy) {
+  case CheckPolicy::Full:
+  case CheckPolicy::BoundsOnly:
+    RT->boundsCheck(Ptr, Size, B);
+    return;
+  case CheckPolicy::CountOnly:
+    CheckCounters::bump(RT->counters().BoundsChecks);
+    return;
+  case CheckPolicy::TypeOnly:
+  case CheckPolicy::Off:
+    return;
+  }
+}
+
+Bounds Sanitizer::boundsNarrow(Bounds B, const void *Field, size_t Size) {
+  switch (Policy) {
+  case CheckPolicy::Full:
+    return RT->boundsNarrow(B, Field, Size);
+  case CheckPolicy::BoundsOnly:
+    // "Protects object bounds only": rule-(e) narrowing disabled.
+    return B;
+  case CheckPolicy::CountOnly:
+    CheckCounters::bump(RT->counters().BoundsNarrows);
+    return B;
+  case CheckPolicy::TypeOnly:
+  case CheckPolicy::Off:
+    return B;
+  }
+  return B;
+}
+
+void Sanitizer::setErrorCallback(ErrorCallback Callback, void *UserData) {
+  RT->reporter().setCallback(Callback, UserData);
+}

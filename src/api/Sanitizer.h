@@ -1,0 +1,160 @@
+//===- api/Sanitizer.h - Instance-scoped sanitizer sessions -----*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instance-scoped public API of the reproduction. A Sanitizer is
+/// one self-contained sanitizer *session*: it owns (or shares) a
+/// TypeContext, owns a Runtime (low-fat heap, counters, reporter), and
+/// carries a CheckPolicy that decides at run time what its checks do —
+/// the paper's Section 6.2 variants as a constructor argument:
+///
+/// \code
+///   Sanitizer Full;                                  // full EffectiveSan
+///   SessionOptions Opts;
+///   Opts.Policy = CheckPolicy::BoundsOnly;           // EffectiveSan-bounds
+///   Sanitizer Bounds(Opts);
+///
+///   void *P = Full.malloc(sizeof(T), TypeOf<T>::get(Full.types()));
+///   Bounds B = Full.typeCheck(P, IntType);
+///   Full.boundsCheck(P, 4, B);
+///   Full.free(P);
+/// \endcode
+///
+/// Sessions are independent: counters, error sinks and heap statistics
+/// never bleed between two sessions living in the same process, which is
+/// what makes the runtime multi-tenant. The process-wide default session
+/// (wrapping Runtime::global() under CheckPolicy::Full) backs the
+/// paper-named facade in core/Effective.h and the stable C ABI in
+/// api/effsan.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_API_SANITIZER_H
+#define EFFECTIVE_API_SANITIZER_H
+
+#include "api/CheckPolicy.h"
+#include "core/CheckedPtr.h"
+#include "core/Runtime.h"
+
+#include <memory>
+
+namespace effective {
+
+/// Construction options for a session.
+struct SessionOptions {
+  CheckPolicy Policy = CheckPolicy::Full;
+  ReporterOptions Reporter;
+  lowfat::HeapOptions Heap;
+};
+
+/// One sanitizer session. Thread-safe to the same degree as Runtime
+/// (checks are lock-free; allocation and reporting are internally
+/// locked). Destroying a session releases its heap and meta data;
+/// pointers allocated from it must not outlive it.
+class Sanitizer {
+public:
+  /// A session with a private TypeContext.
+  explicit Sanitizer(const SessionOptions &Options = SessionOptions());
+
+  /// A session sharing \p SharedTypes (types are interned once and are
+  /// immutable, so any number of sessions may share a context — the
+  /// paper's weak-symbol meta data story).
+  Sanitizer(TypeContext &SharedTypes,
+            const SessionOptions &Options = SessionOptions());
+
+  ~Sanitizer();
+
+  Sanitizer(const Sanitizer &) = delete;
+  Sanitizer &operator=(const Sanitizer &) = delete;
+
+  CheckPolicy policy() const { return Policy; }
+  TypeContext &types() { return *Types; }
+  Runtime &runtime() { return *RT; }
+  ErrorReporter &reporter() { return RT->reporter(); }
+  CheckCounters &counters() { return RT->counters(); }
+
+  /// Sessions convert to their Runtime so runtime-parameterized code
+  /// (CheckedPtr's session-aware constructor, interp::run, the workload
+  /// kernels) accepts a session directly. Note the seam: code going
+  /// through the Runtime — including CheckedPtr, whose instrumentation
+  /// level is its compile-time Policy template — performs full runtime
+  /// checks regardless of this session's CheckPolicy; the policy
+  /// governs only the methods on this class (and interp::run given a
+  /// session). Pair CheckedPtr's NonePolicy/BoundsPolicy/... with a
+  /// matching session policy when both layers are in play.
+  operator Runtime &() { return *RT; }
+
+  /// \name Typed allocation (always real, independent of policy, so a
+  /// program behaves identically under every policy).
+  /// @{
+  void *malloc(size_t Size, const TypeInfo *Type = nullptr);
+  void *calloc(size_t Count, size_t Size, const TypeInfo *Type = nullptr);
+  void *realloc(void *Ptr, size_t NewSize, const TypeInfo *Type = nullptr);
+  void free(void *Ptr);
+  /// @}
+
+  /// \name Policy-dispatched checks.
+  /// What each call does is decided by policy():
+  ///   Full       — the paper's type_check / bounds_check / bounds_narrow;
+  ///   BoundsOnly — typeCheck degrades to bounds_get, narrowing is a
+  ///                no-op (allocation bounds only);
+  ///   TypeOnly   — type checks run, bounds operations are no-ops;
+  ///   CountOnly  — counters advance, nothing is probed or reported;
+  ///   Off        — nothing happens at all.
+  /// @{
+  Bounds typeCheck(const void *Ptr, const TypeInfo *StaticType);
+  Bounds boundsGet(const void *Ptr);
+  void boundsCheck(const void *Ptr, size_t Size, Bounds B);
+  Bounds boundsNarrow(Bounds B, const void *Field, size_t Size);
+  /// @}
+
+  /// \name Introspection.
+  /// @{
+  const TypeInfo *dynamicTypeOf(const void *Ptr) const {
+    return RT->dynamicTypeOf(Ptr);
+  }
+  Bounds allocationBounds(const void *Ptr) const {
+    return RT->allocationBounds(Ptr);
+  }
+  /// Distinct issues found so far (the Figure 7 metric).
+  uint64_t issuesFound() const { return RT->reporter().numIssues(); }
+  /// @}
+
+  /// Replaces the session's error sink (thin wrapper over
+  /// ReporterOptions::Callback; pass null to remove).
+  void setErrorCallback(ErrorCallback Callback, void *UserData);
+
+  /// The process-wide default session: CheckPolicy::Full over
+  /// Runtime::global() and TypeContext::global(). This is what
+  /// core/Effective.h's paper-named facade routes through.
+  static Sanitizer &defaultSession();
+
+private:
+  /// Wraps an existing runtime without owning it (the default session).
+  Sanitizer(Runtime &Existing, CheckPolicy Policy);
+
+  std::unique_ptr<TypeContext> OwnedTypes; ///< Null when sharing.
+  TypeContext *Types;
+  std::unique_ptr<Runtime> OwnedRT; ///< Null for the default session.
+  Runtime *RT;
+  CheckPolicy Policy;
+};
+
+/// RAII binder routing this thread's CheckedPtr instrumentation into
+/// \p Session's runtime (heap, counters, reporter). As with the
+/// Runtime conversion above, what gets checked is decided by
+/// CheckedPtr's compile-time Policy, not the session's CheckPolicy.
+class SanitizerScope {
+public:
+  explicit SanitizerScope(Sanitizer &Session) : Scope(Session.runtime()) {}
+
+private:
+  RuntimeScope Scope;
+};
+
+} // namespace effective
+
+#endif // EFFECTIVE_API_SANITIZER_H

@@ -1,0 +1,341 @@
+//===- api/effsan.cpp - Stable C ABI implementation -----------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/effsan.h"
+
+#include "api/Sanitizer.h"
+
+#include <cstring>
+#include <new>
+
+using namespace effective;
+
+/// The opaque session handle: a Sanitizer plus the installed C callback
+/// (the C++ reporter callback trampolines through it).
+struct effsan_session {
+  Sanitizer Session;
+  effsan_error_callback Callback = nullptr;
+  void *CallbackUserData = nullptr;
+
+  explicit effsan_session(const SessionOptions &Options)
+      : Session(Options) {}
+};
+
+struct effsan_struct_builder {
+  effsan_session *Owner;
+  RecordBuilder Builder;
+
+  effsan_struct_builder(effsan_session *Owner, const char *Tag)
+      : Owner(Owner),
+        Builder(Owner->Session.types(), TypeKind::Struct,
+                Tag ? std::string_view(Tag) : std::string_view()) {}
+};
+
+namespace {
+
+const TypeInfo *unwrap(effsan_type Type) {
+  return reinterpret_cast<const TypeInfo *>(Type);
+}
+
+effsan_type wrap(const TypeInfo *Type) {
+  return reinterpret_cast<effsan_type>(Type);
+}
+
+Bounds unwrap(effsan_bounds B) { return Bounds{B.lo, B.hi}; }
+
+effsan_bounds wrap(Bounds B) { return effsan_bounds{B.Lo, B.Hi}; }
+
+uint32_t errorKindValue(ErrorKind Kind) {
+  switch (Kind) {
+  case ErrorKind::TypeError:
+    return EFFSAN_ERROR_TYPE;
+  case ErrorKind::BoundsError:
+    return EFFSAN_ERROR_BOUNDS;
+  case ErrorKind::UseAfterFree:
+    return EFFSAN_ERROR_USE_AFTER_FREE;
+  case ErrorKind::DoubleFree:
+    return EFFSAN_ERROR_DOUBLE_FREE;
+  }
+  return EFFSAN_ERROR_TYPE;
+}
+
+/// ReporterOptions::Callback trampoline translating the C++ event into
+/// the C struct.
+void callbackTrampoline(const ErrorInfo &Info, const char *Message,
+                        void *UserData) {
+  auto *S = static_cast<effsan_session *>(UserData);
+  if (!S->Callback)
+    return;
+  effsan_error Error;
+  Error.kind = errorKindValue(Info.Kind);
+  Error.pointer = Info.Pointer;
+  Error.offset = Info.Offset;
+  Error.message = Message;
+  S->Callback(&Error, S->CallbackUserData);
+}
+
+} // namespace
+
+extern "C" {
+
+uint32_t effsan_abi_version(void) { return EFFSAN_ABI_VERSION; }
+
+//===----------------------------------------------------------------------===//
+// Sessions
+//===----------------------------------------------------------------------===//
+
+void effsan_options_init(effsan_options *options) {
+  if (!options)
+    return;
+  std::memset(options, 0, sizeof(*options));
+  options->struct_size = sizeof(effsan_options);
+  options->policy = EFFSAN_POLICY_FULL;
+  options->log_errors = 1;
+  options->log_stream = stderr;
+  options->max_reports_per_location = 1;
+}
+
+static CheckPolicy policyFromValue(uint32_t Value) {
+  switch (Value) {
+  case EFFSAN_POLICY_BOUNDS_ONLY:
+    return CheckPolicy::BoundsOnly;
+  case EFFSAN_POLICY_TYPE_ONLY:
+    return CheckPolicy::TypeOnly;
+  case EFFSAN_POLICY_COUNT_ONLY:
+    return CheckPolicy::CountOnly;
+  case EFFSAN_POLICY_OFF:
+    return CheckPolicy::Off;
+  case EFFSAN_POLICY_FULL:
+  default:
+    return CheckPolicy::Full;
+  }
+}
+
+effsan_session *effsan_session_create(const effsan_options *options) {
+  effsan_options Defaults;
+  effsan_options_init(&Defaults);
+  // Tail-extension tolerance: read only the prefix the caller declared.
+  if (options) {
+    size_t N = options->struct_size;
+    if (N == 0 || N > sizeof(Defaults))
+      N = sizeof(Defaults);
+    std::memcpy(&Defaults, options, N);
+  }
+
+  SessionOptions SessionOpts;
+  SessionOpts.Policy = policyFromValue(Defaults.policy);
+  SessionOpts.Reporter.Mode =
+      Defaults.log_errors ? ReportMode::Log : ReportMode::Count;
+  SessionOpts.Reporter.Stream =
+      Defaults.log_stream ? Defaults.log_stream : stderr;
+  SessionOpts.Reporter.MaxReportsPerBucket =
+      Defaults.max_reports_per_location;
+  SessionOpts.Reporter.MaxTotalReports = Defaults.max_total_reports;
+  SessionOpts.Reporter.AbortAfter = Defaults.abort_after;
+
+  return new (std::nothrow) effsan_session(SessionOpts);
+}
+
+void effsan_session_destroy(effsan_session *session) { delete session; }
+
+uint32_t effsan_session_policy(const effsan_session *session) {
+  switch (session->Session.policy()) {
+  case CheckPolicy::Full:
+    return EFFSAN_POLICY_FULL;
+  case CheckPolicy::BoundsOnly:
+    return EFFSAN_POLICY_BOUNDS_ONLY;
+  case CheckPolicy::TypeOnly:
+    return EFFSAN_POLICY_TYPE_ONLY;
+  case CheckPolicy::CountOnly:
+    return EFFSAN_POLICY_COUNT_ONLY;
+  case CheckPolicy::Off:
+    return EFFSAN_POLICY_OFF;
+  }
+  return EFFSAN_POLICY_FULL;
+}
+
+//===----------------------------------------------------------------------===//
+// Type construction
+//===----------------------------------------------------------------------===//
+
+effsan_type effsan_type_primitive(effsan_session *session,
+                                  effsan_prim kind) {
+  TypeContext &Ctx = session->Session.types();
+  switch (kind) {
+  case EFFSAN_PRIM_VOID:
+    return wrap(Ctx.getVoid());
+  case EFFSAN_PRIM_BOOL:
+    return wrap(Ctx.getBool());
+  case EFFSAN_PRIM_CHAR:
+    return wrap(Ctx.getChar());
+  case EFFSAN_PRIM_SCHAR:
+    return wrap(Ctx.getSChar());
+  case EFFSAN_PRIM_UCHAR:
+    return wrap(Ctx.getUChar());
+  case EFFSAN_PRIM_SHORT:
+    return wrap(Ctx.getShort());
+  case EFFSAN_PRIM_USHORT:
+    return wrap(Ctx.getUShort());
+  case EFFSAN_PRIM_INT:
+    return wrap(Ctx.getInt());
+  case EFFSAN_PRIM_UINT:
+    return wrap(Ctx.getUInt());
+  case EFFSAN_PRIM_LONG:
+    return wrap(Ctx.getLong());
+  case EFFSAN_PRIM_ULONG:
+    return wrap(Ctx.getULong());
+  case EFFSAN_PRIM_LONGLONG:
+    return wrap(Ctx.getLongLong());
+  case EFFSAN_PRIM_ULONGLONG:
+    return wrap(Ctx.getULongLong());
+  case EFFSAN_PRIM_FLOAT:
+    return wrap(Ctx.getFloat());
+  case EFFSAN_PRIM_DOUBLE:
+    return wrap(Ctx.getDouble());
+  case EFFSAN_PRIM_LONGDOUBLE:
+    return wrap(Ctx.getLongDouble());
+  }
+  return nullptr;
+}
+
+effsan_type effsan_type_pointer(effsan_session *session,
+                                effsan_type pointee) {
+  if (!pointee)
+    return nullptr;
+  return wrap(session->Session.types().getPointer(unwrap(pointee)));
+}
+
+effsan_type effsan_type_array(effsan_session *session, effsan_type element,
+                              uint64_t count) {
+  if (!element)
+    return nullptr;
+  return wrap(session->Session.types().getArray(unwrap(element), count));
+}
+
+effsan_struct_builder *effsan_struct_begin(effsan_session *session,
+                                           const char *tag) {
+  return new (std::nothrow) effsan_struct_builder(session, tag);
+}
+
+void effsan_struct_field(effsan_struct_builder *builder, const char *name,
+                         effsan_type type) {
+  if (!builder || !type)
+    return;
+  builder->Builder.addField(name ? std::string_view(name)
+                                 : std::string_view(),
+                            unwrap(type));
+}
+
+effsan_type effsan_struct_end(effsan_struct_builder *builder) {
+  if (!builder)
+    return nullptr;
+  effsan_type Result = wrap(builder->Builder.finish());
+  delete builder;
+  return Result;
+}
+
+const char *effsan_type_name(effsan_type type, char *buffer, size_t size) {
+  if (!buffer || size == 0)
+    return buffer;
+  if (!type) {
+    buffer[0] = '\0';
+    return buffer;
+  }
+  std::string Name = unwrap(type)->str();
+  std::snprintf(buffer, size, "%s", Name.c_str());
+  return buffer;
+}
+
+uint64_t effsan_type_size(effsan_type type) {
+  return type ? unwrap(type)->size() : 0;
+}
+
+effsan_type effsan_type_of(effsan_session *session, const void *ptr) {
+  return wrap(session->Session.dynamicTypeOf(ptr));
+}
+
+//===----------------------------------------------------------------------===//
+// Typed allocation
+//===----------------------------------------------------------------------===//
+
+void *effsan_malloc(effsan_session *session, size_t size, effsan_type type) {
+  return session->Session.malloc(size, unwrap(type));
+}
+
+void *effsan_calloc(effsan_session *session, size_t count, size_t size,
+                    effsan_type type) {
+  return session->Session.calloc(count, size, unwrap(type));
+}
+
+void *effsan_realloc(effsan_session *session, void *ptr, size_t size,
+                     effsan_type type) {
+  return session->Session.realloc(ptr, size, unwrap(type));
+}
+
+void effsan_free(effsan_session *session, void *ptr) {
+  session->Session.free(ptr);
+}
+
+//===----------------------------------------------------------------------===//
+// Dynamic checks
+//===----------------------------------------------------------------------===//
+
+effsan_bounds effsan_type_check(effsan_session *session, const void *ptr,
+                                effsan_type static_type) {
+  if (!static_type)
+    return wrap(session->Session.boundsGet(ptr));
+  return wrap(session->Session.typeCheck(ptr, unwrap(static_type)));
+}
+
+effsan_bounds effsan_bounds_get(effsan_session *session, const void *ptr) {
+  return wrap(session->Session.boundsGet(ptr));
+}
+
+void effsan_bounds_check(effsan_session *session, const void *ptr,
+                         size_t size, effsan_bounds bounds) {
+  session->Session.boundsCheck(ptr, size, unwrap(bounds));
+}
+
+effsan_bounds effsan_bounds_narrow(effsan_session *session,
+                                   effsan_bounds bounds, const void *field,
+                                   size_t size) {
+  return wrap(session->Session.boundsNarrow(unwrap(bounds), field, size));
+}
+
+//===----------------------------------------------------------------------===//
+// Counters and error reporting
+//===----------------------------------------------------------------------===//
+
+void effsan_get_counters(const effsan_session *session,
+                         effsan_counters *out) {
+  if (!out)
+    return;
+  auto *S = const_cast<effsan_session *>(session);
+  CheckCounters::Snapshot Snap = S->Session.counters().snapshot();
+  out->type_checks = Snap.TypeChecks;
+  out->legacy_type_checks = Snap.LegacyTypeChecks;
+  out->bounds_checks = Snap.BoundsChecks;
+  out->bounds_narrows = Snap.BoundsNarrows;
+  out->bounds_gets = Snap.BoundsGets;
+  out->issues_found = S->Session.reporter().numIssues();
+  out->error_events = S->Session.reporter().numEvents();
+  out->reports_suppressed = S->Session.reporter().numSuppressed();
+}
+
+void effsan_set_error_callback(effsan_session *session,
+                               effsan_error_callback callback,
+                               void *user_data) {
+  // Detach the trampoline (under the reporter lock), update the C-side
+  // pair, then re-attach — an erring thread can never observe a
+  // half-updated callback/user-data combination.
+  session->Session.setErrorCallback(nullptr, nullptr);
+  session->Callback = callback;
+  session->CallbackUserData = user_data;
+  if (callback)
+    session->Session.setErrorCallback(callbackTrampoline, session);
+}
+
+} // extern "C"

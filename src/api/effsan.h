@@ -1,0 +1,249 @@
+/*===- api/effsan.h - Stable C ABI for EffectiveSan sessions ------- C -----===*
+ *
+ * Part of the EffectiveSan reproduction. Released under the MIT license.
+ *
+ *===----------------------------------------------------------------------===*
+ *
+ * The stable, versioned, extern-"C" face of the sanitizer: everything a
+ * foreign language or a shared-library consumer needs to create
+ * instance-scoped sanitizer sessions, describe C types to them, allocate
+ * typed memory, and run the paper's dynamic checks (type_check,
+ * bounds_check, bounds_narrow, bounds_get — Figures 3 and 6).
+ *
+ *   effsan_options opts;
+ *   effsan_options_init(&opts);
+ *   opts.policy = EFFSAN_POLICY_FULL;
+ *   effsan_session *s = effsan_session_create(&opts);
+ *
+ *   effsan_type int_ty = effsan_type_primitive(s, EFFSAN_PRIM_INT);
+ *   int *p = (int *)effsan_malloc(s, 100 * sizeof(int), int_ty);
+ *   effsan_bounds b = effsan_type_check(s, p, int_ty);
+ *   effsan_bounds_check(s, p + 5, sizeof(int), b);
+ *   effsan_free(s, p);
+ *   effsan_session_destroy(s);
+ *
+ * ABI stability rules:
+ *  - new functions may be added; existing signatures never change;
+ *  - effsan_options is extended only at the tail, and carries its own
+ *    struct_size so old callers keep working against new libraries;
+ *  - enum values are never renumbered;
+ *  - the minor version bumps on additions, the major version on breaks.
+ *
+ *===----------------------------------------------------------------------===*/
+
+#ifndef EFFECTIVE_API_EFFSAN_H
+#define EFFECTIVE_API_EFFSAN_H
+
+#include <stddef.h>
+#include <stdint.h>
+#include <stdio.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/*===--------------------------------------------------------------------===*
+ * Versioning
+ *===--------------------------------------------------------------------===*/
+
+#define EFFSAN_ABI_VERSION_MAJOR 1
+#define EFFSAN_ABI_VERSION_MINOR 0
+#define EFFSAN_ABI_VERSION                                                   \
+  ((EFFSAN_ABI_VERSION_MAJOR << 16) | EFFSAN_ABI_VERSION_MINOR)
+
+/* The version the library was built as ((major << 16) | minor). */
+uint32_t effsan_abi_version(void);
+
+/*===--------------------------------------------------------------------===*
+ * Sessions
+ *===--------------------------------------------------------------------===*/
+
+/* One sanitizer session (opaque). Sessions are independent: private
+ * heap, counters and error sink. */
+typedef struct effsan_session effsan_session;
+
+/* An interned dynamic type handle (opaque). Valid for the lifetime of
+ * the session that produced it. */
+typedef const struct effsan_type_opaque *effsan_type;
+
+/* The session check policy — the paper's Section 6.2 variants. */
+typedef enum effsan_policy {
+  EFFSAN_POLICY_FULL = 0,        /* type + sub-object bounds checks   */
+  EFFSAN_POLICY_BOUNDS_ONLY = 1, /* EffectiveSan-bounds (bounds_get)  */
+  EFFSAN_POLICY_TYPE_ONLY = 2,   /* EffectiveSan-type                 */
+  EFFSAN_POLICY_COUNT_ONLY = 3,  /* count checks, probe nothing       */
+  EFFSAN_POLICY_OFF = 4          /* no checks at all                  */
+} effsan_policy;
+
+/* Session construction options. Always initialize with
+ * effsan_options_init() before overriding fields, so adding tail fields
+ * later cannot break compiled callers. */
+typedef struct effsan_options {
+  uint32_t struct_size; /* = sizeof(effsan_options); set by _init    */
+  uint32_t policy;      /* an effsan_policy value                    */
+  int log_errors;       /* nonzero: log reports to log_stream        */
+  FILE *log_stream;     /* default stderr                            */
+  /* Per-location dedup cap: emit at most this many reports per
+   * (kind, types, offset) bucket; 0 = unlimited. Default 1 — each
+   * distinct issue is reported once, as in the paper. */
+  uint64_t max_reports_per_location;
+  uint64_t max_total_reports; /* cap across all locations; 0 = none  */
+  uint64_t abort_after;       /* abort after N error events; 0 = no  */
+} effsan_options;
+
+/* Fills *options with the defaults (full policy, logging to stderr). */
+void effsan_options_init(effsan_options *options);
+
+/* Creates a session; NULL options means defaults. Returns NULL only on
+ * out-of-memory. */
+effsan_session *effsan_session_create(const effsan_options *options);
+
+/* Destroys a session and its heap. Pointers it served die with it. */
+void effsan_session_destroy(effsan_session *session);
+
+/* The session's policy (an effsan_policy value). */
+uint32_t effsan_session_policy(const effsan_session *session);
+
+/*===--------------------------------------------------------------------===*
+ * Type construction
+ *===--------------------------------------------------------------------===*/
+
+typedef enum effsan_prim {
+  EFFSAN_PRIM_VOID = 0,
+  EFFSAN_PRIM_BOOL = 1,
+  EFFSAN_PRIM_CHAR = 2,
+  EFFSAN_PRIM_SCHAR = 3,
+  EFFSAN_PRIM_UCHAR = 4,
+  EFFSAN_PRIM_SHORT = 5,
+  EFFSAN_PRIM_USHORT = 6,
+  EFFSAN_PRIM_INT = 7,
+  EFFSAN_PRIM_UINT = 8,
+  EFFSAN_PRIM_LONG = 9,
+  EFFSAN_PRIM_ULONG = 10,
+  EFFSAN_PRIM_LONGLONG = 11,
+  EFFSAN_PRIM_ULONGLONG = 12,
+  EFFSAN_PRIM_FLOAT = 13,
+  EFFSAN_PRIM_DOUBLE = 14,
+  EFFSAN_PRIM_LONGDOUBLE = 15
+} effsan_prim;
+
+/* Primitive, pointer and array type handles (interned per session's
+ * type context; handle equality is dynamic type equality). */
+effsan_type effsan_type_primitive(effsan_session *session, effsan_prim kind);
+effsan_type effsan_type_pointer(effsan_session *session, effsan_type pointee);
+effsan_type effsan_type_array(effsan_session *session, effsan_type element,
+                              uint64_t count);
+
+/* Struct types are built field by field; offsets follow C layout rules:
+ *
+ *   effsan_struct_builder *b = effsan_struct_begin(s, "account");
+ *   effsan_struct_field(b, "number", effsan_type_array(s, int_ty, 8));
+ *   effsan_struct_field(b, "balance", float_ty);
+ *   effsan_type account_ty = effsan_struct_end(b);   // frees b
+ */
+typedef struct effsan_struct_builder effsan_struct_builder;
+effsan_struct_builder *effsan_struct_begin(effsan_session *session,
+                                           const char *tag);
+void effsan_struct_field(effsan_struct_builder *builder, const char *name,
+                         effsan_type type);
+effsan_type effsan_struct_end(effsan_struct_builder *builder);
+
+/* Renders the type spelling ("struct account", "int[8]") into buffer
+ * (always NUL-terminated); returns buffer. */
+const char *effsan_type_name(effsan_type type, char *buffer, size_t size);
+
+/* sizeof the type in bytes (0 for void/function/incomplete types). */
+uint64_t effsan_type_size(effsan_type type);
+
+/* The dynamic (allocation) type of ptr's object, or NULL for legacy /
+ * unknown pointers — the introspection surface. */
+effsan_type effsan_type_of(effsan_session *session, const void *ptr);
+
+/*===--------------------------------------------------------------------===*
+ * Typed allocation (the paper's type_malloc family, Figure 6)
+ *===--------------------------------------------------------------------===*/
+
+/* type may be NULL for untyped (wide-bounds) allocations. */
+void *effsan_malloc(effsan_session *session, size_t size, effsan_type type);
+void *effsan_calloc(effsan_session *session, size_t count, size_t size,
+                    effsan_type type);
+void *effsan_realloc(effsan_session *session, void *ptr, size_t size,
+                     effsan_type type);
+void effsan_free(effsan_session *session, void *ptr);
+
+/*===--------------------------------------------------------------------===*
+ * Dynamic checks (Figures 3 and 6), dispatched by the session policy
+ *===--------------------------------------------------------------------===*/
+
+/* A bounds value [lo, hi). Wide bounds are [0, UINTPTR_MAX). */
+typedef struct effsan_bounds {
+  uintptr_t lo;
+  uintptr_t hi;
+} effsan_bounds;
+
+/* type_check: verifies ptr addresses a (sub-)object of static_type and
+ * returns the sub-object bounds (wide on error/legacy). */
+effsan_bounds effsan_type_check(effsan_session *session, const void *ptr,
+                                effsan_type static_type);
+
+/* bounds_get: allocation bounds without a type check (the
+ * EffectiveSan-bounds primitive). */
+effsan_bounds effsan_bounds_get(effsan_session *session, const void *ptr);
+
+/* bounds_check: report if the size-byte access at ptr leaves bounds. */
+void effsan_bounds_check(effsan_session *session, const void *ptr,
+                         size_t size, effsan_bounds bounds);
+
+/* bounds_narrow: intersect bounds with the field at [field, field+size). */
+effsan_bounds effsan_bounds_narrow(effsan_session *session,
+                                   effsan_bounds bounds, const void *field,
+                                   size_t size);
+
+/*===--------------------------------------------------------------------===*
+ * Counters and error reporting
+ *===--------------------------------------------------------------------===*/
+
+typedef struct effsan_counters {
+  uint64_t type_checks;
+  uint64_t legacy_type_checks;
+  uint64_t bounds_checks;
+  uint64_t bounds_narrows;
+  uint64_t bounds_gets;
+  uint64_t issues_found;       /* distinct issues (Figure 7 buckets)  */
+  uint64_t error_events;       /* raw error events                    */
+  uint64_t reports_suppressed; /* events muted by the dedup caps      */
+} effsan_counters;
+
+/* Snapshots the session's check counters and issue counts. */
+void effsan_get_counters(const effsan_session *session,
+                         effsan_counters *out);
+
+typedef enum effsan_error_kind {
+  EFFSAN_ERROR_TYPE = 0,
+  EFFSAN_ERROR_BOUNDS = 1,
+  EFFSAN_ERROR_USE_AFTER_FREE = 2,
+  EFFSAN_ERROR_DOUBLE_FREE = 3
+} effsan_error_kind;
+
+typedef struct effsan_error {
+  uint32_t kind;       /* an effsan_error_kind value                 */
+  const void *pointer; /* the offending pointer                      */
+  int64_t offset;      /* byte offset within the allocation          */
+  const char *message; /* rendered report; valid during the callback */
+} effsan_error;
+
+/* Invoked once per emitted report (after dedup caps), from the erring
+ * thread. Must not call back into the same session's reporter. */
+typedef void (*effsan_error_callback)(const effsan_error *error,
+                                      void *user_data);
+
+/* Installs (or, with NULL, removes) the session error sink. */
+void effsan_set_error_callback(effsan_session *session,
+                               effsan_error_callback callback,
+                               void *user_data);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* EFFECTIVE_API_EFFSAN_H */

@@ -36,18 +36,36 @@
 namespace effective {
 
 /// \name Current-runtime binding.
-/// CheckedPtr operations report through the thread's current runtime,
-/// defaulting to Runtime::global(). Harnesses bind a private runtime for
-/// the duration of a run.
+/// CheckedPtr operations report through the thread's current runtime.
+/// Resolution order: the thread-local binding (RuntimeScope /
+/// SanitizerScope), then the injected process default
+/// (setDefaultRuntime — how a test or embedder swaps the fallback for a
+/// private instance), then Runtime::global().
 /// @{
 inline Runtime *&currentRuntimeSlot() {
   thread_local Runtime *Slot = nullptr;
   return Slot;
 }
 
+/// The injected process-wide fallback (null = Runtime::global()).
+inline std::atomic<Runtime *> &defaultRuntimeSlot() {
+  static std::atomic<Runtime *> Slot{nullptr};
+  return Slot;
+}
+
+/// Injects \p RT as the process-wide fallback runtime for threads with
+/// no scope binding; pass null to restore Runtime::global(). Returns
+/// the previous injection.
+inline Runtime *setDefaultRuntime(Runtime *RT) {
+  return defaultRuntimeSlot().exchange(RT, std::memory_order_acq_rel);
+}
+
 inline Runtime &currentRuntime() {
-  Runtime *RT = currentRuntimeSlot();
-  return RT ? *RT : Runtime::global();
+  if (Runtime *RT = currentRuntimeSlot())
+    return *RT;
+  if (Runtime *RT = defaultRuntimeSlot().load(std::memory_order_acquire))
+    return *RT;
+  return Runtime::global();
 }
 
 /// RAII binder for the current runtime.
@@ -130,23 +148,32 @@ public:
   CheckedPtr() : Raw(nullptr), B(BoundsT::wide()) {}
   /*implicit*/ CheckedPtr(std::nullptr_t) : CheckedPtr() {}
 
-  /// Input event (Figure 3 rules (a)-(c)): a raw pointer entering
-  /// checked code — function parameter, call return, or pointer loaded
-  /// from memory. Runs type_check (full) / bounds_get (bounds-only).
-  static CheckedPtr input(T *Ptr) {
+  /// Session-aware construction: the input event run against an
+  /// explicit runtime (a Sanitizer converts to its Runtime, so
+  /// CheckedPtr<T>(Ptr, Session) binds the pointer to that session
+  /// regardless of any thread-local scope).
+  CheckedPtr(T *Ptr, Runtime &RT) { *this = input(Ptr, RT); }
+
+  /// Input event (Figure 3 rules (a)-(c)) against an explicit runtime:
+  /// a raw pointer entering checked code — function parameter, call
+  /// return, or pointer loaded from memory. Runs type_check (full) /
+  /// bounds_get (bounds-only).
+  static CheckedPtr input(T *Ptr, Runtime &RT) {
     CheckedPtr P;
     P.Raw = Ptr;
     if constexpr (Policy::CheckInputs && Policy::CheckCasts) {
       if (Ptr)
-        P.B = currentRuntime().typeCheck(
-            Ptr, TypeOf<std::remove_cv_t<T>>::get(
-                     currentRuntime().typeContext()));
+        P.B = RT.typeCheck(
+            Ptr, TypeOf<std::remove_cv_t<T>>::get(RT.typeContext()));
     } else if constexpr (Policy::CheckInputs) {
       if (Ptr)
-        P.B = currentRuntime().boundsGet(Ptr);
+        P.B = RT.boundsGet(Ptr);
     }
     return P;
   }
+
+  /// Input event against the thread's current runtime.
+  static CheckedPtr input(T *Ptr) { return input(Ptr, currentRuntime()); }
 
   /// Cast event (Figure 3 rule (d)): (T *)q for a source pointer of a
   /// different static type. Under TypePolicy this is the only
@@ -156,23 +183,27 @@ public:
     return fromCast(reinterpret_cast<T *>(Src.raw()));
   }
 
-  /// Cast event from a raw pointer.
-  static CheckedPtr fromCast(T *Ptr) {
+  /// Cast event from a raw pointer against an explicit runtime.
+  static CheckedPtr fromCast(T *Ptr, Runtime &RT) {
     CheckedPtr P;
     P.Raw = Ptr;
     if constexpr (Policy::CheckCasts) {
       Bounds Checked = Bounds::wide();
       if (Ptr)
-        Checked = currentRuntime().typeCheck(
-            Ptr, TypeOf<std::remove_cv_t<T>>::get(
-                     currentRuntime().typeContext()));
+        Checked = RT.typeCheck(
+            Ptr, TypeOf<std::remove_cv_t<T>>::get(RT.typeContext()));
       if constexpr (Policy::StoresBounds)
         P.B = Checked;
     } else if constexpr (Policy::CheckInputs) {
       if (Ptr)
-        P.B = currentRuntime().boundsGet(Ptr);
+        P.B = RT.boundsGet(Ptr);
     }
     return P;
+  }
+
+  /// Cast event against the thread's current runtime.
+  static CheckedPtr fromCast(T *Ptr) {
+    return fromCast(Ptr, currentRuntime());
   }
 
   /// Wraps a pointer with explicitly known bounds (used by field

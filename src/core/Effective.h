@@ -6,8 +6,8 @@
 ///
 /// \file
 /// Umbrella header for the EffectiveSan core library, plus a facade with
-/// the paper's function names (Figures 3 and 6) over the process-wide
-/// runtime, for code that wants to read like the paper:
+/// the paper's function names (Figures 3 and 6) for code that wants to
+/// read like the paper:
 ///
 /// \code
 ///   int *p = (int *)effective_malloc(100 * sizeof(int), IntType);
@@ -16,11 +16,21 @@
 ///   effective_free(p);
 /// \endcode
 ///
+/// Design: this header is a *thin facade over the default session*. The
+/// real public API is the instance-scoped effective::Sanitizer in
+/// api/Sanitizer.h (and its C twin, api/effsan.h); every function below
+/// is a one-line forward to Sanitizer::defaultSession(), the
+/// process-wide CheckPolicy::Full session wrapping Runtime::global().
+/// Code needing private heaps, independent counters/error sinks, or a
+/// different check policy creates its own Sanitizer instead of calling
+/// these.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EFFECTIVE_CORE_EFFECTIVE_H
 #define EFFECTIVE_CORE_EFFECTIVE_H
 
+#include "api/Sanitizer.h"
 #include "core/Bounds.h"
 #include "core/CheckedPtr.h"
 #include "core/ErrorReporter.h"
@@ -38,45 +48,45 @@ using BOUNDS = Bounds;
 /// TYPE, as the paper spells it (Figure 6 treats types as first-class).
 using TYPE = const TypeInfo *;
 
-/// Figure 6 type_malloc over the global runtime.
+/// Figure 6 type_malloc over the default session.
 inline void *effective_malloc(size_t Size, TYPE Type) {
-  return Runtime::global().allocate(Size, Type);
+  return Sanitizer::defaultSession().malloc(Size, Type);
 }
 
-/// Figure 6 type_free over the global runtime.
+/// Figure 6 type_free over the default session.
 inline void effective_free(void *Ptr) {
-  Runtime::global().deallocate(Ptr);
+  Sanitizer::defaultSession().free(Ptr);
 }
 
-/// type_calloc over the global runtime.
+/// type_calloc over the default session.
 inline void *effective_calloc(size_t Count, size_t Size, TYPE Type) {
-  return Runtime::global().allocateZeroed(Count, Size, Type);
+  return Sanitizer::defaultSession().calloc(Count, Size, Type);
 }
 
-/// type_realloc over the global runtime.
+/// type_realloc over the default session.
 inline void *effective_realloc(void *Ptr, size_t Size, TYPE Type) {
-  return Runtime::global().reallocate(Ptr, Size, Type);
+  return Sanitizer::defaultSession().realloc(Ptr, Size, Type);
 }
 
-/// Figure 6 type_check over the global runtime.
+/// Figure 6 type_check over the default session.
 inline BOUNDS effective_type_check(const void *Ptr, TYPE Type) {
-  return Runtime::global().typeCheck(Ptr, Type);
+  return Sanitizer::defaultSession().typeCheck(Ptr, Type);
 }
 
 /// The bounds_get of the EffectiveSan-bounds variant.
 inline BOUNDS effective_bounds_get(const void *Ptr) {
-  return Runtime::global().boundsGet(Ptr);
+  return Sanitizer::defaultSession().boundsGet(Ptr);
 }
 
-/// Figure 3 bounds_check over the global runtime.
+/// Figure 3 bounds_check over the default session.
 inline void effective_bounds_check(const void *Ptr, size_t Size, BOUNDS B) {
-  Runtime::global().boundsCheck(Ptr, Size, B);
+  Sanitizer::defaultSession().boundsCheck(Ptr, Size, B);
 }
 
 /// Figure 3 bounds_narrow.
 inline BOUNDS effective_bounds_narrow(BOUNDS B, const void *Field,
                                       size_t Size) {
-  return Runtime::global().boundsNarrow(B, Field, Size);
+  return Sanitizer::defaultSession().boundsNarrow(B, Field, Size);
 }
 
 } // namespace effective

@@ -61,11 +61,36 @@ void ErrorReporter::report(const ErrorInfo &Info) {
     Bucket.Offset = Info.Offset;
     Bucket.Events = 1;
     Bucket.Message = renderMessage(Info);
-    if (Options.Mode == ReportMode::Log && Options.Stream)
-      std::fprintf(Options.Stream, "%s\n", Bucket.Message.c_str());
     Buckets.push_back(std::move(Bucket));
   } else {
     ++Buckets[It->second].Events;
+  }
+  ErrorBucket &Bucket = Buckets[It->second];
+
+  // Emission gate: the per-bucket dedup cap and the total cap.
+  bool Emit = Options.MaxReportsPerBucket == 0 ||
+              Bucket.Events <= Options.MaxReportsPerBucket;
+  if (Emit && Options.MaxTotalReports != 0 &&
+      Emitted >= Options.MaxTotalReports) {
+    Emit = false;
+    if (!CapNoticePrinted && Options.Mode == ReportMode::Log &&
+        Options.Stream) {
+      std::fprintf(Options.Stream,
+                   "EffectiveSan: report cap of %llu reached; further "
+                   "reports suppressed (events still counted)\n",
+                   (unsigned long long)Options.MaxTotalReports);
+      CapNoticePrinted = true;
+    }
+  }
+  if (Emit) {
+    ++Emitted;
+    if (Options.Mode == ReportMode::Log && Options.Stream)
+      std::fprintf(Options.Stream, "%s\n", Bucket.Message.c_str());
+    if (Options.Callback)
+      Options.Callback(Info, Bucket.Message.c_str(),
+                       Options.CallbackUserData);
+  } else {
+    ++Suppressed;
   }
 
   if (Options.AbortAfter && Events >= Options.AbortAfter) {
@@ -96,6 +121,11 @@ uint64_t ErrorReporter::numEvents() const {
   return Events;
 }
 
+uint64_t ErrorReporter::numSuppressed() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Suppressed;
+}
+
 std::vector<ErrorBucket> ErrorReporter::buckets() const {
   std::lock_guard<std::mutex> Guard(Lock);
   return Buckets;
@@ -109,9 +139,18 @@ bool ErrorReporter::hasIssueMatching(std::string_view Needle) const {
   return false;
 }
 
+void ErrorReporter::setCallback(ErrorCallback Callback, void *UserData) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Options.Callback = Callback;
+  Options.CallbackUserData = UserData;
+}
+
 void ErrorReporter::clear() {
   std::lock_guard<std::mutex> Guard(Lock);
   BucketIndex.clear();
   Buckets.clear();
   Events = 0;
+  Emitted = 0;
+  Suppressed = 0;
+  CapNoticePrinted = false;
 }

@@ -76,12 +76,30 @@ struct ErrorBucket {
   std::string Message;
 };
 
+/// Pluggable error sink: invoked for every *emitted* report (i.e. after
+/// bucketing and the per-bucket / total caps below have been applied),
+/// with the rendered message. Called with the reporter lock held — the
+/// callback must not call back into the same reporter.
+using ErrorCallback = void (*)(const ErrorInfo &Info, const char *Message,
+                               void *UserData);
+
 /// Reporter configuration.
 struct ReporterOptions {
   ReportMode Mode = ReportMode::Log;
   std::FILE *Stream = stderr;
   /// Abort the process after this many error events; 0 = never.
   uint64_t AbortAfter = 0;
+  /// Emit (log + callback) at most this many events per bucket — the
+  /// per-location dedup cap that keeps looping workloads from flooding
+  /// the output. 1 reproduces the paper's "report each issue once";
+  /// 0 = unlimited.
+  uint64_t MaxReportsPerBucket = 1;
+  /// Hard cap on reports emitted across all buckets; one suppression
+  /// notice is logged when the cap is hit. 0 = unlimited.
+  uint64_t MaxTotalReports = 0;
+  /// Optional error sink, fired in both Log and Count modes.
+  ErrorCallback Callback = nullptr;
+  void *CallbackUserData = nullptr;
 };
 
 /// Collects, deduplicates, and renders runtime errors. Thread-safe.
@@ -103,6 +121,10 @@ public:
   /// Total error events (multiple events may map to one bucket).
   uint64_t numEvents() const;
 
+  /// Events that were counted but not emitted because of the
+  /// per-bucket or total report caps.
+  uint64_t numSuppressed() const;
+
   /// Snapshot of all buckets (sorted by first occurrence).
   std::vector<ErrorBucket> buckets() const;
 
@@ -112,6 +134,13 @@ public:
   /// Drops all recorded issues and counters.
   void clear();
 
+  /// Swaps the error sink under the reporter lock, so the
+  /// callback/user-data pair can never be observed half-updated by a
+  /// concurrently reporting thread.
+  void setCallback(ErrorCallback Callback, void *UserData);
+
+  /// Unsynchronized access to the options — configure before sharing
+  /// the reporter across threads (use setCallback for the sink).
   ReporterOptions &options() { return Options; }
 
 private:
@@ -138,6 +167,9 @@ private:
   std::map<BucketKey, size_t> BucketIndex;
   std::vector<ErrorBucket> Buckets;
   uint64_t Events = 0;
+  uint64_t Emitted = 0;
+  uint64_t Suppressed = 0;
+  bool CapNoticePrinted = false;
 };
 
 } // namespace effective

@@ -15,6 +15,28 @@
 using namespace effective;
 using namespace effective::instrument;
 
+InstrumentOptions
+instrument::instrumentOptionsFor(CheckPolicy Policy,
+                                 const InstrumentOptions &Base) {
+  InstrumentOptions Opts = Base;
+  switch (Policy) {
+  case CheckPolicy::Full:
+  case CheckPolicy::CountOnly:
+    Opts.V = Variant::Full;
+    break;
+  case CheckPolicy::BoundsOnly:
+    Opts.V = Variant::Bounds;
+    break;
+  case CheckPolicy::TypeOnly:
+    Opts.V = Variant::Type;
+    break;
+  case CheckPolicy::Off:
+    Opts.V = Variant::None;
+    break;
+  }
+  return Opts;
+}
+
 CompileResult instrument::compileMiniC(std::string_view Source,
                                        TypeContext &Types,
                                        DiagnosticEngine &Diags,

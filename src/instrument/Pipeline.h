@@ -15,6 +15,7 @@
 #ifndef EFFECTIVE_INSTRUMENT_PIPELINE_H
 #define EFFECTIVE_INSTRUMENT_PIPELINE_H
 
+#include "api/CheckPolicy.h"
 #include "instrument/InstrumentPass.h"
 #include "ir/IR.h"
 
@@ -23,6 +24,16 @@
 
 namespace effective {
 namespace instrument {
+
+/// Maps a session check policy onto pass options, so the Section 6.2
+/// ablation is driven by one CheckPolicy value end to end (compile-time
+/// instrumentation here, runtime dispatch in api/Sanitizer.h). \p Base
+/// supplies the optimization toggles. CountOnly instruments like Full —
+/// the checks must execute to be counted; the session policy is what
+/// keeps them from probing or reporting.
+InstrumentOptions
+instrumentOptionsFor(CheckPolicy Policy,
+                     const InstrumentOptions &Base = InstrumentOptions());
 
 /// The result of compiling one MiniC source buffer.
 struct CompileResult {

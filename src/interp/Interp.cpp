@@ -6,6 +6,8 @@
 
 #include "interp/Interp.h"
 
+#include "api/Sanitizer.h"
+
 #include <cinttypes>
 #include <cstring>
 #include <vector>
@@ -30,8 +32,13 @@ union Value {
 /// exceptions are not used anywhere in this project.
 class Interpreter {
 public:
-  Interpreter(const Module &M, Runtime &RT, const RunOptions &Opts)
-      : M(M), RT(RT), Opts(Opts) {}
+  /// When \p Session is non-null the check opcodes dispatch through it,
+  /// so the session's CheckPolicy governs what executed checks do;
+  /// memory management always goes straight to \p RT (allocation is
+  /// policy-independent).
+  Interpreter(const Module &M, Runtime &RT, const RunOptions &Opts,
+              Sanitizer *Session = nullptr)
+      : M(M), RT(RT), Session(Session), Opts(Opts) {}
 
   RunResult run(std::string_view Entry) {
     RunResult R;
@@ -463,23 +470,23 @@ private:
         continue;
       case Opcode::TypeCheck:
         ++Checks.TypeChecks;
-        BRegs[I.BDst] = Regs[I.A].P ? RT.typeCheck(Regs[I.A].P, I.Type)
+        BRegs[I.BDst] = Regs[I.A].P ? vmTypeCheck(Regs[I.A].P, I.Type)
                                     : Bounds::wide();
         break;
       case Opcode::BoundsGet:
         ++Checks.BoundsGets;
         BRegs[I.BDst] =
-            Regs[I.A].P ? RT.boundsGet(Regs[I.A].P) : Bounds::wide();
+            Regs[I.A].P ? vmBoundsGet(Regs[I.A].P) : Bounds::wide();
         break;
       case Opcode::BoundsCheck:
         ++Checks.BoundsChecks;
         if (Regs[I.A].P)
-          RT.boundsCheck(Regs[I.A].P, I.Imm, BRegs[I.BSrc]);
+          vmBoundsCheck(Regs[I.A].P, I.Imm, BRegs[I.BSrc]);
         break;
       case Opcode::BoundsNarrow:
         ++Checks.BoundsNarrows;
         BRegs[I.BDst] =
-            RT.boundsNarrow(BRegs[I.BSrc], Regs[I.A].P, I.Imm);
+            vmBoundsNarrow(BRegs[I.BSrc], Regs[I.A].P, I.Imm);
         break;
       case Opcode::WideBounds:
         BRegs[I.BDst] = Bounds::wide();
@@ -694,7 +701,30 @@ private:
   }
 
   const Module &M;
+  /// \name Check dispatch.
+  /// Through the session when one is bound (its CheckPolicy governs
+  /// the checks), straight to the runtime otherwise.
+  /// @{
+  Bounds vmTypeCheck(const void *P, const TypeInfo *Type) {
+    return Session ? Session->typeCheck(P, Type) : RT.typeCheck(P, Type);
+  }
+  Bounds vmBoundsGet(const void *P) {
+    return Session ? Session->boundsGet(P) : RT.boundsGet(P);
+  }
+  void vmBoundsCheck(const void *P, size_t Size, Bounds B) {
+    if (Session)
+      Session->boundsCheck(P, Size, B);
+    else
+      RT.boundsCheck(P, Size, B);
+  }
+  Bounds vmBoundsNarrow(Bounds B, const void *Field, size_t Size) {
+    return Session ? Session->boundsNarrow(B, Field, Size)
+                   : RT.boundsNarrow(B, Field, Size);
+  }
+  /// @}
+
   Runtime &RT;
+  Sanitizer *Session;
   const RunOptions &Opts;
 
   std::vector<void *> GlobalAddrs;
@@ -716,5 +746,11 @@ private:
 RunResult interp::run(const Module &M, Runtime &RT, const RunOptions &Opts,
                       std::string_view Entry) {
   Interpreter I(M, RT, Opts);
+  return I.run(Entry);
+}
+
+RunResult interp::run(const Module &M, Sanitizer &Session,
+                      const RunOptions &Opts, std::string_view Entry) {
+  Interpreter I(M, Session.runtime(), Opts, &Session);
   return I.run(Entry);
 }

@@ -29,6 +29,9 @@
 #include <string>
 
 namespace effective {
+
+class Sanitizer;
+
 namespace interp {
 
 /// Execution limits and switches.
@@ -70,6 +73,12 @@ struct RunResult {
 /// Executes \p M's entry function. Global objects are (re)allocated per
 /// run; the module may be executed repeatedly.
 RunResult run(const ir::Module &M, Runtime &RT,
+              const RunOptions &Opts = RunOptions(),
+              std::string_view Entry = "main");
+
+/// Session-scoped execution: runs \p M against \p Session's runtime, so
+/// all checks, counters and reports stay inside that session.
+RunResult run(const ir::Module &M, Sanitizer &Session,
               const RunOptions &Opts = RunOptions(),
               std::string_view Entry = "main");
 

@@ -27,18 +27,38 @@ const char *effective::workloads::policyKindName(PolicyKind Kind) {
   return "?";
 }
 
+CheckPolicy effective::workloads::checkPolicyFor(PolicyKind Kind) {
+  switch (Kind) {
+  case PolicyKind::None:
+    return CheckPolicy::Off;
+  case PolicyKind::Type:
+    return CheckPolicy::TypeOnly;
+  case PolicyKind::Bounds:
+    return CheckPolicy::BoundsOnly;
+  case PolicyKind::Full:
+    return CheckPolicy::Full;
+  }
+  return CheckPolicy::Full;
+}
+
 RunStats effective::workloads::runWorkload(const Workload &W,
                                            PolicyKind Kind, unsigned Scale,
                                            std::FILE *LogStream) {
-  RuntimeOptions Options;
+  SessionOptions Options;
+  // The kernels select their instrumentation at compile time (the
+  // EFFSAN_WORKLOAD_ENTRIES template variants) and drive the Runtime
+  // directly; the session policy is set to match so anything
+  // introspecting the session sees a consistent configuration.
+  Options.Policy = checkPolicyFor(Kind);
   Options.Reporter.Mode =
       LogStream ? ReportMode::Log : ReportMode::Count;
   Options.Reporter.Stream = LogStream;
   // All workloads share the global type context (types are interned
   // once, like the paper's weak-symbol meta data) but get a private
-  // heap and reporter per run.
-  Runtime RT(TypeContext::global(), Options);
-  RuntimeScope Scope(RT);
+  // session — heap, counters and reporter — per run.
+  Sanitizer Session(TypeContext::global(), Options);
+  SanitizerScope Scope(Session);
+  Runtime &RT = Session.runtime();
   MallocTally::reset();
 
   uint64_t (*Run)(Runtime &, unsigned) = nullptr;

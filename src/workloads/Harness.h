@@ -6,14 +6,17 @@
 ///
 /// \file
 /// Runs a workload under one instrumentation policy with a fresh
-/// runtime, measuring wall-clock time, dynamic check counts, issues
-/// found, and peak memory — everything Figures 7, 8, 9 and 10 report.
+/// Sanitizer session, measuring wall-clock time, dynamic check counts,
+/// issues found, and peak memory — everything Figures 7, 8, 9 and 10
+/// report. Each run is fully session-isolated: private heap, counters
+/// and reporter, with types shared through the global context.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef EFFECTIVE_WORKLOADS_HARNESS_H
 #define EFFECTIVE_WORKLOADS_HARNESS_H
 
+#include "api/Sanitizer.h"
 #include "workloads/Workload.h"
 
 #include <cstdio>
@@ -26,6 +29,9 @@ enum class PolicyKind : uint8_t { None, Type, Bounds, Full };
 
 /// Display name ("Uninstrumented", "EffectiveSan-type", ...).
 const char *policyKindName(PolicyKind Kind);
+
+/// The session check policy matching a compile-time build variant.
+CheckPolicy checkPolicyFor(PolicyKind Kind);
 
 /// Everything measured for one run.
 struct RunStats {

@@ -1,0 +1,399 @@
+//===- tests/api_test.cpp - Session API and C ABI tests -------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Covers the instance-scoped public API: session isolation (two
+/// concurrent sessions with independent counters and error sinks), the
+/// policy matrix (one buggy program under all five CheckPolicy values
+/// in one process), the session-aware CheckedPtr constructor, the
+/// injectable default runtime, the stable effsan C ABI, and the
+/// reporter's per-location dedup caps.
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Sanitizer.h"
+#include "api/effsan.h"
+#include "core/Effective.h"
+#include "instrument/Pipeline.h"
+#include "interp/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace effective;
+
+namespace api_test {
+
+struct Account {
+  int Number[8];
+  float Balance;
+};
+
+} // namespace api_test
+
+EFFECTIVE_REFLECT(api_test::Account, Number, Balance);
+
+namespace {
+
+SessionOptions quietOptions(CheckPolicy Policy = CheckPolicy::Full) {
+  SessionOptions Options;
+  Options.Policy = Policy;
+  Options.Reporter.Mode = ReportMode::Count;
+  return Options;
+}
+
+/// The shared buggy program: one type confusion, one sub-object
+/// overflow (only narrowing catches it), one allocation overflow.
+/// What surfaces depends entirely on the session's policy.
+void runBuggyProgram(Sanitizer &S) {
+  TypeContext &Ctx = S.types();
+  const TypeInfo *AccT = TypeOf<api_test::Account>::get(Ctx);
+  void *P = S.malloc(sizeof(api_test::Account), AccT);
+  char *Raw = static_cast<char *>(P);
+
+  // Type confusion: no double lives at offset 0.
+  S.typeCheck(P, Ctx.getDouble());
+
+  // Sub-object overflow: Number[8] is one past the int[8] field.
+  Bounds NB = S.typeCheck(P, Ctx.getInt());
+  S.boundsCheck(Raw + 8 * sizeof(int), sizeof(int), NB);
+
+  // Allocation overflow: past the whole object.
+  Bounds AB = S.boundsGet(P);
+  S.boundsCheck(Raw + sizeof(api_test::Account) + 4, sizeof(int), AB);
+
+  S.free(P);
+}
+
+void collectErrors(const ErrorInfo &, const char *Message, void *UserData) {
+  static_cast<std::vector<std::string> *>(UserData)->push_back(Message);
+}
+
+//===----------------------------------------------------------------------===//
+// Session isolation
+//===----------------------------------------------------------------------===//
+
+TEST(SessionTest, ConcurrentSessionsAreIsolated) {
+  Sanitizer A(quietOptions());
+  Sanitizer B(quietOptions());
+
+  std::vector<std::string> AErrors, BErrors;
+  A.setErrorCallback(collectErrors, &AErrors);
+  B.setErrorCallback(collectErrors, &BErrors);
+
+  uint64_t DefaultIssuesBefore = Sanitizer::defaultSession().issuesFound();
+
+  // A runs the buggy program once, B ten times, concurrently.
+  std::thread TA([&] { runBuggyProgram(A); });
+  std::thread TB([&] {
+    for (int I = 0; I < 10; ++I)
+      runBuggyProgram(B);
+  });
+  TA.join();
+  TB.join();
+
+  // Independent issue buckets and counters.
+  EXPECT_EQ(A.issuesFound(), 3u);
+  EXPECT_EQ(B.issuesFound(), 3u); // Buckets dedup across iterations...
+  EXPECT_EQ(A.reporter().numEvents(), 3u);
+  EXPECT_EQ(B.reporter().numEvents(), 30u); // ...events do not.
+  EXPECT_EQ(A.counters().snapshot().TypeChecks, 2u);
+  EXPECT_EQ(B.counters().snapshot().TypeChecks, 20u);
+
+  // Independent error sinks: one emitted report per bucket (default
+  // per-location cap of 1).
+  EXPECT_EQ(AErrors.size(), 3u);
+  EXPECT_EQ(BErrors.size(), 3u);
+
+  // Nothing leaked into the process-wide default session.
+  EXPECT_EQ(Sanitizer::defaultSession().issuesFound(),
+            DefaultIssuesBefore);
+}
+
+TEST(SessionTest, SessionsCanShareATypeContext) {
+  TypeContext Shared;
+  Sanitizer A(Shared, quietOptions());
+  Sanitizer B(Shared, quietOptions());
+  // Interned types are pointer-identical across the sharing sessions.
+  EXPECT_EQ(TypeOf<api_test::Account>::get(A.types()),
+            TypeOf<api_test::Account>::get(B.types()));
+  runBuggyProgram(A);
+  EXPECT_EQ(A.issuesFound(), 3u);
+  EXPECT_EQ(B.issuesFound(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// The policy matrix (Section 6.2 as a constructor argument)
+//===----------------------------------------------------------------------===//
+
+struct PolicyExpectation {
+  CheckPolicy Policy;
+  uint64_t TypeChecks;
+  uint64_t BoundsGets;
+  uint64_t BoundsChecks;
+  uint64_t Issues;
+};
+
+TEST(SessionTest, PolicyMatrix) {
+  // One buggy program, five sessions in one process; the findings are
+  // decided by policy alone:
+  //   Full       — type confusion + sub-object + allocation overflow;
+  //   BoundsOnly — allocation overflow only (the ASan/LowFat scope);
+  //   TypeOnly   — type confusion only;
+  //   CountOnly  — checks counted, nothing probed or reported;
+  //   Off        — nothing at all.
+  const PolicyExpectation Expectations[] = {
+      {CheckPolicy::Full, 2, 1, 2, 3},
+      {CheckPolicy::BoundsOnly, 0, 3, 2, 1},
+      {CheckPolicy::TypeOnly, 2, 0, 0, 1},
+      {CheckPolicy::CountOnly, 2, 1, 2, 0},
+      {CheckPolicy::Off, 0, 0, 0, 0},
+  };
+
+  for (const PolicyExpectation &E : Expectations) {
+    SCOPED_TRACE(std::string("policy = ") +
+                 std::string(checkPolicyName(E.Policy)));
+    Sanitizer S(quietOptions(E.Policy));
+    runBuggyProgram(S);
+    CheckCounters::Snapshot Snap = S.counters().snapshot();
+    EXPECT_EQ(Snap.TypeChecks, E.TypeChecks);
+    EXPECT_EQ(Snap.BoundsGets, E.BoundsGets);
+    EXPECT_EQ(Snap.BoundsChecks, E.BoundsChecks);
+    EXPECT_EQ(S.issuesFound(), E.Issues);
+  }
+}
+
+TEST(SessionTest, FullPolicyFindsTheExpectedKinds) {
+  Sanitizer S(quietOptions(CheckPolicy::Full));
+  runBuggyProgram(S);
+  EXPECT_EQ(S.reporter().numIssues(ErrorKind::TypeError), 1u);
+  EXPECT_EQ(S.reporter().numIssues(ErrorKind::BoundsError), 2u);
+}
+
+TEST(SessionTest, InterpreterRespectsSessionPolicy) {
+  // One MiniC program with an off-by-one, compiled once per policy via
+  // instrumentOptionsFor and run through the session-scoped VM entry.
+  constexpr const char *Program = R"(
+int main() {
+  int *a = (int *)malloc(4 * sizeof(int));
+  int i;
+  for (i = 0; i <= 4; i = i + 1)
+    a[i] = i;
+  free(a);
+  return 0;
+}
+)";
+  struct Case {
+    CheckPolicy Policy;
+    bool ExpectIssues;
+  } Cases[] = {
+      {CheckPolicy::Full, true},
+      {CheckPolicy::CountOnly, false},
+      {CheckPolicy::Off, false},
+  };
+  for (const Case &C : Cases) {
+    SCOPED_TRACE(std::string(checkPolicyName(C.Policy)));
+    Sanitizer S(quietOptions(C.Policy));
+    DiagnosticEngine Diags;
+    instrument::CompileResult R = instrument::compileMiniC(
+        Program, S.types(), Diags, instrument::instrumentOptionsFor(C.Policy));
+    ASSERT_TRUE(R.M != nullptr);
+    interp::RunResult Run = interp::run(*R.M, S);
+    ASSERT_TRUE(Run.Ok) << Run.Fault;
+    EXPECT_EQ(Run.IssuesReported > 0, C.ExpectIssues);
+    if (C.Policy == CheckPolicy::CountOnly) {
+      EXPECT_GT(Run.Checks.BoundsChecks, 0u); // Counted, not probed.
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// CheckedPtr injection
+//===----------------------------------------------------------------------===//
+
+TEST(SessionTest, CheckedPtrSessionAwareConstructor) {
+  Sanitizer S(quietOptions());
+  auto *Raw = static_cast<int *>(
+      S.malloc(10 * sizeof(int), TypeOf<int>::get(S.types())));
+
+  // The session-aware constructor checks against S (via its Runtime
+  // conversion), not whatever the thread default is.
+  CheckedPtr<int> P(Raw, S);
+  EXPECT_EQ(P.bounds(), Bounds::forObject(Raw, 10 * sizeof(int)));
+  EXPECT_EQ(S.counters().snapshot().TypeChecks, 1u);
+
+  // Dereference checks flow through the bound scope.
+  {
+    SanitizerScope Scope(S);
+    CheckedPtr<int> End = P + 10;
+    *End; // One past the end: a bounds error into S.
+  }
+  EXPECT_EQ(S.reporter().numIssues(ErrorKind::BoundsError), 1u);
+  S.free(Raw);
+}
+
+TEST(SessionTest, DefaultRuntimeInjection) {
+  TypeContext Ctx;
+  RuntimeOptions Quiet;
+  Quiet.Reporter.Mode = ReportMode::Count;
+  Runtime RT(Ctx, Quiet);
+
+  Runtime *Prev = setDefaultRuntime(&RT);
+  EXPECT_EQ(&currentRuntime(), &RT);
+  // A scope binding still wins over the injected default.
+  {
+    Sanitizer S(quietOptions());
+    SanitizerScope Scope(S);
+    EXPECT_EQ(&currentRuntime(), &S.runtime());
+  }
+  EXPECT_EQ(&currentRuntime(), &RT);
+  setDefaultRuntime(Prev);
+}
+
+//===----------------------------------------------------------------------===//
+// Reporter dedup caps
+//===----------------------------------------------------------------------===//
+
+TEST(ReporterTest, PerBucketCapSuppressesFloods) {
+  SessionOptions Options = quietOptions();
+  Options.Reporter.MaxReportsPerBucket = 3;
+  Sanitizer S(Options);
+  std::vector<std::string> Errors;
+  S.setErrorCallback(collectErrors, &Errors);
+
+  void *P = S.malloc(4 * sizeof(int), TypeOf<int>::get(S.types()));
+  Bounds B = S.boundsGet(P);
+  const char *Raw = static_cast<const char *>(P);
+  for (int I = 0; I < 100; ++I)
+    S.boundsCheck(Raw + 100, 4, B); // Same bucket every time.
+
+  EXPECT_EQ(Errors.size(), 3u);                   // Capped emission.
+  EXPECT_EQ(S.reporter().numEvents(), 100u);      // Full count kept.
+  EXPECT_EQ(S.reporter().numSuppressed(), 97u);
+  EXPECT_EQ(S.issuesFound(), 1u);
+  S.free(P);
+}
+
+TEST(ReporterTest, TotalCapAcrossBuckets) {
+  SessionOptions Options = quietOptions();
+  Options.Reporter.MaxTotalReports = 2;
+  Sanitizer S(Options);
+  std::vector<std::string> Errors;
+  S.setErrorCallback(collectErrors, &Errors);
+
+  runBuggyProgram(S); // Three distinct buckets; only two get emitted.
+  EXPECT_EQ(Errors.size(), 2u);
+  EXPECT_EQ(S.issuesFound(), 3u);
+  EXPECT_EQ(S.reporter().numSuppressed(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// The stable C ABI
+//===----------------------------------------------------------------------===//
+
+void abiCallback(const effsan_error *Error, void *UserData) {
+  auto *Kinds = static_cast<std::vector<uint32_t> *>(UserData);
+  Kinds->push_back(Error->kind);
+  EXPECT_NE(Error->message, nullptr);
+}
+
+TEST(EffsanAbiTest, VersionAndSessionLifecycle) {
+  EXPECT_EQ(effsan_abi_version(), (uint32_t)EFFSAN_ABI_VERSION);
+
+  effsan_options Options;
+  effsan_options_init(&Options);
+  EXPECT_EQ(Options.struct_size, sizeof(effsan_options));
+  Options.log_errors = 0;
+  Options.policy = EFFSAN_POLICY_BOUNDS_ONLY;
+
+  effsan_session *S = effsan_session_create(&Options);
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(effsan_session_policy(S), (uint32_t)EFFSAN_POLICY_BOUNDS_ONLY);
+  effsan_session_destroy(S);
+}
+
+TEST(EffsanAbiTest, TypedAllocationAndChecks) {
+  effsan_options Options;
+  effsan_options_init(&Options);
+  Options.log_errors = 0;
+  effsan_session *S = effsan_session_create(&Options);
+  ASSERT_NE(S, nullptr);
+
+  std::vector<uint32_t> Kinds;
+  effsan_set_error_callback(S, abiCallback, &Kinds);
+
+  // struct account { int number[8]; float balance; } via the builder.
+  effsan_type IntTy = effsan_type_primitive(S, EFFSAN_PRIM_INT);
+  effsan_type FloatTy = effsan_type_primitive(S, EFFSAN_PRIM_FLOAT);
+  effsan_struct_builder *B = effsan_struct_begin(S, "account");
+  effsan_struct_field(B, "number", effsan_type_array(S, IntTy, 8));
+  effsan_struct_field(B, "balance", FloatTy);
+  effsan_type AccountTy = effsan_struct_end(B);
+  ASSERT_NE(AccountTy, nullptr);
+  EXPECT_EQ(effsan_type_size(AccountTy), 36u);
+
+  char Name[64];
+  EXPECT_STREQ(effsan_type_name(AccountTy, Name, sizeof(Name)),
+               "struct account");
+
+  void *P = effsan_malloc(S, (size_t)effsan_type_size(AccountTy),
+                          AccountTy);
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(effsan_type_of(S, P), AccountTy);
+
+  // type_check as int[] narrows to the number[] sub-object; number[8]
+  // is the paper's off-by-one.
+  effsan_bounds Bounds = effsan_type_check(S, P, IntTy);
+  char *Raw = static_cast<char *>(P);
+  EXPECT_EQ(Bounds.hi - Bounds.lo, 8 * sizeof(int));
+  effsan_bounds_check(S, Raw + 8 * sizeof(int), sizeof(int), Bounds);
+
+  // Double free through the ABI.
+  effsan_free(S, P);
+  effsan_free(S, P);
+
+  effsan_counters Counters;
+  effsan_get_counters(S, &Counters);
+  EXPECT_EQ(Counters.type_checks, 1u);
+  EXPECT_EQ(Counters.bounds_checks, 1u);
+  EXPECT_EQ(Counters.issues_found, 2u);
+  ASSERT_EQ(Kinds.size(), 2u);
+  EXPECT_EQ(Kinds[0], (uint32_t)EFFSAN_ERROR_BOUNDS);
+  EXPECT_EQ(Kinds[1], (uint32_t)EFFSAN_ERROR_DOUBLE_FREE);
+
+  effsan_session_destroy(S);
+}
+
+TEST(EffsanAbiTest, DedupCapThroughTheAbi) {
+  effsan_options Options;
+  effsan_options_init(&Options);
+  Options.log_errors = 0;
+  Options.max_reports_per_location = 2;
+  effsan_session *S = effsan_session_create(&Options);
+  ASSERT_NE(S, nullptr);
+
+  std::vector<uint32_t> Kinds;
+  effsan_set_error_callback(S, abiCallback, &Kinds);
+
+  effsan_type IntTy = effsan_type_primitive(S, EFFSAN_PRIM_INT);
+  int *P = static_cast<int *>(effsan_malloc(S, 4 * sizeof(int), IntTy));
+  effsan_bounds Bounds = effsan_bounds_get(S, P);
+  for (int I = 0; I < 50; ++I)
+    effsan_bounds_check(S, P + 10, sizeof(int), Bounds);
+
+  effsan_counters Counters;
+  effsan_get_counters(S, &Counters);
+  EXPECT_EQ(Kinds.size(), 2u);
+  EXPECT_EQ(Counters.error_events, 50u);
+  EXPECT_EQ(Counters.reports_suppressed, 48u);
+
+  effsan_free(S, P);
+  effsan_session_destroy(S);
+}
+
+} // namespace
