@@ -9,6 +9,10 @@
 /// plus geometric-mean overheads (paper: full 288%, bounds 115%,
 /// type 49%).
 ///
+/// Timings are SINGLE-THREADED (one session per run, like the paper's
+/// SPEC methodology). Multi-thread scaling of the runtime itself is
+/// bench/mt_throughput.cpp's job.
+///
 /// Usage: fig8_timings [scale] [reps]   (defaults 4, 3)
 ///
 //===----------------------------------------------------------------------===//
@@ -48,7 +52,8 @@ int main(int argc, char **argv) {
   std::printf("==============================================================="
               "=========\n");
   std::printf("Figure 8: SPEC2006 stand-in timings (seconds; scale=%u, "
-              "best of %u)\n",
+              "best of %u; single-threaded —\nsee mt_throughput for "
+              "multi-thread scaling)\n",
               Scale, Reps);
   std::printf("==============================================================="
               "=========\n\n");

@@ -17,6 +17,11 @@
 ///  * typed allocation vs. plain malloc (META header + type binding
 ///    cost).
 ///
+/// All numbers here are SINGLE-THREADED: one session, one thread, no
+/// contention — the per-check floor, not the scaling story. For
+/// throughput under concurrent load (sharded SessionPool vs a shared
+/// session at 1/2/4/8 threads) see bench/mt_throughput.cpp.
+///
 //===----------------------------------------------------------------------===//
 
 #include "core/Effective.h"

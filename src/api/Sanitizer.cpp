@@ -126,3 +126,5 @@ Bounds Sanitizer::boundsNarrow(Bounds B, const void *Field, size_t Size) {
 void Sanitizer::setErrorCallback(ErrorCallback Callback, void *UserData) {
   RT->reporter().setCallback(Callback, UserData);
 }
+
+void Sanitizer::reset() { RT->reset(); }

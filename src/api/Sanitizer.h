@@ -65,6 +65,12 @@ public:
   Sanitizer(TypeContext &SharedTypes,
             const SessionOptions &Options = SessionOptions());
 
+  /// A non-owning session view over an existing runtime, applying
+  /// \p Policy on top of it. This is how concurrent::SessionPool wraps
+  /// its per-shard runtimes (and how the default session wraps
+  /// Runtime::global()); the runtime must outlive the view.
+  Sanitizer(Runtime &Existing, CheckPolicy Policy);
+
   ~Sanitizer();
 
   Sanitizer(const Sanitizer &) = delete;
@@ -124,8 +130,18 @@ public:
   /// @}
 
   /// Replaces the session's error sink (thin wrapper over
-  /// ReporterOptions::Callback; pass null to remove).
+  /// ReporterOptions::Callback; pass null to remove). Note that pooled
+  /// sessions report through their pool's central reporter; install
+  /// callbacks there instead.
   void setErrorCallback(ErrorCallback Callback, void *UserData);
+
+  /// Recycles the session between tenant requests: rewinds its arena
+  /// (for pooled sessions, only its own heap shard), clears counters
+  /// and reported issues. Every pointer the session ever returned is
+  /// invalidated and its addresses will be served again — callers must
+  /// guarantee no live pointers and no concurrent use (see
+  /// Runtime::reset for the full contract).
+  void reset();
 
   /// The process-wide default session: CheckPolicy::Full over
   /// Runtime::global() and TypeContext::global(). This is what
@@ -133,9 +149,6 @@ public:
   static Sanitizer &defaultSession();
 
 private:
-  /// Wraps an existing runtime without owning it (the default session).
-  Sanitizer(Runtime &Existing, CheckPolicy Policy);
-
   std::unique_ptr<TypeContext> OwnedTypes; ///< Null when sharing.
   TypeContext *Types;
   std::unique_ptr<Runtime> OwnedRT; ///< Null for the default session.

@@ -7,22 +7,12 @@
 #include "api/effsan.h"
 
 #include "api/Sanitizer.h"
+#include "api/effsan_internal.h"
 
 #include <cstring>
 #include <new>
 
 using namespace effective;
-
-/// The opaque session handle: a Sanitizer plus the installed C callback
-/// (the C++ reporter callback trampolines through it).
-struct effsan_session {
-  Sanitizer Session;
-  effsan_error_callback Callback = nullptr;
-  void *CallbackUserData = nullptr;
-
-  explicit effsan_session(const SessionOptions &Options)
-      : Session(Options) {}
-};
 
 struct effsan_struct_builder {
   effsan_session *Owner;
@@ -30,7 +20,7 @@ struct effsan_struct_builder {
 
   effsan_struct_builder(effsan_session *Owner, const char *Tag)
       : Owner(Owner),
-        Builder(Owner->Session.types(), TypeKind::Struct,
+        Builder(Owner->S->types(), TypeKind::Struct,
                 Tag ? std::string_view(Tag) : std::string_view()) {}
 };
 
@@ -48,20 +38,6 @@ Bounds unwrap(effsan_bounds B) { return Bounds{B.lo, B.hi}; }
 
 effsan_bounds wrap(Bounds B) { return effsan_bounds{B.Lo, B.Hi}; }
 
-uint32_t errorKindValue(ErrorKind Kind) {
-  switch (Kind) {
-  case ErrorKind::TypeError:
-    return EFFSAN_ERROR_TYPE;
-  case ErrorKind::BoundsError:
-    return EFFSAN_ERROR_BOUNDS;
-  case ErrorKind::UseAfterFree:
-    return EFFSAN_ERROR_USE_AFTER_FREE;
-  case ErrorKind::DoubleFree:
-    return EFFSAN_ERROR_DOUBLE_FREE;
-  }
-  return EFFSAN_ERROR_TYPE;
-}
-
 /// ReporterOptions::Callback trampoline translating the C++ event into
 /// the C struct.
 void callbackTrampoline(const ErrorInfo &Info, const char *Message,
@@ -70,7 +46,7 @@ void callbackTrampoline(const ErrorInfo &Info, const char *Message,
   if (!S->Callback)
     return;
   effsan_error Error;
-  Error.kind = errorKindValue(Info.Kind);
+  Error.kind = effsan_detail::errorKindValue(Info.Kind);
   Error.pointer = Info.Pointer;
   Error.offset = Info.Offset;
   Error.message = Message;
@@ -98,22 +74,6 @@ void effsan_options_init(effsan_options *options) {
   options->max_reports_per_location = 1;
 }
 
-static CheckPolicy policyFromValue(uint32_t Value) {
-  switch (Value) {
-  case EFFSAN_POLICY_BOUNDS_ONLY:
-    return CheckPolicy::BoundsOnly;
-  case EFFSAN_POLICY_TYPE_ONLY:
-    return CheckPolicy::TypeOnly;
-  case EFFSAN_POLICY_COUNT_ONLY:
-    return CheckPolicy::CountOnly;
-  case EFFSAN_POLICY_OFF:
-    return CheckPolicy::Off;
-  case EFFSAN_POLICY_FULL:
-  default:
-    return CheckPolicy::Full;
-  }
-}
-
 effsan_session *effsan_session_create(const effsan_options *options) {
   effsan_options Defaults;
   effsan_options_init(&Defaults);
@@ -126,7 +86,7 @@ effsan_session *effsan_session_create(const effsan_options *options) {
   }
 
   SessionOptions SessionOpts;
-  SessionOpts.Policy = policyFromValue(Defaults.policy);
+  SessionOpts.Policy = effsan_detail::policyFromValue(Defaults.policy);
   SessionOpts.Reporter.Mode =
       Defaults.log_errors ? ReportMode::Log : ReportMode::Count;
   SessionOpts.Reporter.Stream =
@@ -139,10 +99,20 @@ effsan_session *effsan_session_create(const effsan_options *options) {
   return new (std::nothrow) effsan_session(SessionOpts);
 }
 
-void effsan_session_destroy(effsan_session *session) { delete session; }
+void effsan_session_destroy(effsan_session *session) {
+  // Pool shard views are owned by their pool; destroying one here
+  // would tear the pool apart under the caller, so it is a no-op.
+  if (session && !session->Owned)
+    return;
+  delete session;
+}
+
+void effsan_session_reset(effsan_session *session) {
+  session->S->reset();
+}
 
 uint32_t effsan_session_policy(const effsan_session *session) {
-  switch (session->Session.policy()) {
+  switch (session->S->policy()) {
   case CheckPolicy::Full:
     return EFFSAN_POLICY_FULL;
   case CheckPolicy::BoundsOnly:
@@ -163,7 +133,7 @@ uint32_t effsan_session_policy(const effsan_session *session) {
 
 effsan_type effsan_type_primitive(effsan_session *session,
                                   effsan_prim kind) {
-  TypeContext &Ctx = session->Session.types();
+  TypeContext &Ctx = session->S->types();
   switch (kind) {
   case EFFSAN_PRIM_VOID:
     return wrap(Ctx.getVoid());
@@ -205,14 +175,14 @@ effsan_type effsan_type_pointer(effsan_session *session,
                                 effsan_type pointee) {
   if (!pointee)
     return nullptr;
-  return wrap(session->Session.types().getPointer(unwrap(pointee)));
+  return wrap(session->S->types().getPointer(unwrap(pointee)));
 }
 
 effsan_type effsan_type_array(effsan_session *session, effsan_type element,
                               uint64_t count) {
   if (!element)
     return nullptr;
-  return wrap(session->Session.types().getArray(unwrap(element), count));
+  return wrap(session->S->types().getArray(unwrap(element), count));
 }
 
 effsan_struct_builder *effsan_struct_begin(effsan_session *session,
@@ -254,7 +224,7 @@ uint64_t effsan_type_size(effsan_type type) {
 }
 
 effsan_type effsan_type_of(effsan_session *session, const void *ptr) {
-  return wrap(session->Session.dynamicTypeOf(ptr));
+  return wrap(session->S->dynamicTypeOf(ptr));
 }
 
 //===----------------------------------------------------------------------===//
@@ -262,21 +232,21 @@ effsan_type effsan_type_of(effsan_session *session, const void *ptr) {
 //===----------------------------------------------------------------------===//
 
 void *effsan_malloc(effsan_session *session, size_t size, effsan_type type) {
-  return session->Session.malloc(size, unwrap(type));
+  return session->S->malloc(size, unwrap(type));
 }
 
 void *effsan_calloc(effsan_session *session, size_t count, size_t size,
                     effsan_type type) {
-  return session->Session.calloc(count, size, unwrap(type));
+  return session->S->calloc(count, size, unwrap(type));
 }
 
 void *effsan_realloc(effsan_session *session, void *ptr, size_t size,
                      effsan_type type) {
-  return session->Session.realloc(ptr, size, unwrap(type));
+  return session->S->realloc(ptr, size, unwrap(type));
 }
 
 void effsan_free(effsan_session *session, void *ptr) {
-  session->Session.free(ptr);
+  session->S->free(ptr);
 }
 
 //===----------------------------------------------------------------------===//
@@ -286,23 +256,23 @@ void effsan_free(effsan_session *session, void *ptr) {
 effsan_bounds effsan_type_check(effsan_session *session, const void *ptr,
                                 effsan_type static_type) {
   if (!static_type)
-    return wrap(session->Session.boundsGet(ptr));
-  return wrap(session->Session.typeCheck(ptr, unwrap(static_type)));
+    return wrap(session->S->boundsGet(ptr));
+  return wrap(session->S->typeCheck(ptr, unwrap(static_type)));
 }
 
 effsan_bounds effsan_bounds_get(effsan_session *session, const void *ptr) {
-  return wrap(session->Session.boundsGet(ptr));
+  return wrap(session->S->boundsGet(ptr));
 }
 
 void effsan_bounds_check(effsan_session *session, const void *ptr,
                          size_t size, effsan_bounds bounds) {
-  session->Session.boundsCheck(ptr, size, unwrap(bounds));
+  session->S->boundsCheck(ptr, size, unwrap(bounds));
 }
 
 effsan_bounds effsan_bounds_narrow(effsan_session *session,
                                    effsan_bounds bounds, const void *field,
                                    size_t size) {
-  return wrap(session->Session.boundsNarrow(unwrap(bounds), field, size));
+  return wrap(session->S->boundsNarrow(unwrap(bounds), field, size));
 }
 
 //===----------------------------------------------------------------------===//
@@ -314,15 +284,15 @@ void effsan_get_counters(const effsan_session *session,
   if (!out)
     return;
   auto *S = const_cast<effsan_session *>(session);
-  CheckCounters::Snapshot Snap = S->Session.counters().snapshot();
+  CheckCounters::Snapshot Snap = S->S->counters().snapshot();
   out->type_checks = Snap.TypeChecks;
   out->legacy_type_checks = Snap.LegacyTypeChecks;
   out->bounds_checks = Snap.BoundsChecks;
   out->bounds_narrows = Snap.BoundsNarrows;
   out->bounds_gets = Snap.BoundsGets;
-  out->issues_found = S->Session.reporter().numIssues();
-  out->error_events = S->Session.reporter().numEvents();
-  out->reports_suppressed = S->Session.reporter().numSuppressed();
+  out->issues_found = S->S->reporter().numIssues();
+  out->error_events = S->S->reporter().numEvents();
+  out->reports_suppressed = S->S->reporter().numSuppressed();
 }
 
 void effsan_set_error_callback(effsan_session *session,
@@ -331,11 +301,14 @@ void effsan_set_error_callback(effsan_session *session,
   // Detach the trampoline (under the reporter lock), update the C-side
   // pair, then re-attach — an erring thread can never observe a
   // half-updated callback/user-data combination.
-  session->Session.setErrorCallback(nullptr, nullptr);
+  session->S->setErrorCallback(nullptr, nullptr);
   session->Callback = callback;
   session->CallbackUserData = user_data;
   if (callback)
-    session->Session.setErrorCallback(callbackTrampoline, session);
+    session->S->setErrorCallback(callbackTrampoline, session);
 }
+
+// The effsan_pool_* entry points live in concurrent/effsan_pool.cpp,
+// next to the SessionPool they wrap.
 
 } // extern "C"

@@ -47,7 +47,7 @@ extern "C" {
  *===--------------------------------------------------------------------===*/
 
 #define EFFSAN_ABI_VERSION_MAJOR 1
-#define EFFSAN_ABI_VERSION_MINOR 0
+#define EFFSAN_ABI_VERSION_MINOR 1
 #define EFFSAN_ABI_VERSION                                                   \
   ((EFFSAN_ABI_VERSION_MAJOR << 16) | EFFSAN_ABI_VERSION_MINOR)
 
@@ -98,11 +98,73 @@ void effsan_options_init(effsan_options *options);
  * out-of-memory. */
 effsan_session *effsan_session_create(const effsan_options *options);
 
-/* Destroys a session and its heap. Pointers it served die with it. */
+/* Destroys a session and its heap. Pointers it served die with it.
+ * No-op for sessions checked out of a pool — those are owned by the
+ * pool and die with effsan_pool_destroy(). */
 void effsan_session_destroy(effsan_session *session);
+
+/* Recycles a session between tenant requests (since 1.1): rewinds its
+ * arena (for pooled sessions, only that shard's slice), clears its
+ * counters and reported issues. Every pointer the session ever
+ * returned is invalidated and its addresses will be served again; the
+ * caller guarantees no live pointers and no concurrent use. Type
+ * handles remain valid. */
+void effsan_session_reset(effsan_session *session);
 
 /* The session's policy (an effsan_policy value). */
 uint32_t effsan_session_policy(const effsan_session *session);
+
+/*===--------------------------------------------------------------------===*
+ * Session pools (since 1.1)
+ *
+ * A pool owns N sanitizer shard sessions over ONE shared low-fat arena
+ * carved into per-shard sub-arenas: worker threads check out a shard
+ * each and allocate/check without shared locks, while the base/size
+ * metadata arithmetic stays valid across shards. Error events go
+ * through a lock-free ring to one central reporter; call
+ * effsan_pool_drain() (one thread at a time) to publish them.
+ *===--------------------------------------------------------------------===*/
+
+typedef struct effsan_pool effsan_pool;
+
+typedef struct effsan_pool_options {
+  uint32_t struct_size; /* = sizeof(effsan_pool_options); set by _init */
+  uint32_t shards;      /* shard count; 0 = one per hardware thread    */
+  uint32_t policy;      /* an effsan_policy value                      */
+  int log_errors;       /* nonzero: central reporter logs to stream    */
+  FILE *log_stream;     /* default stderr                              */
+  uint64_t max_reports_per_location; /* central dedup cap; default 1   */
+  uint64_t max_total_reports;        /* central total cap; 0 = none    */
+  uint64_t error_ring_capacity;      /* ring slots; 0 = default (4096) */
+} effsan_pool_options;
+
+/* Fills *options with the defaults (full policy, auto shard count,
+ * logging to stderr). */
+void effsan_pool_options_init(effsan_pool_options *options);
+
+/* Creates a pool; NULL options means defaults. Returns NULL only on
+ * out-of-memory. */
+effsan_pool *effsan_pool_create(const effsan_pool_options *options);
+
+/* Drains pending error events, then destroys the pool, its sessions
+ * and the shared arena. Pointers served by any shard die with it. */
+void effsan_pool_destroy(effsan_pool *pool);
+
+/* Number of shard sessions in the pool. */
+uint32_t effsan_pool_num_shards(const effsan_pool *pool);
+
+/* Thread-affine checkout: the calling thread is bound to one shard on
+ * first use (round-robin) and always receives that shard again. The
+ * returned session is owned by the pool — do not destroy it. */
+effsan_session *effsan_pool_checkout(effsan_pool *pool);
+
+/* Direct access to shard `index` (supervisor use; NULL if out of
+ * range). */
+effsan_session *effsan_pool_shard(effsan_pool *pool, uint32_t index);
+
+/* Delivers every queued error event to the central reporter; returns
+ * the number delivered. Call from one thread at a time. */
+uint64_t effsan_pool_drain(effsan_pool *pool);
 
 /*===--------------------------------------------------------------------===*
  * Type construction
@@ -214,9 +276,17 @@ typedef struct effsan_counters {
   uint64_t reports_suppressed; /* events muted by the dedup caps      */
 } effsan_counters;
 
-/* Snapshots the session's check counters and issue counts. */
+/* Snapshots the session's check counters and issue counts. For pool
+ * shards the check counts are per-shard, but issues_found /
+ * error_events / reports_suppressed read 0: pooled error events are
+ * accounted centrally — use effsan_pool_get_counters for those. */
 void effsan_get_counters(const effsan_session *session,
                          effsan_counters *out);
+
+/* Pool-wide merged counters (since 1.1): check counts summed over all
+ * shards; issue/event counts from the central reporter (drains
+ * first). */
+void effsan_pool_get_counters(effsan_pool *pool, effsan_counters *out);
 
 typedef enum effsan_error_kind {
   EFFSAN_ERROR_TYPE = 0,
@@ -237,10 +307,22 @@ typedef struct effsan_error {
 typedef void (*effsan_error_callback)(const effsan_error *error,
                                       void *user_data);
 
-/* Installs (or, with NULL, removes) the session error sink. */
+/* Installs (or, with NULL, removes) the session error sink. For pool
+ * shards this sink never fires (their events are drained centrally);
+ * use effsan_pool_set_error_callback instead. */
 void effsan_set_error_callback(effsan_session *session,
                                effsan_error_callback callback,
                                void *user_data);
+
+/* Installs (or, with NULL, removes) the pool's central error sink —
+ * fired once per emitted report (since 1.1). Invocations are
+ * serialized by the central reporter but NOT thread-affine: they
+ * normally come from the draining thread, yet when the error ring is
+ * momentarily full the erring worker reports directly and the
+ * callback runs on that worker. Keep the callback thread-agnostic. */
+void effsan_pool_set_error_callback(effsan_pool *pool,
+                                    effsan_error_callback callback,
+                                    void *user_data);
 
 #ifdef __cplusplus
 } /* extern "C" */

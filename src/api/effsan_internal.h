@@ -1,0 +1,75 @@
+//===- api/effsan_internal.h - C ABI handle internals -----------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared internals of the effsan C ABI implementation: the session
+/// handle layout and the enum translation helpers, used by both the
+/// session entry points (api/effsan.cpp) and the pool entry points
+/// (concurrent/effsan_pool.cpp). Not installed; not part of the ABI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_API_EFFSAN_INTERNAL_H
+#define EFFECTIVE_API_EFFSAN_INTERNAL_H
+
+#include "api/Sanitizer.h"
+#include "api/effsan.h"
+
+#include <memory>
+
+/// The opaque session handle: a Sanitizer (owned, or a view of a pool
+/// shard) plus the installed C callback (the C++ reporter callback
+/// trampolines through it).
+struct effsan_session {
+  std::unique_ptr<effective::Sanitizer> Owned; ///< Null for pool shards.
+  effective::Sanitizer *S;
+  effsan_error_callback Callback = nullptr;
+  void *CallbackUserData = nullptr;
+
+  explicit effsan_session(const effective::SessionOptions &Options)
+      : Owned(std::make_unique<effective::Sanitizer>(Options)),
+        S(Owned.get()) {}
+
+  explicit effsan_session(effective::Sanitizer &Shard) : S(&Shard) {}
+};
+
+namespace effective {
+namespace effsan_detail {
+
+inline CheckPolicy policyFromValue(uint32_t Value) {
+  switch (Value) {
+  case EFFSAN_POLICY_BOUNDS_ONLY:
+    return CheckPolicy::BoundsOnly;
+  case EFFSAN_POLICY_TYPE_ONLY:
+    return CheckPolicy::TypeOnly;
+  case EFFSAN_POLICY_COUNT_ONLY:
+    return CheckPolicy::CountOnly;
+  case EFFSAN_POLICY_OFF:
+    return CheckPolicy::Off;
+  case EFFSAN_POLICY_FULL:
+  default:
+    return CheckPolicy::Full;
+  }
+}
+
+inline uint32_t errorKindValue(ErrorKind Kind) {
+  switch (Kind) {
+  case ErrorKind::TypeError:
+    return EFFSAN_ERROR_TYPE;
+  case ErrorKind::BoundsError:
+    return EFFSAN_ERROR_BOUNDS;
+  case ErrorKind::UseAfterFree:
+    return EFFSAN_ERROR_USE_AFTER_FREE;
+  case ErrorKind::DoubleFree:
+    return EFFSAN_ERROR_DOUBLE_FREE;
+  }
+  return EFFSAN_ERROR_TYPE;
+}
+
+} // namespace effsan_detail
+} // namespace effective
+
+#endif // EFFECTIVE_API_EFFSAN_INTERNAL_H

@@ -1,0 +1,71 @@
+//===- concurrent/ErrorRing.cpp - Lock-free MPSC error event ring ---------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurrent/ErrorRing.h"
+
+#include <bit>
+
+using namespace effective;
+using namespace effective::concurrent;
+
+ErrorRing::ErrorRing(size_t Capacity) {
+  if (Capacity < 2)
+    Capacity = 2;
+  Capacity = std::bit_ceil(Capacity);
+  Cells = std::make_unique<Cell[]>(Capacity);
+  Mask = Capacity - 1;
+  for (size_t I = 0; I < Capacity; ++I)
+    Cells[I].Seq.store(I, std::memory_order_relaxed);
+}
+
+bool ErrorRing::tryPush(const ErrorInfo &Info) {
+  uint64_t Pos = Head.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell &C = Cells[Pos & Mask];
+    uint64_t Seq = C.Seq.load(std::memory_order_acquire);
+    auto Diff = static_cast<int64_t>(Seq) - static_cast<int64_t>(Pos);
+    if (Diff == 0) {
+      // The cell is free this lap; claim it by advancing Head.
+      if (Head.compare_exchange_weak(Pos, Pos + 1,
+                                     std::memory_order_relaxed)) {
+        C.Info = Info;
+        C.Seq.store(Pos + 1, std::memory_order_release);
+        return true;
+      }
+      // CAS failure reloaded Pos; retry with the fresh value.
+    } else if (Diff < 0) {
+      // The cell still holds last lap's event: the ring is full.
+      Overflows.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    } else {
+      // Another producer claimed this position; chase the head.
+      Pos = Head.load(std::memory_order_relaxed);
+    }
+  }
+}
+
+bool ErrorRing::tryPop(ErrorInfo &Out) {
+  uint64_t Pos = Tail.load(std::memory_order_relaxed);
+  Cell &C = Cells[Pos & Mask];
+  uint64_t Seq = C.Seq.load(std::memory_order_acquire);
+  if (static_cast<int64_t>(Seq) - static_cast<int64_t>(Pos + 1) < 0)
+    return false; // The producer has not published this cell yet.
+  Out = C.Info;
+  // Release the cell for the producers' next lap.
+  C.Seq.store(Pos + Mask + 1, std::memory_order_release);
+  Tail.store(Pos + 1, std::memory_order_relaxed);
+  return true;
+}
+
+size_t ErrorRing::drainTo(ErrorReporter &Reporter) {
+  size_t Drained = 0;
+  ErrorInfo Info;
+  while (tryPop(Info)) {
+    Reporter.report(Info);
+    ++Drained;
+  }
+  return Drained;
+}

@@ -1,0 +1,88 @@
+//===- concurrent/ErrorRing.h - Lock-free MPSC error event ring -*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded multi-producer / single-consumer ring of raw error events,
+/// replacing the reporter mutex on the error hot path of pooled
+/// sessions. Producers (the per-shard runtimes of a SessionPool) push
+/// ErrorInfo values with a single CAS and no lock; one drainer pops
+/// them and feeds the pool's central ErrorReporter, which keeps the
+/// bucketing / dedup-cap / callback semantics in one place.
+///
+/// The cell protocol is Vyukov's bounded MPMC queue (restricted here to
+/// one consumer): each cell carries a sequence number that ticks
+/// forward by capacity per lap, so producers and the consumer
+/// synchronize per cell, not on a shared lock.
+///
+/// ErrorInfo is a plain value (type pointers into an interned
+/// TypeContext, a raw pointer that is only ever printed, and a Detail
+/// string that is always a literal), so events are copied into the ring
+/// whole — nothing borrowed from the erring thread survives the push.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_CONCURRENT_ERRORRING_H
+#define EFFECTIVE_CONCURRENT_ERRORRING_H
+
+#include "core/ErrorReporter.h"
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+
+namespace effective {
+namespace concurrent {
+
+/// The MPSC error ring. All methods are safe from any thread except
+/// tryPop/drainTo, which must be called by one consumer at a time.
+class ErrorRing {
+public:
+  static constexpr size_t DefaultCapacity = 4096;
+
+  /// Capacity is rounded up to the next power of two (minimum 2).
+  explicit ErrorRing(size_t Capacity = DefaultCapacity);
+
+  ErrorRing(const ErrorRing &) = delete;
+  ErrorRing &operator=(const ErrorRing &) = delete;
+
+  /// Lock-free push from any producer thread. Returns false when the
+  /// ring is full (and counts the overflow); the caller decides the
+  /// fallback — the SessionPool reports such events directly to the
+  /// central reporter under its lock, so no event is ever lost.
+  bool tryPush(const ErrorInfo &Info);
+
+  /// Pops the oldest event. Single consumer only.
+  bool tryPop(ErrorInfo &Out);
+
+  /// Pops every currently queued event into \p Reporter (the drainer
+  /// side of the pool). Returns the number of events delivered.
+  size_t drainTo(ErrorReporter &Reporter);
+
+  size_t capacity() const { return Mask + 1; }
+
+  /// Events that found the ring full (each was reported through the
+  /// caller's fallback path instead; see tryPush).
+  uint64_t overflows() const {
+    return Overflows.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Cell {
+    std::atomic<uint64_t> Seq;
+    ErrorInfo Info;
+  };
+
+  std::unique_ptr<Cell[]> Cells;
+  size_t Mask;
+  alignas(64) std::atomic<uint64_t> Head{0}; ///< Producers' cursor.
+  alignas(64) std::atomic<uint64_t> Tail{0}; ///< Consumer's cursor.
+  alignas(64) std::atomic<uint64_t> Overflows{0};
+};
+
+} // namespace concurrent
+} // namespace effective
+
+#endif // EFFECTIVE_CONCURRENT_ERRORRING_H

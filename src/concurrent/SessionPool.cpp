@@ -1,0 +1,108 @@
+//===- concurrent/SessionPool.cpp - Sharded sanitizer session pool --------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurrent/SessionPool.h"
+
+#include <unordered_map>
+
+using namespace effective;
+using namespace effective::concurrent;
+
+/// Monotone stamp distinguishing pool instances that reuse an address
+/// (see SessionPool::Epoch).
+static uint64_t nextPoolEpoch() {
+  static std::atomic<uint64_t> Counter{0};
+  return Counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+bool SessionPool::enqueueToRing(const ErrorInfo &Info, void *UserData) {
+  auto *S = static_cast<RingSink *>(UserData);
+  if (S->Ring->tryPush(Info))
+    return true;
+  // Ring momentarily full: report under the central lock rather than
+  // dropping the event. Dedup/caps semantics are identical either way;
+  // only this event pays for a mutex.
+  S->Central->report(Info);
+  return true;
+}
+
+SessionPool::SessionPool(const PoolOptions &Options)
+    : OwnedTypes(std::make_unique<TypeContext>()), Types(OwnedTypes.get()),
+      Heap(Options.Shards, Options.Heap),
+      Ring(Options.ErrorRingCapacity ? Options.ErrorRingCapacity
+                                     : ErrorRing::DefaultCapacity),
+      Central(Options.Reporter), Sink{&Ring, &Central},
+      Epoch(nextPoolEpoch()) {
+  // Shard runtimes never emit through their own reporter: every event
+  // is intercepted lock-free and funneled to the central drain.
+  RuntimeOptions RTOpts;
+  RTOpts.Reporter.Mode = ReportMode::Count;
+  RTOpts.Reporter.Stream = nullptr;
+  RTOpts.Reporter.Enqueue = enqueueToRing;
+  RTOpts.Reporter.EnqueueUserData = &Sink;
+  for (unsigned I = 0; I < Heap.numShards(); ++I) {
+    Runtimes.push_back(
+        std::make_unique<Runtime>(*Types, Heap.heap(), I, RTOpts));
+    Shards.push_back(
+        std::make_unique<Sanitizer>(*Runtimes.back(), Options.Policy));
+  }
+}
+
+SessionPool::SessionPool(TypeContext &SharedTypes,
+                         const PoolOptions &Options)
+    : Types(&SharedTypes), Heap(Options.Shards, Options.Heap),
+      Ring(Options.ErrorRingCapacity ? Options.ErrorRingCapacity
+                                     : ErrorRing::DefaultCapacity),
+      Central(Options.Reporter), Sink{&Ring, &Central},
+      Epoch(nextPoolEpoch()) {
+  RuntimeOptions RTOpts;
+  RTOpts.Reporter.Mode = ReportMode::Count;
+  RTOpts.Reporter.Stream = nullptr;
+  RTOpts.Reporter.Enqueue = enqueueToRing;
+  RTOpts.Reporter.EnqueueUserData = &Sink;
+  for (unsigned I = 0; I < Heap.numShards(); ++I) {
+    Runtimes.push_back(
+        std::make_unique<Runtime>(*Types, Heap.heap(), I, RTOpts));
+    Shards.push_back(
+        std::make_unique<Sanitizer>(*Runtimes.back(), Options.Policy));
+  }
+}
+
+SessionPool::~SessionPool() { drain(); }
+
+unsigned SessionPool::checkoutIndex() {
+  // Sticky thread->shard binding, private to each thread. The map is
+  // keyed by pool address so one thread can work with several pools;
+  // the epoch stamp invalidates entries left behind by a destroyed
+  // pool whose address was reused.
+  struct Binding {
+    uint64_t Epoch = 0;
+    unsigned Index = 0;
+  };
+  thread_local std::unordered_map<const SessionPool *, Binding> Affinity;
+  Binding &B = Affinity[this];
+  if (B.Epoch != Epoch) {
+    B.Epoch = Epoch;
+    B.Index = NextShard.fetch_add(1, std::memory_order_relaxed) %
+              numShards();
+  }
+  return B.Index;
+}
+
+size_t SessionPool::drain() { return Ring.drainTo(Central); }
+
+CheckCounters::Snapshot SessionPool::counters() const {
+  CheckCounters::Snapshot Sum;
+  for (const auto &RT : Runtimes)
+    Sum += RT->counters().snapshot();
+  return Sum;
+}
+
+void SessionPool::resetShard(unsigned Index) {
+  // Flush events the shard produced before its state disappears.
+  drain();
+  Shards[Index]->reset();
+}

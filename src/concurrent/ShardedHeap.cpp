@@ -1,0 +1,33 @@
+//===- concurrent/ShardedHeap.cpp - Per-thread low-fat heap shards --------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurrent/ShardedHeap.h"
+
+#include <thread>
+
+using namespace effective;
+using namespace effective::concurrent;
+
+unsigned ShardedHeap::resolveShardCount(unsigned Requested) {
+  unsigned Shards = Requested;
+  if (Shards == 0) {
+    Shards = std::thread::hardware_concurrency();
+    if (Shards == 0)
+      Shards = 1;
+  }
+  if (Shards > lowfat::MaxHeapShards)
+    Shards = lowfat::MaxHeapShards;
+  return Shards;
+}
+
+static lowfat::HeapOptions withShards(unsigned Shards,
+                                      lowfat::HeapOptions Base) {
+  Base.NumShards = ShardedHeap::resolveShardCount(Shards);
+  return Base;
+}
+
+ShardedHeap::ShardedHeap(unsigned Shards, const lowfat::HeapOptions &Base)
+    : Heap(withShards(Shards, Base)) {}

@@ -1,0 +1,100 @@
+//===- concurrent/ShardedHeap.h - Per-thread low-fat heap shards -*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heap layer of the concurrent runtime: one low-fat arena reserved
+/// up front, carved into per-shard sub-arenas so each worker thread
+/// allocates without contending with its siblings. The carving is done
+/// by the low-fat allocator itself (HeapOptions::NumShards — every
+/// shard's slice of a size-class region starts on a class-size
+/// boundary), which is what keeps the paper's size(p)/base(p) pure O(1)
+/// address arithmetic for *every* shard's pointers, no matter which
+/// shard asks:
+///
+///      region C (one size class)
+///   |-- shard 0 --|-- shard 1 --|-- shard 2 --|-- shard 3 --| tail |
+///   ^ bump/free-list per shard          base(p) = one modulo, global
+///
+/// ShardedHeap owns the arena and hands out HeapShard views; the
+/// SessionPool gives each of its Runtimes one shard index. Cross-shard
+/// frees and metadata queries are always legal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_CONCURRENT_SHARDEDHEAP_H
+#define EFFECTIVE_CONCURRENT_SHARDEDHEAP_H
+
+#include "lowfat/LowFatHeap.h"
+
+namespace effective {
+namespace concurrent {
+
+/// A lightweight allocation view of one shard. Copyable; valid while
+/// the ShardedHeap lives.
+class HeapShard {
+public:
+  HeapShard(lowfat::LowFatHeap &Heap, unsigned Index)
+      : Heap(&Heap), Idx(Index) {}
+
+  /// Allocates from this shard's sub-arenas (lock shared with nobody
+  /// but this shard's users).
+  void *allocate(size_t Size) { return Heap->allocateOnShard(Size, Idx); }
+
+  /// Frees a block allocated on *any* shard of the same heap.
+  void deallocate(void *Ptr) { Heap->deallocate(Ptr); }
+
+  /// The paper's size(p)/base(p) — identical arithmetic on every shard.
+  size_t size(const void *Ptr) const { return Heap->allocationSize(Ptr); }
+  void *base(const void *Ptr) const { return Heap->allocationBase(Ptr); }
+
+  unsigned index() const { return Idx; }
+  lowfat::LowFatHeap &heap() { return *Heap; }
+
+private:
+  lowfat::LowFatHeap *Heap;
+  unsigned Idx;
+};
+
+/// Owns one sharded low-fat heap. \p Shards is clamped to
+/// [1, lowfat::MaxHeapShards]; 0 selects one shard per hardware thread.
+class ShardedHeap {
+public:
+  explicit ShardedHeap(unsigned Shards,
+                       const lowfat::HeapOptions &Base =
+                           lowfat::HeapOptions());
+
+  ShardedHeap(const ShardedHeap &) = delete;
+  ShardedHeap &operator=(const ShardedHeap &) = delete;
+
+  unsigned numShards() const { return Heap.numShards(); }
+  HeapShard shard(unsigned Index) { return HeapShard(Heap, Index); }
+
+  /// The underlying shared heap (for Runtime construction and the
+  /// global size/base queries).
+  lowfat::LowFatHeap &heap() { return Heap; }
+  const lowfat::LowFatHeap &heap() const { return Heap; }
+
+  /// Merged / per-shard statistics.
+  lowfat::HeapStats stats() const { return Heap.stats(); }
+  lowfat::HeapStats shardStats(unsigned Index) const {
+    return Heap.shardStats(Index);
+  }
+
+  /// Recycles one shard's sub-arenas (see LowFatHeap::resetShard for
+  /// the contract).
+  void resetShard(unsigned Index) { Heap.resetShard(Index); }
+
+  /// The shard count \p Requested resolves to without building a heap.
+  static unsigned resolveShardCount(unsigned Requested);
+
+private:
+  lowfat::LowFatHeap Heap;
+};
+
+} // namespace concurrent
+} // namespace effective
+
+#endif // EFFECTIVE_CONCURRENT_SHARDEDHEAP_H

@@ -1,0 +1,147 @@
+//===- concurrent/effsan_pool.cpp - C ABI pool entry points ---------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// The effsan_pool_* functions of the stable C ABI (api/effsan.h,
+/// since 1.1), implemented here so the core archive stays free of the
+/// concurrent layer: only consumers that use pools link it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/effsan.h"
+#include "api/effsan_internal.h"
+#include "concurrent/SessionPool.h"
+
+#include <cstring>
+#include <memory>
+#include <new>
+#include <vector>
+
+using namespace effective;
+
+/// The opaque pool handle: the SessionPool plus one stable
+/// effsan_session wrapper per shard (checkout hands these out) and the
+/// central C callback.
+struct effsan_pool {
+  concurrent::SessionPool Pool;
+  std::vector<std::unique_ptr<effsan_session>> Sessions;
+  effsan_error_callback Callback = nullptr;
+  void *CallbackUserData = nullptr;
+
+  explicit effsan_pool(const concurrent::PoolOptions &Options)
+      : Pool(Options) {
+    for (unsigned I = 0; I < Pool.numShards(); ++I)
+      Sessions.push_back(std::make_unique<effsan_session>(Pool.shard(I)));
+  }
+};
+
+namespace {
+
+/// Central-reporter trampoline for pools (fired by the drain thread).
+void poolCallbackTrampoline(const ErrorInfo &Info, const char *Message,
+                            void *UserData) {
+  auto *P = static_cast<effsan_pool *>(UserData);
+  if (!P->Callback)
+    return;
+  effsan_error Error;
+  Error.kind = effsan_detail::errorKindValue(Info.Kind);
+  Error.pointer = Info.Pointer;
+  Error.offset = Info.Offset;
+  Error.message = Message;
+  P->Callback(&Error, P->CallbackUserData);
+}
+
+} // namespace
+
+extern "C" {
+
+void effsan_pool_options_init(effsan_pool_options *options) {
+  if (!options)
+    return;
+  std::memset(options, 0, sizeof(*options));
+  options->struct_size = sizeof(effsan_pool_options);
+  options->shards = 0; // Auto: one per hardware thread.
+  options->policy = EFFSAN_POLICY_FULL;
+  options->log_errors = 1;
+  options->log_stream = stderr;
+  options->max_reports_per_location = 1;
+}
+
+effsan_pool *effsan_pool_create(const effsan_pool_options *options) {
+  effsan_pool_options Defaults;
+  effsan_pool_options_init(&Defaults);
+  // Tail-extension tolerance: read only the prefix the caller declared.
+  if (options) {
+    size_t N = options->struct_size;
+    if (N == 0 || N > sizeof(Defaults))
+      N = sizeof(Defaults);
+    std::memcpy(&Defaults, options, N);
+  }
+
+  concurrent::PoolOptions PoolOpts;
+  PoolOpts.Shards = Defaults.shards;
+  PoolOpts.Policy = effsan_detail::policyFromValue(Defaults.policy);
+  PoolOpts.Reporter.Mode =
+      Defaults.log_errors ? ReportMode::Log : ReportMode::Count;
+  PoolOpts.Reporter.Stream =
+      Defaults.log_stream ? Defaults.log_stream : stderr;
+  PoolOpts.Reporter.MaxReportsPerBucket =
+      Defaults.max_reports_per_location;
+  PoolOpts.Reporter.MaxTotalReports = Defaults.max_total_reports;
+  PoolOpts.ErrorRingCapacity =
+      static_cast<size_t>(Defaults.error_ring_capacity);
+
+  return new (std::nothrow) effsan_pool(PoolOpts);
+}
+
+void effsan_pool_destroy(effsan_pool *pool) { delete pool; }
+
+uint32_t effsan_pool_num_shards(const effsan_pool *pool) {
+  return pool->Pool.numShards();
+}
+
+effsan_session *effsan_pool_checkout(effsan_pool *pool) {
+  return pool->Sessions[pool->Pool.checkoutIndex()].get();
+}
+
+effsan_session *effsan_pool_shard(effsan_pool *pool, uint32_t index) {
+  if (index >= pool->Pool.numShards())
+    return nullptr;
+  return pool->Sessions[index].get();
+}
+
+uint64_t effsan_pool_drain(effsan_pool *pool) {
+  return pool->Pool.drain();
+}
+
+void effsan_pool_get_counters(effsan_pool *pool, effsan_counters *out) {
+  if (!out)
+    return;
+  pool->Pool.drain();
+  CheckCounters::Snapshot Snap = pool->Pool.counters();
+  out->type_checks = Snap.TypeChecks;
+  out->legacy_type_checks = Snap.LegacyTypeChecks;
+  out->bounds_checks = Snap.BoundsChecks;
+  out->bounds_narrows = Snap.BoundsNarrows;
+  out->bounds_gets = Snap.BoundsGets;
+  ErrorReporter &Central = pool->Pool.reporter();
+  out->issues_found = Central.numIssues();
+  out->error_events = Central.numEvents();
+  out->reports_suppressed = Central.numSuppressed();
+}
+
+void effsan_pool_set_error_callback(effsan_pool *pool,
+                                    effsan_error_callback callback,
+                                    void *user_data) {
+  // Same half-update-safe dance as the session variant, against the
+  // pool's central reporter.
+  pool->Pool.reporter().setCallback(nullptr, nullptr);
+  pool->Callback = callback;
+  pool->CallbackUserData = user_data;
+  if (callback)
+    pool->Pool.reporter().setCallback(poolCallbackTrampoline, pool);
+}
+
+} // extern "C"

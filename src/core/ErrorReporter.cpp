@@ -48,6 +48,11 @@ std::string ErrorReporter::renderMessage(const ErrorInfo &Info) const {
 }
 
 void ErrorReporter::report(const ErrorInfo &Info) {
+  // Lock-free fast path: a sharded runtime diverts the event to its
+  // pool's error ring and never touches this reporter's lock.
+  if (Options.Enqueue && Options.Enqueue(Info, Options.EnqueueUserData))
+    return;
+
   std::lock_guard<std::mutex> Guard(Lock);
   ++Events;
 

@@ -83,6 +83,15 @@ struct ErrorBucket {
 using ErrorCallback = void (*)(const ErrorInfo &Info, const char *Message,
                                void *UserData);
 
+/// Lock-free intercept for the reporting hot path. When installed,
+/// report() hands the raw event to this hook *before* taking the
+/// reporter lock; a true return means the event was consumed (e.g.
+/// pushed onto a concurrent::ErrorRing for a central drainer) and the
+/// locked bucketing/emission path is skipped entirely. Returning false
+/// falls through to the normal locked path. The hook must be safe to
+/// call from any thread.
+using ErrorEnqueueFn = bool (*)(const ErrorInfo &Info, void *UserData);
+
 /// Reporter configuration.
 struct ReporterOptions {
   ReportMode Mode = ReportMode::Log;
@@ -100,6 +109,10 @@ struct ReporterOptions {
   /// Optional error sink, fired in both Log and Count modes.
   ErrorCallback Callback = nullptr;
   void *CallbackUserData = nullptr;
+  /// Optional lock-free intercept (see ErrorEnqueueFn). Configure at
+  /// construction; never mutated by the reporter.
+  ErrorEnqueueFn Enqueue = nullptr;
+  void *EnqueueUserData = nullptr;
 };
 
 /// Collects, deduplicates, and renders runtime errors. Thread-safe.

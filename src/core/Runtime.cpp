@@ -15,10 +15,28 @@
 
 using namespace effective;
 
+/// Monotone stamp distinguishing runtime instances that reuse an
+/// address (see Runtime::Epoch).
+static uint64_t nextRuntimeEpoch() {
+  static std::atomic<uint64_t> Counter{0};
+  return Counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 Runtime::Runtime(TypeContext &Ctx, const RuntimeOptions &Options)
-    : Ctx(Ctx), Heap(Options.Heap), Globals(Heap),
-      Reporter(Options.Reporter),
+    : Ctx(Ctx),
+      OwnedHeap(std::make_unique<lowfat::LowFatHeap>(Options.Heap)),
+      Heap(*OwnedHeap), Shard(0), Epoch(nextRuntimeEpoch()),
+      Globals(Heap, Shard), Reporter(Options.Reporter),
       VoidPtrType(Ctx.getPointer(Ctx.getVoid())) {}
+
+Runtime::Runtime(TypeContext &Ctx, lowfat::LowFatHeap &SharedHeap,
+                 unsigned Shard, const RuntimeOptions &Options)
+    : Ctx(Ctx), Heap(SharedHeap), Shard(Shard),
+      Epoch(nextRuntimeEpoch()), Globals(Heap, Shard),
+      Reporter(Options.Reporter),
+      VoidPtrType(Ctx.getPointer(Ctx.getVoid())) {
+  assert(Shard < Heap.numShards() && "shard index out of range");
+}
 
 Runtime &Runtime::global() {
   static Runtime RT(TypeContext::global());
@@ -30,7 +48,7 @@ Runtime &Runtime::global() {
 //===----------------------------------------------------------------------===//
 
 void *Runtime::allocate(size_t Size, const TypeInfo *Type) {
-  void *Block = Heap.allocate(Size + sizeof(MetaHeader));
+  void *Block = Heap.allocateOnShard(Size + sizeof(MetaHeader), Shard);
   if (EFFSAN_UNLIKELY(!Heap.isLowFat(Block))) {
     // Oversized request: the block is a legacy pointer; base(p) cannot
     // reach a META header, so the object is simply untyped (checked
@@ -99,13 +117,36 @@ void Runtime::deallocate(void *Ptr) {
 //===----------------------------------------------------------------------===//
 
 lowfat::StackPool &Runtime::stackPool() {
-  // One pool per (thread, runtime); pools die with the thread.
-  thread_local std::map<Runtime *, std::unique_ptr<lowfat::StackPool>>
-      Pools;
-  std::unique_ptr<lowfat::StackPool> &Slot = Pools[this];
-  if (!Slot)
-    Slot = std::make_unique<lowfat::StackPool>(Heap);
-  return *Slot;
+  // One pool per (thread, runtime); pools die with the thread. The
+  // epoch stamp guards against a new runtime constructed at a dead
+  // runtime's address inheriting the dead one's pool, whose heap
+  // reference dangles.
+  struct Slot {
+    uint64_t Epoch = 0;
+    std::unique_ptr<lowfat::StackPool> Pool;
+  };
+  thread_local std::map<Runtime *, Slot> Pools;
+  Slot &S = Pools[this];
+  if (!S.Pool || S.Epoch != Epoch) {
+    if (S.Pool)
+      S.Pool->abandonAll(); // Its blocks died with the old heap.
+    S.Pool = std::make_unique<lowfat::StackPool>(Heap, Shard);
+    S.Epoch = Epoch;
+  }
+  return *S.Pool;
+}
+
+void Runtime::reset() {
+  // Rewind the shard's sub-arenas first; the registries that pointed
+  // into them are then cleared without touching the recycled memory.
+  Heap.resetShard(Shard);
+  Globals.reset();
+  Counters.reset();
+  Reporter.clear();
+  // New epoch: every thread's cached stack pool for this runtime is
+  // abandoned on next use instead of replaying pointers into the
+  // recycled arena.
+  Epoch = nextRuntimeEpoch();
 }
 
 void *Runtime::stackAllocate(size_t Size, const TypeInfo *Type) {

@@ -37,6 +37,7 @@
 #include "support/Compiler.h"
 
 #include <atomic>
+#include <memory>
 
 namespace effective {
 
@@ -64,11 +65,27 @@ struct CheckCounters {
 
   /// Plain-value snapshot.
   struct Snapshot {
-    uint64_t TypeChecks;
-    uint64_t LegacyTypeChecks;
-    uint64_t BoundsChecks;
-    uint64_t BoundsNarrows;
-    uint64_t BoundsGets;
+    uint64_t TypeChecks = 0;
+    uint64_t LegacyTypeChecks = 0;
+    uint64_t BoundsChecks = 0;
+    uint64_t BoundsNarrows = 0;
+    uint64_t BoundsGets = 0;
+
+    /// Field-wise accumulation — how the session pool and the
+    /// multi-threaded harness merge per-shard counters.
+    Snapshot &operator+=(const Snapshot &O) {
+      TypeChecks += O.TypeChecks;
+      LegacyTypeChecks += O.LegacyTypeChecks;
+      BoundsChecks += O.BoundsChecks;
+      BoundsNarrows += O.BoundsNarrows;
+      BoundsGets += O.BoundsGets;
+      return *this;
+    }
+
+    friend Snapshot operator+(Snapshot A, const Snapshot &B) {
+      A += B;
+      return A;
+    }
   };
 
   Snapshot snapshot() const {
@@ -104,11 +121,22 @@ public:
   explicit Runtime(TypeContext &Ctx,
                    const RuntimeOptions &Options = RuntimeOptions());
 
+  /// A runtime over shard \p Shard of an externally owned (shared,
+  /// usually sharded) low-fat heap — the per-worker building block of
+  /// concurrent::SessionPool. All allocations (heap, stack, globals)
+  /// come from that shard's sub-arenas, while base(p)/size(p) remain
+  /// valid for pointers allocated by sibling shards of the same heap.
+  /// Options.Heap is ignored; the heap must outlive the runtime.
+  Runtime(TypeContext &Ctx, lowfat::LowFatHeap &SharedHeap, unsigned Shard,
+          const RuntimeOptions &Options = RuntimeOptions());
+
   Runtime(const Runtime &) = delete;
   Runtime &operator=(const Runtime &) = delete;
 
   TypeContext &typeContext() { return Ctx; }
   lowfat::LowFatHeap &heap() { return Heap; }
+  /// The heap shard this runtime allocates from (0 for private heaps).
+  unsigned heapShard() const { return Shard; }
   ErrorReporter &reporter() { return Reporter; }
   CheckCounters &counters() { return Counters; }
 
@@ -190,6 +218,17 @@ public:
   Bounds allocationBounds(const void *Ptr) const;
   /// @}
 
+  /// Recycles the runtime for a fresh tenant: rewinds its heap shard
+  /// (for a private heap, the whole arena), clears counters, reported
+  /// issues and the global registry. Every pointer the runtime ever
+  /// served becomes invalid and its addresses will be reused.
+  ///
+  /// \pre No live pointers are dereferenced afterwards, no stack frames
+  /// (stackMark/stackRelease) are outstanding on any thread, and nothing
+  /// uses the runtime concurrently. Legacy (oversized) blocks are not
+  /// recycled.
+  void reset();
+
   /// The process-wide runtime over TypeContext::global().
   static Runtime &global();
 
@@ -199,7 +238,15 @@ private:
   lowfat::StackPool &stackPool();
 
   TypeContext &Ctx;
-  lowfat::LowFatHeap Heap;
+  /// Null when the runtime borrows a shared heap (the shard ctor).
+  std::unique_ptr<lowfat::LowFatHeap> OwnedHeap;
+  lowfat::LowFatHeap &Heap;
+  unsigned Shard;
+  /// Process-unique instance stamp. The per-thread stack pools are
+  /// cached by Runtime address; the stamp detects a new runtime reusing
+  /// a dead one's address so no thread ever resurrects a stale pool
+  /// (whose heap reference would dangle).
+  uint64_t Epoch;
   lowfat::GlobalPool Globals;
   ErrorReporter Reporter;
   CheckCounters Counters;

@@ -32,12 +32,18 @@ struct GlobalRecord {
   void *Address;
   size_t Size;
   std::string Name;
+  /// True when the allocation fell back to the system allocator
+  /// (oversized request) — such blocks are not part of any low-fat
+  /// sub-arena and must be freed individually on reset().
+  bool Legacy;
 };
 
-/// Allocates never-freed global objects from a LowFatHeap. Thread-safe.
+/// Allocates never-freed global objects from a LowFatHeap (from shard
+/// \p Shard's sub-arena when the heap is sharded). Thread-safe.
 class GlobalPool {
 public:
-  explicit GlobalPool(LowFatHeap &Heap) : Heap(Heap) {}
+  explicit GlobalPool(LowFatHeap &Heap, unsigned Shard = 0)
+      : Heap(Heap), Shard(Shard) {}
 
   ~GlobalPool() {
     for (const GlobalRecord &G : Globals)
@@ -49,10 +55,24 @@ public:
 
   /// Allocates a global object and records it under \p Name.
   void *allocate(size_t Size, std::string_view Name) {
-    void *Ptr = Heap.allocate(Size);
+    void *Ptr = Heap.allocateOnShard(Size, Shard);
     std::lock_guard<std::mutex> Guard(Lock);
-    Globals.push_back(GlobalRecord{Ptr, Size, std::string(Name)});
+    Globals.push_back(
+        GlobalRecord{Ptr, Size, std::string(Name), !Heap.isLowFat(Ptr)});
     return Ptr;
+  }
+
+  /// Forgets every registered low-fat global *without* deallocating —
+  /// used when the backing arena (shard) has been recycled wholesale
+  /// and those addresses no longer denote live blocks. Legacy
+  /// (oversized) globals are outside the recycled sub-arenas, so they
+  /// are genuinely freed here instead of leaking once per reset.
+  void reset() {
+    std::lock_guard<std::mutex> Guard(Lock);
+    for (const GlobalRecord &G : Globals)
+      if (G.Legacy)
+        Heap.deallocate(G.Address);
+    Globals.clear();
   }
 
   /// Looks up a registered global by name; null if absent.
@@ -72,6 +92,7 @@ public:
 
 private:
   LowFatHeap &Heap;
+  unsigned Shard;
   mutable std::mutex Lock;
   std::vector<GlobalRecord> Globals;
 };

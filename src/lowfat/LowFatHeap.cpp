@@ -10,6 +10,7 @@
 
 #include <bit>
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
@@ -36,10 +37,17 @@ LowFatHeap::LowFatHeap(const HeapOptions &Options) {
   assert(std::has_single_bit(Options.RegionSize) &&
          "region size must be a power of two");
   QuarantineLimit = Options.QuarantineBytes;
+  Shards = Options.NumShards < 1 ? 1 : Options.NumShards;
+  if (Shards > MaxHeapShards)
+    Shards = MaxHeapShards;
 
   // Reserve the arena; retry with smaller regions if the reservation is
-  // refused. MAP_NORESERVE keeps untouched pages free of charge.
+  // refused. MAP_NORESERVE keeps untouched pages free of charge. With
+  // more than one shard the region is capped at 2^31 bytes so the
+  // shard-of-address division is an exact single high multiply.
   uint64_t TryRegion = Options.RegionSize;
+  if (Shards > 1 && TryRegion > (1ull << 31))
+    TryRegion = 1ull << 31;
   void *Arena = MAP_FAILED;
   while (TryRegion >= (1ull << 26)) {
     ArenaBytes = TryRegion * NumSizeClasses;
@@ -60,11 +68,27 @@ LowFatHeap::LowFatHeap(const HeapOptions &Options) {
   ArenaBase = reinterpret_cast<uintptr_t>(Arena);
   ArenaEnd = ArenaBase + ArenaBytes;
 
+  Subs = std::make_unique<SubRegion[]>(
+      static_cast<size_t>(NumSizeClasses) * Shards);
+  Counters = std::make_unique<ShardCounters[]>(Shards);
+  Quarantines = std::make_unique<ShardQuarantine[]>(Shards);
+
   for (unsigned I = 0; I < NumSizeClasses; ++I) {
     Region &R = Regions[I];
     R.Begin = ArenaBase + static_cast<uintptr_t>(I) * RegionSize;
-    R.End = R.Begin + RegionSize;
-    R.Bump.store(R.Begin, std::memory_order_relaxed);
+    // Each shard's slice is the largest class-size multiple that fits;
+    // slices are contiguous from the region base, so every block in any
+    // slice sits at a class-aligned offset and base(p) stays a single
+    // modulo over the whole region.
+    R.SubCapacity = RegionSize / Shards / classSize(I) * classSize(I);
+    R.UsableEnd = R.Begin + R.SubCapacity * Shards;
+    R.SubMagic = R.SubCapacity ? UINT64_MAX / R.SubCapacity + 1 : 0;
+    for (unsigned S = 0; S < Shards; ++S) {
+      SubRegion &Sub = subRegion(I, S);
+      Sub.Begin = R.Begin + static_cast<uintptr_t>(S) * R.SubCapacity;
+      Sub.End = Sub.Begin + R.SubCapacity;
+      Sub.Bump.store(Sub.Begin, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -79,56 +103,67 @@ LowFatHeap &LowFatHeap::global() {
   return Heap;
 }
 
-void LowFatHeap::noteAlloc(size_t Block, bool Legacy) {
-  std::lock_guard<std::mutex> Guard(StatsLock);
-  Stats.BlockBytesInUse += Block;
-  ++Stats.NumAllocs;
+void LowFatHeap::noteAlloc(unsigned Shard, size_t Block, bool Legacy) {
+  ShardCounters &C = Counters[Shard];
+  uint64_t Now = C.BlockBytesInUse.fetch_add(Block,
+                                             std::memory_order_relaxed) +
+                 Block;
+  C.NumAllocs.fetch_add(1, std::memory_order_relaxed);
   if (Legacy)
-    ++Stats.NumLegacyAllocs;
-  if (Stats.BlockBytesInUse > Stats.PeakBlockBytesInUse)
-    Stats.PeakBlockBytesInUse = Stats.BlockBytesInUse;
+    C.NumLegacyAllocs.fetch_add(1, std::memory_order_relaxed);
+  uint64_t Peak = C.PeakBlockBytesInUse.load(std::memory_order_relaxed);
+  while (Now > Peak && !C.PeakBlockBytesInUse.compare_exchange_weak(
+                           Peak, Now, std::memory_order_relaxed)) {
+  }
 }
 
-void LowFatHeap::noteFree(size_t Block) {
-  std::lock_guard<std::mutex> Guard(StatsLock);
-  assert(Stats.BlockBytesInUse >= Block && "free underflow");
-  Stats.BlockBytesInUse -= Block;
-  ++Stats.NumFrees;
+void LowFatHeap::noteFree(unsigned Shard, size_t Block) {
+  ShardCounters &C = Counters[Shard];
+  // Saturating subtraction: resetShard() zeroes the counters while
+  // legacy blocks attributed to the shard may still be live, so a
+  // later legacy free must clamp at zero rather than wrap (and then
+  // poison the peak tracking forever).
+  uint64_t Cur = C.BlockBytesInUse.load(std::memory_order_relaxed);
+  while (!C.BlockBytesInUse.compare_exchange_weak(
+      Cur, Cur >= Block ? Cur - Block : 0, std::memory_order_relaxed)) {
+  }
+  C.NumFrees.fetch_add(1, std::memory_order_relaxed);
 }
 
-void *LowFatHeap::allocate(size_t Size) {
+void *LowFatHeap::allocateOnShard(size_t Size, unsigned Shard) {
+  assert(Shard < Shards && "shard index out of range");
   if (Size == 0)
     Size = 1;
   if (Size > MaxClassSize || Size > RegionSize)
-    return allocateLegacy(Size);
+    return allocateLegacy(Size, Shard);
 
   unsigned ClassIndex = sizeToClass(Size);
   uint64_t Block = classSize(ClassIndex);
-  Region &R = Regions[ClassIndex];
+  SubRegion &Sub = subRegion(ClassIndex, Shard);
 
   void *Result = nullptr;
   {
-    std::lock_guard<std::mutex> Guard(R.Lock);
-    if (R.FreeList) {
-      FreeNode *Node = R.FreeList;
-      R.FreeList = Node->Next;
+    std::lock_guard<std::mutex> Guard(Sub.Lock);
+    if (Sub.FreeList) {
+      FreeNode *Node = Sub.FreeList;
+      Sub.FreeList = Node->Next;
       Result = reinterpret_cast<char *>(Node) - FreeLinkOffset;
     } else {
-      uintptr_t Bump = R.Bump.load(std::memory_order_relaxed);
-      if (Bump + Block <= R.End) {
+      uintptr_t Bump = Sub.Bump.load(std::memory_order_relaxed);
+      if (Bump + Block <= Sub.End) {
         Result = reinterpret_cast<void *>(Bump);
-        R.Bump.store(Bump + Block, std::memory_order_release);
+        Sub.Bump.store(Bump + Block, std::memory_order_release);
       }
     }
   }
   if (EFFSAN_UNLIKELY(!Result))
-    return allocateLegacy(Size); // Region exhausted.
+    return allocateLegacy(Size, Shard); // Shard slice exhausted.
 
-  noteAlloc(Block, /*Legacy=*/false);
+  noteAlloc(Shard, Block, /*Legacy=*/false);
   return Result;
 }
 
-void *LowFatHeap::allocateLegacy(size_t Size) {
+void *LowFatHeap::allocateLegacy(size_t Size, unsigned Shard) {
   void *Ptr = std::malloc(Size);
   if (!Ptr) {
     std::fprintf(stderr, "FATAL: low-fat heap: out of memory (%zu bytes)\n",
@@ -137,34 +172,36 @@ void *LowFatHeap::allocateLegacy(size_t Size) {
   }
   {
     std::lock_guard<std::mutex> Guard(LegacyLock);
-    LegacyAllocs.emplace(Ptr, Size);
+    LegacyAllocs.emplace(Ptr, std::make_pair(Size, Shard));
   }
-  noteAlloc(Size, /*Legacy=*/true);
+  noteAlloc(Shard, Size, /*Legacy=*/true);
   return Ptr;
 }
 
 bool LowFatHeap::deallocateLegacy(void *Ptr) {
   size_t Size;
+  unsigned Shard;
   {
     std::lock_guard<std::mutex> Guard(LegacyLock);
     auto It = LegacyAllocs.find(Ptr);
     if (It == LegacyAllocs.end())
       return false;
-    Size = It->second;
+    Size = It->second.first;
+    Shard = It->second.second;
     LegacyAllocs.erase(It);
   }
   std::free(Ptr);
-  noteFree(Size);
+  noteFree(Shard, Size);
   return true;
 }
 
-void LowFatHeap::reclaim(void *Ptr, unsigned ClassIndex) {
-  Region &R = Regions[ClassIndex];
+void LowFatHeap::reclaim(void *Ptr, unsigned ClassIndex, unsigned Shard) {
+  SubRegion &Sub = subRegion(ClassIndex, Shard);
   auto *Node = reinterpret_cast<FreeNode *>(static_cast<char *>(Ptr) +
                                             FreeLinkOffset);
-  std::lock_guard<std::mutex> Guard(R.Lock);
-  Node->Next = R.FreeList;
-  R.FreeList = Node;
+  std::lock_guard<std::mutex> Guard(Sub.Lock);
+  Node->Next = Sub.FreeList;
+  Sub.FreeList = Node;
 }
 
 void LowFatHeap::deallocate(void *Ptr) {
@@ -179,26 +216,29 @@ void LowFatHeap::deallocate(void *Ptr) {
   assert(Ptr == allocationBase(Ptr) &&
          "deallocate of an interior pointer");
   unsigned ClassIndex = allocationClass(Ptr);
+  unsigned Shard = shardOf(Ptr);
   uint64_t Block = classSize(ClassIndex);
-  noteFree(Block);
+  noteFree(Shard, Block);
 
   if (QuarantineLimit == 0) {
-    reclaim(Ptr, ClassIndex);
+    reclaim(Ptr, ClassIndex, Shard);
     return;
   }
 
-  // FIFO quarantine: park the block and evict the oldest blocks once the
-  // byte budget is exceeded.
-  std::lock_guard<std::mutex> Guard(QuarantineLock);
-  Quarantine.emplace_back(Ptr, ClassIndex);
-  QuarantineBytes.fetch_add(Block, std::memory_order_relaxed);
-  while (QuarantineBytes.load(std::memory_order_relaxed) > QuarantineLimit &&
-         !Quarantine.empty()) {
-    auto [Oldest, OldClass] = Quarantine.front();
-    Quarantine.pop_front();
-    QuarantineBytes.fetch_sub(classSize(OldClass),
-                              std::memory_order_relaxed);
-    reclaim(Oldest, OldClass);
+  // Per-shard FIFO quarantine: park the block and evict the oldest
+  // blocks once the shard's byte budget is exceeded. All parked blocks
+  // belong to this shard, so evictions reclaim into the same shard.
+  ShardQuarantine &Q = Quarantines[Shard];
+  std::atomic<uint64_t> &QBytes = Counters[Shard].QuarantinedBytes;
+  std::lock_guard<std::mutex> Guard(Q.Lock);
+  Q.Blocks.emplace_back(Ptr, ClassIndex);
+  QBytes.fetch_add(Block, std::memory_order_relaxed);
+  while (QBytes.load(std::memory_order_relaxed) > QuarantineLimit &&
+         !Q.Blocks.empty()) {
+    auto [Oldest, OldClass] = Q.Blocks.front();
+    Q.Blocks.pop_front();
+    QBytes.fetch_sub(classSize(OldClass), std::memory_order_relaxed);
+    reclaim(Oldest, OldClass, Shard);
   }
 }
 
@@ -206,14 +246,20 @@ bool LowFatHeap::isLowFat(const void *Ptr) const {
   uintptr_t P = reinterpret_cast<uintptr_t>(Ptr);
   if (P < ArenaBase || P >= ArenaEnd)
     return false;
-  // Only the already-allocated prefix of a region contains objects; a
-  // pointer at or beyond the bump pointer was never handed out and is
-  // treated as legacy (a hardening refinement over the original
-  // allocator, which cannot make this distinction). This also means a
-  // one-past-the-end pointer of the newest block degrades gracefully to
-  // legacy (wide bounds) rather than resolving to an unallocated block.
-  const Region &R = Regions[regionIndexFor(P)];
-  return P < R.Bump.load(std::memory_order_acquire);
+  // Only the already-allocated prefix of a shard's slice contains
+  // objects; a pointer at or beyond the slice's bump pointer was never
+  // handed out and is treated as legacy (a hardening refinement over
+  // the original allocator, which cannot make this distinction). This
+  // also means a one-past-the-end pointer of a shard's newest block
+  // degrades gracefully to legacy (wide bounds) rather than resolving
+  // to an unallocated block.
+  unsigned ClassIndex = regionIndexFor(P);
+  const Region &R = Regions[ClassIndex];
+  uint64_t Off = P - R.Begin;
+  if (EFFSAN_UNLIKELY(P >= R.UsableEnd))
+    return false; // Region tail no slice covers (or unserviceable class).
+  const SubRegion &Sub = subRegion(ClassIndex, subIndexFor(R, Off));
+  return P < Sub.Bump.load(std::memory_order_acquire);
 }
 
 size_t LowFatHeap::allocationSize(const void *Ptr) const {
@@ -233,7 +279,9 @@ void *LowFatHeap::allocationBase(const void *Ptr) const {
   uint64_t Base = Offset - classModulo(ClassIndex, Offset);
   // A pointer one-past-the-end of block N computes as the base of block
   // N+1; that is the correct allocation for derived-pointer checks only
-  // if N+1 was allocated, which isLowFat() already established.
+  // if N+1 was allocated, which isLowFat() already established. (Shard
+  // slices are class-aligned, so N+1 is in the same slice as N whenever
+  // it was handed out.)
   return reinterpret_cast<void *>(R.Begin + Base);
 }
 
@@ -242,14 +290,70 @@ unsigned LowFatHeap::allocationClass(const void *Ptr) const {
   return regionIndexFor(reinterpret_cast<uintptr_t>(Ptr));
 }
 
+unsigned LowFatHeap::shardOf(const void *Ptr) const {
+  assert(isLowFat(Ptr) && "shardOf on legacy pointer");
+  uintptr_t P = reinterpret_cast<uintptr_t>(Ptr);
+  const Region &R = Regions[regionIndexFor(P)];
+  return subIndexFor(R, P - R.Begin);
+}
+
+void LowFatHeap::resetShard(unsigned Shard) {
+  assert(Shard < Shards && "shard index out of range");
+  // Drop the shard's quarantine first; its entries point into the
+  // sub-arenas that are about to be rewound.
+  {
+    ShardQuarantine &Q = Quarantines[Shard];
+    std::lock_guard<std::mutex> Guard(Q.Lock);
+    Q.Blocks.clear();
+  }
+  for (unsigned I = 0; I < NumSizeClasses; ++I) {
+    SubRegion &Sub = subRegion(I, Shard);
+    std::lock_guard<std::mutex> Guard(Sub.Lock);
+    Sub.FreeList = nullptr;
+    Sub.Bump.store(Sub.Begin, std::memory_order_release);
+  }
+  ShardCounters &C = Counters[Shard];
+  C.BlockBytesInUse.store(0, std::memory_order_relaxed);
+  C.PeakBlockBytesInUse.store(0, std::memory_order_relaxed);
+  C.NumAllocs.store(0, std::memory_order_relaxed);
+  C.NumFrees.store(0, std::memory_order_relaxed);
+  C.NumLegacyAllocs.store(0, std::memory_order_relaxed);
+  C.QuarantinedBytes.store(0, std::memory_order_relaxed);
+}
+
+HeapStats LowFatHeap::shardStats(unsigned Shard) const {
+  assert(Shard < Shards && "shard index out of range");
+  const ShardCounters &C = Counters[Shard];
+  HeapStats S;
+  S.BlockBytesInUse = C.BlockBytesInUse.load(std::memory_order_relaxed);
+  S.PeakBlockBytesInUse =
+      C.PeakBlockBytesInUse.load(std::memory_order_relaxed);
+  S.NumAllocs = C.NumAllocs.load(std::memory_order_relaxed);
+  S.NumFrees = C.NumFrees.load(std::memory_order_relaxed);
+  S.NumLegacyAllocs = C.NumLegacyAllocs.load(std::memory_order_relaxed);
+  S.QuarantinedBytes = C.QuarantinedBytes.load(std::memory_order_relaxed);
+  return S;
+}
+
 HeapStats LowFatHeap::stats() const {
-  std::lock_guard<std::mutex> Guard(StatsLock);
-  HeapStats Copy = Stats;
-  Copy.QuarantinedBytes = QuarantineBytes.load(std::memory_order_relaxed);
-  return Copy;
+  HeapStats Sum;
+  for (unsigned S = 0; S < Shards; ++S) {
+    HeapStats Part = shardStats(S);
+    Sum.BlockBytesInUse += Part.BlockBytesInUse;
+    Sum.PeakBlockBytesInUse += Part.PeakBlockBytesInUse;
+    Sum.NumAllocs += Part.NumAllocs;
+    Sum.NumFrees += Part.NumFrees;
+    Sum.NumLegacyAllocs += Part.NumLegacyAllocs;
+    Sum.QuarantinedBytes += Part.QuarantinedBytes;
+  }
+  return Sum;
 }
 
 void LowFatHeap::resetPeaks() {
-  std::lock_guard<std::mutex> Guard(StatsLock);
-  Stats.PeakBlockBytesInUse = Stats.BlockBytesInUse;
+  for (unsigned S = 0; S < Shards; ++S) {
+    ShardCounters &C = Counters[S];
+    C.PeakBlockBytesInUse.store(
+        C.BlockBytesInUse.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
 }

@@ -26,6 +26,17 @@
 /// An optional FIFO quarantine delays reuse of freed blocks, the same
 /// mitigation AddressSanitizer employs (discussed in Section 2.1).
 ///
+/// Sharding (HeapOptions::NumShards > 1): each size-class region is
+/// carved into NumShards contiguous sub-arenas, each with its own bump
+/// pointer, free list and lock, so that concurrent worker threads bound
+/// to distinct shards never contend on allocation. Because every shard's
+/// slice starts at a multiple of the class size from the region base, the
+/// size(p)/base(p) arithmetic above is unchanged and remains valid for
+/// pointers allocated on *any* shard — a shard is a placement policy,
+/// not a separate address space. Cross-shard frees are allowed (the block
+/// returns to its owning shard's free list). All metadata queries stay
+/// lock-free.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef EFFECTIVE_LOWFAT_LOWFATHEAP_H
@@ -37,8 +48,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 
 namespace effective {
 namespace lowfat {
@@ -46,17 +59,30 @@ namespace lowfat {
 /// Construction-time options for a LowFatHeap.
 struct HeapOptions {
   /// Bytes of virtual address space reserved per size-class region.
-  /// Must be a power of two.
+  /// Must be a power of two. With NumShards > 1, at most 2^31 so the
+  /// shard-of-address division stays a single high multiply.
   uint64_t RegionSize = 1ull << 29;
 
   /// Maximum bytes of freed blocks held in quarantine before reuse;
-  /// 0 disables the quarantine.
+  /// 0 disables the quarantine. With sharding the budget applies to
+  /// each shard's private quarantine.
   size_t QuarantineBytes = 0;
+
+  /// Number of per-shard sub-arenas each size-class region is carved
+  /// into (clamped to [1, MaxHeapShards]). 1 = the classic single-arena
+  /// heap.
+  unsigned NumShards = 1;
 };
+
+/// Hard cap on NumShards (keeps the per-(class, shard) state bounded).
+inline constexpr unsigned MaxHeapShards = 256;
 
 /// Point-in-time allocator statistics. The heap tracks block (size-class
 /// rounded) bytes — the real memory footprint; requested-byte accounting
 /// lives in the typed runtime, which knows each object's META header.
+/// For sharded heaps stats() sums over the shards; PeakBlockBytesInUse
+/// is the sum of per-shard peaks (an upper bound on the true combined
+/// peak, exact for a single shard).
 struct HeapStats {
   /// Block bytes currently live.
   uint64_t BlockBytesInUse = 0;
@@ -70,8 +96,8 @@ struct HeapStats {
   uint64_t QuarantinedBytes = 0;
 };
 
-/// The low-fat heap. Thread-safe: each region has its own lock and the
-/// size/base queries are lock-free reads.
+/// The low-fat heap. Thread-safe: each (size class, shard) sub-arena has
+/// its own lock and the size/base queries are lock-free reads.
 class LowFatHeap {
 public:
   explicit LowFatHeap(const HeapOptions &Options = HeapOptions());
@@ -80,14 +106,21 @@ public:
   LowFatHeap(const LowFatHeap &) = delete;
   LowFatHeap &operator=(const LowFatHeap &) = delete;
 
-  /// Allocates \p Size bytes (never returns null; aborts on OOM). The
-  /// result is a low-fat pointer unless \p Size exceeds the largest size
-  /// class, in which case it is a legacy pointer.
-  void *allocate(size_t Size);
+  /// Allocates \p Size bytes from shard 0 (never returns null; aborts on
+  /// OOM). The result is a low-fat pointer unless \p Size exceeds the
+  /// largest size class, in which case it is a legacy pointer.
+  void *allocate(size_t Size) { return allocateOnShard(Size, 0); }
 
-  /// Frees a pointer previously returned by allocate(). Interior
-  /// pointers are rejected by assertion. The first 16 bytes of the block
-  /// remain intact until the block is handed out again.
+  /// Allocates \p Size bytes from shard \p Shard's sub-arenas. Falls
+  /// back to the system allocator (legacy pointer) when the request is
+  /// oversized or the shard's slice of the class region is exhausted.
+  void *allocateOnShard(size_t Size, unsigned Shard);
+
+  /// Frees a pointer previously returned by allocate()/allocateOnShard()
+  /// — from any thread and any shard; the block returns to its owning
+  /// shard's free list (or quarantine). Interior pointers are rejected
+  /// by assertion. The first 16 bytes of the block remain intact until
+  /// the block is handed out again.
   void deallocate(void *Ptr);
 
   /// Returns true if \p Ptr points into the low-fat arena (including
@@ -115,8 +148,28 @@ public:
   /// Size class index for a low-fat pointer. \pre isLowFat(Ptr).
   unsigned allocationClass(const void *Ptr) const;
 
-  /// Snapshot of the statistics.
+  /// The shard whose sub-arena contains a low-fat pointer — pure
+  /// address arithmetic, like base(p). \pre isLowFat(Ptr).
+  unsigned shardOf(const void *Ptr) const;
+
+  /// Number of per-shard sub-arenas.
+  unsigned numShards() const { return Shards; }
+
+  /// Recycles one shard's sub-arenas: drops its free lists and
+  /// quarantine, rewinds its bump pointers and zeroes its statistics.
+  /// Every low-fat pointer ever served by the shard becomes invalid
+  /// (legacy) and its addresses will be handed out again.
+  ///
+  /// \pre No live pointers from this shard are dereferenced afterwards
+  /// and no thread is concurrently allocating on or freeing to it.
+  /// Legacy (oversized) blocks are not recycled.
+  void resetShard(unsigned Shard);
+
+  /// Snapshot of the statistics (summed over shards).
   HeapStats stats() const;
+
+  /// Snapshot of one shard's statistics.
+  HeapStats shardStats(unsigned Shard) const;
 
   /// Resets the peak counters to the current values (used between
   /// benchmark phases).
@@ -132,8 +185,8 @@ public:
 private:
   struct FreeNode;
 
-  /// Per-size-class region state.
-  struct Region {
+  /// Per-(size class, shard) sub-arena state.
+  struct SubRegion {
     std::mutex Lock;
     /// Next never-allocated address (absolute). Atomic so isLowFat() can
     /// read it without taking Lock.
@@ -143,33 +196,79 @@ private:
     FreeNode *FreeList = nullptr;
   };
 
-  void *allocateLegacy(size_t Size);
+  /// Per-size-class region geometry (immutable after construction).
+  struct Region {
+    uintptr_t Begin = 0;
+    /// Bytes of each shard's slice — a multiple of the class size so
+    /// every slice starts on a class-aligned boundary (0 when the class
+    /// is too large to split across the shards; such classes serve only
+    /// legacy fallbacks).
+    uint64_t SubCapacity = 0;
+    /// End of the last shard's slice (Begin + SubCapacity * NumShards).
+    uintptr_t UsableEnd = 0;
+    /// Lemire magic for dividing an in-region offset by SubCapacity
+    /// (exact because both fit in 32 bits); unused when Shards == 1.
+    uint64_t SubMagic = 0;
+  };
+
+  /// Per-shard statistics, cache-line separated; all relaxed atomics.
+  struct alignas(64) ShardCounters {
+    std::atomic<uint64_t> BlockBytesInUse{0};
+    std::atomic<uint64_t> PeakBlockBytesInUse{0};
+    std::atomic<uint64_t> NumAllocs{0};
+    std::atomic<uint64_t> NumFrees{0};
+    std::atomic<uint64_t> NumLegacyAllocs{0};
+    std::atomic<uint64_t> QuarantinedBytes{0};
+  };
+
+  /// Per-shard FIFO quarantine of (block, class) pairs.
+  struct ShardQuarantine {
+    std::mutex Lock;
+    std::deque<std::pair<void *, unsigned>> Blocks;
+  };
+
+  void *allocateLegacy(size_t Size, unsigned Shard);
   bool deallocateLegacy(void *Ptr);
-  void reclaim(void *Ptr, unsigned ClassIndex);
-  void noteAlloc(size_t Block, bool Legacy);
-  void noteFree(size_t Block);
+  void reclaim(void *Ptr, unsigned ClassIndex, unsigned Shard);
+  void noteAlloc(unsigned Shard, size_t Block, bool Legacy);
+  void noteFree(unsigned Shard, size_t Block);
 
   unsigned regionIndexFor(uintptr_t P) const {
     return static_cast<unsigned>((P - ArenaBase) >> RegionShift);
   }
 
+  /// The shard whose slice of \p R contains in-region offset \p Off.
+  unsigned subIndexFor(const Region &R, uint64_t Off) const {
+    if (Shards == 1)
+      return 0;
+    return static_cast<unsigned>(
+        (static_cast<__uint128_t>(Off) * R.SubMagic) >> 64);
+  }
+
+  SubRegion &subRegion(unsigned ClassIndex, unsigned Shard) {
+    return Subs[ClassIndex * Shards + Shard];
+  }
+  const SubRegion &subRegion(unsigned ClassIndex, unsigned Shard) const {
+    return Subs[ClassIndex * Shards + Shard];
+  }
+
   uint64_t RegionSize = 0;
   unsigned RegionShift = 0;
+  unsigned Shards = 1;
   uintptr_t ArenaBase = 0;
   uintptr_t ArenaEnd = 0;
   size_t ArenaBytes = 0;
   Region Regions[NumSizeClasses];
+  /// Flat [class][shard] sub-arena table.
+  std::unique_ptr<SubRegion[]> Subs;
+  std::unique_ptr<ShardCounters[]> Counters;
 
   size_t QuarantineLimit = 0;
-  mutable std::mutex QuarantineLock;
-  std::deque<std::pair<void *, unsigned>> Quarantine;
-  std::atomic<uint64_t> QuarantineBytes{0};
+  std::unique_ptr<ShardQuarantine[]> Quarantines;
 
   mutable std::mutex LegacyLock;
-  std::unordered_map<void *, size_t> LegacyAllocs;
-
-  mutable std::mutex StatsLock;
-  HeapStats Stats;
+  /// Legacy block -> (size, allocating shard).
+  std::unordered_map<void *, std::pair<size_t, unsigned>> LegacyAllocs;
 };
 
 } // namespace lowfat

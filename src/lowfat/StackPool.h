@@ -31,10 +31,13 @@ namespace effective {
 namespace lowfat {
 
 /// Per-thread LIFO allocator over a LowFatHeap. Not thread-safe; create
-/// one per thread (the EffectiveSan runtime keeps one in TLS).
+/// one per thread (the EffectiveSan runtime keeps one in TLS). When the
+/// heap is sharded, \p Shard selects the sub-arena stack objects come
+/// from, so a pooled session's stack allocations stay on its shard.
 class StackPool {
 public:
-  explicit StackPool(LowFatHeap &Heap) : Heap(Heap) {}
+  explicit StackPool(LowFatHeap &Heap, unsigned Shard = 0)
+      : Heap(Heap), Shard(Shard) {}
 
   ~StackPool() { release(0); }
 
@@ -47,7 +50,7 @@ public:
 
   /// Allocates one stack object of \p Size bytes.
   void *allocate(size_t Size) {
-    void *Ptr = Heap.allocate(Size);
+    void *Ptr = Heap.allocateOnShard(Size, Shard);
     Live.push_back(Ptr);
     return Ptr;
   }
@@ -68,6 +71,12 @@ public:
   /// Number of live stack objects.
   size_t liveObjects() const { return Live.size(); }
 
+  /// Forgets every live block *without* freeing — used when the
+  /// backing heap no longer exists (or was recycled) and the recorded
+  /// addresses must not be touched. After this the destructor is a
+  /// safe no-op.
+  void abandonAll() { Live.clear(); }
+
   /// RAII frame: releases on scope exit.
   class Frame {
   public:
@@ -86,6 +95,7 @@ public:
 
 private:
   LowFatHeap &Heap;
+  unsigned Shard;
   std::vector<void *> Live;
 };
 

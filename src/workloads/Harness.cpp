@@ -6,12 +6,35 @@
 
 #include "workloads/Harness.h"
 
+#include "concurrent/SessionPool.h"
 #include "workloads/Support.h"
 
 #include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
 
 using namespace effective;
 using namespace effective::workloads;
+
+namespace {
+
+uint64_t (*entryFor(const Workload &W, PolicyKind Kind))(Runtime &,
+                                                         unsigned) {
+  switch (Kind) {
+  case PolicyKind::None:
+    return W.RunNone;
+  case PolicyKind::Type:
+    return W.RunType;
+  case PolicyKind::Bounds:
+    return W.RunBounds;
+  case PolicyKind::Full:
+    return W.RunFull;
+  }
+  return W.RunFull;
+}
+
+} // namespace
 
 const char *effective::workloads::policyKindName(PolicyKind Kind) {
   switch (Kind) {
@@ -61,21 +84,7 @@ RunStats effective::workloads::runWorkload(const Workload &W,
   Runtime &RT = Session.runtime();
   MallocTally::reset();
 
-  uint64_t (*Run)(Runtime &, unsigned) = nullptr;
-  switch (Kind) {
-  case PolicyKind::None:
-    Run = W.RunNone;
-    break;
-  case PolicyKind::Type:
-    Run = W.RunType;
-    break;
-  case PolicyKind::Bounds:
-    Run = W.RunBounds;
-    break;
-  case PolicyKind::Full:
-    Run = W.RunFull;
-    break;
-  }
+  uint64_t (*Run)(Runtime &, unsigned) = entryFor(W, Kind);
 
   auto Start = std::chrono::steady_clock::now();
   uint64_t Checksum = Run(RT, Scale);
@@ -90,5 +99,73 @@ RunStats effective::workloads::runWorkload(const Workload &W,
                             ? MallocTally::peakBytes()
                             : RT.heap().stats().PeakBlockBytesInUse;
   Stats.Checksum = Checksum;
+  return Stats;
+}
+
+RunStats effective::workloads::runWorkloadMT(const Workload &W,
+                                             PolicyKind Kind,
+                                             unsigned Scale,
+                                             unsigned Threads,
+                                             std::FILE *LogStream) {
+  if (Threads <= 1)
+    return runWorkload(W, Kind, Scale, LogStream);
+
+  concurrent::PoolOptions Options;
+  Options.Shards = Threads;
+  Options.Policy = checkPolicyFor(Kind);
+  Options.Reporter.Mode = LogStream ? ReportMode::Log : ReportMode::Count;
+  Options.Reporter.Stream = LogStream;
+  // Types shared globally (interned once), session state per shard.
+  concurrent::SessionPool Pool(TypeContext::global(), Options);
+  MallocTally::reset();
+
+  uint64_t (*Run)(Runtime &, unsigned) = entryFor(W, Kind);
+
+  std::vector<uint64_t> Checksums(Threads, 0);
+  auto Start = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> Workers;
+    Workers.reserve(Threads);
+    for (unsigned T = 0; T < Threads; ++T) {
+      Workers.emplace_back([&, T] {
+        // Each worker drives its own shard's runtime — no shared
+        // allocator locks, no shared counter cache lines. The scope
+        // binds this thread's CheckedPtr instrumentation to the shard.
+        Runtime &RT = Pool.shard(T).runtime();
+        RuntimeScope Scope(RT);
+        Checksums[T] = Run(RT, Scale);
+      });
+    }
+    for (std::thread &Worker : Workers)
+      Worker.join();
+  }
+  size_t Drained = Pool.drain();
+  (void)Drained;
+  auto End = std::chrono::steady_clock::now();
+
+  // The kernels are deterministic: a checksum divergence means a shard
+  // saw cross-thread interference. Checked unconditionally — the
+  // benchmarks run with NDEBUG, which is exactly where such a bug
+  // would otherwise pass silently.
+  for (unsigned T = 1; T < Threads; ++T) {
+    if (Checksums[T] != Checksums[0]) {
+      std::fprintf(stderr,
+                   "FATAL: %s: shard %u checksum %llu != shard 0 "
+                   "checksum %llu (cross-thread interference)\n",
+                   W.Info.Name, T, (unsigned long long)Checksums[T],
+                   (unsigned long long)Checksums[0]);
+      std::abort();
+    }
+  }
+
+  RunStats Stats;
+  Stats.Seconds = std::chrono::duration<double>(End - Start).count();
+  Stats.Checks = Pool.counters();
+  Stats.Issues = Pool.reporter().numIssues();
+  Stats.ErrorEvents = Pool.reporter().numEvents();
+  Stats.PeakHeapBytes = Kind == PolicyKind::None
+                            ? MallocTally::peakBytes()
+                            : Pool.heap().stats().PeakBlockBytesInUse;
+  Stats.Checksum = Checksums[0];
   return Stats;
 }

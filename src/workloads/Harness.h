@@ -54,6 +54,19 @@ struct RunStats {
 RunStats runWorkload(const Workload &W, PolicyKind Kind, unsigned Scale,
                      std::FILE *LogStream = nullptr);
 
+/// Multi-threaded pool mode: fans \p Threads copies of the workload
+/// across a concurrent::SessionPool with one shard per thread. Each
+/// worker runs the kernel against its own shard runtime (private
+/// sub-arena, private counters); afterwards the per-shard
+/// CheckCounters snapshots are merged (Snapshot::operator+=), pending
+/// error events are drained to the pool's central reporter, and the
+/// heap peak is read off the shared sharded heap. The kernels are
+/// deterministic, so every worker must produce the same checksum — the
+/// harness verifies this and returns it. Threads <= 1 degrades to
+/// runWorkload.
+RunStats runWorkloadMT(const Workload &W, PolicyKind Kind, unsigned Scale,
+                       unsigned Threads, std::FILE *LogStream = nullptr);
+
 } // namespace workloads
 } // namespace effective
 

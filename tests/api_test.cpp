@@ -168,6 +168,30 @@ TEST(SessionTest, PolicyMatrix) {
   }
 }
 
+TEST(SessionTest, ResetRecyclesArenaCountersAndIssues) {
+  Sanitizer S(quietOptions());
+  void *First = S.malloc(64, TypeOf<int>::get(S.types()));
+  runBuggyProgram(S);
+  ASSERT_EQ(S.issuesFound(), 3u);
+  ASSERT_GT(S.counters().snapshot().TypeChecks, 0u);
+
+  S.reset();
+
+  // Counters and issue buckets are gone...
+  EXPECT_EQ(S.issuesFound(), 0u);
+  EXPECT_EQ(S.reporter().numEvents(), 0u);
+  CheckCounters::Snapshot Snap = S.counters().snapshot();
+  EXPECT_EQ(Snap.TypeChecks + Snap.BoundsChecks + Snap.BoundsGets, 0u);
+  // ...and the arena is rewound: the very first address is served
+  // again to the next tenant.
+  void *Fresh = S.malloc(64, TypeOf<int>::get(S.types()));
+  EXPECT_EQ(Fresh, First);
+  // The recycled session works end to end.
+  runBuggyProgram(S);
+  EXPECT_EQ(S.issuesFound(), 3u);
+  S.free(Fresh);
+}
+
 TEST(SessionTest, FullPolicyFindsTheExpectedKinds) {
   Sanitizer S(quietOptions(CheckPolicy::Full));
   runBuggyProgram(S);
@@ -367,6 +391,87 @@ TEST(EffsanAbiTest, TypedAllocationAndChecks) {
   EXPECT_EQ(Kinds[1], (uint32_t)EFFSAN_ERROR_DOUBLE_FREE);
 
   effsan_session_destroy(S);
+}
+
+TEST(EffsanAbiTest, SessionResetThroughTheAbi) {
+  effsan_options Options;
+  effsan_options_init(&Options);
+  Options.log_errors = 0;
+  effsan_session *S = effsan_session_create(&Options);
+  ASSERT_NE(S, nullptr);
+
+  effsan_type IntTy = effsan_type_primitive(S, EFFSAN_PRIM_INT);
+  void *First = effsan_malloc(S, 4 * sizeof(int), IntTy);
+  effsan_bounds Bounds = effsan_bounds_get(S, First);
+  effsan_bounds_check(S, static_cast<int *>(First) + 10, sizeof(int),
+                      Bounds);
+
+  effsan_counters Counters;
+  effsan_get_counters(S, &Counters);
+  ASSERT_EQ(Counters.issues_found, 1u);
+  ASSERT_EQ(Counters.bounds_gets, 1u);
+
+  effsan_session_reset(S);
+
+  effsan_get_counters(S, &Counters);
+  EXPECT_EQ(Counters.issues_found, 0u);
+  EXPECT_EQ(Counters.error_events, 0u);
+  EXPECT_EQ(Counters.bounds_gets, 0u);
+  EXPECT_EQ(Counters.bounds_checks, 0u);
+
+  // Arena recycled: the first tenant's first address comes back, and
+  // type handles stay valid across the reset.
+  void *Fresh = effsan_malloc(S, 4 * sizeof(int), IntTy);
+  EXPECT_EQ(Fresh, First);
+  EXPECT_EQ(effsan_type_of(S, Fresh), IntTy);
+  effsan_free(S, Fresh);
+  effsan_session_destroy(S);
+}
+
+TEST(EffsanAbiTest, PoolCheckoutDrainAndMergedCounters) {
+  effsan_pool_options Options;
+  effsan_pool_options_init(&Options);
+  EXPECT_EQ(Options.struct_size, sizeof(effsan_pool_options));
+  Options.shards = 2;
+  Options.log_errors = 0;
+  effsan_pool *Pool = effsan_pool_create(&Options);
+  ASSERT_NE(Pool, nullptr);
+  ASSERT_EQ(effsan_pool_num_shards(Pool), 2u);
+
+  std::vector<uint32_t> Kinds;
+  effsan_pool_set_error_callback(Pool, abiCallback, &Kinds);
+
+  // Two worker threads, each on its own checked-out shard, trip the
+  // same overflow; one supervisor drain reports it once.
+  auto Work = [Pool] {
+    effsan_session *S = effsan_pool_checkout(Pool);
+    ASSERT_NE(S, nullptr);
+    EXPECT_EQ(S, effsan_pool_checkout(Pool)) << "sticky per thread";
+    effsan_type IntTy = effsan_type_primitive(S, EFFSAN_PRIM_INT);
+    int *P = static_cast<int *>(effsan_malloc(S, 4 * sizeof(int), IntTy));
+    effsan_bounds Bounds = effsan_type_check(S, P, IntTy);
+    effsan_bounds_check(S, P + 4, sizeof(int), Bounds);
+    effsan_free(S, P);
+  };
+  std::thread A(Work), B(Work);
+  A.join();
+  B.join();
+
+  effsan_counters Counters;
+  effsan_pool_get_counters(Pool, &Counters); // Implies a drain.
+  EXPECT_EQ(Counters.type_checks, 2u);
+  EXPECT_EQ(Counters.bounds_checks, 2u);
+  EXPECT_EQ(Counters.error_events, 2u);
+  EXPECT_EQ(Counters.issues_found, 1u)
+      << "same issue from both shards buckets once";
+  EXPECT_EQ(Kinds.size(), 1u) << "dedup cap of 1 emits one report";
+
+  // Destroying a checked-out session is a guarded no-op; the pool owns
+  // its shards.
+  effsan_session_destroy(effsan_pool_shard(Pool, 0));
+  EXPECT_NE(effsan_pool_shard(Pool, 1), nullptr);
+  EXPECT_EQ(effsan_pool_shard(Pool, 2), nullptr);
+  effsan_pool_destroy(Pool);
 }
 
 TEST(EffsanAbiTest, DedupCapThroughTheAbi) {

@@ -1,0 +1,516 @@
+//===- tests/concurrent_test.cpp - Concurrent runtime tests ---------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Covers the src/concurrent/ subsystem: the lock-free MPSC ErrorRing
+/// (ordering, wraparound, overflow accounting, concurrent producers),
+/// the ShardedHeap (disjoint per-shard sub-arenas with globally valid
+/// base/size arithmetic), and the SessionPool (thread-affine checkout,
+/// shard isolation, merged counters, cross-shard dedup through the
+/// central drain, per-shard reset) plus the harness's multi-threaded
+/// mode. Also exercised under -fsanitize=thread by the CI TSan job.
+///
+//===----------------------------------------------------------------------===//
+
+#include "concurrent/ErrorRing.h"
+#include "concurrent/SessionPool.h"
+#include "concurrent/ShardedHeap.h"
+#include "workloads/Harness.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <vector>
+
+using namespace effective;
+using namespace effective::concurrent;
+
+namespace {
+
+SessionOptions quietOptions(CheckPolicy Policy = CheckPolicy::Full) {
+  SessionOptions Options;
+  Options.Policy = Policy;
+  Options.Reporter.Mode = ReportMode::Count;
+  return Options;
+}
+
+PoolOptions quietPool(unsigned Shards,
+                      CheckPolicy Policy = CheckPolicy::Full) {
+  PoolOptions Options;
+  Options.Shards = Shards;
+  Options.Policy = Policy;
+  Options.Reporter.Mode = ReportMode::Count;
+  return Options;
+}
+
+//===----------------------------------------------------------------------===//
+// ErrorRing
+//===----------------------------------------------------------------------===//
+
+ErrorInfo boundsEvent(int64_t Offset) {
+  ErrorInfo Info;
+  Info.Kind = ErrorKind::BoundsError;
+  Info.Offset = Offset;
+  return Info;
+}
+
+TEST(ErrorRingTest, FifoOrderAndWraparound) {
+  ErrorRing Ring(4); // Power of two; forces several laps below.
+  EXPECT_EQ(Ring.capacity(), 4u);
+
+  ErrorInfo Out;
+  EXPECT_FALSE(Ring.tryPop(Out)) << "empty ring pops nothing";
+
+  for (int Lap = 0; Lap < 5; ++Lap) {
+    for (int I = 0; I < 3; ++I)
+      ASSERT_TRUE(Ring.tryPush(boundsEvent(Lap * 10 + I)));
+    for (int I = 0; I < 3; ++I) {
+      ASSERT_TRUE(Ring.tryPop(Out));
+      EXPECT_EQ(Out.Offset, Lap * 10 + I);
+    }
+  }
+  EXPECT_EQ(Ring.overflows(), 0u);
+}
+
+TEST(ErrorRingTest, FullRingCountsOverflows) {
+  ErrorRing Ring(2);
+  EXPECT_TRUE(Ring.tryPush(boundsEvent(0)));
+  EXPECT_TRUE(Ring.tryPush(boundsEvent(1)));
+  EXPECT_FALSE(Ring.tryPush(boundsEvent(2)));
+  EXPECT_FALSE(Ring.tryPush(boundsEvent(3)));
+  EXPECT_EQ(Ring.overflows(), 2u);
+
+  ErrorInfo Out;
+  ASSERT_TRUE(Ring.tryPop(Out));
+  EXPECT_EQ(Out.Offset, 0);
+  EXPECT_TRUE(Ring.tryPush(boundsEvent(4))) << "slot freed by pop";
+}
+
+TEST(ErrorRingTest, CapacityRoundsUpToPowerOfTwo) {
+  ErrorRing Ring(5);
+  EXPECT_EQ(Ring.capacity(), 8u);
+  ErrorRing Tiny(0);
+  EXPECT_EQ(Tiny.capacity(), 2u);
+}
+
+TEST(ErrorRingTest, ConcurrentProducersLoseNothing) {
+  constexpr unsigned Producers = 4;
+  constexpr unsigned PerProducer = 5000;
+  ErrorRing Ring(256);
+
+  std::vector<ErrorInfo> Drained;
+  Drained.reserve(Producers * PerProducer);
+  std::atomic<unsigned> LiveProducers{Producers};
+
+  std::thread Consumer([&] {
+    ErrorInfo Out;
+    for (;;) {
+      // Read quiescence *before* the failed pop: if the ring is empty
+      // after all producers were already done, nothing can arrive.
+      bool Quiescent =
+          LiveProducers.load(std::memory_order_acquire) == 0;
+      if (Ring.tryPop(Out)) {
+        Drained.push_back(Out);
+        continue;
+      }
+      if (Quiescent)
+        break;
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> Threads;
+  for (unsigned P = 0; P < Producers; ++P) {
+    Threads.emplace_back([&, P] {
+      for (unsigned I = 0; I < PerProducer; ++I) {
+        // Spin until accepted: producers outpace the consumer at
+        // times, and this test wants exact accounting.
+        while (!Ring.tryPush(boundsEvent(
+            static_cast<int64_t>(P) * PerProducer + I)))
+          std::this_thread::yield();
+      }
+      LiveProducers.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  Consumer.join();
+
+  ASSERT_EQ(Drained.size(), size_t(Producers) * PerProducer);
+  // Every event arrives exactly once, and each producer's events stay
+  // in program order.
+  std::vector<int64_t> PerProducerNext(Producers, 0);
+  std::set<int64_t> Seen;
+  for (const ErrorInfo &Info : Drained) {
+    ASSERT_TRUE(Seen.insert(Info.Offset).second) << "duplicate event";
+    auto P = static_cast<unsigned>(Info.Offset / PerProducer);
+    int64_t Index = Info.Offset % PerProducer;
+    EXPECT_EQ(Index, PerProducerNext[P]) << "producer order broken";
+    PerProducerNext[P] = Index + 1;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// ShardedHeap
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedHeapTest, ShardsAllocateFromDisjointSubArenas) {
+  ShardedHeap Heap(4);
+  ASSERT_EQ(Heap.numShards(), 4u);
+
+  for (unsigned S = 0; S < 4; ++S) {
+    HeapShard Shard = Heap.shard(S);
+    void *P = Shard.allocate(100);
+    ASSERT_TRUE(Heap.heap().isLowFat(P));
+    EXPECT_EQ(Heap.heap().shardOf(P), S)
+        << "block must land in the allocating shard's sub-arena";
+    Shard.deallocate(P);
+  }
+}
+
+TEST(ShardedHeapTest, BaseAndSizeAreGlobalAcrossShards) {
+  ShardedHeap Heap(4);
+  // Allocate on shard 2, query through shard 0's view: the low-fat
+  // arithmetic is address-based and shard-blind.
+  char *P = static_cast<char *>(Heap.shard(2).allocate(100));
+  HeapShard Other = Heap.shard(0);
+  size_t Size = Other.size(P);
+  EXPECT_GE(Size, 100u);
+  EXPECT_EQ(Other.base(P), P);
+  for (size_t Off : {size_t(1), size_t(50), size_t(99), Size - 1}) {
+    EXPECT_EQ(Other.base(P + Off), P) << Off;
+    EXPECT_EQ(Other.size(P + Off), Size) << Off;
+  }
+  Other.deallocate(P); // Cross-shard free is legal.
+  EXPECT_EQ(Heap.stats().NumFrees, 1u);
+}
+
+TEST(ShardedHeapTest, ShardZeroResolvesRequestedCount) {
+  EXPECT_GE(ShardedHeap::resolveShardCount(0), 1u);
+  EXPECT_EQ(ShardedHeap::resolveShardCount(3), 3u);
+  EXPECT_EQ(ShardedHeap::resolveShardCount(1 << 20),
+            lowfat::MaxHeapShards);
+}
+
+TEST(ShardedHeapTest, ConcurrentShardsNeverShareABlock) {
+  // The satellite requirement: multi-thread alloc/free with quarantine
+  // enabled; no block may be handed to two threads at once, and
+  // base/size arithmetic must hold for pointers allocated on other
+  // shards.
+  constexpr unsigned Threads = 4;
+  constexpr unsigned Iterations = 3000;
+  lowfat::HeapOptions Base;
+  Base.QuarantineBytes = 1 << 16; // Delay reuse on every shard.
+  ShardedHeap Heap(Threads, Base);
+
+  // Every pointer ever handed out, per thread. Threads never free, so
+  // all blocks stay live and any overlap is a double hand-out.
+  std::vector<std::vector<char *>> Handed(Threads);
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&, T] {
+      HeapShard Shard = Heap.shard(T);
+      Handed[T].reserve(Iterations);
+      for (unsigned I = 0; I < Iterations; ++I) {
+        size_t Size = 1 + (I * 37 + T * 101) % 300;
+        auto *P = static_cast<char *>(Shard.allocate(Size));
+        // The block is writable and class-sized.
+        P[0] = static_cast<char>(T);
+        ASSERT_GE(Shard.size(P), Size);
+        ASSERT_EQ(Shard.base(P), P);
+        Handed[T].push_back(P);
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  // Global uniqueness across all threads.
+  std::vector<char *> All;
+  for (auto &V : Handed)
+    All.insert(All.end(), V.begin(), V.end());
+  std::sort(All.begin(), All.end());
+  EXPECT_EQ(std::adjacent_find(All.begin(), All.end()), All.end())
+      << "a block was handed to two threads";
+
+  // Cross-shard arithmetic: thread 0's view resolves every other
+  // thread's pointers.
+  HeapShard View = Heap.shard(0);
+  for (unsigned T = 0; T < Threads; ++T) {
+    for (char *P : Handed[T]) {
+      EXPECT_EQ(View.base(P + 1), P);
+      EXPECT_EQ(Heap.heap().shardOf(P), T);
+    }
+  }
+  for (char *P : All)
+    View.deallocate(P);
+}
+
+TEST(ShardedHeapTest, ConcurrentAllocFreeWithQuarantine) {
+  constexpr unsigned Threads = 4;
+  constexpr unsigned Iterations = 2000;
+  lowfat::HeapOptions Base;
+  Base.QuarantineBytes = 1 << 14;
+  ShardedHeap Heap(Threads, Base);
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&, T] {
+      HeapShard Shard = Heap.shard(T);
+      std::vector<void *> Live;
+      for (unsigned I = 0; I < Iterations; ++I) {
+        void *P = Shard.allocate(1 + (I * 13) % 500);
+        ASSERT_EQ(Shard.base(P), P);
+        Live.push_back(P);
+        if (Live.size() > 16) {
+          Shard.deallocate(Live.front());
+          Live.erase(Live.begin());
+        }
+      }
+      for (void *P : Live)
+        Shard.deallocate(P);
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+  lowfat::HeapStats Stats = Heap.stats();
+  EXPECT_EQ(Stats.NumAllocs, Stats.NumFrees);
+  EXPECT_EQ(Stats.BlockBytesInUse, 0u) << "everything was freed";
+  // Each shard parks at most its quarantine budget (plus one block of
+  // slack while evicting).
+  EXPECT_LE(Stats.QuarantinedBytes,
+            uint64_t(Threads) * ((1 << 14) + 1024));
+  EXPECT_GT(Stats.QuarantinedBytes, 0u)
+      << "the quarantine must actually delay reuse";
+}
+
+TEST(ShardedHeapTest, ResetShardLeavesSiblingsIntact) {
+  ShardedHeap Heap(2);
+  char *A = static_cast<char *>(Heap.shard(0).allocate(64));
+  char *B = static_cast<char *>(Heap.shard(1).allocate(64));
+  B[0] = 42;
+
+  Heap.resetShard(0);
+  EXPECT_FALSE(Heap.heap().isLowFat(A))
+      << "reset shard's pointers degrade to legacy";
+  ASSERT_TRUE(Heap.heap().isLowFat(B));
+  EXPECT_EQ(Heap.shard(1).base(B), B);
+  EXPECT_EQ(B[0], 42) << "sibling shard's memory untouched";
+
+  // The shard's sub-arena is recycled from the start.
+  void *A2 = Heap.shard(0).allocate(64);
+  EXPECT_EQ(A2, static_cast<void *>(A)) << "bump pointer rewound";
+  Heap.shard(0).deallocate(A2);
+  Heap.shard(1).deallocate(B);
+}
+
+//===----------------------------------------------------------------------===//
+// SessionPool
+//===----------------------------------------------------------------------===//
+
+struct Victim {
+  int Data[4];
+};
+
+} // namespace
+
+EFFECTIVE_REFLECT(Victim, Data);
+
+namespace {
+
+/// One type error + Events bounds events against the shard session.
+void misbehave(Sanitizer &S, unsigned Events) {
+  TypeContext &Ctx = S.types();
+  void *P = S.malloc(sizeof(Victim), TypeOf<Victim>::get(Ctx));
+  S.typeCheck(P, Ctx.getDouble()); // Type confusion.
+  Bounds B = S.boundsGet(P);
+  auto *Raw = static_cast<char *>(P);
+  for (unsigned I = 0; I < Events; ++I)
+    S.boundsCheck(Raw + sizeof(Victim) + 4, 4, B); // Same bucket.
+  S.free(P);
+}
+
+TEST(SessionPoolTest, ShardsAreIsolatedAndCountersMerge) {
+  SessionPool Pool(quietPool(3));
+  ASSERT_EQ(Pool.numShards(), 3u);
+
+  // Distinct per-shard work; counters must not bleed.
+  std::thread T0([&] { misbehave(Pool.shard(0), 1); });
+  std::thread T1([&] { misbehave(Pool.shard(1), 2); });
+  T0.join();
+  T1.join();
+
+  EXPECT_EQ(Pool.shard(0).counters().snapshot().TypeChecks, 1u);
+  EXPECT_EQ(Pool.shard(1).counters().snapshot().TypeChecks, 1u);
+  EXPECT_EQ(Pool.shard(2).counters().snapshot().TypeChecks, 0u);
+
+  CheckCounters::Snapshot Merged = Pool.counters();
+  EXPECT_EQ(Merged.TypeChecks, 2u);
+  EXPECT_EQ(Merged.BoundsGets, 2u);
+  EXPECT_EQ(Merged.BoundsChecks, 3u);
+}
+
+TEST(SessionPoolTest, CentralDrainDedupsAcrossShards) {
+  SessionPool Pool(quietPool(4));
+  // Every shard trips the same two logical issues (same types, same
+  // offsets). The pool-level story matches the paper's: one bucket per
+  // distinct issue, all events counted.
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < 4; ++T)
+    Workers.emplace_back([&, T] { misbehave(Pool.shard(T), 1); });
+  for (std::thread &W : Workers)
+    W.join();
+
+  EXPECT_EQ(Pool.issuesFound(), 2u)
+      << "same issue from four shards buckets once";
+  EXPECT_EQ(Pool.reporter().numEvents(), 8u) << "all events counted";
+  // Shard reporters never bucket anything themselves.
+  EXPECT_EQ(Pool.shard(0).reporter().numIssues(), 0u);
+}
+
+TEST(SessionPoolTest, RingOverflowFallsBackWithoutLosingEvents) {
+  PoolOptions Options = quietPool(2);
+  Options.ErrorRingCapacity = 4; // Tiny: force overflow.
+  SessionPool Pool(Options);
+
+  constexpr unsigned Events = 500;
+  std::thread A([&] { misbehave(Pool.shard(0), Events); });
+  std::thread B([&] { misbehave(Pool.shard(1), Events); });
+  A.join();
+  B.join();
+  Pool.drain();
+
+  // 2 shards x (1 type_check + 1 bounds error x Events).
+  EXPECT_EQ(Pool.reporter().numEvents(), 2u * (Events + 1));
+  EXPECT_GT(Pool.ringOverflows(), 0u) << "the tiny ring must overflow";
+}
+
+TEST(SessionPoolTest, CheckoutIsThreadAffine) {
+  SessionPool Pool(quietPool(2));
+
+  // Fresh threads (fresh thread-local affinity) land round-robin and
+  // stick to their shard on every re-checkout.
+  unsigned A = ~0u, B = ~0u;
+  std::thread T1([&] {
+    A = Pool.checkoutIndex();
+    for (int I = 0; I < 10; ++I)
+      EXPECT_EQ(Pool.checkoutIndex(), A) << "sticky per thread";
+    EXPECT_EQ(&Pool.checkout(), &Pool.shard(A));
+  });
+  T1.join();
+  std::thread T2([&] { B = Pool.checkoutIndex(); });
+  T2.join();
+  EXPECT_LT(A, 2u);
+  EXPECT_LT(B, 2u);
+  EXPECT_NE(A, B)
+      << "second thread lands on the other shard (round-robin)";
+}
+
+TEST(SessionPoolTest, CrossShardPointersCheckCorrectly) {
+  SessionPool Pool(quietPool(2));
+  TypeContext &Ctx = Pool.types();
+  const TypeInfo *IntTy = Ctx.getInt();
+
+  // Shard 0 allocates; shard 1 checks the pointer: one shared arena,
+  // so base/size/META resolution works from any shard's session.
+  auto *P = static_cast<int *>(
+      Pool.shard(0).malloc(10 * sizeof(int), IntTy));
+  Bounds B = Pool.shard(1).typeCheck(P, IntTy);
+  EXPECT_EQ(B, Bounds::forObject(P, 10 * sizeof(int)));
+  EXPECT_EQ(Pool.shard(1).dynamicTypeOf(P), IntTy);
+
+  // And shard 1 catches an overflow on shard 0's object.
+  Pool.shard(1).boundsCheck(P + 10, sizeof(int), B);
+  EXPECT_EQ(Pool.issuesFound(), 1u);
+  Pool.shard(1).free(P); // Cross-shard free.
+}
+
+TEST(SessionPoolTest, ResetShardRecyclesArenaAndCounters) {
+  SessionPool Pool(quietPool(2));
+  TypeContext &Ctx = Pool.types();
+  const TypeInfo *IntTy = Ctx.getInt();
+
+  // Tenant 1 on shard 0; a long-lived object on shard 1.
+  auto *Survivor = static_cast<int *>(
+      Pool.shard(1).malloc(4 * sizeof(int), IntTy));
+  Survivor[0] = 7;
+  void *First = Pool.shard(0).malloc(64, IntTy);
+  misbehave(Pool.shard(0), 3);
+  EXPECT_GT(Pool.shard(0).counters().snapshot().BoundsChecks, 0u);
+
+  Pool.resetShard(0);
+
+  // Fresh tenant: zeroed counters, recycled sub-arena (the very first
+  // address is served again), sibling shard untouched.
+  CheckCounters::Snapshot Snap = Pool.shard(0).counters().snapshot();
+  EXPECT_EQ(Snap.TypeChecks + Snap.BoundsChecks + Snap.BoundsGets, 0u);
+  void *Fresh = Pool.shard(0).malloc(64, IntTy);
+  EXPECT_EQ(Fresh, First) << "arena slice rewound for reuse";
+  EXPECT_EQ(Survivor[0], 7);
+  EXPECT_EQ(Pool.shard(1).dynamicTypeOf(Survivor), IntTy);
+  Pool.shard(0).free(Fresh);
+  Pool.shard(1).free(Survivor);
+}
+
+TEST(SessionPoolTest, PolicyAppliesToEveryShard) {
+  SessionPool Pool(quietPool(2, CheckPolicy::BoundsOnly));
+  TypeContext &Ctx = Pool.types();
+  auto *P = static_cast<int *>(
+      Pool.shard(0).malloc(4 * sizeof(int), Ctx.getInt()));
+  // BoundsOnly: typeCheck degrades to bounds_get — no type error even
+  // for a confused type.
+  Pool.shard(0).typeCheck(P, Ctx.getDouble());
+  EXPECT_EQ(Pool.issuesFound(), 0u);
+  EXPECT_EQ(Pool.counters().BoundsGets, 1u);
+  EXPECT_EQ(Pool.counters().TypeChecks, 0u);
+  Pool.shard(0).free(P);
+}
+
+//===----------------------------------------------------------------------===//
+// Multi-threaded harness mode
+//===----------------------------------------------------------------------===//
+
+const workloads::Workload &findWorkload(const char *Name) {
+  for (const workloads::Workload &W : workloads::specWorkloads())
+    if (std::string_view(W.Info.Name) == Name)
+      return W;
+  ADD_FAILURE() << "workload not found: " << Name;
+  return workloads::specWorkloads().front();
+}
+
+TEST(HarnessMTTest, FanOutMatchesSingleThreadedRun) {
+  const workloads::Workload &W = findWorkload("mcf"); // Clean kernel.
+  workloads::RunStats Single =
+      workloads::runWorkload(W, workloads::PolicyKind::Full, 2);
+  workloads::RunStats MT =
+      workloads::runWorkloadMT(W, workloads::PolicyKind::Full, 2, 3);
+
+  EXPECT_EQ(MT.Checksum, Single.Checksum)
+      << "every shard must reproduce the deterministic kernel result";
+  // Merged counters are exactly N single runs.
+  EXPECT_EQ(MT.Checks.TypeChecks, 3 * Single.Checks.TypeChecks);
+  EXPECT_EQ(MT.Checks.BoundsChecks, 3 * Single.Checks.BoundsChecks);
+  EXPECT_EQ(MT.Issues, Single.Issues);
+}
+
+TEST(HarnessMTTest, SeededIssuesDedupAcrossShards) {
+  // A workload with seeded bugs: every shard finds the same issues;
+  // the pool's central reporter buckets them once, like one process
+  // would (Figure 7 semantics).
+  const workloads::Workload &W = findWorkload("perlbench");
+  ASSERT_GT(W.Info.SeededIssues, 0u);
+  workloads::RunStats Single =
+      workloads::runWorkload(W, workloads::PolicyKind::Full, 1);
+  workloads::RunStats MT =
+      workloads::runWorkloadMT(W, workloads::PolicyKind::Full, 1, 2);
+  EXPECT_EQ(MT.Issues, Single.Issues);
+  EXPECT_EQ(MT.Checksum, Single.Checksum);
+  EXPECT_GE(MT.ErrorEvents, 2 * Single.ErrorEvents)
+      << "events accumulate across shards even though issues dedup";
+}
+
+} // namespace

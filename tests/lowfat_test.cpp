@@ -276,6 +276,132 @@ TEST(LowFatHeapThreadTest, ConcurrentAllocFree) {
 }
 
 //===----------------------------------------------------------------------===//
+// Sharded heaps (HeapOptions::NumShards > 1)
+//===----------------------------------------------------------------------===//
+
+TEST(ShardedLowFatHeapTest, ShardSlicesAreClassAlignedEverywhere) {
+  // For every size class: blocks allocated by different shards must
+  // all sit at class-size multiples from the region base, so the
+  // base(p)/size(p) arithmetic is shard-blind.
+  HeapOptions Options;
+  Options.NumShards = 4;
+  LowFatHeap Heap(Options);
+  ASSERT_EQ(Heap.numShards(), 4u);
+
+  for (unsigned C = 0; C < NumSizeClasses; ++C) {
+    size_t Request = classSize(C);
+    if (Request > Heap.regionSize())
+      break;
+    for (unsigned S = 0; S < 4; ++S) {
+      char *P = static_cast<char *>(Heap.allocateOnShard(Request, S));
+      if (!Heap.isLowFat(P))
+        continue; // Class too large for a 4-way split: legacy is fine.
+      EXPECT_EQ(Heap.allocationSize(P), Request) << "class " << C;
+      EXPECT_EQ(Heap.allocationBase(P), P) << "class " << C;
+      EXPECT_EQ(Heap.shardOf(P), S) << "class " << C;
+      EXPECT_EQ(Heap.allocationBase(P + Request / 2), P)
+          << "interior pointer, class " << C;
+      Heap.deallocate(P);
+    }
+  }
+}
+
+TEST(ShardedLowFatHeapTest, CrossShardFreeReturnsToOwningShard) {
+  HeapOptions Options;
+  Options.NumShards = 2;
+  LowFatHeap Heap(Options);
+  void *P = Heap.allocateOnShard(64, 1);
+  EXPECT_EQ(Heap.shardOf(P), 1u);
+  // Freed from "shard 0's thread" (deallocate is shard-blind)...
+  Heap.deallocate(P);
+  // ...the block must come back to shard 1, not shard 0.
+  void *Q0 = Heap.allocateOnShard(64, 0);
+  EXPECT_NE(Q0, P) << "shard 0 must not receive shard 1's free block";
+  void *Q1 = Heap.allocateOnShard(64, 1);
+  EXPECT_EQ(Q1, P) << "shard 1's LIFO free list reuses its own block";
+  Heap.deallocate(Q0);
+  Heap.deallocate(Q1);
+}
+
+TEST(ShardedLowFatHeapTest, ConcurrentShardsWithQuarantine) {
+  // The concurrent-use contract: per-shard alloc/free under a live
+  // quarantine, with cross-shard base/size queries racing against
+  // sibling allocation. No block may ever be handed out twice while
+  // live, and freed blocks must respect the quarantine delay.
+  constexpr unsigned Threads = 4;
+  constexpr int Iterations = 2000;
+  HeapOptions Options;
+  Options.NumShards = Threads;
+  Options.QuarantineBytes = 1 << 15;
+  LowFatHeap Heap(Options);
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&Heap, T] {
+      std::mt19937 Rng(T);
+      std::vector<void *> Live;
+      void *LastFreed = nullptr;
+      for (int I = 0; I < Iterations; ++I) {
+        size_t Size = Rng() % 500 + 1;
+        void *P = Heap.allocateOnShard(Size, T);
+        ASSERT_TRUE(Heap.isLowFat(P));
+        ASSERT_EQ(Heap.allocationBase(P), P);
+        ASSERT_EQ(Heap.shardOf(P), T);
+        ASSERT_NE(P, LastFreed)
+            << "quarantine must delay immediate reuse";
+        Live.push_back(P);
+        if (Live.size() > 16) {
+          LastFreed = Live.front();
+          Heap.deallocate(LastFreed);
+          Live.erase(Live.begin());
+        }
+      }
+      for (void *P : Live)
+        Heap.deallocate(P);
+    });
+  }
+  for (std::thread &T : Workers)
+    T.join();
+  HeapStats Stats = Heap.stats();
+  EXPECT_EQ(Stats.NumAllocs, Stats.NumFrees);
+  EXPECT_EQ(Stats.BlockBytesInUse, 0u);
+}
+
+TEST(ShardedLowFatHeapTest, ResetShardDropsQuarantineAndFreeLists) {
+  HeapOptions Options;
+  Options.NumShards = 2;
+  Options.QuarantineBytes = 1 << 20;
+  LowFatHeap Heap(Options);
+
+  void *A = Heap.allocateOnShard(64, 0);
+  void *B = Heap.allocateOnShard(64, 1);
+  Heap.deallocate(A); // Parked in shard 0's quarantine.
+  ASSERT_GT(Heap.shardStats(0).QuarantinedBytes, 0u);
+
+  Heap.resetShard(0);
+  HeapStats S0 = Heap.shardStats(0);
+  EXPECT_EQ(S0.QuarantinedBytes, 0u);
+  EXPECT_EQ(S0.NumAllocs, 0u);
+  EXPECT_EQ(S0.BlockBytesInUse, 0u);
+  // Shard 1 untouched; shard 0 serves from the start of its slice.
+  EXPECT_TRUE(Heap.isLowFat(B));
+  void *A2 = Heap.allocateOnShard(64, 0);
+  EXPECT_EQ(A2, A);
+  Heap.deallocate(A2);
+  Heap.deallocate(B);
+}
+
+TEST(ShardedLowFatHeapTest, SingleShardKeepsClassicBehaviour) {
+  // NumShards = 1 (the default) must be indistinguishable from the
+  // pre-sharding allocator: one slice spanning the region.
+  LowFatHeap Heap;
+  EXPECT_EQ(Heap.numShards(), 1u);
+  void *P = Heap.allocate(100);
+  EXPECT_EQ(Heap.shardOf(P), 0u);
+  Heap.deallocate(P);
+}
+
+//===----------------------------------------------------------------------===//
 // StackPool and GlobalPool
 //===----------------------------------------------------------------------===//
 
