@@ -26,7 +26,13 @@
 /// the alloc+check mix. (On a single-core machine both configurations
 /// time-slice and the gap shrinks to the locking overhead.)
 ///
-/// Usage: mt_throughput [iters_per_thread]   (default 300000)
+/// Usage: mt_throughput [iters_per_thread] [--json=FILE]
+///
+///   iters_per_thread  default 300000; CI smoke mode passes a small
+///                     count so the job finishes in seconds
+///   --json=FILE       additionally emit the measured rows as a
+///                     machine-readable JSON document (the BENCH_mt
+///                     artifact the CI perf-trajectory job uploads)
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,6 +42,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -175,14 +183,55 @@ void printRow(unsigned Threads, const MixResult &R) {
               R.PoolOpsPerSec / R.SharedOpsPerSec);
 }
 
+/// One measured (mix, thread count) sample for the JSON artifact.
+struct Sample {
+  const char *Mix;
+  unsigned Threads;
+  MixResult R;
+};
+
+void writeJson(const char *Path, unsigned Iters,
+               const std::vector<Sample> &Samples) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "mt_throughput: cannot write %s\n", Path);
+    return;
+  }
+  std::fprintf(F,
+               "{\n  \"bench\": \"mt_throughput\",\n"
+               "  \"iters_per_thread\": %u,\n"
+               "  \"hardware_threads\": %u,\n  \"samples\": [\n",
+               Iters, std::thread::hardware_concurrency());
+  for (size_t I = 0; I < Samples.size(); ++I) {
+    const Sample &S = Samples[I];
+    std::fprintf(F,
+                 "    {\"mix\": \"%s\", \"threads\": %u, "
+                 "\"shared_ops_per_sec\": %.2f, "
+                 "\"pool_ops_per_sec\": %.2f, \"speedup\": %.3f}%s\n",
+                 S.Mix, S.Threads, S.R.SharedOpsPerSec,
+                 S.R.PoolOpsPerSec,
+                 S.R.PoolOpsPerSec / S.R.SharedOpsPerSec,
+                 I + 1 < Samples.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  unsigned Iters =
-      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 300000;
+  unsigned Iters = 300000;
+  const char *JsonPath = nullptr;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--json=", 7) == 0)
+      JsonPath = argv[I] + 7;
+    else
+      Iters = static_cast<unsigned>(std::atoi(argv[I]));
+  }
   if (Iters == 0)
     Iters = 1;
   const unsigned ThreadCounts[] = {1, 2, 4, 8};
+  std::vector<Sample> Samples;
 
   std::printf("==============================================================="
               "=========\n");
@@ -198,15 +247,24 @@ int main(int argc, char **argv) {
               "bounds_checks per iter)\n");
   std::printf("%7s %14s %14s %10s\n", "threads", "shared M/s", "pool M/s",
               "speedup");
-  for (unsigned Threads : ThreadCounts)
-    printRow(Threads, runAllocCheckMix(Threads, Iters));
+  for (unsigned Threads : ThreadCounts) {
+    MixResult R = runAllocCheckMix(Threads, Iters);
+    printRow(Threads, R);
+    Samples.push_back(Sample{"alloc+check", Threads, R});
+  }
 
   std::printf("\nreport mix (1 error event per iter; pool pushes a "
               "lock-free ring, shared takes a mutex)\n");
   std::printf("%7s %14s %14s %10s\n", "threads", "shared M/s", "pool M/s",
               "speedup");
-  for (unsigned Threads : ThreadCounts)
-    printRow(Threads, runReportMix(Threads, Iters / 4 ? Iters / 4 : 1));
+  for (unsigned Threads : ThreadCounts) {
+    MixResult R = runReportMix(Threads, Iters / 4 ? Iters / 4 : 1);
+    printRow(Threads, R);
+    Samples.push_back(Sample{"report", Threads, R});
+  }
+
+  if (JsonPath)
+    writeJson(JsonPath, Iters, Samples);
 
   std::printf("\nSingle-thread per-check nanoseconds live in "
               "bench/micro_runtime and fig8_timings;\nthis bench is the "

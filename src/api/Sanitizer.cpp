@@ -8,26 +8,116 @@
 
 using namespace effective;
 
+//===----------------------------------------------------------------------===//
+// The policy-specialized check front end
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// One straight-line instantiation of each check entry point per
+/// policy. `if constexpr` compiles each function down to exactly the
+/// arm the old per-check switch would have selected — no runtime
+/// branching on the policy remains anywhere in a check.
+template <CheckPolicy P> struct FrontEnd {
+  static Bounds typeCheck(Runtime &RT, const void *Ptr,
+                          const TypeInfo *StaticType, SiteId Site) {
+    if constexpr (P == CheckPolicy::Full || P == CheckPolicy::TypeOnly) {
+      return RT.typeCheck(Ptr, StaticType, Site);
+    } else if constexpr (P == CheckPolicy::BoundsOnly) {
+      // Section 6.2: the -bounds variant replaces type_check by
+      // bounds_get.
+      return RT.boundsGet(Ptr);
+    } else if constexpr (P == CheckPolicy::CountOnly) {
+      CheckCounters::bump(RT.counters().TypeChecks);
+      return Bounds::wide();
+    } else {
+      return Bounds::wide();
+    }
+  }
+
+  static Bounds boundsGet(Runtime &RT, const void *Ptr) {
+    if constexpr (P == CheckPolicy::Full || P == CheckPolicy::BoundsOnly) {
+      return RT.boundsGet(Ptr);
+    } else if constexpr (P == CheckPolicy::CountOnly) {
+      CheckCounters::bump(RT.counters().BoundsGets);
+      return Bounds::wide();
+    } else {
+      return Bounds::wide();
+    }
+  }
+
+  static void boundsCheck(Runtime &RT, const void *Ptr, size_t Size,
+                          Bounds B) {
+    if constexpr (P == CheckPolicy::Full || P == CheckPolicy::BoundsOnly) {
+      RT.boundsCheck(Ptr, Size, B);
+    } else if constexpr (P == CheckPolicy::CountOnly) {
+      CheckCounters::bump(RT.counters().BoundsChecks);
+    }
+  }
+
+  static Bounds boundsNarrow(Runtime &RT, Bounds B, const void *Field,
+                             size_t Size) {
+    if constexpr (P == CheckPolicy::Full) {
+      return RT.boundsNarrow(B, Field, Size);
+    } else if constexpr (P == CheckPolicy::CountOnly) {
+      CheckCounters::bump(RT.counters().BoundsNarrows);
+      return B;
+    } else {
+      // BoundsOnly "protects object bounds only": rule-(e) narrowing
+      // disabled; TypeOnly/Off are no-ops.
+      return B;
+    }
+  }
+};
+
+template <CheckPolicy P> constexpr CheckDispatch dispatchOf() {
+  return CheckDispatch{&FrontEnd<P>::typeCheck, &FrontEnd<P>::boundsGet,
+                       &FrontEnd<P>::boundsCheck,
+                       &FrontEnd<P>::boundsNarrow};
+}
+
+constexpr CheckDispatch DispatchTables[] = {
+    dispatchOf<CheckPolicy::Full>(),      // CheckPolicy::Full == 0
+    dispatchOf<CheckPolicy::BoundsOnly>(),
+    dispatchOf<CheckPolicy::TypeOnly>(),
+    dispatchOf<CheckPolicy::CountOnly>(),
+    dispatchOf<CheckPolicy::Off>(),
+};
+
+} // namespace
+
+const CheckDispatch &effective::checkDispatchFor(CheckPolicy Policy) {
+  return DispatchTables[static_cast<size_t>(Policy)];
+}
+
+//===----------------------------------------------------------------------===//
+// Session construction
+//===----------------------------------------------------------------------===//
+
 static RuntimeOptions runtimeOptions(const SessionOptions &Options) {
   RuntimeOptions RTOpts;
   RTOpts.Reporter = Options.Reporter;
   RTOpts.Heap = Options.Heap;
+  RTOpts.SiteCacheEntries = Options.SiteCacheEntries;
   return RTOpts;
 }
 
 Sanitizer::Sanitizer(const SessionOptions &Options)
     : OwnedTypes(std::make_unique<TypeContext>()), Types(OwnedTypes.get()),
       OwnedRT(std::make_unique<Runtime>(*Types, runtimeOptions(Options))),
-      RT(OwnedRT.get()), Policy(Options.Policy) {}
+      RT(OwnedRT.get()), Policy(Options.Policy),
+      Dispatch(&checkDispatchFor(Policy)) {}
 
 Sanitizer::Sanitizer(TypeContext &SharedTypes, const SessionOptions &Options)
     : Types(&SharedTypes),
       OwnedRT(std::make_unique<Runtime>(SharedTypes,
                                         runtimeOptions(Options))),
-      RT(OwnedRT.get()), Policy(Options.Policy) {}
+      RT(OwnedRT.get()), Policy(Options.Policy),
+      Dispatch(&checkDispatchFor(Policy)) {}
 
 Sanitizer::Sanitizer(Runtime &Existing, CheckPolicy Policy)
-    : Types(&Existing.typeContext()), RT(&Existing), Policy(Policy) {}
+    : Types(&Existing.typeContext()), RT(&Existing), Policy(Policy),
+      Dispatch(&checkDispatchFor(Policy)) {}
 
 Sanitizer::~Sanitizer() = default;
 
@@ -53,75 +143,6 @@ void *Sanitizer::realloc(void *Ptr, size_t NewSize, const TypeInfo *Type) {
 }
 
 void Sanitizer::free(void *Ptr) { RT->deallocate(Ptr); }
-
-//===----------------------------------------------------------------------===//
-// Policy-dispatched checks
-//===----------------------------------------------------------------------===//
-
-Bounds Sanitizer::typeCheck(const void *Ptr, const TypeInfo *StaticType) {
-  switch (Policy) {
-  case CheckPolicy::Full:
-  case CheckPolicy::TypeOnly:
-    return RT->typeCheck(Ptr, StaticType);
-  case CheckPolicy::BoundsOnly:
-    // Section 6.2: the -bounds variant replaces type_check by
-    // bounds_get.
-    return RT->boundsGet(Ptr);
-  case CheckPolicy::CountOnly:
-    CheckCounters::bump(RT->counters().TypeChecks);
-    return Bounds::wide();
-  case CheckPolicy::Off:
-    return Bounds::wide();
-  }
-  return Bounds::wide();
-}
-
-Bounds Sanitizer::boundsGet(const void *Ptr) {
-  switch (Policy) {
-  case CheckPolicy::Full:
-  case CheckPolicy::BoundsOnly:
-    return RT->boundsGet(Ptr);
-  case CheckPolicy::TypeOnly:
-  case CheckPolicy::Off:
-    return Bounds::wide();
-  case CheckPolicy::CountOnly:
-    CheckCounters::bump(RT->counters().BoundsGets);
-    return Bounds::wide();
-  }
-  return Bounds::wide();
-}
-
-void Sanitizer::boundsCheck(const void *Ptr, size_t Size, Bounds B) {
-  switch (Policy) {
-  case CheckPolicy::Full:
-  case CheckPolicy::BoundsOnly:
-    RT->boundsCheck(Ptr, Size, B);
-    return;
-  case CheckPolicy::CountOnly:
-    CheckCounters::bump(RT->counters().BoundsChecks);
-    return;
-  case CheckPolicy::TypeOnly:
-  case CheckPolicy::Off:
-    return;
-  }
-}
-
-Bounds Sanitizer::boundsNarrow(Bounds B, const void *Field, size_t Size) {
-  switch (Policy) {
-  case CheckPolicy::Full:
-    return RT->boundsNarrow(B, Field, Size);
-  case CheckPolicy::BoundsOnly:
-    // "Protects object bounds only": rule-(e) narrowing disabled.
-    return B;
-  case CheckPolicy::CountOnly:
-    CheckCounters::bump(RT->counters().BoundsNarrows);
-    return B;
-  case CheckPolicy::TypeOnly:
-  case CheckPolicy::Off:
-    return B;
-  }
-  return B;
-}
 
 void Sanitizer::setErrorCallback(ErrorCallback Callback, void *UserData) {
   RT->reporter().setCallback(Callback, UserData);

@@ -36,6 +36,7 @@
 #define EFFECTIVE_API_SANITIZER_H
 
 #include "api/CheckPolicy.h"
+#include "api/PolicyFrontEnd.h"
 #include "core/CheckedPtr.h"
 #include "core/Runtime.h"
 
@@ -48,6 +49,9 @@ struct SessionOptions {
   CheckPolicy Policy = CheckPolicy::Full;
   ReporterOptions Reporter;
   lowfat::HeapOptions Heap;
+  /// Entries in the runtime's site-indexed type-check inline cache
+  /// (power of two; 0 disables the fast path — see RuntimeOptions).
+  size_t SiteCacheEntries = 1024;
 };
 
 /// One sanitizer session. Thread-safe to the same degree as Runtime
@@ -103,7 +107,10 @@ public:
   /// @}
 
   /// \name Policy-dispatched checks.
-  /// What each call does is decided by policy():
+  /// What each call does is decided by policy() — but instead of a
+  /// per-check switch, the session resolves a per-policy CheckDispatch
+  /// table once at construction (api/PolicyFrontEnd.h) and every check
+  /// is one indirect call into branch-free policy-specialized code:
   ///   Full       — the paper's type_check / bounds_check / bounds_narrow;
   ///   BoundsOnly — typeCheck degrades to bounds_get, narrowing is a
   ///                no-op (allocation bounds only);
@@ -111,10 +118,30 @@ public:
   ///   CountOnly  — counters advance, nothing is probed or reported;
   ///   Off        — nothing happens at all.
   /// @{
-  Bounds typeCheck(const void *Ptr, const TypeInfo *StaticType);
-  Bounds boundsGet(const void *Ptr);
-  void boundsCheck(const void *Ptr, size_t Size, Bounds B);
-  Bounds boundsNarrow(Bounds B, const void *Field, size_t Size);
+
+  /// type_check with an explicit call-site identity (the interpreter
+  /// passes the instruction's instrumentation-assigned SiteId; see
+  /// Runtime::typeCheck for the inline-cache contract).
+  Bounds typeCheck(const void *Ptr, const TypeInfo *StaticType,
+                   SiteId Site) {
+    return Dispatch->TypeCheck(*RT, Ptr, StaticType, Site);
+  }
+
+  /// type_check at the static type's pseudo-site.
+  Bounds typeCheck(const void *Ptr, const TypeInfo *StaticType) {
+    return Dispatch->TypeCheck(*RT, Ptr, StaticType,
+                               siteForType(StaticType));
+  }
+
+  Bounds boundsGet(const void *Ptr) { return Dispatch->BoundsGet(*RT, Ptr); }
+
+  void boundsCheck(const void *Ptr, size_t Size, Bounds B) {
+    Dispatch->BoundsCheck(*RT, Ptr, Size, B);
+  }
+
+  Bounds boundsNarrow(Bounds B, const void *Field, size_t Size) {
+    return Dispatch->BoundsNarrow(*RT, B, Field, Size);
+  }
   /// @}
 
   /// \name Introspection.
@@ -154,6 +181,8 @@ private:
   std::unique_ptr<Runtime> OwnedRT; ///< Null for the default session.
   Runtime *RT;
   CheckPolicy Policy;
+  /// The policy's check front end, resolved once at construction.
+  const CheckDispatch *Dispatch;
 };
 
 /// RAII binder routing this thread's CheckedPtr instrumentation into

@@ -17,11 +17,14 @@ using namespace effective;
 struct effsan_struct_builder {
   effsan_session *Owner;
   RecordBuilder Builder;
+  bool IsUnion;
 
-  effsan_struct_builder(effsan_session *Owner, const char *Tag)
+  effsan_struct_builder(effsan_session *Owner, TypeKind Kind,
+                        const char *Tag)
       : Owner(Owner),
-        Builder(Owner->S->types(), TypeKind::Struct,
-                Tag ? std::string_view(Tag) : std::string_view()) {}
+        Builder(Owner->S->types(), Kind,
+                Tag ? std::string_view(Tag) : std::string_view()),
+        IsUnion(Kind == TypeKind::Union) {}
 };
 
 namespace {
@@ -72,6 +75,7 @@ void effsan_options_init(effsan_options *options) {
   options->log_errors = 1;
   options->log_stream = stderr;
   options->max_reports_per_location = 1;
+  options->site_cache_entries = 1024;
 }
 
 effsan_session *effsan_session_create(const effsan_options *options) {
@@ -95,6 +99,8 @@ effsan_session *effsan_session_create(const effsan_options *options) {
       Defaults.max_reports_per_location;
   SessionOpts.Reporter.MaxTotalReports = Defaults.max_total_reports;
   SessionOpts.Reporter.AbortAfter = Defaults.abort_after;
+  SessionOpts.SiteCacheEntries =
+      static_cast<size_t>(Defaults.site_cache_entries);
 
   return new (std::nothrow) effsan_session(SessionOpts);
 }
@@ -187,7 +193,14 @@ effsan_type effsan_type_array(effsan_session *session, effsan_type element,
 
 effsan_struct_builder *effsan_struct_begin(effsan_session *session,
                                            const char *tag) {
-  return new (std::nothrow) effsan_struct_builder(session, tag);
+  return new (std::nothrow)
+      effsan_struct_builder(session, TypeKind::Struct, tag);
+}
+
+effsan_struct_builder *effsan_union_begin(effsan_session *session,
+                                          const char *tag) {
+  return new (std::nothrow)
+      effsan_struct_builder(session, TypeKind::Union, tag);
 }
 
 void effsan_struct_field(effsan_struct_builder *builder, const char *name,
@@ -197,6 +210,16 @@ void effsan_struct_field(effsan_struct_builder *builder, const char *name,
   builder->Builder.addField(name ? std::string_view(name)
                                  : std::string_view(),
                             unwrap(type));
+}
+
+void effsan_struct_flexible_array(effsan_struct_builder *builder,
+                                  const char *name, effsan_type element) {
+  // A FAM needs a preceding size; C has no flexible-array unions.
+  if (!builder || !element || builder->IsUnion)
+    return;
+  builder->Builder.addFlexibleArray(name ? std::string_view(name)
+                                         : std::string_view(),
+                                    unwrap(element));
 }
 
 effsan_type effsan_struct_end(effsan_struct_builder *builder) {
@@ -293,6 +316,18 @@ void effsan_get_counters(const effsan_session *session,
   out->issues_found = S->S->reporter().numIssues();
   out->error_events = S->S->reporter().numEvents();
   out->reports_suppressed = S->S->reporter().numSuppressed();
+}
+
+uint64_t effsan_type_check_cache_hits(const effsan_session *session) {
+  auto *S = const_cast<effsan_session *>(session);
+  return S->S->counters().TypeCheckCacheHits.load(
+      std::memory_order_relaxed);
+}
+
+uint64_t effsan_type_check_cache_misses(const effsan_session *session) {
+  auto *S = const_cast<effsan_session *>(session);
+  return S->S->counters().TypeCheckCacheMisses.load(
+      std::memory_order_relaxed);
 }
 
 void effsan_set_error_callback(effsan_session *session,

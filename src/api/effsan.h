@@ -47,7 +47,7 @@ extern "C" {
  *===--------------------------------------------------------------------===*/
 
 #define EFFSAN_ABI_VERSION_MAJOR 1
-#define EFFSAN_ABI_VERSION_MINOR 1
+#define EFFSAN_ABI_VERSION_MINOR 2
 #define EFFSAN_ABI_VERSION                                                   \
   ((EFFSAN_ABI_VERSION_MAJOR << 16) | EFFSAN_ABI_VERSION_MINOR)
 
@@ -89,6 +89,11 @@ typedef struct effsan_options {
   uint64_t max_reports_per_location;
   uint64_t max_total_reports; /* cap across all locations; 0 = none  */
   uint64_t abort_after;       /* abort after N error events; 0 = no  */
+  /* Entries in the session's site-indexed type-check inline cache
+   * (since 1.2; rounded up to a power of two). 0 disables the fast
+   * path — every type_check takes the full layout-probe slow path.
+   * Default 1024. */
+  uint64_t site_cache_entries;
 } effsan_options;
 
 /* Fills *options with the defaults (full policy, logging to stderr). */
@@ -136,6 +141,9 @@ typedef struct effsan_pool_options {
   uint64_t max_reports_per_location; /* central dedup cap; default 1   */
   uint64_t max_total_reports;        /* central total cap; 0 = none    */
   uint64_t error_ring_capacity;      /* ring slots; 0 = default (4096) */
+  /* Per-shard type-check inline-cache entries (since 1.2; power of
+   * two; 0 disables the fast path on every shard). Default 1024. */
+  uint64_t site_cache_entries;
 } effsan_pool_options;
 
 /* Fills *options with the defaults (full policy, auto shard count,
@@ -209,6 +217,24 @@ effsan_struct_builder *effsan_struct_begin(effsan_session *session,
 void effsan_struct_field(effsan_struct_builder *builder, const char *name,
                          effsan_type type);
 effsan_type effsan_struct_end(effsan_struct_builder *builder);
+
+/* Union types (since 1.2): same builder protocol as structs — add
+ * members with effsan_struct_field (every member sits at offset zero;
+ * size/alignment follow C union rules), finish with effsan_struct_end.
+ * Checks against a union-typed object accept any member's static type
+ * at the union's offset, preferring the member with the widest
+ * bounds. */
+effsan_struct_builder *effsan_union_begin(effsan_session *session,
+                                          const char *tag);
+
+/* Appends a trailing flexible array member of element type `element`
+ * to a *struct* builder (since 1.2). Must be the last field added; the
+ * member is represented as element[1] per the paper's convention, and
+ * the layout's normalized-offset domain extends so interior pointers
+ * into any tail element type-check like pointers into the first.
+ * No-op on union builders. */
+void effsan_struct_flexible_array(effsan_struct_builder *builder,
+                                  const char *name, effsan_type element);
 
 /* Renders the type spelling ("struct account", "int[8]") into buffer
  * (always NUL-terminated); returns buffer. */
@@ -287,6 +313,15 @@ void effsan_get_counters(const effsan_session *session,
  * shards; issue/event counts from the central reporter (drains
  * first). */
 void effsan_pool_get_counters(effsan_pool *pool, effsan_counters *out);
+
+/* Type-check inline-cache statistics (since 1.2): checks resolved by
+ * the session's site-indexed fast path vs. the full layout-probe slow
+ * path. hits + misses + legacy_type_checks == type_checks under
+ * full/type-only policies. New functions rather than new
+ * effsan_counters fields: that struct is caller-allocated without a
+ * struct_size, so it can never grow. */
+uint64_t effsan_type_check_cache_hits(const effsan_session *session);
+uint64_t effsan_type_check_cache_misses(const effsan_session *session);
 
 typedef enum effsan_error_kind {
   EFFSAN_ERROR_TYPE = 0,

@@ -43,6 +43,7 @@ SessionPool::SessionPool(const PoolOptions &Options)
   RTOpts.Reporter.Stream = nullptr;
   RTOpts.Reporter.Enqueue = enqueueToRing;
   RTOpts.Reporter.EnqueueUserData = &Sink;
+  RTOpts.SiteCacheEntries = Options.SiteCacheEntries;
   for (unsigned I = 0; I < Heap.numShards(); ++I) {
     Runtimes.push_back(
         std::make_unique<Runtime>(*Types, Heap.heap(), I, RTOpts));
@@ -63,6 +64,7 @@ SessionPool::SessionPool(TypeContext &SharedTypes,
   RTOpts.Reporter.Stream = nullptr;
   RTOpts.Reporter.Enqueue = enqueueToRing;
   RTOpts.Reporter.EnqueueUserData = &Sink;
+  RTOpts.SiteCacheEntries = Options.SiteCacheEntries;
   for (unsigned I = 0; I < Heap.numShards(); ++I) {
     Runtimes.push_back(
         std::make_unique<Runtime>(*Types, Heap.heap(), I, RTOpts));

@@ -78,6 +78,13 @@ struct PoolOptions {
   /// Capacity of the lock-free error ring (rounded up to a power of
   /// two; 0 = ErrorRing::DefaultCapacity).
   size_t ErrorRingCapacity = 0;
+
+  /// Per-shard type-check inline-cache entries (power of two; 0
+  /// disables the fast path on every shard). Each shard runtime owns a
+  /// private cache, so worker threads never share cache lines on the
+  /// check hot path; resetShard() drops that shard's entries with the
+  /// rest of its state.
+  size_t SiteCacheEntries = 1024;
 };
 
 /// A pool of sanitizer shards over one sharded heap and one central

@@ -67,6 +67,7 @@ void effsan_pool_options_init(effsan_pool_options *options) {
   options->log_errors = 1;
   options->log_stream = stderr;
   options->max_reports_per_location = 1;
+  options->site_cache_entries = 1024;
 }
 
 effsan_pool *effsan_pool_create(const effsan_pool_options *options) {
@@ -92,6 +93,8 @@ effsan_pool *effsan_pool_create(const effsan_pool_options *options) {
   PoolOpts.Reporter.MaxTotalReports = Defaults.max_total_reports;
   PoolOpts.ErrorRingCapacity =
       static_cast<size_t>(Defaults.error_ring_capacity);
+  PoolOpts.SiteCacheEntries =
+      static_cast<size_t>(Defaults.site_cache_entries);
 
   return new (std::nothrow) effsan_pool(PoolOpts);
 }

@@ -273,17 +273,6 @@ const LayoutEntry *LayoutTable::lookup(const TypeInfo *Key,
   return nullptr;
 }
 
-uint64_t LayoutTable::normalizeOffset(uint64_t K, uint64_t AllocSize) const {
-  if (K <= SizeofT)
-    return K;
-  if (FamSize)
-    return (K - SizeofT) % FamSize + SizeofT;
-  uint64_t R = K % SizeofT;
-  if (R == 0 && K == AllocSize)
-    return SizeofT; // Exact one-past-the-end of the allocation.
-  return R;
-}
-
 size_t LayoutTable::memoryBytes() const {
   return sizeof(*this) + Entries.capacity() * sizeof(LayoutEntry) +
          Index.capacity() * sizeof(uint32_t);

@@ -35,6 +35,7 @@
 #ifndef EFFECTIVE_CORE_LAYOUT_H
 #define EFFECTIVE_CORE_LAYOUT_H
 
+#include "core/Bounds.h"
 #include "core/TypeInfo.h"
 
 #include <cstdint>
@@ -64,6 +65,23 @@ struct LayoutEntry {
   }
 };
 
+/// Converts a layout-relative bound pair into absolute bounds for the
+/// pointer \p P, clamped to the allocation (Figure 6 line 20). The ONE
+/// definition shared by the slow path and the inline-cache hit path —
+/// like normalizeOffsetRaw, factored here so cached and uncached
+/// checks can never diverge.
+inline Bounds relativeBoundsToAbsolute(int64_t RelLo, int64_t RelHi,
+                                       uintptr_t P, Bounds Alloc) {
+  Bounds B;
+  B.Lo = RelLo == RelNegInf
+             ? Alloc.Lo
+             : static_cast<uintptr_t>(static_cast<int64_t>(P) + RelLo);
+  B.Hi = RelHi == RelPosInf
+             ? Alloc.Hi
+             : static_cast<uintptr_t>(static_cast<int64_t>(P) + RelHi);
+  return B.intersect(Alloc);
+}
+
 /// Immutable open-addressed hash table of LayoutEntry, built once per
 /// allocation type (lazily, see TypeInfo::layout()). Lookup is O(1) with
 /// no locks, making the runtime's type_check constant-time (Section 5).
@@ -84,10 +102,35 @@ public:
   ///  * otherwise:      K := K mod sizeof(T), except that the exact
   ///    end-of-allocation (\p K == \p AllocSize) maps to sizeof(T) so
   ///    that one-past-the-end keeps rule-(b) semantics.
-  uint64_t normalizeOffset(uint64_t K, uint64_t AllocSize) const;
+  uint64_t normalizeOffset(uint64_t K, uint64_t AllocSize) const {
+    return normalizeOffsetRaw(K, AllocSize, SizeofT, FamSize);
+  }
+
+  /// The table-free form of normalizeOffset, parameterized on the
+  /// allocation type's sizeof and FAM element size. The type-check
+  /// inline cache (core/SiteCache.h) memoizes those two values per
+  /// entry and normalizes on its hit path through this single
+  /// definition, so cached and uncached checks can never diverge.
+  static uint64_t normalizeOffsetRaw(uint64_t K, uint64_t AllocSize,
+                                     uint64_t SizeofT, uint64_t FamSize) {
+    if (K <= SizeofT)
+      return K;
+    if (FamSize)
+      return (K - SizeofT) % FamSize + SizeofT;
+    uint64_t R = K % SizeofT;
+    if (R == 0 && K == AllocSize)
+      return SizeofT; // Exact one-past-the-end of the allocation.
+    return R;
+  }
 
   /// The allocation type this table describes.
   const TypeInfo *allocationType() const { return AllocType; }
+
+  /// sizeof(allocation type) — the table domain bound.
+  uint64_t sizeofT() const { return SizeofT; }
+
+  /// Element size of a trailing flexible array member, 0 if none.
+  uint64_t famSize() const { return FamSize; }
 
   /// All entries, for iteration in tests and debugging (sorted by
   /// offset, then by key identity).

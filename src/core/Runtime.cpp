@@ -27,14 +27,16 @@ Runtime::Runtime(TypeContext &Ctx, const RuntimeOptions &Options)
       OwnedHeap(std::make_unique<lowfat::LowFatHeap>(Options.Heap)),
       Heap(*OwnedHeap), Shard(0), Epoch(nextRuntimeEpoch()),
       Globals(Heap, Shard), Reporter(Options.Reporter),
-      VoidPtrType(Ctx.getPointer(Ctx.getVoid())) {}
+      VoidPtrType(Ctx.getPointer(Ctx.getVoid())),
+      Cache(Options.SiteCacheEntries) {}
 
 Runtime::Runtime(TypeContext &Ctx, lowfat::LowFatHeap &SharedHeap,
                  unsigned Shard, const RuntimeOptions &Options)
     : Ctx(Ctx), Heap(SharedHeap), Shard(Shard),
       Epoch(nextRuntimeEpoch()), Globals(Heap, Shard),
       Reporter(Options.Reporter),
-      VoidPtrType(Ctx.getPointer(Ctx.getVoid())) {
+      VoidPtrType(Ctx.getPointer(Ctx.getVoid())),
+      Cache(Options.SiteCacheEntries) {
   assert(Shard < Heap.numShards() && "shard index out of range");
 }
 
@@ -143,6 +145,10 @@ void Runtime::reset() {
   Globals.reset();
   Counters.reset();
   Reporter.clear();
+  // Every cached layout resolution named recycled addresses' META
+  // state; drop them all rather than trusting revalidation across a
+  // wholesale arena rewind.
+  Cache.clear();
   // New epoch: every thread's cached stack pool for this runtime is
   // abandoned on next use instead of replaying pointers into the
   // recycled arena.
@@ -205,33 +211,41 @@ Bounds Runtime::allocationBounds(const void *Ptr) const {
   return Bounds::forObject(Meta + 1, Meta->Size);
 }
 
-/// Converts a layout-relative bound into an absolute one, clamped to the
-/// allocation (Figure 6 line 20: the final bounds are narrowed to the
-/// actual allocation size).
-static Bounds relativeToAbsolute(const LayoutEntry &E, uintptr_t P,
-                                 Bounds Alloc) {
-  Bounds B;
-  B.Lo = E.RelLo == RelNegInf ? Alloc.Lo
-                              : static_cast<uintptr_t>(
-                                    static_cast<int64_t>(P) + E.RelLo);
-  B.Hi = E.RelHi == RelPosInf ? Alloc.Hi
-                              : static_cast<uintptr_t>(
-                                    static_cast<int64_t>(P) + E.RelHi);
-  return B.intersect(Alloc);
+/// Publishes a layout resolution into \p E under its seqlock. A racing
+/// filler simply loses (the entry is monomorphic; whoever wins is as
+/// good as whoever loses), and a racing reader observes the odd version
+/// or the re-check mismatch and takes the slow path.
+///
+/// The payload stores are release to pair with the reader's acquire
+/// loads: a reader that observes any new payload value then observes
+/// the odd/advanced version on its trailing re-read and rejects — on
+/// weakly-ordered targets too, where relaxed payload stores could
+/// otherwise become visible while the version still reads even.
+static void fillSiteEntry(SiteCacheEntry &E, const TypeInfo *Alloc,
+                          const TypeInfo *StaticType, uint64_t NormOffset,
+                          int64_t RelLo, int64_t RelHi, uint64_t SizeofT,
+                          uint64_t FamSize) {
+  uint32_t V = E.Version.load(std::memory_order_relaxed);
+  if (V & 1)
+    return; // Another filler is mid-write.
+  if (!E.Version.compare_exchange_strong(V, V + 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed))
+    return;
+  E.AllocType.store(Alloc, std::memory_order_release);
+  E.StaticType.store(StaticType, std::memory_order_release);
+  E.NormOffset.store(NormOffset, std::memory_order_release);
+  E.RelLo.store(RelLo, std::memory_order_release);
+  E.RelHi.store(RelHi, std::memory_order_release);
+  E.SizeofT.store(SizeofT, std::memory_order_release);
+  E.FamSize.store(FamSize, std::memory_order_release);
+  E.Version.store(V + 2, std::memory_order_release);
 }
 
-Bounds Runtime::typeCheck(const void *Ptr, const TypeInfo *StaticType) {
-  CheckCounters::bump(Counters.TypeChecks);
+Bounds Runtime::typeCheckImpl(const void *Ptr, const TypeInfo *StaticType,
+                              const MetaHeader *Meta,
+                              SiteCacheEntry *Fill) {
   assert(StaticType && "type check against null static type");
-
-  // Step 1 (lines 10-12): meta data retrieval; legacy pointers get wide
-  // bounds for compatibility.
-  void *Base = Heap.allocationBase(Ptr);
-  if (!Base) {
-    CheckCounters::bump(Counters.LegacyTypeChecks);
-    return Bounds::wide();
-  }
-  const auto *Meta = static_cast<const MetaHeader *>(Base);
   const TypeInfo *Alloc = Meta->Type;
   if (EFFSAN_UNLIKELY(!Alloc))
     return Bounds::wide(); // Untyped low-fat block.
@@ -241,6 +255,8 @@ Bounds Runtime::typeCheck(const void *Ptr, const TypeInfo *StaticType) {
   Bounds AllocBounds{ObjBase, ObjBase + Meta->Size};
 
   // Deallocated memory: every access is a use-after-free (rule (h)).
+  // Never cached — the FREE type also never equals a cached allocation
+  // type, which is what makes free an implicit cache invalidation.
   if (EFFSAN_UNLIKELY(Alloc->isFree())) {
     Reporter.report(ErrorInfo{ErrorKind::UseAfterFree, StaticType, Alloc,
                               static_cast<int64_t>(P - ObjBase), Ptr,
@@ -259,9 +275,14 @@ Bounds Runtime::typeCheck(const void *Ptr, const TypeInfo *StaticType) {
   uint64_t K = P - ObjBase;
 
   // char/void coercion: casting to (char *)/(void *) resets the bounds
-  // to the containing allocation (Section 6.1 discussion).
-  if (StaticType->isCharLike() || StaticType->isVoid())
+  // to the containing allocation (Section 6.1 discussion). The result
+  // is offset-independent, so it caches under AnyNormOffset.
+  if (StaticType->isCharLike() || StaticType->isVoid()) {
+    if (Fill)
+      fillSiteEntry(*Fill, Alloc, StaticType, AnyNormOffset, RelNegInf,
+                    RelPosInf, 0, 0);
     return AllocBounds;
+  }
 
   // Step 3 (lines 17-21): layout hash table probe.
   const LayoutTable &Table = Alloc->layout();
@@ -280,13 +301,42 @@ Bounds Runtime::typeCheck(const void *Ptr, const TypeInfo *StaticType) {
     // The paper's second lookup: coercion from (char[]) to (S[]).
     E = Table.lookup(Ctx.getChar(), NK);
   }
-  if (E)
-    return relativeToAbsolute(*E, P, AllocBounds);
+  if (E) {
+    // Cache whichever probe succeeded — the entry's relative bounds are
+    // the resolution itself, so a hit replays exactly this result.
+    if (Fill)
+      fillSiteEntry(*Fill, Alloc, StaticType, NK, E->RelLo, E->RelHi,
+                    Table.sizeofT(), Table.famSize());
+    return relativeBoundsToAbsolute(E->RelLo, E->RelHi, P, AllocBounds);
+  }
 
   // Line 22: no match — type error; wide bounds afterwards (line 23).
+  // Errors are never cached so every erring check keeps reporting
+  // (bucketing/dedup happen in the reporter, not here).
   Reporter.report(ErrorInfo{ErrorKind::TypeError, StaticType, Alloc,
                             static_cast<int64_t>(K), Ptr, nullptr});
   return Bounds::wide();
+}
+
+Bounds Runtime::typeCheckSlow(const void *Ptr, const TypeInfo *StaticType,
+                              SiteId Site, const MetaHeader *Meta) {
+  CheckCounters::bump(Counters.TypeCheckCacheMisses);
+  SiteCacheEntry *Fill =
+      Cache.enabled() ? &Cache.entryFor(Site) : nullptr;
+  return typeCheckImpl(Ptr, StaticType, Meta, Fill);
+}
+
+Bounds Runtime::typeCheckUncached(const void *Ptr,
+                                  const TypeInfo *StaticType) {
+  CheckCounters::bump(Counters.TypeChecks);
+  void *Base = Heap.allocationBase(Ptr);
+  if (!Base) {
+    CheckCounters::bump(Counters.LegacyTypeChecks);
+    return Bounds::wide();
+  }
+  return typeCheckImpl(Ptr, StaticType,
+                       static_cast<const MetaHeader *>(Base),
+                       /*Fill=*/nullptr);
 }
 
 Bounds Runtime::boundsGet(const void *Ptr) {

@@ -29,7 +29,9 @@
 
 #include "core/Bounds.h"
 #include "core/ErrorReporter.h"
+#include "core/Layout.h"
 #include "core/Meta.h"
+#include "core/SiteCache.h"
 #include "core/TypeContext.h"
 #include "lowfat/GlobalPool.h"
 #include "lowfat/LowFatHeap.h"
@@ -50,6 +52,13 @@ struct CheckCounters {
   std::atomic<uint64_t> BoundsChecks{0};
   std::atomic<uint64_t> BoundsNarrows{0};
   std::atomic<uint64_t> BoundsGets{0};
+  /// type_checks resolved by the site-indexed inline cache (fast path)
+  /// vs. the slow path (which includes checks on untyped/freed blocks
+  /// and type errors — anything past the META fetch that missed the
+  /// cache). Legacy (non-low-fat) checks hit neither bucket, so
+  /// Hits + Misses + LegacyTypeChecks == TypeChecks.
+  std::atomic<uint64_t> TypeCheckCacheHits{0};
+  std::atomic<uint64_t> TypeCheckCacheMisses{0};
 
   /// Statistical increment: a relaxed non-RMW load+store instead of an
   /// atomic RMW. bounds_check sits on every memory access, and a lock-
@@ -70,6 +79,8 @@ struct CheckCounters {
     uint64_t BoundsChecks = 0;
     uint64_t BoundsNarrows = 0;
     uint64_t BoundsGets = 0;
+    uint64_t TypeCheckCacheHits = 0;
+    uint64_t TypeCheckCacheMisses = 0;
 
     /// Field-wise accumulation — how the session pool and the
     /// multi-threaded harness merge per-shard counters.
@@ -79,6 +90,8 @@ struct CheckCounters {
       BoundsChecks += O.BoundsChecks;
       BoundsNarrows += O.BoundsNarrows;
       BoundsGets += O.BoundsGets;
+      TypeCheckCacheHits += O.TypeCheckCacheHits;
+      TypeCheckCacheMisses += O.TypeCheckCacheMisses;
       return *this;
     }
 
@@ -93,7 +106,9 @@ struct CheckCounters {
                     LegacyTypeChecks.load(std::memory_order_relaxed),
                     BoundsChecks.load(std::memory_order_relaxed),
                     BoundsNarrows.load(std::memory_order_relaxed),
-                    BoundsGets.load(std::memory_order_relaxed)};
+                    BoundsGets.load(std::memory_order_relaxed),
+                    TypeCheckCacheHits.load(std::memory_order_relaxed),
+                    TypeCheckCacheMisses.load(std::memory_order_relaxed)};
   }
 
   void reset() {
@@ -102,6 +117,8 @@ struct CheckCounters {
     BoundsChecks.store(0, std::memory_order_relaxed);
     BoundsNarrows.store(0, std::memory_order_relaxed);
     BoundsGets.store(0, std::memory_order_relaxed);
+    TypeCheckCacheHits.store(0, std::memory_order_relaxed);
+    TypeCheckCacheMisses.store(0, std::memory_order_relaxed);
   }
 };
 
@@ -109,6 +126,10 @@ struct CheckCounters {
 struct RuntimeOptions {
   ReporterOptions Reporter;
   lowfat::HeapOptions Heap;
+  /// Entries in the site-indexed type-check inline cache (rounded up to
+  /// a power of two; 0 disables the fast path entirely — every check
+  /// takes the slow meta + layout-probe path).
+  size_t SiteCacheEntries = 1024;
 };
 
 /// One EffectiveSan runtime instance: a low-fat heap plus type meta data
@@ -180,7 +201,78 @@ public:
   /// addresses a (sub-)object of incomplete static type \p StaticType[]
   /// and returns that sub-object's bounds (narrowed to the allocation).
   /// On mismatch an error is reported and wide bounds are returned.
-  Bounds typeCheck(const void *Ptr, const TypeInfo *StaticType);
+  ///
+  /// \p Site is the check's call-site identity (a dense per-module id
+  /// from the instrumentation pass, or siteForType() for API callers):
+  /// the fast path probes the session's inline cache at that slot and,
+  /// when the (allocation type, static type, normalized offset) key
+  /// matches, rebuilds the bounds from the cached layout resolution
+  /// without touching the layout hash table. Misses fall into the
+  /// EFFSAN_NOINLINE slow path, which performs the full Figure 6 probe
+  /// and refills the cache. Results are bit-identical either way.
+  EFFSAN_ALWAYS_INLINE Bounds typeCheck(const void *Ptr,
+                                        const TypeInfo *StaticType,
+                                        SiteId Site) {
+    CheckCounters::bump(Counters.TypeChecks);
+    void *Base = Heap.allocationBase(Ptr);
+    if (EFFSAN_UNLIKELY(!Base)) {
+      CheckCounters::bump(Counters.LegacyTypeChecks);
+      return Bounds::wide();
+    }
+    const auto *Meta = static_cast<const MetaHeader *>(Base);
+    const TypeInfo *Alloc = Meta->Type;
+    if (EFFSAN_LIKELY(Cache.enabled())) {
+      SiteCacheEntry &E = Cache.entryFor(Site);
+      uint32_t V1 = E.Version.load(std::memory_order_acquire);
+      // All key/payload loads are acquire so the final version re-load
+      // below cannot be reordered above any of them (fence-free
+      // seqlock reader).
+      if (EFFSAN_LIKELY(
+              !(V1 & 1) &&
+              E.AllocType.load(std::memory_order_acquire) == Alloc &&
+              E.StaticType.load(std::memory_order_acquire) ==
+                  StaticType &&
+              Alloc != nullptr)) {
+        uintptr_t ObjBase = reinterpret_cast<uintptr_t>(Meta + 1);
+        uintptr_t P = reinterpret_cast<uintptr_t>(Ptr);
+        uint64_t AllocSize = Meta->Size;
+        if (EFFSAN_LIKELY(P >= ObjBase && P - ObjBase <= AllocSize)) {
+          // Fence-free seqlock read: the payload loads are acquire, so
+          // the trailing version re-load cannot be hoisted above them
+          // (and GCC's TSan, which rejects atomic_thread_fence, stays
+          // happy). Acquire loads cost nothing on x86/ARM64 loads.
+          uint64_t NK = E.NormOffset.load(std::memory_order_acquire);
+          uint64_t SzT = E.SizeofT.load(std::memory_order_acquire);
+          uint64_t Fam = E.FamSize.load(std::memory_order_acquire);
+          int64_t RelLo = E.RelLo.load(std::memory_order_acquire);
+          int64_t RelHi = E.RelHi.load(std::memory_order_acquire);
+          if (EFFSAN_LIKELY(
+                  E.Version.load(std::memory_order_relaxed) == V1 &&
+                  (NK == AnyNormOffset ||
+                   LayoutTable::normalizeOffsetRaw(P - ObjBase, AllocSize,
+                                                   SzT, Fam) == NK))) {
+            CheckCounters::bump(Counters.TypeCheckCacheHits);
+            Bounds AllocBounds{ObjBase, ObjBase + AllocSize};
+            return relativeBoundsToAbsolute(RelLo, RelHi, P, AllocBounds);
+          }
+        }
+      }
+    }
+    return typeCheckSlow(Ptr, StaticType, Site, Meta);
+  }
+
+  /// type_check without an explicit site: probes the inline cache at
+  /// the static type's pseudo-site. This is the path CheckedPtr and the
+  /// session/C APIs take.
+  Bounds typeCheck(const void *Ptr, const TypeInfo *StaticType) {
+    return typeCheck(Ptr, StaticType, siteForType(StaticType));
+  }
+
+  /// The reference implementation: the full meta + layout-probe walk,
+  /// never reading or filling the inline cache. Used by the
+  /// differential tests and the cached-vs-uncached micro benchmark;
+  /// counters advance as for a normal check minus the hit/miss pair.
+  Bounds typeCheckUncached(const void *Ptr, const TypeInfo *StaticType);
 
   /// The EffectiveSan-bounds variant's bounds_get: returns the
   /// allocation bounds without verifying the type (Section 6.2).
@@ -232,9 +324,22 @@ public:
   /// The process-wide runtime over TypeContext::global().
   static Runtime &global();
 
+  /// The session's type-check inline cache (tests and statistics).
+  SiteCache &siteCache() { return Cache; }
+
 private:
   EFFSAN_NOINLINE void boundsCheckFail(const void *Ptr, size_t Size,
                                        Bounds B);
+  /// The Figure 6 slow path: full layout probe (with the coercion
+  /// fallbacks), error reporting, and cache refill. \p Meta is the
+  /// non-null META header typeCheck already resolved.
+  EFFSAN_NOINLINE Bounds typeCheckSlow(const void *Ptr,
+                                       const TypeInfo *StaticType,
+                                       SiteId Site, const MetaHeader *Meta);
+  /// Shared core of typeCheckSlow/typeCheckUncached; fills \p Fill (when
+  /// non-null) with the successful layout resolution.
+  Bounds typeCheckImpl(const void *Ptr, const TypeInfo *StaticType,
+                       const MetaHeader *Meta, SiteCacheEntry *Fill);
   lowfat::StackPool &stackPool();
 
   TypeContext &Ctx;
@@ -252,6 +357,8 @@ private:
   CheckCounters Counters;
   /// Cached (void *) type for the pointer-coercion fallback probe.
   const TypeInfo *VoidPtrType;
+  /// The site-indexed type-check inline cache (see core/SiteCache.h).
+  SiteCache Cache;
 };
 
 } // namespace effective

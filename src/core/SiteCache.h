@@ -1,0 +1,149 @@
+//===- core/SiteCache.h - Site-indexed type-check inline caches -*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-session inline cache behind the type_check fast path. Every
+/// instrumented check carries a *site identity* (SiteId): the
+/// instrumentation pass numbers the checks it emits densely per module,
+/// and API entry points that have no compiler-assigned site derive a
+/// pseudo-site from the static type (which is one of the cache key
+/// components anyway, so the approximation only costs occasional
+/// evictions, never correctness).
+///
+/// Each cache entry memoizes one slow-path type_check resolution:
+///
+///   key:    (allocation type, static type, normalized offset delta)
+///   value:  the matching LayoutEntry's relative bounds, plus the
+///           allocation type's sizeof/FAM element size so the offset
+///           normalization runs without touching the layout table.
+///
+/// Hits recompute absolute bounds from the *live* META header, so a
+/// cached entry can never resurrect stale allocation state:
+///
+///   * free rebinds the object to the FREE type, which can never equal
+///     a cached allocation type (errors are not cached), so the next
+///     check at that site misses and the slow path reports the
+///     use-after-free;
+///   * reallocation at the same address revalidates against the fresh
+///     META type/size — identical types reproduce identical layout
+///     bounds by interning, so even a "stale" hit is bit-identical to
+///     the slow path;
+///   * Runtime::reset() clears the cache wholesale (the arena rewinds).
+///
+/// Entries are seqlock-protected (all fields relaxed atomics, a version
+/// word ordered acquire/release) so a session shared by several threads
+/// stays race-free: a torn fill is detected by the version re-check and
+/// the reader simply takes the slow path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_CORE_SITECACHE_H
+#define EFFECTIVE_CORE_SITECACHE_H
+
+#include "support/Hashing.h"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+
+namespace effective {
+
+class TypeInfo;
+
+/// A dense per-module check-site identity (assigned by the
+/// instrumentation pass) or a type-derived pseudo-site (API paths).
+using SiteId = uint32_t;
+
+/// "No site assigned": uninstrumented hand-built IR. Check opcodes with
+/// NoSite fall back to the type-derived pseudo-site.
+inline constexpr SiteId NoSite = ~0u;
+
+/// NormOffset sentinel for offset-independent resolutions (char/void
+/// static types, whose result is always the allocation bounds).
+inline constexpr uint64_t AnyNormOffset = ~uint64_t(0);
+
+/// The pseudo-site for checks without a compiler-assigned site: types
+/// are interned, so hashing the static type gives each distinct check
+/// type its own (stable) slot — matching the cache key's static-type
+/// component exactly.
+inline SiteId siteForType(const TypeInfo *StaticType) {
+  return static_cast<SiteId>(hashPointer(StaticType));
+}
+
+/// One monomorphic inline-cache entry. Cache-line sized so concurrent
+/// sites never false-share.
+struct alignas(64) SiteCacheEntry {
+  /// Seqlock version: even = stable, odd = fill in progress, 0 = empty
+  /// (empty entries also have null AllocType, which never matches).
+  std::atomic<uint32_t> Version{0};
+  std::atomic<const TypeInfo *> AllocType{nullptr};
+  std::atomic<const TypeInfo *> StaticType{nullptr};
+  /// Normalized offset delta the resolution is valid for, or
+  /// AnyNormOffset for offset-independent (char/void) resolutions.
+  std::atomic<uint64_t> NormOffset{0};
+  /// The resolved layout-relative bounds (RelNegInf/RelPosInf encode
+  /// "clamp to the allocation", as in LayoutEntry).
+  std::atomic<int64_t> RelLo{0};
+  std::atomic<int64_t> RelHi{0};
+  /// sizeof(allocation type) and FAM element size, memoized so the hit
+  /// path normalizes offsets without loading the layout table.
+  std::atomic<uint64_t> SizeofT{0};
+  std::atomic<uint64_t> FamSize{0};
+};
+
+/// A fixed-size, power-of-two, direct-mapped array of inline-cache
+/// entries, indexed by SiteId & mask. Collisions are benign: the full
+/// key is compared on every probe, so a colliding site only evicts.
+class SiteCache {
+public:
+  /// Hard cap on the entry count (2^20 entries = 64 MiB of cache): the
+  /// count is a plain integer knob reachable from the C ABI, and a
+  /// bogus huge value must degrade to a big-but-allocatable cache, not
+  /// a std::bad_alloc escaping effsan_session_create (whose contract
+  /// is "NULL only on out-of-memory") or std::bit_ceil UB.
+  static constexpr size_t MaxEntries = size_t(1) << 20;
+
+  /// Rounds \p RequestedEntries up to a power of two (clamped to
+  /// MaxEntries); 0 disables the cache (every probe misses, every
+  /// check takes the slow path).
+  explicit SiteCache(size_t RequestedEntries) {
+    if (RequestedEntries == 0) {
+      NumEntries = 0;
+      Mask = 0;
+      return;
+    }
+    NumEntries = std::bit_ceil(std::min(RequestedEntries, MaxEntries));
+    Mask = NumEntries - 1;
+    Entries = std::make_unique<SiteCacheEntry[]>(NumEntries);
+  }
+
+  bool enabled() const { return NumEntries != 0; }
+  size_t numEntries() const { return NumEntries; }
+
+  /// The (direct-mapped) entry for \p Site. \pre enabled().
+  SiteCacheEntry &entryFor(SiteId Site) { return Entries[Site & Mask]; }
+
+  /// Drops every entry (Runtime::reset). Not safe against concurrent
+  /// probes — callers hold the same "no concurrent use" contract as
+  /// Runtime::reset itself.
+  void clear() {
+    for (size_t I = 0; I < NumEntries; ++I) {
+      Entries[I].AllocType.store(nullptr, std::memory_order_relaxed);
+      Entries[I].Version.store(0, std::memory_order_release);
+    }
+  }
+
+private:
+  std::unique_ptr<SiteCacheEntry[]> Entries;
+  size_t NumEntries = 0;
+  size_t Mask = 0;
+};
+
+} // namespace effective
+
+#endif // EFFECTIVE_CORE_SITECACHE_H

@@ -32,9 +32,10 @@ namespace {
 /// Per-function instrumentation.
 class FunctionInstrumenter {
 public:
-  FunctionInstrumenter(Function &F, const InstrumentOptions &Opts,
+  FunctionInstrumenter(Module &M, Function &F,
+                       const InstrumentOptions &Opts,
                        InstrumentStats &Stats)
-      : F(F), Opts(Opts), Stats(Stats) {}
+      : M(M), F(F), Opts(Opts), Stats(Stats) {}
 
   void run() {
     if (Opts.V == Variant::None)
@@ -160,6 +161,7 @@ private:
     C.A = Ptr;
     C.BDst = Into;
     C.Loc = Loc;
+    C.Site = M.newCheckSite();
     if (Opts.V == Variant::Full || Opts.V == Variant::Type) {
       C.Op = Opcode::TypeCheck;
       C.Type = Pointee;
@@ -182,6 +184,7 @@ private:
     C.Imm = Size;
     C.BSrc = B;
     C.Loc = Loc;
+    C.Site = M.newCheckSite();
     ++Stats.BoundsChecks;
     Out.push_back(std::move(C));
   }
@@ -291,6 +294,7 @@ private:
                                                 : boundsFor(Dst);
           N.BDst = boundsFor(Dst);
           N.Loc = Loc;
+          N.Site = M.newCheckSite();
           ++Stats.BoundsNarrows;
           Out.push_back(std::move(N));
         }
@@ -330,6 +334,7 @@ private:
             C.Type = Target;
             C.BDst = scratchBReg();
             C.Loc = Loc;
+            C.Site = M.newCheckSite();
             ++Stats.TypeChecks;
             Out.push_back(std::move(C));
           } else if (!IsDecay) {
@@ -451,6 +456,7 @@ private:
     B.Instrs = std::move(Out);
   }
 
+  Module &M;
   Function &F;
   const InstrumentOptions &Opts;
   InstrumentStats &Stats;
@@ -466,6 +472,10 @@ InstrumentStats instrument::instrumentModule(ir::Module &M,
                                              const InstrumentOptions &Opts) {
   InstrumentStats Stats;
   for (auto &F : M.Functions)
-    FunctionInstrumenter(*F, Opts, Stats).run();
+    FunctionInstrumenter(M, *F, Opts, Stats).run();
+  // Subsumed-check removal may delete sited instructions, so the live
+  // count can be below the allocated count; ids stay unique and below
+  // Module::numCheckSites either way.
+  Stats.CheckSites = M.numCheckSites();
   return Stats;
 }

@@ -74,6 +74,9 @@ struct InstrumentStats {
   /// Pointer registers that attracted no instrumentation because they
   /// are never used (the paper's cast-and-return case).
   uint64_t UnusedPointers = 0;
+  /// Check-site ids allocated for this module (the dense SiteId space
+  /// the runtime's type-check inline cache is indexed by).
+  uint64_t CheckSites = 0;
 };
 
 /// Instruments \p M in place according to \p Opts.

@@ -470,8 +470,9 @@ private:
         continue;
       case Opcode::TypeCheck:
         ++Checks.TypeChecks;
-        BRegs[I.BDst] = Regs[I.A].P ? vmTypeCheck(Regs[I.A].P, I.Type)
-                                    : Bounds::wide();
+        BRegs[I.BDst] = Regs[I.A].P
+                            ? vmTypeCheck(Regs[I.A].P, I.Type, I.Site)
+                            : Bounds::wide();
         break;
       case Opcode::BoundsGet:
         ++Checks.BoundsGets;
@@ -705,8 +706,13 @@ private:
   /// Through the session when one is bound (its CheckPolicy governs
   /// the checks), straight to the runtime otherwise.
   /// @{
-  Bounds vmTypeCheck(const void *P, const TypeInfo *Type) {
-    return Session ? Session->typeCheck(P, Type) : RT.typeCheck(P, Type);
+  Bounds vmTypeCheck(const void *P, const TypeInfo *Type, SiteId Site) {
+    // Instrumented checks carry a dense per-module site; hand-built IR
+    // has none and takes the type-derived pseudo-site instead.
+    if (Site == NoSite)
+      Site = siteForType(Type);
+    return Session ? Session->typeCheck(P, Type, Site)
+                   : RT.typeCheck(P, Type, Site);
   }
   Bounds vmBoundsGet(const void *P) {
     return Session ? Session->boundsGet(P) : RT.boundsGet(P);

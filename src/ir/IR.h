@@ -29,6 +29,7 @@
 #ifndef EFFECTIVE_IR_IR_H
 #define EFFECTIVE_IR_IR_H
 
+#include "core/SiteCache.h"
 #include "core/TypeContext.h"
 #include "support/Diagnostics.h"
 
@@ -144,6 +145,14 @@ struct Instr {
 
   BlockId Target0 = 0;
   BlockId Target1 = 0;
+
+  /// The check's call-site identity (check opcodes only): a dense
+  /// per-module id assigned by the instrumentation pass when it emits
+  /// the check, carried to the runtime by the interpreter so every
+  /// static check instruction owns one slot of the session's
+  /// type-check inline cache. NoSite on hand-built or uninstrumented
+  /// IR (the runtime then falls back to the type-derived pseudo-site).
+  SiteId Site = NoSite;
 
   /// Argument registers (Call/CallBuiltin only).
   std::vector<Reg> Args;
@@ -270,6 +279,14 @@ public:
     return ~0u;
   }
 
+  /// Allocates the next dense check-site id (used by the
+  /// instrumentation pass for every check instruction it emits).
+  SiteId newCheckSite() { return NumCheckSites++; }
+
+  /// Check sites allocated so far; every assigned Instr::Site is
+  /// strictly below this (the verifier enforces it).
+  uint32_t numCheckSites() const { return NumCheckSites; }
+
   std::vector<std::unique_ptr<Function>> Functions;
   std::vector<Global> Globals;
   /// String literal payloads (NUL terminator not included; the
@@ -278,6 +295,7 @@ public:
 
 private:
   TypeContext *Types;
+  uint32_t NumCheckSites = 0;
 };
 
 } // namespace ir

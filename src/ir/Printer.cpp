@@ -80,6 +80,13 @@ std::string blockRef(const Function &F, BlockId Id) {
   return "^<bad-block>";
 }
 
+/// The " !site N" suffix of a sited check instruction ("" otherwise).
+std::string site(const Instr &I) {
+  if (I.Site == NoSite)
+    return "";
+  return " !site " + std::to_string(I.Site);
+}
+
 } // namespace
 
 std::string ir::printInstr(const Function &F, const Module &M,
@@ -201,23 +208,25 @@ std::string ir::printInstr(const Function &F, const Module &M,
     return "cond_br " + reg(I.A) + ", " + blockRef(F, I.Target0) + ", " +
            blockRef(F, I.Target1);
   case Opcode::TypeCheck:
-    std::snprintf(Buf, sizeof(Buf), "%s = type_check %s, %s[]",
+    std::snprintf(Buf, sizeof(Buf), "%s = type_check %s, %s[]%s",
                   breg(I.BDst).c_str(), reg(I.A).c_str(),
-                  typeStr(I.Type).c_str());
+                  typeStr(I.Type).c_str(), site(I).c_str());
     return Buf;
   case Opcode::BoundsGet:
-    std::snprintf(Buf, sizeof(Buf), "%s = bounds_get %s",
-                  breg(I.BDst).c_str(), reg(I.A).c_str());
+    std::snprintf(Buf, sizeof(Buf), "%s = bounds_get %s%s",
+                  breg(I.BDst).c_str(), reg(I.A).c_str(),
+                  site(I).c_str());
     return Buf;
   case Opcode::BoundsCheck:
-    std::snprintf(Buf, sizeof(Buf), "bounds_check %s, %" PRIu64 ", %s",
-                  reg(I.A).c_str(), I.Imm, breg(I.BSrc).c_str());
+    std::snprintf(Buf, sizeof(Buf), "bounds_check %s, %" PRIu64 ", %s%s",
+                  reg(I.A).c_str(), I.Imm, breg(I.BSrc).c_str(),
+                  site(I).c_str());
     return Buf;
   case Opcode::BoundsNarrow:
     std::snprintf(Buf, sizeof(Buf),
-                  "%s = bounds_narrow %s, %s, %" PRIu64,
+                  "%s = bounds_narrow %s, %s, %" PRIu64 "%s",
                   breg(I.BDst).c_str(), breg(I.BSrc).c_str(),
-                  reg(I.A).c_str(), I.Imm);
+                  reg(I.A).c_str(), I.Imm, site(I).c_str());
     return Buf;
   case Opcode::WideBounds:
     return breg(I.BDst) + " = wide_bounds";

@@ -63,6 +63,14 @@ private:
       error(B, Idx, std::string("missing ") + What + " type");
   }
 
+  /// A check instruction's site id must come from the module's dense
+  /// allocator (NoSite is allowed: hand-built IR falls back to the
+  /// type-derived pseudo-site at run time).
+  void checkSite(BlockId B, size_t Idx, const Instr &I) {
+    if (I.Site != NoSite && I.Site >= M.numCheckSites())
+      error(B, Idx, "check site id out of range");
+  }
+
   void verifyBlock(BlockId BId) {
     const Block &B = F.Blocks[BId];
     if (B.Instrs.empty()) {
@@ -196,19 +204,23 @@ private:
       checkReg(B, Idx, I.A, "pointer");
       checkBReg(B, Idx, I.BDst, "destination");
       checkType(B, Idx, I.Type, "static");
+      checkSite(B, Idx, I);
       break;
     case Opcode::BoundsGet:
       checkReg(B, Idx, I.A, "pointer");
       checkBReg(B, Idx, I.BDst, "destination");
+      checkSite(B, Idx, I);
       break;
     case Opcode::BoundsCheck:
       checkReg(B, Idx, I.A, "pointer");
       checkBReg(B, Idx, I.BSrc, "source");
+      checkSite(B, Idx, I);
       break;
     case Opcode::BoundsNarrow:
       checkReg(B, Idx, I.A, "field address");
       checkBReg(B, Idx, I.BSrc, "source");
       checkBReg(B, Idx, I.BDst, "destination");
+      checkSite(B, Idx, I);
       break;
     case Opcode::WideBounds:
       checkBReg(B, Idx, I.BDst, "destination");

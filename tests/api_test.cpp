@@ -393,6 +393,133 @@ TEST(EffsanAbiTest, TypedAllocationAndChecks) {
   effsan_session_destroy(S);
 }
 
+TEST(EffsanAbiTest, UnionBuilderThroughTheAbi) {
+  // ABI 1.2: unions share the struct builder protocol.
+  effsan_options Options;
+  effsan_options_init(&Options);
+  Options.log_errors = 0;
+  effsan_session *S = effsan_session_create(&Options);
+  ASSERT_NE(S, nullptr);
+
+  effsan_type IntTy = effsan_type_primitive(S, EFFSAN_PRIM_INT);
+  effsan_type DoubleTy = effsan_type_primitive(S, EFFSAN_PRIM_DOUBLE);
+  effsan_struct_builder *B = effsan_union_begin(S, "number");
+  effsan_struct_field(B, "i", IntTy);
+  effsan_struct_field(B, "d", DoubleTy);
+  effsan_type UnionTy = effsan_struct_end(B);
+  ASSERT_NE(UnionTy, nullptr);
+  EXPECT_EQ(effsan_type_size(UnionTy), 8u)
+      << "union size is the widest member";
+  char Name[64];
+  EXPECT_STREQ(effsan_type_name(UnionTy, Name, sizeof(Name)),
+               "union number");
+
+  void *P = effsan_malloc(S, (size_t)effsan_type_size(UnionTy), UnionTy);
+  ASSERT_NE(P, nullptr);
+  // Every member's static type matches at offset 0...
+  effsan_bounds BI = effsan_type_check(S, P, IntTy);
+  effsan_bounds BD = effsan_type_check(S, P, DoubleTy);
+  EXPECT_EQ(BD.hi - BD.lo, 8u);
+  EXPECT_LE(BI.hi - BI.lo, 8u);
+  // ...and no type error was raised.
+  effsan_counters Counters;
+  effsan_get_counters(S, &Counters);
+  EXPECT_EQ(Counters.issues_found, 0u);
+
+  effsan_free(S, P);
+  effsan_session_destroy(S);
+}
+
+TEST(EffsanAbiTest, FlexibleArrayMemberThroughTheAbi) {
+  // ABI 1.2: a FAM tail on the struct builder. struct msg { long len;
+  // int data[]; } allocated with a 12-element tail.
+  effsan_options Options;
+  effsan_options_init(&Options);
+  Options.log_errors = 0;
+  effsan_session *S = effsan_session_create(&Options);
+  ASSERT_NE(S, nullptr);
+
+  effsan_type LongTy = effsan_type_primitive(S, EFFSAN_PRIM_LONG);
+  effsan_type IntTy = effsan_type_primitive(S, EFFSAN_PRIM_INT);
+  effsan_struct_builder *B = effsan_struct_begin(S, "msg");
+  effsan_struct_field(B, "len", LongTy);
+  effsan_struct_flexible_array(B, "data", IntTy);
+  effsan_type MsgTy = effsan_struct_end(B);
+  ASSERT_NE(MsgTy, nullptr);
+  // The FAM is represented as int[1]: sizeof(msg) == 8 + 4 (+ padding
+  // to long alignment).
+  EXPECT_EQ(effsan_type_size(MsgTy), 16u);
+
+  size_t Alloc = 8 + 12 * sizeof(int);
+  char *P = static_cast<char *>(effsan_malloc(S, Alloc, MsgTy));
+  ASSERT_NE(P, nullptr);
+
+  // Element-base pointers into the tail type-check as int[], with
+  // bounds clamped to the allocation (element 1's base doubles as the
+  // in-struct member's one-past-the-end and keeps that narrower entry,
+  // per the paper's FAM-as-member[1] approximation).
+  for (int Elem : {0, 2, 5, 11}) {
+    effsan_bounds Bd =
+        effsan_type_check(S, P + 8 + Elem * sizeof(int), IntTy);
+    EXPECT_LE(Bd.lo, reinterpret_cast<uintptr_t>(P + 8)) << Elem;
+    EXPECT_EQ(Bd.hi, reinterpret_cast<uintptr_t>(P) + Alloc) << Elem;
+  }
+  effsan_counters Counters;
+  effsan_get_counters(S, &Counters);
+  EXPECT_EQ(Counters.issues_found, 0u)
+      << "tail elements must not be type errors";
+
+  // An access past the allocation is still caught by bounds_check.
+  effsan_bounds Bd = effsan_type_check(S, P + 8, IntTy);
+  effsan_bounds_check(S, P + Alloc, sizeof(int), Bd);
+  effsan_get_counters(S, &Counters);
+  EXPECT_EQ(Counters.issues_found, 1u);
+
+  effsan_free(S, P);
+  effsan_session_destroy(S);
+}
+
+TEST(EffsanAbiTest, SiteCacheStatsThroughTheAbi) {
+  effsan_options Options;
+  effsan_options_init(&Options);
+  Options.log_errors = 0;
+  effsan_session *S = effsan_session_create(&Options);
+  ASSERT_NE(S, nullptr);
+
+  effsan_type IntTy = effsan_type_primitive(S, EFFSAN_PRIM_INT);
+  int *P = (int *)effsan_malloc(S, 100 * sizeof(int), IntTy);
+  // Even element indices all normalize to offset 0 (index 1 would be
+  // the sizeof(T) domain position with its own resolution).
+  for (int I = 0; I < 10; ++I)
+    effsan_type_check(S, P + 2 * I, IntTy);
+  EXPECT_EQ(effsan_type_check_cache_misses(S), 1u);
+  EXPECT_EQ(effsan_type_check_cache_hits(S), 9u);
+
+  effsan_counters Counters;
+  effsan_get_counters(S, &Counters);
+  EXPECT_EQ(effsan_type_check_cache_hits(S) +
+                effsan_type_check_cache_misses(S) +
+                Counters.legacy_type_checks,
+            Counters.type_checks);
+
+  // Disabling the cache through the 1.2 tail option forces the slow
+  // path on every check.
+  Options.site_cache_entries = 0;
+  effsan_session *S2 = effsan_session_create(&Options);
+  ASSERT_NE(S2, nullptr);
+  effsan_type IntTy2 = effsan_type_primitive(S2, EFFSAN_PRIM_INT);
+  int *Q = (int *)effsan_malloc(S2, 64, IntTy2);
+  for (int I = 0; I < 5; ++I)
+    effsan_type_check(S2, Q, IntTy2);
+  EXPECT_EQ(effsan_type_check_cache_hits(S2), 0u);
+  EXPECT_EQ(effsan_type_check_cache_misses(S2), 5u);
+  effsan_free(S2, Q);
+  effsan_session_destroy(S2);
+
+  effsan_free(S, P);
+  effsan_session_destroy(S);
+}
+
 TEST(EffsanAbiTest, SessionResetThroughTheAbi) {
   effsan_options Options;
   effsan_options_init(&Options);

@@ -456,6 +456,94 @@ TEST(SessionPoolTest, ResetShardRecyclesArenaAndCounters) {
   Pool.shard(1).free(Survivor);
 }
 
+//===----------------------------------------------------------------------===//
+// Site-indexed type-check inline caches under concurrency (PR 3)
+//===----------------------------------------------------------------------===//
+
+TEST(SiteCacheConcurrencyTest, SharedSessionSeqlockIsRaceFreeAndCorrect) {
+  // The worst case for the seqlock: several threads hammer ONE session
+  // at ONE site slot with two alternating resolutions, so concurrent
+  // fills and probes constantly interleave. Every returned bounds
+  // value must be one of the two correct results (a torn read must be
+  // impossible); TSan (the CI job runs this file) verifies the
+  // synchronization discipline itself.
+  Sanitizer S(quietOptions());
+  TypeContext &Ctx = S.types();
+  RecordType *Rec = RecordBuilder(Ctx, TypeKind::Struct, "pair")
+                        .addField("a", Ctx.getArray(Ctx.getInt(), 4))
+                        .addField("b", Ctx.getDouble())
+                        .finish();
+  char *P = static_cast<char *>(S.malloc(Rec->size(), Rec));
+  Runtime &RT = S.runtime();
+
+  const Bounds IntRef = RT.typeCheckUncached(P, Ctx.getInt());
+  const Bounds DblRef = RT.typeCheckUncached(P + 16, Ctx.getDouble());
+  const SiteId Site = 5;
+
+  std::atomic<bool> Wrong{false};
+  std::vector<std::thread> Threads;
+  for (int W = 0; W < 4; ++W) {
+    Threads.emplace_back([&] {
+      for (int I = 0; I < 4000; ++I) {
+        Bounds BI = RT.typeCheck(P, Ctx.getInt(), Site);
+        Bounds BD = RT.typeCheck(P + 16, Ctx.getDouble(), Site);
+        if (BI != IntRef || BD != DblRef)
+          Wrong.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_FALSE(Wrong.load()) << "a probe returned torn/stale bounds";
+  EXPECT_EQ(S.reporter().numIssues(), 0u);
+  S.free(P);
+}
+
+TEST(SiteCacheConcurrencyTest, PoolShardCachesAreIndependent) {
+  SessionPool Pool(quietPool(2));
+  const TypeInfo *IntTy = Pool.types().getInt();
+
+  // Warm shard 0's cache; shard 1 must stay cold.
+  auto *P = static_cast<int *>(Pool.shard(0).malloc(64, IntTy));
+  for (int I = 0; I < 5; ++I)
+    Pool.shard(0).typeCheck(P, IntTy);
+  auto C0 = Pool.shard(0).counters().snapshot();
+  auto C1 = Pool.shard(1).counters().snapshot();
+  EXPECT_EQ(C0.TypeCheckCacheMisses, 1u);
+  EXPECT_EQ(C0.TypeCheckCacheHits, 4u);
+  EXPECT_EQ(C1.TypeCheckCacheHits + C1.TypeCheckCacheMisses, 0u);
+
+  // Merged counters fold the hit/miss columns like every other field.
+  CheckCounters::Snapshot Merged = Pool.counters();
+  EXPECT_EQ(Merged.TypeCheckCacheHits, 4u);
+  EXPECT_EQ(Merged.TypeCheckCacheMisses, 1u);
+
+  // resetShard drops the shard's cache with the rest of its state: the
+  // recycled address must re-fill, not replay.
+  Pool.resetShard(0);
+  auto *Q = static_cast<int *>(Pool.shard(0).malloc(64, IntTy));
+  ASSERT_EQ(static_cast<void *>(Q), static_cast<void *>(P));
+  Pool.shard(0).typeCheck(Q, IntTy);
+  auto After = Pool.shard(0).counters().snapshot();
+  EXPECT_EQ(After.TypeCheckCacheHits, 0u);
+  EXPECT_EQ(After.TypeCheckCacheMisses, 1u);
+  Pool.shard(0).free(Q);
+}
+
+TEST(SiteCacheConcurrencyTest, PoolOptionSizesAndDisablesShardCaches) {
+  PoolOptions Options = quietPool(2);
+  Options.SiteCacheEntries = 0; // Disabled on every shard.
+  SessionPool Pool(Options);
+  const TypeInfo *IntTy = Pool.types().getInt();
+  auto *P = static_cast<int *>(Pool.shard(0).malloc(64, IntTy));
+  for (int I = 0; I < 3; ++I)
+    Pool.shard(0).typeCheck(P, IntTy);
+  auto C = Pool.shard(0).counters().snapshot();
+  EXPECT_EQ(C.TypeCheckCacheHits, 0u);
+  EXPECT_EQ(C.TypeCheckCacheMisses, 3u);
+  Pool.shard(0).free(P);
+}
+
 TEST(SessionPoolTest, PolicyAppliesToEveryShard) {
   SessionPool Pool(quietPool(2, CheckPolicy::BoundsOnly));
   TypeContext &Ctx = Pool.types();

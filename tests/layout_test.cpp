@@ -156,6 +156,38 @@ TEST_F(PaperExampleLayout, NormalizeOffset) {
       << "exact end of allocation keeps one-past-the-end semantics";
 }
 
+TEST_F(PaperExampleLayout, NormalizeOffsetRawMatchesTable) {
+  // The type-check inline cache normalizes offsets through the static
+  // normalizeOffsetRaw (with per-entry memoized sizeof/FAM values); it
+  // must agree with the member function at every offset, or cached and
+  // uncached checks could diverge.
+  const LayoutTable &Table = T->layout();
+  uint64_t AllocSize = 100 * 24;
+  for (uint64_t K = 0; K <= AllocSize; ++K) {
+    ASSERT_EQ(Table.normalizeOffset(K, AllocSize),
+              LayoutTable::normalizeOffsetRaw(K, AllocSize,
+                                              Table.sizeofT(),
+                                              Table.famSize()))
+        << "K=" << K;
+  }
+
+  // And for a FAM record, whose normalization domain is extended.
+  TypeContext FamCtx;
+  RecordType *R = RecordBuilder(FamCtx, TypeKind::Struct, "fam")
+                      .addField("len", FamCtx.getLong())
+                      .addFlexibleArray("data", FamCtx.getDouble())
+                      .finish();
+  const LayoutTable &FamTable = R->layout();
+  uint64_t FamAlloc = 88; // header + 10 doubles
+  for (uint64_t K = 0; K <= FamAlloc; ++K) {
+    ASSERT_EQ(FamTable.normalizeOffset(K, FamAlloc),
+              LayoutTable::normalizeOffsetRaw(K, FamAlloc,
+                                              FamTable.sizeofT(),
+                                              FamTable.famSize()))
+        << "FAM K=" << K;
+  }
+}
+
 //===----------------------------------------------------------------------===//
 // Scalars, arrays, records: Figure 2 rules
 //===----------------------------------------------------------------------===//

@@ -19,6 +19,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 using namespace effective;
 using namespace effective::instrument;
 
@@ -107,6 +109,38 @@ TEST(Figure4, LengthIsInstrumentedPerSchema) {
   uint64_t TypeChecks =
       countOps(*R.M, "length", ir::Opcode::TypeCheck);
   EXPECT_GE(TypeChecks, 2u) << IR;
+}
+
+TEST(Figure4, CheckSitesAreDenseUniqueAndPrinted) {
+  // PR 3: every emitted check instruction carries a module-dense
+  // SiteId (the index into the runtime's type-check inline cache).
+  TypeContext Types;
+  CompileResult R = compile(LengthSource, Types, InstrumentOptions());
+  ASSERT_TRUE(R.M);
+
+  std::set<uint32_t> Sites;
+  uint64_t CheckInstrs = 0;
+  for (const auto &F : R.M->Functions) {
+    for (const ir::Block &B : F->Blocks) {
+      for (const ir::Instr &I : B.Instrs) {
+        if (!I.isCheck() || I.Op == ir::Opcode::WideBounds)
+          continue;
+        ++CheckInstrs;
+        EXPECT_NE(I.Site, NoSite) << "unsited check instruction";
+        EXPECT_LT(I.Site, R.M->numCheckSites());
+        EXPECT_TRUE(Sites.insert(I.Site).second)
+            << "duplicate site " << I.Site;
+      }
+    }
+  }
+  EXPECT_GT(CheckInstrs, 0u);
+  // Subsumed-check removal may retire allocated ids, never reuse them.
+  EXPECT_GE(R.M->numCheckSites(), CheckInstrs);
+  EXPECT_EQ(R.Stats.CheckSites, R.M->numCheckSites());
+
+  // The printer renders the site annotation for round-trip debugging.
+  std::string IR = ir::printFunction(*R.M->findFunction("length"), *R.M);
+  EXPECT_NE(IR.find("!site "), std::string::npos) << IR;
 }
 
 TEST(Figure4, SumChecksOnceAndBoundsChecksInLoop) {

@@ -395,6 +395,262 @@ TEST_F(RuntimeTest, LoggingModeWritesMessages) {
   std::fclose(Tmp);
 }
 
+//===----------------------------------------------------------------------===//
+// Site-indexed type-check inline cache (PR 3)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Plain-value cache statistics for assertions.
+struct CacheStats {
+  uint64_t Hits;
+  uint64_t Misses;
+};
+
+CacheStats cacheStats(Runtime &RT) {
+  auto C = RT.counters().snapshot();
+  return CacheStats{C.TypeCheckCacheHits, C.TypeCheckCacheMisses};
+}
+
+} // namespace
+
+TEST_F(RuntimeTest, CacheHitIsBitIdenticalToSlowAndUncachedPaths) {
+  char *P = static_cast<char *>(RT.allocate(24, T));
+  char *Q = P + 12; // Example 5's interior pointer.
+  const SiteId Site = 7;
+
+  Bounds Reference = RT.typeCheckUncached(Q, Ctx.getInt());
+  Bounds Miss = RT.typeCheck(Q, Ctx.getInt(), Site); // Fills the cache.
+  Bounds Hit = RT.typeCheck(Q, Ctx.getInt(), Site);  // Replays it.
+  EXPECT_EQ(Miss, Reference);
+  EXPECT_EQ(Hit, Reference);
+
+  CacheStats S = cacheStats(RT);
+  EXPECT_EQ(S.Misses, 1u) << "first sited check must fill";
+  EXPECT_EQ(S.Hits, 1u) << "second sited check must hit";
+  EXPECT_EQ(RT.reporter().numIssues(), 0u);
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, CacheHitAtDifferentOffsetSameNormalization) {
+  // T[10]: element bases at K = 2*24 .. 9*24 all normalize to offset 0
+  // (element 1's base is the special sizeof(T) domain position, so it
+  // gets its own resolution), and one cache entry serves them all.
+  char *P = static_cast<char *>(RT.allocate(10 * 24, T));
+  const SiteId Site = 9;
+  Bounds First = RT.typeCheck(P, T, Site); // K=0: the filling miss.
+  for (int I = 2; I < 10; ++I) {
+    Bounds B = RT.typeCheck(P + I * 24, T, Site);
+    EXPECT_EQ(B, First) << "element " << I;
+  }
+  CacheStats S = cacheStats(RT);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Hits, 8u);
+  // Element 1 (K = sizeof(T), the table's "element 1 base" position)
+  // resolves to the same full-array bounds through the slow path.
+  EXPECT_EQ(RT.typeCheck(P + 24, T, Site), First);
+  EXPECT_EQ(cacheStats(RT).Misses, 2u);
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, FreeInvalidatesCacheEntries) {
+  // The temporal-safety regression: a hot cache entry must never mask
+  // a use-after-free. free() rebinds the META type to FREE, which can
+  // never equal a cached allocation type, so the revalidating fast
+  // path falls through and the slow path reports.
+  int *P = static_cast<int *>(RT.allocate(40, Ctx.getInt()));
+  const SiteId Site = 11;
+  RT.typeCheck(P, Ctx.getInt(), Site);
+  RT.typeCheck(P, Ctx.getInt(), Site);
+  ASSERT_EQ(cacheStats(RT).Hits, 1u) << "entry must be hot before free";
+
+  RT.deallocate(P);
+  Bounds B = RT.typeCheck(P, Ctx.getInt(), Site);
+  EXPECT_TRUE(B.isWide());
+  EXPECT_EQ(RT.reporter().numIssues(ErrorKind::UseAfterFree), 1u)
+      << "cached entry masked the use-after-free";
+  EXPECT_EQ(cacheStats(RT).Hits, 1u)
+      << "the post-free check must not hit the cache";
+}
+
+TEST_F(RuntimeTest, ReuseAfterFreeThroughHotCacheEntry) {
+  // Same-address reuse with a *different* type through a hot entry:
+  // the fresh META type mismatches the cached key, so the slow path
+  // runs and reports the type error (same coverage as the uncached
+  // ReuseAfterFreeDifferentTypeDetected).
+  int *P = static_cast<int *>(RT.allocate(40, Ctx.getInt()));
+  const SiteId Site = 13;
+  RT.typeCheck(P, Ctx.getInt(), Site);
+  RT.typeCheck(P, Ctx.getInt(), Site);
+  RT.deallocate(P);
+  void *Q = RT.allocate(40, Ctx.getFloat());
+  ASSERT_EQ(static_cast<void *>(P), Q) << "test requires block reuse";
+  RT.typeCheck(P, Ctx.getInt(), Site);
+  EXPECT_EQ(RT.reporter().numIssues(ErrorKind::TypeError), 1u);
+  RT.deallocate(Q);
+}
+
+TEST_F(RuntimeTest, ReallocatedBlockRevalidatesSizeOnHit) {
+  // Same type, same address, different size: the key matches (that's a
+  // hit), and the bounds must come from the *fresh* META size — the
+  // hit path clamps to the live allocation, never a remembered one.
+  // 40 and 44 byte requests share the 64-byte size class, so the LIFO
+  // free list hands the same block back with a different META size.
+  int *P = static_cast<int *>(RT.allocate(10 * sizeof(int), Ctx.getInt()));
+  const SiteId Site = 17;
+  Bounds Small = RT.typeCheck(P, Ctx.getInt(), Site);
+  EXPECT_EQ(Small.Hi - Small.Lo, 10 * sizeof(int));
+  RT.deallocate(P);
+  void *Q = RT.allocate(11 * sizeof(int), Ctx.getInt());
+  ASSERT_EQ(static_cast<void *>(P), Q) << "test requires block reuse";
+  Bounds Big = RT.typeCheck(Q, Ctx.getInt(), Site);
+  EXPECT_EQ(Big.Hi - Big.Lo, 11 * sizeof(int))
+      << "hit must rebuild bounds from the live META header";
+  EXPECT_EQ(Big, RT.typeCheckUncached(Q, Ctx.getInt()));
+  RT.deallocate(Q);
+}
+
+TEST_F(RuntimeTest, DifferentialCoercionsCachedVsUncached) {
+  // The three layout-coercion fallbacks must behave identically cached
+  // and uncached: (T*) <-> (void*) member coercion, the (char[])
+  // second lookup, and one-past-the-end entries.
+  RecordType *Holder = RecordBuilder(Ctx, TypeKind::Struct, "holder2")
+                           .addField("vp", Ctx.getPointer(Ctx.getVoid()))
+                           .addField("x", Ctx.getLong())
+                           .addField("ip", Ctx.getPointer(Ctx.getInt()))
+                           .finish();
+  char *H = static_cast<char *>(RT.allocate(Holder->size(), Holder));
+  char *C64 = static_cast<char *>(RT.allocate(64, Ctx.getChar()));
+  char *TP = static_cast<char *>(RT.allocate(24, T));
+
+  struct Probe {
+    const char *Name;
+    const void *Ptr;
+    const TypeInfo *Static;
+  } Probes[] = {
+      // (int*) static matches the (void*) member at offset 0.
+      {"int* vs void* member", H, Ctx.getPointer(Ctx.getInt())},
+      // (void*) static matches the (int*) member at offset 16.
+      {"void* vs int* member", H + 16, Ctx.getPointer(Ctx.getVoid())},
+      // char[] allocation probed as int[]: the second (char) lookup.
+      {"char[] second lookup", C64 + 8, Ctx.getInt()},
+      // One-past-the-end of a single-element allocation.
+      {"one past the end", TP + 24, T},
+  };
+
+  SiteId Site = 100;
+  for (const Probe &Pr : Probes) {
+    Bounds Reference = RT.typeCheckUncached(Pr.Ptr, Pr.Static);
+    CacheStats Before = cacheStats(RT);
+    Bounds Miss = RT.typeCheck(Pr.Ptr, Pr.Static, Site);
+    Bounds Hit = RT.typeCheck(Pr.Ptr, Pr.Static, Site);
+    CacheStats After = cacheStats(RT);
+    EXPECT_EQ(Miss, Reference) << Pr.Name;
+    EXPECT_EQ(Hit, Reference) << Pr.Name;
+    EXPECT_EQ(After.Misses, Before.Misses + 1) << Pr.Name;
+    EXPECT_EQ(After.Hits, Before.Hits + 1)
+        << Pr.Name << ": coercion results must be cacheable";
+    ++Site;
+  }
+  EXPECT_EQ(RT.reporter().numIssues(), 0u);
+
+  RT.deallocate(H);
+  RT.deallocate(C64);
+  RT.deallocate(TP);
+}
+
+TEST_F(RuntimeTest, CharCoercionCachesAcrossOffsets) {
+  // A (char*) check resolves to the allocation bounds regardless of
+  // offset, so its cache entry matches at ANY in-bounds offset.
+  char *P = static_cast<char *>(RT.allocate(24, T));
+  const SiteId Site = 23;
+  Bounds A = RT.typeCheck(P + 4, Ctx.getChar(), Site);
+  Bounds B = RT.typeCheck(P + 17, Ctx.getChar(), Site);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.Lo, reinterpret_cast<uintptr_t>(P));
+  EXPECT_EQ(A.Hi, reinterpret_cast<uintptr_t>(P) + 24);
+  CacheStats S = cacheStats(RT);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Hits, 1u) << "char coercion entries are offset-independent";
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, TypeErrorsAreNeverCached) {
+  char *P = static_cast<char *>(RT.allocate(24, T));
+  const SiteId Site = 29;
+  for (int I = 0; I < 3; ++I) {
+    Bounds B = RT.typeCheck(P + 12, Ctx.getDouble(), Site);
+    EXPECT_TRUE(B.isWide());
+  }
+  CacheStats S = cacheStats(RT);
+  EXPECT_EQ(S.Hits, 0u) << "error results must not be replayed";
+  EXPECT_EQ(S.Misses, 3u);
+  EXPECT_EQ(RT.reporter().numEvents(), 3u)
+      << "every erring check must keep reporting";
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, SiteCollisionEvictsButStaysCorrect) {
+  // Two incompatible resolutions fighting over one slot: ping-pong
+  // misses, never wrong bounds.
+  char *P = static_cast<char *>(RT.allocate(24, T));
+  const SiteId Site = 31;
+  Bounds IntRef = RT.typeCheckUncached(P + 12, Ctx.getInt());
+  Bounds SRef = RT.typeCheckUncached(P + 4, S);
+  for (int I = 0; I < 4; ++I) {
+    EXPECT_EQ(RT.typeCheck(P + 12, Ctx.getInt(), Site), IntRef);
+    EXPECT_EQ(RT.typeCheck(P + 4, S, Site), SRef);
+  }
+  EXPECT_EQ(cacheStats(RT).Hits, 0u);
+  EXPECT_EQ(RT.reporter().numIssues(), 0u);
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, ResetClearsSiteCache) {
+  void *P = RT.allocate(40, Ctx.getInt());
+  const SiteId Site = 37;
+  RT.typeCheck(P, Ctx.getInt(), Site);
+  RT.typeCheck(P, Ctx.getInt(), Site);
+  EXPECT_EQ(cacheStats(RT).Hits, 1u);
+
+  RT.reset(); // Invalidates every pointer AND the cache.
+
+  void *Q = RT.allocate(40, Ctx.getInt());
+  RT.typeCheck(Q, Ctx.getInt(), Site);
+  CacheStats After = cacheStats(RT);
+  EXPECT_EQ(After.Hits, 0u) << "reset must drop cached resolutions";
+  EXPECT_EQ(After.Misses, 1u);
+  RT.deallocate(Q);
+}
+
+TEST_F(RuntimeTest, DisabledCacheTakesSlowPathEverywhere) {
+  RuntimeOptions Options = quietOptions();
+  Options.SiteCacheEntries = 0;
+  Runtime Uncached(Ctx, Options);
+  char *P = static_cast<char *>(Uncached.allocate(24, T));
+  Bounds Ref = Uncached.typeCheckUncached(P + 12, Ctx.getInt());
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(Uncached.typeCheck(P + 12, Ctx.getInt(), 41), Ref);
+  auto C = Uncached.counters().snapshot();
+  EXPECT_EQ(C.TypeCheckCacheHits, 0u);
+  EXPECT_EQ(C.TypeCheckCacheMisses, 3u);
+  Uncached.deallocate(P);
+}
+
+TEST_F(RuntimeTest, PseudoSiteOverloadCachesByStaticType) {
+  // The 2-argument overload (CheckedPtr / session APIs) derives its
+  // site from the static type; repeated checks of one type must hit.
+  char *P = static_cast<char *>(RT.allocate(100 * sizeof(int),
+                                            Ctx.getInt()));
+  RT.typeCheck(P + 40, Ctx.getInt());
+  RT.typeCheck(P + 40, Ctx.getInt());
+  RT.typeCheck(P + 80, Ctx.getInt()); // Same normalized offset (0).
+  CacheStats S = cacheStats(RT);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Hits, 2u);
+  RT.deallocate(P);
+}
+
 TEST_F(RuntimeTest, ConcurrentChecksAreSafe) {
   char *P = static_cast<char *>(RT.allocate(100 * 24, T));
   std::vector<std::thread> Threads;

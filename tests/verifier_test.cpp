@@ -72,6 +72,27 @@ TEST(Verifier, RejectsEmptyFunction) {
   EXPECT_NE(Fx.firstError().find("no blocks"), std::string::npos);
 }
 
+TEST(Verifier, RejectsOutOfRangeCheckSite) {
+  ModuleFixture Fx;
+  // A type_check whose Site was never allocated from the module.
+  Instr C;
+  C.Op = Opcode::TypeCheck;
+  C.A = 0;
+  C.BDst = Fx.F->newBReg();
+  C.Type = Fx.Types.getPointer(Fx.Types.getInt());
+  C.Site = 3; // Module has allocated no sites.
+  Fx.F->Blocks[0].Instrs.insert(Fx.F->Blocks[0].Instrs.end() - 1, C);
+  EXPECT_FALSE(Fx.verify());
+  EXPECT_NE(Fx.firstError().find("site id out of range"),
+            std::string::npos);
+
+  // Allocating the ids makes the same instruction well-formed; NoSite
+  // (hand-built IR) is always accepted.
+  for (int I = 0; I < 4; ++I)
+    Fx.M.newCheckSite();
+  EXPECT_TRUE(Fx.verify());
+}
+
 TEST(Verifier, RejectsMissingTerminator) {
   ModuleFixture Fx;
   Fx.F->Blocks[0].Instrs.pop_back(); // Drop the ret.
