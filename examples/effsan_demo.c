@@ -8,7 +8,10 @@
  * balance;}) driven entirely through the stable C ABI of api/effsan.h:
  * two sessions in one process — a full-policy session that catches the
  * sub-object overflow, and a bounds-only session that demonstrates the
- * LowFat/ASan blind spot — plus an error callback and the counters.
+ * LowFat/ASan blind spot — plus site-attributed reports (ABI 1.3): the
+ * checks carry registered sites, so the error callback receives the
+ * source location, function and both type names instead of an
+ * anonymous pointer (see docs/REPORT_FORMAT.md).
  *
  * This file is compiled as C (not C++); it doubles as the ABI's
  * C-cleanliness test.
@@ -21,15 +24,23 @@
 
 #include <stdio.h>
 
-static void on_error(const effsan_error *error, void *user_data) {
+/* Site-attributed sink (ABI 1.3): fired once per deduplicated report. */
+static void on_error_v2(const effsan_error_v2 *error, void *user_data) {
   int *count = (int *)user_data;
+  char type_name[64];
   ++*count;
-  printf("  [callback #%d] kind=%u offset=%lld: %s\n", *count,
-         (unsigned)error->kind, (long long)error->offset, error->message);
+  printf("  [callback #%d] %s\n", *count, error->message);
+  printf("               site=%u at %s:%u:%u in %s, allocated %s\n",
+         error->site, error->file ? error->file : "?", error->line,
+         error->column, error->function ? error->function : "?",
+         effsan_type_name(error->alloc_type, type_name,
+                          sizeof(type_name)));
 }
 
 /* Writes account digits 0..8 — one past the end of number[] — through
- * whatever session it is handed. */
+ * whatever session it is handed. The two hand-instrumented checks
+ * register a site table first, as a compiler would, so their reports
+ * carry this file's locations. */
 static void write_digits(effsan_session *s) {
   effsan_type int_ty = effsan_type_primitive(s, EFFSAN_PRIM_INT);
   effsan_type float_ty = effsan_type_primitive(s, EFFSAN_PRIM_FLOAT);
@@ -38,6 +49,22 @@ static void write_digits(effsan_session *s) {
   effsan_struct_field(b, "number", effsan_type_array(s, int_ty, 8));
   effsan_struct_field(b, "balance", float_ty);
   effsan_type account_ty = effsan_struct_end(b);
+
+  /* The check sites of this function, one entry per static check
+   * below. The strings are copied; line/column point into this file. */
+  effsan_site_info sites[2];
+  sites[0].line = 80; /* the effsan_type_check_at call   */
+  sites[0].column = 5;
+  sites[0].kind = EFFSAN_CHECK_TYPE;
+  sites[0].function = "write_digits";
+  sites[0].static_type = int_ty;
+  sites[1].line = 83; /* the effsan_bounds_check_at call */
+  sites[1].column = 7;
+  sites[1].kind = EFFSAN_CHECK_BOUNDS;
+  sites[1].function = "write_digits";
+  sites[1].static_type = int_ty;
+  uint32_t base =
+      effsan_site_table_register(s, "effsan_demo.c", sites, 2);
 
   char name[64];
   printf("  allocating one %s (%llu bytes)\n",
@@ -49,14 +76,18 @@ static void write_digits(effsan_session *s) {
 
   /* The instrumentation schema by hand: type_check the pointer as
    * int[] (which narrows to the number[] sub-object), then
-   * bounds_check each write. */
-  effsan_bounds bounds = effsan_type_check(s, acct, int_ty);
+   * bounds_check each write — both checks sited. */
+  effsan_bounds bounds = effsan_type_check_at(s, acct, int_ty, base + 0);
   int i;
   for (i = 0; i <= 8; i++) { /* off-by-one */
-    effsan_bounds_check(s, acct + i, sizeof(int), bounds);
+    effsan_bounds_check_at(s, acct + i, sizeof(int), bounds, base + 1);
     if (i < 8) /* keep the actual write in bounds */
       acct[i] = i;
   }
+
+  printf("  site %u (the bounds_check) recorded %llu error event(s)\n",
+         base + 1,
+         (unsigned long long)effsan_site_error_events(s, base + 1));
   effsan_free(s, acct);
 }
 
@@ -72,7 +103,7 @@ int main(void) {
   effsan_session *full = effsan_session_create(&opts);
 
   int callback_count = 0;
-  effsan_set_error_callback(full, on_error, &callback_count);
+  effsan_set_error_callback_v2(full, on_error_v2, &callback_count);
   write_digits(full);
 
   effsan_counters counters;

@@ -143,7 +143,8 @@ int main(int argc, char **argv) {
 
   InstrumentOptions Opts = instrumentOptionsFor(Policy, BaseOpts);
   DiagnosticEngine Diags;
-  CompileResult C = compileMiniC(Source, Session.types(), Diags, Opts);
+  CompileResult C =
+      compileMiniC(Source, Session.types(), Diags, Opts, FileName);
   if (Diags.hasErrors() || !C.M) {
     Diags.print(stderr, FileName);
     return 1;

@@ -39,8 +39,9 @@ namespace effective {
 struct CheckDispatch {
   Bounds (*TypeCheck)(Runtime &RT, const void *Ptr,
                       const TypeInfo *StaticType, SiteId Site);
-  Bounds (*BoundsGet)(Runtime &RT, const void *Ptr);
-  void (*BoundsCheck)(Runtime &RT, const void *Ptr, size_t Size, Bounds B);
+  Bounds (*BoundsGet)(Runtime &RT, const void *Ptr, SiteId Site);
+  void (*BoundsCheck)(Runtime &RT, const void *Ptr, size_t Size, Bounds B,
+                      SiteId Site);
   Bounds (*BoundsNarrow)(Runtime &RT, Bounds B, const void *Field,
                          size_t Size);
 };

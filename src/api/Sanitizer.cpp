@@ -26,7 +26,7 @@ template <CheckPolicy P> struct FrontEnd {
     } else if constexpr (P == CheckPolicy::BoundsOnly) {
       // Section 6.2: the -bounds variant replaces type_check by
       // bounds_get.
-      return RT.boundsGet(Ptr);
+      return RT.boundsGet(Ptr, Site);
     } else if constexpr (P == CheckPolicy::CountOnly) {
       CheckCounters::bump(RT.counters().TypeChecks);
       return Bounds::wide();
@@ -35,9 +35,9 @@ template <CheckPolicy P> struct FrontEnd {
     }
   }
 
-  static Bounds boundsGet(Runtime &RT, const void *Ptr) {
+  static Bounds boundsGet(Runtime &RT, const void *Ptr, SiteId Site) {
     if constexpr (P == CheckPolicy::Full || P == CheckPolicy::BoundsOnly) {
-      return RT.boundsGet(Ptr);
+      return RT.boundsGet(Ptr, Site);
     } else if constexpr (P == CheckPolicy::CountOnly) {
       CheckCounters::bump(RT.counters().BoundsGets);
       return Bounds::wide();
@@ -47,9 +47,9 @@ template <CheckPolicy P> struct FrontEnd {
   }
 
   static void boundsCheck(Runtime &RT, const void *Ptr, size_t Size,
-                          Bounds B) {
+                          Bounds B, SiteId Site) {
     if constexpr (P == CheckPolicy::Full || P == CheckPolicy::BoundsOnly) {
-      RT.boundsCheck(Ptr, Size, B);
+      RT.boundsCheck(Ptr, Size, B, Site);
     } else if constexpr (P == CheckPolicy::CountOnly) {
       CheckCounters::bump(RT.counters().BoundsChecks);
     }

@@ -133,14 +133,41 @@ public:
                                siteForType(StaticType));
   }
 
-  Bounds boundsGet(const void *Ptr) { return Dispatch->BoundsGet(*RT, Ptr); }
+  Bounds boundsGet(const void *Ptr, SiteId Site = NoSite) {
+    return Dispatch->BoundsGet(*RT, Ptr, Site);
+  }
 
-  void boundsCheck(const void *Ptr, size_t Size, Bounds B) {
-    Dispatch->BoundsCheck(*RT, Ptr, Size, B);
+  void boundsCheck(const void *Ptr, size_t Size, Bounds B,
+                   SiteId Site = NoSite) {
+    Dispatch->BoundsCheck(*RT, Ptr, Size, B, Site);
   }
 
   Bounds boundsNarrow(Bounds B, const void *Field, size_t Size) {
     return Dispatch->BoundsNarrow(*RT, B, Field, Size);
+  }
+  /// @}
+
+  /// \name Site attribution.
+  /// @{
+
+  /// Registers a module's check-site table with the session, so error
+  /// reports carry source locations (docs/REPORT_FORMAT.md). Returns
+  /// the base the table's dense local ids were rebased to — callers
+  /// pass `base + local id` as the Site of their checks. \p Key (when
+  /// nonzero, a process-unique producer id — interp::run passes
+  /// ir::Module::uid()) makes re-registration idempotent. For pooled
+  /// sessions the registry is shared pool-wide, so one registration
+  /// attributes every shard's errors.
+  SiteId registerSiteTable(const SiteTable &Table, uint64_t Key = 0) {
+    return RT->siteTables().registerTable(Table, Key);
+  }
+
+  /// The registry backing this session's error attribution.
+  SiteTableRegistry &siteTables() { return RT->siteTables(); }
+
+  /// Error events recorded at (rebased) site \p Site.
+  uint64_t errorEventsAtSite(SiteId Site) const {
+    return RT->reporter().numEventsAtSite(Site);
   }
   /// @}
 

@@ -42,18 +42,31 @@ Bounds unwrap(effsan_bounds B) { return Bounds{B.lo, B.hi}; }
 effsan_bounds wrap(Bounds B) { return effsan_bounds{B.Lo, B.Hi}; }
 
 /// ReporterOptions::Callback trampoline translating the C++ event into
-/// the C struct.
+/// the C structs. Fires the v1 then the v2 sink; a 1.2 caller that
+/// never installs a v2 callback observes exactly the 1.2 behavior.
 void callbackTrampoline(const ErrorInfo &Info, const char *Message,
                         void *UserData) {
   auto *S = static_cast<effsan_session *>(UserData);
-  if (!S->Callback)
-    return;
-  effsan_error Error;
-  Error.kind = effsan_detail::errorKindValue(Info.Kind);
-  Error.pointer = Info.Pointer;
-  Error.offset = Info.Offset;
-  Error.message = Message;
-  S->Callback(&Error, S->CallbackUserData);
+  if (S->Callback) {
+    effsan_error Error;
+    Error.kind = effsan_detail::errorKindValue(Info.Kind);
+    Error.pointer = Info.Pointer;
+    Error.offset = Info.Offset;
+    Error.message = Message;
+    S->Callback(&Error, S->CallbackUserData);
+  }
+  if (S->CallbackV2) {
+    effsan_error_v2 Error;
+    effsan_detail::fillErrorV2(Info, Message, Error);
+    S->CallbackV2(&Error, S->CallbackV2UserData);
+  }
+}
+
+/// Re-attaches the shared trampoline when either C sink is present.
+/// \pre the trampoline is detached (see the setter protocol below).
+void attachCallbacks(effsan_session *S) {
+  if (S->Callback || S->CallbackV2)
+    S->S->setErrorCallback(callbackTrampoline, S);
 }
 
 } // namespace
@@ -333,14 +346,77 @@ uint64_t effsan_type_check_cache_misses(const effsan_session *session) {
 void effsan_set_error_callback(effsan_session *session,
                                effsan_error_callback callback,
                                void *user_data) {
-  // Detach the trampoline (under the reporter lock), update the C-side
-  // pair, then re-attach — an erring thread can never observe a
-  // half-updated callback/user-data combination.
+  // Detach the trampoline (under the reporter lock, so no invocation
+  // is mid-flight), update the C-side pair, then re-attach — an
+  // erring thread can never observe a half-updated callback/user-data
+  // combination.
   session->S->setErrorCallback(nullptr, nullptr);
   session->Callback = callback;
   session->CallbackUserData = user_data;
-  if (callback)
-    session->S->setErrorCallback(callbackTrampoline, session);
+  attachCallbacks(session);
+}
+
+void effsan_set_error_callback_v2(effsan_session *session,
+                                  effsan_error_callback_v2 callback,
+                                  void *user_data) {
+  // Same detach-update-reattach protocol as the v1 setter.
+  session->S->setErrorCallback(nullptr, nullptr);
+  session->CallbackV2 = callback;
+  session->CallbackV2UserData = user_data;
+  attachCallbacks(session);
+}
+
+//===----------------------------------------------------------------------===//
+// Site attribution (since 1.3)
+//===----------------------------------------------------------------------===//
+
+uint32_t effsan_site_table_register(effsan_session *session,
+                                    const char *file,
+                                    const effsan_site_info *sites,
+                                    uint32_t count) {
+  if (!sites || count == 0)
+    return EFFSAN_NO_SITE;
+  SiteTable Table;
+  Table.File = file ? file : "<unknown>";
+  Table.Entries.reserve(count);
+  for (uint32_t I = 0; I < count; ++I) {
+    const effsan_site_info &In = sites[I];
+    SiteTable::Entry E;
+    E.Kind = effsan_detail::checkKindFromValue(In.kind);
+    E.Loc = SourceLoc{In.line, In.column};
+    E.Function = In.function ? In.function : "";
+    E.StaticType = reinterpret_cast<const TypeInfo *>(In.static_type);
+    Table.Entries.push_back(std::move(E));
+  }
+  return session->S->registerSiteTable(Table);
+}
+
+uint64_t effsan_site_error_events(const effsan_session *session,
+                                  uint32_t site) {
+  auto *S = const_cast<effsan_session *>(session);
+  return S->S->errorEventsAtSite(site);
+}
+
+effsan_bounds effsan_type_check_at(effsan_session *session,
+                                   const void *ptr,
+                                   effsan_type static_type,
+                                   uint32_t site) {
+  if (!static_type)
+    return wrap(session->S->boundsGet(ptr, site));
+  if (site == EFFSAN_NO_SITE)
+    return wrap(session->S->typeCheck(ptr, unwrap(static_type)));
+  return wrap(session->S->typeCheck(ptr, unwrap(static_type), site));
+}
+
+effsan_bounds effsan_bounds_get_at(effsan_session *session,
+                                   const void *ptr, uint32_t site) {
+  return wrap(session->S->boundsGet(ptr, site));
+}
+
+void effsan_bounds_check_at(effsan_session *session, const void *ptr,
+                            size_t size, effsan_bounds bounds,
+                            uint32_t site) {
+  session->S->boundsCheck(ptr, size, unwrap(bounds), site);
 }
 
 // The effsan_pool_* entry points live in concurrent/effsan_pool.cpp,

@@ -47,7 +47,7 @@ extern "C" {
  *===--------------------------------------------------------------------===*/
 
 #define EFFSAN_ABI_VERSION_MAJOR 1
-#define EFFSAN_ABI_VERSION_MINOR 2
+#define EFFSAN_ABI_VERSION_MINOR 3
 #define EFFSAN_ABI_VERSION                                                   \
   ((EFFSAN_ABI_VERSION_MAJOR << 16) | EFFSAN_ABI_VERSION_MINOR)
 
@@ -330,6 +330,74 @@ typedef enum effsan_error_kind {
   EFFSAN_ERROR_DOUBLE_FREE = 3
 } effsan_error_kind;
 
+/*===--------------------------------------------------------------------===*
+ * Site attribution (since 1.3)
+ *
+ * A *site* is one static check. Instrumented modules number their
+ * checks densely; registering the module's site table with a session
+ * rebases those local ids onto the session's global id space and
+ * returns the base. Error reports then carry the source location,
+ * function and static type of the erring check (see
+ * docs/REPORT_FORMAT.md), errors deduplicate per site, and per-site
+ * error counters become queryable.
+ *===--------------------------------------------------------------------===*/
+
+/* "No site": the null site id. */
+#define EFFSAN_NO_SITE 0xffffffffu
+
+/* What a site checks. Values are stable. */
+typedef enum effsan_check_kind {
+  EFFSAN_CHECK_TYPE = 0,          /* type_check                        */
+  EFFSAN_CHECK_BOUNDS_GET = 1,    /* bounds_get                        */
+  EFFSAN_CHECK_BOUNDS = 2,        /* bounds_check                      */
+  EFFSAN_CHECK_BOUNDS_NARROW = 3  /* bounds_narrow                     */
+} effsan_check_kind;
+
+/* One site's description (registration input). The strings are copied
+ * by effsan_site_table_register; the caller may free them afterwards. */
+typedef struct effsan_site_info {
+  uint32_t line;            /* 1-based; 0 = unknown                    */
+  uint32_t column;          /* 1-based; 0 = unknown                    */
+  uint32_t kind;            /* an effsan_check_kind value              */
+  const char *function;     /* enclosing function; may be NULL         */
+  effsan_type static_type;  /* checked-against type; may be NULL       */
+} effsan_site_info;
+
+/* Registers `count` site descriptions for source file `file` with the
+ * session and returns the base id they were rebased to: site i of the
+ * table becomes global site (base + i), which is the id to pass as a
+ * check's site and the id reported back in effsan_error_v2. For
+ * sessions checked out of a pool the registration is pool-wide — any
+ * shard's errors resolve against it. Returns EFFSAN_NO_SITE when
+ * `sites` is NULL or `count` is 0. */
+uint32_t effsan_site_table_register(effsan_session *session,
+                                    const char *file,
+                                    const effsan_site_info *sites,
+                                    uint32_t count);
+
+/* Error events recorded at (rebased) site `site` so far. Counts every
+ * event, including those muted by the report caps. Pool shards report
+ * centrally, so their session-level count reads 0 — use
+ * effsan_pool_site_error_events for pooled sessions. */
+uint64_t effsan_site_error_events(const effsan_session *session,
+                                  uint32_t site);
+
+/* Pool-wide per-site error events (drains the ring first). */
+uint64_t effsan_pool_site_error_events(effsan_pool *pool, uint32_t site);
+
+/* Site-carrying check variants (since 1.3): identical to
+ * effsan_type_check / effsan_bounds_get / effsan_bounds_check, with the
+ * check's registered site identity attached — errors they report are
+ * attributed to that site's source location and deduplicate per site.
+ * Pass EFFSAN_NO_SITE to behave exactly like the unsited originals. */
+effsan_bounds effsan_type_check_at(effsan_session *session, const void *ptr,
+                                   effsan_type static_type, uint32_t site);
+effsan_bounds effsan_bounds_get_at(effsan_session *session, const void *ptr,
+                                   uint32_t site);
+void effsan_bounds_check_at(effsan_session *session, const void *ptr,
+                            size_t size, effsan_bounds bounds,
+                            uint32_t site);
+
 typedef struct effsan_error {
   uint32_t kind;       /* an effsan_error_kind value                 */
   const void *pointer; /* the offending pointer                      */
@@ -358,6 +426,45 @@ void effsan_set_error_callback(effsan_session *session,
 void effsan_pool_set_error_callback(effsan_pool *pool,
                                     effsan_error_callback callback,
                                     void *user_data);
+
+/* The site-attributed error report (since 1.3). All pointers are valid
+ * only during the callback; type handles live as long as the session.
+ * Unattributed errors (no registered site) carry EFFSAN_NO_SITE /
+ * NULL / 0 in the site fields — the kind/pointer/offset/message
+ * fields are always filled, exactly as in effsan_error. */
+typedef struct effsan_error_v2 {
+  uint32_t kind;            /* an effsan_error_kind value              */
+  const void *pointer;      /* the offending pointer                   */
+  int64_t offset;           /* byte offset within the allocation       */
+  const char *message;      /* rendered report line                    */
+  uint32_t site;            /* erring check's site; EFFSAN_NO_SITE     */
+  const char *file;         /* source file, or NULL                    */
+  uint32_t line;            /* 1-based; 0 = unknown                    */
+  uint32_t column;          /* 1-based; 0 = unknown                    */
+  const char *function;     /* enclosing function, or NULL             */
+  uint32_t check_kind;      /* an effsan_check_kind value              */
+  effsan_type static_type;  /* type the program used; may be NULL      */
+  effsan_type alloc_type;   /* object's allocation type; may be NULL   */
+} effsan_error_v2;
+
+/* Invoked once per emitted report (after dedup caps), from the erring
+ * thread. Must not call back into the same session's reporter. */
+typedef void (*effsan_error_callback_v2)(const effsan_error_v2 *error,
+                                         void *user_data);
+
+/* Installs (or, with NULL, removes) the site-aware session error sink
+ * (since 1.3). Independent of the v1 sink: when both are installed,
+ * both fire for every emitted report — a 1.2 caller linked against
+ * this library keeps its v1 callback behavior unchanged. */
+void effsan_set_error_callback_v2(effsan_session *session,
+                                  effsan_error_callback_v2 callback,
+                                  void *user_data);
+
+/* The pool-central equivalent (since 1.3; see
+ * effsan_pool_set_error_callback for the threading contract). */
+void effsan_pool_set_error_callback_v2(effsan_pool *pool,
+                                       effsan_error_callback_v2 callback,
+                                       void *user_data);
 
 #ifdef __cplusplus
 } /* extern "C" */

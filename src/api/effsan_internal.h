@@ -21,13 +21,16 @@
 #include <memory>
 
 /// The opaque session handle: a Sanitizer (owned, or a view of a pool
-/// shard) plus the installed C callback (the C++ reporter callback
-/// trampolines through it).
+/// shard) plus the installed C callbacks (the C++ reporter callback
+/// trampolines through them; v1 and v2 sinks are independent and may
+/// both be installed).
 struct effsan_session {
   std::unique_ptr<effective::Sanitizer> Owned; ///< Null for pool shards.
   effective::Sanitizer *S;
   effsan_error_callback Callback = nullptr;
   void *CallbackUserData = nullptr;
+  effsan_error_callback_v2 CallbackV2 = nullptr;
+  void *CallbackV2UserData = nullptr;
 
   explicit effsan_session(const effective::SessionOptions &Options)
       : Owned(std::make_unique<effective::Sanitizer>(Options)),
@@ -67,6 +70,61 @@ inline uint32_t errorKindValue(ErrorKind Kind) {
     return EFFSAN_ERROR_DOUBLE_FREE;
   }
   return EFFSAN_ERROR_TYPE;
+}
+
+inline uint32_t checkKindValue(CheckSiteKind Kind) {
+  switch (Kind) {
+  case CheckSiteKind::TypeCheck:
+    return EFFSAN_CHECK_TYPE;
+  case CheckSiteKind::BoundsGet:
+    return EFFSAN_CHECK_BOUNDS_GET;
+  case CheckSiteKind::BoundsCheck:
+    return EFFSAN_CHECK_BOUNDS;
+  case CheckSiteKind::BoundsNarrow:
+    return EFFSAN_CHECK_BOUNDS_NARROW;
+  }
+  return EFFSAN_CHECK_TYPE;
+}
+
+inline CheckSiteKind checkKindFromValue(uint32_t Value) {
+  switch (Value) {
+  case EFFSAN_CHECK_BOUNDS_GET:
+    return CheckSiteKind::BoundsGet;
+  case EFFSAN_CHECK_BOUNDS:
+    return CheckSiteKind::BoundsCheck;
+  case EFFSAN_CHECK_BOUNDS_NARROW:
+    return CheckSiteKind::BoundsNarrow;
+  case EFFSAN_CHECK_TYPE:
+  default:
+    return CheckSiteKind::TypeCheck;
+  }
+}
+
+/// Fills the ABI's v2 error struct from a reporter event (shared by
+/// the session and pool trampolines).
+inline void fillErrorV2(const ErrorInfo &Info, const char *Message,
+                        effsan_error_v2 &Out) {
+  Out.kind = errorKindValue(Info.Kind);
+  Out.pointer = Info.Pointer;
+  Out.offset = Info.Offset;
+  Out.message = Message;
+  Out.site = EFFSAN_NO_SITE;
+  Out.file = nullptr;
+  Out.line = 0;
+  Out.column = 0;
+  Out.function = nullptr;
+  Out.check_kind = EFFSAN_CHECK_TYPE;
+  Out.static_type =
+      reinterpret_cast<effsan_type>(Info.StaticType);
+  Out.alloc_type = reinterpret_cast<effsan_type>(Info.AllocType);
+  if (const SiteInfo *W = Info.Where) {
+    Out.site = W->Site;
+    Out.file = W->File;
+    Out.line = W->Line;
+    Out.column = W->Column;
+    Out.function = W->Function[0] != '\0' ? W->Function : nullptr;
+    Out.check_kind = checkKindValue(W->Kind);
+  }
 }
 
 } // namespace effsan_detail

@@ -44,6 +44,7 @@ SessionPool::SessionPool(const PoolOptions &Options)
   RTOpts.Reporter.Enqueue = enqueueToRing;
   RTOpts.Reporter.EnqueueUserData = &Sink;
   RTOpts.SiteCacheEntries = Options.SiteCacheEntries;
+  RTOpts.SharedSites = &SiteTables;
   for (unsigned I = 0; I < Heap.numShards(); ++I) {
     Runtimes.push_back(
         std::make_unique<Runtime>(*Types, Heap.heap(), I, RTOpts));
@@ -65,6 +66,7 @@ SessionPool::SessionPool(TypeContext &SharedTypes,
   RTOpts.Reporter.Enqueue = enqueueToRing;
   RTOpts.Reporter.EnqueueUserData = &Sink;
   RTOpts.SiteCacheEntries = Options.SiteCacheEntries;
+  RTOpts.SharedSites = &SiteTables;
   for (unsigned I = 0; I < Heap.numShards(); ++I) {
     Runtimes.push_back(
         std::make_unique<Runtime>(*Types, Heap.heap(), I, RTOpts));

@@ -128,6 +128,13 @@ public:
   /// The central reporter (the single drain target).
   ErrorReporter &reporter() { return Central; }
 
+  /// The pool-wide site-table registry. Every shard runtime resolves
+  /// error sites against this one registry (RuntimeOptions::
+  /// SharedSites), so a module registered through any shard session —
+  /// or directly here — is attributed in the central drain no matter
+  /// which shard tripped the error.
+  SiteTableRegistry &siteTables() { return SiteTables; }
+
   /// Distinct issues across the whole pool (drains first so nothing
   /// queued is missed).
   uint64_t issuesFound() {
@@ -166,6 +173,9 @@ private:
   ShardedHeap Heap;
   ErrorRing Ring;
   ErrorReporter Central;
+  /// One site space for all shards (see siteTables()). Declared before
+  /// the runtimes, which hold references into it.
+  SiteTableRegistry SiteTables;
   RingSink Sink;
   std::vector<std::unique_ptr<Runtime>> Runtimes;
   std::vector<std::unique_ptr<Sanitizer>> Shards;

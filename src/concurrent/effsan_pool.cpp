@@ -29,6 +29,8 @@ struct effsan_pool {
   std::vector<std::unique_ptr<effsan_session>> Sessions;
   effsan_error_callback Callback = nullptr;
   void *CallbackUserData = nullptr;
+  effsan_error_callback_v2 CallbackV2 = nullptr;
+  void *CallbackV2UserData = nullptr;
 
   explicit effsan_pool(const concurrent::PoolOptions &Options)
       : Pool(Options) {
@@ -39,18 +41,34 @@ struct effsan_pool {
 
 namespace {
 
-/// Central-reporter trampoline for pools (fired by the drain thread).
+/// Central-reporter trampoline for pools (normally fired by the drain
+/// thread; see the threading contract on effsan_pool_set_error_callback).
+/// Site attribution survives the ring: the SiteInfo pointer the shard
+/// resolved at report time points into the pool-wide registry, which
+/// outlives every queued event.
 void poolCallbackTrampoline(const ErrorInfo &Info, const char *Message,
                             void *UserData) {
   auto *P = static_cast<effsan_pool *>(UserData);
-  if (!P->Callback)
-    return;
-  effsan_error Error;
-  Error.kind = effsan_detail::errorKindValue(Info.Kind);
-  Error.pointer = Info.Pointer;
-  Error.offset = Info.Offset;
-  Error.message = Message;
-  P->Callback(&Error, P->CallbackUserData);
+  if (P->Callback) {
+    effsan_error Error;
+    Error.kind = effsan_detail::errorKindValue(Info.Kind);
+    Error.pointer = Info.Pointer;
+    Error.offset = Info.Offset;
+    Error.message = Message;
+    P->Callback(&Error, P->CallbackUserData);
+  }
+  if (P->CallbackV2) {
+    effsan_error_v2 Error;
+    effsan_detail::fillErrorV2(Info, Message, Error);
+    P->CallbackV2(&Error, P->CallbackV2UserData);
+  }
+}
+
+/// Re-attaches the central trampoline when either C sink is present.
+/// \pre the trampoline is detached (see the setter protocol below).
+void attachPoolCallbacks(effsan_pool *P) {
+  if (P->Callback || P->CallbackV2)
+    P->Pool.reporter().setCallback(poolCallbackTrampoline, P);
 }
 
 } // namespace
@@ -138,13 +156,27 @@ void effsan_pool_get_counters(effsan_pool *pool, effsan_counters *out) {
 void effsan_pool_set_error_callback(effsan_pool *pool,
                                     effsan_error_callback callback,
                                     void *user_data) {
-  // Same half-update-safe dance as the session variant, against the
-  // pool's central reporter.
+  // Same detach-update-reattach dance as the session variant, against
+  // the pool's central reporter: detach first so no trampoline can
+  // read the pair while it is being rewritten.
   pool->Pool.reporter().setCallback(nullptr, nullptr);
   pool->Callback = callback;
   pool->CallbackUserData = user_data;
-  if (callback)
-    pool->Pool.reporter().setCallback(poolCallbackTrampoline, pool);
+  attachPoolCallbacks(pool);
+}
+
+void effsan_pool_set_error_callback_v2(effsan_pool *pool,
+                                       effsan_error_callback_v2 callback,
+                                       void *user_data) {
+  pool->Pool.reporter().setCallback(nullptr, nullptr);
+  pool->CallbackV2 = callback;
+  pool->CallbackV2UserData = user_data;
+  attachPoolCallbacks(pool);
+}
+
+uint64_t effsan_pool_site_error_events(effsan_pool *pool, uint32_t site) {
+  pool->Pool.drain();
+  return pool->Pool.reporter().numEventsAtSite(site);
 }
 
 } // extern "C"

@@ -28,17 +28,45 @@ const char *effective::errorKindName(ErrorKind Kind) {
 
 std::string ErrorReporter::renderMessage(const ErrorInfo &Info) const {
   std::string Msg = errorKindName(Info.Kind);
-  Msg += formatString(": pointer %p", Info.Pointer);
-  if (Info.StaticType)
-    Msg += formatString(" of static type (%s)",
-                        Info.StaticType->str().c_str());
-  if (Info.AllocType)
-    Msg += formatString(" points to object of dynamic type (%s) at offset "
-                        "%lld",
-                        Info.AllocType->str().c_str(),
-                        (long long)Info.Offset);
-  else
+
+  if (const SiteInfo *W = Info.Where) {
+    // Site-attributed form (docs/REPORT_FORMAT.md): name the source
+    // location and function, never the raw pointer — the report is
+    // deterministic across runs, and dedup is per site anyway.
+    if (W->hasLocation())
+      Msg += formatString(" at %s:%u:%u", W->File, W->Line, W->Column);
+    else
+      Msg += formatString(" at %s", W->File);
+    if (W->Function[0] != '\0') {
+      Msg += " in ";
+      Msg += W->Function;
+    }
+    Msg += ":";
+    if (Info.AllocType)
+      Msg += formatString(" allocated (%s),",
+                          Info.AllocType->str().c_str());
+    if (Info.StaticType)
+      Msg += formatString(" used as (%s)",
+                          Info.StaticType->str().c_str());
+    else
+      Msg += formatString(" accessed via (%s)",
+                          checkSiteKindName(W->Kind));
     Msg += formatString(" at offset %lld", (long long)Info.Offset);
+  } else {
+    // Legacy (unattributed) form: API paths and hand-built IR.
+    Msg += formatString(": pointer %p", Info.Pointer);
+    if (Info.StaticType)
+      Msg += formatString(" of static type (%s)",
+                          Info.StaticType->str().c_str());
+    if (Info.AllocType)
+      Msg += formatString(" points to object of dynamic type (%s) at "
+                          "offset %lld",
+                          Info.AllocType->str().c_str(),
+                          (long long)Info.Offset);
+    else
+      Msg += formatString(" at offset %lld", (long long)Info.Offset);
+  }
+
   if (Info.Detail) {
     Msg += " [";
     Msg += Info.Detail;
@@ -55,8 +83,11 @@ void ErrorReporter::report(const ErrorInfo &Info) {
 
   std::lock_guard<std::mutex> Guard(Lock);
   ++Events;
+  if (Info.Site != NoSite && !(Info.Site & PseudoSiteBit))
+    ++SiteEvents[Info.Site];
 
-  BucketKey Key{Info.Kind, Info.StaticType, Info.AllocType, Info.Offset};
+  BucketKey Key{Info.Kind, Info.StaticType, Info.AllocType, Info.Offset,
+                Info.Site};
   auto [It, Inserted] = BucketIndex.try_emplace(Key, Buckets.size());
   if (Inserted) {
     ErrorBucket Bucket;
@@ -64,6 +95,8 @@ void ErrorReporter::report(const ErrorInfo &Info) {
     Bucket.StaticType = Info.StaticType;
     Bucket.AllocType = Info.AllocType;
     Bucket.Offset = Info.Offset;
+    Bucket.Site = Info.Site;
+    Bucket.Where = Info.Where;
     Bucket.Events = 1;
     Bucket.Message = renderMessage(Info);
     Buckets.push_back(std::move(Bucket));
@@ -131,6 +164,12 @@ uint64_t ErrorReporter::numSuppressed() const {
   return Suppressed;
 }
 
+uint64_t ErrorReporter::numEventsAtSite(SiteId Site) const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  auto It = SiteEvents.find(Site);
+  return It == SiteEvents.end() ? 0 : It->second;
+}
+
 std::vector<ErrorBucket> ErrorReporter::buckets() const {
   std::lock_guard<std::mutex> Guard(Lock);
   return Buckets;
@@ -154,6 +193,7 @@ void ErrorReporter::clear() {
   std::lock_guard<std::mutex> Guard(Lock);
   BucketIndex.clear();
   Buckets.clear();
+  SiteEvents.clear();
   Events = 0;
   Emitted = 0;
   Suppressed = 0;

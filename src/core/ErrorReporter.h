@@ -16,6 +16,7 @@
 #ifndef EFFECTIVE_CORE_ERRORREPORTER_H
 #define EFFECTIVE_CORE_ERRORREPORTER_H
 
+#include "core/SiteTable.h"
 #include "core/TypeInfo.h"
 
 #include <cstdio>
@@ -50,7 +51,11 @@ enum class ReportMode : uint8_t {
   Count,
 };
 
-/// One detected error event.
+/// One detected error event. A plain value: everything it points to is
+/// either interned (types), owned by a session-lifetime registry
+/// (Where) or a string literal (Detail), so events can be copied whole
+/// into a concurrent::ErrorRing and rendered later by a central
+/// drainer without borrowing anything from the erring thread.
 struct ErrorInfo {
   ErrorKind Kind = ErrorKind::TypeError;
   /// The static type the program used (null when not applicable).
@@ -63,6 +68,14 @@ struct ErrorInfo {
   const void *Pointer = nullptr;
   /// Optional free-form detail appended to the log line.
   const char *Detail = nullptr;
+  /// The erring check's site identity (rebased; NoSite when the error
+  /// did not come from a sited check). Part of the dedup bucket key,
+  /// so issues are counted per *site*, not per raw pointer value.
+  SiteId Site = NoSite;
+  /// Source attribution for Site, resolved by the runtime at report
+  /// time (null for pseudo-sites and unregistered ids). Points into
+  /// the session's SiteTableRegistry — stable across ring drains.
+  const SiteInfo *Where = nullptr;
 };
 
 /// One deduplicated issue (the paper's Figure 7 "#Issues-found" counts
@@ -72,6 +85,10 @@ struct ErrorBucket {
   const TypeInfo *StaticType;
   const TypeInfo *AllocType;
   int64_t Offset;
+  /// The check site the bucket is keyed by (NoSite for unsited paths).
+  SiteId Site = NoSite;
+  /// Source attribution of the first event (null when unattributed).
+  const SiteInfo *Where = nullptr;
   uint64_t Events = 0;
   std::string Message;
 };
@@ -138,6 +155,10 @@ public:
   /// per-bucket or total report caps.
   uint64_t numSuppressed() const;
 
+  /// Error events recorded at check site \p Site (the per-site error
+  /// counter the C ABI exposes; 0 for sites that never erred).
+  uint64_t numEventsAtSite(SiteId Site) const;
+
   /// Snapshot of all buckets (sorted by first occurrence).
   std::vector<ErrorBucket> buckets() const;
 
@@ -157,11 +178,18 @@ public:
   ReporterOptions &options() { return Options; }
 
 private:
+  /// The dedup key: *site-keyed* — two checks at different source
+  /// sites are distinct issues even when they trip over the same types
+  /// and offset, while one site looping over the same offense stays
+  /// one issue. Pseudo-sites are type-derived (a function of the
+  /// static type, which is already in the key), so unsited API paths
+  /// keep their type+offset bucketing exactly.
   struct BucketKey {
     ErrorKind Kind;
     const TypeInfo *StaticType;
     const TypeInfo *AllocType;
     int64_t Offset;
+    SiteId Site;
     bool operator<(const BucketKey &O) const {
       if (Kind != O.Kind)
         return Kind < O.Kind;
@@ -169,7 +197,9 @@ private:
         return StaticType < O.StaticType;
       if (AllocType != O.AllocType)
         return AllocType < O.AllocType;
-      return Offset < O.Offset;
+      if (Offset != O.Offset)
+        return Offset < O.Offset;
+      return Site < O.Site;
     }
   };
 
@@ -179,6 +209,8 @@ private:
   mutable std::mutex Lock;
   std::map<BucketKey, size_t> BucketIndex;
   std::vector<ErrorBucket> Buckets;
+  /// Events per sited check (pseudo- and unsited events not tracked).
+  std::map<SiteId, uint64_t> SiteEvents;
   uint64_t Events = 0;
   uint64_t Emitted = 0;
   uint64_t Suppressed = 0;

@@ -183,10 +183,21 @@ private:
                    ::effective::TypeOf<decltype(TYPE::FIELD)>::get(Ctx),     \
                    offsetof(TYPE, FIELD));
 
+/* Concurrency: the fast path accepts only *complete* cached records;
+ * a build is serialized by the context's recursive reflect guard, so
+ * two threads reflecting TYPE first-use-concurrently agree on ONE
+ * record (the loser of the race finds the winner's complete record on
+ * its double-check), and no thread can observe a record whose fields
+ * are still being written. The early setCached (before the fields) is
+ * what lets a self-referential TYPE find its own in-progress record
+ * through the plain getCached on the re-entrant path. */
 #define EFFSAN_REFLECT_BODY(TYPE, KIND, PRELUDE, ...)                        \
   template <> struct effective::TypeOf<TYPE> {                               \
     static const ::effective::TypeInfo *get(::effective::TypeContext &Ctx) { \
       static char CacheTag;                                                  \
+      if (const auto *Cached = Ctx.getCachedComplete(&CacheTag))             \
+        return Cached;                                                       \
+      auto ReflectGuard = Ctx.reflectGuard();                                \
       if (const auto *Cached = Ctx.getCached(&CacheTag))                     \
         return Cached;                                                       \
       ::effective::ReflectBuilder Builder(Ctx, KIND, #TYPE);                 \

@@ -28,7 +28,11 @@ Runtime::Runtime(TypeContext &Ctx, const RuntimeOptions &Options)
       Heap(*OwnedHeap), Shard(0), Epoch(nextRuntimeEpoch()),
       Globals(Heap, Shard), Reporter(Options.Reporter),
       VoidPtrType(Ctx.getPointer(Ctx.getVoid())),
-      Cache(Options.SiteCacheEntries) {}
+      Cache(Options.SiteCacheEntries),
+      OwnedSites(Options.SharedSites
+                     ? nullptr
+                     : std::make_unique<SiteTableRegistry>()),
+      Sites(Options.SharedSites ? *Options.SharedSites : *OwnedSites) {}
 
 Runtime::Runtime(TypeContext &Ctx, lowfat::LowFatHeap &SharedHeap,
                  unsigned Shard, const RuntimeOptions &Options)
@@ -36,7 +40,11 @@ Runtime::Runtime(TypeContext &Ctx, lowfat::LowFatHeap &SharedHeap,
       Epoch(nextRuntimeEpoch()), Globals(Heap, Shard),
       Reporter(Options.Reporter),
       VoidPtrType(Ctx.getPointer(Ctx.getVoid())),
-      Cache(Options.SiteCacheEntries) {
+      Cache(Options.SiteCacheEntries),
+      OwnedSites(Options.SharedSites
+                     ? nullptr
+                     : std::make_unique<SiteTableRegistry>()),
+      Sites(Options.SharedSites ? *Options.SharedSites : *OwnedSites) {
   assert(Shard < Heap.numShards() && "shard index out of range");
 }
 
@@ -243,8 +251,8 @@ static void fillSiteEntry(SiteCacheEntry &E, const TypeInfo *Alloc,
 }
 
 Bounds Runtime::typeCheckImpl(const void *Ptr, const TypeInfo *StaticType,
-                              const MetaHeader *Meta,
-                              SiteCacheEntry *Fill) {
+                              const MetaHeader *Meta, SiteCacheEntry *Fill,
+                              SiteId Site) {
   assert(StaticType && "type check against null static type");
   const TypeInfo *Alloc = Meta->Type;
   if (EFFSAN_UNLIKELY(!Alloc))
@@ -260,7 +268,8 @@ Bounds Runtime::typeCheckImpl(const void *Ptr, const TypeInfo *StaticType,
   if (EFFSAN_UNLIKELY(Alloc->isFree())) {
     Reporter.report(ErrorInfo{ErrorKind::UseAfterFree, StaticType, Alloc,
                               static_cast<int64_t>(P - ObjBase), Ptr,
-                              "use of freed object"});
+                              "use of freed object", Site,
+                              Sites.resolve(Site)});
     return Bounds::wide();
   }
 
@@ -269,7 +278,8 @@ Bounds Runtime::typeCheckImpl(const void *Ptr, const TypeInfo *StaticType,
     Reporter.report(ErrorInfo{ErrorKind::BoundsError, StaticType, Alloc,
                               static_cast<int64_t>(P) -
                                   static_cast<int64_t>(ObjBase),
-                              Ptr, "input pointer outside allocation"});
+                              Ptr, "input pointer outside allocation",
+                              Site, Sites.resolve(Site)});
     return Bounds::wide();
   }
   uint64_t K = P - ObjBase;
@@ -314,7 +324,8 @@ Bounds Runtime::typeCheckImpl(const void *Ptr, const TypeInfo *StaticType,
   // Errors are never cached so every erring check keeps reporting
   // (bucketing/dedup happen in the reporter, not here).
   Reporter.report(ErrorInfo{ErrorKind::TypeError, StaticType, Alloc,
-                            static_cast<int64_t>(K), Ptr, nullptr});
+                            static_cast<int64_t>(K), Ptr, nullptr, Site,
+                            Sites.resolve(Site)});
   return Bounds::wide();
 }
 
@@ -323,7 +334,7 @@ Bounds Runtime::typeCheckSlow(const void *Ptr, const TypeInfo *StaticType,
   CheckCounters::bump(Counters.TypeCheckCacheMisses);
   SiteCacheEntry *Fill =
       Cache.enabled() ? &Cache.entryFor(Site) : nullptr;
-  return typeCheckImpl(Ptr, StaticType, Meta, Fill);
+  return typeCheckImpl(Ptr, StaticType, Meta, Fill, Site);
 }
 
 Bounds Runtime::typeCheckUncached(const void *Ptr,
@@ -336,34 +347,47 @@ Bounds Runtime::typeCheckUncached(const void *Ptr,
   }
   return typeCheckImpl(Ptr, StaticType,
                        static_cast<const MetaHeader *>(Base),
-                       /*Fill=*/nullptr);
+                       /*Fill=*/nullptr, siteForType(StaticType));
 }
 
-Bounds Runtime::boundsGet(const void *Ptr) {
+Bounds Runtime::boundsGet(const void *Ptr, SiteId Site) {
   CheckCounters::bump(Counters.BoundsGets);
   const MetaHeader *Meta = metaOf(Ptr);
   if (!Meta || !Meta->Type)
     return Bounds::wide();
   if (EFFSAN_UNLIKELY(Meta->Type->isFree())) {
     Reporter.report(ErrorInfo{ErrorKind::UseAfterFree, nullptr,
-                              Meta->Type, 0, Ptr, "use of freed object"});
+                              Meta->Type, 0, Ptr, "use of freed object",
+                              Site, Sites.resolve(Site)});
     return Bounds::wide();
   }
   return Bounds::forObject(Meta + 1, Meta->Size);
 }
 
-void Runtime::boundsCheckFail(const void *Ptr, size_t Size, Bounds B) {
-  const MetaHeader *Meta = metaOf(Ptr);
+void Runtime::boundsCheckFail(const void *Ptr, size_t Size, Bounds B,
+                              SiteId Site) {
+  // Attribute the failure to the object the *bounds* came from, not to
+  // whatever allocation the stray pointer happens to land in: B.Lo is
+  // inside (a sub-object of) the checked object, so its META names the
+  // object the pointer was derived from. Probing the out-of-bounds
+  // pointer instead would read a neighboring block's (or a recycled
+  // arena's stale) header — a nondeterministic misattribution. Wide
+  // bounds carry no originating object; only then probe the pointer.
+  const MetaHeader *Meta =
+      B.isWide() ? metaOf(Ptr)
+                 : metaOf(reinterpret_cast<const void *>(B.Lo));
   const TypeInfo *Alloc = Meta ? Meta->Type : nullptr;
   int64_t Offset = 0;
   if (Meta)
     Offset = static_cast<int64_t>(reinterpret_cast<uintptr_t>(Ptr)) -
              static_cast<int64_t>(reinterpret_cast<uintptr_t>(Meta + 1));
+  const SiteInfo *Where = Sites.resolve(Site);
   if (Alloc && Alloc->isFree()) {
     Reporter.report(ErrorInfo{ErrorKind::UseAfterFree, nullptr, Alloc,
-                              Offset, Ptr, "access to freed object"});
+                              Offset, Ptr, "access to freed object", Site,
+                              Where});
     return;
   }
   Reporter.report(ErrorInfo{ErrorKind::BoundsError, nullptr, Alloc, Offset,
-                            Ptr, "out-of-bounds access"});
+                            Ptr, "out-of-bounds access", Site, Where});
 }

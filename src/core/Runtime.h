@@ -32,6 +32,7 @@
 #include "core/Layout.h"
 #include "core/Meta.h"
 #include "core/SiteCache.h"
+#include "core/SiteTable.h"
 #include "core/TypeContext.h"
 #include "lowfat/GlobalPool.h"
 #include "lowfat/LowFatHeap.h"
@@ -130,6 +131,12 @@ struct RuntimeOptions {
   /// a power of two; 0 disables the fast path entirely — every check
   /// takes the slow meta + layout-probe path).
   size_t SiteCacheEntries = 1024;
+  /// When non-null, the runtime resolves error sites against this
+  /// externally owned registry instead of a private one — how
+  /// concurrent::SessionPool gives all shards one pool-wide site
+  /// space, so the central drainer attributes any shard's errors. The
+  /// registry must outlive the runtime.
+  SiteTableRegistry *SharedSites = nullptr;
 };
 
 /// One EffectiveSan runtime instance: a low-fat heap plus type meta data
@@ -276,15 +283,21 @@ public:
 
   /// The EffectiveSan-bounds variant's bounds_get: returns the
   /// allocation bounds without verifying the type (Section 6.2).
-  Bounds boundsGet(const void *Ptr);
+  /// \p Site attributes any use-after-free it detects (the
+  /// instrumentation-assigned id for interpreted checks, NoSite for
+  /// unsited API paths).
+  Bounds boundsGet(const void *Ptr, SiteId Site = NoSite);
 
   /// The paper's bounds_check (Figure 3 rule (g)): verifies the \p Size
-  /// byte access at \p Ptr lies within \p B; reports otherwise.
+  /// byte access at \p Ptr lies within \p B; reports otherwise. \p Site
+  /// is the check's identity — it rides the register-passed arguments
+  /// for free and is only touched on the failing (noinline) path, so
+  /// attribution costs the hot path nothing.
   EFFSAN_ALWAYS_INLINE void boundsCheck(const void *Ptr, size_t Size,
-                                        Bounds B) {
+                                        Bounds B, SiteId Site = NoSite) {
     CheckCounters::bump(Counters.BoundsChecks);
     if (EFFSAN_UNLIKELY(!B.contains(Ptr, Size)))
-      boundsCheckFail(Ptr, Size, B);
+      boundsCheckFail(Ptr, Size, B, Site);
   }
 
   /// The paper's bounds_narrow (Figure 3 rule (e)): narrows \p B to the
@@ -327,9 +340,15 @@ public:
   /// The session's type-check inline cache (tests and statistics).
   SiteCache &siteCache() { return Cache; }
 
+  /// The registry error sites are attributed against (private by
+  /// default, pool-shared when RuntimeOptions::SharedSites was set).
+  /// Module loaders register their SiteTable here and rebase the
+  /// instruction sites by the returned base id.
+  SiteTableRegistry &siteTables() { return Sites; }
+
 private:
   EFFSAN_NOINLINE void boundsCheckFail(const void *Ptr, size_t Size,
-                                       Bounds B);
+                                       Bounds B, SiteId Site);
   /// The Figure 6 slow path: full layout probe (with the coercion
   /// fallbacks), error reporting, and cache refill. \p Meta is the
   /// non-null META header typeCheck already resolved.
@@ -337,9 +356,11 @@ private:
                                        const TypeInfo *StaticType,
                                        SiteId Site, const MetaHeader *Meta);
   /// Shared core of typeCheckSlow/typeCheckUncached; fills \p Fill (when
-  /// non-null) with the successful layout resolution.
+  /// non-null) with the successful layout resolution; attributes any
+  /// error it reports to \p Site.
   Bounds typeCheckImpl(const void *Ptr, const TypeInfo *StaticType,
-                       const MetaHeader *Meta, SiteCacheEntry *Fill);
+                       const MetaHeader *Meta, SiteCacheEntry *Fill,
+                       SiteId Site);
   lowfat::StackPool &stackPool();
 
   TypeContext &Ctx;
@@ -359,6 +380,11 @@ private:
   const TypeInfo *VoidPtrType;
   /// The site-indexed type-check inline cache (see core/SiteCache.h).
   SiteCache Cache;
+  /// Site attribution: private registry unless the options injected a
+  /// shared (pool-wide) one. Survives reset() — attribution metadata
+  /// is immutable and names no heap addresses.
+  std::unique_ptr<SiteTableRegistry> OwnedSites; ///< Null when shared.
+  SiteTableRegistry &Sites;
 };
 
 } // namespace effective

@@ -67,12 +67,21 @@ inline constexpr SiteId NoSite = ~0u;
 /// static types, whose result is always the allocation bounds).
 inline constexpr uint64_t AnyNormOffset = ~uint64_t(0);
 
+/// Tag bit distinguishing type-derived pseudo-sites from
+/// instrumentation-assigned (and registry-rebased) site ids. The
+/// SiteTableRegistry allocates real ids densely from zero and never
+/// crosses this bit, so a pseudo-site can never resolve to another
+/// module's source location by accident. The cache indexes by
+/// Site & mask either way, so the tag costs nothing on the hot path.
+inline constexpr SiteId PseudoSiteBit = SiteId(1) << 31;
+
 /// The pseudo-site for checks without a compiler-assigned site: types
 /// are interned, so hashing the static type gives each distinct check
 /// type its own (stable) slot — matching the cache key's static-type
-/// component exactly.
+/// component exactly. Tagged with PseudoSiteBit so source attribution
+/// (core/SiteTable.h) rejects it.
 inline SiteId siteForType(const TypeInfo *StaticType) {
-  return static_cast<SiteId>(hashPointer(StaticType));
+  return static_cast<SiteId>(hashPointer(StaticType)) | PseudoSiteBit;
 }
 
 /// One monomorphic inline-cache entry. Cache-line sized so concurrent

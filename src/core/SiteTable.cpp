@@ -1,0 +1,107 @@
+//===- core/SiteTable.cpp - Check-site source attribution -----------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SiteTable.h"
+
+#include <algorithm>
+
+using namespace effective;
+
+const char *effective::checkSiteKindName(CheckSiteKind Kind) {
+  switch (Kind) {
+  case CheckSiteKind::TypeCheck:
+    return "type_check";
+  case CheckSiteKind::BoundsGet:
+    return "bounds_get";
+  case CheckSiteKind::BoundsCheck:
+    return "bounds_check";
+  case CheckSiteKind::BoundsNarrow:
+    return "bounds_narrow";
+  }
+  return "check";
+}
+
+SiteId SiteTableRegistry::registerTable(const SiteTable &Table,
+                                        uint64_t Key) {
+  if (Table.Entries.empty())
+    return NoSite;
+
+  std::lock_guard<std::mutex> Guard(Lock);
+  if (Key) {
+    for (const auto &T : Tables)
+      if (T->Key == Key)
+        return T->Base;
+  }
+  // The rebased range must stay clear of the PseudoSiteBit tag space;
+  // a session would need two billion registered sites to get here.
+  if (NextBase + Table.Entries.size() >= PseudoSiteBit)
+    return NoSite;
+
+  auto R = std::make_unique<Registered>();
+  R->Key = Key;
+  R->Base = NextBase;
+  R->File = Table.File;
+
+  // Intern each distinct function name once; the SiteInfo pointers
+  // must stay stable, so names live in individually allocated strings.
+  auto intern = [&](const std::string &S) -> const char * {
+    if (S.empty())
+      return "";
+    for (const auto &Existing : R->Strings)
+      if (*Existing == S)
+        return Existing->c_str();
+    R->Strings.push_back(std::make_unique<std::string>(S));
+    return R->Strings.back()->c_str();
+  };
+
+  R->Sites.reserve(Table.Entries.size());
+  for (size_t I = 0; I < Table.Entries.size(); ++I) {
+    const SiteTable::Entry &E = Table.Entries[I];
+    SiteInfo Info;
+    Info.Site = R->Base + static_cast<SiteId>(I);
+    Info.Kind = E.Kind;
+    Info.Line = E.Loc.Line;
+    Info.Column = E.Loc.Column;
+    Info.File = R->File.c_str();
+    Info.Function = intern(E.Function);
+    Info.StaticType = E.StaticType;
+    R->Sites.push_back(Info);
+  }
+
+  SiteId Base = R->Base;
+  NextBase += static_cast<SiteId>(Table.Entries.size());
+  Tables.push_back(std::move(R));
+  return Base;
+}
+
+const SiteInfo *SiteTableRegistry::resolve(SiteId Site) const {
+  if (Site == NoSite || (Site & PseudoSiteBit))
+    return nullptr;
+  std::lock_guard<std::mutex> Guard(Lock);
+  // Tables are sorted by Base; find the last table with Base <= Site.
+  auto It = std::upper_bound(
+      Tables.begin(), Tables.end(), Site,
+      [](SiteId S, const std::unique_ptr<Registered> &T) {
+        return S < T->Base;
+      });
+  if (It == Tables.begin())
+    return nullptr;
+  const Registered &T = **std::prev(It);
+  size_t Local = Site - T.Base;
+  if (Local >= T.Sites.size())
+    return nullptr;
+  return &T.Sites[Local];
+}
+
+uint64_t SiteTableRegistry::numSites() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return NextBase;
+}
+
+size_t SiteTableRegistry::numTables() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Tables.size();
+}

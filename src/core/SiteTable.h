@@ -1,0 +1,156 @@
+//===- core/SiteTable.h - Check-site source attribution ---------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Source attribution for check sites. PR 3 gave every instrumented
+/// check a dense per-module SiteId so the runtime could index its
+/// inline caches; this layer gives those ids a *meaning*: for each site
+/// the instrumentation pass records where the check came from (source
+/// file/line/column), what kind of check it is, which function it sits
+/// in and what static type it checks against. Sessions collect the
+/// per-module tables in a SiteTableRegistry, and every error path
+/// resolves its site back to a SiteInfo, so reports read like the
+/// paper's:
+///
+///   TYPE ERROR at spec.c:41:7 in hot_loop: allocated (int[10]),
+///   used as (struct S) at offset 40
+///
+/// instead of naming an anonymous heap address.
+///
+/// Id spaces. A module numbers its sites densely from zero; a registry
+/// *rebases* each registered table onto the next free range and the
+/// interpreter adds the returned base when handing sites to the
+/// runtime, so any number of modules coexist in one session without
+/// collisions. Type-derived pseudo-sites (API paths with no
+/// compiler-assigned site; see siteForType) carry the PseudoSiteBit
+/// tag, which keeps them disjoint from every rebased range — a
+/// pseudo-site can never accidentally resolve to another module's
+/// source location.
+///
+/// Lifetime. The registry copies everything it is handed (strings
+/// included), so a registered ir::Module may die while its errors are
+/// still queued in a concurrent::ErrorRing: the SiteInfo pointers
+/// carried by in-flight ErrorInfo events point into the registry, which
+/// lives as long as the session/pool. Registered tables survive
+/// Runtime::reset() for the same reason type handles do — attribution
+/// metadata is immutable and address-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_CORE_SITETABLE_H
+#define EFFECTIVE_CORE_SITETABLE_H
+
+#include "core/SiteCache.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace effective {
+
+class TypeInfo;
+
+/// What a check site checks (mirrors the instrumentation opcodes).
+enum class CheckSiteKind : uint8_t {
+  TypeCheck,    ///< type_check — Figure 3 rules (a)-(d).
+  BoundsGet,    ///< bounds_get — the -bounds variant's input check.
+  BoundsCheck,  ///< bounds_check — rule (g).
+  BoundsNarrow, ///< bounds_narrow — rule (e).
+};
+
+/// Returns a stable name for \p Kind ("type_check", ...).
+const char *checkSiteKindName(CheckSiteKind Kind);
+
+/// One module's site descriptions, dense by local SiteId. Built by the
+/// instrumentation pass (ir::Module owns one) or by hand through the C
+/// ABI; consumed by SiteTableRegistry::registerTable, which copies it.
+struct SiteTable {
+  /// One site's description (registration input).
+  struct Entry {
+    CheckSiteKind Kind = CheckSiteKind::TypeCheck;
+    SourceLoc Loc;        ///< Invalid (line 0) = location unknown.
+    std::string Function; ///< Enclosing function; empty = unknown.
+    /// The static type the check verifies against (null for pure
+    /// bounds checks, which carry no static type).
+    const TypeInfo *StaticType = nullptr;
+  };
+
+  /// Source file the table's locations refer to.
+  std::string File;
+  /// Entries[I] describes local site I.
+  std::vector<Entry> Entries;
+
+  bool empty() const { return Entries.empty(); }
+};
+
+/// One resolved site, as carried by error reports. The string pointers
+/// point into the owning registry and stay valid for its lifetime.
+struct SiteInfo {
+  SiteId Site = NoSite; ///< The *rebased* (registry-global) id.
+  CheckSiteKind Kind = CheckSiteKind::TypeCheck;
+  unsigned Line = 0;   ///< 1-based; 0 = unknown.
+  unsigned Column = 0; ///< 1-based; 0 = unknown.
+  const char *File = "";
+  const char *Function = "";
+  const TypeInfo *StaticType = nullptr;
+
+  bool hasLocation() const { return Line != 0; }
+};
+
+/// A session's collection of registered site tables. Registration
+/// copies the table and rebases its dense local ids onto the next free
+/// global range; resolve() maps a rebased id back to its SiteInfo.
+/// Thread-safe; resolution sits on error slow paths only.
+class SiteTableRegistry {
+public:
+  SiteTableRegistry() = default;
+  SiteTableRegistry(const SiteTableRegistry &) = delete;
+  SiteTableRegistry &operator=(const SiteTableRegistry &) = delete;
+
+  /// Registers a copy of \p Table and returns the base id its local
+  /// sites were rebased to (global id = base + local id). \p Key, when
+  /// nonzero, identifies the producer — a *process-unique* id such as
+  /// ir::Module::uid(), never a reusable address: re-registering the
+  /// same key returns the original base instead of burning a new
+  /// range, so re-running a module is idempotent, while a new module
+  /// can never inherit a dead one's attributions. Registering an empty
+  /// table returns NoSite.
+  SiteId registerTable(const SiteTable &Table, uint64_t Key = 0);
+
+  /// The SiteInfo for rebased id \p Site, or null when the id is
+  /// NoSite, tagged as a pseudo-site, or outside every registered
+  /// range.
+  const SiteInfo *resolve(SiteId Site) const;
+
+  /// Total sites across all registered tables.
+  uint64_t numSites() const;
+
+  /// Number of registered tables.
+  size_t numTables() const;
+
+private:
+  struct Registered {
+    uint64_t Key;
+    SiteId Base;
+    std::string File;
+    /// Interned function-name storage backing Sites[*].Function.
+    std::vector<std::unique_ptr<std::string>> Strings;
+    /// Dense by local id; never mutated after registration, so
+    /// pointers into it are stable.
+    std::vector<SiteInfo> Sites;
+  };
+
+  mutable std::mutex Lock;
+  /// Sorted by Base (registration order — bases are monotone).
+  std::vector<std::unique_ptr<Registered>> Tables;
+  SiteId NextBase = 0;
+};
+
+} // namespace effective
+
+#endif // EFFECTIVE_CORE_SITETABLE_H

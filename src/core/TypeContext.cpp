@@ -289,6 +289,20 @@ const TypeInfo *TypeContext::getCached(const void *Key) const {
   return It == ReflectCache.end() ? nullptr : It->second;
 }
 
+const TypeInfo *TypeContext::getCachedComplete(const void *Key) const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  auto It = ReflectCache.find(Key);
+  if (It == ReflectCache.end())
+    return nullptr;
+  // Refuse a record another thread is still defining; Complete is
+  // written by defineRecord under this same mutex, so the read here is
+  // ordered. The caller falls back to the reflect guard and retries.
+  if (const auto *Rec = dyn_cast<RecordType>(It->second))
+    if (!Rec->isComplete())
+      return nullptr;
+  return It->second;
+}
+
 void TypeContext::setCached(const void *Key, const TypeInfo *Type) {
   std::lock_guard<std::mutex> Guard(Lock);
   ReflectCache.emplace(Key, Type);

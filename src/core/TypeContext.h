@@ -91,9 +91,25 @@ public:
   /// \name Reflection cache.
   /// Native reflection (core/Reflect.h) memoizes one TypeInfo per C++
   /// type per context, keyed by a unique static tag address.
+  ///
+  /// Thread safety protocol: record builds are serialized by
+  /// reflectGuard() (recursive, so a record whose field type is itself
+  /// a reflected record re-enters safely, and a self-referential type
+  /// finds its own in-progress record through getCached). The fast
+  /// path uses getCachedComplete, which refuses a record
+  /// still under construction — such a caller then blocks on the guard
+  /// until the builder finishes, so no thread can ever allocate or
+  /// check against a half-defined record.
   /// @{
   const TypeInfo *getCached(const void *Key) const;
+  /// As getCached, but returns null for a record that is not yet
+  /// complete (mid-build on another thread).
+  const TypeInfo *getCachedComplete(const void *Key) const;
   void setCached(const void *Key, const TypeInfo *Type);
+  /// Serializes reflection builds on this context.
+  std::unique_lock<std::recursive_mutex> reflectGuard() {
+    return std::unique_lock<std::recursive_mutex>(ReflectBuildLock);
+  }
   /// @}
 
   /// Interns a string into the context arena.
@@ -112,6 +128,9 @@ private:
   }
 
   mutable std::mutex Lock;
+  /// Serializes whole reflection builds (see reflectGuard). Recursive:
+  /// reflecting a record reflects its field types first.
+  std::recursive_mutex ReflectBuildLock;
   Arena A;
   const TypeInfo *Primitives[static_cast<unsigned>(TypeKind::AnyPointer) +
                              1] = {};

@@ -8,6 +8,7 @@
 
 #include "support/Hashing.h"
 
+#include <algorithm>
 #include <bit>
 #include <unordered_map>
 #include <vector>
@@ -193,6 +194,211 @@ std::vector<bool> computeBlockLocal(const Function &F) {
   return Local;
 }
 
+//===----------------------------------------------------------------------===//
+// Cross-block check merging
+//===----------------------------------------------------------------------===//
+
+/// One must-available check fact. For TypeCheck/BoundsGet the fact is
+/// the whole instruction identity (pointer reg, static type, bounds
+/// destination); for BoundsCheck it is the (pointer, bounds) pair with
+/// the widest size already checked.
+struct CheckFact {
+  Opcode Op;
+  Reg A;
+  const TypeInfo *Type; ///< Null for bounds_check facts.
+  BReg B;               ///< BDst (input checks) / BSrc (bounds_check).
+
+  bool operator==(const CheckFact &) const = default;
+};
+
+struct CheckFactHash {
+  size_t operator()(const CheckFact &K) const {
+    uint64_t H = static_cast<uint8_t>(K.Op);
+    H = hashCombine(H, (uint64_t(K.A) << 32) | K.B);
+    H = hashCombine(H, reinterpret_cast<uintptr_t>(K.Type));
+    return static_cast<size_t>(H);
+  }
+};
+
+/// Fact set: fact -> checked size (meaningful for bounds_check facts;
+/// 0 otherwise).
+using FactMap = std::unordered_map<CheckFact, uint64_t, CheckFactHash>;
+
+class CrossBlockMerge {
+public:
+  CrossBlockMerge(Function &F, MergeStats &Stats) : F(F), Stats(Stats) {}
+
+  void run() {
+    if (F.Blocks.size() < 2)
+      return; // Single block: the in-block subsumption rule owns it.
+    computeOrder();
+    computeOut();
+    rewrite();
+  }
+
+private:
+  static CheckFact factOf(const Instr &I) {
+    if (I.Op == Opcode::BoundsCheck)
+      return CheckFact{I.Op, I.A, nullptr, I.BSrc};
+    return CheckFact{I.Op, I.A, I.Type, I.BDst};
+  }
+
+  /// Applies \p I's effect to \p Facts: kill everything its
+  /// definitions invalidate, then (for checks) add its own fact.
+  static void transfer(const Instr &I, FactMap &Facts) {
+    if (I.Op == Opcode::Call || I.Op == Opcode::Free) {
+      // May free memory: a surviving fact could mask a use-after-free
+      // that has since become a bounds/type error. Same rule as the
+      // in-block subsumption pass.
+      Facts.clear();
+      return;
+    }
+    if (I.Dst != NoReg)
+      std::erase_if(Facts,
+                    [&](const auto &E) { return E.first.A == I.Dst; });
+    if (I.BDst != NoBReg)
+      std::erase_if(Facts,
+                    [&](const auto &E) { return E.first.B == I.BDst; });
+    switch (I.Op) {
+    case Opcode::TypeCheck:
+    case Opcode::BoundsGet:
+      Facts[factOf(I)] = 0;
+      break;
+    case Opcode::BoundsCheck: {
+      uint64_t &Size = Facts[factOf(I)];
+      if (I.Imm > Size)
+        Size = I.Imm;
+      break;
+    }
+    default:
+      break;
+    }
+  }
+
+  /// Reverse post-order over the CFG from the entry block.
+  void computeOrder() {
+    std::vector<uint8_t> State(F.Blocks.size(), 0);
+    std::vector<std::pair<BlockId, size_t>> Stack{{0, 0}};
+    State[0] = 1;
+    Order.clear();
+    while (!Stack.empty()) {
+      auto &[B, NextSucc] = Stack.back();
+      std::vector<BlockId> Succs = successors(B);
+      if (NextSucc < Succs.size()) {
+        BlockId S = Succs[NextSucc++];
+        if (State[S] == 0) {
+          State[S] = 1;
+          Stack.push_back({S, 0});
+        }
+        continue;
+      }
+      Order.push_back(B);
+      Stack.pop_back();
+    }
+    std::reverse(Order.begin(), Order.end());
+    Preds.assign(F.Blocks.size(), {});
+    for (BlockId B : Order)
+      for (BlockId S : successors(B))
+        Preds[S].push_back(B);
+  }
+
+  std::vector<BlockId> successors(BlockId B) const {
+    const Block &Blk = F.Blocks[B];
+    if (Blk.Instrs.empty())
+      return {};
+    const Instr &T = Blk.Instrs.back();
+    if (T.Op == Opcode::Br)
+      return {T.Target0};
+    if (T.Op == Opcode::CondBr)
+      return {T.Target0, T.Target1};
+    return {};
+  }
+
+  /// IN[b] = ∩ OUT[preds]; a predecessor whose OUT is not yet known
+  /// (back edge or unreachable) contributes the empty set, which makes
+  /// the intersection empty — conservative, and it converges in one
+  /// RPO sweep.
+  FactMap inOf(BlockId B, const std::vector<bool> &Computed) const {
+    FactMap In;
+    bool First = true;
+    for (BlockId P : Preds[B]) {
+      if (!Computed[P])
+        return {};
+      if (First) {
+        In = Out[P];
+        First = false;
+        continue;
+      }
+      std::erase_if(In, [&](const auto &E) {
+        auto It = Out[P].find(E.first);
+        return It == Out[P].end();
+      });
+      for (auto &[Fact, Size] : In) {
+        uint64_t Other = Out[P].at(Fact);
+        if (Other < Size)
+          Size = Other; // A merged bounds fact covers only the min.
+      }
+    }
+    return Preds[B].empty() ? FactMap{} : In;
+  }
+
+  void computeOut() {
+    Out.assign(F.Blocks.size(), {});
+    std::vector<bool> Computed(F.Blocks.size(), false);
+    for (BlockId B : Order) {
+      FactMap Facts = inOf(B, Computed);
+      for (const Instr &I : F.Blocks[B].Instrs)
+        transfer(I, Facts);
+      Out[B] = std::move(Facts);
+      Computed[B] = true;
+    }
+  }
+
+  void rewrite() {
+    std::vector<bool> Computed(F.Blocks.size(), true);
+    for (BlockId B : Order) {
+      // Deletion consults only facts *inherited* from predecessors —
+      // in-block duplicates stay the subsumption rule's business (and
+      // stay put when that rule is disabled for the ablation).
+      FactMap Inherited = inOf(B, Computed);
+      std::vector<Instr> Kept;
+      Kept.reserve(F.Blocks[B].Instrs.size());
+      for (Instr &I : F.Blocks[B].Instrs) {
+        bool Remove = false;
+        switch (I.Op) {
+        case Opcode::TypeCheck:
+        case Opcode::BoundsGet:
+          Remove = Inherited.contains(factOf(I));
+          if (Remove)
+            ++(I.Op == Opcode::TypeCheck ? Stats.MergedTypeChecks
+                                         : Stats.MergedBoundsGets);
+          break;
+        case Opcode::BoundsCheck: {
+          auto It = Inherited.find(factOf(I));
+          Remove = It != Inherited.end() && I.Imm <= It->second;
+          if (Remove)
+            ++Stats.MergedBoundsChecks;
+          break;
+        }
+        default:
+          break;
+        }
+        if (Remove)
+          continue; // The earlier identical check already defined B/reported.
+        transfer(I, Inherited);
+        Kept.push_back(std::move(I));
+      }
+      F.Blocks[B].Instrs = std::move(Kept);
+    }
+  }
+
+  Function &F;
+  MergeStats &Stats;
+  std::vector<BlockId> Order;
+  std::vector<std::vector<BlockId>> Preds;
+  std::vector<FactMap> Out;
+};
+
 } // namespace
 
 CSEStats instrument::localCSE(Function &F) {
@@ -210,6 +416,23 @@ CSEStats instrument::localCSE(Module &M) {
     CSEStats S = localCSE(*F);
     Stats.Deduplicated += S.Deduplicated;
     Stats.CopiesForwarded += S.CopiesForwarded;
+  }
+  return Stats;
+}
+
+MergeStats instrument::mergeCrossBlockChecks(Function &F) {
+  MergeStats Stats;
+  CrossBlockMerge(F, Stats).run();
+  return Stats;
+}
+
+MergeStats instrument::mergeCrossBlockChecks(Module &M) {
+  MergeStats Stats;
+  for (auto &F : M.Functions) {
+    MergeStats S = mergeCrossBlockChecks(*F);
+    Stats.MergedTypeChecks += S.MergedTypeChecks;
+    Stats.MergedBoundsGets += S.MergedBoundsGets;
+    Stats.MergedBoundsChecks += S.MergedBoundsChecks;
   }
   return Stats;
 }

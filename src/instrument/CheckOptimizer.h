@@ -41,6 +41,36 @@ CSEStats localCSE(ir::Function &F);
 /// Runs localCSE on every function of \p M.
 CSEStats localCSE(ir::Module &M);
 
+/// Statistics of the post-instrumentation cross-block check merge.
+struct MergeStats {
+  uint64_t MergedTypeChecks = 0;
+  uint64_t MergedBoundsGets = 0;
+  uint64_t MergedBoundsChecks = 0;
+  uint64_t merged() const {
+    return MergedTypeChecks + MergedBoundsGets + MergedBoundsChecks;
+  }
+};
+
+/// The post-instrumentation same-site merge pass. localCSE unifies
+/// repeated address computations into one register, so the
+/// instrumentation pass emits structurally identical checks of that
+/// register in *different* blocks — the in-block subsumption rule never
+/// sees them. This pass removes a check when an identical check is
+/// *must-available* on entry to its block: a forward dataflow in
+/// reverse post-order intersects the checks every predecessor
+/// guarantees, killing facts on operand/bounds-register redefinition
+/// and clearing them at calls and frees (either may free memory, after
+/// which replaying a stale check result would mask a use-after-free).
+/// Back edges are treated conservatively (no facts), so loop-carried
+/// checks are never merged. Removing a type_check/bounds_get is sound
+/// because its bounds register still holds the identical earlier
+/// result; removing a bounds_check requires the available check to
+/// cover at least the same access size.
+MergeStats mergeCrossBlockChecks(ir::Function &F);
+
+/// Runs mergeCrossBlockChecks on every function of \p M.
+MergeStats mergeCrossBlockChecks(ir::Module &M);
+
 } // namespace instrument
 } // namespace effective
 

@@ -161,13 +161,16 @@ private:
     C.A = Ptr;
     C.BDst = Into;
     C.Loc = Loc;
-    C.Site = M.newCheckSite();
     if (Opts.V == Variant::Full || Opts.V == Variant::Type) {
       C.Op = Opcode::TypeCheck;
       C.Type = Pointee;
+      C.Site = M.newCheckSite(CheckSiteKind::TypeCheck, Loc, Pointee,
+                              F.name());
       ++Stats.TypeChecks;
     } else {
       C.Op = Opcode::BoundsGet;
+      C.Site = M.newCheckSite(CheckSiteKind::BoundsGet, Loc, Pointee,
+                              F.name());
       ++Stats.BoundsGets;
     }
     Out.push_back(std::move(C));
@@ -184,7 +187,8 @@ private:
     C.Imm = Size;
     C.BSrc = B;
     C.Loc = Loc;
-    C.Site = M.newCheckSite();
+    C.Site = M.newCheckSite(CheckSiteKind::BoundsCheck, Loc,
+                            F.regType(Ptr), F.name());
     ++Stats.BoundsChecks;
     Out.push_back(std::move(C));
   }
@@ -294,7 +298,8 @@ private:
                                                 : boundsFor(Dst);
           N.BDst = boundsFor(Dst);
           N.Loc = Loc;
-          N.Site = M.newCheckSite();
+          N.Site = M.newCheckSite(CheckSiteKind::BoundsNarrow, Loc,
+                                  Rec->fields()[I.Imm].Type, F.name());
           ++Stats.BoundsNarrows;
           Out.push_back(std::move(N));
         }
@@ -334,7 +339,8 @@ private:
             C.Type = Target;
             C.BDst = scratchBReg();
             C.Loc = Loc;
-            C.Site = M.newCheckSite();
+            C.Site = M.newCheckSite(CheckSiteKind::TypeCheck, Loc, Target,
+                                    F.name());
             ++Stats.TypeChecks;
             Out.push_back(std::move(C));
           } else if (!IsDecay) {

@@ -59,6 +59,11 @@ struct InstrumentOptions {
   /// Remove bounds checks subsumed by an earlier check of the same
   /// pointer against the same bounds within a block.
   bool ElideSubsumedChecks = true;
+  /// Run the post-instrumentation cross-block merge: remove a check
+  /// when an identical check is must-available on every path into its
+  /// block (see CheckOptimizer.h). Applied by the pipeline driver,
+  /// after instrumentModule.
+  bool MergeCrossBlockChecks = true;
 };
 
 /// Static counts of what the pass did (per module).
@@ -71,6 +76,8 @@ struct InstrumentStats {
   uint64_t ElidedNeverFail = 0;
   /// bounds_checks removed by the subsumption rule.
   uint64_t ElidedSubsumed = 0;
+  /// Checks removed by the cross-block merge pass (pipeline only).
+  uint64_t ElidedCrossBlock = 0;
   /// Pointer registers that attracted no instrumentation because they
   /// are never used (the paper's cast-and-return case).
   uint64_t UnusedPointers = 0;

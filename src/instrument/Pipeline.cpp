@@ -40,7 +40,8 @@ instrument::instrumentOptionsFor(CheckPolicy Policy,
 CompileResult instrument::compileMiniC(std::string_view Source,
                                        TypeContext &Types,
                                        DiagnosticEngine &Diags,
-                                       const InstrumentOptions &Opts) {
+                                       const InstrumentOptions &Opts,
+                                       std::string_view FileName) {
   CompileResult Result;
 
   minic::ASTContext Ctx(Types);
@@ -55,6 +56,7 @@ CompileResult instrument::compileMiniC(std::string_view Source,
   std::unique_ptr<ir::Module> M = lowerToIR(Unit, Types, Diags);
   if (!M)
     return Result;
+  M->setSourceName(std::string(FileName));
   if (!ir::verifyModule(*M, Diags))
     return Result;
 
@@ -68,6 +70,19 @@ CompileResult instrument::compileMiniC(std::string_view Source,
   Result.Stats = instrumentModule(*M, Opts);
   if (!ir::verifyModule(*M, Diags))
     return Result;
+
+  // Post-instrumentation: merge checks duplicated across blocks (CSE
+  // unified their operands, so whole check instructions are now
+  // structurally identical between blocks).
+  if (Opts.MergeCrossBlockChecks && Opts.V != Variant::None) {
+    MergeStats Merged = mergeCrossBlockChecks(*M);
+    Result.Stats.ElidedCrossBlock = Merged.merged();
+    Result.Stats.TypeChecks -= Merged.MergedTypeChecks;
+    Result.Stats.BoundsGets -= Merged.MergedBoundsGets;
+    Result.Stats.BoundsChecks -= Merged.MergedBoundsChecks;
+    if (!ir::verifyModule(*M, Diags))
+      return Result;
+  }
 
   Result.M = std::move(M);
   return Result;

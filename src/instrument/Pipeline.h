@@ -43,9 +43,13 @@ struct CompileResult {
 
 /// Compiles \p Source under \p Opts. Diagnostics (including verifier
 /// failures, which indicate compiler bugs) accumulate in \p Diags.
+/// \p FileName becomes the module's source name — the file component
+/// of every check site's attribution, shown in printed IR
+/// (`!site N @ "file:line:col"`) and in runtime error reports.
 CompileResult compileMiniC(std::string_view Source, TypeContext &Types,
                            DiagnosticEngine &Diags,
-                           const InstrumentOptions &Opts);
+                           const InstrumentOptions &Opts,
+                           std::string_view FileName = "<minic>");
 
 } // namespace instrument
 } // namespace effective

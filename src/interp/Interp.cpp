@@ -43,6 +43,13 @@ public:
   RunResult run(std::string_view Entry) {
     RunResult R;
     uint64_t IssuesBefore = RT.reporter().numIssues();
+    // Module load: hand the module's site table to the session, so
+    // every check this run executes reports with source attribution.
+    // Keyed by the module's process-unique uid — re-running the same
+    // module reuses the registered range instead of burning a fresh
+    // one, and a later module can never alias a destroyed one.
+    if (M.numCheckSites() != 0)
+      SiteBase = RT.siteTables().registerTable(M.siteTable(), M.uid());
     allocateGlobals();
     if (const Function *Init = M.findFunction("__global_init"))
       callFunction(*Init, {});
@@ -476,13 +483,14 @@ private:
         break;
       case Opcode::BoundsGet:
         ++Checks.BoundsGets;
-        BRegs[I.BDst] =
-            Regs[I.A].P ? vmBoundsGet(Regs[I.A].P) : Bounds::wide();
+        BRegs[I.BDst] = Regs[I.A].P
+                            ? vmBoundsGet(Regs[I.A].P, I.Site)
+                            : Bounds::wide();
         break;
       case Opcode::BoundsCheck:
         ++Checks.BoundsChecks;
         if (Regs[I.A].P)
-          vmBoundsCheck(Regs[I.A].P, I.Imm, BRegs[I.BSrc]);
+          vmBoundsCheck(Regs[I.A].P, I.Imm, BRegs[I.BSrc], I.Site);
         break;
       case Opcode::BoundsNarrow:
         ++Checks.BoundsNarrows;
@@ -706,22 +714,32 @@ private:
   /// Through the session when one is bound (its CheckPolicy governs
   /// the checks), straight to the runtime otherwise.
   /// @{
+  /// Maps a module-local site id into the session's registered range
+  /// (identity for unsited instructions and unregistered modules).
+  SiteId rebase(SiteId Site) const {
+    return (Site == NoSite || SiteBase == NoSite) ? Site
+                                                  : SiteBase + Site;
+  }
+
   Bounds vmTypeCheck(const void *P, const TypeInfo *Type, SiteId Site) {
-    // Instrumented checks carry a dense per-module site; hand-built IR
-    // has none and takes the type-derived pseudo-site instead.
-    if (Site == NoSite)
-      Site = siteForType(Type);
+    // Instrumented checks carry a dense per-module site (rebased into
+    // the session's registry); hand-built IR has none and takes the
+    // type-derived pseudo-site instead.
+    Site = Site == NoSite ? siteForType(Type) : rebase(Site);
     return Session ? Session->typeCheck(P, Type, Site)
                    : RT.typeCheck(P, Type, Site);
   }
-  Bounds vmBoundsGet(const void *P) {
-    return Session ? Session->boundsGet(P) : RT.boundsGet(P);
+  Bounds vmBoundsGet(const void *P, SiteId Site) {
+    Site = rebase(Site);
+    return Session ? Session->boundsGet(P, Site)
+                   : RT.boundsGet(P, Site);
   }
-  void vmBoundsCheck(const void *P, size_t Size, Bounds B) {
+  void vmBoundsCheck(const void *P, size_t Size, Bounds B, SiteId Site) {
+    Site = rebase(Site);
     if (Session)
-      Session->boundsCheck(P, Size, B);
+      Session->boundsCheck(P, Size, B, Site);
     else
-      RT.boundsCheck(P, Size, B);
+      RT.boundsCheck(P, Size, B, Site);
   }
   Bounds vmBoundsNarrow(Bounds B, const void *Field, size_t Size) {
     return Session ? Session->boundsNarrow(B, Field, Size)
@@ -732,6 +750,9 @@ private:
   Runtime &RT;
   Sanitizer *Session;
   const RunOptions &Opts;
+  /// Base the module's site table was rebased to at load (NoSite when
+  /// the module has no sites).
+  SiteId SiteBase = NoSite;
 
   std::vector<void *> GlobalAddrs;
   std::vector<uint64_t> GlobalSizes;

@@ -30,9 +30,11 @@
 #define EFFECTIVE_IR_IR_H
 
 #include "core/SiteCache.h"
+#include "core/SiteTable.h"
 #include "core/TypeContext.h"
 #include "support/Diagnostics.h"
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -280,12 +282,46 @@ public:
   }
 
   /// Allocates the next dense check-site id (used by the
-  /// instrumentation pass for every check instruction it emits).
-  SiteId newCheckSite() { return NumCheckSites++; }
+  /// instrumentation pass for every check instruction it emits) and
+  /// records its description in the module's site table, so the id can
+  /// be resolved back to a source location in error reports. The
+  /// invariant numCheckSites() == siteTable().Entries.size() is
+  /// enforced by the verifier.
+  SiteId newCheckSite(CheckSiteKind Kind, SourceLoc Loc,
+                      const TypeInfo *StaticType,
+                      std::string_view Function) {
+    Sites.Entries.push_back(SiteTable::Entry{
+        Kind, Loc, std::string(Function), StaticType});
+    return NumCheckSites++;
+  }
+
+  /// Allocates an id with an unattributed (location-free) description —
+  /// hand-built IR in tests.
+  SiteId newCheckSite() {
+    return newCheckSite(CheckSiteKind::TypeCheck, SourceLoc(), nullptr,
+                        {});
+  }
 
   /// Check sites allocated so far; every assigned Instr::Site is
   /// strictly below this (the verifier enforces it).
   uint32_t numCheckSites() const { return NumCheckSites; }
+
+  /// The per-module site-attribution table (dense by SiteId). Module
+  /// loaders hand it to SiteTableRegistry::registerTable; its File
+  /// mirrors sourceName().
+  const SiteTable &siteTable() const { return Sites; }
+  SiteTable &siteTable() { return Sites; }
+
+  /// The source file this module was compiled from, as shown in error
+  /// reports and the printed `!site N @ "file:line:col"` annotations.
+  const std::string &sourceName() const { return Sites.File; }
+  void setSourceName(std::string Name) { Sites.File = std::move(Name); }
+
+  /// Process-unique module identity. Used as the SiteTableRegistry
+  /// registration key, so re-running a module is idempotent while a
+  /// NEW module can never alias a destroyed one (heap addresses are
+  /// reused; these ids never are).
+  uint64_t uid() const { return Uid; }
 
   std::vector<std::unique_ptr<Function>> Functions;
   std::vector<Global> Globals;
@@ -294,8 +330,15 @@ public:
   std::vector<std::string> Strings;
 
 private:
+  static uint64_t nextUid() {
+    static std::atomic<uint64_t> Counter{0};
+    return Counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
   TypeContext *Types;
   uint32_t NumCheckSites = 0;
+  SiteTable Sites{/*File=*/"<minic>", /*Entries=*/{}};
+  uint64_t Uid = nextUid();
 };
 
 } // namespace ir

@@ -80,11 +80,23 @@ std::string blockRef(const Function &F, BlockId Id) {
   return "^<bad-block>";
 }
 
-/// The " !site N" suffix of a sited check instruction ("" otherwise).
-std::string site(const Instr &I) {
+/// The " !site N" suffix of a sited check instruction ("" otherwise),
+/// extended with the site's source attribution — `!site N @
+/// "file:line:col"` — when the module's site table locates it. The
+/// annotation is what the round-trip tests compare against the
+/// runtime's rendered error reports.
+std::string site(const Module &M, const Instr &I) {
   if (I.Site == NoSite)
     return "";
-  return " !site " + std::to_string(I.Site);
+  std::string S = " !site " + std::to_string(I.Site);
+  const SiteTable &T = M.siteTable();
+  if (I.Site < T.Entries.size()) {
+    const SourceLoc &Loc = T.Entries[I.Site].Loc;
+    if (Loc.isValid())
+      S += " @ \"" + T.File + ":" + std::to_string(Loc.Line) + ":" +
+           std::to_string(Loc.Column) + "\"";
+  }
+  return S;
 }
 
 } // namespace
@@ -210,23 +222,23 @@ std::string ir::printInstr(const Function &F, const Module &M,
   case Opcode::TypeCheck:
     std::snprintf(Buf, sizeof(Buf), "%s = type_check %s, %s[]%s",
                   breg(I.BDst).c_str(), reg(I.A).c_str(),
-                  typeStr(I.Type).c_str(), site(I).c_str());
+                  typeStr(I.Type).c_str(), site(M, I).c_str());
     return Buf;
   case Opcode::BoundsGet:
     std::snprintf(Buf, sizeof(Buf), "%s = bounds_get %s%s",
                   breg(I.BDst).c_str(), reg(I.A).c_str(),
-                  site(I).c_str());
+                  site(M, I).c_str());
     return Buf;
   case Opcode::BoundsCheck:
     std::snprintf(Buf, sizeof(Buf), "bounds_check %s, %" PRIu64 ", %s%s",
                   reg(I.A).c_str(), I.Imm, breg(I.BSrc).c_str(),
-                  site(I).c_str());
+                  site(M, I).c_str());
     return Buf;
   case Opcode::BoundsNarrow:
     std::snprintf(Buf, sizeof(Buf),
                   "%s = bounds_narrow %s, %s, %" PRIu64 "%s",
                   breg(I.BDst).c_str(), breg(I.BSrc).c_str(),
-                  reg(I.A).c_str(), I.Imm, site(I).c_str());
+                  reg(I.A).c_str(), I.Imm, site(M, I).c_str());
     return Buf;
   case Opcode::WideBounds:
     return breg(I.BDst) + " = wide_bounds";

@@ -65,10 +65,25 @@ private:
 
   /// A check instruction's site id must come from the module's dense
   /// allocator (NoSite is allowed: hand-built IR falls back to the
-  /// type-derived pseudo-site at run time).
-  void checkSite(BlockId B, size_t Idx, const Instr &I) {
-    if (I.Site != NoSite && I.Site >= M.numCheckSites())
+  /// type-derived pseudo-site at run time). When the site table
+  /// describes the id, the described kind must match the opcode —
+  /// otherwise error reports would attribute, say, a bounds failure to
+  /// a type_check location.
+  void checkSite(BlockId B, size_t Idx, const Instr &I,
+                 CheckSiteKind Kind) {
+    if (I.Site == NoSite)
+      return;
+    if (I.Site >= M.numCheckSites()) {
       error(B, Idx, "check site id out of range");
+      return;
+    }
+    const SiteTable &T = M.siteTable();
+    if (I.Site < T.Entries.size() &&
+        T.Entries[I.Site].Kind != Kind &&
+        // Hand-allocated ids default to TypeCheck with no location;
+        // only a *located* entry is trusted to know its kind.
+        T.Entries[I.Site].Loc.isValid())
+      error(B, Idx, "site table kind mismatch");
   }
 
   void verifyBlock(BlockId BId) {
@@ -204,23 +219,23 @@ private:
       checkReg(B, Idx, I.A, "pointer");
       checkBReg(B, Idx, I.BDst, "destination");
       checkType(B, Idx, I.Type, "static");
-      checkSite(B, Idx, I);
+      checkSite(B, Idx, I, CheckSiteKind::TypeCheck);
       break;
     case Opcode::BoundsGet:
       checkReg(B, Idx, I.A, "pointer");
       checkBReg(B, Idx, I.BDst, "destination");
-      checkSite(B, Idx, I);
+      checkSite(B, Idx, I, CheckSiteKind::BoundsGet);
       break;
     case Opcode::BoundsCheck:
       checkReg(B, Idx, I.A, "pointer");
       checkBReg(B, Idx, I.BSrc, "source");
-      checkSite(B, Idx, I);
+      checkSite(B, Idx, I, CheckSiteKind::BoundsCheck);
       break;
     case Opcode::BoundsNarrow:
       checkReg(B, Idx, I.A, "field address");
       checkBReg(B, Idx, I.BSrc, "source");
       checkBReg(B, Idx, I.BDst, "destination");
-      checkSite(B, Idx, I);
+      checkSite(B, Idx, I, CheckSiteKind::BoundsNarrow);
       break;
     case Opcode::WideBounds:
       checkBReg(B, Idx, I.BDst, "destination");
@@ -245,5 +260,35 @@ bool ir::verifyModule(const Module &M, DiagnosticEngine &Diags) {
   bool Ok = true;
   for (const auto &F : M.Functions)
     Ok &= verifyFunction(*F, M, Diags);
+
+  // Module-level site invariants: the attribution table must describe
+  // exactly the allocated id space, and no two check instructions may
+  // share an id — each site is one static check, which is what makes
+  // site-keyed error dedup and the per-site counters meaningful.
+  if (M.siteTable().Entries.size() != M.numCheckSites()) {
+    Diags.error(SourceLoc(),
+                "site table size mismatch: " +
+                    std::to_string(M.siteTable().Entries.size()) +
+                    " entries for " + std::to_string(M.numCheckSites()) +
+                    " allocated sites");
+    Ok = false;
+  }
+  std::vector<bool> Seen(M.numCheckSites(), false);
+  for (const auto &F : M.Functions) {
+    for (const Block &B : F->Blocks) {
+      for (const Instr &I : B.Instrs) {
+        if (!I.isCheck() || I.Site == NoSite ||
+            I.Site >= M.numCheckSites())
+          continue;
+        if (Seen[I.Site]) {
+          Diags.error(SourceLoc(), "duplicate check site " +
+                                       std::to_string(I.Site) + " in @" +
+                                       F->name());
+          Ok = false;
+        }
+        Seen[I.Site] = true;
+      }
+    }
+  }
   return Ok;
 }

@@ -628,4 +628,125 @@ TEST(EffsanAbiTest, DedupCapThroughTheAbi) {
   effsan_session_destroy(S);
 }
 
+//===----------------------------------------------------------------------===//
+// ABI 1.3: site attribution and back-compat
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct V2Capture {
+  std::vector<std::string> Messages;
+  std::vector<uint32_t> Sites;
+  std::vector<std::string> Files;
+  std::vector<uint32_t> Lines;
+};
+
+void abiCallbackV2(const effsan_error_v2 *Error, void *UserData) {
+  auto *C = static_cast<V2Capture *>(UserData);
+  C->Messages.push_back(Error->message);
+  C->Sites.push_back(Error->site);
+  C->Files.push_back(Error->file ? Error->file : "");
+  C->Lines.push_back(Error->line);
+}
+
+} // namespace
+
+TEST(EffsanAbiTest, SiteAttributedReportsThroughTheAbi) {
+  effsan_options Options;
+  effsan_options_init(&Options);
+  Options.log_errors = 0;
+  effsan_session *S = effsan_session_create(&Options);
+  ASSERT_NE(S, nullptr);
+
+  V2Capture Capture;
+  effsan_set_error_callback_v2(S, abiCallbackV2, &Capture);
+
+  effsan_type IntTy = effsan_type_primitive(S, EFFSAN_PRIM_INT);
+  effsan_site_info Sites[1];
+  Sites[0].line = 41;
+  Sites[0].column = 7;
+  Sites[0].kind = EFFSAN_CHECK_BOUNDS;
+  Sites[0].function = "hot_loop";
+  Sites[0].static_type = IntTy;
+  uint32_t Base = effsan_site_table_register(S, "spec.c", Sites, 1);
+  ASSERT_NE(Base, EFFSAN_NO_SITE);
+
+  int *P = static_cast<int *>(effsan_malloc(S, 10 * sizeof(int), IntTy));
+  effsan_bounds B = effsan_type_check_at(S, P, IntTy, EFFSAN_NO_SITE);
+  for (int I = 0; I < 3; ++I)
+    effsan_bounds_check_at(S, P + 10, sizeof(int), B, Base);
+
+  // One deduplicated, fully attributed report.
+  ASSERT_EQ(Capture.Messages.size(), 1u);
+  EXPECT_EQ(Capture.Messages[0],
+            "BOUNDS ERROR at spec.c:41:7 in hot_loop: allocated (int), "
+            "accessed via (bounds_check) at offset 40 "
+            "[out-of-bounds access]");
+  EXPECT_EQ(Capture.Sites[0], Base);
+  EXPECT_EQ(Capture.Files[0], "spec.c");
+  EXPECT_EQ(Capture.Lines[0], 41u);
+
+  // Per-site counter: every event, not just emitted reports.
+  EXPECT_EQ(effsan_site_error_events(S, Base), 3u);
+  EXPECT_EQ(effsan_site_error_events(S, Base + 1), 0u);
+
+  effsan_free(S, P);
+  effsan_session_destroy(S);
+}
+
+TEST(EffsanAbiTest, AbiV13BackCompat) {
+  // A caller compiled against the 1.2 header: it passes a 1.2-sized
+  // options prefix, never mentions sites, and installs only the v1
+  // callback. Everything must behave exactly as it did under 1.2.
+  EXPECT_GE(effsan_abi_version(), (1u << 16) | 3u);
+
+  effsan_options Options;
+  effsan_options_init(&Options);
+  Options.log_errors = 0;
+  // The 1.2 struct ended with site_cache_entries; simulate the old
+  // footprint by declaring the prefix size only.
+  Options.struct_size = static_cast<uint32_t>(
+      offsetof(effsan_options, site_cache_entries) +
+      sizeof(Options.site_cache_entries));
+  effsan_session *S = effsan_session_create(&Options);
+  ASSERT_NE(S, nullptr);
+
+  std::vector<uint32_t> Kinds;
+  effsan_set_error_callback(S, abiCallback, &Kinds);
+
+  effsan_type IntTy = effsan_type_primitive(S, EFFSAN_PRIM_INT);
+  int *P = static_cast<int *>(effsan_malloc(S, 4 * sizeof(int), IntTy));
+  effsan_bounds B = effsan_type_check(S, P, IntTy);
+  effsan_bounds_check(S, P + 4, sizeof(int), B);
+
+  // The v1 callback fires as before; the unsited report keeps the
+  // legacy pointer-carrying format.
+  ASSERT_EQ(Kinds.size(), 1u);
+  EXPECT_EQ(Kinds[0], (uint32_t)EFFSAN_ERROR_BOUNDS);
+
+  effsan_counters Counters;
+  effsan_get_counters(S, &Counters);
+  EXPECT_EQ(Counters.type_checks, 1u);
+  EXPECT_EQ(Counters.bounds_checks, 1u);
+  EXPECT_EQ(Counters.issues_found, 1u);
+
+  // 1.2-era cache statistics still work.
+  EXPECT_EQ(effsan_type_check_cache_hits(S) +
+                effsan_type_check_cache_misses(S),
+            1u);
+
+  // Installing a v2 sink does not disturb the v1 sink: both fire for
+  // the next fresh bucket (a double free).
+  V2Capture Capture;
+  effsan_set_error_callback_v2(S, abiCallbackV2, &Capture);
+  effsan_free(S, P);
+  effsan_free(S, P);
+  EXPECT_EQ(Kinds.size(), 2u);
+  ASSERT_EQ(Capture.Messages.size(), 1u);
+  EXPECT_EQ(Capture.Sites[0], (uint32_t)EFFSAN_NO_SITE)
+      << "unsited paths report no site";
+
+  effsan_session_destroy(S);
+}
+
 } // namespace

@@ -456,6 +456,51 @@ TEST(SessionPoolTest, ResetShardRecyclesArenaAndCounters) {
   Pool.shard(1).free(Survivor);
 }
 
+TEST(SessionPoolTest, SiteAttributionSurvivesTheErrorRingDrain) {
+  // Every shard errs at a *registered* site from its own thread; the
+  // events cross the lock-free ring as plain values and the central
+  // drainer must still render the source-located report — the SiteInfo
+  // pointers target the pool-wide registry, not any shard state.
+  SessionPool Pool(quietPool(4));
+  TypeContext &Ctx = Pool.types();
+  const TypeInfo *IntTy = Ctx.getInt();
+
+  SiteTable Table;
+  Table.File = "mt.c";
+  Table.Entries.push_back({CheckSiteKind::BoundsCheck, SourceLoc{7, 3},
+                           "worker", nullptr});
+  // Registration through one shard session lands in the pool-wide
+  // registry (RuntimeOptions::SharedSites).
+  SiteId Base = Pool.shard(0).registerSiteTable(Table);
+  ASSERT_NE(Base, NoSite);
+  EXPECT_EQ(Pool.siteTables().numTables(), 1u);
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < 4; ++T) {
+    Workers.emplace_back([&, T] {
+      Sanitizer &S = Pool.shard(T);
+      auto *P = static_cast<int *>(S.malloc(8 * sizeof(int), IntTy));
+      Bounds B = S.typeCheck(P, IntTy);
+      S.boundsCheck(P + 8, sizeof(int), B, Base); // Overflow at site 0.
+      S.free(P);
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  Pool.drain();
+  // Four shards, one site, one offense: one pool-wide issue, four
+  // events, attributed to the registered location.
+  EXPECT_EQ(Pool.reporter().numIssues(), 1u);
+  EXPECT_EQ(Pool.reporter().numEventsAtSite(Base), 4u);
+  EXPECT_TRUE(Pool.reporter().hasIssueMatching("mt.c:7:3"));
+  EXPECT_TRUE(Pool.reporter().hasIssueMatching("in worker"));
+  // The rendered message is the attributed form — no raw pointer.
+  for (const ErrorBucket &B : Pool.reporter().buckets())
+    EXPECT_EQ(B.Message.find("pointer 0x"), std::string::npos)
+        << B.Message;
+}
+
 //===----------------------------------------------------------------------===//
 // Site-indexed type-check inline caches under concurrency (PR 3)
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,99 @@
+//===- tests/docs_test.cpp - Documentation link integrity -----------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// Broken-link gate for the docs/ tree and README.md: every relative
+/// markdown link (`[text](path)`) must resolve to an existing file or
+/// directory in the repository. External (http/https/mailto) links and
+/// pure in-page anchors are skipped; a `path#anchor` link is checked
+/// for its file part. The CI docs job runs exactly this test, so a doc
+/// rename that leaves a dangling reference fails the build, not a
+/// reader.
+///
+/// EFFSAN_SOURCE_DIR is injected by CMake.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+#ifndef EFFSAN_SOURCE_DIR
+#error "EFFSAN_SOURCE_DIR must point at the repository root"
+#endif
+
+const fs::path Root = EFFSAN_SOURCE_DIR;
+
+/// The markdown files whose links are enforced.
+std::vector<fs::path> docFiles() {
+  std::vector<fs::path> Files = {Root / "README.md"};
+  for (const auto &Entry : fs::directory_iterator(Root / "docs"))
+    if (Entry.path().extension() == ".md")
+      Files.push_back(Entry.path());
+  return Files;
+}
+
+std::string slurp(const fs::path &P) {
+  std::ifstream In(P);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+bool isExternal(const std::string &Target) {
+  return Target.starts_with("http://") || Target.starts_with("https://") ||
+         Target.starts_with("mailto:");
+}
+
+} // namespace
+
+TEST(Docs, TreeExists) {
+  ASSERT_TRUE(fs::exists(Root / "docs")) << Root;
+  EXPECT_TRUE(fs::exists(Root / "docs" / "ARCHITECTURE.md"));
+  EXPECT_TRUE(fs::exists(Root / "docs" / "ABI.md"));
+  EXPECT_TRUE(fs::exists(Root / "docs" / "REPORT_FORMAT.md"));
+}
+
+TEST(Docs, ReadmeLinksTheDocsTree) {
+  std::string Readme = slurp(Root / "README.md");
+  EXPECT_NE(Readme.find("docs/ARCHITECTURE.md"), std::string::npos);
+  EXPECT_NE(Readme.find("docs/ABI.md"), std::string::npos);
+  EXPECT_NE(Readme.find("docs/REPORT_FORMAT.md"), std::string::npos);
+}
+
+TEST(Docs, NoBrokenRelativeLinks) {
+  // Markdown inline links, ignoring images and reference-style defs.
+  std::regex LinkRe(R"(\[[^\]]*\]\(([^)\s]+)\))");
+  unsigned Checked = 0;
+  for (const fs::path &File : docFiles()) {
+    std::string Text = slurp(File);
+    ASSERT_FALSE(Text.empty()) << File;
+    for (std::sregex_iterator It(Text.begin(), Text.end(), LinkRe), End;
+         It != End; ++It) {
+      std::string Target = (*It)[1];
+      if (isExternal(Target) || Target.starts_with("#"))
+        continue;
+      // Strip an in-page anchor from a file link.
+      if (size_t Hash = Target.find('#'); Hash != std::string::npos)
+        Target = Target.substr(0, Hash);
+      if (Target.empty())
+        continue;
+      fs::path Resolved = File.parent_path() / Target;
+      EXPECT_TRUE(fs::exists(Resolved))
+          << File.filename() << " links to missing target: " << Target;
+      ++Checked;
+    }
+  }
+  EXPECT_GT(Checked, 10u) << "link extraction regressed";
+}

@@ -302,6 +302,83 @@ int main() {
   EXPECT_GE(ROpt.Stats.ElidedSubsumed, 1u);
 }
 
+TEST(Optimizations, CrossBlockDuplicateChecksAreMerged) {
+  // The ROADMAP follow-up: CSE runs before instrumentation and is
+  // block-local, so structurally identical checks of the same register
+  // survive in *different* blocks. The post-instrumentation merge pass
+  // removes a check that is must-available from every predecessor —
+  // here, the escape check of p in the join block duplicates the one
+  // both branches executed.
+  constexpr const char *Source = R"(
+struct H { int *slot; };
+int main() {
+  struct H h;
+  int *p = (int *)malloc(4 * sizeof(int));
+  int c = 1;
+  if (c) { h.slot = p; } else { h.slot = p; }
+  h.slot = p;
+  free(p);
+  return 0;
+}
+)";
+  TypeContext Types;
+  InstrumentOptions NoMerge;
+  NoMerge.MergeCrossBlockChecks = false;
+  CompileResult RNo = compile(Source, Types, NoMerge);
+  CompileResult RYes = compile(Source, Types, InstrumentOptions());
+  ASSERT_TRUE(RNo.M && RYes.M);
+
+  EXPECT_EQ(RNo.Stats.ElidedCrossBlock, 0u);
+  EXPECT_GE(RYes.Stats.ElidedCrossBlock, 1u);
+  EXPECT_LT(countOps(*RYes.M, "main", ir::Opcode::BoundsCheck),
+            countOps(*RNo.M, "main", ir::Opcode::BoundsCheck));
+}
+
+TEST(Optimizations, MergeNeverCrossesCallsOrLoops) {
+  // A call between the duplicate checks may free the object; the merge
+  // must keep the later check so a use-after-free degraded to a bounds
+  // error is still caught.
+  constexpr const char *Source = R"(
+struct H { int *slot; };
+int nop(int x) { return x; }
+int main() {
+  struct H h;
+  int *p = (int *)malloc(4 * sizeof(int));
+  int c = 1;
+  if (c) { h.slot = p; } else { h.slot = p; }
+  c = nop(c);
+  h.slot = p;
+  free(p);
+  return 0;
+}
+)";
+  TypeContext Types;
+  CompileResult R = compile(Source, Types, InstrumentOptions());
+  ASSERT_TRUE(R.M);
+  EXPECT_EQ(R.Stats.ElidedCrossBlock, 0u)
+      << "the intervening call clears availability";
+}
+
+TEST(Figure4, SiteDensityMatchesLiveChecks) {
+  // Site-space density: ids are allocated per emitted check, and the
+  // elision passes may retire but never reuse them — so live sited
+  // checks <= allocated sites, every live id unique and in range, and
+  // the site table describes the full allocated space.
+  TypeContext Types;
+  CompileResult R = compile(LengthSource, Types, InstrumentOptions());
+  ASSERT_TRUE(R.M);
+  uint64_t Live = 0;
+  for (const auto &F : R.M->Functions)
+    for (const ir::Block &B : F->Blocks)
+      for (const ir::Instr &I : B.Instrs)
+        Live += I.isCheck() && I.Op != ir::Opcode::WideBounds;
+  EXPECT_LE(Live, R.M->numCheckSites());
+  EXPECT_EQ(R.M->siteTable().Entries.size(), R.M->numCheckSites());
+  // Retired ids are exactly the subsumed + cross-block-merged checks.
+  EXPECT_EQ(R.M->numCheckSites() - Live,
+            R.Stats.ElidedSubsumed + R.Stats.ElidedCrossBlock);
+}
+
 //===----------------------------------------------------------------------===//
 // Verifier and printer sanity over a corpus
 //===----------------------------------------------------------------------===//
