@@ -52,7 +52,9 @@ void callbackTrampoline(const ErrorInfo &Info, const char *Message,
     Error.kind = effsan_detail::errorKindValue(Info.Kind);
     Error.pointer = Info.Pointer;
     Error.offset = Info.Offset;
-    Error.message = Message;
+    // Rendered reports are never empty, so an empty message can only
+    // mean defer_error_rendering elided it — surface that as NULL.
+    Error.message = (Message && Message[0]) ? Message : nullptr;
     S->Callback(&Error, S->CallbackUserData);
   }
   if (S->CallbackV2) {
@@ -89,6 +91,8 @@ void effsan_options_init(effsan_options *options) {
   options->log_stream = stderr;
   options->max_reports_per_location = 1;
   options->site_cache_entries = 1024;
+  options->magazine_size = 16;
+  options->defer_error_rendering = 0;
 }
 
 effsan_session *effsan_session_create(const effsan_options *options) {
@@ -112,8 +116,12 @@ effsan_session *effsan_session_create(const effsan_options *options) {
       Defaults.max_reports_per_location;
   SessionOpts.Reporter.MaxTotalReports = Defaults.max_total_reports;
   SessionOpts.Reporter.AbortAfter = Defaults.abort_after;
+  SessionOpts.Reporter.DeferMessageRendering =
+      Defaults.defer_error_rendering != 0;
   SessionOpts.SiteCacheEntries =
       static_cast<size_t>(Defaults.site_cache_entries);
+  SessionOpts.Heap.MagazineSize =
+      static_cast<unsigned>(Defaults.magazine_size);
 
   return new (std::nothrow) effsan_session(SessionOpts);
 }
@@ -341,6 +349,15 @@ uint64_t effsan_type_check_cache_misses(const effsan_session *session) {
   auto *S = const_cast<effsan_session *>(session);
   return S->S->counters().TypeCheckCacheMisses.load(
       std::memory_order_relaxed);
+}
+
+void effsan_get_heap_stats(const effsan_session *session,
+                           effsan_heap_stats *out) {
+  auto *S = const_cast<effsan_session *>(session);
+  Runtime &RT = S->S->runtime();
+  // Per-shard view: for pooled sessions this is the shard's slice of
+  // the shared arena; for private sessions shard 0 IS the whole heap.
+  effsan_detail::fillHeapStats(RT.heap().shardStats(RT.heapShard()), out);
 }
 
 void effsan_set_error_callback(effsan_session *session,

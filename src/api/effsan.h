@@ -47,7 +47,7 @@ extern "C" {
  *===--------------------------------------------------------------------===*/
 
 #define EFFSAN_ABI_VERSION_MAJOR 1
-#define EFFSAN_ABI_VERSION_MINOR 3
+#define EFFSAN_ABI_VERSION_MINOR 4
 #define EFFSAN_ABI_VERSION                                                   \
   ((EFFSAN_ABI_VERSION_MAJOR << 16) | EFFSAN_ABI_VERSION_MINOR)
 
@@ -90,10 +90,21 @@ typedef struct effsan_options {
   uint64_t max_total_reports; /* cap across all locations; 0 = none  */
   uint64_t abort_after;       /* abort after N error events; 0 = no  */
   /* Entries in the session's site-indexed type-check inline cache
-   * (since 1.2; rounded up to a power of two). 0 disables the fast
-   * path — every type_check takes the full layout-probe slow path.
-   * Default 1024. */
+   * (since 1.2; rounded up to a power of two, 2-way set-associative
+   * since 1.4). 0 disables the fast path — every type_check takes the
+   * full layout-probe slow path. Default 1024. */
   uint64_t site_cache_entries;
+  /* Blocks cached per (thread, size class) in the allocator's TLS
+   * magazine (since 1.4; clamped internally). The steady-state typed
+   * malloc/free is then a thread-local pop/push with no locks. 0
+   * disables magazines. Default 16. */
+  uint64_t magazine_size;
+  /* Nonzero: skip rendering report message strings for buckets that
+   * are only counted (since 1.4). Error callbacks then receive a NULL
+   * message in counting mode; logging mode always renders. Default
+   * 0 — behavior unchanged. */
+  int32_t defer_error_rendering;
+  uint32_t reserved_;
 } effsan_options;
 
 /* Fills *options with the defaults (full policy, logging to stderr). */
@@ -142,8 +153,23 @@ typedef struct effsan_pool_options {
   uint64_t max_total_reports;        /* central total cap; 0 = none    */
   uint64_t error_ring_capacity;      /* ring slots; 0 = default (4096) */
   /* Per-shard type-check inline-cache entries (since 1.2; power of
-   * two; 0 disables the fast path on every shard). Default 1024. */
+   * two, 2-way set-associative since 1.4; 0 disables the fast path on
+   * every shard). Default 1024. */
   uint64_t site_cache_entries;
+  /* Blocks cached per (thread, size class) in the allocator's TLS
+   * magazine (since 1.4); 0 disables. Default 16. */
+  uint64_t magazine_size;
+  /* Nonzero: when a worker shard's slice of a size-class region runs
+   * dry, refill from a sibling shard's slice instead of falling back
+   * to the (locked, legacy-pointer) system allocator (since 1.4).
+   * base(p)/size(p) stay exact for stolen blocks. Caveat: the
+   * effsan_session_reset contract for a shard then extends to blocks
+   * sibling shards borrowed from its slice. Default 0. */
+  int32_t enable_work_stealing;
+  /* Nonzero: skip rendering report messages for counted-only buckets
+   * (since 1.4) — CountOnly-policy pools then drain the error ring
+   * without building a string per issue. Default 0. */
+  int32_t defer_error_rendering;
 } effsan_pool_options;
 
 /* Fills *options with the defaults (full policy, auto shard count,
@@ -322,6 +348,43 @@ void effsan_pool_get_counters(effsan_pool *pool, effsan_counters *out);
  * struct_size, so it can never grow. */
 uint64_t effsan_type_check_cache_hits(const effsan_session *session);
 uint64_t effsan_type_check_cache_misses(const effsan_session *session);
+
+/*===--------------------------------------------------------------------===*
+ * Allocator statistics (since 1.4)
+ *
+ * The low-fat allocator's own counters: footprint, quarantine, and the
+ * lock-free fast-path telemetry (TLS-magazine hits/refills, shard work
+ * steals, slice-exhaustion legacy fallbacks). Unlike effsan_counters,
+ * this struct carries a caller-set struct_size so it CAN grow: set it
+ * to sizeof(effsan_heap_stats) before the call and the library fills
+ * exactly the prefix you declared. Fields added after the library was
+ * built read as zero, never as uninitialized memory.
+ *===--------------------------------------------------------------------===*/
+
+typedef struct effsan_heap_stats {
+  uint32_t struct_size; /* set by the CALLER before the call          */
+  uint32_t reserved_;
+  uint64_t block_bytes_in_use;      /* size-class-rounded live bytes  */
+  uint64_t peak_block_bytes_in_use;
+  uint64_t num_allocs;
+  uint64_t num_frees;
+  uint64_t num_legacy_allocs;       /* system-allocator fallbacks     */
+  uint64_t quarantined_bytes;       /* incl. unflushed thread batches */
+  uint64_t magazine_hits;           /* allocs served by the TLS cache */
+  uint64_t magazine_refills;        /* batched refills from the arena */
+  uint64_t steals;                  /* blocks taken from sibling shards */
+  uint64_t exhaust_fallbacks;       /* legacy allocs due to a dry slice */
+} effsan_heap_stats;
+
+/* Snapshots the session's allocator statistics. For sessions checked
+ * out of a pool the numbers are per-shard (the shard's slice of the
+ * shared arena); steals are attributed to the requesting shard. */
+void effsan_get_heap_stats(const effsan_session *session,
+                           effsan_heap_stats *out);
+
+/* Pool-wide allocator statistics, summed over all shards. */
+void effsan_pool_get_heap_stats(effsan_pool *pool,
+                                effsan_heap_stats *out);
 
 typedef enum effsan_error_kind {
   EFFSAN_ERROR_TYPE = 0,

@@ -18,6 +18,7 @@
 #include "api/Sanitizer.h"
 #include "api/effsan.h"
 
+#include <cstring>
 #include <memory>
 
 /// The opaque session handle: a Sanitizer (owned, or a view of a pool
@@ -107,7 +108,9 @@ inline void fillErrorV2(const ErrorInfo &Info, const char *Message,
   Out.kind = errorKindValue(Info.Kind);
   Out.pointer = Info.Pointer;
   Out.offset = Info.Offset;
-  Out.message = Message;
+  // Rendered reports are never empty; an empty message means the
+  // defer_error_rendering option elided it (since 1.4) — pass NULL.
+  Out.message = (Message && Message[0]) ? Message : nullptr;
   Out.site = EFFSAN_NO_SITE;
   Out.file = nullptr;
   Out.line = 0;
@@ -125,6 +128,39 @@ inline void fillErrorV2(const ErrorInfo &Info, const char *Message,
     Out.function = W->Function[0] != '\0' ? W->Function : nullptr;
     Out.check_kind = checkKindValue(W->Kind);
   }
+}
+
+/// Fills the ABI's (growable, caller-sized) heap-stats struct from a
+/// lowfat::HeapStats snapshot: the library writes exactly the prefix
+/// the caller declared via struct_size.
+inline void fillHeapStats(const lowfat::HeapStats &In,
+                          effsan_heap_stats *Out) {
+  if (!Out || Out->struct_size < sizeof(uint32_t))
+    return;
+  effsan_heap_stats Full;
+  std::memset(&Full, 0, sizeof(Full));
+  Full.struct_size = Out->struct_size;
+  Full.block_bytes_in_use = In.BlockBytesInUse;
+  Full.peak_block_bytes_in_use = In.PeakBlockBytesInUse;
+  Full.num_allocs = In.NumAllocs;
+  Full.num_frees = In.NumFrees;
+  Full.num_legacy_allocs = In.NumLegacyAllocs;
+  Full.quarantined_bytes = In.QuarantinedBytes;
+  Full.magazine_hits = In.MagazineHits;
+  Full.magazine_refills = In.MagazineRefills;
+  Full.steals = In.Steals;
+  Full.exhaust_fallbacks = In.ExhaustFallbacks;
+  size_t N = Out->struct_size;
+  if (N > sizeof(Full)) {
+    // A caller built against a future, larger struct: zero the tail
+    // the library predates so every byte of the declared prefix is
+    // defined — unknown-to-us counters read as 0, never as stack
+    // garbage.
+    std::memset(reinterpret_cast<char *>(Out) + sizeof(Full), 0,
+                N - sizeof(Full));
+    N = sizeof(Full);
+  }
+  std::memcpy(Out, &Full, N);
 }
 
 } // namespace effsan_detail

@@ -54,7 +54,8 @@ void poolCallbackTrampoline(const ErrorInfo &Info, const char *Message,
     Error.kind = effsan_detail::errorKindValue(Info.Kind);
     Error.pointer = Info.Pointer;
     Error.offset = Info.Offset;
-    Error.message = Message;
+    // Empty only when defer_error_rendering elided it — pass NULL.
+    Error.message = (Message && Message[0]) ? Message : nullptr;
     P->Callback(&Error, P->CallbackUserData);
   }
   if (P->CallbackV2) {
@@ -86,6 +87,9 @@ void effsan_pool_options_init(effsan_pool_options *options) {
   options->log_stream = stderr;
   options->max_reports_per_location = 1;
   options->site_cache_entries = 1024;
+  options->magazine_size = 16;
+  options->enable_work_stealing = 0;
+  options->defer_error_rendering = 0;
 }
 
 effsan_pool *effsan_pool_create(const effsan_pool_options *options) {
@@ -109,10 +113,15 @@ effsan_pool *effsan_pool_create(const effsan_pool_options *options) {
   PoolOpts.Reporter.MaxReportsPerBucket =
       Defaults.max_reports_per_location;
   PoolOpts.Reporter.MaxTotalReports = Defaults.max_total_reports;
+  PoolOpts.Reporter.DeferMessageRendering =
+      Defaults.defer_error_rendering != 0;
   PoolOpts.ErrorRingCapacity =
       static_cast<size_t>(Defaults.error_ring_capacity);
   PoolOpts.SiteCacheEntries =
       static_cast<size_t>(Defaults.site_cache_entries);
+  PoolOpts.Heap.MagazineSize =
+      static_cast<unsigned>(Defaults.magazine_size);
+  PoolOpts.Heap.EnableWorkStealing = Defaults.enable_work_stealing != 0;
 
   return new (std::nothrow) effsan_pool(PoolOpts);
 }
@@ -177,6 +186,11 @@ void effsan_pool_set_error_callback_v2(effsan_pool *pool,
 uint64_t effsan_pool_site_error_events(effsan_pool *pool, uint32_t site) {
   pool->Pool.drain();
   return pool->Pool.reporter().numEventsAtSite(site);
+}
+
+void effsan_pool_get_heap_stats(effsan_pool *pool,
+                                effsan_heap_stats *out) {
+  effsan_detail::fillHeapStats(pool->Pool.heap().stats(), out);
 }
 
 } // extern "C"

@@ -98,7 +98,12 @@ void ErrorReporter::report(const ErrorInfo &Info) {
     Bucket.Site = Info.Site;
     Bucket.Where = Info.Where;
     Bucket.Events = 1;
-    Bucket.Message = renderMessage(Info);
+    // Render-on-demand (opt-in): counting-only drains skip the string
+    // build entirely; Log mode always renders because it prints.
+    bool WantMessage = !Options.DeferMessageRendering ||
+                       (Options.Mode == ReportMode::Log && Options.Stream);
+    if (WantMessage)
+      Bucket.Message = renderMessage(Info);
     Buckets.push_back(std::move(Bucket));
   } else {
     ++Buckets[It->second].Events;

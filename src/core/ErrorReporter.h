@@ -123,6 +123,16 @@ struct ReporterOptions {
   /// Hard cap on reports emitted across all buckets; one suppression
   /// notice is logged when the cap is hit. 0 = unlimited.
   uint64_t MaxTotalReports = 0;
+  /// Opt-in: skip rendering the human-readable message for buckets
+  /// that are only *counted* (Count mode with no emission need).
+  /// Rendering formats type spellings and source locations into a
+  /// heap string per new bucket — pure waste for CountOnly-policy
+  /// pools whose ErrorRing drain only tallies issues. When deferred,
+  /// ErrorBucket::Message stays empty and callbacks receive an empty
+  /// message (the C ABI maps it to NULL); Log mode still renders,
+  /// since it prints. Default off: behavior is unchanged unless asked
+  /// for.
+  bool DeferMessageRendering = false;
   /// Optional error sink, fired in both Log and Count modes.
   ErrorCallback Callback = nullptr;
   void *CallbackUserData = nullptr;

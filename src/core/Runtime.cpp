@@ -247,7 +247,21 @@ static void fillSiteEntry(SiteCacheEntry &E, const TypeInfo *Alloc,
   E.RelHi.store(RelHi, std::memory_order_release);
   E.SizeofT.store(SizeofT, std::memory_order_release);
   E.FamSize.store(FamSize, std::memory_order_release);
+  E.FillTick.store(nextSiteFillTick(), std::memory_order_relaxed);
   E.Version.store(V + 2, std::memory_order_release);
+}
+
+/// Publishes a resolution into \p Set's fill victim: an empty way if
+/// one exists, else the way with the oldest fill-tick stamp — so a
+/// 2-type polymorphic site keeps both resolutions resident instead of
+/// ping-ponging one slot, and a way left stale by a colliding site
+/// ages out instead of squatting.
+static void fillSiteSet(SiteCacheEntry *Set, const TypeInfo *Alloc,
+                        const TypeInfo *StaticType, uint64_t NormOffset,
+                        int64_t RelLo, int64_t RelHi, uint64_t SizeofT,
+                        uint64_t FamSize) {
+  fillSiteEntry(SiteCache::victimIn(Set), Alloc, StaticType, NormOffset,
+                RelLo, RelHi, SizeofT, FamSize);
 }
 
 Bounds Runtime::typeCheckImpl(const void *Ptr, const TypeInfo *StaticType,
@@ -289,7 +303,7 @@ Bounds Runtime::typeCheckImpl(const void *Ptr, const TypeInfo *StaticType,
   // is offset-independent, so it caches under AnyNormOffset.
   if (StaticType->isCharLike() || StaticType->isVoid()) {
     if (Fill)
-      fillSiteEntry(*Fill, Alloc, StaticType, AnyNormOffset, RelNegInf,
+      fillSiteSet(Fill, Alloc, StaticType, AnyNormOffset, RelNegInf,
                     RelPosInf, 0, 0);
     return AllocBounds;
   }
@@ -315,7 +329,7 @@ Bounds Runtime::typeCheckImpl(const void *Ptr, const TypeInfo *StaticType,
     // Cache whichever probe succeeded — the entry's relative bounds are
     // the resolution itself, so a hit replays exactly this result.
     if (Fill)
-      fillSiteEntry(*Fill, Alloc, StaticType, NK, E->RelLo, E->RelHi,
+      fillSiteSet(Fill, Alloc, StaticType, NK, E->RelLo, E->RelHi,
                     Table.sizeofT(), Table.famSize());
     return relativeBoundsToAbsolute(E->RelLo, E->RelHi, P, AllocBounds);
   }
@@ -333,7 +347,7 @@ Bounds Runtime::typeCheckSlow(const void *Ptr, const TypeInfo *StaticType,
                               SiteId Site, const MetaHeader *Meta) {
   CheckCounters::bump(Counters.TypeCheckCacheMisses);
   SiteCacheEntry *Fill =
-      Cache.enabled() ? &Cache.entryFor(Site) : nullptr;
+      Cache.enabled() ? Cache.setFor(Site) : nullptr;
   return typeCheckImpl(Ptr, StaticType, Meta, Fill, Site);
 }
 

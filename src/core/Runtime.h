@@ -229,38 +229,48 @@ public:
     const auto *Meta = static_cast<const MetaHeader *>(Base);
     const TypeInfo *Alloc = Meta->Type;
     if (EFFSAN_LIKELY(Cache.enabled())) {
-      SiteCacheEntry &E = Cache.entryFor(Site);
-      uint32_t V1 = E.Version.load(std::memory_order_acquire);
-      // All key/payload loads are acquire so the final version re-load
-      // below cannot be reordered above any of them (fence-free
-      // seqlock reader).
-      if (EFFSAN_LIKELY(
-              !(V1 & 1) &&
-              E.AllocType.load(std::memory_order_acquire) == Alloc &&
-              E.StaticType.load(std::memory_order_acquire) ==
-                  StaticType &&
-              Alloc != nullptr)) {
-        uintptr_t ObjBase = reinterpret_cast<uintptr_t>(Meta + 1);
-        uintptr_t P = reinterpret_cast<uintptr_t>(Ptr);
-        uint64_t AllocSize = Meta->Size;
-        if (EFFSAN_LIKELY(P >= ObjBase && P - ObjBase <= AllocSize)) {
-          // Fence-free seqlock read: the payload loads are acquire, so
-          // the trailing version re-load cannot be hoisted above them
-          // (and GCC's TSan, which rejects atomic_thread_fence, stays
-          // happy). Acquire loads cost nothing on x86/ARM64 loads.
-          uint64_t NK = E.NormOffset.load(std::memory_order_acquire);
-          uint64_t SzT = E.SizeofT.load(std::memory_order_acquire);
-          uint64_t Fam = E.FamSize.load(std::memory_order_acquire);
-          int64_t RelLo = E.RelLo.load(std::memory_order_acquire);
-          int64_t RelHi = E.RelHi.load(std::memory_order_acquire);
-          if (EFFSAN_LIKELY(
-                  E.Version.load(std::memory_order_relaxed) == V1 &&
-                  (NK == AnyNormOffset ||
-                   LayoutTable::normalizeOffsetRaw(P - ObjBase, AllocSize,
-                                                   SzT, Fam) == NK))) {
-            CheckCounters::bump(Counters.TypeCheckCacheHits);
-            Bounds AllocBounds{ObjBase, ObjBase + AllocSize};
-            return relativeBoundsToAbsolute(RelLo, RelHi, P, AllocBounds);
+      // 2-way set-associative probe: a polymorphic site (two types or
+      // two offset resolutions through one check) keeps both
+      // resolutions resident; the second way costs one extra key
+      // compare only when the first rejects.
+      SiteCacheEntry *Set = Cache.setFor(Site);
+      for (unsigned W = 0; W < SiteCache::Ways; ++W) {
+        SiteCacheEntry &E = Set[W];
+        uint32_t V1 = E.Version.load(std::memory_order_acquire);
+        // All key/payload loads are acquire so the final version
+        // re-load below cannot be reordered above any of them
+        // (fence-free seqlock reader).
+        if (EFFSAN_LIKELY(
+                !(V1 & 1) &&
+                E.AllocType.load(std::memory_order_acquire) == Alloc &&
+                E.StaticType.load(std::memory_order_acquire) ==
+                    StaticType &&
+                Alloc != nullptr)) {
+          uintptr_t ObjBase = reinterpret_cast<uintptr_t>(Meta + 1);
+          uintptr_t P = reinterpret_cast<uintptr_t>(Ptr);
+          uint64_t AllocSize = Meta->Size;
+          if (EFFSAN_LIKELY(P >= ObjBase && P - ObjBase <= AllocSize)) {
+            // Fence-free seqlock read: the payload loads are acquire,
+            // so the trailing version re-load cannot be hoisted above
+            // them (and GCC's TSan, which rejects
+            // atomic_thread_fence, stays happy). Acquire loads cost
+            // nothing on x86/ARM64 loads.
+            uint64_t NK = E.NormOffset.load(std::memory_order_acquire);
+            uint64_t SzT = E.SizeofT.load(std::memory_order_acquire);
+            uint64_t Fam = E.FamSize.load(std::memory_order_acquire);
+            int64_t RelLo = E.RelLo.load(std::memory_order_acquire);
+            int64_t RelHi = E.RelHi.load(std::memory_order_acquire);
+            if (EFFSAN_LIKELY(
+                    E.Version.load(std::memory_order_relaxed) == V1 &&
+                    (NK == AnyNormOffset ||
+                     LayoutTable::normalizeOffsetRaw(P - ObjBase,
+                                                     AllocSize, SzT,
+                                                     Fam) == NK))) {
+              CheckCounters::bump(Counters.TypeCheckCacheHits);
+              Bounds AllocBounds{ObjBase, ObjBase + AllocSize};
+              return relativeBoundsToAbsolute(RelLo, RelHi, P,
+                                              AllocBounds);
+            }
           }
         }
       }
@@ -355,9 +365,10 @@ private:
   EFFSAN_NOINLINE Bounds typeCheckSlow(const void *Ptr,
                                        const TypeInfo *StaticType,
                                        SiteId Site, const MetaHeader *Meta);
-  /// Shared core of typeCheckSlow/typeCheckUncached; fills \p Fill (when
-  /// non-null) with the successful layout resolution; attributes any
-  /// error it reports to \p Site.
+  /// Shared core of typeCheckSlow/typeCheckUncached; publishes the
+  /// successful layout resolution into \p Fill's cache set (when
+  /// non-null, the first way of the site's set); attributes any error
+  /// it reports to \p Site.
   Bounds typeCheckImpl(const void *Ptr, const TypeInfo *StaticType,
                        const MetaHeader *Meta, SiteCacheEntry *Fill,
                        SiteId Site);

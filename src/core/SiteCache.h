@@ -75,6 +75,15 @@ inline constexpr uint64_t AnyNormOffset = ~uint64_t(0);
 /// Site & mask either way, so the tag costs nothing on the hot path.
 inline constexpr SiteId PseudoSiteBit = SiteId(1) << 31;
 
+/// Global fill-recency clock for SiteCacheEntry::FillTick: one shared
+/// monotone counter across all caches (slow-path fills only, so the
+/// RMW never touches a hot path). Wraps harmlessly — ticks are only
+/// compared for relative age.
+inline uint32_t nextSiteFillTick() {
+  static std::atomic<uint32_t> Tick{0};
+  return Tick.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 /// The pseudo-site for checks without a compiler-assigned site: types
 /// are interned, so hashing the static type gives each distinct check
 /// type its own (stable) slot — matching the cache key's static-type
@@ -90,6 +99,10 @@ struct alignas(64) SiteCacheEntry {
   /// Seqlock version: even = stable, odd = fill in progress, 0 = empty
   /// (empty entries also have null AllocType, which never matches).
   std::atomic<uint32_t> Version{0};
+  /// Recency stamp: the value of the global fill tick when this entry
+  /// was last filled (see nextSiteFillTick). Written by fillers only,
+  /// read only by victim selection — never by the hit path.
+  std::atomic<uint32_t> FillTick{0};
   std::atomic<const TypeInfo *> AllocType{nullptr};
   std::atomic<const TypeInfo *> StaticType{nullptr};
   /// Normalized offset delta the resolution is valid for, or
@@ -105,11 +118,21 @@ struct alignas(64) SiteCacheEntry {
   std::atomic<uint64_t> FamSize{0};
 };
 
-/// A fixed-size, power-of-two, direct-mapped array of inline-cache
-/// entries, indexed by SiteId & mask. Collisions are benign: the full
-/// key is compared on every probe, so a colliding site only evicts.
+/// A fixed-size, power-of-two, 2-way set-associative array of
+/// inline-cache entries, indexed by SiteId & set mask. Polymorphic
+/// sites (two static types, or two offset resolutions, flowing through
+/// one check) keep both resolutions resident instead of ping-ponging a
+/// direct-mapped slot at ~3.5x the hit cost; a third resolution evicts
+/// the set's least-recently-filled way. Collisions stay benign: the
+/// full key is compared on every probe, so a colliding site only
+/// evicts.
 class SiteCache {
 public:
+  /// Entries per set. The fast path probes the ways in order, so way 0
+  /// is one compare away from the direct-mapped cost and way 1 costs
+  /// only a second key compare on sets that need it.
+  static constexpr unsigned Ways = 2;
+
   /// Hard cap on the entry count (2^20 entries = 64 MiB of cache): the
   /// count is a plain integer knob reachable from the C ABI, and a
   /// bogus huge value must degrade to a big-but-allocatable cache, not
@@ -118,24 +141,46 @@ public:
   static constexpr size_t MaxEntries = size_t(1) << 20;
 
   /// Rounds \p RequestedEntries up to a power of two (clamped to
-  /// MaxEntries); 0 disables the cache (every probe misses, every
-  /// check takes the slow path).
+  /// [Ways, MaxEntries]); 0 disables the cache (every probe misses,
+  /// every check takes the slow path).
   explicit SiteCache(size_t RequestedEntries) {
     if (RequestedEntries == 0) {
       NumEntries = 0;
-      Mask = 0;
+      SetMask = 0;
       return;
     }
-    NumEntries = std::bit_ceil(std::min(RequestedEntries, MaxEntries));
-    Mask = NumEntries - 1;
+    NumEntries = std::bit_ceil(
+        std::min(std::max(RequestedEntries, size_t(Ways)), MaxEntries));
+    SetMask = NumEntries / Ways - 1;
     Entries = std::make_unique<SiteCacheEntry[]>(NumEntries);
   }
 
   bool enabled() const { return NumEntries != 0; }
   size_t numEntries() const { return NumEntries; }
+  size_t numSets() const { return NumEntries / Ways; }
 
-  /// The (direct-mapped) entry for \p Site. \pre enabled().
-  SiteCacheEntry &entryFor(SiteId Site) { return Entries[Site & Mask]; }
+  /// The first way of \p Site's set (ways are consecutive entries).
+  /// \pre enabled().
+  SiteCacheEntry *setFor(SiteId Site) {
+    return &Entries[(Site & SetMask) * Ways];
+  }
+
+  /// The fill victim within \p Set: an empty way if there is one,
+  /// otherwise the least-recently-*filled* way by the global fill-tick
+  /// stamp. (Comparing seqlock versions instead would count fills per
+  /// entry, not recency — a way churned hot in the past would squat on
+  /// its slot forever while the other way ping-pongs.)
+  static SiteCacheEntry &victimIn(SiteCacheEntry *Set) {
+    if (Set[0].Version.load(std::memory_order_relaxed) == 0)
+      return Set[0];
+    if (Set[1].Version.load(std::memory_order_relaxed) == 0)
+      return Set[1];
+    uint32_t T0 = Set[0].FillTick.load(std::memory_order_relaxed);
+    uint32_t T1 = Set[1].FillTick.load(std::memory_order_relaxed);
+    // Wrap-tolerant "older" comparison; a mispick once per 2^31 fills
+    // only costs one extra miss.
+    return static_cast<int32_t>(T1 - T0) < 0 ? Set[1] : Set[0];
+  }
 
   /// Drops every entry (Runtime::reset). Not safe against concurrent
   /// probes — callers hold the same "no concurrent use" contract as
@@ -150,7 +195,7 @@ public:
 private:
   std::unique_ptr<SiteCacheEntry[]> Entries;
   size_t NumEntries = 0;
-  size_t Mask = 0;
+  size_t SetMask = 0;
 };
 
 } // namespace effective

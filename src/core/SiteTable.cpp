@@ -74,20 +74,33 @@ SiteId SiteTableRegistry::registerTable(const SiteTable &Table,
   SiteId Base = R->Base;
   NextBase += static_cast<SiteId>(Table.Entries.size());
   Tables.push_back(std::move(R));
+
+  // Publish a fresh immutable index for the lock-free readers. The old
+  // snapshot is retired (kept alive), never freed, so an error-storm
+  // resolve() racing this registration reads either index safely.
+  auto Snap = std::make_unique<Snapshot>();
+  Snap->Tables.reserve(Tables.size());
+  for (const auto &T : Tables)
+    Snap->Tables.push_back(T.get());
+  Current.store(Snap.get(), std::memory_order_release);
+  Snapshots.push_back(std::move(Snap));
   return Base;
 }
 
 const SiteInfo *SiteTableRegistry::resolve(SiteId Site) const {
   if (Site == NoSite || (Site & PseudoSiteBit))
     return nullptr;
-  std::lock_guard<std::mutex> Guard(Lock);
+  // Wait-free read path: one acquire load of the published index; the
+  // Registered records it points to are immutable after registration.
+  const Snapshot *Snap = Current.load(std::memory_order_acquire);
+  if (!Snap)
+    return nullptr;
   // Tables are sorted by Base; find the last table with Base <= Site.
-  auto It = std::upper_bound(
-      Tables.begin(), Tables.end(), Site,
-      [](SiteId S, const std::unique_ptr<Registered> &T) {
-        return S < T->Base;
-      });
-  if (It == Tables.begin())
+  auto It = std::upper_bound(Snap->Tables.begin(), Snap->Tables.end(),
+                             Site, [](SiteId S, const Registered *T) {
+                               return S < T->Base;
+                             });
+  if (It == Snap->Tables.begin())
     return nullptr;
   const Registered &T = **std::prev(It);
   size_t Local = Site - T.Base;

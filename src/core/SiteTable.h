@@ -46,6 +46,7 @@
 #include "core/SiteCache.h"
 #include "support/Diagnostics.h"
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -105,7 +106,15 @@ struct SiteInfo {
 /// A session's collection of registered site tables. Registration
 /// copies the table and rebases its dense local ids onto the next free
 /// global range; resolve() maps a rebased id back to its SiteInfo.
-/// Thread-safe; resolution sits on error slow paths only.
+///
+/// Thread-safe, and *read-mostly*: registrations (rare — module loads)
+/// serialize on a writer mutex and publish an immutable snapshot of
+/// the table index; resolve() — which sits on every error path, and
+/// under an error storm is called from every erring worker at once —
+/// is a wait-free acquire-load plus binary search, taking no lock.
+/// Superseded snapshots are retired, not freed, until the registry
+/// dies (bounded by the number of registrations, which is tiny), so a
+/// reader can never observe a snapshot being reclaimed under it.
 class SiteTableRegistry {
 public:
   SiteTableRegistry() = default;
@@ -124,7 +133,8 @@ public:
 
   /// The SiteInfo for rebased id \p Site, or null when the id is
   /// NoSite, tagged as a pseudo-site, or outside every registered
-  /// range.
+  /// range. Lock-free (see the class comment) — safe to call from any
+  /// number of erring threads concurrently with registrations.
   const SiteInfo *resolve(SiteId Site) const;
 
   /// Total sites across all registered tables.
@@ -145,9 +155,26 @@ private:
     std::vector<SiteInfo> Sites;
   };
 
+  /// One published table index: non-owning pointers to the Registered
+  /// records, sorted by Base (registration order — bases are
+  /// monotone). Immutable once published.
+  struct Snapshot {
+    std::vector<const Registered *> Tables;
+  };
+
+  /// Serializes writers (registerTable) and guards the owning
+  /// containers below; resolve() never takes it.
   mutable std::mutex Lock;
-  /// Sorted by Base (registration order — bases are monotone).
+  /// Owning storage, append-only; records are immutable once built, so
+  /// published snapshots may point into them without synchronization.
   std::vector<std::unique_ptr<Registered>> Tables;
+  /// The current reader-visible index (release-published, acquire-
+  /// loaded). Null until the first registration.
+  std::atomic<const Snapshot *> Current{nullptr};
+  /// Owns every snapshot ever published (the current one last);
+  /// superseded snapshots are retired here, not freed, so concurrent
+  /// readers never race reclamation.
+  std::vector<std::unique_ptr<const Snapshot>> Snapshots;
   SiteId NextBase = 0;
 };
 

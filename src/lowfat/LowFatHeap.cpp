@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include <sys/mman.h>
 
@@ -30,8 +31,164 @@ struct LowFatHeap::FreeNode {
 /// Byte offset of the intrusive link inside a free block.
 static constexpr size_t FreeLinkOffset = 16;
 
+/// Frees batched per thread before one locked quarantine-FIFO flush.
+static constexpr size_t QuarantineFlushCount = 16;
+
 static_assert(MinClassSize >= FreeLinkOffset + sizeof(void *),
               "smallest class must fit META header plus free-list link");
+
+/// Statistical increment: a relaxed non-RMW load+store. Used for the
+/// magazine hit/refill counters that sit on the allocation fast path —
+/// a lock-prefixed xadd there would cost more than the magazine pop it
+/// measures. Concurrent mutators on one shard may lose an update;
+/// ratios (the hit rate) stay accurate, and nothing correctness-
+/// relevant reads these.
+static EFFSAN_ALWAYS_INLINE void statBump(std::atomic<uint64_t> &C) {
+  C.store(C.load(std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Thread caches: per-thread magazines + quarantine batches
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Process-wide registry of live heaps (address -> stamp). Arbitrates
+/// between dying threads (whose caches flush back to the heap) and
+/// dying heaps (whose caches must be abandoned): a cache only touches
+/// its heap while holding the lock that the heap's destructor also
+/// takes to unregister. Leaked on purpose so thread-exit destructors
+/// that run after static destruction still find live objects.
+std::mutex &heapRegistryLock() {
+  static std::mutex *M = new std::mutex;
+  return *M;
+}
+
+std::unordered_map<const void *, uint64_t> &liveHeapRegistry() {
+  static auto *Map = new std::unordered_map<const void *, uint64_t>;
+  return *Map;
+}
+
+uint64_t nextHeapStamp() {
+  static std::atomic<uint64_t> Counter{0};
+  return Counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// One-entry hot cache of the most recent (heap -> thread cache)
+/// lookup, so the common case (a thread working against one heap) pays
+/// a pointer compare instead of a list walk.
+thread_local const void *HotHeap = nullptr;
+thread_local uint64_t HotStamp = 0;
+thread_local void *HotTC = nullptr;
+
+} // namespace
+
+/// The per-(thread, heap) cache: one magazine per size class (bound to
+/// one shard at a time), a spare chain of refill overflow, and the
+/// batched quarantine buffer. Destroyed at thread exit, which flushes
+/// everything back to the heap if it is still alive.
+struct LowFatHeap::ThreadCache {
+  LowFatHeap *Heap;
+  uint64_t HeapStamp;
+  unsigned MagSize;
+  /// The shard the magazines hold blocks of (~0u = unbound).
+  unsigned BoundShard = ~0u;
+  /// The bound shard's epoch as of binding; a mismatch with the live
+  /// epoch means resetShard() recycled the arena slice and every cached
+  /// block must be discarded, never replayed.
+  uint64_t ShardEpoch = 0;
+  /// Blocks per class currently in the magazine arrays.
+  uint16_t Counts[NumSizeClasses] = {};
+  /// Refill overflow: the rest of a popped free list, consumed by later
+  /// refills without touching shared state. Owned by BoundShard.
+  FreeNode *Spare[NumSizeClasses] = {};
+  /// Magazine storage: NumSizeClasses x MagSize slots (null when
+  /// magazines are disabled — the cache then only batches quarantine).
+  std::unique_ptr<void *[]> Slots;
+
+  struct PendingFree {
+    void *Ptr;
+    unsigned Class;
+    unsigned Shard;
+    uint64_t Epoch; ///< Shard epoch at free time (staleness filter).
+  };
+  std::vector<PendingFree> Pending;
+  size_t PendingBytes = 0;
+
+  /// Set under the registry lock when the cache was already flushed or
+  /// its heap died; the destructor then must not touch the heap (and
+  /// must not re-take the registry lock it may be held under).
+  bool Retired = false;
+
+  explicit ThreadCache(LowFatHeap &H)
+      : Heap(&H), HeapStamp(H.Stamp), MagSize(H.MagSize) {
+    if (MagSize)
+      Slots = std::make_unique<void *[]>(
+          static_cast<size_t>(NumSizeClasses) * MagSize);
+    Pending.reserve(QuarantineFlushCount);
+  }
+
+  ~ThreadCache() {
+    if (Retired)
+      return;
+    std::lock_guard<std::mutex> Guard(heapRegistryLock());
+    auto &Live = liveHeapRegistry();
+    auto It = Live.find(Heap);
+    if (It != Live.end() && It->second == HeapStamp)
+      Heap->flushCache(*this);
+  }
+
+  ThreadCache(const ThreadCache &) = delete;
+  ThreadCache &operator=(const ThreadCache &) = delete;
+
+  void **slots(unsigned ClassIndex) {
+    return Slots.get() + static_cast<size_t>(ClassIndex) * MagSize;
+  }
+};
+
+LowFatHeap::ThreadCache *LowFatHeap::threadCache() {
+  if (EFFSAN_LIKELY(HotHeap == this && HotStamp == Stamp))
+    return static_cast<ThreadCache *>(HotTC);
+  return threadCacheSlow();
+}
+
+LowFatHeap::ThreadCache *LowFatHeap::threadCacheSlow() {
+  // All of this thread's caches, across heaps. Function-local so the
+  // vector (and each cache's flushing destructor) runs at thread exit.
+  thread_local std::vector<std::unique_ptr<ThreadCache>> Caches;
+
+  ThreadCache *Found = nullptr;
+  {
+    // Prune caches of dead heaps while we are here (bounds the list by
+    // the heaps the thread still uses). Retire under the registry lock
+    // so a pruned cache's destructor skips the flush AND the lock.
+    std::lock_guard<std::mutex> Guard(heapRegistryLock());
+    auto &Live = liveHeapRegistry();
+    std::erase_if(Caches, [&](std::unique_ptr<ThreadCache> &C) {
+      auto It = Live.find(C->Heap);
+      if (It != Live.end() && It->second == C->HeapStamp)
+        return false;
+      C->Retired = true; // Heap is gone; abandon the cached blocks.
+      return true;
+    });
+  }
+  for (auto &C : Caches)
+    if (C->Heap == this && C->HeapStamp == Stamp)
+      Found = C.get();
+  if (!Found) {
+    Caches.push_back(std::make_unique<ThreadCache>(*this));
+    Found = Caches.back().get();
+  }
+  HotHeap = this;
+  HotStamp = Stamp;
+  HotTC = Found;
+  return Found;
+}
+
+//===----------------------------------------------------------------------===//
+// Construction / destruction
+//===----------------------------------------------------------------------===//
 
 LowFatHeap::LowFatHeap(const HeapOptions &Options) {
   assert(std::has_single_bit(Options.RegionSize) &&
@@ -40,6 +197,10 @@ LowFatHeap::LowFatHeap(const HeapOptions &Options) {
   Shards = Options.NumShards < 1 ? 1 : Options.NumShards;
   if (Shards > MaxHeapShards)
     Shards = MaxHeapShards;
+  MagSize = Options.MagazineSize > MaxMagazineSize ? MaxMagazineSize
+                                                   : Options.MagazineSize;
+  WorkStealing = Options.EnableWorkStealing;
+  Stamp = nextHeapStamp();
 
   // Reserve the arena; retry with smaller regions if the reservation is
   // refused. MAP_NORESERVE keeps untouched pages free of charge. With
@@ -72,6 +233,9 @@ LowFatHeap::LowFatHeap(const HeapOptions &Options) {
       static_cast<size_t>(NumSizeClasses) * Shards);
   Counters = std::make_unique<ShardCounters[]>(Shards);
   Quarantines = std::make_unique<ShardQuarantine[]>(Shards);
+  ShardEpochs = std::make_unique<std::atomic<uint64_t>[]>(Shards);
+  for (unsigned S = 0; S < Shards; ++S)
+    ShardEpochs[S].store(1, std::memory_order_relaxed);
 
   for (unsigned I = 0; I < NumSizeClasses; ++I) {
     Region &R = Regions[I];
@@ -90,9 +254,18 @@ LowFatHeap::LowFatHeap(const HeapOptions &Options) {
       Sub.Bump.store(Sub.Begin, std::memory_order_relaxed);
     }
   }
+
+  std::lock_guard<std::mutex> Guard(heapRegistryLock());
+  liveHeapRegistry().emplace(this, Stamp);
 }
 
 LowFatHeap::~LowFatHeap() {
+  {
+    // After this no thread-exit flush will touch the heap (flushes run
+    // under the same lock and re-check liveness).
+    std::lock_guard<std::mutex> Guard(heapRegistryLock());
+    liveHeapRegistry().erase(this);
+  }
   ::munmap(reinterpret_cast<void *>(ArenaBase), ArenaBytes);
   for (auto &Entry : LegacyAllocs)
     std::free(Entry.first);
@@ -103,6 +276,10 @@ LowFatHeap &LowFatHeap::global() {
   return Heap;
 }
 
+//===----------------------------------------------------------------------===//
+// Statistics plumbing
+//===----------------------------------------------------------------------===//
+
 void LowFatHeap::noteAlloc(unsigned Shard, size_t Block, bool Legacy) {
   ShardCounters &C = Counters[Shard];
   uint64_t Now = C.BlockBytesInUse.fetch_add(Block,
@@ -111,10 +288,10 @@ void LowFatHeap::noteAlloc(unsigned Shard, size_t Block, bool Legacy) {
   C.NumAllocs.fetch_add(1, std::memory_order_relaxed);
   if (Legacy)
     C.NumLegacyAllocs.fetch_add(1, std::memory_order_relaxed);
-  uint64_t Peak = C.PeakBlockBytesInUse.load(std::memory_order_relaxed);
-  while (Now > Peak && !C.PeakBlockBytesInUse.compare_exchange_weak(
-                           Peak, Now, std::memory_order_relaxed)) {
-  }
+  // Statistical peak tracking (exact single-threaded): a CAS loop here
+  // would put a second contended RMW on every allocation.
+  if (Now > C.PeakBlockBytesInUse.load(std::memory_order_relaxed))
+    C.PeakBlockBytesInUse.store(Now, std::memory_order_relaxed);
 }
 
 void LowFatHeap::noteFree(unsigned Shard, size_t Block) {
@@ -130,37 +307,270 @@ void LowFatHeap::noteFree(unsigned Shard, size_t Block) {
   C.NumFrees.fetch_add(1, std::memory_order_relaxed);
 }
 
+//===----------------------------------------------------------------------===//
+// Lock-free sub-arena primitives
+//===----------------------------------------------------------------------===//
+
+void *LowFatHeap::bumpAlloc(SubRegion &Sub, uint64_t Block) {
+  uintptr_t Cur = Sub.Bump.load(std::memory_order_relaxed);
+  while (Cur + Block <= Sub.End) {
+    // Release pairs with isLowFat()'s acquire: Bump never overshoots
+    // End, so a reader can never see a beyond-slice bump value.
+    if (Sub.Bump.compare_exchange_weak(Cur, Cur + Block,
+                                       std::memory_order_release,
+                                       std::memory_order_relaxed))
+      return reinterpret_cast<void *>(Cur);
+  }
+  return nullptr;
+}
+
+void LowFatHeap::pushFreeChain(SubRegion &Sub, FreeNode *First,
+                               FreeNode *Last) {
+  FreeNode *Head = Sub.FreeList.load(std::memory_order_relaxed);
+  do {
+    Last->Next = Head;
+    // Release publishes the chain's links (and the freeing thread's
+    // writes into the blocks) to the consumer's acquire exchange. The
+    // compare is on the head pointer only and the chain is exclusively
+    // ours, so a concurrent pop-all/push cannot corrupt anything
+    // (no-ABA: nobody pops single nodes).
+  } while (!Sub.FreeList.compare_exchange_weak(Head, First,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed));
+}
+
+void LowFatHeap::pushFreeBlock(SubRegion &Sub, void *Ptr) {
+  auto *Node = reinterpret_cast<FreeNode *>(static_cast<char *>(Ptr) +
+                                            FreeLinkOffset);
+  pushFreeChain(Sub, Node, Node);
+}
+
+//===----------------------------------------------------------------------===//
+// Magazine management
+//===----------------------------------------------------------------------===//
+
+/// Refills the magazine for \p ClassIndex from the thread's spare chain
+/// or, when that is dry, by taking the bound sub-arena's entire free
+/// list in one exchange (ABA-free pop-all). Returns true when at least
+/// one block landed in the magazine.
+bool LowFatHeap::refillMagazine(ThreadCache &TC, unsigned ClassIndex,
+                                unsigned Shard) {
+  FreeNode *&Spare = TC.Spare[ClassIndex];
+  if (!Spare) {
+    Spare = subRegion(ClassIndex, Shard)
+                .FreeList.exchange(nullptr, std::memory_order_acquire);
+    if (!Spare)
+      return false;
+  }
+  void **Slots = TC.slots(ClassIndex);
+  uint16_t &N = TC.Counts[ClassIndex];
+  while (N < MagSize && Spare) {
+    Slots[N++] = reinterpret_cast<char *>(Spare) - FreeLinkOffset;
+    Spare = Spare->Next;
+  }
+  statBump(Counters[Shard].MagazineRefills);
+  return true;
+}
+
+/// Returns the older half of a full magazine to the bound sub-arena's
+/// free list in a single chain push, keeping the newer half for reuse
+/// hysteresis.
+void LowFatHeap::flushMagazineHalf(ThreadCache &TC, unsigned ClassIndex) {
+  void **Slots = TC.slots(ClassIndex);
+  unsigned N = TC.Counts[ClassIndex];
+  unsigned Flush = N - N / 2;
+  assert(Flush > 0 && TC.BoundShard != ~0u);
+  FreeNode *First = nullptr, *Prev = nullptr;
+  for (unsigned I = 0; I < Flush; ++I) {
+    auto *Node = reinterpret_cast<FreeNode *>(
+        static_cast<char *>(Slots[I]) + FreeLinkOffset);
+    if (Prev)
+      Prev->Next = Node;
+    else
+      First = Node;
+    Prev = Node;
+  }
+  pushFreeChain(subRegion(ClassIndex, TC.BoundShard), First, Prev);
+  std::memmove(Slots, Slots + Flush, (N - Flush) * sizeof(void *));
+  TC.Counts[ClassIndex] = static_cast<uint16_t>(N - Flush);
+}
+
+/// Pushes every magazine block and spare chain back to the bound
+/// shard's free lists. \pre the bound shard's epoch is still current.
+void LowFatHeap::flushMagazines(ThreadCache &TC) {
+  for (unsigned C = 0; C < NumSizeClasses; ++C) {
+    if (TC.Counts[C] > 0) {
+      unsigned N = TC.Counts[C];
+      void **Slots = TC.slots(C);
+      FreeNode *First = nullptr, *Prev = nullptr;
+      for (unsigned I = 0; I < N; ++I) {
+        auto *Node = reinterpret_cast<FreeNode *>(
+            static_cast<char *>(Slots[I]) + FreeLinkOffset);
+        if (Prev)
+          Prev->Next = Node;
+        else
+          First = Node;
+        Prev = Node;
+      }
+      pushFreeChain(subRegion(C, TC.BoundShard), First, Prev);
+      TC.Counts[C] = 0;
+    }
+    if (TC.Spare[C]) {
+      FreeNode *Tail = TC.Spare[C];
+      while (Tail->Next)
+        Tail = Tail->Next;
+      pushFreeChain(subRegion(C, TC.BoundShard), TC.Spare[C], Tail);
+      TC.Spare[C] = nullptr;
+    }
+  }
+}
+
+/// Retires the cache's magazines: flush back to the bound shard if its
+/// epoch is still current, drop otherwise. The epoch re-check and the
+/// flush happen under the shard's quarantine lock, which resetShard()
+/// also holds while recycling — so a thread that stopped using a shard
+/// long ago (rebind to another shard, thread exit) can never interleave
+/// its lazy flush with a reset and repopulate the recycled free lists
+/// with pre-reset blocks. Active-use paths stay lock-free; this lock
+/// sits only on rebind/exit.
+void LowFatHeap::retireMagazines(ThreadCache &TC) {
+  if (TC.BoundShard == ~0u)
+    return;
+  ShardQuarantine &Q = Quarantines[TC.BoundShard];
+  std::lock_guard<std::mutex> Guard(Q.Lock);
+  if (TC.ShardEpoch ==
+      ShardEpochs[TC.BoundShard].load(std::memory_order_relaxed)) {
+    flushMagazines(TC);
+  } else {
+    // Stale: the shard was reset; the addresses belong to a new
+    // tenant now (or will). Forget them.
+    std::memset(TC.Counts, 0, sizeof(TC.Counts));
+    std::memset(TC.Spare, 0, sizeof(TC.Spare));
+  }
+}
+
+/// Rebinds the cache to \p Shard after retiring the old shard's blocks.
+void LowFatHeap::rebindCache(ThreadCache &TC, unsigned Shard) {
+  retireMagazines(TC);
+  TC.BoundShard = Shard;
+  TC.ShardEpoch = ShardEpochs[Shard].load(std::memory_order_relaxed);
+}
+
+void LowFatHeap::flushCache(ThreadCache &TC) {
+  retireMagazines(TC);
+  if (!TC.Pending.empty())
+    flushPendingQuarantine(TC);
+}
+
+void LowFatHeap::flushThreadCache() { flushCache(*threadCache()); }
+
+//===----------------------------------------------------------------------===//
+// Allocation
+//===----------------------------------------------------------------------===//
+
 void *LowFatHeap::allocateOnShard(size_t Size, unsigned Shard) {
   assert(Shard < Shards && "shard index out of range");
   if (Size == 0)
     Size = 1;
   if (Size > MaxClassSize || Size > RegionSize)
-    return allocateLegacy(Size, Shard);
+    return allocateLegacy(Size, Shard); // Oversized, not exhausted.
 
   unsigned ClassIndex = sizeToClass(Size);
   uint64_t Block = classSize(ClassIndex);
-  SubRegion &Sub = subRegion(ClassIndex, Shard);
 
-  void *Result = nullptr;
-  {
-    std::lock_guard<std::mutex> Guard(Sub.Lock);
-    if (Sub.FreeList) {
-      FreeNode *Node = Sub.FreeList;
-      Sub.FreeList = Node->Next;
-      Result = reinterpret_cast<char *>(Node) - FreeLinkOffset;
-    } else {
-      uintptr_t Bump = Sub.Bump.load(std::memory_order_relaxed);
-      if (Bump + Block <= Sub.End) {
-        Result = reinterpret_cast<void *>(Bump);
-        Sub.Bump.store(Bump + Block, std::memory_order_release);
+  if (EFFSAN_LIKELY(MagSize != 0)) {
+    ThreadCache *TC = threadCache();
+    if (EFFSAN_UNLIKELY(
+            TC->BoundShard != Shard ||
+            TC->ShardEpoch !=
+                ShardEpochs[Shard].load(std::memory_order_relaxed)))
+      rebindCache(*TC, Shard);
+    uint16_t &N = TC->Counts[ClassIndex];
+    if (EFFSAN_LIKELY(N > 0)) {
+      // The steady state: a TLS array pop. No lock, no RMW atomic.
+      void *Result = TC->slots(ClassIndex)[--N];
+      statBump(Counters[Shard].MagazineHits);
+      noteAlloc(Shard, Block, /*Legacy=*/false);
+      return Result;
+    }
+    if (refillMagazine(*TC, ClassIndex, Shard)) {
+      void *Result = TC->slots(ClassIndex)[--TC->Counts[ClassIndex]];
+      noteAlloc(Shard, Block, /*Legacy=*/false);
+      return Result;
+    }
+  } else {
+    // Magazines disabled: serve straight off the Treiber list. Pop-all
+    // then push the remainder back — the stack stays ABA-free because
+    // no path ever pops a single node it does not own.
+    SubRegion &Sub = subRegion(ClassIndex, Shard);
+    FreeNode *All = Sub.FreeList.exchange(nullptr,
+                                          std::memory_order_acquire);
+    if (All) {
+      if (FreeNode *Rest = All->Next) {
+        FreeNode *Tail = Rest;
+        while (Tail->Next)
+          Tail = Tail->Next;
+        pushFreeChain(Sub, Rest, Tail);
+      }
+      noteAlloc(Shard, Block, /*Legacy=*/false);
+      return reinterpret_cast<char *>(All) - FreeLinkOffset;
+    }
+  }
+
+  if (void *Result = bumpAlloc(subRegion(ClassIndex, Shard), Block)) {
+    noteAlloc(Shard, Block, /*Legacy=*/false);
+    return Result;
+  }
+  return allocateExhausted(Size, ClassIndex, Shard);
+}
+
+void *LowFatHeap::allocateExhausted(size_t Size, unsigned ClassIndex,
+                                    unsigned Shard) {
+  uint64_t Block = classSize(ClassIndex);
+  if (WorkStealing && Shards > 1) {
+    // Refill from a sibling's slice of the same class region. The
+    // stolen block lives in the sibling's slice, so base(p)/size(p)
+    // stay the same global arithmetic and a later free returns it to
+    // the sibling (shardOf is address-derived). Stats attribute the
+    // block to its owning (victim) shard for alloc/free symmetry; the
+    // steal itself is counted against the requesting shard.
+    //
+    // Each victim is probed under its quarantine lock — the lock
+    // resetShard holds while recycling — so a steal can never
+    // interleave with a concurrent reset of the victim (per-shard
+    // reset while sibling shards keep allocating is the pool's normal
+    // tenant-recycling pattern): the steal completes entirely before
+    // the recycle (the block is then a "borrowed block" under the
+    // documented contract extension) or entirely after (it serves
+    // from the victim's fresh slice like any post-reset allocation).
+    // Steals are the rare dry-slice path, so the lock costs the fast
+    // path nothing.
+    for (unsigned I = 1; I < Shards; ++I) {
+      unsigned Victim = (Shard + I) % Shards;
+      SubRegion &Sub = subRegion(ClassIndex, Victim);
+      std::lock_guard<std::mutex> Guard(Quarantines[Victim].Lock);
+      FreeNode *All = Sub.FreeList.exchange(nullptr,
+                                            std::memory_order_acquire);
+      if (All) {
+        if (FreeNode *Rest = All->Next) {
+          FreeNode *Tail = Rest;
+          while (Tail->Next)
+            Tail = Tail->Next;
+          pushFreeChain(Sub, Rest, Tail);
+        }
+        Counters[Shard].Steals.fetch_add(1, std::memory_order_relaxed);
+        noteAlloc(Victim, Block, /*Legacy=*/false);
+        return reinterpret_cast<char *>(All) - FreeLinkOffset;
+      }
+      if (void *Result = bumpAlloc(Sub, Block)) {
+        Counters[Shard].Steals.fetch_add(1, std::memory_order_relaxed);
+        noteAlloc(Victim, Block, /*Legacy=*/false);
+        return Result;
       }
     }
   }
-  if (EFFSAN_UNLIKELY(!Result))
-    return allocateLegacy(Size, Shard); // Shard slice exhausted.
-
-  noteAlloc(Shard, Block, /*Legacy=*/false);
-  return Result;
+  Counters[Shard].ExhaustFallbacks.fetch_add(1, std::memory_order_relaxed);
+  return allocateLegacy(Size, Shard);
 }
 
 void *LowFatHeap::allocateLegacy(size_t Size, unsigned Shard) {
@@ -195,14 +605,9 @@ bool LowFatHeap::deallocateLegacy(void *Ptr) {
   return true;
 }
 
-void LowFatHeap::reclaim(void *Ptr, unsigned ClassIndex, unsigned Shard) {
-  SubRegion &Sub = subRegion(ClassIndex, Shard);
-  auto *Node = reinterpret_cast<FreeNode *>(static_cast<char *>(Ptr) +
-                                            FreeLinkOffset);
-  std::lock_guard<std::mutex> Guard(Sub.Lock);
-  Node->Next = Sub.FreeList;
-  Sub.FreeList = Node;
-}
+//===----------------------------------------------------------------------===//
+// Deallocation and quarantine
+//===----------------------------------------------------------------------===//
 
 void LowFatHeap::deallocate(void *Ptr) {
   if (!Ptr)
@@ -220,27 +625,83 @@ void LowFatHeap::deallocate(void *Ptr) {
   uint64_t Block = classSize(ClassIndex);
   noteFree(Shard, Block);
 
-  if (QuarantineLimit == 0) {
-    reclaim(Ptr, ClassIndex, Shard);
+  if (EFFSAN_UNLIKELY(QuarantineLimit != 0)) {
+    quarantineBlock(Ptr, ClassIndex, Shard);
     return;
   }
 
-  // Per-shard FIFO quarantine: park the block and evict the oldest
-  // blocks once the shard's byte budget is exceeded. All parked blocks
-  // belong to this shard, so evictions reclaim into the same shard.
-  ShardQuarantine &Q = Quarantines[Shard];
-  std::atomic<uint64_t> &QBytes = Counters[Shard].QuarantinedBytes;
-  std::lock_guard<std::mutex> Guard(Q.Lock);
-  Q.Blocks.emplace_back(Ptr, ClassIndex);
-  QBytes.fetch_add(Block, std::memory_order_relaxed);
-  while (QBytes.load(std::memory_order_relaxed) > QuarantineLimit &&
-         !Q.Blocks.empty()) {
-    auto [Oldest, OldClass] = Q.Blocks.front();
-    Q.Blocks.pop_front();
-    QBytes.fetch_sub(classSize(OldClass), std::memory_order_relaxed);
-    reclaim(Oldest, OldClass, Shard);
+  if (EFFSAN_LIKELY(MagSize != 0)) {
+    ThreadCache *TC = threadCache();
+    if (EFFSAN_LIKELY(
+            TC->BoundShard == Shard &&
+            TC->ShardEpoch ==
+                ShardEpochs[Shard].load(std::memory_order_relaxed))) {
+      // The steady state: a TLS array push (the block's memory is not
+      // even touched, so the META header trivially survives).
+      if (EFFSAN_UNLIKELY(TC->Counts[ClassIndex] == MagSize))
+        flushMagazineHalf(*TC, ClassIndex);
+      TC->slots(ClassIndex)[TC->Counts[ClassIndex]++] = Ptr;
+      return;
+    }
+    // Cross-shard (or unbound) free: hand the block straight back to
+    // its owning shard's lock-free list.
   }
+  pushFreeBlock(subRegion(ClassIndex, Shard), Ptr);
 }
+
+void LowFatHeap::quarantineBlock(void *Ptr, unsigned ClassIndex,
+                                 unsigned Shard) {
+  uint64_t Block = classSize(ClassIndex);
+  // Bytes are accounted when the block *enters* quarantine (even while
+  // it is still in the thread-local batch), so stats and the eviction
+  // budget see every parked block immediately.
+  Counters[Shard].QuarantinedBytes.fetch_add(Block,
+                                             std::memory_order_relaxed);
+  ThreadCache *TC = threadCache();
+  TC->Pending.push_back(
+      {Ptr, ClassIndex, Shard,
+       ShardEpochs[Shard].load(std::memory_order_relaxed)});
+  TC->PendingBytes += Block;
+  // Flush once per batch — one locked FIFO operation per
+  // QuarantineFlushCount frees — or earlier when the batch alone
+  // approaches the budget (so tiny budgets still evict promptly).
+  if (TC->Pending.size() >= QuarantineFlushCount ||
+      TC->PendingBytes * 2 >= QuarantineLimit)
+    flushPendingQuarantine(*TC);
+}
+
+void LowFatHeap::flushPendingQuarantine(ThreadCache &TC) {
+  auto &Pending = TC.Pending;
+  size_t I = 0;
+  while (I < Pending.size()) {
+    unsigned Shard = Pending[I].Shard;
+    ShardQuarantine &Q = Quarantines[Shard];
+    std::atomic<uint64_t> &QBytes = Counters[Shard].QuarantinedBytes;
+    std::lock_guard<std::mutex> Guard(Q.Lock);
+    for (; I < Pending.size() && Pending[I].Shard == Shard; ++I) {
+      if (Pending[I].Epoch !=
+          ShardEpochs[Shard].load(std::memory_order_relaxed))
+        continue; // resetShard() recycled it; the byte accounting was
+                  // zeroed with the shard, so just forget the block.
+      Q.Blocks.emplace_back(Pending[I].Ptr, Pending[I].Class);
+    }
+    // FIFO eviction down to the budget: oldest blocks return to the
+    // lock-free free lists (all parked blocks belong to this shard).
+    while (QBytes.load(std::memory_order_relaxed) > QuarantineLimit &&
+           !Q.Blocks.empty()) {
+      auto [Oldest, OldClass] = Q.Blocks.front();
+      Q.Blocks.pop_front();
+      QBytes.fetch_sub(classSize(OldClass), std::memory_order_relaxed);
+      pushFreeBlock(subRegion(OldClass, Shard), Oldest);
+    }
+  }
+  Pending.clear();
+  TC.PendingBytes = 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Metadata queries (unchanged arithmetic — the whole point)
+//===----------------------------------------------------------------------===//
 
 bool LowFatHeap::isLowFat(const void *Ptr) const {
   uintptr_t P = reinterpret_cast<uintptr_t>(Ptr);
@@ -297,20 +758,35 @@ unsigned LowFatHeap::shardOf(const void *Ptr) const {
   return subIndexFor(R, P - R.Begin);
 }
 
+//===----------------------------------------------------------------------===//
+// Shard recycling and statistics
+//===----------------------------------------------------------------------===//
+
 void LowFatHeap::resetShard(unsigned Shard) {
   assert(Shard < Shards && "shard index out of range");
-  // Drop the shard's quarantine first; its entries point into the
-  // sub-arenas that are about to be rewound.
   {
+    // The quarantine lock serializes the recycle against lazy magazine
+    // retirements (rebind-away / thread exit — see retireMagazines):
+    // either a retirement flushes first and its blocks are cleared
+    // here with the rest of the shard, or it runs after and observes
+    // the advanced epoch and drops its blocks. Threads *actively*
+    // allocating/freeing on the shard are excluded by this function's
+    // precondition, as before.
     ShardQuarantine &Q = Quarantines[Shard];
     std::lock_guard<std::mutex> Guard(Q.Lock);
+    // Advance the magazine epoch: any thread cache bound to this shard
+    // (including the caller's) discards its blocks on next use instead
+    // of replaying addresses into the recycled slice, and stale
+    // quarantine batch entries are filtered at flush time.
+    ShardEpochs[Shard].fetch_add(1, std::memory_order_release);
+    // Drop the shard's quarantine; its entries point into the
+    // sub-arenas that are about to be rewound.
     Q.Blocks.clear();
-  }
-  for (unsigned I = 0; I < NumSizeClasses; ++I) {
-    SubRegion &Sub = subRegion(I, Shard);
-    std::lock_guard<std::mutex> Guard(Sub.Lock);
-    Sub.FreeList = nullptr;
-    Sub.Bump.store(Sub.Begin, std::memory_order_release);
+    for (unsigned I = 0; I < NumSizeClasses; ++I) {
+      SubRegion &Sub = subRegion(I, Shard);
+      Sub.FreeList.store(nullptr, std::memory_order_relaxed);
+      Sub.Bump.store(Sub.Begin, std::memory_order_release);
+    }
   }
   ShardCounters &C = Counters[Shard];
   C.BlockBytesInUse.store(0, std::memory_order_relaxed);
@@ -319,6 +795,10 @@ void LowFatHeap::resetShard(unsigned Shard) {
   C.NumFrees.store(0, std::memory_order_relaxed);
   C.NumLegacyAllocs.store(0, std::memory_order_relaxed);
   C.QuarantinedBytes.store(0, std::memory_order_relaxed);
+  C.MagazineHits.store(0, std::memory_order_relaxed);
+  C.MagazineRefills.store(0, std::memory_order_relaxed);
+  C.Steals.store(0, std::memory_order_relaxed);
+  C.ExhaustFallbacks.store(0, std::memory_order_relaxed);
 }
 
 HeapStats LowFatHeap::shardStats(unsigned Shard) const {
@@ -332,6 +812,11 @@ HeapStats LowFatHeap::shardStats(unsigned Shard) const {
   S.NumFrees = C.NumFrees.load(std::memory_order_relaxed);
   S.NumLegacyAllocs = C.NumLegacyAllocs.load(std::memory_order_relaxed);
   S.QuarantinedBytes = C.QuarantinedBytes.load(std::memory_order_relaxed);
+  S.MagazineHits = C.MagazineHits.load(std::memory_order_relaxed);
+  S.MagazineRefills = C.MagazineRefills.load(std::memory_order_relaxed);
+  S.Steals = C.Steals.load(std::memory_order_relaxed);
+  S.ExhaustFallbacks =
+      C.ExhaustFallbacks.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -345,6 +830,10 @@ HeapStats LowFatHeap::stats() const {
     Sum.NumFrees += Part.NumFrees;
     Sum.NumLegacyAllocs += Part.NumLegacyAllocs;
     Sum.QuarantinedBytes += Part.QuarantinedBytes;
+    Sum.MagazineHits += Part.MagazineHits;
+    Sum.MagazineRefills += Part.MagazineRefills;
+    Sum.Steals += Part.Steals;
+    Sum.ExhaustFallbacks += Part.ExhaustFallbacks;
   }
   return Sum;
 }

@@ -28,14 +28,50 @@
 ///
 /// Sharding (HeapOptions::NumShards > 1): each size-class region is
 /// carved into NumShards contiguous sub-arenas, each with its own bump
-/// pointer, free list and lock, so that concurrent worker threads bound
-/// to distinct shards never contend on allocation. Because every shard's
+/// pointer and free list, so that concurrent worker threads bound to
+/// distinct shards never contend on allocation. Because every shard's
 /// slice starts at a multiple of the class size from the region base, the
 /// size(p)/base(p) arithmetic above is unchanged and remains valid for
 /// pointers allocated on *any* shard — a shard is a placement policy,
 /// not a separate address space. Cross-shard frees are allowed (the block
 /// returns to its owning shard's free list). All metadata queries stay
 /// lock-free.
+///
+/// Allocation fast path (this layer's whole point — the paper keeps
+/// type_malloc cheap because base/size are pure arithmetic, so the
+/// allocator itself must not give the cycles back):
+///
+///   * Per-thread size-class *magazines*: a small TLS cache of blocks
+///     per class (tcmalloc-style). The steady-state alloc/free pair is a
+///     TLS array pop/push — no locks, no compare-and-swap.
+///   * Magazines refill in batches from the owning sub-arena's *Treiber
+///     free list* (multi-producer push via CAS; consumers take the whole
+///     list with one exchange, which also makes the stack ABA-free) and
+///     flush back half a magazine in one chain push when they overflow.
+///   * Never-allocated memory comes from an atomic *bump pointer*
+///     (CAS loop) — one atomic op per fresh block, no lock.
+///   * Frees under an active quarantine park in a per-thread buffer and
+///     flush to the shard's FIFO in one locked operation per batch,
+///     preserving the reuse-delay guarantee and byte accounting.
+///   * When a shard's slice of a class region is exhausted and
+///     HeapOptions::EnableWorkStealing is set, the shard refills from a
+///     sibling shard's slice (free list, then bump space) instead of
+///     falling back to the (locked, legacy-pointer) system allocator.
+///     Stolen blocks keep the class-alignment invariant — they live in
+///     the sibling's slice, so base(p)/size(p) remain the same global
+///     O(1) arithmetic and frees return them to the sibling.
+///
+/// The only mutexes left are the per-shard quarantine FIFO (taken once
+/// per flushed batch) and the legacy-allocation table (oversized
+/// requests only).
+///
+/// TLS reclamation: magazines are epoch-guarded. resetShard() advances
+/// the shard's epoch; any thread's cached blocks for that shard are
+/// discarded (not replayed) on its next use, so a recycled arena can
+/// never serve a stale magazine block. Thread exit flushes caches back
+/// to the owning heap if — and only if — the heap is still alive (a
+/// process-wide registry arbitrates, so heaps and threads may die in
+/// any order).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -72,10 +108,27 @@ struct HeapOptions {
   /// into (clamped to [1, MaxHeapShards]). 1 = the classic single-arena
   /// heap.
   unsigned NumShards = 1;
+
+  /// Blocks cached per (thread, size class) in the TLS magazine
+  /// (clamped to [0, MaxMagazineSize]); 0 disables magazines — every
+  /// alloc/free goes straight to the lock-free sub-arena structures.
+  unsigned MagazineSize = 16;
+
+  /// Refill from sibling shards' slices when this shard's slice of a
+  /// class region runs dry, instead of falling back to the system
+  /// allocator. Off by default: stealing trades the legacy fallback
+  /// for weaker shard isolation — resetShard()'s "no live pointers"
+  /// contract then extends to blocks sibling shards borrowed from the
+  /// reset shard's slice.
+  bool EnableWorkStealing = false;
 };
 
 /// Hard cap on NumShards (keeps the per-(class, shard) state bounded).
 inline constexpr unsigned MaxHeapShards = 256;
+
+/// Hard cap on MagazineSize (bounds per-thread cache memory; a bogus
+/// huge ABI value must degrade, not allocate gigabytes of TLS).
+inline constexpr unsigned MaxMagazineSize = 512;
 
 /// Point-in-time allocator statistics. The heap tracks block (size-class
 /// rounded) bytes — the real memory footprint; requested-byte accounting
@@ -92,12 +145,30 @@ struct HeapStats {
   uint64_t NumFrees = 0;
   /// Allocations that fell back to the system allocator.
   uint64_t NumLegacyAllocs = 0;
-  /// Bytes currently parked in the quarantine.
+  /// Bytes currently parked in the quarantine (including per-thread
+  /// batches not yet flushed to the shard FIFO).
   uint64_t QuarantinedBytes = 0;
+  /// Allocations served by a non-empty TLS magazine (the no-atomics
+  /// steady state). Hits and refills are maintained with statistical
+  /// (non-RMW) increments, so under concurrent mutators on one shard
+  /// they can undercount slightly; ratios stay accurate.
+  uint64_t MagazineHits = 0;
+  /// Magazine refills from the owning sub-arena (each moves up to
+  /// MagazineSize blocks with O(1) atomic operations).
+  uint64_t MagazineRefills = 0;
+  /// Blocks served from a sibling shard's slice after this shard's
+  /// slice ran dry (EnableWorkStealing), attributed to the requesting
+  /// shard.
+  uint64_t Steals = 0;
+  /// Legacy (system-allocator) fallbacks taken because a slice was
+  /// exhausted and stealing was off or found nothing — the subset of
+  /// NumLegacyAllocs that is not simply an oversized request.
+  uint64_t ExhaustFallbacks = 0;
 };
 
-/// The low-fat heap. Thread-safe: each (size class, shard) sub-arena has
-/// its own lock and the size/base queries are lock-free reads.
+/// The low-fat heap. Thread-safe: alloc/free run lock-free over
+/// per-(size class, shard) sub-arenas fronted by per-thread magazines,
+/// and the size/base queries are lock-free reads.
 class LowFatHeap {
 public:
   explicit LowFatHeap(const HeapOptions &Options = HeapOptions());
@@ -112,15 +183,17 @@ public:
   void *allocate(size_t Size) { return allocateOnShard(Size, 0); }
 
   /// Allocates \p Size bytes from shard \p Shard's sub-arenas. Falls
-  /// back to the system allocator (legacy pointer) when the request is
-  /// oversized or the shard's slice of the class region is exhausted.
+  /// back to a sibling shard's slice (work stealing, when enabled) and
+  /// then the system allocator (legacy pointer) when the request is
+  /// oversized or the slices are exhausted.
   void *allocateOnShard(size_t Size, unsigned Shard);
 
   /// Frees a pointer previously returned by allocate()/allocateOnShard()
-  /// — from any thread and any shard; the block returns to its owning
-  /// shard's free list (or quarantine). Interior pointers are rejected
-  /// by assertion. The first 16 bytes of the block remain intact until
-  /// the block is handed out again.
+  /// — from any thread and any shard; the block returns to the calling
+  /// thread's magazine (same-shard frees), the owning shard's free list,
+  /// or the quarantine. Interior pointers are rejected by assertion. The
+  /// first 16 bytes of the block remain intact until the block is handed
+  /// out again.
   void deallocate(void *Ptr);
 
   /// Returns true if \p Ptr points into the low-fat arena (including
@@ -156,13 +229,17 @@ public:
   unsigned numShards() const { return Shards; }
 
   /// Recycles one shard's sub-arenas: drops its free lists and
-  /// quarantine, rewinds its bump pointers and zeroes its statistics.
-  /// Every low-fat pointer ever served by the shard becomes invalid
-  /// (legacy) and its addresses will be handed out again.
+  /// quarantine, rewinds its bump pointers, zeroes its statistics and
+  /// advances the shard's magazine epoch so every thread's cached
+  /// blocks for the shard are discarded instead of replayed. Every
+  /// low-fat pointer ever served by the shard becomes invalid (legacy)
+  /// and its addresses will be handed out again.
   ///
   /// \pre No live pointers from this shard are dereferenced afterwards
-  /// and no thread is concurrently allocating on or freeing to it.
-  /// Legacy (oversized) blocks are not recycled.
+  /// and no thread is concurrently allocating on or freeing to it. With
+  /// work stealing enabled the contract covers blocks sibling shards
+  /// borrowed from this shard's slice, too. Legacy (oversized) blocks
+  /// are not recycled.
   void resetShard(unsigned Shard);
 
   /// Snapshot of the statistics (summed over shards).
@@ -175,25 +252,41 @@ public:
   /// benchmark phases).
   void resetPeaks();
 
+  /// Flushes the calling thread's magazine and quarantine batches for
+  /// this heap back to the shared structures (bench/test hook: makes
+  /// TLS-cached state visible to stats() and to other threads without
+  /// ending the thread).
+  void flushThreadCache();
+
   /// The region size this heap actually reserved (options may be reduced
   /// if the initial reservation fails).
   uint64_t regionSize() const { return RegionSize; }
+
+  /// The magazine size this heap resolved to (0 = disabled).
+  unsigned magazineSize() const { return MagSize; }
+
+  /// Whether slice exhaustion steals from sibling shards.
+  bool workStealingEnabled() const { return WorkStealing; }
 
   /// The process-wide heap used by the EffectiveSan runtime.
   static LowFatHeap &global();
 
 private:
   struct FreeNode;
+  struct ThreadCache;
+  friend struct ThreadCache;
 
-  /// Per-(size class, shard) sub-arena state.
+  /// Per-(size class, shard) sub-arena state. Lock-free: the free list
+  /// is a Treiber stack (push = CAS; consumers exchange the whole list,
+  /// so no pop ever dereferences a node it does not own — ABA-free),
+  /// the bump pointer a CAS loop.
   struct SubRegion {
-    std::mutex Lock;
     /// Next never-allocated address (absolute). Atomic so isLowFat() can
-    /// read it without taking Lock.
+    /// read it without synchronization; never exceeds End.
     std::atomic<uintptr_t> Bump{0};
+    std::atomic<FreeNode *> FreeList{nullptr};
     uintptr_t Begin = 0;
     uintptr_t End = 0;
-    FreeNode *FreeList = nullptr;
   };
 
   /// Per-size-class region geometry (immutable after construction).
@@ -219,9 +312,14 @@ private:
     std::atomic<uint64_t> NumFrees{0};
     std::atomic<uint64_t> NumLegacyAllocs{0};
     std::atomic<uint64_t> QuarantinedBytes{0};
+    std::atomic<uint64_t> MagazineHits{0};
+    std::atomic<uint64_t> MagazineRefills{0};
+    std::atomic<uint64_t> Steals{0};
+    std::atomic<uint64_t> ExhaustFallbacks{0};
   };
 
-  /// Per-shard FIFO quarantine of (block, class) pairs.
+  /// Per-shard FIFO quarantine of (block, class) pairs. The lock is
+  /// taken once per flushed *batch* of frees, not per free.
   struct ShardQuarantine {
     std::mutex Lock;
     std::deque<std::pair<void *, unsigned>> Blocks;
@@ -229,9 +327,55 @@ private:
 
   void *allocateLegacy(size_t Size, unsigned Shard);
   bool deallocateLegacy(void *Ptr);
-  void reclaim(void *Ptr, unsigned ClassIndex, unsigned Shard);
   void noteAlloc(unsigned Shard, size_t Block, bool Legacy);
   void noteFree(unsigned Shard, size_t Block);
+
+  /// Bump-allocates one block of class \p ClassIndex from \p Sub, or
+  /// null when the slice is exhausted.
+  void *bumpAlloc(SubRegion &Sub, uint64_t Block);
+
+  /// Pushes the chain [First, Last] onto \p Sub's free list (one CAS).
+  static void pushFreeChain(SubRegion &Sub, FreeNode *First,
+                            FreeNode *Last);
+  /// Pushes one freed block (its FreeNode written here).
+  static void pushFreeBlock(SubRegion &Sub, void *Ptr);
+
+  /// The slice-exhausted slow path: work stealing, then legacy.
+  void *allocateExhausted(size_t Size, unsigned ClassIndex,
+                          unsigned Shard);
+
+  /// Refills one magazine from the spare chain / the sub-arena free
+  /// list; true when at least one block landed.
+  bool refillMagazine(ThreadCache &TC, unsigned ClassIndex,
+                      unsigned Shard);
+  /// Returns the older half of a full magazine to the bound sub-arena
+  /// in one chain push.
+  void flushMagazineHalf(ThreadCache &TC, unsigned ClassIndex);
+  /// Pushes every magazine block and spare chain back to the bound
+  /// shard (\pre its epoch is current and the shard's quarantine lock
+  /// is held or the caller is actively using the shard).
+  void flushMagazines(ThreadCache &TC);
+  /// Flush-or-drop the bound shard's cached blocks under the shard's
+  /// quarantine lock (serialized against resetShard).
+  void retireMagazines(ThreadCache &TC);
+  /// Rebinds the cache to a new shard after retiring the old one's
+  /// blocks.
+  void rebindCache(ThreadCache &TC, unsigned Shard);
+
+  /// The calling thread's cache for this heap (created on first use;
+  /// null only when magazines are disabled and no quarantine batching
+  /// is needed).
+  ThreadCache *threadCache();
+  ThreadCache *threadCacheSlow();
+
+  /// Appends a freed block to the thread's quarantine batch, flushing
+  /// the batch (one locked operation) when it is due.
+  void quarantineBlock(void *Ptr, unsigned ClassIndex, unsigned Shard);
+  /// Flushes a thread cache's pending quarantine batch into the shard
+  /// FIFOs and evicts over-budget blocks to the free lists.
+  void flushPendingQuarantine(ThreadCache &TC);
+  /// Flushes every magazine and the quarantine batch of \p TC.
+  void flushCache(ThreadCache &TC);
 
   unsigned regionIndexFor(uintptr_t P) const {
     return static_cast<unsigned>((P - ArenaBase) >> RegionShift);
@@ -255,6 +399,12 @@ private:
   uint64_t RegionSize = 0;
   unsigned RegionShift = 0;
   unsigned Shards = 1;
+  unsigned MagSize = 0;
+  bool WorkStealing = false;
+  /// Process-unique instance stamp: thread caches are keyed by heap
+  /// address, and the stamp stops a new heap constructed at a dead
+  /// heap's address from inheriting its caches.
+  uint64_t Stamp = 0;
   uintptr_t ArenaBase = 0;
   uintptr_t ArenaEnd = 0;
   size_t ArenaBytes = 0;
@@ -262,6 +412,9 @@ private:
   /// Flat [class][shard] sub-arena table.
   std::unique_ptr<SubRegion[]> Subs;
   std::unique_ptr<ShardCounters[]> Counters;
+  /// Per-shard magazine epochs, advanced by resetShard() so stale TLS
+  /// caches are discarded rather than replayed.
+  std::unique_ptr<std::atomic<uint64_t>[]> ShardEpochs;
 
   size_t QuarantineLimit = 0;
   std::unique_ptr<ShardQuarantine[]> Quarantines;

@@ -316,6 +316,32 @@ TEST(ReporterTest, TotalCapAcrossBuckets) {
   EXPECT_EQ(S.reporter().numSuppressed(), 1u);
 }
 
+TEST(ReporterTest, DeferredRenderingLeavesCountingBucketsUnrendered) {
+  // Render-on-demand (opt-in): counting-mode buckets skip the string
+  // build; all bucketing, dedup and counting behave identically.
+  SessionOptions Options = quietOptions();
+  Options.Reporter.DeferMessageRendering = true;
+  Sanitizer S(Options);
+  runBuggyProgram(S);
+  EXPECT_EQ(S.issuesFound(), 3u);
+  for (const ErrorBucket &B : S.reporter().buckets())
+    EXPECT_TRUE(B.Message.empty()) << B.Message;
+
+  // Log mode renders regardless — it has to print something.
+  std::FILE *Tmp = std::tmpfile();
+  ASSERT_NE(Tmp, nullptr);
+  SessionOptions LogOptions;
+  LogOptions.Reporter.Mode = ReportMode::Log;
+  LogOptions.Reporter.Stream = Tmp;
+  LogOptions.Reporter.DeferMessageRendering = true;
+  Sanitizer LogS(LogOptions);
+  runBuggyProgram(LogS);
+  EXPECT_EQ(LogS.issuesFound(), 3u);
+  for (const ErrorBucket &B : LogS.reporter().buckets())
+    EXPECT_FALSE(B.Message.empty());
+  std::fclose(Tmp);
+}
+
 //===----------------------------------------------------------------------===//
 // The stable C ABI
 //===----------------------------------------------------------------------===//
@@ -747,6 +773,178 @@ TEST(EffsanAbiTest, AbiV13BackCompat) {
       << "unsited paths report no site";
 
   effsan_session_destroy(S);
+}
+
+//===----------------------------------------------------------------------===//
+// ABI 1.4: allocator fast-path knobs, heap stats, deferred rendering
+//===----------------------------------------------------------------------===//
+
+TEST(EffsanAbiTest, HeapStatsAndMagazinesThroughTheAbi) {
+  EXPECT_GE(effsan_abi_version(), (1u << 16) | 4u);
+
+  effsan_options Options;
+  effsan_options_init(&Options);
+  EXPECT_EQ(Options.magazine_size, 16u) << "1.4 default";
+  Options.log_errors = 0;
+  Options.magazine_size = 8;
+  effsan_session *S = effsan_session_create(&Options);
+  ASSERT_NE(S, nullptr);
+
+  effsan_type IntTy = effsan_type_primitive(S, EFFSAN_PRIM_INT);
+  for (int I = 0; I < 50; ++I) {
+    void *P = effsan_malloc(S, 64, IntTy);
+    effsan_free(S, P);
+  }
+
+  effsan_heap_stats Stats;
+  std::memset(&Stats, 0, sizeof(Stats));
+  Stats.struct_size = sizeof(Stats);
+  effsan_get_heap_stats(S, &Stats);
+  EXPECT_EQ(Stats.num_allocs, 50u);
+  EXPECT_EQ(Stats.num_frees, 50u);
+  EXPECT_EQ(Stats.block_bytes_in_use, 0u);
+  EXPECT_GT(Stats.magazine_hits, 40u)
+      << "steady-state churn must be magazine-served";
+  EXPECT_EQ(Stats.exhaust_fallbacks, 0u);
+
+  // A caller-declared prefix (growability contract): only the prefix
+  // is written.
+  effsan_heap_stats Partial;
+  std::memset(&Partial, 0xee, sizeof(Partial));
+  Partial.struct_size =
+      offsetof(effsan_heap_stats, num_allocs); // Pre-"1.5" caller.
+  effsan_get_heap_stats(S, &Partial);
+  EXPECT_EQ(Partial.block_bytes_in_use, 0u);
+  EXPECT_EQ(Partial.num_allocs, 0xeeeeeeeeeeeeeeeeull)
+      << "fields beyond the declared prefix must not be written";
+
+  // A caller built against a FUTURE, larger struct: the tail this
+  // library predates must read as zero, never as stack garbage.
+  struct Future {
+    effsan_heap_stats Known;
+    uint64_t NewCounter;
+  } Grown;
+  std::memset(&Grown, 0xee, sizeof(Grown));
+  Grown.Known.struct_size = sizeof(Grown);
+  effsan_get_heap_stats(S, &Grown.Known);
+  EXPECT_EQ(Grown.Known.num_allocs, 50u);
+  EXPECT_EQ(Grown.NewCounter, 0u)
+      << "declared-but-unknown tail must be zeroed";
+
+  effsan_session_destroy(S);
+
+  // magazine_size = 0 disables the TLS cache entirely.
+  Options.magazine_size = 0;
+  effsan_session *S0 = effsan_session_create(&Options);
+  ASSERT_NE(S0, nullptr);
+  effsan_type IntTy0 = effsan_type_primitive(S0, EFFSAN_PRIM_INT);
+  for (int I = 0; I < 10; ++I) {
+    void *P = effsan_malloc(S0, 64, IntTy0);
+    effsan_free(S0, P);
+  }
+  std::memset(&Stats, 0, sizeof(Stats));
+  Stats.struct_size = sizeof(Stats);
+  effsan_get_heap_stats(S0, &Stats);
+  EXPECT_EQ(Stats.magazine_hits, 0u);
+  EXPECT_EQ(Stats.num_allocs, 10u);
+  effsan_session_destroy(S0);
+}
+
+namespace {
+
+/// Sink for the deferred-rendering test: records whether messages were
+/// NULL (must not construct std::string from NULL).
+struct DeferCapture {
+  unsigned Calls = 0;
+  unsigned NullMessages = 0;
+};
+
+void deferCallbackV2(const effsan_error_v2 *Error, void *UserData) {
+  auto *C = static_cast<DeferCapture *>(UserData);
+  ++C->Calls;
+  if (!Error->message)
+    ++C->NullMessages;
+}
+
+} // namespace
+
+TEST(EffsanAbiTest, DeferredRenderingSkipsMessagesInCountMode) {
+  effsan_options Options;
+  effsan_options_init(&Options);
+  Options.log_errors = 0; // Counting mode.
+  Options.defer_error_rendering = 1;
+  effsan_session *S = effsan_session_create(&Options);
+  ASSERT_NE(S, nullptr);
+
+  DeferCapture Capture;
+  effsan_set_error_callback_v2(S, deferCallbackV2, &Capture);
+
+  effsan_type IntTy = effsan_type_primitive(S, EFFSAN_PRIM_INT);
+  int *P = (int *)effsan_malloc(S, 4 * sizeof(int), IntTy);
+  effsan_bounds B = effsan_type_check(S, P, IntTy);
+  effsan_bounds_check(S, P + 10, sizeof(int), B);
+
+  EXPECT_EQ(Capture.Calls, 1u);
+  EXPECT_EQ(Capture.NullMessages, 1u)
+      << "deferred rendering must surface NULL, not an empty render";
+  effsan_counters Counters;
+  effsan_get_counters(S, &Counters);
+  EXPECT_EQ(Counters.issues_found, 1u)
+      << "counting is unaffected by deferred rendering";
+  effsan_free(S, P);
+  effsan_session_destroy(S);
+
+  // Default (defer off): messages keep arriving rendered.
+  Options.defer_error_rendering = 0;
+  effsan_session *S2 = effsan_session_create(&Options);
+  ASSERT_NE(S2, nullptr);
+  DeferCapture Rendered;
+  effsan_set_error_callback_v2(S2, deferCallbackV2, &Rendered);
+  effsan_type IntTy2 = effsan_type_primitive(S2, EFFSAN_PRIM_INT);
+  int *Q = (int *)effsan_malloc(S2, 4 * sizeof(int), IntTy2);
+  effsan_bounds B2 = effsan_type_check(S2, Q, IntTy2);
+  effsan_bounds_check(S2, Q + 10, sizeof(int), B2);
+  EXPECT_EQ(Rendered.Calls, 1u);
+  EXPECT_EQ(Rendered.NullMessages, 0u);
+  effsan_free(S2, Q);
+  effsan_session_destroy(S2);
+}
+
+TEST(EffsanAbiTest, PoolHeapStatsAndStealingThroughTheAbi) {
+  effsan_pool_options Options;
+  effsan_pool_options_init(&Options);
+  EXPECT_EQ(Options.magazine_size, 16u);
+  EXPECT_EQ(Options.enable_work_stealing, 0);
+  Options.shards = 2;
+  Options.log_errors = 0;
+  Options.enable_work_stealing = 1;
+  Options.magazine_size = 8;
+  effsan_pool *Pool = effsan_pool_create(&Options);
+  ASSERT_NE(Pool, nullptr);
+
+  effsan_session *Shard0 = effsan_pool_shard(Pool, 0);
+  effsan_type IntTy = effsan_type_primitive(Shard0, EFFSAN_PRIM_INT);
+  for (int I = 0; I < 30; ++I) {
+    void *P = effsan_malloc(Shard0, 64, IntTy);
+    effsan_free(Shard0, P);
+  }
+
+  effsan_heap_stats ShardStats;
+  std::memset(&ShardStats, 0, sizeof(ShardStats));
+  ShardStats.struct_size = sizeof(ShardStats);
+  effsan_get_heap_stats(Shard0, &ShardStats);
+  EXPECT_EQ(ShardStats.num_allocs, 30u);
+  EXPECT_GT(ShardStats.magazine_hits, 20u);
+
+  effsan_heap_stats PoolStats;
+  std::memset(&PoolStats, 0, sizeof(PoolStats));
+  PoolStats.struct_size = sizeof(PoolStats);
+  effsan_pool_get_heap_stats(Pool, &PoolStats);
+  EXPECT_GE(PoolStats.num_allocs, ShardStats.num_allocs)
+      << "pool stats sum over shards";
+  EXPECT_EQ(PoolStats.steals, 0u) << "nothing exhausted here";
+
+  effsan_pool_destroy(Pool);
 }
 
 } // namespace

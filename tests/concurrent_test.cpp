@@ -604,6 +604,124 @@ TEST(SessionPoolTest, PolicyAppliesToEveryShard) {
 }
 
 //===----------------------------------------------------------------------===//
+// Read-mostly site registry: lock-free resolve under registration
+//===----------------------------------------------------------------------===//
+
+TEST(SiteRegistrySnapshotTest, ResolveRacesRegistrationSafely) {
+  // The error-storm scenario the snapshot design exists for: worker
+  // threads resolve sites continuously (the error slow path) while
+  // another thread keeps registering new module tables. Every resolve
+  // must return either null (id not yet published) or a permanently
+  // valid SiteInfo — and previously returned pointers must stay
+  // readable forever (snapshots retire, never free). TSan (the CI job
+  // runs this file) checks the synchronization discipline itself.
+  SiteTableRegistry Registry;
+  constexpr unsigned Tables = 64;
+  constexpr unsigned SitesPerTable = 8;
+
+  std::atomic<bool> Stop{false};
+  std::atomic<SiteId> Published{0};
+  std::vector<std::thread> Readers;
+  for (int W = 0; W < 3; ++W) {
+    Readers.emplace_back([&] {
+      while (!Stop.load(std::memory_order_acquire)) {
+        SiteId Max = Published.load(std::memory_order_acquire);
+        for (SiteId S = 0; S < Max + 4; ++S) {
+          const SiteInfo *Info = Registry.resolve(S);
+          if (S < Max) {
+            ASSERT_NE(Info, nullptr) << "published site vanished";
+            ASSERT_EQ(Info->Site, S);
+            ASSERT_EQ(Info->Line, S % SitesPerTable + 1);
+          }
+          if (Info) {
+            // The strings must be dereferenceable no matter how many
+            // snapshots have been superseded since.
+            ASSERT_NE(Info->File[0], '\0');
+          }
+        }
+      }
+    });
+  }
+
+  for (unsigned T = 0; T < Tables; ++T) {
+    SiteTable Table;
+    Table.File = "storm.c";
+    for (unsigned I = 0; I < SitesPerTable; ++I)
+      Table.Entries.push_back(
+          {CheckSiteKind::BoundsCheck, SourceLoc{I + 1, 1}, "f",
+           nullptr});
+    SiteId Base = Registry.registerTable(Table, /*Key=*/T + 1);
+    ASSERT_EQ(Base, T * SitesPerTable);
+    Published.store(Base + SitesPerTable, std::memory_order_release);
+  }
+  Stop.store(true, std::memory_order_release);
+  for (std::thread &R : Readers)
+    R.join();
+  EXPECT_EQ(Registry.numTables(), Tables);
+  EXPECT_EQ(Registry.numSites(), uint64_t(Tables) * SitesPerTable);
+}
+
+//===----------------------------------------------------------------------===//
+// Pool wiring of the allocator fast-path knobs (ABI 1.4 options)
+//===----------------------------------------------------------------------===//
+
+TEST(SessionPoolTest, HeapOptionsWireMagazinesAndStealingThrough) {
+  PoolOptions Options = quietPool(2);
+  Options.Heap.MagazineSize = 8;
+  Options.Heap.EnableWorkStealing = true;
+  SessionPool Pool(Options);
+  EXPECT_EQ(Pool.heap().heap().magazineSize(), 8u);
+  EXPECT_TRUE(Pool.heap().heap().workStealingEnabled());
+
+  // Churn through a shard session: the steady state must be served by
+  // the magazines (hits visible in the shard's heap stats).
+  const TypeInfo *IntTy = Pool.types().getInt();
+  for (int I = 0; I < 50; ++I) {
+    void *P = Pool.shard(0).malloc(64, IntTy);
+    Pool.shard(0).free(P);
+  }
+  lowfat::HeapStats Stats = Pool.heap().shardStats(0);
+  EXPECT_GT(Stats.MagazineHits, 40u);
+  EXPECT_EQ(Stats.ExhaustFallbacks, 0u);
+}
+
+TEST(SessionPoolTest, ResetShardReclaimsWorkerMagazines) {
+  // The pool-level stale-TLS regression: a worker thread's magazine
+  // caches blocks of its shard; the supervisor recycles the shard for
+  // a new tenant; the worker's next allocation must not replay a
+  // stale block that now belongs to the tenant.
+  PoolOptions Options = quietPool(2);
+  Options.Heap.MagazineSize = 8;
+  SessionPool Pool(Options);
+  const TypeInfo *IntTy = Pool.types().getInt();
+
+  void *A = nullptr, *B = nullptr;
+  std::atomic<int> Phase{0};
+  std::thread Worker([&] {
+    Sanitizer &S = Pool.shard(0);
+    A = S.malloc(64, IntTy);
+    B = S.malloc(64, IntTy);
+    S.free(B); // Parks in the worker's magazine.
+    Phase.store(1, std::memory_order_release);
+    while (Phase.load(std::memory_order_acquire) != 2)
+      std::this_thread::yield();
+    void *D = S.malloc(64, IntTy);
+    EXPECT_NE(D, A) << "stale magazine block aliased the new tenant";
+    EXPECT_NE(D, B) << "stale magazine block aliased the new tenant";
+  });
+  while (Phase.load(std::memory_order_acquire) != 1)
+    std::this_thread::yield();
+
+  Pool.resetShard(0);
+  void *C1 = Pool.shard(0).malloc(64, IntTy);
+  void *C2 = Pool.shard(0).malloc(64, IntTy);
+  EXPECT_EQ(C1, A) << "recycled slice serves from its start";
+  EXPECT_EQ(C2, B);
+  Phase.store(2, std::memory_order_release);
+  Worker.join();
+}
+
+//===----------------------------------------------------------------------===//
 // Multi-threaded harness mode
 //===----------------------------------------------------------------------===//
 

@@ -402,6 +402,308 @@ TEST(ShardedLowFatHeapTest, SingleShardKeepsClassicBehaviour) {
 }
 
 //===----------------------------------------------------------------------===//
+// The lock-free fast path: magazines, batched quarantine, stealing
+//===----------------------------------------------------------------------===//
+
+TEST(MagazineTest, SteadyStateChurnHitsTheMagazine) {
+  LowFatHeap Heap; // MagazineSize defaults to 16.
+  ASSERT_GT(Heap.magazineSize(), 0u);
+  // Warm-up alloc/free pair seeds the magazine; every later alloc of
+  // the class must be a magazine hit.
+  void *P = Heap.allocate(64);
+  Heap.deallocate(P);
+  for (int I = 0; I < 100; ++I) {
+    void *Q = Heap.allocate(64);
+    EXPECT_EQ(Q, P) << "LIFO magazine must replay the cached block";
+    Heap.deallocate(Q);
+  }
+  HeapStats Stats = Heap.stats();
+  EXPECT_EQ(Stats.MagazineHits, 100u);
+  EXPECT_EQ(Stats.NumAllocs, 101u);
+  EXPECT_EQ(Stats.NumFrees, 101u);
+  EXPECT_EQ(Stats.BlockBytesInUse, 0u);
+}
+
+TEST(MagazineTest, DisabledMagazinesStillReuseLockFree) {
+  HeapOptions Options;
+  Options.MagazineSize = 0;
+  LowFatHeap Heap(Options);
+  EXPECT_EQ(Heap.magazineSize(), 0u);
+  void *P = Heap.allocate(64);
+  Heap.deallocate(P);
+  void *Q = Heap.allocate(64);
+  EXPECT_EQ(Q, P) << "Treiber free list reuses the freed block";
+  Heap.deallocate(Q);
+  EXPECT_EQ(Heap.stats().MagazineHits, 0u);
+}
+
+TEST(MagazineTest, OverflowFlushesHalfToTheSharedList) {
+  HeapOptions Options;
+  Options.MagazineSize = 8;
+  LowFatHeap Heap(Options);
+  // Free more blocks than one magazine holds: the overflow must land
+  // on the shared free list (visible to other threads), not grow the
+  // TLS cache without bound.
+  std::vector<void *> Ptrs;
+  for (int I = 0; I < 32; ++I)
+    Ptrs.push_back(Heap.allocate(64));
+  for (void *P : Ptrs)
+    Heap.deallocate(P);
+  // Another thread (fresh TLS) must be able to reuse flushed blocks.
+  std::thread Other([&Heap] {
+    void *P = Heap.allocate(64);
+    EXPECT_TRUE(Heap.isLowFat(P));
+    EXPECT_GE(Heap.stats().MagazineRefills, 1u)
+        << "the fresh thread must refill from the flushed overflow";
+    Heap.deallocate(P);
+  });
+  Other.join();
+  EXPECT_EQ(Heap.stats().BlockBytesInUse, 0u);
+}
+
+TEST(MagazineTest, FlushThreadCachePublishesCachedBlocks) {
+  LowFatHeap Heap;
+  void *P = Heap.allocate(64);
+  Heap.deallocate(P); // Parked in this thread's magazine.
+  Heap.flushThreadCache();
+  // After the flush the block sits on the shared free list, so a
+  // magazine-REFILL (not a hit) serves it back.
+  uint64_t HitsBefore = Heap.stats().MagazineHits;
+  void *Q = Heap.allocate(64);
+  EXPECT_EQ(Q, P);
+  EXPECT_EQ(Heap.stats().MagazineHits, HitsBefore);
+  EXPECT_GE(Heap.stats().MagazineRefills, 1u);
+  Heap.deallocate(Q);
+}
+
+TEST(MagazineTest, ResetShardDiscardsStaleThreadMagazines) {
+  // The stale-TLS regression: a worker's magazine holds freed blocks
+  // of a shard; resetShard() recycles the shard and a new tenant is
+  // handed the same addresses. The worker's next allocation must NOT
+  // replay a cached (now foreign) block.
+  LowFatHeap Heap;
+  void *A = nullptr, *B = nullptr;
+  std::atomic<int> Phase{0};
+
+  std::thread Worker([&] {
+    A = Heap.allocate(64);
+    B = Heap.allocate(64);
+    Heap.deallocate(B); // B parks in the worker's magazine.
+    Phase.store(1, std::memory_order_release);
+    while (Phase.load(std::memory_order_acquire) != 2)
+      std::this_thread::yield();
+    // The shard was reset and the new tenant owns A's and B's
+    // addresses. A stale magazine would hand back B == C2.
+    void *D = Heap.allocate(64);
+    EXPECT_TRUE(Heap.isLowFat(D));
+    EXPECT_NE(D, A) << "stale magazine block replayed after reset";
+    EXPECT_NE(D, B) << "stale magazine block replayed after reset";
+  });
+
+  while (Phase.load(std::memory_order_acquire) != 1)
+    std::this_thread::yield();
+  Heap.resetShard(0);
+  // New tenant: the recycled slice serves A's and B's addresses again.
+  void *C1 = Heap.allocate(64);
+  void *C2 = Heap.allocate(64);
+  EXPECT_EQ(C1, A);
+  EXPECT_EQ(C2, B);
+  Phase.store(2, std::memory_order_release);
+  Worker.join();
+}
+
+TEST(MagazineTest, ThreadExitFlushesMagazinesBackToTheHeap) {
+  LowFatHeap Heap;
+  void *P = nullptr;
+  std::thread Worker([&] {
+    P = Heap.allocate(64);
+    Heap.deallocate(P); // Parks in the worker's magazine...
+  });
+  Worker.join(); // ...and must flush back at thread exit.
+  void *Q = Heap.allocate(64);
+  EXPECT_EQ(Q, P) << "the dead thread's cached block must be reusable";
+  Heap.deallocate(Q);
+  HeapStats Stats = Heap.stats();
+  EXPECT_EQ(Stats.NumAllocs, 2u);
+  EXPECT_EQ(Stats.NumFrees, 2u);
+}
+
+TEST(BatchedQuarantineTest, DelayPreservedWithinAndAcrossBatches) {
+  HeapOptions Options;
+  Options.QuarantineBytes = 1 << 20;
+  LowFatHeap Heap(Options);
+  // Free a full batch (16) plus change: no freed block may come back
+  // while the budget holds, whether it sits in the thread batch or in
+  // the shard FIFO.
+  std::vector<void *> Freed;
+  for (int I = 0; I < 20; ++I) {
+    void *P = Heap.allocate(64);
+    Heap.deallocate(P);
+    Freed.push_back(P);
+    void *Q = Heap.allocate(64);
+    for (void *F : Freed)
+      EXPECT_NE(Q, F) << "quarantined block reused (iteration " << I
+                      << ")";
+    Heap.deallocate(Q);
+    Freed.push_back(Q);
+  }
+  EXPECT_GT(Heap.stats().QuarantinedBytes, 0u);
+}
+
+TEST(BatchedQuarantineTest, AccountingVisibleBeforeTheBatchFlushes) {
+  HeapOptions Options;
+  Options.QuarantineBytes = 1 << 20;
+  LowFatHeap Heap(Options);
+  void *P = Heap.allocate(64);
+  Heap.deallocate(P);
+  // One free < batch size: the block is still in the TLS batch, but
+  // the byte accounting must already see it.
+  EXPECT_EQ(Heap.stats().QuarantinedBytes, 64u);
+  Heap.flushThreadCache();
+  EXPECT_EQ(Heap.stats().QuarantinedBytes, 64u);
+}
+
+TEST(BatchedQuarantineTest, ResetShardDropsPendingBatchEntries) {
+  HeapOptions Options;
+  Options.NumShards = 2;
+  Options.QuarantineBytes = 1 << 20;
+  LowFatHeap Heap(Options);
+  void *P = Heap.allocateOnShard(64, 0);
+  Heap.deallocate(P); // Parked in this thread's pending batch.
+  ASSERT_GT(Heap.shardStats(0).QuarantinedBytes, 0u);
+  Heap.resetShard(0);
+  EXPECT_EQ(Heap.shardStats(0).QuarantinedBytes, 0u);
+  // Flushing the stale batch must neither corrupt the recycled shard
+  // nor resurrect the accounting.
+  Heap.flushThreadCache();
+  EXPECT_EQ(Heap.shardStats(0).QuarantinedBytes, 0u);
+  void *Q = Heap.allocateOnShard(64, 0);
+  EXPECT_EQ(Q, P) << "recycled slice serves from its start";
+  Heap.deallocate(Q);
+}
+
+namespace {
+
+/// A heap whose 1 MiB-class slices hold exactly 4 blocks per shard
+/// (64 MiB regions / 16 shards), so slice exhaustion is cheap to
+/// reach.
+HeapOptions tinySliceOptions(bool Stealing) {
+  HeapOptions Options;
+  Options.RegionSize = 1ull << 26;
+  Options.NumShards = 16;
+  Options.EnableWorkStealing = Stealing;
+  return Options;
+}
+
+} // namespace
+
+TEST(WorkStealingTest, ExhaustedSliceRefillsFromSiblings) {
+  LowFatHeap Heap(tinySliceOptions(true));
+  constexpr size_t BlockSize = 1u << 20;
+  std::vector<char *> Blocks;
+  for (int I = 0; I < 12; ++I) {
+    auto *P = static_cast<char *>(Heap.allocateOnShard(BlockSize, 0));
+    ASSERT_TRUE(Heap.isLowFat(P)) << "block " << I << " went legacy";
+    Blocks.push_back(P);
+  }
+  HeapStats Stats = Heap.stats();
+  EXPECT_EQ(Stats.Steals, 8u) << "blocks 5..12 must be stolen";
+  EXPECT_EQ(Stats.ExhaustFallbacks, 0u);
+  EXPECT_EQ(Stats.NumLegacyAllocs, 0u);
+
+  // Differential base/size sweep: bump-served (shard 0) and stolen
+  // (sibling-slice) blocks must be bit-identical under the metadata
+  // arithmetic — same class size, exact base at every interior
+  // offset, and the owning shard derived purely from the address.
+  for (char *P : Blocks) {
+    EXPECT_EQ(Heap.allocationSize(P), BlockSize);
+    EXPECT_EQ(Heap.allocationBase(P), P);
+    for (size_t Off : {size_t(1), BlockSize / 2, BlockSize - 1}) {
+      EXPECT_EQ(Heap.allocationBase(P + Off), P) << Off;
+      EXPECT_EQ(Heap.allocationSize(P + Off), BlockSize) << Off;
+    }
+  }
+  // The first four live in shard 0's slice; the rest were stolen from
+  // the next sibling slices in steal order.
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Heap.shardOf(Blocks[I]), 0u) << I;
+  for (int I = 4; I < 12; ++I)
+    EXPECT_NE(Heap.shardOf(Blocks[I]), 0u) << I;
+
+  // A freed stolen block returns to its OWNING (victim) shard: the
+  // victim can reuse it, and per-shard alloc/free stats balance.
+  unsigned Victim = Heap.shardOf(Blocks[4]);
+  Heap.deallocate(Blocks[4]);
+  void *Reused = Heap.allocateOnShard(BlockSize, Victim);
+  EXPECT_EQ(Reused, Blocks[4]);
+  Heap.deallocate(Reused);
+  for (int I = 0; I < 12; ++I)
+    if (I != 4)
+      Heap.deallocate(Blocks[I]);
+  Stats = Heap.stats();
+  EXPECT_EQ(Stats.NumAllocs, Stats.NumFrees);
+  EXPECT_EQ(Stats.BlockBytesInUse, 0u);
+}
+
+TEST(WorkStealingTest, DisabledStealingFallsBackToLegacy) {
+  LowFatHeap Heap(tinySliceOptions(false));
+  constexpr size_t BlockSize = 1u << 20;
+  std::vector<void *> Blocks;
+  for (int I = 0; I < 6; ++I)
+    Blocks.push_back(Heap.allocateOnShard(BlockSize, 0));
+  HeapStats Stats = Heap.stats();
+  EXPECT_EQ(Stats.Steals, 0u);
+  EXPECT_EQ(Stats.ExhaustFallbacks, 2u);
+  EXPECT_EQ(Stats.NumLegacyAllocs, 2u);
+  for (void *P : Blocks)
+    Heap.deallocate(P);
+}
+
+TEST(LockFreeHammerTest, SharedShardChurnWithStealingAndQuarantine) {
+  // The TSan hammer for the whole lock-free surface at once: four
+  // threads churn ONE shard (maximal contention on its Treiber lists
+  // and bump pointers) with magazines, batched quarantine and stealing
+  // all enabled, while cross-thread frees bounce blocks between
+  // magazines and the shared lists.
+  constexpr unsigned Threads = 4;
+  constexpr int Iterations = 2000;
+  HeapOptions Options;
+  Options.QuarantineBytes = 1 << 14;
+  Options.MagazineSize = 8;
+  Options.EnableWorkStealing = true;
+  Options.NumShards = 2;
+  LowFatHeap Heap(Options);
+
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&Heap, T] {
+      std::mt19937 Rng(T);
+      std::vector<void *> Live;
+      for (int I = 0; I < Iterations; ++I) {
+        size_t Size = Rng() % 500 + 1;
+        void *P = Heap.allocateOnShard(Size, 0); // Everyone on shard 0.
+        ASSERT_TRUE(Heap.isLowFat(P));
+        ASSERT_EQ(Heap.allocationBase(P), P);
+        static_cast<char *>(P)[0] = static_cast<char>(T);
+        Live.push_back(P);
+        if (Live.size() > 16) {
+          Heap.deallocate(Live.front());
+          Live.erase(Live.begin());
+        }
+      }
+      for (void *P : Live)
+        Heap.deallocate(P);
+      Heap.flushThreadCache();
+    });
+  }
+  for (std::thread &T : Workers)
+    T.join();
+  HeapStats Stats = Heap.stats();
+  EXPECT_EQ(Stats.NumAllocs, Stats.NumFrees);
+  EXPECT_EQ(Stats.BlockBytesInUse, 0u);
+}
+
+//===----------------------------------------------------------------------===//
 // StackPool and GlobalPool
 //===----------------------------------------------------------------------===//
 

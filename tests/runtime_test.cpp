@@ -590,9 +590,30 @@ TEST_F(RuntimeTest, TypeErrorsAreNeverCached) {
   RT.deallocate(P);
 }
 
-TEST_F(RuntimeTest, SiteCollisionEvictsButStaysCorrect) {
-  // Two incompatible resolutions fighting over one slot: ping-pong
-  // misses, never wrong bounds.
+TEST(SiteCacheVictimTest, PrefersOldestFillNotHighestVersion) {
+  // The squatter regression: version counts fills *per entry*, not
+  // recency. A way churned hot in the past (high version) but filled
+  // long ago must be the victim against a way filled just now —
+  // otherwise a stale colliding site pins its slot forever and the
+  // set degrades to direct-mapped.
+  SiteCache Cache(16);
+  SiteCacheEntry *Set = Cache.setFor(0);
+  Set[0].Version.store(40, std::memory_order_relaxed); // Old churner.
+  Set[0].FillTick.store(nextSiteFillTick(), std::memory_order_relaxed);
+  Set[1].Version.store(2, std::memory_order_relaxed); // Fresh fill.
+  Set[1].FillTick.store(nextSiteFillTick(), std::memory_order_relaxed);
+  EXPECT_EQ(&SiteCache::victimIn(Set), &Set[0])
+      << "the older fill must age out regardless of its version";
+  // Empty ways always win over recency.
+  Set[1].Version.store(0, std::memory_order_relaxed);
+  EXPECT_EQ(&SiteCache::victimIn(Set), &Set[1]);
+}
+
+TEST_F(RuntimeTest, PolymorphicSiteKeepsTwoResolutionsResident) {
+  // The 2-way associativity win: two resolutions alternating through
+  // ONE site coexist in the site's set — after the two filling misses
+  // every probe is a hit (the direct-mapped cache ping-ponged here at
+  // ~3.5x the hit cost).
   char *P = static_cast<char *>(RT.allocate(24, T));
   const SiteId Site = 31;
   Bounds IntRef = RT.typeCheckUncached(P + 12, Ctx.getInt());
@@ -601,7 +622,29 @@ TEST_F(RuntimeTest, SiteCollisionEvictsButStaysCorrect) {
     EXPECT_EQ(RT.typeCheck(P + 12, Ctx.getInt(), Site), IntRef);
     EXPECT_EQ(RT.typeCheck(P + 4, S, Site), SRef);
   }
-  EXPECT_EQ(cacheStats(RT).Hits, 0u);
+  CacheStats Stats = cacheStats(RT);
+  EXPECT_EQ(Stats.Misses, 2u) << "one filling miss per resolution";
+  EXPECT_EQ(Stats.Hits, 6u) << "both resolutions stay resident";
+  EXPECT_EQ(RT.reporter().numIssues(), 0u);
+  RT.deallocate(P);
+}
+
+TEST_F(RuntimeTest, SiteCollisionBeyondAssociativityEvictsButStaysCorrect) {
+  // THREE incompatible resolutions fighting over one 2-way set:
+  // every probe evicts the oldest way and misses, but the returned
+  // bounds are never wrong.
+  char *P = static_cast<char *>(RT.allocate(24, T));
+  const SiteId Site = 31;
+  Bounds IntRef = RT.typeCheckUncached(P + 12, Ctx.getInt());
+  Bounds SRef = RT.typeCheckUncached(P + 4, S);
+  Bounds FloatRef = RT.typeCheckUncached(P, Ctx.getFloat());
+  for (int I = 0; I < 4; ++I) {
+    EXPECT_EQ(RT.typeCheck(P + 12, Ctx.getInt(), Site), IntRef);
+    EXPECT_EQ(RT.typeCheck(P + 4, S, Site), SRef);
+    EXPECT_EQ(RT.typeCheck(P, Ctx.getFloat(), Site), FloatRef);
+  }
+  EXPECT_EQ(cacheStats(RT).Hits, 0u)
+      << "oldest-fill eviction ping-pongs on a 3-way conflict";
   EXPECT_EQ(RT.reporter().numIssues(), 0u);
   RT.deallocate(P);
 }
