@@ -1,0 +1,252 @@
+//===- bench/service_throughput.cpp - Service-mode overheads --------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// What service mode costs — and what adaptive degradation buys back.
+///
+/// Two measurements:
+///
+///  * overload — one tenant hammers the check-heavy mix (1 type_check +
+///    8 bounds_checks per iteration over a periodically-recycled typed
+///    allocation) far past any
+///    sane per-tick budget, measured twice: governor off (the shard
+///    stays on the Full policy) and governor pre-tripped (the drain
+///    thread has walked the shard down Full -> BoundsOnly -> CountOnly
+///    before the timer starts). The ratio is the load the governor
+///    sheds for an overloaded tenant while the service keeps counting
+///    its checks — the CI bench job gates it at >= 1.5x.
+///
+///  * churn — N worker threads each cycling open-tenant -> lease ->
+///    brief typed work -> release -> close at 1/2/4/8 threads, governor
+///    off and on. Exercises the whole supervisor cold path (registry
+///    gate, eviction, drain-tick shard recycling) and shows that the
+///    governor adds nothing measurable to it.
+///
+/// Usage: service_throughput [iters] [--json=FILE]
+///
+///   iters        overload iterations (default 200000); churn runs
+///                iters/100 cycles per thread. CI smoke mode passes a
+///                small count so the job finishes in seconds.
+///   --json=FILE  additionally emit the measurements as JSON (the
+///                BENCH_service artifact; the CI bench job reads
+///                .overload.speedup from it)
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Supervisor.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace effective;
+using namespace effective::service;
+
+namespace {
+
+ServiceOptions countingService(unsigned Shards, bool Governor) {
+  ServiceOptions Options;
+  Options.Shards = Shards;
+  Options.Reporter.Mode = ReportMode::Count;
+  Options.DrainIntervalMicros = 60'000'000; // Ticks only when forced.
+  Options.EnableGovernor = Governor;
+  return Options;
+}
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// The check-heavy overload mix: 1 type_check + 8 bounds_checks per
+/// iteration, with the working block recycled through typed
+/// malloc/free every 64 iterations, all on the tenant's leased shard.
+/// Allocation is deliberately amortized — degradation sheds check
+/// work, not allocator work, and an overloaded sanitizer tenant is
+/// check-bound (the paper's figure 8 mix runs ~10 checks per
+/// allocation site visit).
+uint64_t overloadWork(Sanitizer &S, const TypeInfo *IntTy, unsigned Iters) {
+  uint64_t Sink = 0;
+  auto *P = static_cast<int *>(S.malloc(16 * sizeof(int), IntTy));
+  for (unsigned I = 0; I < Iters; ++I) {
+    if ((I & 63) == 63) {
+      S.free(P);
+      P = static_cast<int *>(S.malloc(16 * sizeof(int), IntTy));
+    }
+    Bounds B = S.typeCheck(P, IntTy);
+    for (unsigned K = 0; K < 8; ++K)
+      S.boundsCheck(P + (K & 15), sizeof(int), B);
+    P[0] = static_cast<int>(I);
+    Sink += static_cast<unsigned>(P[0]);
+  }
+  S.free(P);
+  return Sink;
+}
+
+/// Checks per second for the overload mix with the shard held at
+/// \p Degrade ? CountOnly (governor-shed) : Full (governor off).
+double runOverload(bool Degrade, unsigned Iters) {
+  Supervisor Sup(countingService(1, Degrade));
+  TenantId T = Sup.openTenant("overloaded");
+  Supervisor::Lease L = Sup.lease(T);
+  const TypeInfo *IntTy = L->types().getInt();
+
+  if (Degrade) {
+    // Pre-trip the governor exactly as a sustained overload would:
+    // feed it pressured ticks until the ladder bottoms out. Each round
+    // burns more checks than the default CheckRateHigh per-tick budget,
+    // and the ticks are forced so the warm-up is deterministic.
+    for (int Round = 0; Round < 8 &&
+                        Sup.tenantPolicy(T) != CheckPolicy::CountOnly;
+         ++Round) {
+      overloadWork(L.session(), IntTy,
+                   2'500'000 / 10); // > CheckRateHigh checks per tick.
+      Sup.tick();
+    }
+    if (Sup.tenantPolicy(T) == CheckPolicy::Full) {
+      std::fprintf(stderr, "service_throughput: governor never tripped\n");
+      std::exit(1);
+    }
+  }
+
+  auto Start = std::chrono::steady_clock::now();
+  uint64_t Sink = overloadWork(L.session(), IntTy, Iters);
+  double Secs = secondsSince(Start);
+  if (Sink == uint64_t(-1))
+    std::printf("impossible\n"); // Keep the sink alive.
+
+  double ChecksPerIter = 9.0; // 1 type_check + 8 bounds_checks.
+  return double(Iters) * ChecksPerIter / Secs;
+}
+
+/// One churn worker: open -> lease -> brief work -> release -> close,
+/// \p Cycles times. Each worker owns one shard's worth of slots at a
+/// time, so opens never fail with Shards == Threads.
+void churnWorker(Supervisor &Sup, unsigned Cycles) {
+  for (unsigned I = 0; I < Cycles; ++I) {
+    TenantId T = Sup.openTenant("churn");
+    while (T == NoTenant) { // A sibling's close is mid-recycle.
+      std::this_thread::yield();
+      T = Sup.openTenant("churn");
+    }
+    {
+      Supervisor::Lease L = Sup.lease(T);
+      const TypeInfo *IntTy = L->types().getInt();
+      auto *P = static_cast<int *>(L->malloc(8 * sizeof(int), IntTy));
+      Bounds B = L->typeCheck(P, IntTy);
+      L->boundsCheck(P, sizeof(int), B);
+      L->free(P);
+    }
+    Sup.closeTenant(T);
+  }
+}
+
+double runChurn(unsigned Threads, bool Governor, unsigned Cycles) {
+  // One spare shard so a close mid-recycle never starves an open.
+  Supervisor Sup(countingService(Threads + 1, Governor));
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W < Threads; ++W)
+    Workers.emplace_back([&] { churnWorker(Sup, Cycles); });
+  for (std::thread &W : Workers)
+    W.join();
+  double Secs = secondsSince(Start);
+  return double(Threads) * Cycles / Secs;
+}
+
+struct ChurnSample {
+  unsigned Threads;
+  bool Governor;
+  double CyclesPerSec;
+};
+
+void writeJson(const char *Path, unsigned Iters, double FullChecks,
+               double DegradedChecks,
+               const std::vector<ChurnSample> &Churn) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "service_throughput: cannot write %s\n", Path);
+    return;
+  }
+  std::fprintf(F,
+               "{\n  \"bench\": \"service_throughput\",\n"
+               "  \"iters\": %u,\n  \"hardware_threads\": %u,\n"
+               "  \"overload\": {\n"
+               "    \"full_checks_per_sec\": %.2f,\n"
+               "    \"degraded_checks_per_sec\": %.2f,\n"
+               "    \"degraded_policy\": \"count\",\n"
+               "    \"speedup\": %.3f\n  },\n  \"churn\": [\n",
+               Iters, std::thread::hardware_concurrency(), FullChecks,
+               DegradedChecks, DegradedChecks / FullChecks);
+  for (size_t I = 0; I < Churn.size(); ++I) {
+    const ChurnSample &S = Churn[I];
+    std::fprintf(F,
+                 "    {\"threads\": %u, \"governor\": %s, "
+                 "\"cycles_per_sec\": %.2f}%s\n",
+                 S.Threads, S.Governor ? "true" : "false",
+                 S.CyclesPerSec, I + 1 < Churn.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  unsigned Iters = 200000;
+  const char *JsonPath = nullptr;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strncmp(argv[I], "--json=", 7) == 0)
+      JsonPath = argv[I] + 7;
+    else
+      Iters = static_cast<unsigned>(std::atoi(argv[I]));
+  }
+  if (Iters == 0)
+    Iters = 1;
+  unsigned ChurnCycles = Iters / 100 ? Iters / 100 : 1;
+
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("Service mode: degradation payoff and tenant-churn overhead\n");
+  std::printf("(%u overload iterations; %u hardware threads)\n", Iters,
+              std::thread::hardware_concurrency());
+  std::printf("==============================================================="
+              "=========\n\n");
+
+  std::printf("overload mix (1 type_check + 8 bounds_checks per iter, "
+              "typed realloc every 64)\n");
+  double FullChecks = runOverload(/*Degrade=*/false, Iters);
+  double DegradedChecks = runOverload(/*Degrade=*/true, Iters);
+  std::printf("%24s %14.2f M checks/s\n", "Full (governor off)",
+              FullChecks / 1e6);
+  std::printf("%24s %14.2f M checks/s\n", "CountOnly (governor)",
+              DegradedChecks / 1e6);
+  std::printf("%24s %14.2fx   (CI gate: >= 1.5x)\n", "shed factor",
+              DegradedChecks / FullChecks);
+
+  std::printf("\ntenant churn (open -> lease -> work -> release -> close "
+              "cycles/s)\n");
+  std::printf("%7s %16s %16s\n", "threads", "governor off", "governor on");
+  std::vector<ChurnSample> Churn;
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    double Off = runChurn(Threads, false, ChurnCycles);
+    double On = runChurn(Threads, true, ChurnCycles);
+    std::printf("%7u %16.0f %16.0f\n", Threads, Off, On);
+    Churn.push_back(ChurnSample{Threads, false, Off});
+    Churn.push_back(ChurnSample{Threads, true, On});
+  }
+
+  if (JsonPath)
+    writeJson(JsonPath, Iters, FullChecks, DegradedChecks, Churn);
+
+  std::printf("\nThe overload rows are per-shard; scaling across shards "
+              "lives in bench/mt_throughput.\n");
+  return 0;
+}

@@ -106,14 +106,14 @@ Sanitizer::Sanitizer(const SessionOptions &Options)
     : OwnedTypes(std::make_unique<TypeContext>()), Types(OwnedTypes.get()),
       OwnedRT(std::make_unique<Runtime>(*Types, runtimeOptions(Options))),
       RT(OwnedRT.get()), Policy(Options.Policy),
-      Dispatch(&checkDispatchFor(Policy)) {}
+      Dispatch(&checkDispatchFor(Options.Policy)) {}
 
 Sanitizer::Sanitizer(TypeContext &SharedTypes, const SessionOptions &Options)
     : Types(&SharedTypes),
       OwnedRT(std::make_unique<Runtime>(SharedTypes,
                                         runtimeOptions(Options))),
       RT(OwnedRT.get()), Policy(Options.Policy),
-      Dispatch(&checkDispatchFor(Policy)) {}
+      Dispatch(&checkDispatchFor(Options.Policy)) {}
 
 Sanitizer::Sanitizer(Runtime &Existing, CheckPolicy Policy)
     : Types(&Existing.typeContext()), RT(&Existing), Policy(Policy),

@@ -40,6 +40,7 @@
 #include "core/CheckedPtr.h"
 #include "core/Runtime.h"
 
+#include <atomic>
 #include <memory>
 
 namespace effective {
@@ -80,7 +81,22 @@ public:
   Sanitizer(const Sanitizer &) = delete;
   Sanitizer &operator=(const Sanitizer &) = delete;
 
-  CheckPolicy policy() const { return Policy; }
+  CheckPolicy policy() const {
+    return Policy.load(std::memory_order_relaxed);
+  }
+
+  /// Swaps the session's check front end to \p NewPolicy. Safe to call
+  /// while other threads are running checks: the per-policy dispatch
+  /// tables are immutable statics, so a downgrade or restore is one
+  /// atomic pointer store and concurrent checks land on either the old
+  /// or the new table, never in between. This is the service layer's
+  /// load-shedding lever (service::LoadGovernor walks sessions down
+  /// Full -> BoundsOnly -> CountOnly under pressure and back up when it
+  /// subsides).
+  void setPolicy(CheckPolicy NewPolicy) {
+    Dispatch.store(&checkDispatchFor(NewPolicy), std::memory_order_release);
+    Policy.store(NewPolicy, std::memory_order_relaxed);
+  }
   TypeContext &types() { return *Types; }
   Runtime &runtime() { return *RT; }
   ErrorReporter &reporter() { return RT->reporter(); }
@@ -124,26 +140,26 @@ public:
   /// Runtime::typeCheck for the inline-cache contract).
   Bounds typeCheck(const void *Ptr, const TypeInfo *StaticType,
                    SiteId Site) {
-    return Dispatch->TypeCheck(*RT, Ptr, StaticType, Site);
+    return dispatch().TypeCheck(*RT, Ptr, StaticType, Site);
   }
 
   /// type_check at the static type's pseudo-site.
   Bounds typeCheck(const void *Ptr, const TypeInfo *StaticType) {
-    return Dispatch->TypeCheck(*RT, Ptr, StaticType,
-                               siteForType(StaticType));
+    return dispatch().TypeCheck(*RT, Ptr, StaticType,
+                                siteForType(StaticType));
   }
 
   Bounds boundsGet(const void *Ptr, SiteId Site = NoSite) {
-    return Dispatch->BoundsGet(*RT, Ptr, Site);
+    return dispatch().BoundsGet(*RT, Ptr, Site);
   }
 
   void boundsCheck(const void *Ptr, size_t Size, Bounds B,
                    SiteId Site = NoSite) {
-    Dispatch->BoundsCheck(*RT, Ptr, Size, B, Site);
+    dispatch().BoundsCheck(*RT, Ptr, Size, B, Site);
   }
 
   Bounds boundsNarrow(Bounds B, const void *Field, size_t Size) {
-    return Dispatch->BoundsNarrow(*RT, B, Field, Size);
+    return dispatch().BoundsNarrow(*RT, B, Field, Size);
   }
   /// @}
 
@@ -203,13 +219,20 @@ public:
   static Sanitizer &defaultSession();
 
 private:
+  const CheckDispatch &dispatch() const {
+    return *Dispatch.load(std::memory_order_acquire);
+  }
+
   std::unique_ptr<TypeContext> OwnedTypes; ///< Null when sharing.
   TypeContext *Types;
   std::unique_ptr<Runtime> OwnedRT; ///< Null for the default session.
   Runtime *RT;
-  CheckPolicy Policy;
-  /// The policy's check front end, resolved once at construction.
-  const CheckDispatch *Dispatch;
+  /// Policy and its check front end, resolved at construction and
+  /// swappable at run time (setPolicy). Both are atomics so the service
+  /// layer's governor may downgrade a session that other threads are
+  /// actively checking through.
+  std::atomic<CheckPolicy> Policy;
+  std::atomic<const CheckDispatch *> Dispatch;
 };
 
 /// RAII binder routing this thread's CheckedPtr instrumentation into

@@ -154,6 +154,10 @@ uint32_t effsan_session_policy(const effsan_session *session) {
   return EFFSAN_POLICY_FULL;
 }
 
+void effsan_session_set_policy(effsan_session *session, uint32_t policy) {
+  session->S->setPolicy(effsan_detail::policyFromValue(policy));
+}
+
 //===----------------------------------------------------------------------===//
 // Type construction
 //===----------------------------------------------------------------------===//

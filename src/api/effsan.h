@@ -47,7 +47,7 @@ extern "C" {
  *===--------------------------------------------------------------------===*/
 
 #define EFFSAN_ABI_VERSION_MAJOR 1
-#define EFFSAN_ABI_VERSION_MINOR 4
+#define EFFSAN_ABI_VERSION_MINOR 5
 #define EFFSAN_ABI_VERSION                                                   \
   ((EFFSAN_ABI_VERSION_MAJOR << 16) | EFFSAN_ABI_VERSION_MINOR)
 
@@ -129,6 +129,14 @@ void effsan_session_reset(effsan_session *session);
 
 /* The session's policy (an effsan_policy value). */
 uint32_t effsan_session_policy(const effsan_session *session);
+
+/* Changes the session's policy at run time (since 1.5). The swap is
+ * one atomic dispatch-table store: checks racing the change simply run
+ * the old tables or the new — never a torn mix. Safe from any thread,
+ * including against concurrent checks on the same session (this is how
+ * the service layer degrades an overloaded shard without pausing its
+ * mutators). */
+void effsan_session_set_policy(effsan_session *session, uint32_t policy);
 
 /*===--------------------------------------------------------------------===*
  * Session pools (since 1.1)
@@ -528,6 +536,226 @@ void effsan_set_error_callback_v2(effsan_session *session,
 void effsan_pool_set_error_callback_v2(effsan_pool *pool,
                                        effsan_error_callback_v2 callback,
                                        void *user_data);
+
+/*===--------------------------------------------------------------------===*
+ * Service mode (since 1.5)
+ *
+ * A service is a supervised session pool for long-lived multi-tenant
+ * embeddings. On top of the pool it adds:
+ *
+ *   - a background drain thread: error events are popped from the
+ *     ring, attributed to the owning tenant and published centrally
+ *     every drain interval — embedders never call a drain function;
+ *   - tenants: metered clients bound 1:1 to pool shards, with byte /
+ *     error / check budgets enforced at checkout time (an exhausted
+ *     budget refuses the checkout and evicts the tenant; its shard is
+ *     recycled for the next tenant once all checkouts are returned);
+ *   - adaptive degradation: under sustained per-shard pressure the
+ *     service walks a shard's policy down FULL -> BOUNDS_ONLY ->
+ *     COUNT_ONLY and restores it when the load subsides (hysteresis
+ *     in both directions);
+ *   - telemetry: service-wide stats, per-tenant stats, and a periodic
+ *     JSON snapshot hook.
+ *===--------------------------------------------------------------------===*/
+
+typedef struct effsan_service effsan_service;
+
+/* A tenant handle. Handles embed a generation, so a handle kept past
+ * close/evict is detected stale rather than aliasing the shard's next
+ * occupant. */
+typedef uint64_t effsan_tenant;
+
+/* "No tenant": returned when open fails (all shards occupied). */
+#define EFFSAN_NO_TENANT (~(uint64_t)0)
+
+typedef struct effsan_service_options {
+  uint32_t struct_size; /* = sizeof(effsan_service_options); by _init */
+  uint32_t shards;      /* = max tenants; 0 = one per hardware thread */
+  uint32_t policy;      /* base effsan_policy for every shard         */
+  int log_errors;       /* nonzero: central reporter logs to stream   */
+  FILE *log_stream;     /* default stderr                             */
+  uint64_t max_reports_per_location; /* central dedup cap; default 1  */
+  uint64_t max_total_reports;        /* central total cap; 0 = none   */
+  uint64_t error_ring_capacity;      /* ring slots; 0 = default       */
+  uint64_t site_cache_entries;       /* per-shard; default 1024       */
+  /* Background drain period in microseconds; default 2000. */
+  uint64_t drain_interval_usec;
+  /* Pool-wide error-event budget enforced by the drain thread: once
+   * the cumulative drained event count crosses it the process aborts
+   * (the single-session abort_after contract, batched). 0 = never. */
+  uint64_t abort_after;
+  /* Nonzero (default): enable adaptive per-shard policy degradation. */
+  int32_t enable_governor;
+  uint32_t reserved_;
+  /* Governor tuning; 0 keeps the default for that knob. A shard is
+   * "pressured" when any per-tick delta reaches its high mark, and
+   * "calm" when every delta is below mark * restore_fraction; between
+   * the two the state holds (dead band). degrade_ticks consecutive
+   * pressured ticks shed one policy level, restore_ticks consecutive
+   * calm ticks win one back. */
+  uint64_t check_rate_high;    /* checks per tick; default 2000000    */
+  uint64_t alloc_rate_high;    /* allocs per tick; default 200000     */
+  double ring_occupancy_high;  /* 0..1; default 0.5                   */
+  double restore_fraction;     /* 0..1; default 0.5                   */
+  uint32_t degrade_ticks;      /* default 2                           */
+  uint32_t restore_ticks;      /* default 4                           */
+} effsan_service_options;
+
+/* Fills *options with the defaults above. */
+void effsan_service_options_init(effsan_service_options *options);
+
+/* Creates a service (pool + drain thread); NULL options means
+ * defaults. Returns NULL only on out-of-memory. */
+effsan_service *effsan_service_create(const effsan_service_options *options);
+
+/* Stops the drain thread (after a final drain) and destroys the pool.
+ * All checkouts must have been released. */
+void effsan_service_destroy(effsan_service *service);
+
+uint32_t effsan_service_num_shards(const effsan_service *service);
+
+/* Per-tenant budgets; 0 = unlimited. max_alloc_bytes meters the
+ * tenant's LIVE heap footprint; the other two are cumulative since
+ * open. Always initialize with effsan_tenant_quota_init(). */
+typedef struct effsan_tenant_quota {
+  uint32_t struct_size; /* = sizeof(effsan_tenant_quota); by _init    */
+  uint32_t reserved_;
+  uint64_t max_alloc_bytes;
+  uint64_t max_error_events;
+  uint64_t max_checks;
+} effsan_tenant_quota;
+
+void effsan_tenant_quota_init(effsan_tenant_quota *quota);
+
+/* Opens a tenant on a free shard. `name` (copied; may be NULL) labels
+ * the tenant in snapshots; NULL quota means unlimited. Returns
+ * EFFSAN_NO_TENANT when every shard is occupied. */
+effsan_tenant effsan_service_tenant_open(effsan_service *service,
+                                         const char *name,
+                                         const effsan_tenant_quota *quota);
+
+/* Cooperative close: refuses new checkouts immediately and recycles
+ * the shard once the last outstanding checkout is released (waits for
+ * one drain tick, so with none outstanding the shard is recycled on
+ * return). Returns 0 for a stale handle, nonzero otherwise. */
+int effsan_service_tenant_close(effsan_service *service,
+                                effsan_tenant tenant);
+
+/* The quota gate. On success returns the tenant's shard session (owned
+ * by the service — do not destroy or reset it) and counts one
+ * outstanding checkout; pair every success with
+ * effsan_service_release. Returns NULL when the handle is stale, the
+ * tenant is evicted, or a budget is exhausted — the budget trip also
+ * evicts the tenant. */
+effsan_session *effsan_service_checkout(effsan_service *service,
+                                        effsan_tenant tenant);
+
+/* Returns one checkout. Returns 0 when the tenant has none
+ * outstanding (or the handle is stale), nonzero otherwise. */
+int effsan_service_release(effsan_service *service, effsan_tenant tenant);
+
+/* Replaces / reads the tenant's quota. 0 on a stale handle. */
+int effsan_service_quota_set(effsan_service *service, effsan_tenant tenant,
+                             const effsan_tenant_quota *quota);
+int effsan_service_quota_get(effsan_service *service, effsan_tenant tenant,
+                             effsan_tenant_quota *out);
+
+typedef enum effsan_tenant_status {
+  EFFSAN_TENANT_CLOSED = 0,  /* slot free / handle stale              */
+  EFFSAN_TENANT_OPEN = 1,    /* serving checkouts                     */
+  EFFSAN_TENANT_EVICTED = 2  /* refusing checkouts; reset pending     */
+} effsan_tenant_status;
+
+typedef enum effsan_evict_reason {
+  EFFSAN_EVICT_NONE = 0,
+  EFFSAN_EVICT_ALLOC_BYTES = 1,
+  EFFSAN_EVICT_ERROR_EVENTS = 2,
+  EFFSAN_EVICT_CHECKS = 3,
+  EFFSAN_EVICT_EXPLICIT = 4
+} effsan_evict_reason;
+
+/* Per-tenant accounting. Caller-sized like effsan_heap_stats: set
+ * struct_size to sizeof(effsan_tenant_stats) before the call and the
+ * library fills exactly the prefix you declared (fields added after
+ * your build read as zero). */
+typedef struct effsan_tenant_stats {
+  uint32_t struct_size;      /* set by the CALLER before the call     */
+  uint32_t status;           /* an effsan_tenant_status value         */
+  uint32_t shard;            /* the shard the tenant is bound to      */
+  uint32_t policy;           /* shard's CURRENT (possibly degraded)
+                              * effsan_policy                         */
+  uint32_t evict_reason;     /* an effsan_evict_reason value          */
+  uint32_t reserved_;
+  uint64_t checks;           /* cumulative since open                 */
+  uint64_t alloc_bytes;      /* live block bytes on the shard         */
+  uint64_t error_events;     /* drainer-attributed error events       */
+  uint64_t checkouts_granted;
+  uint64_t checkouts_refused;
+  uint64_t checkouts_outstanding;
+} effsan_tenant_stats;
+
+/* Snapshots one tenant's accounting. Returns 0 for a stale handle
+ * (out is untouched), nonzero on success. */
+int effsan_service_tenant_stats(effsan_service *service,
+                                effsan_tenant tenant,
+                                effsan_tenant_stats *out);
+
+/* Service-wide counters. Caller-sized prefix contract, as above. */
+typedef struct effsan_service_stats {
+  uint32_t struct_size;      /* set by the CALLER before the call     */
+  uint32_t reserved_;
+  uint64_t tenants_open;     /* occupied slots (open or evicted)      */
+  uint64_t tenants_opened_total;
+  uint64_t tenants_evicted;  /* quota trips + explicit closes         */
+  uint64_t tenants_closed;   /* slots fully recycled                  */
+  uint64_t checkouts_granted;
+  uint64_t checkouts_refused;
+  uint64_t drain_ticks;
+  uint64_t drained_events;
+  uint64_t ring_overflows;
+  uint64_t policy_degrades;
+  uint64_t policy_restores;
+  uint64_t issues_found;     /* central reporter's distinct issues    */
+  uint64_t snapshots_emitted;
+} effsan_service_stats;
+
+void effsan_service_get_stats(effsan_service *service,
+                              effsan_service_stats *out);
+
+/* Forces one full drain tick (drain + quota bookkeeping + governor)
+ * and waits for it to complete; returns the number of error events
+ * that tick drained. Deterministic alternative to waiting out the
+ * drain interval. */
+uint64_t effsan_service_tick(effsan_service *service);
+
+/* Replaces / reads the background drain period (microseconds; 0 is
+ * clamped to the default). Takes effect from the next wakeup. */
+void effsan_service_set_drain_interval(effsan_service *service,
+                                       uint64_t micros);
+uint64_t effsan_service_drain_interval(effsan_service *service);
+
+/* Invoked from the drain thread with a JSON document describing the
+ * service and every occupied tenant (docs/SERVICE.md#telemetry). The
+ * string is valid only during the call. The hook must not call back
+ * into waiting service functions (tick, tenant_close) — deadlock. */
+typedef void (*effsan_snapshot_hook)(const char *json, void *user_data);
+
+/* Installs (or, with NULL, removes) the snapshot hook; it fires every
+ * `every_ticks` completed drain ticks (0 = never). */
+void effsan_service_set_snapshot_hook(effsan_service *service,
+                                      effsan_snapshot_hook hook,
+                                      void *user_data,
+                                      uint32_t every_ticks);
+
+/* Central error sinks, as effsan_pool_set_error_callback /
+ * _v2 — fired by the drain thread (or, on a momentarily full ring, the
+ * erring worker). */
+void effsan_service_set_error_callback(effsan_service *service,
+                                       effsan_error_callback callback,
+                                       void *user_data);
+void effsan_service_set_error_callback_v2(effsan_service *service,
+                                          effsan_error_callback_v2 callback,
+                                          void *user_data);
 
 #ifdef __cplusplus
 } /* extern "C" */

@@ -59,6 +59,22 @@ inline CheckPolicy policyFromValue(uint32_t Value) {
   }
 }
 
+inline uint32_t policyValue(CheckPolicy Policy) {
+  switch (Policy) {
+  case CheckPolicy::Full:
+    return EFFSAN_POLICY_FULL;
+  case CheckPolicy::BoundsOnly:
+    return EFFSAN_POLICY_BOUNDS_ONLY;
+  case CheckPolicy::TypeOnly:
+    return EFFSAN_POLICY_TYPE_ONLY;
+  case CheckPolicy::CountOnly:
+    return EFFSAN_POLICY_COUNT_ONLY;
+  case CheckPolicy::Off:
+    return EFFSAN_POLICY_OFF;
+  }
+  return EFFSAN_POLICY_FULL;
+}
+
 inline uint32_t errorKindValue(ErrorKind Kind) {
   switch (Kind) {
   case ErrorKind::TypeError:

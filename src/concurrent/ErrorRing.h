@@ -63,6 +63,15 @@ public:
 
   size_t capacity() const { return Mask + 1; }
 
+  /// Approximate number of queued events. Inherently racy (producers
+  /// keep pushing while it is computed) — it is a pressure signal for
+  /// the service layer's LoadGovernor, not a synchronization primitive.
+  size_t size() const {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    uint64_t T = Tail.load(std::memory_order_relaxed);
+    return H > T ? static_cast<size_t>(H - T) : 0;
+  }
+
   /// Events that found the ring full (each was reported through the
   /// caller's fallback path instead; see tryPush).
   uint64_t overflows() const {

@@ -154,6 +154,14 @@ public:
   /// central-reporter fallback instead.
   uint64_t ringOverflows() const { return Ring.overflows(); }
 
+  /// The pool's MPSC error ring. Exposed for a dedicated drainer (the
+  /// service layer's Supervisor) that needs event-at-a-time consumption
+  /// — e.g. to attribute each event to a tenant before forwarding it to
+  /// the central reporter. The single-consumer contract still applies:
+  /// a caller popping from the ring must be the only drainer (do not
+  /// mix with concurrent drain() calls).
+  ErrorRing &ring() { return Ring; }
+
   /// Recycles one shard between tenants: drains pending events, then
   /// resets the shard session's arena slice, counters and globals (see
   /// Runtime::reset for the contract). Other shards are unaffected —

@@ -58,7 +58,12 @@ Runtime &Runtime::global() {
 //===----------------------------------------------------------------------===//
 
 void *Runtime::allocate(size_t Size, const TypeInfo *Type) {
-  void *Block = Heap.allocateOnShard(Size + sizeof(MetaHeader), Shard);
+  return allocateOn(Shard, Size, Type);
+}
+
+void *Runtime::allocateOn(unsigned HeapShard, size_t Size,
+                          const TypeInfo *Type) {
+  void *Block = Heap.allocateOnShard(Size + sizeof(MetaHeader), HeapShard);
   if (EFFSAN_UNLIKELY(!Heap.isLowFat(Block))) {
     // Oversized request: the block is a legacy pointer; base(p) cannot
     // reach a META header, so the object is simply untyped (checked
@@ -83,17 +88,21 @@ void *Runtime::allocateZeroed(size_t Count, size_t Size,
 void *Runtime::reallocate(void *Ptr, size_t NewSize, const TypeInfo *Type) {
   if (!Ptr)
     return allocate(NewSize, Type);
+  // Keep the block on the shard that owns it: a cross-shard realloc
+  // (shard A's session resizing a block carved from shard B's slice)
+  // must not migrate the object into A's slice.
+  unsigned Owner = Heap.isLowFat(Ptr) ? Heap.shardOf(Ptr) : Shard;
   size_t OldSize = 0;
   if (const MetaHeader *Meta = metaOf(Ptr)) {
     if (Meta->Type && Meta->Type->isFree()) {
       Reporter.report(ErrorInfo{ErrorKind::UseAfterFree, nullptr,
                                 Ctx.getFree(), 0, Ptr,
                                 "realloc of freed object"});
-      return allocate(NewSize, Type);
+      return allocateOn(Owner, NewSize, Type);
     }
     OldSize = Meta->Size;
   }
-  void *Fresh = allocate(NewSize, Type);
+  void *Fresh = allocateOn(Owner, NewSize, Type);
   if (OldSize != 0)
     std::memcpy(Fresh, Ptr, OldSize < NewSize ? OldSize : NewSize);
   deallocate(Ptr);

@@ -180,7 +180,13 @@ public:
   void *allocateZeroed(size_t Count, size_t Size, const TypeInfo *Type);
 
   /// type_realloc: grows/shrinks preserving contents and rebinding the
-  /// dynamic type.
+  /// dynamic type. When \p Ptr lives on a sibling shard of a shared
+  /// heap (a cross-shard realloc through a pooled session), the fresh
+  /// block is carved from the *owning* shard's slice, not this
+  /// runtime's — shard affinity of a block survives realloc, so a
+  /// tenant's footprint stays accountable to its own shard and a later
+  /// resetShard() of this runtime cannot pull the rug from under a
+  /// sibling's object.
   void *reallocate(void *Ptr, size_t NewSize, const TypeInfo *Type);
 
   /// type_free: rebinds the object to the FREE type and returns the
@@ -373,6 +379,11 @@ private:
                        const MetaHeader *Meta, SiteCacheEntry *Fill,
                        SiteId Site);
   lowfat::StackPool &stackPool();
+
+  /// allocate() targeting an explicit heap shard (realloc's owning-
+  /// shard affinity; everything else allocates on this runtime's own
+  /// Shard).
+  void *allocateOn(unsigned HeapShard, size_t Size, const TypeInfo *Type);
 
   TypeContext &Ctx;
   /// Null when the runtime borrows a shared heap (the shard ctor).

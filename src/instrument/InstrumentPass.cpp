@@ -213,8 +213,10 @@ private:
       for (const Param &P : F.Params) {
         if (!isPointerReg(P.R) || !Needed[P.R])
           continue;
-        emitInputCheck(Out, P.R, pointeeOf(P.R), SourceLoc(),
-                       boundsFor(P.R));
+        // Attribute the entry check to the parameter's declaration loc
+        // so the report reads "at file:line:col in func" like every
+        // other check (the front end donates P.Loc).
+        emitInputCheck(Out, P.R, pointeeOf(P.R), P.Loc, boundsFor(P.R));
       }
     }
 

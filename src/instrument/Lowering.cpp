@@ -1255,6 +1255,7 @@ instrument::lowerToIR(const TranslationUnit &Unit, TypeContext &Types,
       IP.Name = std::string(P->name());
       IP.Type = P->type();
       IP.R = F->newReg(P->type());
+      IP.Loc = P->loc();
       F->Params.push_back(std::move(IP));
     }
     ByName[FD->name()] = F;

@@ -178,12 +178,16 @@ struct Block {
   std::vector<Instr> Instrs;
 };
 
-/// A function parameter: its source name, static type and the register
-/// it arrives in.
+/// A function parameter: its source name, static type, the register it
+/// arrives in, and its declaration location. The loc is donated by the
+/// front end so the rule-(a) entry check of a pointer parameter has a
+/// real line/column to attribute errors to (instead of degrading to the
+/// file-only "at file in func" rendering).
 struct Param {
   std::string Name;
   const TypeInfo *Type = nullptr;
   Reg R = NoReg;
+  SourceLoc Loc;
 };
 
 /// A typed stack allocation (an address-taken or aggregate local). The

@@ -37,16 +37,14 @@ static constexpr size_t QuarantineFlushCount = 16;
 static_assert(MinClassSize >= FreeLinkOffset + sizeof(void *),
               "smallest class must fit META header plus free-list link");
 
-/// Statistical increment: a relaxed non-RMW load+store. Used for the
-/// magazine hit/refill counters that sit on the allocation fast path —
-/// a lock-prefixed xadd there would cost more than the magazine pop it
-/// measures. Concurrent mutators on one shard may lose an update;
-/// ratios (the hit rate) stay accurate, and nothing correctness-
-/// relevant reads these.
-static EFFSAN_ALWAYS_INLINE void statBump(std::atomic<uint64_t> &C) {
-  C.store(C.load(std::memory_order_relaxed) + 1,
-          std::memory_order_relaxed);
-}
+/// Magazine hits accumulated in a plain thread-local tally before one
+/// fetch_add publishes them to the shard's shared counter. The hot
+/// path stays free of lock-prefixed RMWs (one `inc` on a TLS field),
+/// yet no update is ever lost: the remainder is published whenever the
+/// cache retires, rebinds or flushes, so totals are exact after a
+/// flush. The service layer's LoadGovernor steers policy off these
+/// counters, which is why statistical drift is no longer acceptable.
+static constexpr uint64_t TallyPublishThreshold = 64;
 
 //===----------------------------------------------------------------------===//
 // Thread caches: per-thread magazines + quarantine batches
@@ -98,6 +96,13 @@ struct LowFatHeap::ThreadCache {
   /// epoch means resetShard() recycled the arena slice and every cached
   /// block must be discarded, never replayed.
   uint64_t ShardEpoch = 0;
+  /// Exact magazine hit/refill tallies for the bound shard, published
+  /// in batches of TallyPublishThreshold (and in full at retirement)
+  /// via publishTallies(). Dropped, like the cached blocks, when the
+  /// bound shard's epoch went stale — the events belonged to the
+  /// pre-reset tenant.
+  uint64_t HitTally = 0;
+  uint64_t RefillTally = 0;
   /// Blocks per class currently in the magazine arrays.
   uint16_t Counts[NumSizeClasses] = {};
   /// Refill overflow: the rest of a popped free list, consumed by later
@@ -368,7 +373,7 @@ bool LowFatHeap::refillMagazine(ThreadCache &TC, unsigned ClassIndex,
     Slots[N++] = reinterpret_cast<char *>(Spare) - FreeLinkOffset;
     Spare = Spare->Next;
   }
-  statBump(Counters[Shard].MagazineRefills);
+  ++TC.RefillTally;
   return true;
 }
 
@@ -440,12 +445,30 @@ void LowFatHeap::retireMagazines(ThreadCache &TC) {
   std::lock_guard<std::mutex> Guard(Q.Lock);
   if (TC.ShardEpoch ==
       ShardEpochs[TC.BoundShard].load(std::memory_order_relaxed)) {
+    publishTallies(TC);
     flushMagazines(TC);
   } else {
     // Stale: the shard was reset; the addresses belong to a new
-    // tenant now (or will). Forget them.
+    // tenant now (or will). Forget them — and the tallies with them:
+    // the hits happened on the pre-reset tenant's watch, and the new
+    // tenant's counters started from zero.
     std::memset(TC.Counts, 0, sizeof(TC.Counts));
     std::memset(TC.Spare, 0, sizeof(TC.Spare));
+    TC.HitTally = 0;
+    TC.RefillTally = 0;
+  }
+}
+
+void LowFatHeap::publishTallies(ThreadCache &TC) {
+  if (TC.HitTally) {
+    Counters[TC.BoundShard].MagazineHits.fetch_add(
+        TC.HitTally, std::memory_order_relaxed);
+    TC.HitTally = 0;
+  }
+  if (TC.RefillTally) {
+    Counters[TC.BoundShard].MagazineRefills.fetch_add(
+        TC.RefillTally, std::memory_order_relaxed);
+    TC.RefillTally = 0;
   }
 }
 
@@ -487,9 +510,11 @@ void *LowFatHeap::allocateOnShard(size_t Size, unsigned Shard) {
       rebindCache(*TC, Shard);
     uint16_t &N = TC->Counts[ClassIndex];
     if (EFFSAN_LIKELY(N > 0)) {
-      // The steady state: a TLS array pop. No lock, no RMW atomic.
+      // The steady state: a TLS array pop. No lock, no RMW atomic —
+      // the hit lands in a thread-local tally, published in batches.
       void *Result = TC->slots(ClassIndex)[--N];
-      statBump(Counters[Shard].MagazineHits);
+      if (EFFSAN_UNLIKELY(++TC->HitTally >= TallyPublishThreshold))
+        publishTallies(*TC);
       noteAlloc(Shard, Block, /*Legacy=*/false);
       return Result;
     }
@@ -803,6 +828,19 @@ void LowFatHeap::resetShard(unsigned Shard) {
 
 HeapStats LowFatHeap::shardStats(unsigned Shard) const {
   assert(Shard < Shards && "shard index out of range");
+  // Fold the *calling thread's* in-flight tally batch into the shared
+  // counters first, so same-thread reads stay exact without a
+  // flushThreadCache() round trip (other threads' in-flight batches
+  // appear once they publish or flush). Publishing mutates only
+  // thread-local tally state and lock-free atomics, so the method
+  // stays logically const.
+  if (HotHeap == this && HotStamp == Stamp) {
+    auto *TC = static_cast<ThreadCache *>(HotTC);
+    if (TC && TC->BoundShard == Shard &&
+        TC->ShardEpoch ==
+            ShardEpochs[Shard].load(std::memory_order_relaxed))
+      const_cast<LowFatHeap *>(this)->publishTallies(*TC);
+  }
   const ShardCounters &C = Counters[Shard];
   HeapStats S;
   S.BlockBytesInUse = C.BlockBytesInUse.load(std::memory_order_relaxed);

@@ -149,9 +149,11 @@ struct HeapStats {
   /// batches not yet flushed to the shard FIFO).
   uint64_t QuarantinedBytes = 0;
   /// Allocations served by a non-empty TLS magazine (the no-atomics
-  /// steady state). Hits and refills are maintained with statistical
-  /// (non-RMW) increments, so under concurrent mutators on one shard
-  /// they can undercount slightly; ratios stay accurate.
+  /// steady state). Hits and refills are tallied per thread and
+  /// published to the shared counters in batches (and in full whenever
+  /// a cache retires, rebinds or is flushed), so the totals are exact
+  /// after flushThreadCache()/thread exit; between publishes a reader
+  /// may lag by at most one in-flight batch per thread.
   uint64_t MagazineHits = 0;
   /// Magazine refills from the owning sub-arena (each moves up to
   /// MagazineSize blocks with O(1) atomic operations).
@@ -358,6 +360,11 @@ private:
   /// Flush-or-drop the bound shard's cached blocks under the shard's
   /// quarantine lock (serialized against resetShard).
   void retireMagazines(ThreadCache &TC);
+  /// Publishes the cache's magazine hit/refill tallies to the bound
+  /// shard's shared counters with one fetch_add each (exact telemetry:
+  /// no update is ever lost, unlike a racy load+store on the shared
+  /// counter).
+  void publishTallies(ThreadCache &TC);
   /// Rebinds the cache to a new shard after retiring the old one's
   /// blocks.
   void rebindCache(ThreadCache &TC, unsigned Shard);

@@ -1,0 +1,106 @@
+//===- service/LoadGovernor.cpp - Adaptive per-shard policy control -------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/LoadGovernor.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace effective;
+using namespace effective::service;
+
+//===----------------------------------------------------------------------===//
+// The degradation ladder
+//===----------------------------------------------------------------------===//
+
+/// The ladder below each base policy. TypeOnly degrades through
+/// CountOnly directly (it has no bounds to keep); CountOnly and Off
+/// have nothing left to shed.
+unsigned effective::service::maxDegradeLevel(CheckPolicy Base) {
+  switch (Base) {
+  case CheckPolicy::Full:
+    return 2; // Full -> BoundsOnly -> CountOnly
+  case CheckPolicy::BoundsOnly:
+  case CheckPolicy::TypeOnly:
+    return 1; // -> CountOnly
+  case CheckPolicy::CountOnly:
+  case CheckPolicy::Off:
+    return 0;
+  }
+  return 0;
+}
+
+CheckPolicy effective::service::policyAtLevel(CheckPolicy Base,
+                                              unsigned Level) {
+  Level = std::min(Level, maxDegradeLevel(Base));
+  if (Level == 0)
+    return Base;
+  if (Base == CheckPolicy::Full && Level == 1)
+    return CheckPolicy::BoundsOnly;
+  return CheckPolicy::CountOnly;
+}
+
+//===----------------------------------------------------------------------===//
+// The per-shard state machine
+//===----------------------------------------------------------------------===//
+
+LoadGovernor::LoadGovernor(const GovernorOptions &Options,
+                           unsigned NumShards, CheckPolicy BasePolicy)
+    : Opts(Options), Base(BasePolicy), States(NumShards) {}
+
+bool LoadGovernor::pressured(const ShardSample &S) const {
+  return S.Checks >= Opts.CheckRateHigh ||
+         S.Allocs >= Opts.AllocRateHigh ||
+         S.RingOccupancy >= Opts.RingOccupancyHigh;
+}
+
+bool LoadGovernor::calm(const ShardSample &S) const {
+  double F = Opts.RestoreFraction;
+  return static_cast<double>(S.Checks) <
+             static_cast<double>(Opts.CheckRateHigh) * F &&
+         static_cast<double>(S.Allocs) <
+             static_cast<double>(Opts.AllocRateHigh) * F &&
+         S.RingOccupancy < Opts.RingOccupancyHigh * F;
+}
+
+LoadGovernor::Decision LoadGovernor::observe(unsigned Shard,
+                                             const ShardSample &Sample) {
+  assert(Shard < States.size() && "shard index out of range");
+  ShardState &St = States[Shard];
+  Decision D{St.Level, false, false};
+
+  if (pressured(Sample)) {
+    St.CalmTicks = 0;
+    ++St.HotTicks;
+    if (St.HotTicks >= Opts.DegradeTicks &&
+        St.Level < maxDegradeLevel(Base)) {
+      ++St.Level;
+      St.HotTicks = 0; // One step per window: re-arm the counter.
+      D.Degraded = true;
+    }
+  } else if (calm(Sample)) {
+    St.HotTicks = 0;
+    ++St.CalmTicks;
+    if (St.CalmTicks >= Opts.RestoreTicks && St.Level > 0) {
+      --St.Level;
+      St.CalmTicks = 0;
+      D.Restored = true;
+    }
+  } else {
+    // The dead band between calm and pressured: hold the level and
+    // both counters — neither a degrade nor a restore gets closer.
+    St.HotTicks = 0;
+    St.CalmTicks = 0;
+  }
+
+  D.Level = St.Level;
+  return D;
+}
+
+void LoadGovernor::resetShard(unsigned Shard) {
+  assert(Shard < States.size() && "shard index out of range");
+  States[Shard] = ShardState();
+}

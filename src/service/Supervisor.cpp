@@ -1,0 +1,486 @@
+//===- service/Supervisor.cpp - Multi-tenant sanitizer supervisor ---------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Supervisor.h"
+
+#include "lowfat/LowFatHeap.h"
+
+#include <cassert>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace effective;
+using namespace effective::service;
+
+//===----------------------------------------------------------------------===//
+// Construction / shutdown
+//===----------------------------------------------------------------------===//
+
+static concurrent::PoolOptions poolOptions(const ServiceOptions &Options) {
+  concurrent::PoolOptions P;
+  P.Shards = Options.Shards;
+  P.Policy = Options.Policy;
+  P.Reporter = Options.Reporter;
+  P.Heap = Options.Heap;
+  P.ErrorRingCapacity = Options.ErrorRingCapacity;
+  P.SiteCacheEntries = Options.SiteCacheEntries;
+  return P;
+}
+
+Supervisor::Supervisor(const ServiceOptions &Options)
+    : Pool(poolOptions(Options)), NumShards(Pool.numShards()),
+      BasePolicy(Options.Policy), Tenants(NumShards),
+      Governor(Options.Governor, NumShards, Options.Policy),
+      GovernorEnabled(Options.EnableGovernor),
+      AbortAfter(Options.AbortAfter), AbortHandler(Options.AbortHandler),
+      AbortUserData(Options.AbortUserData),
+      SnapshotHook(Options.SnapshotHook),
+      SnapshotUserData(Options.SnapshotUserData),
+      SnapshotEveryTicks(Options.SnapshotEveryTicks),
+      LastCheckSum(NumShards, 0), LastAllocCount(NumShards, 0),
+      IntervalMicros(Options.DrainIntervalMicros
+                         ? Options.DrainIntervalMicros
+                         : 2000) {
+  Drainer = std::thread([this] { drainLoop(); });
+}
+
+Supervisor::~Supervisor() {
+  {
+    std::lock_guard<std::mutex> Guard(TickLock);
+    Stop = true;
+  }
+  TickCV.notify_all();
+  TickDoneCV.notify_all();
+  if (Drainer.joinable())
+    Drainer.join();
+  // Final drain: events pushed after the loop's last tick still get
+  // tenant attribution and central reporting before the pool (which
+  // would drain them unattributed) tears down.
+  drainAttributed();
+}
+
+//===----------------------------------------------------------------------===//
+// The drain loop
+//===----------------------------------------------------------------------===//
+
+void Supervisor::drainLoop() {
+  std::unique_lock<std::mutex> L(TickLock);
+  while (!Stop) {
+    if (!Poke)
+      TickCV.wait_for(L, std::chrono::microseconds(IntervalMicros),
+                      [this] { return Stop || Poke; });
+    if (Stop)
+      break;
+    Poke = false;
+    InTick = true;
+    L.unlock();
+    uint64_t Events = runTick();
+    L.lock();
+    InTick = false;
+    LastTickEvents = Events;
+    ++CompletedTicks;
+    TickDoneCV.notify_all();
+  }
+}
+
+uint64_t Supervisor::drainAttributed() {
+  concurrent::ErrorRing &Ring = Pool.ring();
+  lowfat::LowFatHeap &Heap = Pool.heap().heap();
+  ErrorInfo Info;
+  uint64_t Events = 0;
+  while (Ring.tryPop(Info)) {
+    ++Events;
+    // Attribute by the erring pointer's arena slice: shardOf() is pure
+    // address arithmetic and the tenant <-> shard binding is 1:1.
+    // Legacy (non-low-fat) pointers are pool-wide events — reported,
+    // not billed.
+    if (Info.Pointer && Heap.isLowFat(Info.Pointer))
+      Tenants.noteErrorEvent(Heap.shardOf(Info.Pointer));
+    Pool.reporter().report(Info);
+  }
+  DrainedEvents.fetch_add(Events, std::memory_order_relaxed);
+  return Events;
+}
+
+uint64_t Supervisor::runTick() {
+  concurrent::ErrorRing &Ring = Pool.ring();
+
+  // Ring occupancy is sampled *before* the drain: it reflects the
+  // pressure the mutators built up over the interval, not the empty
+  // ring the drain leaves behind.
+  double Occupancy = static_cast<double>(Ring.size()) /
+                     static_cast<double>(Ring.capacity());
+
+  uint64_t Events = drainAttributed();
+  DrainTicks.fetch_add(1, std::memory_order_relaxed);
+
+  // Pool-wide abort threshold, fired from the drainer (a shard's own
+  // reporter only ever sees that shard's events, so only this thread
+  // can enforce a pool budget).
+  if (AbortAfter && !AbortFired &&
+      DrainedEvents.load(std::memory_order_relaxed) >= AbortAfter) {
+    AbortFired = true;
+    uint64_t Total = DrainedEvents.load(std::memory_order_relaxed);
+    if (AbortHandler) {
+      AbortHandler(Total, AbortUserData);
+    } else {
+      std::fprintf(stderr,
+                   "EffectiveSan service: pool-wide abort threshold "
+                   "reached (%" PRIu64 " error events >= %" PRIu64
+                   ")\n",
+                   Total, AbortAfter);
+      std::abort();
+    }
+  }
+
+  // Complete pending evictions: once a tenant's last lease returned,
+  // recycle its shard (drain again first so nothing queued from the
+  // dying tenant is attributed to its successor), restore the base
+  // policy, and free the slot for the next tenant.
+  std::vector<unsigned> Due = Tenants.shardsAwaitingReset();
+  if (!Due.empty()) {
+    Events += drainAttributed();
+    for (unsigned Shard : Due) {
+      Pool.shard(Shard).reset();
+      Pool.shard(Shard).setPolicy(BasePolicy);
+      Governor.resetShard(Shard);
+      LastCheckSum[Shard] = 0;
+      LastAllocCount[Shard] = 0;
+      Tenants.finishReset(Shard);
+    }
+  }
+
+  // Governor pass: per-shard pressure deltas since the previous tick.
+  for (unsigned Shard = 0; Shard < NumShards; ++Shard) {
+    uint64_t Checks = checkSumOf(Shard);
+    uint64_t Allocs = Pool.heap().shardStats(Shard).NumAllocs;
+    ShardSample Sample;
+    Sample.Checks = Checks > LastCheckSum[Shard]
+                        ? Checks - LastCheckSum[Shard]
+                        : 0;
+    Sample.Allocs = Allocs > LastAllocCount[Shard]
+                        ? Allocs - LastAllocCount[Shard]
+                        : 0;
+    Sample.RingOccupancy = Occupancy;
+    LastCheckSum[Shard] = Checks;
+    LastAllocCount[Shard] = Allocs;
+    // Only occupied shards are steered: an empty slot keeps the base
+    // policy so its next tenant starts undegraded.
+    if (!GovernorEnabled || Tenants.tenantOf(Shard) == NoTenant)
+      continue;
+    LoadGovernor::Decision D = Governor.observe(Shard, Sample);
+    if (D.Degraded || D.Restored) {
+      Pool.shard(Shard).setPolicy(Governor.policyOf(Shard));
+      if (D.Degraded)
+        PolicyDegrades.fetch_add(1, std::memory_order_relaxed);
+      else
+        PolicyRestores.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Periodic JSON snapshot.
+  void (*Hook)(const char *, void *) = nullptr;
+  void *HookData = nullptr;
+  unsigned Every = 0;
+  {
+    std::lock_guard<std::mutex> Guard(HookLock);
+    Hook = SnapshotHook;
+    HookData = SnapshotUserData;
+    Every = SnapshotEveryTicks;
+  }
+  if (Hook && Every) {
+    if (++TicksSinceSnapshot >= Every) {
+      TicksSinceSnapshot = 0;
+      std::string Json = snapshotJson();
+      Hook(Json.c_str(), HookData);
+      SnapshotsEmitted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  return Events;
+}
+
+uint64_t Supervisor::tick() {
+  std::unique_lock<std::mutex> L(TickLock);
+  if (Stop)
+    return 0;
+  // A tick in flight may have missed this caller's writes; require one
+  // more full tick in that case.
+  uint64_t Target = CompletedTicks + (InTick ? 2 : 1);
+  Poke = true;
+  TickCV.notify_one();
+  TickDoneCV.wait(L, [&] { return Stop || CompletedTicks >= Target; });
+  return LastTickEvents;
+}
+
+void Supervisor::poke() {
+  {
+    std::lock_guard<std::mutex> Guard(TickLock);
+    Poke = true;
+  }
+  TickCV.notify_one();
+}
+
+void Supervisor::setDrainInterval(uint64_t Micros) {
+  {
+    std::lock_guard<std::mutex> Guard(TickLock);
+    IntervalMicros = Micros ? Micros : 2000;
+  }
+  // Re-arm the wait with the new period.
+  TickCV.notify_one();
+}
+
+uint64_t Supervisor::drainInterval() {
+  std::lock_guard<std::mutex> Guard(TickLock);
+  return IntervalMicros;
+}
+
+//===----------------------------------------------------------------------===//
+// Tenants and leases
+//===----------------------------------------------------------------------===//
+
+uint64_t Supervisor::checkSumOf(unsigned Shard) {
+  CheckCounters::Snapshot S = Pool.shard(Shard).counters().snapshot();
+  return S.TypeChecks + S.BoundsChecks + S.BoundsGets + S.BoundsNarrows;
+}
+
+TenantId Supervisor::openTenant(std::string_view Name,
+                                const TenantQuota &Quota) {
+  TenantId Id = Tenants.open(std::string(Name), Quota);
+  if (Id == NoTenant)
+    return NoTenant;
+  // The check budget starts counting now: zero it against whatever the
+  // claimed shard's counters already read.
+  unsigned Shard = static_cast<unsigned>(Id & 0xffffffffu);
+  Tenants.setCheckBaseline(Id, checkSumOf(Shard));
+  return Id;
+}
+
+bool Supervisor::closeTenant(TenantId Id) {
+  if (!Tenants.evict(Id, EvictReason::Explicit))
+    return false;
+  // Synchronous when possible: the forced tick performs the shard
+  // reset immediately unless leases are still outstanding (then the
+  // drain loop completes it once the last one returns).
+  tick();
+  return true;
+}
+
+Supervisor::Lease Supervisor::lease(TenantId Id) {
+  unsigned Shard = static_cast<unsigned>(Id & 0xffffffffu);
+  if (Id == NoTenant || Shard >= NumShards)
+    return Lease();
+  // Budget inputs are sampled outside the registry lock; the registry
+  // does the gating atomically against its own state.
+  uint64_t LiveBytes = Pool.heap().shardStats(Shard).BlockBytesInUse;
+  uint64_t Checks = checkSumOf(Shard);
+  unsigned ShardOut = 0;
+  if (Tenants.checkout(Id, LiveBytes, Checks, ShardOut))
+    return Lease(*this, Id, Pool.shard(ShardOut));
+  // A refused lease may just have evicted the tenant; kick the drainer
+  // so the shard reset does not wait for the next periodic tick.
+  poke();
+  return Lease();
+}
+
+void Supervisor::releaseLease(TenantId Id) { Tenants.release(Id); }
+
+bool Supervisor::setQuota(TenantId Id, const TenantQuota &Quota) {
+  return Tenants.setQuota(Id, Quota);
+}
+
+bool Supervisor::getQuota(TenantId Id, TenantQuota &Out) const {
+  return Tenants.getQuota(Id, Out);
+}
+
+bool Supervisor::tenantSnapshot(TenantId Id, TenantSnapshot &Out) {
+  unsigned Shard = static_cast<unsigned>(Id & 0xffffffffu);
+  if (Id == NoTenant || Shard >= NumShards)
+    return false;
+  uint64_t LiveBytes = Pool.heap().shardStats(Shard).BlockBytesInUse;
+  uint64_t Checks = checkSumOf(Shard);
+  return Tenants.snapshot(Id, LiveBytes, Checks, Out);
+}
+
+CheckPolicy Supervisor::tenantPolicy(TenantId Id) {
+  unsigned Shard = static_cast<unsigned>(Id & 0xffffffffu);
+  if (Id == NoTenant || Shard >= NumShards ||
+      Tenants.tenantOf(Shard) != Id)
+    return CheckPolicy::Off;
+  return Pool.shard(Shard).policy();
+}
+
+void Supervisor::setSnapshotHook(void (*Hook)(const char *, void *),
+                                 void *UserData, unsigned EveryTicks) {
+  std::lock_guard<std::mutex> Guard(HookLock);
+  SnapshotHook = Hook;
+  SnapshotUserData = UserData;
+  SnapshotEveryTicks = EveryTicks;
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+ServiceStats Supervisor::stats() {
+  TenantRegistry::Totals T = Tenants.totals();
+  ServiceStats S;
+  S.TenantsOpen = Tenants.occupied();
+  S.TenantsOpenedTotal = T.Opened;
+  S.TenantsEvicted = T.Evicted;
+  S.TenantsClosed = T.Closed;
+  S.LeasesGranted = T.LeasesGranted;
+  S.LeasesRefused = T.LeasesRefused;
+  S.DrainTicks = DrainTicks.load(std::memory_order_relaxed);
+  S.DrainedEvents = DrainedEvents.load(std::memory_order_relaxed);
+  S.RingOverflows = Pool.ringOverflows();
+  S.PolicyDegrades = PolicyDegrades.load(std::memory_order_relaxed);
+  S.PolicyRestores = PolicyRestores.load(std::memory_order_relaxed);
+  S.IssuesFound = Pool.reporter().numIssues();
+  S.SnapshotsEmitted = SnapshotsEmitted.load(std::memory_order_relaxed);
+  return S;
+}
+
+static const char *policyName(CheckPolicy P) {
+  switch (P) {
+  case CheckPolicy::Full:
+    return "full";
+  case CheckPolicy::BoundsOnly:
+    return "bounds";
+  case CheckPolicy::TypeOnly:
+    return "type";
+  case CheckPolicy::CountOnly:
+    return "count";
+  case CheckPolicy::Off:
+    return "off";
+  }
+  return "?";
+}
+
+static const char *statusName(TenantStatus S) {
+  switch (S) {
+  case TenantStatus::Closed:
+    return "closed";
+  case TenantStatus::Open:
+    return "open";
+  case TenantStatus::Evicted:
+    return "evicted";
+  }
+  return "?";
+}
+
+static const char *reasonName(EvictReason R) {
+  switch (R) {
+  case EvictReason::None:
+    return "none";
+  case EvictReason::AllocBytes:
+    return "alloc_bytes";
+  case EvictReason::ErrorEvents:
+    return "error_events";
+  case EvictReason::Checks:
+    return "checks";
+  case EvictReason::Explicit:
+    return "explicit";
+  }
+  return "?";
+}
+
+static void appendJsonString(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+static void appendField(std::string &Out, const char *Key, uint64_t V,
+                        bool Comma = true) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "%s\"%s\":%" PRIu64, Comma ? "," : "",
+                Key, V);
+  Out += Buf;
+}
+
+std::string Supervisor::snapshotJson() {
+  ServiceStats S = stats();
+  std::string Out;
+  Out.reserve(1024);
+  Out += "{\"service\":{";
+  {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "\"shards\":%u", NumShards);
+    Out += Buf;
+  }
+  Out += ",\"policy\":\"";
+  Out += policyName(BasePolicy);
+  Out += '"';
+  appendField(Out, "drain_interval_usec", drainInterval());
+  appendField(Out, "tenants_open", S.TenantsOpen);
+  appendField(Out, "tenants_opened_total", S.TenantsOpenedTotal);
+  appendField(Out, "tenants_evicted", S.TenantsEvicted);
+  appendField(Out, "tenants_closed", S.TenantsClosed);
+  appendField(Out, "leases_granted", S.LeasesGranted);
+  appendField(Out, "leases_refused", S.LeasesRefused);
+  appendField(Out, "drain_ticks", S.DrainTicks);
+  appendField(Out, "drained_events", S.DrainedEvents);
+  appendField(Out, "ring_overflows", S.RingOverflows);
+  appendField(Out, "policy_degrades", S.PolicyDegrades);
+  appendField(Out, "policy_restores", S.PolicyRestores);
+  appendField(Out, "issues_found", S.IssuesFound);
+  appendField(Out, "snapshots_emitted", S.SnapshotsEmitted);
+  Out += "},\"tenants\":[";
+  bool First = true;
+  for (TenantId Id : Tenants.occupiedTenants()) {
+    TenantSnapshot Snap;
+    if (!tenantSnapshot(Id, Snap))
+      continue;
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += "{\"name\":";
+    appendJsonString(Out, Snap.Name);
+    appendField(Out, "shard", Snap.Shard);
+    Out += ",\"status\":\"";
+    Out += statusName(Snap.Status);
+    Out += "\",\"policy\":\"";
+    Out += policyName(Pool.shard(Snap.Shard).policy());
+    Out += "\",\"evict_reason\":\"";
+    Out += reasonName(Snap.Reason);
+    Out += '"';
+    appendField(Out, "checks", Snap.Checks);
+    appendField(Out, "alloc_bytes", Snap.AllocBytes);
+    appendField(Out, "error_events", Snap.ErrorEvents);
+    appendField(Out, "leases_granted", Snap.LeasesGranted);
+    appendField(Out, "leases_refused", Snap.LeasesRefused);
+    appendField(Out, "leases_outstanding", Snap.LeasesOutstanding);
+    Out += '}';
+  }
+  Out += "]}";
+  return Out;
+}

@@ -1,0 +1,305 @@
+//===- service/Supervisor.h - Multi-tenant sanitizer supervisor -*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The service layer's front door: a Supervisor owns a SessionPool and
+/// turns it into a long-lived multi-tenant sanitizer service.
+///
+///   * Background drain — a dedicated thread is the pool ring's single
+///     consumer. It wakes every DrainIntervalMicros (or on a poke),
+///     pops each queued error event, attributes it to the tenant whose
+///     shard slice the erring pointer lives in, forwards it to the
+///     central reporter, and fires the pool-wide AbortAfter threshold.
+///     Mutator threads never drain; embedders never call drain() at
+///     all.
+///
+///   * Tenants — TenantRegistry slots bound 1:1 to pool shards. Leases
+///     (RAII shard checkouts) pass the quota gate; an exhausted budget
+///     refuses the lease and marks the tenant evicted, and the drain
+///     thread resets the shard once the last lease returns.
+///
+///   * Adaptive degradation — each tick the drain thread samples every
+///     shard's pressure (check-counter delta, allocation delta from
+///     the heap stats, ring occupancy) and lets the LoadGovernor walk
+///     the shard session's CheckPolicy down Full -> BoundsOnly ->
+///     CountOnly and back, with hysteresis. A policy change is one
+///     atomic dispatch-table swap (Sanitizer::setPolicy) — mutators
+///     racing the change simply run one table or the other.
+///
+///   * Telemetry — stats() aggregates service-wide counters; a
+///     snapshot hook receives a JSON document every N ticks.
+///
+/// Thread-safety: every public method is safe from any thread.
+/// Destroying the Supervisor stops the drain thread, performs a final
+/// drain, and tears down the pool; leases must not outlive it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_SERVICE_SUPERVISOR_H
+#define EFFECTIVE_SERVICE_SUPERVISOR_H
+
+#include "concurrent/SessionPool.h"
+#include "service/LoadGovernor.h"
+#include "service/TenantRegistry.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace effective {
+namespace service {
+
+/// Construction options for a Supervisor.
+struct ServiceOptions {
+  /// Pool sizing and base behaviour (see concurrent::PoolOptions).
+  unsigned Shards = 0;
+  CheckPolicy Policy = CheckPolicy::Full;
+  ReporterOptions Reporter;
+  lowfat::HeapOptions Heap;
+  size_t ErrorRingCapacity = 0;
+  size_t SiteCacheEntries = 1024;
+
+  /// Drain period. The drain thread also wakes immediately on poke
+  /// (tick()) and at shutdown.
+  uint64_t DrainIntervalMicros = 2000;
+
+  /// Pool-wide error-event budget, enforced by the *drainer* (closing
+  /// the loop the per-shard reporters cannot: a shard only sees its
+  /// own events). 0 = unlimited. When the cumulative drained event
+  /// count crosses the threshold, AbortHandler is invoked (or, when
+  /// null, the process aborts — the paper runtime's abort-on-error
+  /// contract, batched).
+  uint64_t AbortAfter = 0;
+  void (*AbortHandler)(uint64_t DrainedEvents, void *UserData) = nullptr;
+  void *AbortUserData = nullptr;
+
+  /// Adaptive degradation (on by default; off pins every shard to
+  /// Policy).
+  bool EnableGovernor = true;
+  GovernorOptions Governor;
+
+  /// JSON snapshot hook: invoked from the drain thread every
+  /// SnapshotEveryTicks completed ticks (0 = never) with a document
+  /// describing the service and every occupied tenant slot
+  /// (docs/SERVICE.md#telemetry-schema).
+  unsigned SnapshotEveryTicks = 0;
+  void (*SnapshotHook)(const char *Json, void *UserData) = nullptr;
+  void *SnapshotUserData = nullptr;
+};
+
+/// Service-wide counters (plain values; see stats()).
+struct ServiceStats {
+  uint64_t TenantsOpen = 0;      ///< Occupied slots (open or evicted).
+  uint64_t TenantsOpenedTotal = 0;
+  uint64_t TenantsEvicted = 0;   ///< Evictions (incl. explicit closes).
+  uint64_t TenantsClosed = 0;    ///< Slots fully recycled.
+  uint64_t LeasesGranted = 0;
+  uint64_t LeasesRefused = 0;
+  uint64_t DrainTicks = 0;
+  uint64_t DrainedEvents = 0;
+  uint64_t RingOverflows = 0;
+  uint64_t PolicyDegrades = 0;
+  uint64_t PolicyRestores = 0;
+  uint64_t IssuesFound = 0;      ///< Central reporter's distinct issues.
+  uint64_t SnapshotsEmitted = 0;
+};
+
+class Supervisor {
+public:
+  explicit Supervisor(const ServiceOptions &Options = ServiceOptions());
+
+  /// Stops the drain thread (final drain included) and tears down the
+  /// pool. Outstanding leases must have been released.
+  ~Supervisor();
+
+  Supervisor(const Supervisor &) = delete;
+  Supervisor &operator=(const Supervisor &) = delete;
+
+  //===--------------------------------------------------------------===//
+  // Tenants and leases
+  //===--------------------------------------------------------------===//
+
+  /// Opens a tenant on a free shard. Returns NoTenant when every shard
+  /// is occupied.
+  TenantId openTenant(std::string_view Name,
+                      const TenantQuota &Quota = TenantQuota());
+
+  /// Cooperative close: marks the tenant evicted (Explicit) and kicks
+  /// a drain tick so the shard resets as soon as its last outstanding
+  /// lease returns (immediately, when there is none). Returns false
+  /// for a stale handle.
+  bool closeTenant(TenantId Id);
+
+  /// An RAII shard lease. Move-only; releases on destruction. Operator
+  /// bool distinguishes a granted lease from a refusal.
+  class Lease {
+  public:
+    Lease() = default;
+    Lease(Lease &&O) noexcept : Owner(O.Owner), Id(O.Id), S(O.S) {
+      O.Owner = nullptr;
+      O.S = nullptr;
+    }
+    Lease &operator=(Lease &&O) noexcept {
+      if (this != &O) {
+        reset();
+        Owner = O.Owner;
+        Id = O.Id;
+        S = O.S;
+        O.Owner = nullptr;
+        O.S = nullptr;
+      }
+      return *this;
+    }
+    ~Lease() { reset(); }
+
+    Lease(const Lease &) = delete;
+    Lease &operator=(const Lease &) = delete;
+
+    explicit operator bool() const { return S != nullptr; }
+    Sanitizer &session() { return *S; }
+    Sanitizer *operator->() { return S; }
+
+    void reset() {
+      if (Owner)
+        Owner->releaseLease(Id);
+      Owner = nullptr;
+      S = nullptr;
+    }
+
+  private:
+    friend class Supervisor;
+    Lease(Supervisor &Sup, TenantId Tenant, Sanitizer &Session)
+        : Owner(&Sup), Id(Tenant), S(&Session) {}
+
+    Supervisor *Owner = nullptr;
+    TenantId Id = NoTenant;
+    Sanitizer *S = nullptr;
+  };
+
+  /// The quota gate. Returns an empty lease when the handle is stale,
+  /// the tenant is evicted, or a budget is exhausted (which evicts).
+  Lease lease(TenantId Id);
+
+  bool setQuota(TenantId Id, const TenantQuota &Quota);
+  bool getQuota(TenantId Id, TenantQuota &Out) const;
+
+  /// Live per-tenant accounting; false for a stale handle.
+  bool tenantSnapshot(TenantId Id, TenantSnapshot &Out);
+
+  /// The policy the tenant's shard currently runs (base policy
+  /// possibly degraded by the governor). CheckPolicy::Off for a stale
+  /// handle.
+  CheckPolicy tenantPolicy(TenantId Id);
+
+  //===--------------------------------------------------------------===//
+  // Drain loop
+  //===--------------------------------------------------------------===//
+
+  /// Forces one full drain tick *starting after this call* and waits
+  /// for it to complete (deterministic tests; also handy before
+  /// reading stats). Returns the number of events that tick drained.
+  uint64_t tick();
+
+  void setDrainInterval(uint64_t Micros);
+  uint64_t drainInterval();
+
+  //===--------------------------------------------------------------===//
+  // Introspection
+  //===--------------------------------------------------------------===//
+
+  ServiceStats stats();
+
+  /// The service-and-tenants JSON document the snapshot hook receives
+  /// (rendered on demand here).
+  std::string snapshotJson();
+
+  concurrent::SessionPool &pool() { return Pool; }
+  ErrorReporter &reporter() { return Pool.reporter(); }
+  unsigned numShards() const { return NumShards; }
+
+  /// Replaces the central reporter's sink (thin wrapper, like
+  /// Sanitizer::setErrorCallback).
+  void setErrorCallback(ErrorCallback Callback, void *UserData) {
+    Pool.reporter().setCallback(Callback, UserData);
+  }
+
+  /// Installs/replaces the JSON snapshot hook at run time.
+  void setSnapshotHook(void (*Hook)(const char *, void *), void *UserData,
+                       unsigned EveryTicks);
+
+private:
+  friend class Lease;
+
+  void drainLoop();
+  /// One tick: drain + attribute, pending resets, governor, snapshot.
+  /// Returns the events drained.
+  uint64_t runTick();
+  /// Pops every queued event, attributing each to the owning shard's
+  /// tenant, into the central reporter. Drain thread (or dtor, after
+  /// the join) only.
+  uint64_t drainAttributed();
+  /// Wakes the drain thread without waiting for the tick.
+  void poke();
+  void releaseLease(TenantId Id);
+  uint64_t checkSumOf(unsigned Shard);
+
+  concurrent::SessionPool Pool;
+  unsigned NumShards;
+  CheckPolicy BasePolicy;
+  TenantRegistry Tenants;
+  LoadGovernor Governor;
+  bool GovernorEnabled;
+
+  uint64_t AbortAfter;
+  void (*AbortHandler)(uint64_t, void *);
+  void *AbortUserData;
+  bool AbortFired = false; ///< Drain thread only.
+
+  /// Snapshot hook state (HookLock: replaced by API threads, read by
+  /// the drainer).
+  std::mutex HookLock;
+  void (*SnapshotHook)(const char *, void *);
+  void *SnapshotUserData;
+  unsigned SnapshotEveryTicks;
+  unsigned TicksSinceSnapshot = 0; ///< Drain thread only.
+
+  /// Per-shard previous-tick baselines for the governor's deltas
+  /// (drain thread only).
+  std::vector<uint64_t> LastCheckSum;
+  std::vector<uint64_t> LastAllocCount;
+
+  /// Drainer-owned counters, atomic so stats() reads them from any
+  /// thread. (Tenant/lease totals live in the registry.)
+  std::atomic<uint64_t> DrainTicks{0};
+  std::atomic<uint64_t> DrainedEvents{0};
+  std::atomic<uint64_t> PolicyDegrades{0};
+  std::atomic<uint64_t> PolicyRestores{0};
+  std::atomic<uint64_t> SnapshotsEmitted{0};
+
+  /// Drain-thread machinery. TickLock orders poke/shutdown against the
+  /// loop; InTick marks the window where the thread runs a tick with
+  /// the lock dropped (a tick() caller arriving then needs the *next*
+  /// full tick to be sure its writes were observed).
+  std::mutex TickLock;
+  std::condition_variable TickCV;     ///< Wakes the drain thread.
+  std::condition_variable TickDoneCV; ///< Wakes tick() waiters.
+  uint64_t IntervalMicros;
+  uint64_t CompletedTicks = 0;
+  uint64_t LastTickEvents = 0;
+  bool Poke = false;
+  bool InTick = false;
+  bool Stop = false;
+  std::thread Drainer;
+};
+
+} // namespace service
+} // namespace effective
+
+#endif // EFFECTIVE_SERVICE_SUPERVISOR_H

@@ -1,0 +1,236 @@
+//===- service/TenantRegistry.cpp - Tenant slots, quotas, accounting ------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/TenantRegistry.h"
+
+#include <utility>
+
+using namespace effective;
+using namespace effective::service;
+
+TenantRegistry::TenantRegistry(unsigned NumShards) : Slots(NumShards) {}
+
+TenantRegistry::Slot *TenantRegistry::resolve(TenantId Id,
+                                              unsigned *IndexOut) {
+  return const_cast<Slot *>(
+      static_cast<const TenantRegistry *>(this)->resolve(Id, IndexOut));
+}
+
+const TenantRegistry::Slot *
+TenantRegistry::resolve(TenantId Id, unsigned *IndexOut) const {
+  if (Id == NoTenant)
+    return nullptr;
+  unsigned Index = static_cast<unsigned>(Id & 0xffffffffu);
+  uint32_t Generation = static_cast<uint32_t>(Id >> 32);
+  if (Index >= Slots.size())
+    return nullptr;
+  const Slot &S = Slots[Index];
+  if (S.Generation != Generation || S.Status == TenantStatus::Closed)
+    return nullptr;
+  if (IndexOut)
+    *IndexOut = Index;
+  return &S;
+}
+
+TenantRegistry::Totals TenantRegistry::totals() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Counts;
+}
+
+TenantId TenantRegistry::open(std::string Name, const TenantQuota &Quota) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  for (unsigned I = 0; I < Slots.size(); ++I) {
+    Slot &S = Slots[I];
+    if (S.Status != TenantStatus::Closed)
+      continue;
+    // Generation already advanced when the previous occupant's slot
+    // was freed; claim as-is.
+    S.Status = TenantStatus::Open;
+    S.Reason = EvictReason::None;
+    S.Name = std::move(Name);
+    S.Quota = Quota;
+    S.CheckBaseline = 0;
+    S.ErrorEvents = 0;
+    S.LeasesGranted = 0;
+    S.LeasesRefused = 0;
+    S.LeasesOutstanding = 0;
+    ++Counts.Opened;
+    return idOf(I, S);
+  }
+  return NoTenant;
+}
+
+bool TenantRegistry::setCheckBaseline(TenantId Id, uint64_t Baseline) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Slot *S = resolve(Id);
+  if (!S)
+    return false;
+  S->CheckBaseline = Baseline;
+  return true;
+}
+
+bool TenantRegistry::evict(TenantId Id, EvictReason Reason) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Slot *S = resolve(Id);
+  if (!S)
+    return false;
+  if (S->Status == TenantStatus::Open) {
+    S->Status = TenantStatus::Evicted;
+    S->Reason = Reason;
+    ++Counts.Evicted;
+  }
+  return true;
+}
+
+bool TenantRegistry::checkout(TenantId Id, uint64_t LiveAllocBytes,
+                              uint64_t CheckSum, unsigned &ShardOut) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  unsigned Index = 0;
+  Slot *S = resolve(Id, &Index);
+  if (!S)
+    return false;
+  if (S->Status != TenantStatus::Open) {
+    ++S->LeasesRefused;
+    ++Counts.LeasesRefused;
+    return false;
+  }
+  // Budget gates, in footprint -> errors -> work order. The budgets
+  // meter what the tenant already consumed; the lease that would push
+  // it over is the one refused.
+  EvictReason Tripped = EvictReason::None;
+  if (S->Quota.MaxAllocBytes && LiveAllocBytes > S->Quota.MaxAllocBytes)
+    Tripped = EvictReason::AllocBytes;
+  else if (S->Quota.MaxErrorEvents &&
+           S->ErrorEvents > S->Quota.MaxErrorEvents)
+    Tripped = EvictReason::ErrorEvents;
+  else if (S->Quota.MaxChecks && CheckSum > S->CheckBaseline &&
+           CheckSum - S->CheckBaseline > S->Quota.MaxChecks)
+    Tripped = EvictReason::Checks;
+  if (Tripped != EvictReason::None) {
+    S->Status = TenantStatus::Evicted;
+    S->Reason = Tripped;
+    ++Counts.Evicted;
+    ++S->LeasesRefused;
+    ++Counts.LeasesRefused;
+    return false;
+  }
+  ++S->LeasesGranted;
+  ++Counts.LeasesGranted;
+  ++S->LeasesOutstanding;
+  ShardOut = Index;
+  return true;
+}
+
+void TenantRegistry::release(TenantId Id) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Slot *S = resolve(Id);
+  if (S && S->LeasesOutstanding > 0)
+    --S->LeasesOutstanding;
+}
+
+uint64_t TenantRegistry::noteErrorEvent(unsigned Shard) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  if (Shard >= Slots.size())
+    return 0;
+  Slot &S = Slots[Shard];
+  if (S.Status == TenantStatus::Closed)
+    return 0;
+  return ++S.ErrorEvents;
+}
+
+std::vector<unsigned> TenantRegistry::shardsAwaitingReset() {
+  std::lock_guard<std::mutex> Guard(Lock);
+  std::vector<unsigned> Due;
+  for (unsigned I = 0; I < Slots.size(); ++I)
+    if (Slots[I].Status == TenantStatus::Evicted &&
+        Slots[I].LeasesOutstanding == 0)
+      Due.push_back(I);
+  return Due;
+}
+
+void TenantRegistry::finishReset(unsigned Shard) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  if (Shard >= Slots.size())
+    return;
+  Slot &S = Slots[Shard];
+  if (S.Status != TenantStatus::Evicted)
+    return;
+  S.Status = TenantStatus::Closed;
+  S.Name.clear();
+  // Stale handles must miss from here on.
+  ++S.Generation;
+  ++Counts.Closed;
+}
+
+bool TenantRegistry::setQuota(TenantId Id, const TenantQuota &Quota) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  Slot *S = resolve(Id);
+  if (!S)
+    return false;
+  S->Quota = Quota;
+  return true;
+}
+
+bool TenantRegistry::getQuota(TenantId Id, TenantQuota &Out) const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  const Slot *S = resolve(Id);
+  if (!S)
+    return false;
+  Out = S->Quota;
+  return true;
+}
+
+bool TenantRegistry::snapshot(TenantId Id, uint64_t LiveAllocBytes,
+                              uint64_t CheckSum,
+                              TenantSnapshot &Out) const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  unsigned Index = 0;
+  const Slot *S = resolve(Id, &Index);
+  if (!S)
+    return false;
+  Out.Status = S->Status;
+  Out.Shard = Index;
+  Out.Quota = S->Quota;
+  Out.Reason = S->Reason;
+  // Saturating: the drain thread may already have reset the shard's
+  // counters between this tenant's eviction and its slot being freed.
+  Out.Checks = CheckSum > S->CheckBaseline ? CheckSum - S->CheckBaseline : 0;
+  Out.AllocBytes = LiveAllocBytes;
+  Out.ErrorEvents = S->ErrorEvents;
+  Out.LeasesGranted = S->LeasesGranted;
+  Out.LeasesRefused = S->LeasesRefused;
+  Out.LeasesOutstanding = S->LeasesOutstanding;
+  Out.Name = S->Name;
+  return true;
+}
+
+TenantId TenantRegistry::tenantOf(unsigned Shard) const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  if (Shard >= Slots.size())
+    return NoTenant;
+  const Slot &S = Slots[Shard];
+  if (S.Status == TenantStatus::Closed)
+    return NoTenant;
+  return idOf(Shard, S);
+}
+
+unsigned TenantRegistry::occupied() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  unsigned N = 0;
+  for (const Slot &S : Slots)
+    if (S.Status != TenantStatus::Closed)
+      ++N;
+  return N;
+}
+
+std::vector<TenantId> TenantRegistry::occupiedTenants() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  std::vector<TenantId> Ids;
+  for (unsigned I = 0; I < Slots.size(); ++I)
+    if (Slots[I].Status != TenantStatus::Closed)
+      Ids.push_back(idOf(I, Slots[I]));
+  return Ids;
+}

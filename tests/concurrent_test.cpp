@@ -429,6 +429,42 @@ TEST(SessionPoolTest, CrossShardPointersCheckCorrectly) {
   Pool.shard(1).free(P); // Cross-shard free.
 }
 
+TEST(SessionPoolTest, CrossShardReallocKeepsOwningShardAffinity) {
+  SessionPool Pool(quietPool(2));
+  TypeContext &Ctx = Pool.types();
+  const TypeInfo *IntTy = Ctx.getInt();
+  lowfat::LowFatHeap &Heap = Pool.heap().heap();
+
+  // Shard 0 allocates; shard 1's session grows the block. The fresh
+  // block must be carved from shard 0's slice (the owner), not shard
+  // 1's — otherwise the object migrates into the calling tenant's
+  // footprint and a later resetShard(0) would miss it (or resetShard(1)
+  // would free it from under shard 0's tenant).
+  auto *P = static_cast<int *>(Pool.shard(0).malloc(8 * sizeof(int), IntTy));
+  ASSERT_TRUE(Heap.isLowFat(P));
+  ASSERT_EQ(Heap.shardOf(P), 0u);
+  for (int I = 0; I != 8; ++I)
+    P[I] = I;
+
+  auto *Grown = static_cast<int *>(
+      Pool.shard(1).realloc(P, 64 * sizeof(int), IntTy));
+  ASSERT_TRUE(Heap.isLowFat(Grown));
+  EXPECT_EQ(Heap.shardOf(Grown), 0u) << "realloc migrated the block off "
+                                        "its owning shard";
+  for (int I = 0; I != 8; ++I)
+    EXPECT_EQ(Grown[I], I);
+  EXPECT_EQ(Pool.shard(1).dynamicTypeOf(Grown), IntTy);
+
+  // Shrinking through yet another cross-shard call stays put too.
+  auto *Shrunk = static_cast<int *>(
+      Pool.shard(1).realloc(Grown, 2 * sizeof(int), IntTy));
+  ASSERT_TRUE(Heap.isLowFat(Shrunk));
+  EXPECT_EQ(Heap.shardOf(Shrunk), 0u);
+  EXPECT_EQ(Shrunk[1], 1);
+  Pool.shard(0).free(Shrunk);
+  EXPECT_EQ(Pool.issuesFound(), 0u);
+}
+
 TEST(SessionPoolTest, ResetShardRecyclesArenaAndCounters) {
   SessionPool Pool(quietPool(2));
   TypeContext &Ctx = Pool.types();

@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <random>
 #include <thread>
@@ -526,6 +527,46 @@ TEST(MagazineTest, ThreadExitFlushesMagazinesBackToTheHeap) {
   HeapStats Stats = Heap.stats();
   EXPECT_EQ(Stats.NumAllocs, 2u);
   EXPECT_EQ(Stats.NumFrees, 2u);
+}
+
+TEST(MagazineTest, ConcurrentHitTalliesAreExact) {
+  // Hit/refill telemetry is tallied per thread and published with
+  // fetch_add (batched, with the remainder flushed through ThreadCache
+  // retirement), so the totals are *exact* under concurrent mutators —
+  // the old racy load+store on the shared counter lost updates under
+  // exactly this workload. Each thread's first allocation comes from
+  // the bump pointer (or a refill of a finished sibling's flushed
+  // blocks); every one of the remaining Iters-1 is a magazine hit.
+  LowFatHeap Heap;
+  ASSERT_GT(Heap.magazineSize(), 0u);
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned Iters = 4096;
+  std::atomic<unsigned> Ready{0};
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    Threads.emplace_back([&] {
+      Ready.fetch_add(1);
+      while (!Go.load(std::memory_order_acquire)) {
+      }
+      for (unsigned I = 0; I < Iters; ++I) {
+        void *P = Heap.allocate(64);
+        Heap.deallocate(P);
+      }
+      Heap.flushThreadCache();
+    });
+  }
+  while (Ready.load() != NumThreads) {
+  }
+  Go.store(true, std::memory_order_release);
+  for (std::thread &T : Threads)
+    T.join();
+  HeapStats Stats = Heap.stats();
+  EXPECT_EQ(Stats.MagazineHits, uint64_t(NumThreads) * (Iters - 1));
+  EXPECT_LE(Stats.MagazineRefills, uint64_t(NumThreads));
+  EXPECT_EQ(Stats.NumAllocs, uint64_t(NumThreads) * Iters);
+  EXPECT_EQ(Stats.NumFrees, uint64_t(NumThreads) * Iters);
+  EXPECT_EQ(Stats.BlockBytesInUse, 0u);
 }
 
 TEST(BatchedQuarantineTest, DelayPreservedWithinAndAcrossBatches) {

@@ -255,6 +255,31 @@ int main() {
   EXPECT_TRUE(Found) << Messages.front();
 }
 
+TEST(PaperStyleReports, ParamEntryCheckCarriesDeclarationLoc) {
+  // Rule (a): pointer parameters are checked once at function entry.
+  // The check site is the parameter's *declaration* loc (donated by the
+  // front end through ir::Param::Loc), so the report renders the full
+  // "at file:line:col in func" form — it must never degrade to the
+  // file-only "at param.c in readFirst" rendering. The freed pointer
+  // trips the entry type check the moment readFirst is entered.
+  constexpr const char *Source = R"(int readFirst(int *p) {
+  return *p;
+}
+int main() {
+  int *q = (int *)malloc(4 * sizeof(int));
+  free(q);
+  return readFirst(q);
+}
+)";
+  Compiled C(Source, "param.c");
+  std::vector<std::string> Messages = runAndCollect(C);
+  ASSERT_EQ(Messages.size(), 1u);
+  EXPECT_EQ(Messages[0],
+            "USE-AFTER-FREE ERROR at param.c:1:20 in readFirst: "
+            "allocated (<free>), used as (int) at offset 0 "
+            "[use of freed object]");
+}
+
 //===----------------------------------------------------------------------===//
 // Site-keyed deduplication
 //===----------------------------------------------------------------------===//
