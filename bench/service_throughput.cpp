@@ -25,6 +25,7 @@
 ///    governor adds nothing measurable to it.
 ///
 /// Usage: service_throughput [iters] [--json=FILE]
+///                           [--trace=FILE] [--metrics=FILE]
 ///
 ///   iters        overload iterations (default 200000); churn runs
 ///                iters/100 cycles per thread. CI smoke mode passes a
@@ -32,9 +33,17 @@
 ///   --json=FILE  additionally emit the measurements as JSON (the
 ///                BENCH_service artifact; the CI bench job reads
 ///                .overload.speedup from it)
+///   --trace=FILE run an extra observed pass (full observability on)
+///                and write its Chrome trace-event JSON to FILE — load
+///                it in Perfetto / chrome://tracing. The pass
+///                interleaves checked work with forced drain ticks so
+///                the trace carries check, alloc and service events.
+///   --metrics=FILE write the observed pass's Prometheus metrics text
+///                to FILE (implies the observed pass, like --trace).
 ///
 //===----------------------------------------------------------------------===//
 
+#include "obs/Trace.h"
 #include "service/Supervisor.h"
 
 #include <chrono>
@@ -197,14 +206,99 @@ void writeJson(const char *Path, unsigned Iters, double FullChecks,
   std::fclose(F);
 }
 
+bool writeFile(const char *Path, const std::string &Data,
+               const char *What) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "service_throughput: cannot write %s %s\n", What,
+                 Path);
+    return false;
+  }
+  std::fwrite(Data.data(), 1, Data.size(), F);
+  std::fclose(F);
+  return true;
+}
+
+/// One fully-observed pass: tracing + metrics + profiling armed, the
+/// overload mix interleaved with forced drain ticks so the resulting
+/// trace carries events from the check layer (slow-path misses), the
+/// alloc layer (magazine refills / quarantine flushes) and the service
+/// layer (drain ticks, snapshot emissions) in one timeline.
+void runObserved(const char *TracePath, const char *MetricsPath,
+                 unsigned Iters) {
+  if (!obs::compiledIn()) {
+    std::fprintf(stderr, "service_throughput: observability compiled out "
+                         "(EFFSAN_OBS_OFF); --trace/--metrics skipped\n");
+    return;
+  }
+  Supervisor Sup(countingService(1, /*Governor=*/true));
+  TenantId T = Sup.openTenant("observed");
+  const TypeInfo *IntTy;
+  {
+    Supervisor::Lease Probe = Sup.lease(T);
+    IntTy = Probe->types().getInt();
+  }
+
+  obs::Tracer::instance().start();
+  obs::setFlags(obs::TraceFlag | obs::MetricsFlag | obs::ProfileFlag);
+
+  unsigned Chunk = Iters / 8 ? Iters / 8 : 1;
+  uint64_t Sink = 0;
+  {
+    Supervisor::Lease L = Sup.lease(T);
+    for (unsigned Round = 0; Round < 8; ++Round) {
+      Sink += overloadWork(L.session(), IntTy, Chunk);
+      // An allocation burst deep enough to turn the TLS magazine over
+      // (refills + overflow flushes) and batch up quarantined frees.
+      void *Blocks[512];
+      for (void *&B : Blocks)
+        B = L->malloc(64, IntTy);
+      for (void *B : Blocks)
+        L->free(B);
+      Sup.tick();
+    }
+  }
+  // Close the tenant under trace: the recycling tick records the
+  // concurrent layer's session reset and the allocator's shard rewind.
+  Sup.closeTenant(T);
+  Sup.tick();
+  if (Sink == uint64_t(-1))
+    std::printf("impossible\n");
+
+  obs::Tracer::instance().stop();
+
+  if (TracePath) {
+    std::string Json;
+    uint64_t Events = obs::Tracer::instance().exportChromeJson(Json);
+    if (writeFile(TracePath, Json, "trace"))
+      std::printf("\nobserved pass: %llu trace events -> %s "
+                  "(%llu dropped)\n",
+                  static_cast<unsigned long long>(Events), TracePath,
+                  static_cast<unsigned long long>(
+                      obs::Tracer::instance().dropped()));
+  }
+  if (MetricsPath) {
+    std::string Text = Sup.metricsText();
+    if (writeFile(MetricsPath, Text, "metrics"))
+      std::printf("observed pass: metrics -> %s\n", MetricsPath);
+  }
+  obs::setFlags(0);
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
   unsigned Iters = 200000;
   const char *JsonPath = nullptr;
+  const char *TracePath = nullptr;
+  const char *MetricsPath = nullptr;
   for (int I = 1; I < argc; ++I) {
     if (std::strncmp(argv[I], "--json=", 7) == 0)
       JsonPath = argv[I] + 7;
+    else if (std::strncmp(argv[I], "--trace=", 8) == 0)
+      TracePath = argv[I] + 8;
+    else if (std::strncmp(argv[I], "--metrics=", 10) == 0)
+      MetricsPath = argv[I] + 10;
     else
       Iters = static_cast<unsigned>(std::atoi(argv[I]));
   }
@@ -245,6 +339,8 @@ int main(int argc, char **argv) {
 
   if (JsonPath)
     writeJson(JsonPath, Iters, FullChecks, DegradedChecks, Churn);
+  if (TracePath || MetricsPath)
+    runObserved(TracePath, MetricsPath, Iters);
 
   std::printf("\nThe overload rows are per-shard; scaling across shards "
               "lives in bench/mt_throughput.\n");

@@ -47,7 +47,7 @@ extern "C" {
  *===--------------------------------------------------------------------===*/
 
 #define EFFSAN_ABI_VERSION_MAJOR 1
-#define EFFSAN_ABI_VERSION_MINOR 5
+#define EFFSAN_ABI_VERSION_MINOR 6
 #define EFFSAN_ABI_VERSION                                                   \
   ((EFFSAN_ABI_VERSION_MAJOR << 16) | EFFSAN_ABI_VERSION_MINOR)
 
@@ -599,6 +599,13 @@ typedef struct effsan_service_options {
   double restore_fraction;     /* 0..1; default 0.5                   */
   uint32_t degrade_ticks;      /* default 2                           */
   uint32_t restore_ticks;      /* default 4                           */
+  /* --- added in ABI 1.6 (older callers' shorter struct_size keeps
+   *     the defaults for everything below) --- */
+  /* EWMA window (in ticks) smoothing the governor's pressure signals
+   * before the thresholds above are evaluated; 0 or 1 = raw per-tick
+   * deltas (the pre-1.6 behaviour). */
+  uint32_t governor_ewma_ticks;
+  uint32_t reserved2_;
 } effsan_service_options;
 
 /* Fills *options with the defaults above. */
@@ -717,6 +724,8 @@ typedef struct effsan_service_stats {
   uint64_t policy_restores;
   uint64_t issues_found;     /* central reporter's distinct issues    */
   uint64_t snapshots_emitted;
+  /* --- added in ABI 1.6 --- */
+  uint64_t snapshots_skipped; /* dirty-flag skipped emissions         */
 } effsan_service_stats;
 
 void effsan_service_get_stats(effsan_service *service,
@@ -756,6 +765,112 @@ void effsan_service_set_error_callback(effsan_service *service,
 void effsan_service_set_error_callback_v2(effsan_service *service,
                                           effsan_error_callback_v2 callback,
                                           void *user_data);
+
+/*===--------------------------------------------------------------------===*/
+/* Observability (since 1.6)                                               */
+/*                                                                         */
+/* Three independently toggleable process-wide facilities, all of which    */
+/* cost one relaxed flag load on the hot path when off and nothing at all  */
+/* when the library was built with EFFSAN_OBS_OFF:                         */
+/*                                                                         */
+/*   - trace:   per-thread lock-free event rings recording runtime events  */
+/*              (check slow paths, magazine refills/flushes, quarantine    */
+/*              batches, steals, shard recycles, drain ticks, governor     */
+/*              steps, snapshot emissions), exportable as Chrome           */
+/*              trace-event JSON (load it in Perfetto / about:tracing).    */
+/*   - metrics: a registry of named counters, gauges and log2-bucketed     */
+/*              histograms rendered in Prometheus text exposition format.  */
+/*   - profile: per-session hot-site accounting (hits and cache misses    */
+/*              per check site, resolved to file:line:column).             */
+/*===--------------------------------------------------------------------===*/
+
+#define EFFSAN_OBS_TRACE   (1u << 0)
+#define EFFSAN_OBS_METRICS (1u << 1)
+#define EFFSAN_OBS_PROFILE (1u << 2)
+
+/* Replaces the process-wide observability flag set (a bitwise OR of the
+ * EFFSAN_OBS_* flags above; unknown bits are ignored) and returns the
+ * previous set. Takes effect immediately on every thread. Returns 0 and
+ * does nothing when the library was built with EFFSAN_OBS_OFF.
+ *
+ * Note effsan_obs_trace_start below sets EFFSAN_OBS_TRACE itself;
+ * enabling the trace flag without a started tracer records nothing. */
+uint32_t effsan_obs_enable(uint32_t flags);
+
+/* The currently enabled flag set (0 under EFFSAN_OBS_OFF). */
+uint32_t effsan_obs_flags(void);
+
+/* Nonzero when the library was built with observability compiled in
+ * (i.e. without EFFSAN_OBS_OFF). */
+int effsan_obs_compiled_in(void);
+
+/* Starts a tracing session: discards any events from a previous
+ * session, (re)sizes the per-thread rings to `ring_capacity` slots
+ * (rounded up to a power of two; 0 = default 16384) and sets
+ * EFFSAN_OBS_TRACE. Each thread that subsequently records an event
+ * lazily registers its own ring; a full ring drops new events and
+ * counts the drop rather than blocking. Returns nonzero on success, 0
+ * under EFFSAN_OBS_OFF. */
+int effsan_obs_trace_start(uint32_t ring_capacity);
+
+/* Clears EFFSAN_OBS_TRACE. Already-recorded events remain exportable. */
+void effsan_obs_trace_stop(void);
+
+/* Receives one chunk of rendered output. `data` is valid only during
+ * the call and is NOT NUL-terminated; `len` is its byte length. */
+typedef void (*effsan_obs_write_fn)(const char *data, size_t len,
+                                    void *user_data);
+
+/* Renders every collected event as one Chrome trace-event JSON
+ * document ({"displayTimeUnit":"ms","traceEvents":[...]}) through
+ * `write` and returns the number of events exported. Collects all
+ * per-thread rings first; safe to call while tracing is active (the
+ * export is a consistent prefix). */
+uint64_t effsan_obs_trace_export(effsan_obs_write_fn write,
+                                 void *user_data);
+
+/* Events dropped so far across all rings in the current tracing
+ * session (ring-full drops plus collector-overflow drops). */
+uint64_t effsan_obs_trace_dropped(void);
+
+/* Renders the process-global metrics registry (check-latency
+ * histograms and anything the embedder registered) in Prometheus text
+ * exposition format through `write`. */
+void effsan_obs_metrics_render(effsan_obs_write_fn write,
+                               void *user_data);
+
+/* Renders a service's metrics registry — refreshed from live service,
+ * pool and heap state at the moment of the call — followed by the
+ * process-global registry. */
+void effsan_service_metrics_render(effsan_service *service,
+                                   effsan_obs_write_fn write,
+                                   void *user_data);
+
+/* One hot check site, as returned by effsan_obs_hot_sites. The string
+ * pointers point into the session's site registry and stay valid for
+ * the session's lifetime; file is "" (never NULL) for unresolvable
+ * sites (unregistered ids, pseudo-sites). */
+typedef struct effsan_obs_site {
+  uint32_t site;         /* rebased site id                            */
+  uint32_t line;         /* 1-based; 0 = unknown                       */
+  uint32_t column;       /* 1-based; 0 = unknown                       */
+  uint32_t reserved_;
+  uint64_t hits;         /* fast-path type checks, SAMPLED 1-in-16     */
+  uint64_t misses;       /* slow-path type checks (exact)              */
+  uint64_t error_events; /* error events attributed to the site        */
+  const char *file;      /* "" when unresolved                         */
+  const char *function;  /* NULL when unknown                          */
+} effsan_obs_site;
+
+/* Fills `out` with up to `capacity` of the session's hottest check
+ * sites (ordered by hits + misses, descending) observed while
+ * EFFSAN_OBS_PROFILE was enabled, and returns the number written.
+ * Profiling uses a fixed-size direct-mapped table: two sites hashing
+ * to the same slot keep the first claimant (collisions are counted,
+ * not chained), so the result is a statistical top-N, not an exact
+ * one. Returns 0 under EFFSAN_OBS_OFF or when profiling never ran. */
+uint32_t effsan_obs_hot_sites(effsan_session *session,
+                              effsan_obs_site *out, uint32_t capacity);
 
 #ifdef __cplusplus
 } /* extern "C" */

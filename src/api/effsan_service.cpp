@@ -161,6 +161,7 @@ effsan_service_create(const effsan_service_options *options) {
     Opts.Governor.DegradeTicks = Defaults.degrade_ticks;
   if (Defaults.restore_ticks)
     Opts.Governor.RestoreTicks = Defaults.restore_ticks;
+  Opts.Governor.EwmaTicks = Defaults.governor_ewma_ticks;
 
   return new (std::nothrow) effsan_service(Opts);
 }
@@ -291,6 +292,7 @@ void effsan_service_get_stats(effsan_service *service,
   Full.policy_restores = S.PolicyRestores;
   Full.issues_found = S.IssuesFound;
   Full.snapshots_emitted = S.SnapshotsEmitted;
+  Full.snapshots_skipped = S.SnapshotsSkipped;
   size_t N = out->struct_size;
   if (N > sizeof(Full)) {
     // A caller built against a future, larger struct: zero the tail so
@@ -320,6 +322,15 @@ void effsan_service_set_snapshot_hook(effsan_service *service,
                                       void *user_data,
                                       uint32_t every_ticks) {
   service->Sup.setSnapshotHook(hook, user_data, every_ticks);
+}
+
+void effsan_service_metrics_render(effsan_service *service,
+                                   effsan_obs_write_fn write,
+                                   void *user_data) {
+  if (!service || !write)
+    return;
+  std::string Text = service->Sup.metricsText();
+  write(Text.data(), Text.size(), user_data);
 }
 
 void effsan_service_set_error_callback(effsan_service *service,

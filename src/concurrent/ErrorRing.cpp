@@ -6,6 +6,8 @@
 
 #include "concurrent/ErrorRing.h"
 
+#include "obs/Trace.h"
+
 #include <bit>
 
 using namespace effective;
@@ -39,6 +41,7 @@ bool ErrorRing::tryPush(const ErrorInfo &Info) {
     } else if (Diff < 0) {
       // The cell still holds last lap's event: the ring is full.
       Overflows.fetch_add(1, std::memory_order_relaxed);
+      EFFSAN_OBS_EVENT(RingOverflow, ::effective::obs::NoShard, Mask + 1);
       return false;
     } else {
       // Another producer claimed this position; chase the head.

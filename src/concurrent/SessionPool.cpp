@@ -6,6 +6,8 @@
 
 #include "concurrent/SessionPool.h"
 
+#include "obs/Trace.h"
+
 #include <unordered_map>
 
 using namespace effective;
@@ -109,4 +111,5 @@ void SessionPool::resetShard(unsigned Index) {
   // Flush events the shard produced before its state disappears.
   drain();
   Shards[Index]->reset();
+  EFFSAN_OBS_EVENT(SessionReset, Index, Index);
 }

@@ -7,6 +7,7 @@
 #include "core/Runtime.h"
 
 #include "core/Layout.h"
+#include "obs/Metrics.h"
 
 #include <cassert>
 #include <cstring>
@@ -170,6 +171,8 @@ void Runtime::reset() {
   // abandoned on next use instead of replaying pointers into the
   // recycled arena.
   Epoch = nextRuntimeEpoch();
+  // Hot-site counts name the previous tenant's sites; start fresh.
+  Prof.reset();
 }
 
 void *Runtime::stackAllocate(size_t Size, const TypeInfo *Type) {
@@ -355,9 +358,33 @@ Bounds Runtime::typeCheckImpl(const void *Ptr, const TypeInfo *StaticType,
 Bounds Runtime::typeCheckSlow(const void *Ptr, const TypeInfo *StaticType,
                               SiteId Site, const MetaHeader *Meta) {
   CheckCounters::bump(Counters.TypeCheckCacheMisses);
+  if (EFFSAN_UNLIKELY(obs::profileActive()))
+    Prof.noteMiss(Site);
+  EFFSAN_OBS_EVENT(CheckSlowPath, Shard, Site);
   SiteCacheEntry *Fill =
       Cache.enabled() ? Cache.setFor(Site) : nullptr;
   return typeCheckImpl(Ptr, StaticType, Meta, Fill, Site);
+}
+
+Bounds Runtime::typeCheckTimed(const void *Ptr, const TypeInfo *StaticType,
+                               SiteId Site) {
+  // Classify the sampled check by whether it stayed on the inline-cache
+  // hit path: any miss or legacy resolution bumps one of these two
+  // counters. Same-thread reads of the relaxed counters see the bump.
+  uint64_t SlowBefore =
+      Counters.TypeCheckCacheMisses.load(std::memory_order_relaxed) +
+      Counters.LegacyTypeChecks.load(std::memory_order_relaxed);
+  uint64_t Start = obs::now();
+  Bounds B = typeCheckBody(Ptr, StaticType, Site);
+  uint64_t Ticks = obs::now() - Start;
+  uint64_t SlowAfter =
+      Counters.TypeCheckCacheMisses.load(std::memory_order_relaxed) +
+      Counters.LegacyTypeChecks.load(std::memory_order_relaxed);
+  if (SlowAfter != SlowBefore)
+    obs::checkSlowLatency().observe(Ticks);
+  else
+    obs::checkFastLatency().observe(Ticks);
+  return B;
 }
 
 Bounds Runtime::typeCheckUncached(const void *Ptr,

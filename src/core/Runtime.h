@@ -37,6 +37,8 @@
 #include "lowfat/GlobalPool.h"
 #include "lowfat/LowFatHeap.h"
 #include "lowfat/StackPool.h"
+#include "obs/SiteProfiler.h"
+#include "obs/Trace.h"
 #include "support/Compiler.h"
 
 #include <atomic>
@@ -226,7 +228,31 @@ public:
   EFFSAN_ALWAYS_INLINE Bounds typeCheck(const void *Ptr,
                                         const TypeInfo *StaticType,
                                         SiteId Site) {
-    CheckCounters::bump(Counters.TypeChecks);
+    // The bump is the usual non-RMW relaxed idiom, open-coded so the
+    // pre-increment count doubles as the latency sampler's decimator:
+    // with metrics armed, every 1024th check diverts through the timed
+    // (noinline) wrapper that feeds the latency histograms. The
+    // decimator tests BEFORE the flag — the mask test is on a value
+    // already in a register and is false 1023 times in 1024 whether or
+    // not metrics are armed, so arming changes the executed
+    // instruction stream only on the sampled checks (the flag load
+    // moves off the common path entirely). With observability compiled
+    // out the whole test folds to nothing.
+    uint64_t NChecks = Counters.TypeChecks.load(std::memory_order_relaxed);
+    Counters.TypeChecks.store(NChecks + 1, std::memory_order_relaxed);
+    if (EFFSAN_UNLIKELY((NChecks & obs::CheckSampleMask) == 0 &&
+                        obs::metricsActive()))
+      return typeCheckTimed(Ptr, StaticType, Site);
+    return typeCheckBody(Ptr, StaticType, Site);
+  }
+
+  /// typeCheck minus the TypeChecks bump and the sampling decimator:
+  /// the inline-cache probe and the slow-path dispatch. Private in
+  /// spirit; public so the timed wrapper's definition stays out of
+  /// line without friend gymnastics.
+  EFFSAN_ALWAYS_INLINE Bounds typeCheckBody(const void *Ptr,
+                                            const TypeInfo *StaticType,
+                                            SiteId Site) {
     void *Base = Heap.allocationBase(Ptr);
     if (EFFSAN_UNLIKELY(!Base)) {
       CheckCounters::bump(Counters.LegacyTypeChecks);
@@ -272,7 +298,20 @@ public:
                      LayoutTable::normalizeOffsetRaw(P - ObjBase,
                                                      AllocSize, SzT,
                                                      Fam) == NK))) {
-              CheckCounters::bump(Counters.TypeCheckCacheHits);
+              // Open-coded bump so the hit count doubles as the
+              // profiler's decimator (see ProfileSampleMask). The
+              // mask tests before the flag for the same reason as the
+              // latency sampler above: 15 hits in 16 skip both the
+              // flag load and the profiler whether or not profiling
+              // is armed.
+              uint64_t NHits = Counters.TypeCheckCacheHits.load(
+                  std::memory_order_relaxed);
+              Counters.TypeCheckCacheHits.store(
+                  NHits + 1, std::memory_order_relaxed);
+              if (EFFSAN_UNLIKELY(
+                      (NHits & obs::ProfileSampleMask) == 0 &&
+                      obs::profileActive()))
+                Prof.noteHit(Site);
               Bounds AllocBounds{ObjBase, ObjBase + AllocSize};
               return relativeBoundsToAbsolute(RelLo, RelHi, P,
                                               AllocBounds);
@@ -356,6 +395,11 @@ public:
   /// The session's type-check inline cache (tests and statistics).
   SiteCache &siteCache() { return Cache; }
 
+  /// The session's hot check-site profiler (counts only while
+  /// obs::ProfileFlag is set; see obs/SiteProfiler.h).
+  obs::SiteProfiler &profiler() { return Prof; }
+  const obs::SiteProfiler &profiler() const { return Prof; }
+
   /// The registry error sites are attributed against (private by
   /// default, pool-shared when RuntimeOptions::SharedSites was set).
   /// Module loaders register their SiteTable here and rebase the
@@ -371,6 +415,14 @@ private:
   EFFSAN_NOINLINE Bounds typeCheckSlow(const void *Ptr,
                                        const TypeInfo *StaticType,
                                        SiteId Site, const MetaHeader *Meta);
+  /// The latency sampler's landing pad: runs typeCheckBody under an
+  /// obs::now() timer and observes the fast- or slow-path histogram
+  /// (classified by whether the check left the inline-cache fast
+  /// path). Noinline so the sampling machinery never bloats the
+  /// inlined check.
+  EFFSAN_NOINLINE Bounds typeCheckTimed(const void *Ptr,
+                                        const TypeInfo *StaticType,
+                                        SiteId Site);
   /// Shared core of typeCheckSlow/typeCheckUncached; publishes the
   /// successful layout resolution into \p Fill's cache set (when
   /// non-null, the first way of the site's set); attributes any error
@@ -402,6 +454,9 @@ private:
   const TypeInfo *VoidPtrType;
   /// The site-indexed type-check inline cache (see core/SiteCache.h).
   SiteCache Cache;
+  /// Hot check-site hit/miss counters (observability layer; zero-size
+  /// and never touched when EFFSAN_OBS_OFF).
+  obs::SiteProfiler Prof;
   /// Site attribution: private registry unless the options injected a
   /// shared (pool-wide) one. Survives reset() — attribution metadata
   /// is immutable and names no heap addresses.

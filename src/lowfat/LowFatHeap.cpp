@@ -6,6 +6,7 @@
 
 #include "lowfat/LowFatHeap.h"
 
+#include "obs/Trace.h"
 #include "support/Compiler.h"
 
 #include <bit>
@@ -369,11 +370,13 @@ bool LowFatHeap::refillMagazine(ThreadCache &TC, unsigned ClassIndex,
   }
   void **Slots = TC.slots(ClassIndex);
   uint16_t &N = TC.Counts[ClassIndex];
+  uint16_t Before = N;
   while (N < MagSize && Spare) {
     Slots[N++] = reinterpret_cast<char *>(Spare) - FreeLinkOffset;
     Spare = Spare->Next;
   }
   ++TC.RefillTally;
+  EFFSAN_OBS_EVENT(MagazineRefill, Shard, N - Before);
   return true;
 }
 
@@ -398,6 +401,7 @@ void LowFatHeap::flushMagazineHalf(ThreadCache &TC, unsigned ClassIndex) {
   pushFreeChain(subRegion(ClassIndex, TC.BoundShard), First, Prev);
   std::memmove(Slots, Slots + Flush, (N - Flush) * sizeof(void *));
   TC.Counts[ClassIndex] = static_cast<uint16_t>(N - Flush);
+  EFFSAN_OBS_EVENT(MagazineFlush, TC.BoundShard, Flush);
 }
 
 /// Pushes every magazine block and spare chain back to the bound
@@ -585,11 +589,13 @@ void *LowFatHeap::allocateExhausted(size_t Size, unsigned ClassIndex,
         }
         Counters[Shard].Steals.fetch_add(1, std::memory_order_relaxed);
         noteAlloc(Victim, Block, /*Legacy=*/false);
+        EFFSAN_OBS_EVENT(Steal, Shard, Victim);
         return reinterpret_cast<char *>(All) - FreeLinkOffset;
       }
       if (void *Result = bumpAlloc(Sub, Block)) {
         Counters[Shard].Steals.fetch_add(1, std::memory_order_relaxed);
         noteAlloc(Victim, Block, /*Legacy=*/false);
+        EFFSAN_OBS_EVENT(Steal, Shard, Victim);
         return Result;
       }
     }
@@ -697,6 +703,8 @@ void LowFatHeap::quarantineBlock(void *Ptr, unsigned ClassIndex,
 
 void LowFatHeap::flushPendingQuarantine(ThreadCache &TC) {
   auto &Pending = TC.Pending;
+  if (!Pending.empty())
+    EFFSAN_OBS_EVENT(QuarantineFlush, Pending.front().Shard, Pending.size());
   size_t I = 0;
   while (I < Pending.size()) {
     unsigned Shard = Pending[I].Shard;
@@ -824,6 +832,8 @@ void LowFatHeap::resetShard(unsigned Shard) {
   C.MagazineRefills.store(0, std::memory_order_relaxed);
   C.Steals.store(0, std::memory_order_relaxed);
   C.ExhaustFallbacks.store(0, std::memory_order_relaxed);
+  EFFSAN_OBS_EVENT(ShardRecycle,
+                   Shard, ShardEpochs[Shard].load(std::memory_order_relaxed));
 }
 
 HeapStats LowFatHeap::shardStats(unsigned Shard) const {
@@ -874,6 +884,16 @@ HeapStats LowFatHeap::stats() const {
     Sum.ExhaustFallbacks += Part.ExhaustFallbacks;
   }
   return Sum;
+}
+
+uint64_t LowFatHeap::classCarvedBytes(unsigned ClassIndex) const {
+  assert(ClassIndex < NumSizeClasses && "class index out of range");
+  uint64_t Total = 0;
+  for (unsigned S = 0; S < Shards; ++S) {
+    const SubRegion &Sub = subRegion(ClassIndex, S);
+    Total += Sub.Bump.load(std::memory_order_relaxed) - Sub.Begin;
+  }
+  return Total;
 }
 
 void LowFatHeap::resetPeaks() {

@@ -250,6 +250,12 @@ public:
   /// Snapshot of one shard's statistics.
   HeapStats shardStats(unsigned Shard) const;
 
+  /// Bytes carved from one size class's region across all shards
+  /// (bump-pointer high-water marks; freed blocks stay carved until
+  /// their shard is recycled). Feeds the per-class heap-occupancy
+  /// gauges of the observability layer.
+  uint64_t classCarvedBytes(unsigned ClassIndex) const;
+
   /// Resets the peak counters to the current values (used between
   /// benchmark phases).
   void resetPeaks();

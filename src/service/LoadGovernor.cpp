@@ -51,26 +51,47 @@ LoadGovernor::LoadGovernor(const GovernorOptions &Options,
                            unsigned NumShards, CheckPolicy BasePolicy)
     : Opts(Options), Base(BasePolicy), States(NumShards) {}
 
-bool LoadGovernor::pressured(const ShardSample &S) const {
-  return S.Checks >= Opts.CheckRateHigh ||
-         S.Allocs >= Opts.AllocRateHigh ||
+bool LoadGovernor::pressured(const Smoothed &S) const {
+  return S.Checks >= static_cast<double>(Opts.CheckRateHigh) ||
+         S.Allocs >= static_cast<double>(Opts.AllocRateHigh) ||
          S.RingOccupancy >= Opts.RingOccupancyHigh;
 }
 
-bool LoadGovernor::calm(const ShardSample &S) const {
+bool LoadGovernor::calm(const Smoothed &S) const {
   double F = Opts.RestoreFraction;
-  return static_cast<double>(S.Checks) <
-             static_cast<double>(Opts.CheckRateHigh) * F &&
-         static_cast<double>(S.Allocs) <
-             static_cast<double>(Opts.AllocRateHigh) * F &&
+  return S.Checks < static_cast<double>(Opts.CheckRateHigh) * F &&
+         S.Allocs < static_cast<double>(Opts.AllocRateHigh) * F &&
          S.RingOccupancy < Opts.RingOccupancyHigh * F;
 }
 
+LoadGovernor::Smoothed LoadGovernor::smooth(ShardState &St,
+                                            const ShardSample &Sample) const {
+  Smoothed Raw{static_cast<double>(Sample.Checks),
+               static_cast<double>(Sample.Allocs), Sample.RingOccupancy};
+  if (Opts.EwmaTicks <= 1)
+    return Raw; // Smoothing off: thresholds see the per-tick deltas.
+  if (!St.Seeded) {
+    St.Avg = Raw;
+    St.Seeded = true;
+    return St.Avg;
+  }
+  double Alpha = 2.0 / (static_cast<double>(Opts.EwmaTicks) + 1.0);
+  St.Avg.Checks += Alpha * (Raw.Checks - St.Avg.Checks);
+  St.Avg.Allocs += Alpha * (Raw.Allocs - St.Avg.Allocs);
+  St.Avg.RingOccupancy += Alpha * (Raw.RingOccupancy - St.Avg.RingOccupancy);
+  return St.Avg;
+}
+
 LoadGovernor::Decision LoadGovernor::observe(unsigned Shard,
-                                             const ShardSample &Sample) {
+                                             const ShardSample &RawSample) {
   assert(Shard < States.size() && "shard index out of range");
   ShardState &St = States[Shard];
   Decision D{St.Level, false, false};
+
+  // The state machine below is unchanged from the per-tick-delta
+  // version — hysteresis streaks, dead-band hold, one step per window —
+  // it just consumes the smoothed signals.
+  Smoothed Sample = smooth(St, RawSample);
 
   if (pressured(Sample)) {
     St.CalmTicks = 0;

@@ -61,6 +61,15 @@ struct GovernorOptions {
   unsigned DegradeTicks = 2;
   /// Consecutive calm ticks before one restore step.
   unsigned RestoreTicks = 4;
+  /// Effective window (in ticks) of the EWMA applied to each pressure
+  /// signal before the thresholds are evaluated: alpha = 2/(N+1), the
+  /// usual span convention, seeded with the first sample. 0 or 1
+  /// disables smoothing (raw per-tick deltas — the pre-EWMA
+  /// behaviour). Smoothing makes short drain intervals less twitchy: a
+  /// single-tick spike in an otherwise calm stream no longer resets
+  /// the restore streak, and an alternating hot/cold load averages to
+  /// its mean instead of flapping the ladder.
+  unsigned EwmaTicks = 0;
 };
 
 /// One shard's pressure sample for one drain tick (deltas since the
@@ -109,14 +118,31 @@ public:
   const GovernorOptions &options() const { return Opts; }
 
 private:
-  bool pressured(const ShardSample &S) const;
-  bool calm(const ShardSample &S) const;
+  /// A shard's signals after EWMA smoothing (== the raw sample when
+  /// EwmaTicks <= 1).
+  struct Smoothed {
+    double Checks = 0.0;
+    double Allocs = 0.0;
+    double RingOccupancy = 0.0;
+  };
+
+  bool pressured(const Smoothed &S) const;
+  bool calm(const Smoothed &S) const;
 
   struct ShardState {
     unsigned Level = 0;
     unsigned HotTicks = 0;
     unsigned CalmTicks = 0;
+    /// EWMA accumulators; seeded from the first observed sample so a
+    /// fresh shard does not "warm up" from zero (which would read as
+    /// spuriously calm under load).
+    Smoothed Avg;
+    bool Seeded = false;
   };
+
+  /// Folds \p Sample into \p St's EWMA and returns the smoothed
+  /// signals the thresholds should see this tick.
+  Smoothed smooth(ShardState &St, const ShardSample &Sample) const;
 
   GovernorOptions Opts;
   CheckPolicy Base;

@@ -7,6 +7,8 @@
 #include "service/Supervisor.h"
 
 #include "lowfat/LowFatHeap.h"
+#include "lowfat/SizeClass.h"
+#include "obs/Trace.h"
 
 #include <cassert>
 #include <chrono>
@@ -46,6 +48,7 @@ Supervisor::Supervisor(const ServiceOptions &Options)
       IntervalMicros(Options.DrainIntervalMicros
                          ? Options.DrainIntervalMicros
                          : 2000) {
+  initMetrics();
   Drainer = std::thread([this] { drainLoop(); });
 }
 
@@ -109,6 +112,7 @@ uint64_t Supervisor::drainAttributed() {
 
 uint64_t Supervisor::runTick() {
   concurrent::ErrorRing &Ring = Pool.ring();
+  uint64_t TickStart = obs::now();
 
   // Ring occupancy is sampled *before* the drain: it reflects the
   // pressure the mutators built up over the interval, not the empty
@@ -118,6 +122,12 @@ uint64_t Supervisor::runTick() {
 
   uint64_t Events = drainAttributed();
   DrainTicks.fetch_add(1, std::memory_order_relaxed);
+
+  // The drain thread doubles as the tracing layer's collector: moving
+  // the per-thread rings' contents into the tracer's buffer every tick
+  // keeps long traced runs from overflowing the fixed-size rings.
+  if (obs::traceActive())
+    obs::Tracer::instance().collect();
 
   // Pool-wide abort threshold, fired from the drainer (a shard's own
   // reporter only ever sees that shard's events, so only this thread
@@ -147,6 +157,7 @@ uint64_t Supervisor::runTick() {
     Events += drainAttributed();
     for (unsigned Shard : Due) {
       Pool.shard(Shard).reset();
+      EFFSAN_OBS_EVENT(SessionReset, Shard, Shard);
       Pool.shard(Shard).setPolicy(BasePolicy);
       Governor.resetShard(Shard);
       LastCheckSum[Shard] = 0;
@@ -180,6 +191,7 @@ uint64_t Supervisor::runTick() {
         PolicyDegrades.fetch_add(1, std::memory_order_relaxed);
       else
         PolicyRestores.fetch_add(1, std::memory_order_relaxed);
+      EFFSAN_OBS_EVENT(GovernorStep, Shard, D.Level);
     }
   }
 
@@ -193,14 +205,42 @@ uint64_t Supervisor::runTick() {
     HookData = SnapshotUserData;
     Every = SnapshotEveryTicks;
   }
+  // Short-circuit on a null hook (or a zero cadence): rendering a
+  // document nobody receives would charge every drain tick for
+  // nothing. The guard predates the dirty flag; keep both.
   if (Hook && Every) {
     if (++TicksSinceSnapshot >= Every) {
       TicksSinceSnapshot = 0;
-      std::string Json = snapshotJson();
-      Hook(Json.c_str(), HookData);
-      SnapshotsEmitted.fetch_add(1, std::memory_order_relaxed);
+      // Dirty flag: when nothing externally observable moved since the
+      // last emission, skip the render and the hook. High every_ticks
+      // rates over an idle service then cost one signature hash per
+      // cadence instead of a full JSON render.
+      uint64_t Sig = activitySignature();
+      if (HaveSnapshotSignature && Sig == LastSnapshotSignature) {
+        SnapshotsSkipped.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        LastSnapshotSignature = Sig;
+        HaveSnapshotSignature = true;
+        std::string Json = snapshotJson();
+        Hook(Json.c_str(), HookData);
+        SnapshotsEmitted.fetch_add(1, std::memory_order_relaxed);
+        EFFSAN_OBS_EVENT(SnapshotEmit, ::effective::obs::NoShard,
+                         Json.size());
+      }
     }
   }
+
+  // Refresh the metrics mirror and close out the tick's duration
+  // sample. Everything here is set/observe on preregistered metrics —
+  // no allocation on the steady-state path.
+  if (obs::metricsActive()) {
+    ServiceStats S = stats();
+    updateMetrics(S, Occupancy);
+    Metrics.RingOccupancyPctHist->observe(
+        static_cast<uint64_t>(Occupancy * 100.0));
+    Metrics.DrainTickTicks->observe(obs::now() - TickStart);
+  }
+  EFFSAN_OBS_SPAN(DrainTick, ::effective::obs::NoShard, Events, TickStart);
 
   return Events;
 }
@@ -343,7 +383,181 @@ ServiceStats Supervisor::stats() {
   S.PolicyRestores = PolicyRestores.load(std::memory_order_relaxed);
   S.IssuesFound = Pool.reporter().numIssues();
   S.SnapshotsEmitted = SnapshotsEmitted.load(std::memory_order_relaxed);
+  S.SnapshotsSkipped = SnapshotsSkipped.load(std::memory_order_relaxed);
   return S;
+}
+
+uint64_t Supervisor::activitySignature() {
+  auto Mix = [](uint64_t H, uint64_t V) {
+    return H ^ (V + 0x9e3779b97f4a7c15ull + (H << 6) + (H >> 2));
+  };
+  ServiceStats S = stats();
+  uint64_t H = 0xcbf29ce484222325ull;
+  H = Mix(H, S.TenantsOpen);
+  H = Mix(H, S.TenantsOpenedTotal);
+  H = Mix(H, S.TenantsEvicted);
+  H = Mix(H, S.TenantsClosed);
+  H = Mix(H, S.LeasesGranted);
+  H = Mix(H, S.LeasesRefused);
+  H = Mix(H, S.DrainedEvents);
+  H = Mix(H, S.RingOverflows);
+  H = Mix(H, S.PolicyDegrades);
+  H = Mix(H, S.PolicyRestores);
+  H = Mix(H, S.IssuesFound);
+  for (unsigned Shard = 0; Shard < NumShards; ++Shard)
+    H = Mix(H, checkSumOf(Shard));
+  lowfat::HeapStats HS = Pool.heap().stats();
+  H = Mix(H, HS.NumAllocs);
+  H = Mix(H, HS.NumFrees);
+  H = Mix(H, HS.BlockBytesInUse);
+  return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Metrics
+//===----------------------------------------------------------------------===//
+
+void Supervisor::initMetrics() {
+  Metrics.TenantsOpenedTotal = &Registry.counter(
+      "effsan_service_tenants_opened_total", "Tenant slots ever opened");
+  Metrics.TenantsEvictedTotal = &Registry.counter(
+      "effsan_service_tenants_evicted_total",
+      "Tenant evictions, including explicit closes");
+  Metrics.TenantsClosedTotal = &Registry.counter(
+      "effsan_service_tenants_closed_total", "Tenant slots fully recycled");
+  Metrics.LeasesGrantedTotal = &Registry.counter(
+      "effsan_service_leases_granted_total", "Shard leases granted");
+  Metrics.LeasesRefusedTotal = &Registry.counter(
+      "effsan_service_leases_refused_total",
+      "Shard leases refused at the quota gate");
+  Metrics.DrainTicksTotal = &Registry.counter(
+      "effsan_service_drain_ticks_total", "Drain-loop ticks completed");
+  Metrics.DrainedEventsTotal = &Registry.counter(
+      "effsan_service_drained_events_total",
+      "Error events drained from the pool ring");
+  Metrics.RingOverflowsTotal = &Registry.counter(
+      "effsan_service_ring_overflows_total",
+      "Error-ring pushes refused because the ring was full");
+  Metrics.PolicyDegradesTotal = &Registry.counter(
+      "effsan_service_policy_degrades_total", "Governor degrade steps");
+  Metrics.PolicyRestoresTotal = &Registry.counter(
+      "effsan_service_policy_restores_total", "Governor restore steps");
+  Metrics.IssuesFoundTotal = &Registry.counter(
+      "effsan_service_issues_found_total",
+      "Distinct issues in the central reporter");
+  Metrics.SnapshotsEmittedTotal = &Registry.counter(
+      "effsan_service_snapshots_emitted_total", "Snapshot hook invocations");
+  Metrics.SnapshotsSkippedTotal = &Registry.counter(
+      "effsan_service_snapshots_skipped_total",
+      "Snapshot cadences skipped by the dirty flag");
+  Metrics.TypeChecksTotal = &Registry.counter(
+      "effsan_checks_total", "Dynamic checks executed", "kind=\"type\"");
+  Metrics.BoundsChecksTotal = &Registry.counter(
+      "effsan_checks_total", "Dynamic checks executed", "kind=\"bounds\"");
+  Metrics.BoundsNarrowsTotal =
+      &Registry.counter("effsan_checks_total", "Dynamic checks executed",
+                        "kind=\"bounds_narrow\"");
+  Metrics.BoundsGetsTotal = &Registry.counter(
+      "effsan_checks_total", "Dynamic checks executed", "kind=\"bounds_get\"");
+  Metrics.LegacyTypeChecksTotal =
+      &Registry.counter("effsan_checks_total", "Dynamic checks executed",
+                        "kind=\"legacy_type\"");
+  Metrics.CacheHitsTotal = &Registry.counter(
+      "effsan_check_cache_hits_total", "Type-check inline-cache hits");
+  Metrics.CacheMissesTotal = &Registry.counter(
+      "effsan_check_cache_misses_total", "Type-check inline-cache misses");
+  Metrics.HeapAllocsTotal =
+      &Registry.counter("effsan_heap_allocs_total", "Heap allocations");
+  Metrics.HeapFreesTotal =
+      &Registry.counter("effsan_heap_frees_total", "Heap frees");
+  Metrics.MagazineHitsTotal = &Registry.counter(
+      "effsan_heap_magazine_hits_total", "Allocations served from a TLS "
+                                         "magazine");
+  Metrics.MagazineRefillsTotal = &Registry.counter(
+      "effsan_heap_magazine_refills_total", "TLS magazine refills");
+  Metrics.StealsTotal = &Registry.counter("effsan_heap_steals_total",
+                                          "Cross-shard refill steals");
+  Metrics.TenantsOpen =
+      &Registry.gauge("effsan_service_tenants_open", "Occupied tenant slots");
+  Metrics.RingOccupancyPct = &Registry.gauge(
+      "effsan_service_ring_occupancy_percent",
+      "Error-ring occupancy at the last tick start (percent)");
+  Metrics.BlockBytesInUse = &Registry.gauge(
+      "effsan_heap_block_bytes_in_use", "Live block bytes across shards");
+  Metrics.QuarantinedBytes = &Registry.gauge(
+      "effsan_heap_quarantined_bytes", "Bytes parked in free quarantine");
+  Metrics.DrainTickTicks = &Registry.histogram(
+      "effsan_service_drain_tick_duration_ticks",
+      "Drain tick wall duration (TSC ticks)");
+  Metrics.RingOccupancyPctHist = &Registry.histogram(
+      "effsan_service_ring_occupancy_pct",
+      "Error-ring occupancy sampled at tick start (percent)");
+  Metrics.ClassCarved.assign(lowfat::NumSizeClasses, nullptr);
+}
+
+void Supervisor::updateMetrics(const ServiceStats &S, double RingOccupancy) {
+  Metrics.TenantsOpenedTotal->set(S.TenantsOpenedTotal);
+  Metrics.TenantsEvictedTotal->set(S.TenantsEvicted);
+  Metrics.TenantsClosedTotal->set(S.TenantsClosed);
+  Metrics.LeasesGrantedTotal->set(S.LeasesGranted);
+  Metrics.LeasesRefusedTotal->set(S.LeasesRefused);
+  Metrics.DrainTicksTotal->set(S.DrainTicks);
+  Metrics.DrainedEventsTotal->set(S.DrainedEvents);
+  Metrics.RingOverflowsTotal->set(S.RingOverflows);
+  Metrics.PolicyDegradesTotal->set(S.PolicyDegrades);
+  Metrics.PolicyRestoresTotal->set(S.PolicyRestores);
+  Metrics.IssuesFoundTotal->set(S.IssuesFound);
+  Metrics.SnapshotsEmittedTotal->set(S.SnapshotsEmitted);
+  Metrics.SnapshotsSkippedTotal->set(S.SnapshotsSkipped);
+  Metrics.TenantsOpen->set(static_cast<int64_t>(S.TenantsOpen));
+  Metrics.RingOccupancyPct->set(
+      static_cast<int64_t>(RingOccupancy * 100.0));
+
+  CheckCounters::Snapshot C = Pool.counters();
+  Metrics.TypeChecksTotal->set(C.TypeChecks);
+  Metrics.LegacyTypeChecksTotal->set(C.LegacyTypeChecks);
+  Metrics.BoundsChecksTotal->set(C.BoundsChecks);
+  Metrics.BoundsNarrowsTotal->set(C.BoundsNarrows);
+  Metrics.BoundsGetsTotal->set(C.BoundsGets);
+  Metrics.CacheHitsTotal->set(C.TypeCheckCacheHits);
+  Metrics.CacheMissesTotal->set(C.TypeCheckCacheMisses);
+
+  lowfat::LowFatHeap &Heap = Pool.heap().heap();
+  lowfat::HeapStats HS = Heap.stats();
+  Metrics.HeapAllocsTotal->set(HS.NumAllocs);
+  Metrics.HeapFreesTotal->set(HS.NumFrees);
+  Metrics.MagazineHitsTotal->set(HS.MagazineHits);
+  Metrics.MagazineRefillsTotal->set(HS.MagazineRefills);
+  Metrics.StealsTotal->set(HS.Steals);
+  Metrics.BlockBytesInUse->set(static_cast<int64_t>(HS.BlockBytesInUse));
+  Metrics.QuarantinedBytes->set(static_cast<int64_t>(HS.QuarantinedBytes));
+
+  // Per-class occupancy: gauges materialize the first time a class
+  // sees traffic, so an idle service renders no empty class series.
+  for (unsigned I = 0; I < lowfat::NumSizeClasses; ++I) {
+    uint64_t Carved = Heap.classCarvedBytes(I);
+    if (!Carved && !Metrics.ClassCarved[I])
+      continue;
+    if (!Metrics.ClassCarved[I]) {
+      char Label[48];
+      std::snprintf(Label, sizeof(Label), "class=\"%u\"", I);
+      Metrics.ClassCarved[I] = &Registry.gauge(
+          "effsan_heap_class_carved_bytes",
+          "Bytes carved from the class region (bump high-water)", Label);
+    }
+    Metrics.ClassCarved[I]->set(static_cast<int64_t>(Carved));
+  }
+}
+
+std::string Supervisor::metricsText() {
+  concurrent::ErrorRing &Ring = Pool.ring();
+  double Occupancy = static_cast<double>(Ring.size()) /
+                     static_cast<double>(Ring.capacity());
+  updateMetrics(stats(), Occupancy);
+  std::string Out;
+  Registry.render(Out);
+  obs::MetricsRegistry::global().render(Out);
+  return Out;
 }
 
 static const char *policyName(CheckPolicy P) {
@@ -454,6 +668,7 @@ std::string Supervisor::snapshotJson() {
   appendField(Out, "policy_restores", S.PolicyRestores);
   appendField(Out, "issues_found", S.IssuesFound);
   appendField(Out, "snapshots_emitted", S.SnapshotsEmitted);
+  appendField(Out, "snapshots_skipped", S.SnapshotsSkipped);
   Out += "},\"tenants\":[";
   bool First = true;
   for (TenantId Id : Tenants.occupiedTenants()) {

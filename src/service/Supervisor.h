@@ -42,6 +42,7 @@
 #define EFFECTIVE_SERVICE_SUPERVISOR_H
 
 #include "concurrent/SessionPool.h"
+#include "obs/Metrics.h"
 #include "service/LoadGovernor.h"
 #include "service/TenantRegistry.h"
 
@@ -109,6 +110,9 @@ struct ServiceStats {
   uint64_t PolicyRestores = 0;
   uint64_t IssuesFound = 0;      ///< Central reporter's distinct issues.
   uint64_t SnapshotsEmitted = 0;
+  /// Snapshot cadences where the dirty flag found nothing changed
+  /// since the last emission, so the render + hook were skipped.
+  uint64_t SnapshotsSkipped = 0;
 };
 
 class Supervisor {
@@ -220,6 +224,16 @@ public:
   /// (rendered on demand here).
   std::string snapshotJson();
 
+  /// Prometheus text exposition of the service's metrics registry
+  /// (service counters/gauges/histograms refreshed on the way out)
+  /// followed by the process-global registry (check-latency
+  /// histograms). The structured replacement for snapshotJson().
+  std::string metricsText();
+
+  /// The service's metrics registry (tests; mutate through metrics
+  /// names, not this handle).
+  obs::MetricsRegistry &metrics() { return Registry; }
+
   concurrent::SessionPool &pool() { return Pool; }
   ErrorReporter &reporter() { return Pool.reporter(); }
   unsigned numShards() const { return NumShards; }
@@ -249,6 +263,17 @@ private:
   void poke();
   void releaseLease(TenantId Id);
   uint64_t checkSumOf(unsigned Shard);
+  /// Hash of every externally driven signal the snapshot renders
+  /// (tenant/lease/error totals, per-shard check sums, heap traffic) —
+  /// NOT of drainer-self-inflicted counters (tick/snapshot counts),
+  /// which advance even when the service is idle. Equal signatures
+  /// mean an emission would duplicate the previous document.
+  uint64_t activitySignature();
+  /// Registers the service's metric families in Registry (ctor).
+  void initMetrics();
+  /// Mirrors \p S + heap/check totals into the registry's counters and
+  /// gauges (drain tick when metrics are armed, and metricsText()).
+  void updateMetrics(const ServiceStats &S, double RingOccupancy);
 
   concurrent::SessionPool Pool;
   unsigned NumShards;
@@ -269,6 +294,9 @@ private:
   void *SnapshotUserData;
   unsigned SnapshotEveryTicks;
   unsigned TicksSinceSnapshot = 0; ///< Drain thread only.
+  /// Dirty-flag state for snapshot emission (drain thread only).
+  uint64_t LastSnapshotSignature = 0;
+  bool HaveSnapshotSignature = false;
 
   /// Per-shard previous-tick baselines for the governor's deltas
   /// (drain thread only).
@@ -282,6 +310,46 @@ private:
   std::atomic<uint64_t> PolicyDegrades{0};
   std::atomic<uint64_t> PolicyRestores{0};
   std::atomic<uint64_t> SnapshotsEmitted{0};
+  std::atomic<uint64_t> SnapshotsSkipped{0};
+
+  /// The service's metrics registry plus cached handles to its
+  /// families (registered once at construction; per-size-class carved
+  /// gauges are created lazily as classes see traffic).
+  obs::MetricsRegistry Registry;
+  struct ServiceMetrics {
+    obs::Counter *TenantsOpenedTotal = nullptr;
+    obs::Counter *TenantsEvictedTotal = nullptr;
+    obs::Counter *TenantsClosedTotal = nullptr;
+    obs::Counter *LeasesGrantedTotal = nullptr;
+    obs::Counter *LeasesRefusedTotal = nullptr;
+    obs::Counter *DrainTicksTotal = nullptr;
+    obs::Counter *DrainedEventsTotal = nullptr;
+    obs::Counter *RingOverflowsTotal = nullptr;
+    obs::Counter *PolicyDegradesTotal = nullptr;
+    obs::Counter *PolicyRestoresTotal = nullptr;
+    obs::Counter *IssuesFoundTotal = nullptr;
+    obs::Counter *SnapshotsEmittedTotal = nullptr;
+    obs::Counter *SnapshotsSkippedTotal = nullptr;
+    obs::Counter *TypeChecksTotal = nullptr;
+    obs::Counter *LegacyTypeChecksTotal = nullptr;
+    obs::Counter *BoundsChecksTotal = nullptr;
+    obs::Counter *BoundsNarrowsTotal = nullptr;
+    obs::Counter *BoundsGetsTotal = nullptr;
+    obs::Counter *CacheHitsTotal = nullptr;
+    obs::Counter *CacheMissesTotal = nullptr;
+    obs::Counter *HeapAllocsTotal = nullptr;
+    obs::Counter *HeapFreesTotal = nullptr;
+    obs::Counter *MagazineHitsTotal = nullptr;
+    obs::Counter *MagazineRefillsTotal = nullptr;
+    obs::Counter *StealsTotal = nullptr;
+    obs::Gauge *TenantsOpen = nullptr;
+    obs::Gauge *RingOccupancyPct = nullptr;
+    obs::Gauge *BlockBytesInUse = nullptr;
+    obs::Gauge *QuarantinedBytes = nullptr;
+    obs::Histogram *DrainTickTicks = nullptr;
+    obs::Histogram *RingOccupancyPctHist = nullptr;
+    std::vector<obs::Gauge *> ClassCarved; ///< Indexed by size class.
+  } Metrics;
 
   /// Drain-thread machinery. TickLock orders poke/shutdown against the
   /// loop; InTick marks the window where the thread runs a tick with

@@ -473,6 +473,53 @@ TEST(ServiceGovernorTest, RecycledShardStartsUndegraded) {
       << "degradation state does not leak across tenants";
 }
 
+TEST(ServiceGovernorTest, EwmaSmoothsAlternatingLoadBothDirections) {
+  // EwmaTicks = 3 -> alpha = 0.5: every tick moves the average halfway
+  // to the raw sample, which keeps the arithmetic exact below.
+  GovernorOptions G = testGovernor(); // CheckRateHigh=100, Restore=0.5.
+  G.EwmaTicks = 3;
+  LoadGovernor Smoothed(G, 1, CheckPolicy::Full);
+  LoadGovernor Raw(testGovernor(), 1, CheckPolicy::Full);
+
+  // Alternating hot/cold load: 400 checks, then an idle tick. Raw
+  // deltas flap (the idle tick reads calm and resets the hot streak),
+  // so the unsmoothed governor never degrades. The EWMA sees
+  // 400 -> 200, both over the 100 mark, and sheds after two ticks.
+  ShardSample Hot;
+  Hot.Checks = 400;
+  ShardSample Idle;
+
+  Smoothed.observe(0, Hot); // Seeds the average at 400: pressured.
+  Raw.observe(0, Hot);
+  EXPECT_EQ(Smoothed.level(0), 0u);
+  LoadGovernor::Decision D = Smoothed.observe(0, Idle); // Avg 200.
+  Raw.observe(0, Idle);
+  EXPECT_TRUE(D.Degraded) << "smoothed idle tick still reads pressured";
+  EXPECT_EQ(Smoothed.level(0), 1u);
+  EXPECT_EQ(Raw.level(0), 0u) << "raw deltas flap and never degrade";
+
+  // Restore direction: the average must DECAY below the thresholds
+  // before calm ticks start counting — silence does not snap the level
+  // back. Avg walks 200 -> 100 (still pressured) -> 50 (dead band:
+  // calm needs < 100 * 0.5) -> 25 -> 12.5 (two calm ticks -> restore).
+  Smoothed.observe(0, Idle);
+  Smoothed.observe(0, Idle);
+  EXPECT_EQ(Smoothed.level(0), 1u);
+  Smoothed.observe(0, Idle);
+  D = Smoothed.observe(0, Idle);
+  EXPECT_TRUE(D.Restored);
+  EXPECT_EQ(Smoothed.level(0), 0u);
+
+  // A lone spike amid calm is absorbed: the average only moves halfway
+  // toward 150 (~81 < 100), so the spike never reads pressured and
+  // cannot restart a degrade streak.
+  ShardSample Spike;
+  Spike.Checks = 150;
+  D = Smoothed.observe(0, Spike);
+  EXPECT_FALSE(D.Degraded);
+  EXPECT_EQ(Smoothed.level(0), 0u);
+}
+
 //===----------------------------------------------------------------------===//
 // Telemetry
 //===----------------------------------------------------------------------===//
@@ -547,11 +594,57 @@ TEST(ServiceTelemetryTest, SnapshotHookFiresEveryNTicks) {
   EXPECT_EQ(Fired, 0u);
   Sup.tick();
   EXPECT_EQ(Fired, 1u);
+  // New activity between snapshot ticks (a lease grant changes the
+  // activity signature), so the next snapshot is emitted, not skipped.
+  { Supervisor::Lease L = Sup.lease(T); }
   Sup.tick();
   Sup.tick();
   EXPECT_EQ(Fired, 2u);
   EXPECT_TRUE(SawTenants);
   EXPECT_EQ(Sup.stats().SnapshotsEmitted, 2u);
+}
+
+TEST(ServiceTelemetryTest, IdenticalSnapshotsAreSkippedUntilActivity) {
+  static std::atomic<unsigned> Fired{0};
+  Fired = 0;
+
+  Supervisor Sup(quietService(1));
+  Sup.setSnapshotHook([](const char *, void *) { ++Fired; }, nullptr,
+                      /*EveryTicks=*/1);
+
+  TenantId T = Sup.openTenant("t");
+  ASSERT_NE(T, NoTenant);
+  Sup.tick();
+  EXPECT_EQ(Fired, 1u);
+
+  // Nothing happened since: the signature is unchanged, so snapshots
+  // are suppressed and counted as skipped instead.
+  Sup.tick();
+  Sup.tick();
+  EXPECT_EQ(Fired, 1u);
+  EXPECT_EQ(Sup.stats().SnapshotsEmitted, 1u);
+  EXPECT_EQ(Sup.stats().SnapshotsSkipped, 2u);
+
+  // Any tenant activity re-arms emission on the next snapshot tick.
+  { Supervisor::Lease L = Sup.lease(T); }
+  Sup.tick();
+  EXPECT_EQ(Fired, 2u);
+  EXPECT_EQ(Sup.stats().SnapshotsEmitted, 2u);
+  EXPECT_EQ(Sup.stats().SnapshotsSkipped, 2u);
+}
+
+TEST(ServiceTelemetryTest, NullSnapshotHookEmitsAndSkipsNothing) {
+  Supervisor Sup(quietService(1));
+  // Snapshots nominally due every tick, but no hook to receive them:
+  // the null-hook short-circuit must skip the whole snapshot block, so
+  // neither counter moves (a "skip" implies a consumer existed).
+  Sup.setSnapshotHook(nullptr, nullptr, /*EveryTicks=*/1);
+  TenantId T = Sup.openTenant("t");
+  ASSERT_NE(T, NoTenant);
+  for (int I = 0; I < 4; ++I)
+    Sup.tick();
+  EXPECT_EQ(Sup.stats().SnapshotsEmitted, 0u);
+  EXPECT_EQ(Sup.stats().SnapshotsSkipped, 0u);
 }
 
 TEST(ServiceTelemetryTest, DrainIntervalIsAdjustable) {
@@ -686,6 +779,84 @@ TEST(ServiceAbiTest, StatsPrefixContractOldAndNewCallers) {
   EXPECT_EQ(Future->tenants_open, 1u);
   for (size_t I = sizeof(effsan_service_stats); I < sizeof(Big); ++I)
     ASSERT_EQ(Big[I], 0u) << "future-field byte at " << I;
+
+  effsan_service_destroy(Svc);
+}
+
+TEST(ServiceAbiTest, GovernorEwmaTicksOptionReachesTheLadder) {
+  // Same alternating hot/idle stream as the C++ EWMA test, driven
+  // through the 1.6 option: with governor_ewma_ticks = 3 the smoothed
+  // signal stays pressured across the idle tick and the shard degrades
+  // (raw per-tick deltas — the 1.5 default of 0 — would flap forever).
+  effsan_service_options Opts;
+  effsan_service_options_init(&Opts);
+  EXPECT_EQ(Opts.governor_ewma_ticks, 0u) << "smoothing is opt-in";
+  Opts.shards = 1;
+  Opts.log_errors = 0;
+  Opts.drain_interval_usec = 60'000'000;
+  Opts.check_rate_high = 100;
+  Opts.degrade_ticks = 2;
+  Opts.governor_ewma_ticks = 3;
+  effsan_service *Svc = effsan_service_create(&Opts);
+  ASSERT_NE(Svc, nullptr);
+
+  effsan_tenant T = effsan_service_tenant_open(Svc, "hot", nullptr);
+  ASSERT_NE(T, EFFSAN_NO_TENANT);
+  effsan_session *S = effsan_service_checkout(Svc, T);
+  ASSERT_NE(S, nullptr);
+  effsan_type IntTy = effsan_type_primitive(S, EFFSAN_PRIM_INT);
+  void *P = effsan_malloc(S, sizeof(int), IntTy);
+
+  for (int I = 0; I < 400; ++I)
+    effsan_bounds_get(S, P);
+  effsan_service_tick(Svc); // Seeds the EWMA at 400: pressured.
+  effsan_service_tick(Svc); // Idle tick smooths to 200: still pressured.
+
+  effsan_service_stats SS;
+  std::memset(&SS, 0, sizeof(SS));
+  SS.struct_size = sizeof(SS);
+  effsan_service_get_stats(Svc, &SS);
+  EXPECT_EQ(SS.policy_degrades, 1u);
+
+  effsan_tenant_stats TS;
+  std::memset(&TS, 0, sizeof(TS));
+  TS.struct_size = sizeof(TS);
+  ASSERT_NE(effsan_service_tenant_stats(Svc, T, &TS), 0);
+  EXPECT_EQ(TS.policy, uint32_t(EFFSAN_POLICY_BOUNDS_ONLY));
+
+  effsan_free(S, P);
+  effsan_service_release(Svc, T);
+  effsan_service_destroy(Svc);
+}
+
+TEST(ServiceAbiTest, StatsCarrySkippedSnapshots) {
+  static std::atomic<unsigned> Fired{0};
+  Fired = 0;
+
+  effsan_service_options Opts;
+  effsan_service_options_init(&Opts);
+  Opts.shards = 1;
+  Opts.log_errors = 0;
+  Opts.drain_interval_usec = 60'000'000;
+  effsan_service *Svc = effsan_service_create(&Opts);
+  ASSERT_NE(Svc, nullptr);
+  effsan_service_set_snapshot_hook(
+      Svc, [](const char *, void *) { ++Fired; }, nullptr,
+      /*every_ticks=*/1);
+
+  effsan_tenant T = effsan_service_tenant_open(Svc, "t", nullptr);
+  ASSERT_NE(T, EFFSAN_NO_TENANT);
+  effsan_service_tick(Svc); // Emits (first snapshot).
+  effsan_service_tick(Svc); // Identical signature: skipped.
+  effsan_service_tick(Svc); // Skipped again.
+  EXPECT_EQ(Fired, 1u);
+
+  effsan_service_stats SS;
+  std::memset(&SS, 0, sizeof(SS));
+  SS.struct_size = sizeof(SS);
+  effsan_service_get_stats(Svc, &SS);
+  EXPECT_EQ(SS.snapshots_emitted, 1u);
+  EXPECT_EQ(SS.snapshots_skipped, 2u);
 
   effsan_service_destroy(Svc);
 }
