@@ -12,17 +12,20 @@
 /// wall-clock, at O0 (schema-literal) vs. each optimization
 /// individually vs. all together.
 ///
-/// Usage: ablation_instrumentation [reps]   (default 5)
+/// Usage: ablation_instrumentation [reps] [--engine=tree|bytecode]
+///        (defaults: 5 reps, the bytecode VM)
 ///
 //===----------------------------------------------------------------------===//
 
 #include "api/Sanitizer.h"
+#include "bytecode/VM.h"
 #include "instrument/Pipeline.h"
 #include "interp/Interp.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 using namespace effective;
 using namespace effective::instrument;
@@ -118,12 +121,13 @@ struct Config {
   InstrumentOptions Opts;
 };
 
-double bestSeconds(const ir::Module &M, Sanitizer &Session, unsigned Reps,
-                   interp::RunResult &Out) {
+double bestSeconds(const CompileResult &R, Sanitizer &Session, bool Tree,
+                   unsigned Reps, interp::RunResult &Out) {
   double Best = 1e30;
-  for (unsigned R = 0; R < Reps; ++R) {
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
     auto T0 = std::chrono::steady_clock::now();
-    interp::RunResult Res = interp::run(M, Session);
+    interp::RunResult Res =
+        Tree ? interp::run(*R.M, Session) : bytecode::run(*R.BC, Session);
     auto T1 = std::chrono::steady_clock::now();
     double Sec = std::chrono::duration<double>(T1 - T0).count();
     if (Res.Ok && Sec < Best) {
@@ -137,7 +141,20 @@ double bestSeconds(const ir::Module &M, Sanitizer &Session, unsigned Reps,
 } // namespace
 
 int main(int argc, char **argv) {
-  unsigned Reps = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 5;
+  unsigned Reps = 5;
+  bool Tree = false;
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--engine=tree") == 0)
+      Tree = true;
+    else if (std::strcmp(argv[I], "--engine=bytecode") == 0)
+      Tree = false;
+    else if (std::strncmp(argv[I], "--engine=", 9) == 0) {
+      std::fprintf(stderr, "unknown engine '%s' (tree|bytecode)\n",
+                   argv[I] + 9);
+      return 2;
+    } else
+      Reps = static_cast<unsigned>(std::atoi(argv[I]));
+  }
   if (Reps == 0)
     Reps = 1;
 
@@ -167,8 +184,12 @@ int main(int argc, char **argv) {
               "========\n");
   std::printf("Ablation: instrumentation-pass optimizations (Section 4/6)\n");
   std::printf("MiniC workload: 24x24 matmul + 200-node list, full variant, "
-              "best of %u\n",
-              Reps);
+              "best of %u\nengine: %s\n",
+              Reps,
+              Tree ? "tree-walker"
+                   : ("bytecode VM (" +
+                      std::string(bytecode::dispatchStrategy()) + " dispatch)")
+                         .c_str());
   std::printf("================================================================"
               "========\n\n");
   std::printf("%-26s %9s %9s %12s %12s %9s\n", "configuration", "static",
@@ -183,12 +204,12 @@ int main(int argc, char **argv) {
     DiagnosticEngine Diags;
     CompileResult R =
         compileMiniC(Program, Session.types(), Diags, C.Opts);
-    if (!R.M) {
+    if (!R.M || !R.BC) {
       Diags.print(stderr, "<ablation>");
       return 1;
     }
     interp::RunResult Run;
-    double Sec = bestSeconds(*R.M, Session, Reps, Run);
+    double Sec = bestSeconds(R, Session, Tree, Reps, Run);
     if (Baseline == 0)
       Baseline = Sec;
     uint64_t Static = R.Stats.TypeChecks + R.Stats.BoundsChecks +

@@ -21,7 +21,10 @@
 ///    cost);
 ///  * the full SPEC workload mix under the Full policy, reporting the
 ///    type-check fast-path hit rate as a benchmark counter (lands in
-///    --benchmark_out JSON for the CI perf artifacts).
+///    --benchmark_out JSON for the CI perf artifacts);
+///  * the MiniC SPEC mix on both execution engines (--engine=tree|
+///    bytecode selects one), with the paired bytecode_speedup_x
+///    counter CI gates at >= 2x the tree-walker.
 ///
 /// All numbers here are SINGLE-THREADED: one session, one thread, no
 /// contention — the per-check floor, not the scaling story. For
@@ -30,12 +33,18 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "bytecode/VM.h"
 #include "core/Effective.h"
+#include "instrument/Pipeline.h"
+#include "interp/Interp.h"
 #include "workloads/Workload.h"
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
+#include <vector>
 
 using namespace effective;
 
@@ -343,4 +352,186 @@ static void BM_PlainMallocFree(benchmark::State &State) {
 }
 BENCHMARK(BM_PlainMallocFree);
 
-BENCHMARK_MAIN();
+//===----------------------------------------------------------------------===//
+// Execution engines: bytecode VM vs. tree-walking reference
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The MiniC SPEC mix: check-dense kernels (matmul bounds checks, list
+/// traversal input type checks, struct-churn casts) compiled ONCE
+/// under the default instrumentation pipeline and run by both engines
+/// against the same session. The engines execute identical check
+/// sequences (tests/bytecode_test.cpp enforces it), so the paired
+/// ratio isolates pure dispatch + frame overhead — the cost the
+/// tree-walker adds on top of the now-cheap checks.
+constexpr const char *MiniCSpecMix = R"(
+struct cell { long weight; struct cell *next; };
+
+long matmul(long *a, long *b, long *c, int n) {
+  int i; int j; int k;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      long acc = 0;
+      for (k = 0; k < n; k = k + 1)
+        acc = acc + a[i * n + k] * b[k * n + j];
+      c[i * n + j] = acc;
+    }
+  }
+  return c[(n - 1) * n + (n - 1)];
+}
+
+long traverse(struct cell *head) {
+  long acc = 0;
+  while (head != NULL) {
+    acc = acc + head->weight;
+    head = head->next;
+  }
+  return acc;
+}
+
+int main() {
+  int n = 16;
+  long *a = (long *)malloc(n * n * sizeof(long));
+  long *b = (long *)malloc(n * n * sizeof(long));
+  long *c = (long *)malloc(n * n * sizeof(long));
+  int i;
+  for (i = 0; i < n * n; i = i + 1) {
+    a[i] = i % 7;
+    b[i] = i % 5;
+  }
+  long m = matmul(a, b, c, n);
+
+  struct cell *head = NULL;
+  for (i = 0; i < 64; i = i + 1) {
+    struct cell *fresh = (struct cell *)malloc(sizeof(struct cell));
+    fresh->weight = i;
+    fresh->next = head;
+    head = fresh;
+  }
+  long t = 0;
+  for (i = 0; i < 50; i = i + 1)
+    t = t + traverse(head);
+  while (head != NULL) {
+    struct cell *next = head->next;
+    free(head);
+    head = next;
+  }
+  free(a); free(b); free(c);
+  return (int)((m + t) % 97);
+}
+)";
+
+/// Compiled once; both engine benchmarks share the session so checks
+/// resolve through the same inline caches.
+struct EngineState {
+  Sanitizer Session;
+  instrument::CompileResult Compiled;
+
+  EngineState() : Session(MicroState::countingOptions()) {
+    DiagnosticEngine Diags;
+    Compiled = instrument::compileMiniC(MiniCSpecMix, Session.types(), Diags,
+                                        instrument::InstrumentOptions());
+    if (!Compiled.M || !Compiled.BC) {
+      Diags.print(stderr, "<micro>");
+      std::abort();
+    }
+  }
+
+  static EngineState &get() {
+    static EngineState State;
+    return State;
+  }
+};
+
+void BM_MiniCSpecMix_TreeWalker(benchmark::State &State) {
+  EngineState &E = EngineState::get();
+  for (auto _ : State) {
+    interp::RunResult R = interp::run(*E.Compiled.M, E.Session);
+    benchmark::DoNotOptimize(R.ExitCode);
+  }
+}
+
+void BM_MiniCSpecMix_Bytecode(benchmark::State &State) {
+  EngineState &E = EngineState::get();
+  for (auto _ : State) {
+    interp::RunResult R = bytecode::run(*E.Compiled.BC, E.Session);
+    benchmark::DoNotOptimize(R.ExitCode);
+  }
+}
+
+/// The acceptance metric: each iteration runs BOTH engines
+/// back-to-back on the same program and session, so runner drift
+/// cancels out of the ratio (the pairing trick of bench/obs_overhead).
+/// bytecode_speedup_x = tree-walker time / VM time; CI gates it >= 2.
+void BM_MiniCSpecMix_EngineSpeedup(benchmark::State &State) {
+  EngineState &E = EngineState::get();
+  double TreeSec = 0, BcSec = 0;
+  for (auto _ : State) {
+    // Each engine gets an untimed warm-up run before its timed run:
+    // the two dispatch loops compete for the same branch-target
+    // buffer, and timing a cold loop would charge the engine for the
+    // other engine's predictor pollution rather than its own cost.
+    interp::RunResult W0 = interp::run(*E.Compiled.M, E.Session);
+    auto T0 = std::chrono::steady_clock::now();
+    interp::RunResult RT = interp::run(*E.Compiled.M, E.Session);
+    auto T1 = std::chrono::steady_clock::now();
+    interp::RunResult W1 = bytecode::run(*E.Compiled.BC, E.Session);
+    auto T2 = std::chrono::steady_clock::now();
+    interp::RunResult RB = bytecode::run(*E.Compiled.BC, E.Session);
+    auto T3 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(W0.ExitCode + RT.ExitCode + W1.ExitCode +
+                             RB.ExitCode);
+    TreeSec += std::chrono::duration<double>(T1 - T0).count();
+    BcSec += std::chrono::duration<double>(T3 - T2).count();
+  }
+  State.counters["bytecode_speedup_x"] = BcSec ? TreeSec / BcSec : 0.0;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// main: --engine=tree|bytecode selects which engine benchmarks run
+//===----------------------------------------------------------------------===//
+
+int main(int argc, char **argv) {
+  // --engine restricts the MiniC engine benchmarks (the paired-speedup
+  // benchmark needs both engines, so it only registers in the default
+  // both-engines mode). Every other micro benchmark is engine-agnostic
+  // and always runs; narrow further with --benchmark_filter.
+  bool Tree = true, Bytecode = true;
+  std::vector<char *> Args;
+  Args.push_back(argv[0]);
+  for (int I = 1; I < argc; ++I) {
+    if (std::strcmp(argv[I], "--engine=tree") == 0)
+      Bytecode = false;
+    else if (std::strcmp(argv[I], "--engine=bytecode") == 0)
+      Tree = false;
+    else
+      Args.push_back(argv[I]);
+  }
+  if (!Tree && !Bytecode) {
+    std::fprintf(stderr, "--engine=tree and --engine=bytecode conflict\n");
+    return 2;
+  }
+  if (Tree)
+    benchmark::RegisterBenchmark("BM_MiniCSpecMix_TreeWalker",
+                                 BM_MiniCSpecMix_TreeWalker)
+        ->Unit(benchmark::kMillisecond);
+  if (Bytecode)
+    benchmark::RegisterBenchmark("BM_MiniCSpecMix_Bytecode",
+                                 BM_MiniCSpecMix_Bytecode)
+        ->Unit(benchmark::kMillisecond);
+  if (Tree && Bytecode)
+    benchmark::RegisterBenchmark("BM_MiniCSpecMix_EngineSpeedup",
+                                 BM_MiniCSpecMix_EngineSpeedup)
+        ->Unit(benchmark::kMillisecond);
+
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

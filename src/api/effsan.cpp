@@ -93,6 +93,7 @@ void effsan_options_init(effsan_options *options) {
   options->site_cache_entries = 1024;
   options->magazine_size = 16;
   options->defer_error_rendering = 0;
+  options->engine = EFFSAN_ENGINE_BYTECODE;
 }
 
 effsan_session *effsan_session_create(const effsan_options *options) {
@@ -123,7 +124,10 @@ effsan_session *effsan_session_create(const effsan_options *options) {
   SessionOpts.Heap.MagazineSize =
       static_cast<unsigned>(Defaults.magazine_size);
 
-  return new (std::nothrow) effsan_session(SessionOpts);
+  uint32_t Engine = Defaults.engine == EFFSAN_ENGINE_TREE
+                        ? EFFSAN_ENGINE_TREE
+                        : EFFSAN_ENGINE_BYTECODE;
+  return new (std::nothrow) effsan_session(SessionOpts, Engine);
 }
 
 void effsan_session_destroy(effsan_session *session) {
@@ -156,6 +160,10 @@ uint32_t effsan_session_policy(const effsan_session *session) {
 
 void effsan_session_set_policy(effsan_session *session, uint32_t policy) {
   session->S->setPolicy(effsan_detail::policyFromValue(policy));
+}
+
+uint32_t effsan_session_engine(const effsan_session *session) {
+  return session->Engine;
 }
 
 //===----------------------------------------------------------------------===//

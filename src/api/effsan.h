@@ -47,7 +47,7 @@ extern "C" {
  *===--------------------------------------------------------------------===*/
 
 #define EFFSAN_ABI_VERSION_MAJOR 1
-#define EFFSAN_ABI_VERSION_MINOR 6
+#define EFFSAN_ABI_VERSION_MINOR 7
 #define EFFSAN_ABI_VERSION                                                   \
   ((EFFSAN_ABI_VERSION_MAJOR << 16) | EFFSAN_ABI_VERSION_MINOR)
 
@@ -104,8 +104,24 @@ typedef struct effsan_options {
    * message in counting mode; logging mode always renders. Default
    * 0 — behavior unchanged. */
   int32_t defer_error_rendering;
-  uint32_t reserved_;
+  /* Execution engine for effsan_run_minic (since 1.7; an effsan_engine
+   * value; was a zeroed reserved field before 1.7). Default
+   * EFFSAN_ENGINE_BYTECODE (= 0) — the direct-threaded VM; select
+   * EFFSAN_ENGINE_TREE for the reference tree-walker. Inert for
+   * sessions that never run programs. */
+  uint32_t engine;
 } effsan_options;
+
+/* How a session executes instrumented MiniC programs (since 1.7).
+ * Both engines run the same checks against the same runtime and
+ * produce identical results, outputs, check counts and error reports
+ * (the bytecode differential test suite enforces this); the bytecode
+ * VM is simply faster. The tree-walker remains available as the
+ * reference oracle. */
+typedef enum effsan_engine {
+  EFFSAN_ENGINE_BYTECODE = 0, /* dense bytecode, direct-threaded VM   */
+  EFFSAN_ENGINE_TREE = 1      /* tree-walking IR interpreter          */
+} effsan_engine;
 
 /* Fills *options with the defaults (full policy, logging to stderr). */
 void effsan_options_init(effsan_options *options);
@@ -137,6 +153,74 @@ uint32_t effsan_session_policy(const effsan_session *session);
  * the service layer degrades an overloaded shard without pausing its
  * mutators). */
 void effsan_session_set_policy(effsan_session *session, uint32_t policy);
+
+/* The session's execution engine (an effsan_engine value; since 1.7).
+ * Fixed at creation — session options for owned sessions, pool options
+ * for shards. */
+uint32_t effsan_session_engine(const effsan_session *session);
+
+/*===--------------------------------------------------------------------===*
+ * Program execution (since 1.7)
+ *
+ * Compiles a MiniC source buffer with the paper's instrumentation
+ * schema — the instrumentation variant is derived from the session's
+ * policy — and executes it on the session's engine against the
+ * session's runtime: allocations land in the session heap, checks bump
+ * the session counters, and errors flow to the session's reporter and
+ * callbacks exactly as API-level checks do.
+ *===--------------------------------------------------------------------===*/
+
+typedef struct effsan_run_options {
+  uint32_t struct_size; /* = sizeof(effsan_run_options); set by _init  */
+  uint32_t reserved_;
+  uint64_t max_steps;      /* instruction budget; 0 = default (1e8)    */
+  uint64_t max_call_depth; /* call-depth limit; 0 = default (4000)     */
+  const char *entry;       /* entry function; NULL = "main"            */
+  const char *file_name;   /* source name in reports; NULL = "<minic>" */
+  /* Receives everything the program's print_* builtins write (chunked;
+   * data is valid only during the call and not NUL-terminated). NULL
+   * discards the output. */
+  void (*output)(const char *data, size_t len, void *user_data);
+  void *output_user_data;
+} effsan_run_options;
+
+/* Fills *options with the defaults above. */
+void effsan_run_options_init(effsan_run_options *options);
+
+/* One program run's outcome. Caller-sized like effsan_heap_stats: set
+ * struct_size to sizeof(effsan_run_result) before the call and the
+ * library fills exactly the prefix you declared (fields added after
+ * your build read as zero). */
+typedef struct effsan_run_result {
+  uint32_t struct_size; /* set by the CALLER before the call           */
+  /* Nonzero when the program ran to completion. The program may still
+   * have *reported* type/memory errors — like the paper's logging
+   * mode, detected errors do not stop execution; a zero here means a
+   * VM-level fault (see fault below). */
+  uint32_t ok;
+  int64_t exit_code;        /* the entry function's return value       */
+  uint64_t steps;           /* instructions executed (engine-specific:
+                             * a fused bytecode check+access counts 1) */
+  uint64_t type_checks;     /* dynamic executed-check counts ...       */
+  uint64_t bounds_gets;
+  uint64_t bounds_checks;
+  uint64_t bounds_narrows;  /* ... (the Figure 7 columns)              */
+  uint64_t issues_reported; /* distinct issues this run reported       */
+  /* VM fault description when !ok, or the first compile diagnostic
+   * when effsan_run_minic returned 0; NUL-terminated, truncated to
+   * fit. Empty on success. */
+  char fault[120];
+} effsan_run_result;
+
+/* Compiles and runs `source`. NULL options means defaults; `out` may
+ * be NULL when only the side effects matter. Returns nonzero when the
+ * source compiled and a run was attempted (inspect out->ok for the
+ * run's fate), 0 on a compile error (out->fault then carries the first
+ * diagnostic). The compiled program is not retained — each call
+ * compiles afresh; globals are (re)allocated per run. */
+int effsan_run_minic(effsan_session *session, const char *source,
+                     const effsan_run_options *options,
+                     effsan_run_result *out);
 
 /*===--------------------------------------------------------------------===*
  * Session pools (since 1.1)
@@ -178,6 +262,12 @@ typedef struct effsan_pool_options {
    * (since 1.4) — CountOnly-policy pools then drain the error ring
    * without building a string per issue. Default 0. */
   int32_t defer_error_rendering;
+  /* --- added in ABI 1.7 (older callers' shorter struct_size keeps
+   *     the defaults for everything below) --- */
+  /* Execution engine for effsan_run_minic on every shard session (an
+   * effsan_engine value; default EFFSAN_ENGINE_BYTECODE). */
+  uint32_t engine;
+  uint32_t reserved_;
 } effsan_pool_options;
 
 /* Fills *options with the defaults (full policy, auto shard count,
@@ -871,6 +961,17 @@ typedef struct effsan_obs_site {
  * one. Returns 0 under EFFSAN_OBS_OFF or when profiling never ran. */
 uint32_t effsan_obs_hot_sites(effsan_session *session,
                               effsan_obs_site *out, uint32_t capacity);
+
+/* Pool-wide merged hot-site ranking (since 1.7): every shard's
+ * profiler table summed by site id — a site checked from several
+ * shards contributes one entry with pool-total hits and misses —
+ * ordered by hits + misses descending, resolved once against the
+ * pool-wide site registry, with error_events joined from the central
+ * reporter (the pool drains first so queued events are counted). The
+ * same statistical caveats as effsan_obs_hot_sites apply per shard.
+ * Returns the number of entries written. */
+uint32_t effsan_pool_hot_sites(effsan_pool *pool, effsan_obs_site *out,
+                               uint32_t capacity);
 
 #ifdef __cplusplus
 } /* extern "C" */

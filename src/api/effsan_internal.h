@@ -28,16 +28,22 @@
 struct effsan_session {
   std::unique_ptr<effective::Sanitizer> Owned; ///< Null for pool shards.
   effective::Sanitizer *S;
+  /// Execution engine for effsan_run_minic (an effsan_engine value;
+  /// fixed at creation — session options, or pool options for shards).
+  uint32_t Engine = EFFSAN_ENGINE_BYTECODE;
   effsan_error_callback Callback = nullptr;
   void *CallbackUserData = nullptr;
   effsan_error_callback_v2 CallbackV2 = nullptr;
   void *CallbackV2UserData = nullptr;
 
-  explicit effsan_session(const effective::SessionOptions &Options)
+  explicit effsan_session(const effective::SessionOptions &Options,
+                          uint32_t Engine = EFFSAN_ENGINE_BYTECODE)
       : Owned(std::make_unique<effective::Sanitizer>(Options)),
-        S(Owned.get()) {}
+        S(Owned.get()), Engine(Engine) {}
 
-  explicit effsan_session(effective::Sanitizer &Shard) : S(&Shard) {}
+  explicit effsan_session(effective::Sanitizer &Shard,
+                          uint32_t Engine = EFFSAN_ENGINE_BYTECODE)
+      : S(&Shard), Engine(Engine) {}
 };
 
 namespace effective {

@@ -1,0 +1,141 @@
+//===- api/effsan_run.cpp - C ABI program execution entry points ----------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// effsan_run_minic (ABI 1.7): compile a MiniC buffer under the
+/// session's policy and execute it on the session's engine — the
+/// bytecode VM by default, the tree-walking interpreter on request.
+/// Lives in the instrument archive (not core) because it pulls in the
+/// whole frontend + engine stack; sessions that never run programs
+/// don't carry it.
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/effsan.h"
+#include "api/effsan_internal.h"
+#include "bytecode/VM.h"
+#include "instrument/Pipeline.h"
+#include "interp/Interp.h"
+
+#include <cstring>
+
+using namespace effective;
+using namespace effective::instrument;
+
+namespace {
+
+/// Copies the caller's declared prefix of a default-initialized
+/// effsan_run_options (the tail-extension contract).
+effsan_run_options normalizedRunOptions(const effsan_run_options *options) {
+  effsan_run_options Defaults;
+  effsan_run_options_init(&Defaults);
+  if (options) {
+    size_t N = options->struct_size;
+    if (N == 0 || N > sizeof(Defaults))
+      N = sizeof(Defaults);
+    std::memcpy(&Defaults, options, N);
+  }
+  return Defaults;
+}
+
+/// Fills the caller-sized result prefix (same contract as
+/// effsan_heap_stats; see effsan_internal.h's fillHeapStats).
+void fillRunResult(const effsan_run_result &Full, effsan_run_result *Out) {
+  if (!Out || Out->struct_size < sizeof(uint32_t))
+    return;
+  size_t N = Out->struct_size;
+  if (N > sizeof(Full)) {
+    std::memset(reinterpret_cast<char *>(Out) + sizeof(Full), 0,
+                N - sizeof(Full));
+    N = sizeof(Full);
+  }
+  uint32_t Declared = Out->struct_size;
+  std::memcpy(Out, &Full, N);
+  Out->struct_size = Declared;
+}
+
+void setFault(effsan_run_result &R, const std::string &Message) {
+  std::strncpy(R.fault, Message.c_str(), sizeof(R.fault) - 1);
+  R.fault[sizeof(R.fault) - 1] = '\0';
+}
+
+} // namespace
+
+extern "C" {
+
+void effsan_run_options_init(effsan_run_options *options) {
+  if (!options)
+    return;
+  std::memset(options, 0, sizeof(*options));
+  options->struct_size = sizeof(effsan_run_options);
+}
+
+int effsan_run_minic(effsan_session *session, const char *source,
+                     const effsan_run_options *options,
+                     effsan_run_result *out) {
+  effsan_run_result Full;
+  std::memset(&Full, 0, sizeof(Full));
+  Full.struct_size = sizeof(Full);
+
+  if (!session || !source) {
+    setFault(Full, "null session or source");
+    fillRunResult(Full, out);
+    return 0;
+  }
+
+  effsan_run_options Run = normalizedRunOptions(options);
+  Sanitizer &S = *session->S;
+
+  // The instrumentation variant follows the session's policy, so the
+  // compiled checks and the session's API-level checks tell one story
+  // (CountOnly instruments like Full; the policy dispatch is what
+  // keeps its checks from probing).
+  DiagnosticEngine Diags;
+  InstrumentOptions Opts = instrumentOptionsFor(S.policy());
+  CompileResult C =
+      compileMiniC(source, S.types(), Diags, Opts,
+                   Run.file_name ? Run.file_name : "<minic>");
+  if (!C.M || !C.BC) {
+    std::string Message = "compile error";
+    if (!Diags.diagnostics().empty()) {
+      const Diagnostic &D = Diags.diagnostics().front();
+      Message = std::to_string(D.Loc.Line) + ":" +
+                std::to_string(D.Loc.Column) + ": " + D.Message;
+    }
+    setFault(Full, Message);
+    fillRunResult(Full, out);
+    return 0;
+  }
+
+  interp::RunOptions RunOpts;
+  if (Run.max_steps)
+    RunOpts.MaxSteps = Run.max_steps;
+  if (Run.max_call_depth)
+    RunOpts.MaxCallDepth = Run.max_call_depth;
+  std::string_view Entry = Run.entry ? Run.entry : "main";
+
+  interp::RunResult R = session->Engine == EFFSAN_ENGINE_TREE
+                            ? interp::run(*C.M, S, RunOpts, Entry)
+                            : bytecode::run(*C.BC, S, RunOpts, Entry);
+
+  Full.ok = R.Ok ? 1 : 0;
+  Full.exit_code = R.ExitCode;
+  Full.steps = R.Steps;
+  Full.type_checks = R.Checks.TypeChecks;
+  Full.bounds_gets = R.Checks.BoundsGets;
+  Full.bounds_checks = R.Checks.BoundsChecks;
+  Full.bounds_narrows = R.Checks.BoundsNarrows;
+  Full.issues_reported = R.IssuesReported;
+  if (!R.Ok)
+    setFault(Full, R.Fault);
+  if (Run.output && !R.Output.empty())
+    Run.output(R.Output.data(), R.Output.size(), Run.output_user_data);
+
+  fillRunResult(Full, out);
+  return 1;
+}
+
+} // extern "C"

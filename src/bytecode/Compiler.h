@@ -1,0 +1,45 @@
+//===- bytecode/Compiler.h - IR -> bytecode lowering ------------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers an (instrumented) ir::Module to the dense linear bytecode of
+/// bytecode/Bytecode.h: flat 16-bit register frames, branch targets
+/// resolved to pc offsets, field offsets and element sizes folded into
+/// immediates, check sites baked into the check opcodes, and the hot
+/// check+access sequences fused into superinstructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_BYTECODE_COMPILER_H
+#define EFFECTIVE_BYTECODE_COMPILER_H
+
+#include "bytecode/Bytecode.h"
+
+#include <memory>
+#include <string>
+
+namespace effective {
+namespace bytecode {
+
+/// Fusion selection, mostly for benchmarks isolating the
+/// superinstruction contribution; default is everything on.
+struct CompileOptions {
+  bool FuseChecks = true;
+};
+
+/// Compiles \p M. Returns null and renders a message into \p Error
+/// (when non-null) if the module does not fit the encoding (more than
+/// 0xFFFE registers in one function, malformed operands); the verified
+/// MiniC pipeline output always compiles. The module must outlive the
+/// returned program.
+std::unique_ptr<Program> compile(const ir::Module &M,
+                                 std::string *Error = nullptr,
+                                 const CompileOptions &Opts = {});
+
+} // namespace bytecode
+} // namespace effective
+
+#endif // EFFECTIVE_BYTECODE_COMPILER_H

@@ -1,0 +1,125 @@
+//===- bytecode/Disasm.cpp - Bytecode disassembler ------------------------===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bytecode/Disasm.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+using namespace effective;
+using namespace effective::bytecode;
+
+static const char *const OpNames[NumBcOps] = {
+#define EFFSAN_BC_NAME(Name) #Name,
+    EFFSAN_BC_OPCODE_LIST(EFFSAN_BC_NAME)
+#undef EFFSAN_BC_NAME
+};
+
+const char *bytecode::opName(BcOp Op) {
+  size_t I = static_cast<size_t>(Op);
+  return I < NumBcOps ? OpNames[I] : "<bad-op>";
+}
+
+bool bytecode::opFromName(std::string_view Name, BcOp &Out) {
+  for (size_t I = 0; I < NumBcOps; ++I) {
+    if (Name == OpNames[I]) {
+      Out = static_cast<BcOp>(I);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Canonical line: "  <pc>: <Mnemonic> a=<u> b=<u> c=<u> imm=0x<x>
+/// aux=0x<x> ty=0x<x>". All fields always present so the parser is one
+/// sscanf; the pc is redundant (line order defines it) but makes branch
+/// targets legible.
+static void renderInst(size_t Pc, const Inst &In, std::string &Out) {
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "  %4zu: %-20s a=%u b=%u c=%u imm=0x%" PRIx64 " aux=0x%" PRIx64
+                " ty=0x%" PRIxPTR,
+                Pc, opName(In.Op), In.A, In.B, In.C, In.Imm, In.Aux,
+                reinterpret_cast<uintptr_t>(In.Type));
+  Out += Buf;
+  if (In.Type) {
+    Out += " ; type=";
+    Out += In.Type->str();
+  }
+  Out += '\n';
+}
+
+std::string bytecode::disassemble(const BcFunction &F) {
+  std::string Out;
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "fn %s regs=%u bregs=%u params=%zu slots=%zu code=%zu\n",
+                F.Name.c_str(), F.NumRegs, F.NumBRegs, F.ParamRegs.size(),
+                F.Slots.size(), F.Code.size());
+  Out += Buf;
+  for (size_t Pc = 0; Pc < F.Code.size(); ++Pc)
+    renderInst(Pc, F.Code[Pc], Out);
+  return Out;
+}
+
+std::string bytecode::disassemble(const Program &P) {
+  std::string Out;
+  for (const BcFunction &F : P.Funcs) {
+    Out += disassemble(F);
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool bytecode::parseDisassembly(
+    const std::string &Text,
+    std::vector<std::pair<std::string, std::vector<Inst>>> &Out) {
+  Out.clear();
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = Text.size();
+    std::string Line = Text.substr(Pos, Eol - Pos);
+    Pos = Eol + 1;
+    if (size_t Semi = Line.find(" ;"); Semi != std::string::npos)
+      Line.resize(Semi);
+
+    char Name[128];
+    if (std::sscanf(Line.c_str(), "fn %127s", Name) == 1 &&
+        Line.rfind("fn ", 0) == 0) {
+      Out.emplace_back(Name, std::vector<Inst>());
+      continue;
+    }
+
+    size_t Pc;
+    unsigned A, B, C;
+    unsigned long long Imm, Aux, Ty;
+    char Mn[64];
+    int N = std::sscanf(Line.c_str(),
+                        " %zu: %63s a=%u b=%u c=%u imm=%llx aux=%llx ty=%llx",
+                        &Pc, Mn, &A, &B, &C, &Imm, &Aux, &Ty);
+    if (N != 8)
+      continue; // Not an instruction line (blank, commentary).
+    BcOp Op;
+    if (!opFromName(Mn, Op))
+      return false;
+    if (Out.empty())
+      Out.emplace_back(std::string(), std::vector<Inst>());
+    Inst In;
+    In.Op = Op;
+    In.A = static_cast<uint16_t>(A);
+    In.B = static_cast<uint16_t>(B);
+    In.C = static_cast<uint16_t>(C);
+    In.Imm = Imm;
+    In.Aux = Aux;
+    In.Type = reinterpret_cast<const TypeInfo *>(
+        static_cast<uintptr_t>(Ty));
+    Out.back().second.push_back(In);
+  }
+  return true;
+}

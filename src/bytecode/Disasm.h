@@ -1,0 +1,46 @@
+//===- bytecode/Disasm.h - Bytecode disassembler ----------------*- C++ -*-===//
+//
+// Part of the EffectiveSan reproduction. Released under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a compiled Program as text and parses the canonical lines
+/// back. Every instruction line is self-contained and machine-parsable
+/// (mnemonic plus all operand fields in fixed key=value form; anything
+/// after ';' is human commentary and ignored), so the round trip
+///
+///   parseDisassembly(disassemble(P)) == P.Funcs[*].Code
+///
+/// holds field-for-field — the bytecode_test enforces it. Type operands
+/// are printed as raw TypeInfo pointer bits: the text is a debugging
+/// aid and an in-process round-trip format, not a serialization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EFFECTIVE_BYTECODE_DISASM_H
+#define EFFECTIVE_BYTECODE_DISASM_H
+
+#include "bytecode/Bytecode.h"
+
+namespace effective {
+namespace bytecode {
+
+/// One function, one instruction per line, preceded by an "fn" header.
+std::string disassemble(const BcFunction &F);
+
+/// The whole program (every function in order).
+std::string disassemble(const Program &P);
+
+/// Parses disassembly text back into per-function code arrays. Lines
+/// that are not canonical instruction lines ("fn" headers aside, which
+/// start a new function) are ignored. Returns false on a malformed
+/// instruction line or an unknown mnemonic.
+bool parseDisassembly(
+    const std::string &Text,
+    std::vector<std::pair<std::string, std::vector<Inst>>> &Out);
+
+} // namespace bytecode
+} // namespace effective
+
+#endif // EFFECTIVE_BYTECODE_DISASM_H

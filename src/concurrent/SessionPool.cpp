@@ -8,6 +8,7 @@
 
 #include "obs/Trace.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 using namespace effective;
@@ -105,6 +106,32 @@ CheckCounters::Snapshot SessionPool::counters() const {
   for (const auto &RT : Runtimes)
     Sum += RT->counters().snapshot();
   return Sum;
+}
+
+std::vector<obs::SiteProfile> SessionPool::mergedHotSites(size_t N) const {
+  // Sum the per-shard direct-mapped tables by site id. The same site
+  // can be claimed in several shards' tables (each shard profiles
+  // independently); the merge is what makes the ranking pool-wide.
+  std::unordered_map<uint32_t, obs::SiteProfile> Merged;
+  for (const auto &RT : Runtimes) {
+    for (const obs::SiteProfile &P : RT->profiler().collect()) {
+      obs::SiteProfile &M = Merged[P.Site];
+      M.Site = P.Site;
+      M.Hits += P.Hits;
+      M.Misses += P.Misses;
+    }
+  }
+  std::vector<obs::SiteProfile> All;
+  All.reserve(Merged.size());
+  for (const auto &[Site, P] : Merged)
+    All.push_back(P);
+  std::sort(All.begin(), All.end(),
+            [](const obs::SiteProfile &A, const obs::SiteProfile &B) {
+              return A.Hits + A.Misses > B.Hits + B.Misses;
+            });
+  if (All.size() > N)
+    All.resize(N);
+  return All;
 }
 
 void SessionPool::resetShard(unsigned Index) {

@@ -49,6 +49,7 @@
 #include "api/Sanitizer.h"
 #include "concurrent/ErrorRing.h"
 #include "concurrent/ShardedHeap.h"
+#include "obs/SiteProfiler.h"
 
 #include <atomic>
 #include <memory>
@@ -144,6 +145,14 @@ public:
 
   /// Merged check counters across all shards.
   CheckCounters::Snapshot counters() const;
+
+  /// Pool-wide hot-site ranking: every shard's profiler table summed
+  /// by site id (a site checked from several shards contributes ONE
+  /// entry carrying pool-total hits/misses), ordered by hits+misses
+  /// descending and truncated to \p N. Callers resolve the ids against
+  /// siteTables() once — not per shard. Empty when profiling never ran
+  /// (or observability is compiled out).
+  std::vector<obs::SiteProfile> mergedHotSites(size_t N) const;
 
   /// The shared sharded heap.
   ShardedHeap &heap() { return Heap; }

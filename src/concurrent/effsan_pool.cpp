@@ -13,6 +13,7 @@
 #include "api/effsan.h"
 #include "api/effsan_internal.h"
 #include "concurrent/SessionPool.h"
+#include "obs/SiteProfiler.h"
 
 #include <cstring>
 #include <memory>
@@ -32,10 +33,11 @@ struct effsan_pool {
   effsan_error_callback_v2 CallbackV2 = nullptr;
   void *CallbackV2UserData = nullptr;
 
-  explicit effsan_pool(const concurrent::PoolOptions &Options)
+  effsan_pool(const concurrent::PoolOptions &Options, uint32_t Engine)
       : Pool(Options) {
     for (unsigned I = 0; I < Pool.numShards(); ++I)
-      Sessions.push_back(std::make_unique<effsan_session>(Pool.shard(I)));
+      Sessions.push_back(
+          std::make_unique<effsan_session>(Pool.shard(I), Engine));
   }
 };
 
@@ -90,6 +92,7 @@ void effsan_pool_options_init(effsan_pool_options *options) {
   options->magazine_size = 16;
   options->enable_work_stealing = 0;
   options->defer_error_rendering = 0;
+  options->engine = EFFSAN_ENGINE_BYTECODE;
 }
 
 effsan_pool *effsan_pool_create(const effsan_pool_options *options) {
@@ -123,7 +126,10 @@ effsan_pool *effsan_pool_create(const effsan_pool_options *options) {
       static_cast<unsigned>(Defaults.magazine_size);
   PoolOpts.Heap.EnableWorkStealing = Defaults.enable_work_stealing != 0;
 
-  return new (std::nothrow) effsan_pool(PoolOpts);
+  uint32_t Engine = Defaults.engine == EFFSAN_ENGINE_TREE
+                        ? EFFSAN_ENGINE_TREE
+                        : EFFSAN_ENGINE_BYTECODE;
+  return new (std::nothrow) effsan_pool(PoolOpts, Engine);
 }
 
 void effsan_pool_destroy(effsan_pool *pool) { delete pool; }
@@ -191,6 +197,36 @@ uint64_t effsan_pool_site_error_events(effsan_pool *pool, uint32_t site) {
 void effsan_pool_get_heap_stats(effsan_pool *pool,
                                 effsan_heap_stats *out) {
   effsan_detail::fillHeapStats(pool->Pool.heap().stats(), out);
+}
+
+uint32_t effsan_pool_hot_sites(effsan_pool *pool, effsan_obs_site *out,
+                               uint32_t capacity) {
+  if (!pool || !out || capacity == 0)
+    return 0;
+  // Drain first so error_events joined below include queued events.
+  pool->Pool.drain();
+  std::vector<obs::SiteProfile> Top = pool->Pool.mergedHotSites(capacity);
+  ErrorReporter &Central = pool->Pool.reporter();
+  uint32_t N = 0;
+  for (const obs::SiteProfile &P : Top) {
+    effsan_obs_site &Slot = out[N++];
+    Slot.site = P.Site;
+    Slot.line = 0;
+    Slot.column = 0;
+    Slot.reserved_ = 0;
+    Slot.hits = P.Hits;
+    Slot.misses = P.Misses;
+    Slot.error_events = Central.numEventsAtSite(P.Site);
+    Slot.file = "";
+    Slot.function = nullptr;
+    if (const SiteInfo *W = pool->Pool.siteTables().resolve(P.Site)) {
+      Slot.line = W->Line;
+      Slot.column = W->Column;
+      Slot.file = W->File;
+      Slot.function = W->Function[0] != '\0' ? W->Function : nullptr;
+    }
+  }
+  return N;
 }
 
 } // extern "C"

@@ -6,6 +6,7 @@
 
 #include "instrument/Pipeline.h"
 
+#include "bytecode/Compiler.h"
 #include "instrument/CheckOptimizer.h"
 #include "instrument/Lowering.h"
 #include "ir/Verifier.h"
@@ -83,6 +84,15 @@ CompileResult instrument::compileMiniC(std::string_view Source,
     if (!ir::verifyModule(*M, Diags))
       return Result;
   }
+
+  // Lower to bytecode while the IR is hot: the VM input is a pipeline
+  // product, not a caller afterthought. Verified modules always fit
+  // the encoding; a failure here is a compiler bug surfaced as a
+  // diagnostic (M is still returned for the tree-walker).
+  std::string BcError;
+  Result.BC = bytecode::compile(*M, &BcError);
+  if (!Result.BC)
+    Diags.error(SourceLoc(), "bytecode lowering failed: " + BcError);
 
   Result.M = std::move(M);
   return Result;

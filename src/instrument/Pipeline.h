@@ -16,6 +16,7 @@
 #define EFFECTIVE_INSTRUMENT_PIPELINE_H
 
 #include "api/CheckPolicy.h"
+#include "bytecode/Bytecode.h"
 #include "instrument/InstrumentPass.h"
 #include "ir/IR.h"
 
@@ -39,6 +40,11 @@ instrumentOptionsFor(CheckPolicy Policy,
 struct CompileResult {
   std::unique_ptr<ir::Module> M; ///< Null on any frontend/verifier error.
   InstrumentStats Stats;         ///< What the instrumentation pass did.
+  /// The module lowered to bytecode (the fast engine's input; see
+  /// bytecode/VM.h). Produced whenever M is — verified pipeline output
+  /// always fits the encoding. M owns the types and site table BC
+  /// references, so keep both alive together.
+  std::unique_ptr<bytecode::Program> BC;
 };
 
 /// Compiles \p Source under \p Opts. Diagnostics (including verifier

@@ -3,12 +3,21 @@
 // Part of the EffectiveSan reproduction. Released under the MIT license.
 //
 //===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tree-walking reference interpreter. It executes ir::Module
+/// instruction objects directly — simple, slow, and the differential
+/// oracle for the bytecode VM (bytecode/VM.cpp): both engines share
+/// their value semantics through interp/ExecSupport.h and must produce
+/// identical results, checks and error reports for every program.
+///
+//===----------------------------------------------------------------------===//
 
 #include "interp/Interp.h"
 
 #include "api/Sanitizer.h"
+#include "interp/ExecSupport.h"
 
-#include <cinttypes>
 #include <cstring>
 #include <vector>
 
@@ -18,13 +27,7 @@ using namespace effective::ir;
 
 namespace {
 
-/// One 64-bit VM value; interpretation is directed by register types.
-union Value {
-  int64_t I;
-  uint64_t U;
-  double F;
-  void *P;
-};
+using exec::Value;
 
 /// The VM. Faults (wild accesses, budget exhaustion — not program
 /// type/memory errors, which are reported by the runtime and execution
@@ -38,7 +41,7 @@ public:
   /// policy-independent).
   Interpreter(const Module &M, Runtime &RT, const RunOptions &Opts,
               Sanitizer *Session = nullptr)
-      : M(M), RT(RT), Session(Session), Opts(Opts) {}
+      : M(M), RT(RT), Session(Session), Opts(Opts), Guard(RT) {}
 
   RunResult run(std::string_view Entry) {
     RunResult R;
@@ -50,7 +53,7 @@ public:
     // one, and a later module can never alias a destroyed one.
     if (M.numCheckSites() != 0)
       SiteBase = RT.siteTables().registerTable(M.siteTable(), M.uid());
-    allocateGlobals();
+    Image.allocate(M, RT);
     if (const Function *Init = M.findFunction("__global_init"))
       callFunction(*Init, {});
     const Function *Main = M.findFunction(Entry);
@@ -77,219 +80,14 @@ private:
     }
   }
 
-  //===--------------------------------------------------------------------===//
-  // Memory safety net
-  //===--------------------------------------------------------------------===//
-
-  /// Validates a raw access before the VM performs it; returns null and
-  /// faults otherwise. Accesses inside the demand-paged low-fat arena
-  /// are host-safe even when they are program errors (the checks have
-  /// already logged those); anything else must be a tracked legacy
-  /// allocation.
+  /// Validates a raw access through the shared host-memory safety net
+  /// (see exec::HostGuard); returns null and faults otherwise.
   void *validate(Value Addr, uint64_t Size, const char *What) {
-    char *P = static_cast<char *>(Addr.P);
-    if (!P) {
-      fault(std::string("null ") + What);
-      return nullptr;
-    }
-    if (RT.heap().isInArena(P) && RT.heap().isInArena(P + Size))
-      return P;
-    for (const auto &[Base, Len] : LegacyBlocks) {
-      if (Addr.U >= Base && Addr.U + Size <= Base + Len)
-        return P;
-    }
-    char Buf[96];
-    std::snprintf(Buf, sizeof(Buf),
-                  "wild %s at 0x%" PRIxPTR " (%" PRIu64 " bytes)", What,
-                  Addr.U, Size);
-    fault(Buf);
-    return nullptr;
-  }
-
-  //===--------------------------------------------------------------------===//
-  // Globals and strings
-  //===--------------------------------------------------------------------===//
-
-  void allocateGlobals() {
-    GlobalAddrs.clear();
-    GlobalSizes.clear();
-    for (const Global &G : M.Globals) {
-      void *P = RT.globalAllocate(G.Size, G.ElemType, G.Name);
-      GlobalAddrs.push_back(P);
-      GlobalSizes.push_back(G.Size);
-    }
-    StringAddrs.clear();
-    StringSizes.clear();
-    for (const std::string &S : M.Strings) {
-      uint64_t Size = S.size() + 1;
-      void *P =
-          RT.globalAllocate(Size, M.typeContext().getChar(), "__str");
-      std::memcpy(P, S.data(), S.size());
-      static_cast<char *>(P)[S.size()] = '\0';
-      StringAddrs.push_back(P);
-      StringSizes.push_back(Size);
-    }
-  }
-
-  //===--------------------------------------------------------------------===//
-  // Scalar load/store directed by TypeInfo
-  //===--------------------------------------------------------------------===//
-
-  Value loadScalar(const void *P, const TypeInfo *T) {
-    Value V;
-    V.U = 0;
-    switch (T->kind()) {
-    case TypeKind::Bool:
-    case TypeKind::Char:
-    case TypeKind::SChar: {
-      int8_t X;
-      std::memcpy(&X, P, 1);
-      V.I = X;
-      break;
-    }
-    case TypeKind::UChar: {
-      uint8_t X;
-      std::memcpy(&X, P, 1);
-      V.U = X;
-      break;
-    }
-    case TypeKind::Short: {
-      int16_t X;
-      std::memcpy(&X, P, 2);
-      V.I = X;
-      break;
-    }
-    case TypeKind::UShort: {
-      uint16_t X;
-      std::memcpy(&X, P, 2);
-      V.U = X;
-      break;
-    }
-    case TypeKind::Int: {
-      int32_t X;
-      std::memcpy(&X, P, 4);
-      V.I = X;
-      break;
-    }
-    case TypeKind::UInt: {
-      uint32_t X;
-      std::memcpy(&X, P, 4);
-      V.U = X;
-      break;
-    }
-    case TypeKind::Long:
-    case TypeKind::LongLong:
-    case TypeKind::ULong:
-    case TypeKind::ULongLong:
-      std::memcpy(&V.U, P, 8);
-      break;
-    case TypeKind::Float: {
-      float X;
-      std::memcpy(&X, P, 4);
-      V.F = X;
-      break;
-    }
-    case TypeKind::Double:
-      std::memcpy(&V.F, P, 8);
-      break;
-    case TypeKind::Pointer:
-      std::memcpy(&V.P, P, 8);
-      break;
-    default:
-      fault("load of unsupported type " + T->str());
-      break;
-    }
-    return V;
-  }
-
-  void storeScalar(void *P, const TypeInfo *T, Value V) {
-    switch (T->kind()) {
-    case TypeKind::Bool:
-    case TypeKind::Char:
-    case TypeKind::SChar:
-    case TypeKind::UChar: {
-      uint8_t X = static_cast<uint8_t>(V.U);
-      std::memcpy(P, &X, 1);
-      break;
-    }
-    case TypeKind::Short:
-    case TypeKind::UShort: {
-      uint16_t X = static_cast<uint16_t>(V.U);
-      std::memcpy(P, &X, 2);
-      break;
-    }
-    case TypeKind::Int:
-    case TypeKind::UInt: {
-      uint32_t X = static_cast<uint32_t>(V.U);
-      std::memcpy(P, &X, 4);
-      break;
-    }
-    case TypeKind::Long:
-    case TypeKind::ULong:
-    case TypeKind::LongLong:
-    case TypeKind::ULongLong:
-      std::memcpy(P, &V.U, 8);
-      break;
-    case TypeKind::Float: {
-      float X = static_cast<float>(V.F);
-      std::memcpy(P, &X, 4);
-      break;
-    }
-    case TypeKind::Double:
-      std::memcpy(P, &V.F, 8);
-      break;
-    case TypeKind::Pointer:
-      std::memcpy(P, &V.P, 8);
-      break;
-    default:
-      fault("store of unsupported type " + T->str());
-      break;
-    }
-  }
-
-  /// Canonicalizes an integer register value to its type's width.
-  static Value normalizeInt(Value V, const TypeInfo *T) {
-    switch (T->kind()) {
-    case TypeKind::Bool:
-      V.U = V.U & 1;
-      break;
-    case TypeKind::Char:
-    case TypeKind::SChar:
-      V.I = static_cast<int8_t>(V.U);
-      break;
-    case TypeKind::UChar:
-      V.U = static_cast<uint8_t>(V.U);
-      break;
-    case TypeKind::Short:
-      V.I = static_cast<int16_t>(V.U);
-      break;
-    case TypeKind::UShort:
-      V.U = static_cast<uint16_t>(V.U);
-      break;
-    case TypeKind::Int:
-      V.I = static_cast<int32_t>(V.U);
-      break;
-    case TypeKind::UInt:
-      V.U = static_cast<uint32_t>(V.U);
-      break;
-    default:
-      break;
-    }
-    return V;
-  }
-
-  static bool isUnsigned(const TypeInfo *T) {
-    switch (T->kind()) {
-    case TypeKind::Bool:
-    case TypeKind::UChar:
-    case TypeKind::UShort:
-    case TypeKind::UInt:
-    case TypeKind::ULong:
-    case TypeKind::ULongLong:
-      return true;
-    default:
-      return false;
-    }
+    std::string Msg;
+    void *P = Guard.validate(Addr, Size, What, Msg);
+    if (!P)
+      fault(std::move(Msg));
+    return P;
   }
 
   //===--------------------------------------------------------------------===//
@@ -350,7 +148,7 @@ private:
       switch (I.Op) {
       case Opcode::ConstInt:
         Regs[I.Dst].U = I.Imm;
-        Regs[I.Dst] = normalizeInt(Regs[I.Dst], I.Type);
+        Regs[I.Dst] = exec::normalizeInt(Regs[I.Dst], I.Type);
         break;
       case Opcode::ConstFloat:
         Regs[I.Dst].F = I.FImm;
@@ -359,16 +157,16 @@ private:
         Regs[I.Dst].P = nullptr;
         break;
       case Opcode::StringAddr:
-        Regs[I.Dst].P = StringAddrs[I.Imm];
+        Regs[I.Dst].P = Image.StringAddrs[I.Imm];
         if (I.BDst != NoBReg)
-          BRegs[I.BDst] =
-              Bounds::forObject(StringAddrs[I.Imm], StringSizes[I.Imm]);
+          BRegs[I.BDst] = Bounds::forObject(Image.StringAddrs[I.Imm],
+                                            Image.StringSizes[I.Imm]);
         break;
       case Opcode::GlobalAddr:
-        Regs[I.Dst].P = GlobalAddrs[I.Imm];
+        Regs[I.Dst].P = Image.GlobalAddrs[I.Imm];
         if (I.BDst != NoBReg)
-          BRegs[I.BDst] =
-              Bounds::forObject(GlobalAddrs[I.Imm], GlobalSizes[I.Imm]);
+          BRegs[I.BDst] = Bounds::forObject(Image.GlobalAddrs[I.Imm],
+                                            Image.GlobalSizes[I.Imm]);
         break;
       case Opcode::SlotAddr:
         Regs[I.Dst].P = Slots[I.Imm];
@@ -382,15 +180,25 @@ private:
           BRegs[I.BDst] =
               I.BSrc != NoBReg ? BRegs[I.BSrc] : Bounds::wide();
         break;
-      case Opcode::Arith:
-        Regs[I.Dst] = evalArith(I, Regs[I.A], Regs[I.B]);
+      case Opcode::Arith: {
+        Value R;
+        if (!exec::evalArith(I.AOp, I.Type, Regs[I.A], Regs[I.B], R))
+          fault("bitwise arithmetic on floating type");
+        Regs[I.Dst] = R;
         break;
+      }
       case Opcode::Compare:
-        Regs[I.Dst].I = evalCompare(I, Regs[I.A], Regs[I.B]) ? 1 : 0;
+        Regs[I.Dst].I =
+            exec::evalCompare(I.CmpPred, I.Type, Regs[I.A], Regs[I.B]) ? 1
+                                                                       : 0;
         break;
-      case Opcode::Convert:
-        Regs[I.Dst] = evalConvert(Regs[I.A], F.regType(I.A), I.Type);
+      case Opcode::Convert: {
+        Value R;
+        if (!exec::evalConvert(Regs[I.A], F.regType(I.A), I.Type, R))
+          fault("convert with untyped source register");
+        Regs[I.Dst] = R;
         break;
+      }
       case Opcode::PtrCast:
         Regs[I.Dst] = Regs[I.A];
         if (I.BDst != NoBReg)
@@ -421,13 +229,17 @@ private:
             static_cast<int64_t>(I.Type->size() ? I.Type->size() : 1);
         break;
       case Opcode::Load: {
-        if (void *P = validate(Regs[I.A], I.Type->size(), "load"))
-          Regs[I.Dst] = loadScalar(P, I.Type);
+        if (void *P = validate(Regs[I.A], I.Type->size(), "load")) {
+          if (!exec::loadScalar(P, I.Type, Regs[I.Dst]))
+            fault("load of unsupported type " + I.Type->str());
+        }
         break;
       }
       case Opcode::Store: {
-        if (void *P = validate(Regs[I.A], I.Type->size(), "store"))
-          storeScalar(P, I.Type, Regs[I.B]);
+        if (void *P = validate(Regs[I.A], I.Type->size(), "store")) {
+          if (!exec::storeScalar(P, I.Type, Regs[I.B]))
+            fault("store of unsupported type " + I.Type->str());
+        }
         break;
       }
       case Opcode::Malloc: {
@@ -438,7 +250,7 @@ private:
         }
         void *P = RT.allocate(Size, I.Type);
         if (!RT.heap().isLowFat(P))
-          LegacyBlocks.push_back({reinterpret_cast<uintptr_t>(P), Size});
+          Guard.noteLegacy(P, Size);
         Regs[I.Dst].P = P;
         if (I.BDst != NoBReg)
           BRegs[I.BDst] = Bounds::forObject(P, Size);
@@ -505,207 +317,21 @@ private:
     }
   }
 
-  Value evalArith(const Instr &I, Value A, Value B) {
-    Value R{0};
-    const TypeInfo *T = I.Type;
-    if (T->isFloating()) {
-      switch (I.AOp) {
-      case ArithOp::Add:
-        R.F = A.F + B.F;
-        return R;
-      case ArithOp::Sub:
-        R.F = A.F - B.F;
-        return R;
-      case ArithOp::Mul:
-        R.F = A.F * B.F;
-        return R;
-      case ArithOp::Div:
-        R.F = B.F != 0 ? A.F / B.F : 0;
-        return R;
-      default:
-        fault("bitwise arithmetic on floating type");
-        return R;
-      }
-    }
-    bool U = isUnsigned(T);
-    switch (I.AOp) {
-    case ArithOp::Add:
-      R.U = A.U + B.U;
-      break;
-    case ArithOp::Sub:
-      R.U = A.U - B.U;
-      break;
-    case ArithOp::Mul:
-      R.U = A.U * B.U;
-      break;
-    case ArithOp::Div:
-      // Division by zero is UB in C; the VM defines it as 0 so buggy
-      // programs keep running (the sanitizer's domain is memory, not
-      // arithmetic).
-      if (B.U == 0)
-        R.U = 0;
-      else if (U)
-        R.U = A.U / B.U;
-      else if (A.I == INT64_MIN && B.I == -1)
-        R.I = A.I; // Avoid the one signed-overflow trap case.
-      else
-        R.I = A.I / B.I;
-      break;
-    case ArithOp::Rem:
-      if (B.U == 0)
-        R.U = 0;
-      else if (U)
-        R.U = A.U % B.U;
-      else if (A.I == INT64_MIN && B.I == -1)
-        R.I = 0;
-      else
-        R.I = A.I % B.I;
-      break;
-    case ArithOp::And:
-      R.U = A.U & B.U;
-      break;
-    case ArithOp::Or:
-      R.U = A.U | B.U;
-      break;
-    case ArithOp::Xor:
-      R.U = A.U ^ B.U;
-      break;
-    case ArithOp::Shl:
-      R.U = A.U << (B.U & 63);
-      break;
-    case ArithOp::Shr:
-      if (U)
-        R.U = A.U >> (B.U & 63);
-      else
-        R.I = A.I >> (B.U & 63);
-      break;
-    }
-    return normalizeInt(R, T);
-  }
-
-  bool evalCompare(const Instr &I, Value A, Value B) {
-    const TypeInfo *T = I.Type;
-    if (T->isFloating()) {
-      switch (I.CmpPred) {
-      case Pred::Eq:
-        return A.F == B.F;
-      case Pred::Ne:
-        return A.F != B.F;
-      case Pred::Lt:
-        return A.F < B.F;
-      case Pred::Le:
-        return A.F <= B.F;
-      case Pred::Gt:
-        return A.F > B.F;
-      case Pred::Ge:
-        return A.F >= B.F;
-      }
-    }
-    if (T->isPointer() || isUnsigned(T)) {
-      switch (I.CmpPred) {
-      case Pred::Eq:
-        return A.U == B.U;
-      case Pred::Ne:
-        return A.U != B.U;
-      case Pred::Lt:
-        return A.U < B.U;
-      case Pred::Le:
-        return A.U <= B.U;
-      case Pred::Gt:
-        return A.U > B.U;
-      case Pred::Ge:
-        return A.U >= B.U;
-      }
-    }
-    switch (I.CmpPred) {
-    case Pred::Eq:
-      return A.I == B.I;
-    case Pred::Ne:
-      return A.I != B.I;
-    case Pred::Lt:
-      return A.I < B.I;
-    case Pred::Le:
-      return A.I <= B.I;
-    case Pred::Gt:
-      return A.I > B.I;
-    case Pred::Ge:
-      return A.I >= B.I;
-    }
-    return false;
-  }
-
-  Value evalConvert(Value V, const TypeInfo *From, const TypeInfo *To) {
-    Value R{0};
-    if (!From) {
-      fault("convert with untyped source register");
-      return R;
-    }
-    if (To->isFloating()) {
-      if (From->isFloating())
-        R.F = V.F;
-      else if (isUnsigned(From))
-        R.F = static_cast<double>(V.U);
-      else
-        R.F = static_cast<double>(V.I);
-      if (To->kind() == TypeKind::Float)
-        R.F = static_cast<float>(R.F);
-      return R;
-    }
-    if (From->isFloating()) {
-      // Out-of-range float-to-int is UB in C; saturate instead so the
-      // VM stays deterministic.
-      double Clamped = V.F;
-      if (isUnsigned(To)) {
-        if (!(Clamped >= 0))
-          Clamped = 0;
-        if (Clamped >= 1.8446744073709552e19)
-          Clamped = 1.8446744073709552e19;
-        R.U = static_cast<uint64_t>(Clamped);
-      } else {
-        if (Clamped >= 9.223372036854775e18)
-          Clamped = 9.223372036854775e18;
-        if (Clamped <= -9.223372036854775e18)
-          Clamped = -9.223372036854775e18;
-        if (Clamped != Clamped)
-          Clamped = 0;
-        R.I = static_cast<int64_t>(Clamped);
-      }
-      return normalizeInt(R, To);
-    }
-    // Integer/pointer to integer: reinterpret then normalize.
-    R.U = V.U;
-    return normalizeInt(R, To);
-  }
-
   void execBuiltin(BuiltinId Id, const Instr &I,
                    std::vector<Value> &Regs) {
-    char Buf[64];
     switch (Id) {
     case BuiltinId::PrintInt:
-      std::snprintf(Buf, sizeof(Buf), "%" PRId64 "\n", Regs[I.Args[0]].I);
-      Output += Buf;
+      exec::printInt(Regs[I.Args[0]].I, Output);
       break;
     case BuiltinId::PrintFloat:
-      std::snprintf(Buf, sizeof(Buf), "%g\n", Regs[I.Args[0]].F);
-      Output += Buf;
+      exec::printFloat(Regs[I.Args[0]].F, Output);
       break;
-    case BuiltinId::PrintStr: {
-      Value V = Regs[I.Args[0]];
-      if (!V.P) {
-        Output += "(null)\n";
-        break;
-      }
-      for (uint64_t K = 0; K < 4096 && !Faulted; ++K) {
-        const char *C =
-            static_cast<const char *>(validate(V, 1, "print_str read"));
-        if (!C || *C == '\0')
-          break;
-        Output += *C;
-        ++V.U;
-      }
-      Output += '\n';
+    case BuiltinId::PrintStr:
+      exec::printStr(Regs[I.Args[0]], Output,
+                     [this](Value V, uint64_t Size, const char *What) {
+                       return Faulted ? nullptr : validate(V, Size, What);
+                     });
       break;
-    }
     }
   }
 
@@ -754,11 +380,8 @@ private:
   /// the module has no sites).
   SiteId SiteBase = NoSite;
 
-  std::vector<void *> GlobalAddrs;
-  std::vector<uint64_t> GlobalSizes;
-  std::vector<void *> StringAddrs;
-  std::vector<uint64_t> StringSizes;
-  std::vector<std::pair<uintptr_t, uint64_t>> LegacyBlocks;
+  exec::HostGuard Guard;
+  exec::ModuleImage Image;
 
   std::string Output;
   uint64_t Steps = 0;

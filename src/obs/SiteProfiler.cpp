@@ -27,7 +27,7 @@ void SiteProfiler::noteCold(Slot &S, uint32_t Site, bool Hit) {
   C.store(C.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
 }
 
-std::vector<SiteProfile> SiteProfiler::topSites(size_t N) const {
+std::vector<SiteProfile> SiteProfiler::collect() const {
   std::vector<SiteProfile> All;
   for (size_t I = 0; I < NumSlots; ++I) {
     const Slot &S = Table[I];
@@ -40,6 +40,11 @@ std::vector<SiteProfile> SiteProfiler::topSites(size_t N) const {
     P.Misses = S.Misses.load(std::memory_order_relaxed);
     All.push_back(P);
   }
+  return All;
+}
+
+std::vector<SiteProfile> SiteProfiler::topSites(size_t N) const {
+  std::vector<SiteProfile> All = collect();
   std::sort(All.begin(), All.end(),
             [](const SiteProfile &A, const SiteProfile &B) {
               return A.Hits + A.Misses > B.Hits + B.Misses;

@@ -67,6 +67,11 @@ public:
   /// The top \p N sites by hits+misses, descending.
   std::vector<SiteProfile> topSites(size_t N) const;
 
+  /// Every claimed slot, unordered — the raw material for cross-table
+  /// merges (concurrent::SessionPool sums its shards' tables with
+  /// this before ranking once pool-wide).
+  std::vector<SiteProfile> collect() const;
+
   void reset();
 
 private:

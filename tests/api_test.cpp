@@ -948,3 +948,167 @@ TEST(EffsanAbiTest, PoolHeapStatsAndStealingThroughTheAbi) {
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Program execution through the ABI (since 1.7)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Collects effsan_run_minic output chunks into a std::string.
+void collectOutput(const char *Data, size_t Len, void *UserData) {
+  static_cast<std::string *>(UserData)->append(Data, Len);
+}
+
+} // namespace
+
+TEST(EffsanAbiTest, RunMinicThroughBothEngines) {
+  constexpr const char *Source = R"(
+int main() {
+  int *a = (int *)malloc(16 * sizeof(int));
+  int i;
+  for (i = 0; i < 16; i = i + 1)
+    a[i] = i;
+  int t = 0;
+  for (i = 0; i < 16; i = i + 1)
+    t = t + a[i];
+  print_int(t);
+  free(a);
+  return t % 100;
+}
+)";
+  effsan_run_result Results[2];
+  std::string Outputs[2];
+  const uint32_t Engines[2] = {EFFSAN_ENGINE_BYTECODE, EFFSAN_ENGINE_TREE};
+
+  for (int E = 0; E < 2; ++E) {
+    effsan_options Options;
+    effsan_options_init(&Options);
+    EXPECT_EQ(Options.engine, (uint32_t)EFFSAN_ENGINE_BYTECODE)
+        << "the VM is the default engine";
+    Options.log_errors = 0;
+    Options.engine = Engines[E];
+    effsan_session *S = effsan_session_create(&Options);
+    ASSERT_NE(S, nullptr);
+    EXPECT_EQ(effsan_session_engine(S), Engines[E]);
+
+    effsan_run_options Run;
+    effsan_run_options_init(&Run);
+    Run.output = collectOutput;
+    Run.output_user_data = &Outputs[E];
+
+    std::memset(&Results[E], 0, sizeof(Results[E]));
+    Results[E].struct_size = sizeof(Results[E]);
+    ASSERT_NE(effsan_run_minic(S, Source, &Run, &Results[E]), 0)
+        << Results[E].fault;
+    EXPECT_NE(Results[E].ok, 0u) << Results[E].fault;
+    effsan_session_destroy(S);
+  }
+
+  // Differential through the C surface: identical everything but steps.
+  EXPECT_EQ(Results[0].exit_code, 120 % 100);
+  EXPECT_EQ(Results[0].exit_code, Results[1].exit_code);
+  EXPECT_EQ(Results[0].type_checks, Results[1].type_checks);
+  EXPECT_EQ(Results[0].bounds_gets, Results[1].bounds_gets);
+  EXPECT_EQ(Results[0].bounds_checks, Results[1].bounds_checks);
+  EXPECT_EQ(Results[0].bounds_narrows, Results[1].bounds_narrows);
+  EXPECT_EQ(Results[0].issues_reported, 0u);
+  EXPECT_EQ(Results[1].issues_reported, 0u);
+  EXPECT_EQ(Outputs[0], "120\n");
+  EXPECT_EQ(Outputs[0], Outputs[1]);
+  EXPECT_GT(Results[0].bounds_checks, 16u) << "checks actually executed";
+  EXPECT_LT(Results[0].steps, Results[1].steps)
+      << "superinstructions retire more work per step";
+}
+
+TEST(EffsanAbiTest, RunMinicReportsIntoTheSession) {
+  effsan_options Options;
+  effsan_options_init(&Options);
+  Options.log_errors = 0;
+  effsan_session *S = effsan_session_create(&Options);
+  ASSERT_NE(S, nullptr);
+
+  effsan_run_result R;
+  std::memset(&R, 0, sizeof(R));
+  R.struct_size = sizeof(R);
+  ASSERT_NE(effsan_run_minic(S, R"(
+int main() {
+  int *p = (int *)malloc(8 * sizeof(int));
+  float *q = (float *)p;   /* bad cast */
+  float f = *q;
+  free(p);
+  return (int)f;
+}
+)",
+                             nullptr, &R),
+            0)
+      << R.fault;
+  EXPECT_NE(R.ok, 0u) << "logging mode: errors reported, run continues";
+  EXPECT_GE(R.issues_reported, 1u);
+
+  // The run's issues land in the session's counters, like API checks.
+  effsan_counters Counters;
+  effsan_get_counters(S, &Counters);
+  EXPECT_GE(Counters.issues_found, 1u);
+  EXPECT_GE(Counters.type_checks, 1u);
+  effsan_session_destroy(S);
+}
+
+TEST(EffsanAbiTest, RunMinicCompileErrorAndFaultPaths) {
+  effsan_options Options;
+  effsan_options_init(&Options);
+  Options.log_errors = 0;
+  effsan_session *S = effsan_session_create(&Options);
+  ASSERT_NE(S, nullptr);
+
+  // Frontend error: returns 0, fault carries the diagnostic.
+  effsan_run_result R;
+  std::memset(&R, 0, sizeof(R));
+  R.struct_size = sizeof(R);
+  EXPECT_EQ(effsan_run_minic(S, "int main() { return missing; }",
+                             nullptr, &R),
+            0);
+  EXPECT_EQ(R.ok, 0u);
+  EXPECT_NE(std::string(R.fault).find("missing"), std::string::npos)
+      << R.fault;
+
+  // VM fault: budget exhaustion surfaces through ok=0 + fault text.
+  effsan_run_options Run;
+  effsan_run_options_init(&Run);
+  Run.max_steps = 5000;
+  std::memset(&R, 0, sizeof(R));
+  R.struct_size = sizeof(R);
+  ASSERT_NE(effsan_run_minic(S, "int main() { while (1) { } return 0; }",
+                             &Run, &R),
+            0);
+  EXPECT_EQ(R.ok, 0u);
+  EXPECT_NE(std::string(R.fault).find("budget"), std::string::npos)
+      << R.fault;
+  effsan_session_destroy(S);
+}
+
+TEST(EffsanAbiTest, PoolShardsInheritThePoolEngine) {
+  effsan_pool_options Options;
+  effsan_pool_options_init(&Options);
+  EXPECT_EQ(Options.engine, (uint32_t)EFFSAN_ENGINE_BYTECODE);
+  Options.log_errors = 0;
+  Options.shards = 2;
+  Options.engine = EFFSAN_ENGINE_TREE;
+  effsan_pool *Pool = effsan_pool_create(&Options);
+  ASSERT_NE(Pool, nullptr);
+  for (uint32_t I = 0; I < effsan_pool_num_shards(Pool); ++I)
+    EXPECT_EQ(effsan_session_engine(effsan_pool_shard(Pool, I)),
+              (uint32_t)EFFSAN_ENGINE_TREE);
+
+  // Shard sessions run programs like owned sessions do.
+  effsan_run_result R;
+  std::memset(&R, 0, sizeof(R));
+  R.struct_size = sizeof(R);
+  ASSERT_NE(effsan_run_minic(effsan_pool_shard(Pool, 0),
+                             "int main() { return 7; }", nullptr, &R),
+            0)
+      << R.fault;
+  EXPECT_NE(R.ok, 0u);
+  EXPECT_EQ(R.exit_code, 7);
+  effsan_pool_destroy(Pool);
+}

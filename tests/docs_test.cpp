@@ -63,6 +63,7 @@ TEST(Docs, TreeExists) {
   EXPECT_TRUE(fs::exists(Root / "docs" / "ARCHITECTURE.md"));
   EXPECT_TRUE(fs::exists(Root / "docs" / "ABI.md"));
   EXPECT_TRUE(fs::exists(Root / "docs" / "REPORT_FORMAT.md"));
+  EXPECT_TRUE(fs::exists(Root / "docs" / "BYTECODE.md"));
 }
 
 TEST(Docs, ReadmeLinksTheDocsTree) {
@@ -70,6 +71,7 @@ TEST(Docs, ReadmeLinksTheDocsTree) {
   EXPECT_NE(Readme.find("docs/ARCHITECTURE.md"), std::string::npos);
   EXPECT_NE(Readme.find("docs/ABI.md"), std::string::npos);
   EXPECT_NE(Readme.find("docs/REPORT_FORMAT.md"), std::string::npos);
+  EXPECT_NE(Readme.find("docs/BYTECODE.md"), std::string::npos);
 }
 
 TEST(Docs, NoBrokenRelativeLinks) {

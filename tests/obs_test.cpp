@@ -655,3 +655,80 @@ TEST(ObsAbiTest, MetricsRenderProducesPrometheusText) {
             std::string::npos);
   effsan_service_destroy(Svc);
 }
+
+TEST(ObsAbiTest, PoolHotSitesMergeAcrossShards) {
+  effsan_pool_options Options;
+  effsan_pool_options_init(&Options);
+  Options.log_errors = 0;
+  Options.shards = 2;
+  effsan_pool *Pool = effsan_pool_create(&Options);
+  ASSERT_NE(Pool, nullptr);
+
+  if (!obs::compiledIn()) {
+    effsan_obs_site Sites[1];
+    EXPECT_EQ(effsan_pool_hot_sites(Pool, Sites, 1), 0u);
+    effsan_pool_destroy(Pool);
+    return;
+  }
+  ObsQuiesce Quiesce;
+
+  effsan_session *S0 = effsan_pool_shard(Pool, 0);
+  effsan_session *S1 = effsan_pool_shard(Pool, 1);
+  effsan_type IntTy = effsan_type_primitive(S0, EFFSAN_PRIM_INT);
+
+  // Registration through ANY shard session is pool-wide, so both
+  // shards profile the same site id.
+  effsan_site_info Info[1];
+  std::memset(Info, 0, sizeof(Info));
+  Info[0].line = 11;
+  Info[0].column = 5;
+  Info[0].kind = EFFSAN_CHECK_TYPE;
+  Info[0].function = "shared_loop";
+  Info[0].static_type = IntTy;
+  uint32_t Base = effsan_site_table_register(S0, "pool.c", Info, 1);
+  ASSERT_NE(Base, EFFSAN_NO_SITE);
+
+  int *P0 = static_cast<int *>(effsan_malloc(S0, 8 * sizeof(int), IntTy));
+  int *P1 = static_cast<int *>(effsan_malloc(S1, 8 * sizeof(int), IntTy));
+  effsan_obs_enable(EFFSAN_OBS_PROFILE);
+  effsan_bounds B0 = effsan_type_check_at(S0, P0, IntTy, Base);
+  effsan_bounds B1 = effsan_type_check_at(S1, P1, IntTy, Base);
+  for (int I = 0; I < 499; ++I) {
+    B0 = effsan_type_check_at(S0, P0, IntTy, Base);
+    B1 = effsan_type_check_at(S1, P1, IntTy, Base);
+  }
+  effsan_obs_enable(0);
+  // Errors at the site land in the central reporter regardless of
+  // which shard trips them.
+  effsan_bounds_check_at(S0, P0 + 8, sizeof(int), B0, Base);
+  effsan_bounds_check_at(S1, P1 + 8, sizeof(int), B1, Base);
+
+  // Per-shard rankings see only their own shard's traffic...
+  effsan_obs_site Shard0[8];
+  uint32_t N0 = effsan_obs_hot_sites(S0, Shard0, 8);
+  ASSERT_GE(N0, 1u);
+  EXPECT_EQ(Shard0[0].site, Base);
+
+  // ...while the pool merge sums both shards into ONE entry.
+  effsan_obs_site Hot[8];
+  uint32_t N = effsan_pool_hot_sites(Pool, Hot, 8);
+  ASSERT_GE(N, 1u);
+  ASSERT_LE(N, 8u);
+  EXPECT_EQ(Hot[0].site, Base);
+  EXPECT_GE(Hot[0].misses, 2u) << "both shards' cold-cache first checks";
+  EXPECT_GT(Hot[0].hits + Hot[0].misses,
+            Shard0[0].hits + Shard0[0].misses)
+      << "the merged entry carries more traffic than any one shard";
+  EXPECT_EQ(Hot[0].error_events, 2u) << "joined from the central drain";
+  EXPECT_STREQ(Hot[0].file, "pool.c");
+  EXPECT_EQ(Hot[0].line, 11u);
+  EXPECT_EQ(Hot[0].column, 5u);
+  EXPECT_STREQ(Hot[0].function, "shared_loop");
+
+  EXPECT_EQ(effsan_pool_hot_sites(Pool, nullptr, 8), 0u);
+  EXPECT_EQ(effsan_pool_hot_sites(nullptr, Hot, 8), 0u);
+
+  effsan_free(S0, P0);
+  effsan_free(S1, P1);
+  effsan_pool_destroy(Pool);
+}
