@@ -29,20 +29,23 @@ int main() {
   std::printf("==============================================================="
               "=====\n\n");
 
-  std::printf("%-22s %-10s %-10s %-10s %s\n", "Sanitizer", "Types", "Bounds",
-              "UAF", "FalsePos");
-  std::printf("%-22s %-10s %-10s %-10s %s\n", "---------", "-----", "------",
-              "---", "--------");
+  std::printf("%-22s %-10s %-10s %-10s %-10s %-10s %s\n", "Sanitizer",
+              "Types", "Bounds", "UAF", "Stack", "Global", "FalsePos");
+  std::printf("%-22s %-10s %-10s %-10s %-10s %-10s %s\n", "---------",
+              "-----", "------", "---", "-----", "------", "--------");
 
   std::vector<std::vector<ScenarioOutcome>> AllDetails;
   for (ModelKind Kind : AllModelKinds) {
     std::vector<ScenarioOutcome> Details;
     MatrixRow Row = evaluateModel(Kind, &Details);
     AllDetails.push_back(Details);
-    std::printf("%-22s %-10s %-10s %-10s %u\n", modelKindName(Kind),
+    std::printf("%-22s %-10s %-10s %-10s %-10s %-10s %u\n",
+                modelKindName(Kind),
                 capabilityMark(Row.typesCapability()),
                 capabilityMark(Row.boundsCapability()),
                 capabilityMark(Row.temporalCapability()),
+                capabilityMark(Row.stackCapability()),
+                capabilityMark(Row.globalCapability()),
                 Row.ControlFalsePositives);
   }
 

@@ -306,6 +306,39 @@ void effsan_free(effsan_session *session, void *ptr) {
 }
 
 //===----------------------------------------------------------------------===//
+// Typed stack & global objects (since 1.8)
+//===----------------------------------------------------------------------===//
+
+effsan_stack_mark effsan_stack_enter(effsan_session *session) {
+  return session->S->runtime().stackMark();
+}
+
+void effsan_stack_leave(effsan_session *session, effsan_stack_mark mark) {
+  session->S->runtime().stackRelease(static_cast<size_t>(mark));
+}
+
+void *effsan_stack_alloc_typed(effsan_session *session, size_t size,
+                               effsan_type type, int escapes) {
+  return session->S->runtime().stackAllocate(size, unwrap(type),
+                                             escapes != 0);
+}
+
+uint32_t effsan_globals_register(effsan_session *session,
+                                 const effsan_global_def *defs,
+                                 uint32_t count, void **addresses_out) {
+  if (!defs || !addresses_out || count == 0)
+    return 0;
+  Runtime &RT = session->S->runtime();
+  for (uint32_t I = 0; I < count; ++I) {
+    const effsan_global_def &D = defs[I];
+    addresses_out[I] = RT.globalAllocate(
+        D.size, unwrap(D.type),
+        D.name ? std::string_view(D.name) : std::string_view());
+  }
+  return count;
+}
+
+//===----------------------------------------------------------------------===//
 // Dynamic checks
 //===----------------------------------------------------------------------===//
 
@@ -370,6 +403,13 @@ void effsan_get_heap_stats(const effsan_session *session,
   // Per-shard view: for pooled sessions this is the shard's slice of
   // the shared arena; for private sessions shard 0 IS the whole heap.
   effsan_detail::fillHeapStats(RT.heap().shardStats(RT.heapShard()), out);
+}
+
+void effsan_get_object_stats(const effsan_session *session,
+                             effsan_object_stats *out) {
+  auto *S = const_cast<effsan_session *>(session);
+  Runtime &RT = S->S->runtime();
+  effsan_detail::fillObjectStats(RT, out);
 }
 
 void effsan_set_error_callback(effsan_session *session,

@@ -47,7 +47,7 @@ extern "C" {
  *===--------------------------------------------------------------------===*/
 
 #define EFFSAN_ABI_VERSION_MAJOR 1
-#define EFFSAN_ABI_VERSION_MINOR 7
+#define EFFSAN_ABI_VERSION_MINOR 8
 #define EFFSAN_ABI_VERSION                                                   \
   ((EFFSAN_ABI_VERSION_MAJOR << 16) | EFFSAN_ABI_VERSION_MINOR)
 
@@ -384,6 +384,66 @@ void *effsan_realloc(effsan_session *session, void *ptr, size_t size,
 void effsan_free(effsan_session *session, void *ptr);
 
 /*===--------------------------------------------------------------------===*
+ * Typed stack & global objects (since 1.8)
+ *
+ * The low-fat STACK and GLOBAL object kinds of the paper's Section 5:
+ * frame-scoped typed stack slots with escape-aware use-after-return
+ * detection, and module-load global registration. Stack objects live
+ * in a per-thread pool with strict frame discipline; when a frame
+ * leaves, its objects' METAs are rebound to the STACK-FREE type, and
+ * objects flagged as escaping are additionally parked in a bounded
+ * FIFO quarantine that delays address reuse — a dangling pointer into
+ * the dead frame then faults as EFFSAN_ERROR_STACK_USE_AFTER_RETURN
+ * with full site attribution, instead of silently aliasing whatever
+ * reused the slot. Global objects are never freed (until session
+ * reset) and keep base(p)/size(p) O(1) like any low-fat allocation.
+ *===--------------------------------------------------------------------===*/
+
+/* A frame marker, as returned by effsan_stack_enter. */
+typedef uint64_t effsan_stack_mark;
+
+/* Opens a stack frame on the calling thread and returns its marker.
+ * Frames are per (thread, session) and strictly nested: leave frames
+ * in reverse order of entry. */
+effsan_stack_mark effsan_stack_enter(effsan_session *session);
+
+/* Closes the frame `mark` (and any frames nested inside it that were
+ * not left explicitly): every stack object the frame allocated is
+ * rebound to STACK-FREE; escaping objects enter the use-after-return
+ * quarantine, the rest return to the heap immediately. */
+void effsan_stack_leave(effsan_session *session, effsan_stack_mark mark);
+
+/* Allocates one typed stack object in the current frame. `type` may be
+ * NULL for an untyped (wide-bounds) slot. Nonzero `escapes` marks an
+ * address-taken slot — the caller's static analysis saw its address
+ * stored, passed or returned — arming the quarantine delay for it.
+ * The memory is NOT zeroed (it is stack memory). */
+void *effsan_stack_alloc_typed(effsan_session *session, size_t size,
+                               effsan_type type, int escapes);
+
+/* One global object description for effsan_globals_register. */
+typedef struct effsan_global_def {
+  const char *name;  /* registry name (copied); may be NULL           */
+  uint64_t size;     /* object size in bytes                          */
+  effsan_type type;  /* allocation type; NULL = untyped (wide bounds) */
+} effsan_global_def;
+
+/* Module-load registration of `count` global objects — the
+ * module-ctor analogue of effsan_site_table_register. Each definition
+ * is allocated zero-initialized out of the session's low-fat global
+ * region with a full META {type, size} header, so global
+ * out-of-bounds and type-confusion errors report exactly like heap
+ * errors. addresses_out (required, `count` slots) receives the
+ * objects' addresses in definition order. Globals live until the
+ * session is destroyed or reset. For sessions checked out of a pool
+ * the objects land on that shard's slice. Returns the number of
+ * globals registered (== count), or 0 when defs/addresses_out is NULL
+ * or count is 0. */
+uint32_t effsan_globals_register(effsan_session *session,
+                                 const effsan_global_def *defs,
+                                 uint32_t count, void **addresses_out);
+
+/*===--------------------------------------------------------------------===*
  * Dynamic checks (Figures 3 and 6), dispatched by the session policy
  *===--------------------------------------------------------------------===*/
 
@@ -484,11 +544,33 @@ void effsan_get_heap_stats(const effsan_session *session,
 void effsan_pool_get_heap_stats(effsan_pool *pool,
                                 effsan_heap_stats *out);
 
+/* Typed stack & global object statistics (since 1.8). Caller-sized
+ * like effsan_heap_stats: set struct_size to
+ * sizeof(effsan_object_stats) before the call and the library fills
+ * exactly the prefix you declared — the struct only ever grows at the
+ * tail, and fields newer than your build read as zero. */
+typedef struct effsan_object_stats {
+  uint32_t struct_size; /* set by the CALLER before the call          */
+  uint32_t reserved_;
+  uint64_t stack_allocs;   /* typed stack objects ever allocated      */
+  uint64_t stack_frames;   /* frames released                         */
+  uint64_t stack_retired;  /* escaping slots retired via quarantine   */
+  uint64_t global_objects; /* globals currently registered            */
+  uint64_t global_bytes;   /* payload bytes across those globals      */
+} effsan_object_stats;
+
+/* Snapshots the session's stack/global object statistics, aggregated
+ * across every thread that used the session. */
+void effsan_get_object_stats(const effsan_session *session,
+                             effsan_object_stats *out);
+
 typedef enum effsan_error_kind {
   EFFSAN_ERROR_TYPE = 0,
   EFFSAN_ERROR_BOUNDS = 1,
   EFFSAN_ERROR_USE_AFTER_FREE = 2,
-  EFFSAN_ERROR_DOUBLE_FREE = 3
+  EFFSAN_ERROR_DOUBLE_FREE = 3,
+  /* Use of a typed stack object after its frame returned (since 1.8). */
+  EFFSAN_ERROR_STACK_USE_AFTER_RETURN = 4
 } effsan_error_kind;
 
 /*===--------------------------------------------------------------------===*

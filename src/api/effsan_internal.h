@@ -91,6 +91,8 @@ inline uint32_t errorKindValue(ErrorKind Kind) {
     return EFFSAN_ERROR_USE_AFTER_FREE;
   case ErrorKind::DoubleFree:
     return EFFSAN_ERROR_DOUBLE_FREE;
+  case ErrorKind::StackUseAfterReturn:
+    return EFFSAN_ERROR_STACK_USE_AFTER_RETURN;
   }
   return EFFSAN_ERROR_TYPE;
 }
@@ -178,6 +180,34 @@ inline void fillHeapStats(const lowfat::HeapStats &In,
     // the library predates so every byte of the declared prefix is
     // defined — unknown-to-us counters read as 0, never as stack
     // garbage.
+    std::memset(reinterpret_cast<char *>(Out) + sizeof(Full), 0,
+                N - sizeof(Full));
+    N = sizeof(Full);
+  }
+  std::memcpy(Out, &Full, N);
+}
+
+/// Fills the ABI's (growable, caller-sized) stack/global object-stats
+/// struct from the runtime's counters, with the same prefix contract
+/// as fillHeapStats.
+inline void fillObjectStats(Runtime &RT, effsan_object_stats *Out) {
+  if (!Out || Out->struct_size < sizeof(uint32_t))
+    return;
+  effsan_object_stats Full;
+  std::memset(&Full, 0, sizeof(Full));
+  Full.struct_size = Out->struct_size;
+  const ObjectCounters &C = RT.objectCounters();
+  Full.stack_allocs = C.StackAllocs.load(std::memory_order_relaxed);
+  Full.stack_frames = C.StackFrames.load(std::memory_order_relaxed);
+  Full.stack_retired = C.StackRetired.load(std::memory_order_relaxed);
+  // The pool's byte tally counts whole blocks; the ABI stat is payload
+  // bytes, so strip the per-global META header the runtime prepends.
+  size_t NumGlobals = RT.globals().size();
+  Full.global_objects = NumGlobals;
+  Full.global_bytes =
+      RT.globals().totalBytes() - NumGlobals * sizeof(MetaHeader);
+  size_t N = Out->struct_size;
+  if (N > sizeof(Full)) {
     std::memset(reinterpret_cast<char *>(Out) + sizeof(Full), 0,
                 N - sizeof(Full));
     N = sizeof(Full);

@@ -18,6 +18,7 @@
 #include "support/Compiler.h"
 
 #include <cstdlib>
+#include <unordered_map>
 #include <unordered_set>
 
 using namespace effective;
@@ -98,6 +99,36 @@ public:
     noteEvents(Before);
   }
 
+  // The real typed low-fat stack/global paths (not the heap mapping
+  // the base class defaults to). Scenario stack objects are escaping
+  // by construction — their addresses outlive the frame — so the
+  // escape flag is set and retirement goes through the
+  // use-after-return quarantine.
+  Allocation stackAllocate(size_t Size, const TypeInfo *Type) override {
+    size_t Mark = RT.stackMark();
+    void *P = RT.stackAllocate(Size, Type, /*Escapes=*/true);
+    StackMarks[P] = Mark;
+    return Allocation{P, ++NextToken};
+  }
+
+  void stackRetire(void *Ptr) override {
+    auto It = StackMarks.find(Ptr);
+    if (It == StackMarks.end())
+      return;
+    uint64_t Before = RT.reporter().numEvents();
+    RT.stackRelease(It->second); // Rebinds the META to STACK-FREE.
+    StackMarks.erase(It);
+    noteEvents(Before);
+  }
+
+  Allocation globalRegister(size_t Size, const TypeInfo *Type,
+                            const char *Name) override {
+    void *P = RT.globalAllocate(Size, Type,
+                                Name ? std::string_view(Name)
+                                     : std::string_view());
+    return Allocation{P, ++NextToken};
+  }
+
 private:
   static RuntimeOptions countingOptions() {
     RuntimeOptions Options;
@@ -115,6 +146,7 @@ private:
   Variant V;
   Runtime RT;
   uint64_t NextToken = 0;
+  std::unordered_map<void *, size_t> StackMarks;
 };
 
 } // namespace

@@ -20,6 +20,10 @@ const char *effective::baselines::errorClassName(ErrorClass Class) {
     return "Bounds";
   case ErrorClass::Temporal:
     return "UAF";
+  case ErrorClass::Stack:
+    return "Stack";
+  case ErrorClass::Global:
+    return "Global";
   case ErrorClass::Control:
     return "Control";
   }
@@ -263,6 +267,51 @@ const std::vector<Scenario> &effective::baselines::errorSuite() {
        }},
 
       //===---------------------------------------------------------===//
+      // Stack (typed stack objects)
+      //===---------------------------------------------------------===//
+      {"stack-use-after-return",
+       "escaped frame-local used after the frame returned",
+       ErrorClass::Stack,
+       [](SanitizerModel &M, ScenarioTypes &T) {
+         Allocation A = M.stackAllocate(16 * sizeof(int), T.Ctx.getInt());
+         M.stackRetire(A.Ptr);
+         M.access(makeAccess(A, 0, sizeof(int), T.Ctx.getInt()));
+       }},
+
+      {"stack-oob",
+       "fixed-size stack buffer overflow by one element",
+       ErrorClass::Stack,
+       [](SanitizerModel &M, ScenarioTypes &T) {
+         Allocation A = M.stackAllocate(16 * sizeof(int), T.Ctx.getInt());
+         M.access(makeAccess(A, 16 * sizeof(int), sizeof(int),
+                             T.Ctx.getInt()));
+         M.stackRetire(A.Ptr);
+       }},
+
+      //===---------------------------------------------------------===//
+      // Global (module-registered globals)
+      //===---------------------------------------------------------===//
+      {"global-oob",
+       "global int[8] table overflow by one element",
+       ErrorClass::Global,
+       [](SanitizerModel &M, ScenarioTypes &T) {
+         Allocation G =
+             M.globalRegister(8 * sizeof(int), T.Ctx.getInt(), "table");
+         M.access(makeAccess(G, 8 * sizeof(int), sizeof(int),
+                             T.Ctx.getInt()));
+       }},
+
+      {"global-type-confusion",
+       "global struct account cast to (double *)",
+       ErrorClass::Global,
+       [](SanitizerModel &M, ScenarioTypes &T) {
+         Allocation G =
+             M.globalRegister(T.Account->size(), T.Account, "acct");
+         M.cast(makeCast(G, T.Account, T.Ctx.getDouble(),
+                         CastKind::CCast));
+       }},
+
+      //===---------------------------------------------------------===//
       // Controls (no bug; flags here are false positives)
       //===---------------------------------------------------------===//
       {"control-valid-downcast",
@@ -336,6 +385,10 @@ Capability MatrixRow::boundsCapability() const {
 Capability MatrixRow::temporalCapability() const {
   return capabilityOf(Temporal);
 }
+Capability MatrixRow::stackCapability() const { return capabilityOf(Stack); }
+Capability MatrixRow::globalCapability() const {
+  return capabilityOf(Global);
+}
 
 MatrixRow
 effective::baselines::evaluateModel(ModelKind Kind,
@@ -361,6 +414,12 @@ effective::baselines::evaluateModel(ModelKind Kind,
       break;
     case ErrorClass::Temporal:
       Tally = &Row.Temporal;
+      break;
+    case ErrorClass::Stack:
+      Tally = &Row.Stack;
+      break;
+    case ErrorClass::Global:
+      Tally = &Row.Global;
       break;
     case ErrorClass::Control:
       if (Detected)

@@ -10,10 +10,12 @@
 /// stream containing exactly one bug (or none, for the false-positive
 /// controls) and records whether the model flagged it.
 ///
-/// Scenario classes map to the figure's three columns:
+/// Scenario classes map to the figure's columns:
 ///   Types  — type confusion (downcasts, C casts, implicit casts, ...);
 ///   Bounds — object and sub-object overflows;
-///   UAF    — use-after-free, reuse-after-free, double free.
+///   UAF    — use-after-free, reuse-after-free, double free;
+///   Stack  — typed stack objects (use-after-return, stack overflow);
+///   Global — module-registered globals (overflow, type confusion).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,9 +32,16 @@ namespace effective {
 namespace baselines {
 
 /// The Figure 1 columns.
-enum class ErrorClass : uint8_t { Types, Bounds, Temporal, Control };
+enum class ErrorClass : uint8_t {
+  Types,
+  Bounds,
+  Temporal,
+  Stack,
+  Global,
+  Control
+};
 
-/// Returns "Types" / "Bounds" / "UAF" / "Control".
+/// Returns "Types" / "Bounds" / "UAF" / "Stack" / "Global" / "Control".
 const char *errorClassName(ErrorClass Class);
 
 /// The types the scenarios use, prebuilt in one TypeContext.
@@ -84,11 +93,15 @@ struct MatrixRow {
   ClassTally Types;
   ClassTally Bounds;
   ClassTally Temporal;
+  ClassTally Stack;
+  ClassTally Global;
   unsigned ControlFalsePositives = 0;
 
   Capability typesCapability() const;
   Capability boundsCapability() const;
   Capability temporalCapability() const;
+  Capability stackCapability() const;
+  Capability globalCapability() const;
 };
 
 /// Detailed per-scenario outcome for one model.

@@ -108,6 +108,27 @@ public:
   /// A pointer-cast event.
   virtual void cast(const CastInfo &Info) = 0;
 
+  /// Allocates a typed STACK object (frame-scoped). Most tools
+  /// instrument stack objects through the same mechanism as heap
+  /// allocations (or not at all), so the default maps the event onto
+  /// allocate(); models with a dedicated stack story override it.
+  virtual Allocation stackAllocate(size_t Size, const TypeInfo *Type) {
+    return allocate(Size, Type);
+  }
+
+  /// The stack object's frame returned. Default: a heap deallocation —
+  /// tools whose temporal detection keys on free events treat the dead
+  /// frame like freed memory.
+  virtual void stackRetire(void *Ptr) { deallocate(Ptr); }
+
+  /// Registers a GLOBAL object at module load. Default: a heap
+  /// allocation that is never freed.
+  virtual Allocation globalRegister(size_t Size, const TypeInfo *Type,
+                                    const char *Name) {
+    (void)Name;
+    return allocate(Size, Type);
+  }
+
   /// Number of errors this model has flagged.
   uint64_t errorsDetected() const { return Errors; }
 

@@ -191,6 +191,9 @@ static_assert(sizeof(Inst) == 32, "bytecode instructions are 32 bytes");
 struct SlotDesc {
   const TypeInfo *ElemType = nullptr;
   uint64_t Size = 0;
+  /// Address-taken slot (instrumentation escape analysis): the VM
+  /// allocates it with the use-after-return quarantine delay armed.
+  bool Escapes = false;
 };
 
 /// One compiled function: linear code (branches are resolved pc

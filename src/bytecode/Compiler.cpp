@@ -146,7 +146,7 @@ bool Compiler::compileFunction(const Function &F, BcFunction &BF) {
   }
   BF.Slots.reserve(F.Slots.size());
   for (const StackSlot &S : F.Slots)
-    BF.Slots.push_back(SlotDesc{S.ElemType, S.Size});
+    BF.Slots.push_back(SlotDesc{S.ElemType, S.Size, S.Escapes});
 
   BrFixups.clear();
   BlockOff.assign(F.Blocks.size(), 0);

@@ -239,7 +239,7 @@ private:
 
     size_t Mark = RT.stackMark();
     for (const SlotDesc &S : F.Slots) {
-      void *P = RT.stackAllocate(S.Size, S.ElemType);
+      void *P = RT.stackAllocate(S.Size, S.ElemType, S.Escapes);
       std::memset(P, 0, S.Size);
       SlotStack.push_back(P);
     }

@@ -22,6 +22,8 @@ const char *effective::errorKindName(ErrorKind Kind) {
     return "USE-AFTER-FREE ERROR";
   case ErrorKind::DoubleFree:
     return "DOUBLE-FREE ERROR";
+  case ErrorKind::StackUseAfterReturn:
+    return "STACK USE-AFTER-RETURN ERROR";
   }
   return "ERROR";
 }

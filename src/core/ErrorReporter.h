@@ -37,6 +37,10 @@ enum class ErrorKind : uint8_t {
   UseAfterFree,
   /// type_free of an already-freed object.
   DoubleFree,
+  /// Access through a dangling pointer into a stack frame that has
+  /// returned (the object's dynamic type is the STACK-FREE flavor of
+  /// FREE; see TypeKind::StackFree).
+  StackUseAfterReturn,
 };
 
 /// Returns a stable name for \p Kind ("type", "bounds", ...).

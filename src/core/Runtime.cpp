@@ -28,6 +28,7 @@ Runtime::Runtime(TypeContext &Ctx, const RuntimeOptions &Options)
       OwnedHeap(std::make_unique<lowfat::LowFatHeap>(Options.Heap)),
       Heap(*OwnedHeap), Shard(0), Epoch(nextRuntimeEpoch()),
       Globals(Heap, Shard), Reporter(Options.Reporter),
+      StackQuarantineBytes(Options.StackQuarantineBytes),
       VoidPtrType(Ctx.getPointer(Ctx.getVoid())),
       Cache(Options.SiteCacheEntries),
       OwnedSites(Options.SharedSites
@@ -40,6 +41,7 @@ Runtime::Runtime(TypeContext &Ctx, lowfat::LowFatHeap &SharedHeap,
     : Ctx(Ctx), Heap(SharedHeap), Shard(Shard),
       Epoch(nextRuntimeEpoch()), Globals(Heap, Shard),
       Reporter(Options.Reporter),
+      StackQuarantineBytes(Options.StackQuarantineBytes),
       VoidPtrType(Ctx.getPointer(Ctx.getVoid())),
       Cache(Options.SiteCacheEntries),
       OwnedSites(Options.SharedSites
@@ -150,7 +152,9 @@ lowfat::StackPool &Runtime::stackPool() {
   if (!S.Pool || S.Epoch != Epoch) {
     if (S.Pool)
       S.Pool->abandonAll(); // Its blocks died with the old heap.
-    S.Pool = std::make_unique<lowfat::StackPool>(Heap, Shard);
+    lowfat::StackPool::Options PoolOpts;
+    PoolOpts.QuarantineBytes = StackQuarantineBytes;
+    S.Pool = std::make_unique<lowfat::StackPool>(Heap, Shard, PoolOpts);
     S.Epoch = Epoch;
   }
   return *S.Pool;
@@ -162,6 +166,7 @@ void Runtime::reset() {
   Heap.resetShard(Shard);
   Globals.reset();
   Counters.reset();
+  ObjCounters.reset();
   Reporter.clear();
   // Every cached layout resolution named recycled addresses' META
   // state; drop them all rather than trusting revalidation across a
@@ -175,8 +180,10 @@ void Runtime::reset() {
   Prof.reset();
 }
 
-void *Runtime::stackAllocate(size_t Size, const TypeInfo *Type) {
-  void *Block = stackPool().allocate(Size + sizeof(MetaHeader));
+void *Runtime::stackAllocate(size_t Size, const TypeInfo *Type,
+                             bool Escapes) {
+  void *Block = stackPool().allocate(Size + sizeof(MetaHeader), Escapes);
+  CheckCounters::bump(ObjCounters.StackAllocs);
   if (EFFSAN_UNLIKELY(!Heap.isLowFat(Block)))
     return Block;
   auto *Meta = static_cast<MetaHeader *>(Block);
@@ -189,13 +196,20 @@ size_t Runtime::stackMark() { return stackPool().mark(); }
 
 void Runtime::stackRelease(size_t Mark) {
   lowfat::StackPool &Pool = stackPool();
-  for (void *Block : Pool.blocksSince(Mark)) {
-    if (!Heap.isLowFat(Block))
+  // Rebind BEFORE retirement: quarantined (escaping) blocks keep their
+  // addresses out of circulation with a STACK-FREE META in place, so a
+  // dangling pointer into the popped frame faults as a stack
+  // use-after-return for as long as the quarantine delays reuse.
+  for (const lowfat::StackPool::Record &R : Pool.blocksSince(Mark)) {
+    if (R.Retire)
+      CheckCounters::bump(ObjCounters.StackRetired);
+    if (!Heap.isLowFat(R.Ptr))
       continue;
-    auto *Meta = static_cast<MetaHeader *>(Block);
-    Meta->Type = Ctx.getFree();
+    auto *Meta = static_cast<MetaHeader *>(R.Ptr);
+    Meta->Type = Ctx.getStackFree();
   }
   Pool.release(Mark);
+  CheckCounters::bump(ObjCounters.StackFrames);
 }
 
 void *Runtime::globalAllocate(size_t Size, const TypeInfo *Type,
@@ -291,11 +305,17 @@ Bounds Runtime::typeCheckImpl(const void *Ptr, const TypeInfo *StaticType,
   // Deallocated memory: every access is a use-after-free (rule (h)).
   // Never cached — the FREE type also never equals a cached allocation
   // type, which is what makes free an implicit cache invalidation.
+  // The STACK-FREE flavor classifies as a stack use-after-return: the
+  // object died with its frame, not with a free() call.
   if (EFFSAN_UNLIKELY(Alloc->isFree())) {
-    Reporter.report(ErrorInfo{ErrorKind::UseAfterFree, StaticType, Alloc,
+    bool Stack = Alloc->isStackFree();
+    Reporter.report(ErrorInfo{Stack ? ErrorKind::StackUseAfterReturn
+                                    : ErrorKind::UseAfterFree,
+                              StaticType, Alloc,
                               static_cast<int64_t>(P - ObjBase), Ptr,
-                              "use of freed object", Site,
-                              Sites.resolve(Site)});
+                              Stack ? "use of stack object after frame return"
+                                    : "use of freed object",
+                              Site, Sites.resolve(Site)});
     return Bounds::wide();
   }
 
@@ -406,8 +426,12 @@ Bounds Runtime::boundsGet(const void *Ptr, SiteId Site) {
   if (!Meta || !Meta->Type)
     return Bounds::wide();
   if (EFFSAN_UNLIKELY(Meta->Type->isFree())) {
-    Reporter.report(ErrorInfo{ErrorKind::UseAfterFree, nullptr,
-                              Meta->Type, 0, Ptr, "use of freed object",
+    bool Stack = Meta->Type->isStackFree();
+    Reporter.report(ErrorInfo{Stack ? ErrorKind::StackUseAfterReturn
+                                    : ErrorKind::UseAfterFree,
+                              nullptr, Meta->Type, 0, Ptr,
+                              Stack ? "use of stack object after frame return"
+                                    : "use of freed object",
                               Site, Sites.resolve(Site)});
     return Bounds::wide();
   }
@@ -433,9 +457,13 @@ void Runtime::boundsCheckFail(const void *Ptr, size_t Size, Bounds B,
              static_cast<int64_t>(reinterpret_cast<uintptr_t>(Meta + 1));
   const SiteInfo *Where = Sites.resolve(Site);
   if (Alloc && Alloc->isFree()) {
-    Reporter.report(ErrorInfo{ErrorKind::UseAfterFree, nullptr, Alloc,
-                              Offset, Ptr, "access to freed object", Site,
-                              Where});
+    bool Stack = Alloc->isStackFree();
+    Reporter.report(ErrorInfo{Stack ? ErrorKind::StackUseAfterReturn
+                                    : ErrorKind::UseAfterFree,
+                              nullptr, Alloc, Offset, Ptr,
+                              Stack ? "access to stack object after frame return"
+                                    : "access to freed object",
+                              Site, Where});
     return;
   }
   Reporter.report(ErrorInfo{ErrorKind::BoundsError, nullptr, Alloc, Offset,

@@ -139,6 +139,29 @@ struct RuntimeOptions {
   /// space, so the central drainer attributes any shard's errors. The
   /// registry must outlive the runtime.
   SiteTableRegistry *SharedSites = nullptr;
+  /// Byte budget of each thread's stack use-after-return quarantine:
+  /// escaping (address-taken) stack slots are held back from reuse up
+  /// to this many bytes per pool, so dangling frame pointers keep
+  /// faulting on their STACK-FREE META. 0 disables the reuse delay.
+  size_t StackQuarantineBytes = 64 * 1024;
+};
+
+/// Typed stack/global object counters (the ABI's effsan_object_stats
+/// surface). Relaxed atomics, aggregated across every thread's stack
+/// pool by bumping at the Runtime entry points.
+struct ObjectCounters {
+  /// Typed stack slots ever allocated (stackAllocate calls).
+  std::atomic<uint64_t> StackAllocs{0};
+  /// Frames released (stackRelease calls).
+  std::atomic<uint64_t> StackFrames{0};
+  /// Escaping slots retired through a use-after-return quarantine.
+  std::atomic<uint64_t> StackRetired{0};
+
+  void reset() {
+    StackAllocs.store(0, std::memory_order_relaxed);
+    StackFrames.store(0, std::memory_order_relaxed);
+    StackRetired.store(0, std::memory_order_relaxed);
+  }
 };
 
 /// One EffectiveSan runtime instance: a low-fat heap plus type meta data
@@ -169,6 +192,12 @@ public:
   unsigned heapShard() const { return Shard; }
   ErrorReporter &reporter() { return Reporter; }
   CheckCounters &counters() { return Counters; }
+  ObjectCounters &objectCounters() { return ObjCounters; }
+  const ObjectCounters &objectCounters() const { return ObjCounters; }
+  /// The global-object registration pool (module loaders and the ABI's
+  /// effsan_globals_register; reflection for tests).
+  lowfat::GlobalPool &globals() { return Globals; }
+  const lowfat::GlobalPool &globals() const { return Globals; }
 
   /// \name Typed allocation (Figure 6 lines 1-7).
   /// @{
@@ -200,10 +229,18 @@ public:
   /// Stand-ins for the instrumented low-fat stack/global allocators
   /// ([7,8]); see lowfat/StackPool.h for the simulation notes.
   /// @{
-  void *stackAllocate(size_t Size, const TypeInfo *Type);
+
+  /// Allocates one typed stack slot with a full META header.
+  /// \p Escapes marks an address-taken/escaping slot (instrumentation's
+  /// escape analysis): its release is delayed through the thread's
+  /// use-after-return quarantine so dangling pointers into the popped
+  /// frame fault as stack use-after-return.
+  void *stackAllocate(size_t Size, const TypeInfo *Type,
+                      bool Escapes = false);
   size_t stackMark();
-  /// Rebinds all stack objects allocated after \p Mark to FREE and
-  /// releases them (function epilogue).
+  /// Rebinds all stack objects allocated after \p Mark to the
+  /// STACK-FREE type and retires them (function epilogue): escaping
+  /// slots park in the quarantine, the rest free immediately.
   void stackRelease(size_t Mark);
   void *globalAllocate(size_t Size, const TypeInfo *Type,
                        std::string_view Name);
@@ -450,6 +487,9 @@ private:
   lowfat::GlobalPool Globals;
   ErrorReporter Reporter;
   CheckCounters Counters;
+  ObjectCounters ObjCounters;
+  /// Per-thread stack pools are created with this quarantine budget.
+  size_t StackQuarantineBytes;
   /// Cached (void *) type for the pointer-coercion fallback probe.
   const TypeInfo *VoidPtrType;
   /// The site-indexed type-check inline cache (see core/SiteCache.h).

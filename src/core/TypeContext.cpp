@@ -50,6 +50,8 @@ std::string_view effective::primitiveKindName(TypeKind Kind) {
     return "long double";
   case TypeKind::Free:
     return "<free>";
+  case TypeKind::StackFree:
+    return "<stack-free>";
   case TypeKind::AnyPointer:
     return "<any-pointer>";
   default:
@@ -143,6 +145,7 @@ constexpr PrimitiveSpec PrimitiveSpecs[] = {
     {TypeKind::LongDouble, sizeof(long double), alignof(long double)},
     // FREE has size 1 so offset normalization is trivially defined.
     {TypeKind::Free, 1, 1},
+    {TypeKind::StackFree, 1, 1},
     {TypeKind::AnyPointer, sizeof(void *), alignof(void *)},
 };
 

@@ -58,6 +58,11 @@ public:
   }
   /// The dynamic type of deallocated memory (Section 3).
   const TypeInfo *getFree() const { return prim(TypeKind::Free); }
+  /// The dynamic type of a stack object whose frame has returned (the
+  /// stack flavor of FREE; see TypeKind::StackFree).
+  const TypeInfo *getStackFree() const {
+    return prim(TypeKind::StackFree);
+  }
   /// Internal sentinel for the (T*)/(void*) coercion; see LayoutTable.
   const TypeInfo *getAnyPointer() const {
     return prim(TypeKind::AnyPointer);

@@ -55,6 +55,11 @@ enum class TypeKind : uint8_t {
   LongDouble,
   // The dynamic type of deallocated memory (Section 3).
   Free,
+  // The dynamic type of a stack object whose frame has returned. A
+  // distinct FREE flavor: any access through it is a temporal error
+  // like Free, but the runtime can classify it as a stack
+  // use-after-return instead of a heap use-after-free.
+  StackFree,
   // A sentinel used internally by the layout table to implement the
   // (T*) <-> (void*) coercion; never the type of a real object.
   AnyPointer,
@@ -91,7 +96,13 @@ public:
     return Kind >= TypeKind::Void && Kind <= TypeKind::LongDouble;
   }
   bool isVoid() const { return Kind == TypeKind::Void; }
-  bool isFree() const { return Kind == TypeKind::Free; }
+  /// True for both FREE flavors — every temporal check tests this, so
+  /// retired stack objects trip the same machinery as freed heap ones.
+  bool isFree() const {
+    return Kind == TypeKind::Free || Kind == TypeKind::StackFree;
+  }
+  /// True only for the stack-frame-returned flavor of FREE.
+  bool isStackFree() const { return Kind == TypeKind::StackFree; }
   bool isCharLike() const {
     return Kind == TypeKind::Char || Kind == TypeKind::SChar ||
            Kind == TypeKind::UChar;

@@ -38,6 +38,7 @@ public:
       : M(M), F(F), Opts(Opts), Stats(Stats) {}
 
   void run() {
+    markEscapingSlots();
     if (Opts.V == Variant::None)
       return;
     computeNeeded();
@@ -58,6 +59,92 @@ private:
   const TypeInfo *pointeeOf(Reg R) const {
     const auto *PT = dyn_cast_if_present<PointerType>(F.regType(R));
     return PT ? PT->pointee() : nullptr;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Slot escape analysis
+  //===--------------------------------------------------------------------===//
+
+  /// Marks stack slots whose address escapes the frame: a slot-derived
+  /// pointer stored as a *value*, passed to a call, or returned. Only
+  /// escaping slots can dangle after the frame pops, so only they pay
+  /// the use-after-return quarantine delay at runtime. The marking is a
+  /// property of the IR, not of the check variant, so it runs for every
+  /// variant (including Variant::None) — both engines then allocate
+  /// identically across all variants.
+  void markEscapingSlots() {
+    if (F.Slots.empty())
+      return;
+    // PointsTo[R] = bitset over slots register R may address.
+    size_t NumSlots = F.Slots.size();
+    std::vector<std::vector<bool>> PointsTo(
+        F.numRegs(), std::vector<bool>(NumSlots, false));
+    auto merge = [&](Reg Dst, Reg Src) {
+      if (Dst == NoReg || Src == NoReg || Dst >= PointsTo.size() ||
+          Src >= PointsTo.size())
+        return false;
+      bool Changed = false;
+      for (size_t S = 0; S < NumSlots; ++S)
+        if (PointsTo[Src][S] && !PointsTo[Dst][S]) {
+          PointsTo[Dst][S] = true;
+          Changed = true;
+        }
+      return Changed;
+    };
+    // Seed from slot_addr, then propagate through derived pointers to a
+    // fixed point (covers loops and out-of-order block layouts).
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (const Block &B : F.Blocks) {
+        for (const Instr &I : B.Instrs) {
+          switch (I.Op) {
+          case Opcode::SlotAddr:
+            if (I.Dst != NoReg && I.Imm < NumSlots &&
+                !PointsTo[I.Dst][I.Imm]) {
+              PointsTo[I.Dst][I.Imm] = true;
+              Changed = true;
+            }
+            break;
+          case Opcode::IndexAddr:
+          case Opcode::FieldAddr:
+          case Opcode::Copy:
+          case Opcode::PtrCast:
+            Changed |= merge(I.Dst, I.A);
+            break;
+          default:
+            break;
+          }
+        }
+      }
+    }
+    auto escape = [&](Reg R) {
+      if (R == NoReg || R >= PointsTo.size())
+        return;
+      for (size_t S = 0; S < NumSlots; ++S)
+        if (PointsTo[R][S])
+          F.Slots[S].Escapes = true;
+    };
+    for (const Block &B : F.Blocks) {
+      for (const Instr &I : B.Instrs) {
+        switch (I.Op) {
+        case Opcode::Store:
+          escape(I.B); // The *value* operand; storing through I.A is
+                       // a dereference, not an escape.
+          break;
+        case Opcode::Call:
+        case Opcode::CallBuiltin:
+          for (Reg Arg : I.Args)
+            escape(Arg);
+          break;
+        case Opcode::Ret:
+          escape(I.A);
+          break;
+        default:
+          break;
+        }
+      }
+    }
   }
 
   //===--------------------------------------------------------------------===//

@@ -116,7 +116,7 @@ private:
     std::vector<void *> Slots;
     Slots.reserve(F.Slots.size());
     for (const StackSlot &S : F.Slots) {
-      void *P = RT.stackAllocate(S.Size, S.ElemType);
+      void *P = RT.stackAllocate(S.Size, S.ElemType, S.Escapes);
       std::memset(P, 0, S.Size);
       Slots.push_back(P);
     }

@@ -203,6 +203,11 @@ struct StackSlot {
   uint64_t Size = 0;
   /// The declared source-level type (for printing).
   const TypeInfo *DeclType = nullptr;
+  /// The slot's address escapes the frame (stored to memory, passed to
+  /// a call, or returned). Set by the instrumentation pass's escape
+  /// analysis; the engines retire escaping slots through the stack
+  /// use-after-return quarantine instead of freeing them at frame pop.
+  bool Escapes = false;
 };
 
 /// One IR function.

@@ -59,6 +59,7 @@ public:
     std::lock_guard<std::mutex> Guard(Lock);
     Globals.push_back(
         GlobalRecord{Ptr, Size, std::string(Name), !Heap.isLowFat(Ptr)});
+    Bytes += Size;
     return Ptr;
   }
 
@@ -73,6 +74,7 @@ public:
       if (G.Legacy)
         Heap.deallocate(G.Address);
     Globals.clear();
+    Bytes = 0;
   }
 
   /// Looks up a registered global by name; null if absent.
@@ -90,11 +92,19 @@ public:
     return Globals.size();
   }
 
+  /// Requested payload bytes across every registered global (the ABI's
+  /// object-stats surface).
+  size_t totalBytes() const {
+    std::lock_guard<std::mutex> Guard(Lock);
+    return Bytes;
+  }
+
 private:
   LowFatHeap &Heap;
   unsigned Shard;
   mutable std::mutex Lock;
   std::vector<GlobalRecord> Globals;
+  size_t Bytes = 0;
 };
 
 } // namespace lowfat

@@ -404,6 +404,7 @@ struct EngineRun {
   uint64_t BoundsErrors = 0;
   uint64_t UafErrors = 0;
   uint64_t DoubleFrees = 0;
+  uint64_t StackUarErrors = 0;
 };
 
 enum class Engine { Tree, Bytecode };
@@ -429,6 +430,8 @@ EngineRun runEngine(TypeContext &Types, const CompileResult &C, Engine E,
   Out.BoundsErrors = RT.reporter().numIssues(ErrorKind::BoundsError);
   Out.UafErrors = RT.reporter().numIssues(ErrorKind::UseAfterFree);
   Out.DoubleFrees = RT.reporter().numIssues(ErrorKind::DoubleFree);
+  Out.StackUarErrors =
+      RT.reporter().numIssues(ErrorKind::StackUseAfterReturn);
   return Out;
 }
 
@@ -450,6 +453,7 @@ void expectSameBehavior(const EngineRun &T, const EngineRun &B,
   EXPECT_EQ(T.BoundsErrors, B.BoundsErrors) << Label;
   EXPECT_EQ(T.UafErrors, B.UafErrors) << Label;
   EXPECT_EQ(T.DoubleFrees, B.DoubleFrees) << Label;
+  EXPECT_EQ(T.StackUarErrors, B.StackUarErrors) << Label;
   EXPECT_EQ(T.Msgs, B.Msgs) << Label;
 }
 

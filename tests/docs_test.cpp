@@ -99,3 +99,36 @@ TEST(Docs, NoBrokenRelativeLinks) {
   }
   EXPECT_GT(Checked, 10u) << "link extraction regressed";
 }
+
+TEST(Docs, StackGlobalSectionsArePinned) {
+  // PR 9's doc surface: the architecture section, the ABI 1.8
+  // catalogue + changelog row, and the report-format coverage of the
+  // new error class must not silently disappear in a rewrite.
+  std::string Arch = slurp(Root / "docs" / "ARCHITECTURE.md");
+  EXPECT_NE(Arch.find("## Stack & global objects"), std::string::npos);
+  EXPECT_NE(Arch.find("use-after-return quarantine"), std::string::npos);
+  EXPECT_NE(Arch.find("Epoch-guarded TLS pools"), std::string::npos);
+  EXPECT_NE(Arch.find("effsan_globals_register"), std::string::npos);
+
+  std::string Abi = slurp(Root / "docs" / "ABI.md");
+  EXPECT_NE(Abi.find("### 1.8 — typed stack & global objects"),
+            std::string::npos);
+  EXPECT_NE(Abi.find("effsan_stack_enter"), std::string::npos);
+  EXPECT_NE(Abi.find("effsan_stack_alloc_typed"), std::string::npos);
+  EXPECT_NE(Abi.find("effsan_object_stats"), std::string::npos);
+  EXPECT_NE(Abi.find("EFFSAN_ERROR_STACK_USE_AFTER_RETURN"),
+            std::string::npos);
+  EXPECT_NE(Abi.find("| 1.8 | PR 9 |"), std::string::npos)
+      << "changelog row missing";
+
+  std::string Report = slurp(Root / "docs" / "REPORT_FORMAT.md");
+  EXPECT_NE(Report.find("\"STACK USE-AFTER-RETURN ERROR\""),
+            std::string::npos)
+      << "grammar must list the new kind";
+  EXPECT_NE(
+      Report.find("STACK USE-AFTER-RETURN ERROR at uar.c:9:12 in main: "
+                  "allocated (<stack-free>), used as (int) at offset 0 "
+                  "[use of stack object after frame return]"),
+      std::string::npos)
+      << "worked example missing";
+}

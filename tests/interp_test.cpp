@@ -28,6 +28,7 @@ struct ProgramRun {
   uint64_t BoundsErrors = 0;
   uint64_t UafErrors = 0;
   uint64_t DoubleFrees = 0;
+  uint64_t StackUarErrors = 0;
 };
 
 /// Compiles and runs \p Source under \p V; asserts compilation itself
@@ -55,6 +56,8 @@ ProgramRun runProgram(std::string_view Source,
   Out.BoundsErrors = RT.reporter().numIssues(ErrorKind::BoundsError);
   Out.UafErrors = RT.reporter().numIssues(ErrorKind::UseAfterFree);
   Out.DoubleFrees = RT.reporter().numIssues(ErrorKind::DoubleFree);
+  Out.StackUarErrors =
+      RT.reporter().numIssues(ErrorKind::StackUseAfterReturn);
   return Out;
 }
 
@@ -444,8 +447,9 @@ int main() {
 }
 
 TEST(Detection, DanglingStackPointer) {
-  // The callee's slot is rebound to FREE when the frame is released;
-  // using the escaped pointer afterwards is a use-after-free.
+  // The callee's slot is rebound to STACK-FREE when the frame is
+  // released; using the escaped pointer afterwards is a stack
+  // use-after-return (its own error class, distinct from heap UAF).
   ProgramRun P = runProgram(R"(
 int *escape() {
   int local[4];
@@ -459,7 +463,8 @@ int main() {
 }
 )");
   ASSERT_TRUE(P.R.Ok) << P.R.Fault;
-  EXPECT_GE(P.UafErrors, 1u);
+  EXPECT_GE(P.StackUarErrors, 1u);
+  EXPECT_EQ(P.UafErrors, 0u);
 }
 
 //===----------------------------------------------------------------------===//

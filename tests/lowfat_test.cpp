@@ -773,9 +773,76 @@ TEST(StackPoolTest, BlocksSinceMark) {
   void *B = Stack.allocate(32);
   auto Blocks = Stack.blocksSince(Mark);
   ASSERT_EQ(Blocks.size(), 2u);
-  EXPECT_EQ(Blocks[0], A);
-  EXPECT_EQ(Blocks[1], B);
+  EXPECT_EQ(Blocks[0].Ptr, A);
+  EXPECT_EQ(Blocks[1].Ptr, B);
   Stack.release(Mark);
+}
+
+TEST(StackPoolTest, OutOfOrderFrameDestruction) {
+  // Regression: Frame used to release by mark, so destroying an OUTER
+  // frame while an INNER frame still had live allocations freed the
+  // inner frame's blocks out from under it. Frames release by frame
+  // identity now — each destroys exactly its own allocations, in any
+  // destruction order.
+  LowFatHeap Heap;
+  StackPool Stack(Heap);
+  auto Outer = std::make_unique<StackPool::Frame>(Stack);
+  void *A = Stack.allocate(64);
+  auto Inner = std::make_unique<StackPool::Frame>(Stack);
+  void *B = Stack.allocate(128);
+  ASSERT_NE(A, B);
+  EXPECT_EQ(Stack.liveObjects(), 2u);
+
+  Outer.reset(); // Out of order: the outer frame dies first.
+  ASSERT_EQ(Stack.liveObjects(), 1u)
+      << "inner frame's allocation must survive the outer frame";
+  EXPECT_EQ(Stack.blocksSince(0)[0].Ptr, B);
+  static_cast<char *>(B)[0] = 42; // Still live and writable.
+
+  Inner.reset();
+  EXPECT_EQ(Stack.liveObjects(), 0u);
+}
+
+TEST(StackPoolTest, EscapingSlotsQuarantineBeforeReuse) {
+  // Escaping (address-taken) slots are retired through a FIFO
+  // quarantine instead of being freed at frame pop, so a dangling
+  // frame pointer keeps addressing a block whose META the runtime
+  // rebound — the stack use-after-return detection window.
+  LowFatHeap Heap;
+  StackPool::Options Opts;
+  Opts.QuarantineBytes = 1 << 12;
+  StackPool Stack(Heap, 0, Opts);
+  // An outer "main" frame keeps the program alive: the quarantine only
+  // holds blocks while some frame remains (it drains once the pool
+  // empties — no frame left for a pointer to dangle out of).
+  Stack.allocate(16, /*Retire=*/false);
+  size_t Mark = Stack.mark();
+  void *Escapes = Stack.allocate(64, /*Retire=*/true);
+  void *Plain = Stack.allocate(64, /*Retire=*/false);
+  Stack.release(Mark);
+  EXPECT_EQ(Stack.liveObjects(), 1u);
+  EXPECT_EQ(Stack.quarantinedBlocks(), 1u)
+      << "only the escaping slot is quarantined";
+  EXPECT_GT(Stack.quarantinedBytes(), 0u);
+  // The quarantined block still answers base(p)/size(p) queries.
+  EXPECT_EQ(Heap.allocationBase(Escapes), Escapes);
+  (void)Plain;
+
+  // Overflowing the byte budget evicts oldest-first back to the heap.
+  for (int I = 0; I < 256; ++I) {
+    size_t M = Stack.mark();
+    Stack.allocate(64, /*Retire=*/true);
+    Stack.release(M);
+  }
+  EXPECT_LE(Stack.quarantinedBytes(), Opts.QuarantineBytes);
+  EXPECT_GE(Stack.retiredBlocks(), 257u);
+
+  // Popping the outermost frame ends the detection window: everything
+  // returns to the heap and the pool is empty.
+  Stack.release(0);
+  EXPECT_EQ(Stack.liveObjects(), 0u);
+  EXPECT_EQ(Stack.quarantinedBlocks(), 0u);
+  EXPECT_EQ(Stack.quarantinedBytes(), 0u);
 }
 
 TEST(GlobalPoolTest, RegistersAndLooksUp) {

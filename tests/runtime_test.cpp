@@ -304,9 +304,11 @@ TEST_F(RuntimeTest, StackObjectsAreTyped) {
   Bounds B = RT.typeCheck(P, T);
   EXPECT_EQ(B.Hi - B.Lo, 24u);
   RT.stackRelease(Mark);
-  // The dangling stack pointer is now FREE.
+  // The dangling stack pointer is now STACK-FREE, and the temporal
+  // error classifies as a stack use-after-return, not a heap UAF.
   RT.typeCheck(P, T);
-  EXPECT_EQ(RT.reporter().numIssues(ErrorKind::UseAfterFree), 1u);
+  EXPECT_EQ(RT.reporter().numIssues(ErrorKind::StackUseAfterReturn), 1u);
+  EXPECT_EQ(RT.reporter().numIssues(ErrorKind::UseAfterFree), 0u);
 }
 
 TEST_F(RuntimeTest, GlobalObjectsAreTypedAndZeroed) {
