@@ -47,7 +47,7 @@ extern "C" {
  *===--------------------------------------------------------------------===*/
 
 #define EFFSAN_ABI_VERSION_MAJOR 1
-#define EFFSAN_ABI_VERSION_MINOR 8
+#define EFFSAN_ABI_VERSION_MINOR 9
 #define EFFSAN_ABI_VERSION                                                   \
   ((EFFSAN_ABI_VERSION_MAJOR << 16) | EFFSAN_ABI_VERSION_MINOR)
 
@@ -570,7 +570,12 @@ typedef enum effsan_error_kind {
   EFFSAN_ERROR_USE_AFTER_FREE = 2,
   EFFSAN_ERROR_DOUBLE_FREE = 3,
   /* Use of a typed stack object after its frame returned (since 1.8). */
-  EFFSAN_ERROR_STACK_USE_AFTER_RETURN = 4
+  EFFSAN_ERROR_STACK_USE_AFTER_RETURN = 4,
+  /* An allocation the program requested could not be satisfied — heap
+   * OOM or an induced exhaustion fault (since 1.9). The failing
+   * allocation function returns NULL after reporting this; execution
+   * engines surface the null to the program rather than crashing. */
+  EFFSAN_ERROR_RESOURCE_EXHAUSTED = 5
 } effsan_error_kind;
 
 /*===--------------------------------------------------------------------===*
@@ -778,6 +783,22 @@ typedef struct effsan_service_options {
    * deltas (the pre-1.6 behaviour). */
   uint32_t governor_ewma_ticks;
   uint32_t reserved2_;
+  /* --- added in ABI 1.9 (zeroed tail = the defaults below) --- */
+  /* Push retries (roughly doubling backoff) before the full-ring
+   * policy applies to an overflowed error event; 0 = default (3). */
+  uint32_t ring_retry_attempts;
+  /* Nonzero: after the retry budget, DROP the event with the loss
+   * accounted in ring_drops rather than delivering it through the
+   * central reporter's lock (the default, which never loses events). */
+  int32_t drop_on_ring_full;
+  /* Nonzero: run WITHOUT the self-healing watchdog (default 0: the
+   * watchdog samples drain-thread liveness and restarts it on death). */
+  int32_t disable_watchdog;
+  /* Dead drain-thread restarts before the service latches CRITICAL and
+   * escalates once through the snapshot hook; 0 = default (3). */
+  uint32_t max_drain_restarts;
+  /* Watchdog check period in microseconds; 0 = 4x drain_interval_usec. */
+  uint64_t watchdog_interval_usec;
 } effsan_service_options;
 
 /* Fills *options with the defaults above. */
@@ -898,10 +919,47 @@ typedef struct effsan_service_stats {
   uint64_t snapshots_emitted;
   /* --- added in ABI 1.6 --- */
   uint64_t snapshots_skipped; /* dirty-flag skipped emissions         */
+  /* --- added in ABI 1.9 --- */
+  uint64_t ring_fallbacks;   /* overflowed events delivered via the
+                              * locked central fallback (no loss)     */
+  uint64_t ring_drops;       /* overflowed events dropped (opt-in
+                              * accounted loss; see drop_on_ring_full)*/
+  uint64_t drain_restarts;   /* dead drain threads the watchdog
+                              * restarted                             */
+  uint64_t watchdog_checks;  /* watchdog liveness checks performed    */
+  uint32_t health;           /* an effsan_health value                */
+  uint32_t reserved2_;
 } effsan_service_stats;
 
 void effsan_service_get_stats(effsan_service *service,
                               effsan_service_stats *out);
+
+/* Service health, as surfaced in stats, snapshots and metrics (since
+ * 1.9). HEALTHY: full coverage, no failures. DEGRADED: still serving,
+ * with reduced coverage or accounted loss — the governor steered an
+ * occupied shard below the base policy, error events were dropped, the
+ * drain thread was restarted, or it is wedged inside one tick.
+ * CRITICAL (latched): the drain-restart budget is exhausted or the
+ * abort threshold fired. */
+typedef enum effsan_health {
+  EFFSAN_HEALTH_HEALTHY = 0,
+  EFFSAN_HEALTH_DEGRADED = 1,
+  EFFSAN_HEALTH_CRITICAL = 2
+} effsan_health;
+
+/* The service's current health (an effsan_health value; since 1.9). */
+uint32_t effsan_service_health(effsan_service *service);
+
+/* effsan_service_checkout with a caller-side backoff hint (since 1.9).
+ * On refusal *retry_after_usec (if non-NULL) receives the suggested
+ * wait in microseconds before retrying: about one drain interval while
+ * the handle still names an occupied slot (an eviction's shard reset
+ * is in flight, or a raised quota would clear the refusal), 0 when the
+ * handle is stale and retrying is pointless. On success the hint is
+ * 0. */
+effsan_session *
+effsan_service_checkout_hint(effsan_service *service, effsan_tenant tenant,
+                             uint64_t *retry_after_usec);
 
 /* Forces one full drain tick (drain + quota bookkeeping + governor)
  * and waits for it to complete; returns the number of error events
@@ -937,6 +995,59 @@ void effsan_service_set_error_callback(effsan_service *service,
 void effsan_service_set_error_callback_v2(effsan_service *service,
                                           effsan_error_callback_v2 callback,
                                           void *user_data);
+
+/*===--------------------------------------------------------------------===*
+ * Resilience / fault injection (since 1.9)
+ *
+ * Deterministic, seedable fault injection over the named fault points
+ * compiled into the runtime's hot layers (allocator exhaustion paths,
+ * magazine refill, quarantine budget, error-ring push, site
+ * registration, drain-loop stall, snapshot delivery, governor pass).
+ * Disarmed — the shipped default — every point costs one relaxed flag
+ * load; a library built with EFFSAN_FAULT_OFF compiles the points out
+ * entirely. The registry is process-wide (fault points live in layers
+ * with no session context) and replays exactly: the same seed plus the
+ * same schedule fires the same sequence. The EFFSAN_FAULTS environment
+ * variable feeds the same spec grammar before main() — see
+ * docs/RESILIENCE.md for the catalogue and replay workflow.
+ *===--------------------------------------------------------------------===*/
+
+/* Nonzero when fault injection is compiled in (no EFFSAN_FAULT_OFF). */
+int effsan_fault_compiled_in(void);
+
+/* Arms injection under `seed`: every point resets to off with zeroed
+ * counters and a reseeded PRNG stream. Configure points afterwards. */
+void effsan_fault_arm(uint64_t seed);
+
+/* Disarms injection; configuration and counters stay readable. */
+void effsan_fault_disarm(void);
+
+/* Nonzero while armed. */
+int effsan_fault_armed(void);
+
+/* The seed of the current (or last) arming. */
+uint64_t effsan_fault_seed(void);
+
+/* Parses and applies a schedule spec — semicolon-separated entries,
+ * each `seed=N` or `<point>=<mode>` with mode one of `off | count:N |
+ * count:N@S | prob:N | every:N` — arming the registry under the spec's
+ * seed (default 1) first. Returns 0 (registry left disarmed) on any
+ * malformed entry or unknown point name, nonzero on success. Example:
+ * "seed=42;heap_exhausted=prob:64;ring_full=count:3@100". */
+int effsan_fault_configure(const char *spec);
+
+/* Number of fault points this library compiles in; points are dense
+ * indices [0, n). */
+uint32_t effsan_fault_num_points(void);
+
+/* Stable lower_snake name of `point` (NULL if out of range). */
+const char *effsan_fault_point_name(uint32_t point);
+
+/* Evaluations of / fires at `point` since the last arm (0 if out of
+ * range). Every registered point evaluates on its layer's hot path
+ * while armed, so evaluations > 0 proves the point was reached. */
+uint64_t effsan_fault_evaluations(uint32_t point);
+uint64_t effsan_fault_fires(uint32_t point);
 
 /*===--------------------------------------------------------------------===*/
 /* Observability (since 1.6)                                               */

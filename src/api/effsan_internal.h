@@ -93,6 +93,8 @@ inline uint32_t errorKindValue(ErrorKind Kind) {
     return EFFSAN_ERROR_DOUBLE_FREE;
   case ErrorKind::StackUseAfterReturn:
     return EFFSAN_ERROR_STACK_USE_AFTER_RETURN;
+  case ErrorKind::ResourceExhausted:
+    return EFFSAN_ERROR_RESOURCE_EXHAUSTED;
   }
   return EFFSAN_ERROR_TYPE;
 }

@@ -162,6 +162,13 @@ effsan_service_create(const effsan_service_options *options) {
   if (Defaults.restore_ticks)
     Opts.Governor.RestoreTicks = Defaults.restore_ticks;
   Opts.Governor.EwmaTicks = Defaults.governor_ewma_ticks;
+  if (Defaults.ring_retry_attempts)
+    Opts.RingRetryAttempts = Defaults.ring_retry_attempts;
+  Opts.DropOnRingFull = Defaults.drop_on_ring_full != 0;
+  Opts.EnableWatchdog = Defaults.disable_watchdog == 0;
+  Opts.WatchdogIntervalMicros = Defaults.watchdog_interval_usec;
+  if (Defaults.max_drain_restarts)
+    Opts.MaxDrainRestarts = Defaults.max_drain_restarts;
 
   return new (std::nothrow) effsan_service(Opts);
 }
@@ -193,6 +200,23 @@ int effsan_service_tenant_close(effsan_service *service,
 effsan_session *effsan_service_checkout(effsan_service *service,
                                         effsan_tenant tenant) {
   service::Supervisor::Lease L = service->Sup.lease(tenant);
+  if (!L)
+    return nullptr;
+  unsigned Shard = shardOfTenant(tenant);
+  {
+    std::lock_guard<std::mutex> Guard(service->LeaseLock);
+    service->Held[Shard].push_back(std::move(L));
+  }
+  return service->Sessions[Shard].get();
+}
+
+effsan_session *
+effsan_service_checkout_hint(effsan_service *service, effsan_tenant tenant,
+                             uint64_t *retry_after_usec) {
+  uint64_t Hint = 0;
+  service::Supervisor::Lease L = service->Sup.lease(tenant, Hint);
+  if (retry_after_usec)
+    *retry_after_usec = Hint;
   if (!L)
     return nullptr;
   unsigned Shard = shardOfTenant(tenant);
@@ -293,6 +317,11 @@ void effsan_service_get_stats(effsan_service *service,
   Full.issues_found = S.IssuesFound;
   Full.snapshots_emitted = S.SnapshotsEmitted;
   Full.snapshots_skipped = S.SnapshotsSkipped;
+  Full.ring_fallbacks = S.RingFallbacks;
+  Full.ring_drops = S.RingDrops;
+  Full.drain_restarts = S.DrainRestarts;
+  Full.watchdog_checks = S.WatchdogChecks;
+  Full.health = static_cast<uint32_t>(S.Health);
   size_t N = out->struct_size;
   if (N > sizeof(Full)) {
     // A caller built against a future, larger struct: zero the tail so
@@ -306,6 +335,10 @@ void effsan_service_get_stats(effsan_service *service,
 
 uint64_t effsan_service_tick(effsan_service *service) {
   return service->Sup.tick();
+}
+
+uint32_t effsan_service_health(effsan_service *service) {
+  return static_cast<uint32_t>(service->Sup.health());
 }
 
 void effsan_service_set_drain_interval(effsan_service *service,

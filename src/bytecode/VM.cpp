@@ -239,8 +239,12 @@ private:
 
     size_t Mark = RT.stackMark();
     for (const SlotDesc &S : F.Slots) {
+      // Null on exhaustion (real OOM or an induced fault) — already
+      // reported RESOURCE-EXHAUSTED; the slot stays null and accesses
+      // through it fault as null derefs instead of memset crashing.
       void *P = RT.stackAllocate(S.Size, S.ElemType, S.Escapes);
-      std::memset(P, 0, S.Size);
+      if (P)
+        std::memset(P, 0, S.Size);
       SlotStack.push_back(P);
     }
 
@@ -594,12 +598,16 @@ Value VM::execute(const BcFunction &F, size_t RegBase, size_t BndBase,
     uint64_t Size = R[In->B].U;
     if (EFFSAN_UNLIKELY(Size > (uint64_t(1) << 40)))
       BC_FAULT("implausible malloc size");
+    // A failed allocation was reported RESOURCE-EXHAUSTED and surfaces
+    // as a null result, like C malloc. Never whitelist null with the
+    // guard (that would validate wild accesses at [0, Size)); null
+    // gets wide bounds, as any legacy pointer.
     void *P = RT.allocate(Size, In->Type);
-    if (!RT.heap().isLowFat(P))
+    if (P && !RT.heap().isLowFat(P))
       Guard.noteLegacy(P, Size);
     R[In->A].P = P;
     if (In->C != NoR16)
-      BR[In->C] = Bounds::forObject(P, Size);
+      BR[In->C] = P ? Bounds::forObject(P, Size) : Bounds::wide();
   }
   BC_NEXT();
 

@@ -7,6 +7,7 @@
 #include "concurrent/ErrorRing.h"
 
 #include "obs/Trace.h"
+#include "resilience/Fault.h"
 
 #include <bit>
 
@@ -24,6 +25,14 @@ ErrorRing::ErrorRing(size_t Capacity) {
 }
 
 bool ErrorRing::tryPush(const ErrorInfo &Info) {
+  // An induced full ring takes the exact overflow path a genuinely
+  // full ring takes: counted, traced, and left to the caller's
+  // retry/fallback/drop policy.
+  if (EFFSAN_FAULT(RingFull)) {
+    Overflows.fetch_add(1, std::memory_order_relaxed);
+    EFFSAN_OBS_EVENT(RingOverflow, ::effective::obs::NoShard, Mask + 1);
+    return false;
+  }
   uint64_t Pos = Head.load(std::memory_order_relaxed);
   for (;;) {
     Cell &C = Cells[Pos & Mask];

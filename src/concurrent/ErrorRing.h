@@ -72,11 +72,31 @@ public:
     return H > T ? static_cast<size_t>(H - T) : 0;
   }
 
-  /// Events that found the ring full (each was reported through the
-  /// caller's fallback path instead; see tryPush).
+  /// Push attempts that found the ring full (counted per failed
+  /// tryPush call; the caller decides what happens next — retry,
+  /// locked fallback, or an accounted drop).
   uint64_t overflows() const {
     return Overflows.load(std::memory_order_relaxed);
   }
+
+  /// Overflowed events the caller delivered through the locked
+  /// central-reporter fallback instead (slower, but no event loss).
+  uint64_t fallbacks() const {
+    return Fallbacks.load(std::memory_order_relaxed);
+  }
+
+  /// Overflowed events the caller dropped after exhausting its retry
+  /// budget (opt-in bounded loss; every drop is accounted here).
+  uint64_t drops() const {
+    return Drops.load(std::memory_order_relaxed);
+  }
+
+  /// Caller-side outcome accounting for a failed tryPush (see
+  /// SessionPool::enqueueToRing for the retry/fallback/drop policy).
+  void recordFallback() {
+    Fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
+  void recordDrop() { Drops.fetch_add(1, std::memory_order_relaxed); }
 
 private:
   struct Cell {
@@ -89,6 +109,8 @@ private:
   alignas(64) std::atomic<uint64_t> Head{0}; ///< Producers' cursor.
   alignas(64) std::atomic<uint64_t> Tail{0}; ///< Consumer's cursor.
   alignas(64) std::atomic<uint64_t> Overflows{0};
+  std::atomic<uint64_t> Fallbacks{0};
+  std::atomic<uint64_t> Drops{0};
 };
 
 } // namespace concurrent

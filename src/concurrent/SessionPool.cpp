@@ -9,6 +9,7 @@
 #include "obs/Trace.h"
 
 #include <algorithm>
+#include <thread>
 #include <unordered_map>
 
 using namespace effective;
@@ -23,11 +24,27 @@ static uint64_t nextPoolEpoch() {
 
 bool SessionPool::enqueueToRing(const ErrorInfo &Info, void *UserData) {
   auto *S = static_cast<RingSink *>(UserData);
-  if (S->Ring->tryPush(Info))
+  if (EFFSAN_LIKELY(S->Ring->tryPush(Info)))
     return true;
-  // Ring momentarily full: report under the central lock rather than
-  // dropping the event. Dedup/caps semantics are identical either way;
-  // only this event pays for a mutex.
+  // Ring full: bounded retry with roughly doubling backoff first —
+  // under a live drainer cells free within microseconds, so most
+  // overflows clear inside the retry window and never touch a lock.
+  for (unsigned Attempt = 0; Attempt < S->RetryAttempts; ++Attempt) {
+    for (unsigned Spin = 0; Spin < (1u << Attempt); ++Spin)
+      std::this_thread::yield();
+    if (S->Ring->tryPush(Info))
+      return true;
+  }
+  if (S->DropOnFull) {
+    // Opt-in load shedding: the event is gone, but the loss is exact
+    // and visible (ErrorRing::drops(), service stats, snapshots).
+    S->Ring->recordDrop();
+    return true;
+  }
+  // Default policy: report under the central lock rather than dropping
+  // the event. Dedup/caps semantics are identical either way; only
+  // this event pays for a mutex.
+  S->Ring->recordFallback();
   S->Central->report(Info);
   return true;
 }
@@ -37,7 +54,9 @@ SessionPool::SessionPool(const PoolOptions &Options)
       Heap(Options.Shards, Options.Heap),
       Ring(Options.ErrorRingCapacity ? Options.ErrorRingCapacity
                                      : ErrorRing::DefaultCapacity),
-      Central(Options.Reporter), Sink{&Ring, &Central},
+      Central(Options.Reporter),
+      Sink{&Ring, &Central, Options.RingRetryAttempts,
+           Options.DropOnRingFull},
       Epoch(nextPoolEpoch()) {
   // Shard runtimes never emit through their own reporter: every event
   // is intercepted lock-free and funneled to the central drain.
@@ -61,7 +80,9 @@ SessionPool::SessionPool(TypeContext &SharedTypes,
     : Types(&SharedTypes), Heap(Options.Shards, Options.Heap),
       Ring(Options.ErrorRingCapacity ? Options.ErrorRingCapacity
                                      : ErrorRing::DefaultCapacity),
-      Central(Options.Reporter), Sink{&Ring, &Central},
+      Central(Options.Reporter),
+      Sink{&Ring, &Central, Options.RingRetryAttempts,
+           Options.DropOnRingFull},
       Epoch(nextPoolEpoch()) {
   RuntimeOptions RTOpts;
   RTOpts.Reporter.Mode = ReportMode::Count;

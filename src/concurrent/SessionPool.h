@@ -86,6 +86,19 @@ struct PoolOptions {
   /// check hot path; resetShard() drops that shard's entries with the
   /// rest of its state.
   size_t SiteCacheEntries = 1024;
+
+  /// Push retries (with roughly doubling backoff) before the full-ring
+  /// policy below applies. Under a live drainer the ring frees cells
+  /// within microseconds, so most overflows clear during the retry
+  /// window without ever taking the central lock. 0 disables retrying.
+  unsigned RingRetryAttempts = 3;
+
+  /// What happens to an event the ring still refuses after the retry
+  /// budget: false (default) reports it through the central reporter's
+  /// lock — slower, never lost; true drops it with the loss accounted
+  /// in ErrorRing::drops(), for deployments that would rather shed
+  /// diagnostics than serialize erring threads under overload.
+  bool DropOnRingFull = false;
 };
 
 /// A pool of sanitizer shards over one sharded heap and one central
@@ -159,9 +172,16 @@ public:
 
   TypeContext &types() { return *Types; }
 
-  /// Error events that found the ring full and took the locked
-  /// central-reporter fallback instead.
+  /// Push attempts that found the ring full (retries included).
   uint64_t ringOverflows() const { return Ring.overflows(); }
+
+  /// Events delivered through the locked central-reporter fallback
+  /// after the ring stayed full through the retry budget (no loss).
+  uint64_t ringFallbacks() const { return Ring.fallbacks(); }
+
+  /// Events dropped after the retry budget (accounted loss; only with
+  /// PoolOptions::DropOnRingFull).
+  uint64_t ringDrops() const { return Ring.drops(); }
 
   /// The pool's MPSC error ring. Exposed for a dedicated drainer (the
   /// service layer's Supervisor) that needs event-at-a-time consumption
@@ -182,6 +202,8 @@ private:
   struct RingSink {
     ErrorRing *Ring;
     ErrorReporter *Central;
+    unsigned RetryAttempts;
+    bool DropOnFull;
   };
   static bool enqueueToRing(const ErrorInfo &Info, void *UserData);
 

@@ -24,6 +24,8 @@ const char *effective::errorKindName(ErrorKind Kind) {
     return "DOUBLE-FREE ERROR";
   case ErrorKind::StackUseAfterReturn:
     return "STACK USE-AFTER-RETURN ERROR";
+  case ErrorKind::ResourceExhausted:
+    return "RESOURCE-EXHAUSTED ERROR";
   }
   return "ERROR";
 }

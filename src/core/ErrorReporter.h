@@ -41,6 +41,10 @@ enum class ErrorKind : uint8_t {
   /// returned (the object's dynamic type is the STACK-FREE flavor of
   /// FREE; see TypeKind::StackFree).
   StackUseAfterReturn,
+  /// An allocation the program requested could not be satisfied (heap
+  /// OOM or an induced exhaustion fault). The failed request degrades
+  /// to a diagnosable null — never UB, never an abort on its own.
+  ResourceExhausted,
 };
 
 /// Returns a stable name for \p Kind ("type", "bounds", ...).

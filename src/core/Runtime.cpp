@@ -8,6 +8,7 @@
 
 #include "core/Layout.h"
 #include "obs/Metrics.h"
+#include "resilience/Fault.h"
 
 #include <cassert>
 #include <cstring>
@@ -66,7 +67,20 @@ void *Runtime::allocate(size_t Size, const TypeInfo *Type) {
 
 void *Runtime::allocateOn(unsigned HeapShard, size_t Size,
                           const TypeInfo *Type) {
-  void *Block = Heap.allocateOnShard(Size + sizeof(MetaHeader), HeapShard);
+  void *Block =
+      EFFSAN_FAULT(HeapExhausted)
+          ? nullptr
+          : Heap.allocateOnShard(Size + sizeof(MetaHeader), HeapShard);
+  if (EFFSAN_UNLIKELY(!Block)) {
+    // Exhaustion (real OOM or an induced fault) degrades to a
+    // diagnosable null: one resource-exhausted report per requested
+    // type, and the caller receives the same null a failed malloc
+    // hands a C program — never UB, never an abort of our own.
+    Reporter.report(ErrorInfo{ErrorKind::ResourceExhausted, Type, nullptr,
+                              0, nullptr,
+                              "allocation failed: heap resources exhausted"});
+    return nullptr;
+  }
   if (EFFSAN_UNLIKELY(!Heap.isLowFat(Block))) {
     // Oversized request: the block is a legacy pointer; base(p) cannot
     // reach a META header, so the object is simply untyped (checked
@@ -84,6 +98,8 @@ void *Runtime::allocateZeroed(size_t Count, size_t Size,
   size_t Total = Count * Size;
   assert((Size == 0 || Total / Size == Count) && "calloc overflow");
   void *Ptr = allocate(Total, Type);
+  if (EFFSAN_UNLIKELY(!Ptr))
+    return nullptr;
   std::memset(Ptr, 0, Total);
   return Ptr;
 }
@@ -106,6 +122,8 @@ void *Runtime::reallocate(void *Ptr, size_t NewSize, const TypeInfo *Type) {
     OldSize = Meta->Size;
   }
   void *Fresh = allocateOn(Owner, NewSize, Type);
+  if (EFFSAN_UNLIKELY(!Fresh))
+    return nullptr; // C realloc contract: the old block stays live.
   if (OldSize != 0)
     std::memcpy(Fresh, Ptr, OldSize < NewSize ? OldSize : NewSize);
   deallocate(Ptr);
@@ -183,6 +201,13 @@ void Runtime::reset() {
 void *Runtime::stackAllocate(size_t Size, const TypeInfo *Type,
                              bool Escapes) {
   void *Block = stackPool().allocate(Size + sizeof(MetaHeader), Escapes);
+  if (EFFSAN_UNLIKELY(!Block)) {
+    Reporter.report(ErrorInfo{ErrorKind::ResourceExhausted, Type, nullptr,
+                              0, nullptr,
+                              "stack slot allocation failed: heap "
+                              "resources exhausted"});
+    return nullptr;
+  }
   CheckCounters::bump(ObjCounters.StackAllocs);
   if (EFFSAN_UNLIKELY(!Heap.isLowFat(Block)))
     return Block;
@@ -215,6 +240,13 @@ void Runtime::stackRelease(size_t Mark) {
 void *Runtime::globalAllocate(size_t Size, const TypeInfo *Type,
                               std::string_view Name) {
   void *Block = Globals.allocate(Size + sizeof(MetaHeader), Name);
+  if (EFFSAN_UNLIKELY(!Block)) {
+    Reporter.report(ErrorInfo{ErrorKind::ResourceExhausted, Type, nullptr,
+                              0, nullptr,
+                              "global allocation failed: heap resources "
+                              "exhausted"});
+    return nullptr;
+  }
   if (EFFSAN_UNLIKELY(!Heap.isLowFat(Block)))
     return Block;
   auto *Meta = static_cast<MetaHeader *>(Block);

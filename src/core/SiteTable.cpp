@@ -6,6 +6,8 @@
 
 #include "core/SiteTable.h"
 
+#include "resilience/Fault.h"
+
 #include <algorithm>
 
 using namespace effective;
@@ -27,6 +29,11 @@ const char *effective::checkSiteKindName(CheckSiteKind Kind) {
 SiteId SiteTableRegistry::registerTable(const SiteTable &Table,
                                         uint64_t Key) {
   if (Table.Entries.empty())
+    return NoSite;
+  // An induced registration failure takes the same NoSite path a
+  // tag-space overflow takes: checks still run and report, they just
+  // lose source attribution (pseudo-site bucketing).
+  if (EFFSAN_FAULT(SiteRegister))
     return NoSite;
 
   std::lock_guard<std::mutex> Guard(Lock);

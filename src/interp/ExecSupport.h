@@ -467,9 +467,13 @@ struct ModuleImage {
     StringSizes.clear();
     for (const std::string &S : M.Strings) {
       uint64_t Size = S.size() + 1;
+      // Null on exhaustion: the runtime already reported it; a program
+      // touching the missing literal faults as a null access.
       void *P = RT.globalAllocate(Size, M.typeContext().getChar(), "__str");
-      std::memcpy(P, S.data(), S.size());
-      static_cast<char *>(P)[S.size()] = '\0';
+      if (P) {
+        std::memcpy(P, S.data(), S.size());
+        static_cast<char *>(P)[S.size()] = '\0';
+      }
       StringAddrs.push_back(P);
       StringSizes.push_back(Size);
     }

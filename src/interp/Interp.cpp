@@ -116,8 +116,13 @@ private:
     std::vector<void *> Slots;
     Slots.reserve(F.Slots.size());
     for (const StackSlot &S : F.Slots) {
+      // An exhausted stack pool (real OOM or an induced fault) was
+      // already reported as RESOURCE-EXHAUSTED by the runtime; the
+      // slot stays null and any access through it faults cleanly as a
+      // null deref instead of memset scribbling through a null.
       void *P = RT.stackAllocate(S.Size, S.ElemType, S.Escapes);
-      std::memset(P, 0, S.Size);
+      if (P)
+        std::memset(P, 0, S.Size);
       Slots.push_back(P);
     }
 
@@ -248,12 +253,18 @@ private:
           fault("implausible malloc size");
           break;
         }
+        // A failed allocation (real OOM or an induced exhaustion
+        // fault) was reported as RESOURCE-EXHAUSTED by the runtime and
+        // surfaces to the program as a null result, exactly like C
+        // malloc. Never whitelist null with the guard — that would
+        // validate wild accesses at [0, Size) — and give it wide
+        // bounds, as any legacy pointer.
         void *P = RT.allocate(Size, I.Type);
-        if (!RT.heap().isLowFat(P))
+        if (P && !RT.heap().isLowFat(P))
           Guard.noteLegacy(P, Size);
         Regs[I.Dst].P = P;
         if (I.BDst != NoBReg)
-          BRegs[I.BDst] = Bounds::forObject(P, Size);
+          BRegs[I.BDst] = P ? Bounds::forObject(P, Size) : Bounds::wide();
         break;
       }
       case Opcode::Free:

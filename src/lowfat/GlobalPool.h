@@ -56,6 +56,8 @@ public:
   /// Allocates a global object and records it under \p Name.
   void *allocate(size_t Size, std::string_view Name) {
     void *Ptr = Heap.allocateOnShard(Size, Shard);
+    if (!Ptr)
+      return nullptr; // OOM: nothing to record; caller reports.
     std::lock_guard<std::mutex> Guard(Lock);
     Globals.push_back(
         GlobalRecord{Ptr, Size, std::string(Name), !Heap.isLowFat(Ptr)});

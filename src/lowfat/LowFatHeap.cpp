@@ -7,6 +7,7 @@
 #include "lowfat/LowFatHeap.h"
 
 #include "obs/Trace.h"
+#include "resilience/Fault.h"
 #include "support/Compiler.h"
 
 #include <bit>
@@ -361,6 +362,8 @@ void LowFatHeap::pushFreeBlock(SubRegion &Sub, void *Ptr) {
 /// one block landed in the magazine.
 bool LowFatHeap::refillMagazine(ThreadCache &TC, unsigned ClassIndex,
                                 unsigned Shard) {
+  if (EFFSAN_FAULT(HeapMagazineRefill))
+    return false; // Induced refill failure: fall through to bump/exhaust.
   FreeNode *&Spare = TC.Spare[ClassIndex];
   if (!Spare) {
     Spare = subRegion(ClassIndex, Shard)
@@ -546,10 +549,13 @@ void *LowFatHeap::allocateOnShard(size_t Size, unsigned Shard) {
     }
   }
 
-  if (void *Result = bumpAlloc(subRegion(ClassIndex, Shard), Block)) {
-    noteAlloc(Shard, Block, /*Legacy=*/false);
-    return Result;
-  }
+  // An induced slice exhaustion skips the bump allocator and takes the
+  // same steal-then-legacy fallback a genuinely dry slice takes.
+  if (EFFSAN_LIKELY(!EFFSAN_FAULT(HeapSliceExhausted)))
+    if (void *Result = bumpAlloc(subRegion(ClassIndex, Shard), Block)) {
+      noteAlloc(Shard, Block, /*Legacy=*/false);
+      return Result;
+    }
   return allocateExhausted(Size, ClassIndex, Shard);
 }
 
@@ -605,12 +611,12 @@ void *LowFatHeap::allocateExhausted(size_t Size, unsigned ClassIndex,
 }
 
 void *LowFatHeap::allocateLegacy(size_t Size, unsigned Shard) {
+  // Real OOM degrades gracefully: the null propagates up to the typed
+  // allocation layer, which turns it into a diagnosable
+  // resource-exhausted report instead of aborting the host process.
   void *Ptr = std::malloc(Size);
-  if (!Ptr) {
-    std::fprintf(stderr, "FATAL: low-fat heap: out of memory (%zu bytes)\n",
-                 Size);
-    std::abort();
-  }
+  if (EFFSAN_UNLIKELY(!Ptr))
+    return nullptr;
   {
     std::lock_guard<std::mutex> Guard(LegacyLock);
     LegacyAllocs.emplace(Ptr, std::make_pair(Size, Shard));
@@ -705,6 +711,11 @@ void LowFatHeap::flushPendingQuarantine(ThreadCache &TC) {
   auto &Pending = TC.Pending;
   if (!Pending.empty())
     EFFSAN_OBS_EVENT(QuarantineFlush, Pending.front().Shard, Pending.size());
+  // An induced budget overrun evicts every parked block — the same FIFO
+  // path a genuine breach takes, just down to an empty quarantine. The
+  // use-after-free reuse delay shrinks; correctness is untouched.
+  uint64_t Limit =
+      EFFSAN_FAULT(HeapQuarantineOverrun) ? 0 : QuarantineLimit;
   size_t I = 0;
   while (I < Pending.size()) {
     unsigned Shard = Pending[I].Shard;
@@ -720,7 +731,7 @@ void LowFatHeap::flushPendingQuarantine(ThreadCache &TC) {
     }
     // FIFO eviction down to the budget: oldest blocks return to the
     // lock-free free lists (all parked blocks belong to this shard).
-    while (QBytes.load(std::memory_order_relaxed) > QuarantineLimit &&
+    while (QBytes.load(std::memory_order_relaxed) > Limit &&
            !Q.Blocks.empty()) {
       auto [Oldest, OldClass] = Q.Blocks.front();
       Q.Blocks.pop_front();

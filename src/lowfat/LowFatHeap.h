@@ -179,15 +179,17 @@ public:
   LowFatHeap(const LowFatHeap &) = delete;
   LowFatHeap &operator=(const LowFatHeap &) = delete;
 
-  /// Allocates \p Size bytes from shard 0 (never returns null; aborts on
-  /// OOM). The result is a low-fat pointer unless \p Size exceeds the
-  /// largest size class, in which case it is a legacy pointer.
+  /// Allocates \p Size bytes from shard 0. The result is a low-fat
+  /// pointer unless \p Size exceeds the largest size class, in which
+  /// case it is a legacy pointer.
   void *allocate(size_t Size) { return allocateOnShard(Size, 0); }
 
   /// Allocates \p Size bytes from shard \p Shard's sub-arenas. Falls
   /// back to a sibling shard's slice (work stealing, when enabled) and
   /// then the system allocator (legacy pointer) when the request is
-  /// oversized or the slices are exhausted.
+  /// oversized or the slices are exhausted. Returns null only when the
+  /// system allocator itself is out of memory — callers in the typed
+  /// layer turn that into a resource-exhausted report, never UB.
   void *allocateOnShard(size_t Size, unsigned Shard);
 
   /// Frees a pointer previously returned by allocate()/allocateOnShard()

@@ -31,6 +31,7 @@
 #define EFFECTIVE_LOWFAT_STACKPOOL_H
 
 #include "lowfat/LowFatHeap.h"
+#include "support/Compiler.h"
 
 #include <algorithm>
 #include <cstddef>
@@ -93,6 +94,8 @@ public:
   /// quarantine delay.
   void *allocate(size_t Size, bool Retire = false) {
     void *Ptr = Heap.allocateOnShard(Size, Shard);
+    if (EFFSAN_UNLIKELY(!Ptr))
+      return nullptr; // OOM: nothing to record; caller reports.
     Live.push_back(Record{Ptr, CurrentFrame, Retire});
     ++TotalAllocs;
     return Ptr;

@@ -49,6 +49,8 @@ const char *eventKindName(EventKind Kind) {
     return "governor_step";
   case EventKind::SnapshotEmit:
     return "snapshot_emit";
+  case EventKind::FaultInjected:
+    return "fault_injected";
   case EventKind::NumEventKinds:
     break;
   }
@@ -72,6 +74,8 @@ const char *eventKindCategory(EventKind Kind) {
   case EventKind::GovernorStep:
   case EventKind::SnapshotEmit:
     return "service";
+  case EventKind::FaultInjected:
+    return "resilience";
   case EventKind::NumEventKinds:
     break;
   }

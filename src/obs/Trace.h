@@ -141,6 +141,7 @@ enum class EventKind : uint16_t {
   DrainTick,       ///< service: one drain-loop tick. Arg = events drained.
   GovernorStep,    ///< service: policy degrade/restore. Arg = new level.
   SnapshotEmit,    ///< service: snapshot hook fired. Arg = bytes rendered.
+  FaultInjected,   ///< resilience: a fault point fired. Arg = point index.
   NumEventKinds,
 };
 

@@ -9,6 +9,7 @@
 #include "lowfat/LowFatHeap.h"
 #include "lowfat/SizeClass.h"
 #include "obs/Trace.h"
+#include "resilience/Fault.h"
 
 #include <cassert>
 #include <chrono>
@@ -31,7 +32,21 @@ static concurrent::PoolOptions poolOptions(const ServiceOptions &Options) {
   P.Heap = Options.Heap;
   P.ErrorRingCapacity = Options.ErrorRingCapacity;
   P.SiteCacheEntries = Options.SiteCacheEntries;
+  P.RingRetryAttempts = Options.RingRetryAttempts;
+  P.DropOnRingFull = Options.DropOnRingFull;
   return P;
+}
+
+const char *effective::service::healthName(ServiceHealth H) {
+  switch (H) {
+  case ServiceHealth::Healthy:
+    return "healthy";
+  case ServiceHealth::Degraded:
+    return "degraded";
+  case ServiceHealth::Critical:
+    return "critical";
+  }
+  return "?";
 }
 
 Supervisor::Supervisor(const ServiceOptions &Options)
@@ -49,10 +64,30 @@ Supervisor::Supervisor(const ServiceOptions &Options)
                          ? Options.DrainIntervalMicros
                          : 2000) {
   initMetrics();
+  WatchdogEnabled = Options.EnableWatchdog;
+  WatchdogMicros = Options.WatchdogIntervalMicros
+                       ? Options.WatchdogIntervalMicros
+                       : 4 * IntervalMicros;
+  MaxDrainRestarts = Options.MaxDrainRestarts;
+  // The liveness flag is raised *before* the thread exists so the
+  // watchdog's first check cannot mistake a slow thread start for a
+  // death; the drain thread only ever lowers it, on exit.
+  DrainerAlive.store(true, std::memory_order_release);
   Drainer = std::thread([this] { drainLoop(); });
+  if (WatchdogEnabled)
+    Watchdog = std::thread([this] { watchdogLoop(); });
 }
 
 Supervisor::~Supervisor() {
+  // The watchdog goes first: once it is joined, nothing can respawn
+  // the drain thread behind the shutdown below.
+  {
+    std::lock_guard<std::mutex> Guard(WatchdogLock);
+    WatchdogStop = true;
+  }
+  WatchdogCV.notify_all();
+  if (Watchdog.joinable())
+    Watchdog.join();
   {
     std::lock_guard<std::mutex> Guard(TickLock);
     Stop = true;
@@ -79,6 +114,11 @@ void Supervisor::drainLoop() {
                       [this] { return Stop || Poke; });
     if (Stop)
       break;
+    // An induced stall kills this thread exactly as a crashed drainer
+    // would — mid-loop, tick not run, Poke left pending — so recovery
+    // is entirely the watchdog's problem, as in production.
+    if (EFFSAN_FAULT(DrainStall))
+      break;
     Poke = false;
     InTick = true;
     L.unlock();
@@ -87,8 +127,79 @@ void Supervisor::drainLoop() {
     InTick = false;
     LastTickEvents = Events;
     ++CompletedTicks;
+    Heartbeat.fetch_add(1, std::memory_order_relaxed);
     TickDoneCV.notify_all();
   }
+  L.unlock();
+  DrainerAlive.store(false, std::memory_order_release);
+}
+
+void Supervisor::watchdogLoop() {
+  std::unique_lock<std::mutex> L(WatchdogLock);
+  while (!WatchdogStop) {
+    WatchdogCV.wait_for(L, std::chrono::microseconds(WatchdogMicros),
+                        [this] { return WatchdogStop; });
+    if (WatchdogStop)
+      break;
+    L.unlock();
+    WatchdogChecks.fetch_add(1, std::memory_order_relaxed);
+    if (!DrainerAlive.load(std::memory_order_acquire)) {
+      restartDrainer();
+    } else {
+      // Wedged detection: alive but stuck inside one tick across
+      // several consecutive checks. Restarting here would put a second
+      // consumer on the single-consumer ring, so a wedge only degrades
+      // health — and clears itself the moment the tick completes.
+      uint64_t Beat = Heartbeat.load(std::memory_order_relaxed);
+      bool StuckInTick;
+      {
+        std::lock_guard<std::mutex> Guard(TickLock);
+        StuckInTick = InTick;
+      }
+      if (StuckInTick && Beat == LastSeenBeat) {
+        if (++WedgedStreak >= 3)
+          DrainWedged.store(true, std::memory_order_relaxed);
+      } else {
+        WedgedStreak = 0;
+        DrainWedged.store(false, std::memory_order_relaxed);
+      }
+      LastSeenBeat = Beat;
+    }
+    L.lock();
+  }
+}
+
+void Supervisor::restartDrainer() {
+  std::lock_guard<std::mutex> Guard(RestartLock);
+  if (DrainerAlive.load(std::memory_order_acquire))
+    return; // A concurrent restart already brought the drainer back.
+  if (Drainer.joinable())
+    Drainer.join();
+  if (DrainRestarts.load(std::memory_order_relaxed) >= MaxDrainRestarts) {
+    // Budget exhausted: latch Critical and escalate once through the
+    // snapshot hook — the out-of-band channel the embedder already
+    // wired. The drain thread is provably dead (joined above), so the
+    // hook cannot race a drain-tick invocation of itself.
+    CriticalLatch.store(true, std::memory_order_relaxed);
+    if (!EscalationFired) {
+      EscalationFired = true;
+      void (*Hook)(const char *, void *) = nullptr;
+      void *HookData = nullptr;
+      {
+        std::lock_guard<std::mutex> HookGuard(HookLock);
+        Hook = SnapshotHook;
+        HookData = SnapshotUserData;
+      }
+      if (Hook) {
+        std::string Json = snapshotJson();
+        Hook(Json.c_str(), HookData);
+      }
+    }
+    return;
+  }
+  DrainRestarts.fetch_add(1, std::memory_order_relaxed);
+  DrainerAlive.store(true, std::memory_order_release);
+  Drainer = std::thread([this] { drainLoop(); });
 }
 
 uint64_t Supervisor::drainAttributed() {
@@ -132,9 +243,9 @@ uint64_t Supervisor::runTick() {
   // Pool-wide abort threshold, fired from the drainer (a shard's own
   // reporter only ever sees that shard's events, so only this thread
   // can enforce a pool budget).
-  if (AbortAfter && !AbortFired &&
+  if (AbortAfter && !AbortFired.load(std::memory_order_relaxed) &&
       DrainedEvents.load(std::memory_order_relaxed) >= AbortAfter) {
-    AbortFired = true;
+    AbortFired.store(true, std::memory_order_relaxed);
     uint64_t Total = DrainedEvents.load(std::memory_order_relaxed);
     if (AbortHandler) {
       AbortHandler(Total, AbortUserData);
@@ -167,7 +278,13 @@ uint64_t Supervisor::runTick() {
   }
 
   // Governor pass: per-shard pressure deltas since the previous tick.
-  for (unsigned Shard = 0; Shard < NumShards; ++Shard) {
+  // An induced misfire skips the whole pass for one tick: policies and
+  // baselines simply stand a tick longer and the deltas accumulate —
+  // exactly what a lost governor timer would produce, and exactly as
+  // recoverable.
+  bool GovernorMisfired = EFFSAN_FAULT(GovernorMisfire);
+  for (unsigned Shard = 0; !GovernorMisfired && Shard < NumShards;
+       ++Shard) {
     uint64_t Checks = checkSumOf(Shard);
     uint64_t Allocs = Pool.heap().shardStats(Shard).NumAllocs;
     ShardSample Sample;
@@ -218,6 +335,12 @@ uint64_t Supervisor::runTick() {
       uint64_t Sig = activitySignature();
       if (HaveSnapshotSignature && Sig == LastSnapshotSignature) {
         SnapshotsSkipped.fetch_add(1, std::memory_order_relaxed);
+      } else if (EFFSAN_FAULT(SnapshotHook)) {
+        // An induced delivery failure behaves like a hook that threw:
+        // nothing is delivered and the dirty flag is left unset, so the
+        // next cadence retries instead of silently treating the changed
+        // snapshot as already published.
+        HaveSnapshotSignature = false;
       } else {
         LastSnapshotSignature = Sig;
         HaveSnapshotSignature = true;
@@ -328,6 +451,23 @@ Supervisor::Lease Supervisor::lease(TenantId Id) {
   return Lease();
 }
 
+Supervisor::Lease Supervisor::lease(TenantId Id,
+                                    uint64_t &RetryAfterMicros) {
+  RetryAfterMicros = 0;
+  Lease L = lease(Id);
+  if (L)
+    return L;
+  // Retrying is only worth suggesting while the handle still names the
+  // occupied slot: an eviction's shard reset completes within about one
+  // drain tick, and a quota refusal clears if the operator raises the
+  // budget. A stale handle never becomes valid again — hint 0.
+  unsigned Shard = static_cast<unsigned>(Id & 0xffffffffu);
+  if (Id != NoTenant && Shard < NumShards &&
+      Tenants.tenantOf(Shard) == Id)
+    RetryAfterMicros = drainInterval();
+  return L;
+}
+
 void Supervisor::releaseLease(TenantId Id) { Tenants.release(Id); }
 
 bool Supervisor::setQuota(TenantId Id, const TenantQuota &Quota) {
@@ -384,7 +524,29 @@ ServiceStats Supervisor::stats() {
   S.IssuesFound = Pool.reporter().numIssues();
   S.SnapshotsEmitted = SnapshotsEmitted.load(std::memory_order_relaxed);
   S.SnapshotsSkipped = SnapshotsSkipped.load(std::memory_order_relaxed);
+  S.RingFallbacks = Pool.ringFallbacks();
+  S.RingDrops = Pool.ringDrops();
+  S.DrainRestarts = DrainRestarts.load(std::memory_order_relaxed);
+  S.WatchdogChecks = WatchdogChecks.load(std::memory_order_relaxed);
+  S.Health = health();
   return S;
+}
+
+ServiceHealth Supervisor::health() {
+  if (CriticalLatch.load(std::memory_order_relaxed) ||
+      AbortFired.load(std::memory_order_relaxed))
+    return ServiceHealth::Critical;
+  if (DrainRestarts.load(std::memory_order_relaxed) > 0 ||
+      DrainWedged.load(std::memory_order_relaxed) ||
+      Pool.ringDrops() > 0)
+    return ServiceHealth::Degraded;
+  // Occupied shards steered below the base policy mean the governor is
+  // actively shedding checks: degraded coverage, not a failure.
+  for (unsigned Shard = 0; Shard < NumShards; ++Shard)
+    if (Tenants.tenantOf(Shard) != NoTenant &&
+        Pool.shard(Shard).policy() != BasePolicy)
+      return ServiceHealth::Degraded;
+  return ServiceHealth::Healthy;
 }
 
 uint64_t Supervisor::activitySignature() {
@@ -404,6 +566,9 @@ uint64_t Supervisor::activitySignature() {
   H = Mix(H, S.PolicyDegrades);
   H = Mix(H, S.PolicyRestores);
   H = Mix(H, S.IssuesFound);
+  H = Mix(H, S.RingFallbacks);
+  H = Mix(H, S.RingDrops);
+  H = Mix(H, S.DrainRestarts);
   for (unsigned Shard = 0; Shard < NumShards; ++Shard)
     H = Mix(H, checkSumOf(Shard));
   lowfat::HeapStats HS = Pool.heap().stats();
@@ -450,6 +615,18 @@ void Supervisor::initMetrics() {
   Metrics.SnapshotsSkippedTotal = &Registry.counter(
       "effsan_service_snapshots_skipped_total",
       "Snapshot cadences skipped by the dirty flag");
+  Metrics.RingFallbacksTotal = &Registry.counter(
+      "effsan_service_ring_fallbacks_total",
+      "Overflowed error events delivered via the locked fallback");
+  Metrics.RingDropsTotal = &Registry.counter(
+      "effsan_service_ring_drops_total",
+      "Overflowed error events dropped (opt-in accounted loss)");
+  Metrics.DrainRestartsTotal = &Registry.counter(
+      "effsan_service_drain_restarts_total",
+      "Dead drain threads restarted by the watchdog");
+  Metrics.WatchdogChecksTotal = &Registry.counter(
+      "effsan_service_watchdog_checks_total",
+      "Watchdog liveness checks performed");
   Metrics.TypeChecksTotal = &Registry.counter(
       "effsan_checks_total", "Dynamic checks executed", "kind=\"type\"");
   Metrics.BoundsChecksTotal = &Registry.counter(
@@ -479,6 +656,9 @@ void Supervisor::initMetrics() {
                                           "Cross-shard refill steals");
   Metrics.TenantsOpen =
       &Registry.gauge("effsan_service_tenants_open", "Occupied tenant slots");
+  Metrics.HealthState = &Registry.gauge(
+      "effsan_service_health",
+      "Service health state (0 healthy, 1 degraded, 2 critical)");
   Metrics.RingOccupancyPct = &Registry.gauge(
       "effsan_service_ring_occupancy_percent",
       "Error-ring occupancy at the last tick start (percent)");
@@ -509,7 +689,12 @@ void Supervisor::updateMetrics(const ServiceStats &S, double RingOccupancy) {
   Metrics.IssuesFoundTotal->set(S.IssuesFound);
   Metrics.SnapshotsEmittedTotal->set(S.SnapshotsEmitted);
   Metrics.SnapshotsSkippedTotal->set(S.SnapshotsSkipped);
+  Metrics.RingFallbacksTotal->set(S.RingFallbacks);
+  Metrics.RingDropsTotal->set(S.RingDrops);
+  Metrics.DrainRestartsTotal->set(S.DrainRestarts);
+  Metrics.WatchdogChecksTotal->set(S.WatchdogChecks);
   Metrics.TenantsOpen->set(static_cast<int64_t>(S.TenantsOpen));
+  Metrics.HealthState->set(static_cast<int64_t>(S.Health));
   Metrics.RingOccupancyPct->set(
       static_cast<int64_t>(RingOccupancy * 100.0));
 
@@ -669,6 +854,13 @@ std::string Supervisor::snapshotJson() {
   appendField(Out, "issues_found", S.IssuesFound);
   appendField(Out, "snapshots_emitted", S.SnapshotsEmitted);
   appendField(Out, "snapshots_skipped", S.SnapshotsSkipped);
+  appendField(Out, "ring_fallbacks", S.RingFallbacks);
+  appendField(Out, "ring_drops", S.RingDrops);
+  appendField(Out, "drain_restarts", S.DrainRestarts);
+  appendField(Out, "watchdog_checks", S.WatchdogChecks);
+  Out += ",\"health\":\"";
+  Out += healthName(S.Health);
+  Out += '"';
   Out += "},\"tenants\":[";
   bool First = true;
   for (TenantId Id : Tenants.occupiedTenants()) {

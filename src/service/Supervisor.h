@@ -21,6 +21,15 @@
 ///     refuses the lease and marks the tenant evicted, and the drain
 ///     thread resets the shard once the last lease returns.
 ///
+///   * Self-healing — a watchdog thread monitors the drain thread
+///     through a heartbeat generation stamp. A drain thread that died
+///     (crash, induced drain-stall fault) is detected, joined, and
+///     restarted — bounded by a restart budget whose exhaustion
+///     escalates to the snapshot hook and latches Critical health. The
+///     service-wide ServiceHealth {Healthy, Degraded, Critical} state
+///     machine is driven by fault counters, restart history, and
+///     governor depth.
+///
 ///   * Adaptive degradation — each tick the drain thread samples every
 ///     shard's pressure (check-counter delta, allocation delta from
 ///     the heap stats, ring occupancy) and lets the LoadGovernor walk
@@ -93,7 +102,33 @@ struct ServiceOptions {
   unsigned SnapshotEveryTicks = 0;
   void (*SnapshotHook)(const char *Json, void *UserData) = nullptr;
   void *SnapshotUserData = nullptr;
+
+  /// Full-ring policy for the pool's error ring (see PoolOptions).
+  unsigned RingRetryAttempts = 3;
+  bool DropOnRingFull = false;
+
+  /// Watchdog over the drain thread (on by default). The watchdog
+  /// detects a dead drain thread via its heartbeat generation stamp
+  /// and liveness flag, restarts it up to MaxDrainRestarts times, and
+  /// drives the ServiceHealth state machine.
+  bool EnableWatchdog = true;
+  /// Watchdog sampling period; 0 = 4x DrainIntervalMicros.
+  uint64_t WatchdogIntervalMicros = 0;
+  /// Drain-thread restarts before the watchdog gives up, latches
+  /// Critical health, and escalates through the snapshot hook.
+  unsigned MaxDrainRestarts = 3;
 };
+
+/// Service-wide health, computed from fault counters, restart history
+/// and governor depth (see Supervisor::health for the exact rules).
+enum class ServiceHealth : uint8_t {
+  Healthy,  ///< Steady state: no restarts, no drops, no degradation.
+  Degraded, ///< Operating with reduced fidelity or after self-repair.
+  Critical, ///< Latched: restart budget exhausted or abort threshold hit.
+};
+
+/// Stable lower_snake name ("healthy", "degraded", "critical").
+const char *healthName(ServiceHealth H);
 
 /// Service-wide counters (plain values; see stats()).
 struct ServiceStats {
@@ -113,6 +148,16 @@ struct ServiceStats {
   /// Snapshot cadences where the dirty flag found nothing changed
   /// since the last emission, so the render + hook were skipped.
   uint64_t SnapshotsSkipped = 0;
+  /// Full-ring events delivered through the locked fallback (no loss).
+  uint64_t RingFallbacks = 0;
+  /// Full-ring events dropped after the retry budget (accounted loss).
+  uint64_t RingDrops = 0;
+  /// Drain-thread restarts performed by the watchdog.
+  uint64_t DrainRestarts = 0;
+  /// Watchdog liveness samples taken.
+  uint64_t WatchdogChecks = 0;
+  /// Current service health.
+  ServiceHealth Health = ServiceHealth::Healthy;
 };
 
 class Supervisor {
@@ -202,6 +247,14 @@ public:
   /// handle.
   CheckPolicy tenantPolicy(TenantId Id);
 
+  /// The quota gate with a caller-side backoff hint: on refusal,
+  /// \p RetryAfterMicros receives the suggested wait before retrying —
+  /// one drain interval while the handle still names an occupied slot
+  /// (an eviction/reset is in flight, or quotas may be raised), 0 when
+  /// the handle is stale and retrying is pointless. On a granted lease
+  /// the hint is 0.
+  Lease lease(TenantId Id, uint64_t &RetryAfterMicros);
+
   //===--------------------------------------------------------------===//
   // Drain loop
   //===--------------------------------------------------------------===//
@@ -219,6 +272,13 @@ public:
   //===--------------------------------------------------------------===//
 
   ServiceStats stats();
+
+  /// The service's current health (same value stats() carries, without
+  /// the full stats walk): Critical once the drain-restart budget is
+  /// exhausted or the abort threshold fired; Degraded while any
+  /// occupied shard runs below the base policy, the drainer was ever
+  /// restarted or wedged, or any error event was dropped; else Healthy.
+  ServiceHealth health();
 
   /// The service-and-tenants JSON document the snapshot hook receives
   /// (rendered on demand here).
@@ -252,6 +312,14 @@ private:
   friend class Lease;
 
   void drainLoop();
+  /// The watchdog thread body: samples the drainer's liveness flag and
+  /// heartbeat on its own cadence, restarts a dead drainer, and marks a
+  /// wedged-but-alive one (stuck inside a tick) Degraded.
+  void watchdogLoop();
+  /// Joins the dead drain thread and spawns a fresh one, bounded by
+  /// ServiceOptions::MaxDrainRestarts; past the budget it latches
+  /// Critical and escalates once through the snapshot hook.
+  void restartDrainer();
   /// One tick: drain + attribute, pending resets, governor, snapshot.
   /// Returns the events drained.
   uint64_t runTick();
@@ -285,7 +353,8 @@ private:
   uint64_t AbortAfter;
   void (*AbortHandler)(uint64_t, void *);
   void *AbortUserData;
-  bool AbortFired = false; ///< Drain thread only.
+  /// Set by the drain thread; read by health() from any thread.
+  std::atomic<bool> AbortFired{false};
 
   /// Snapshot hook state (HookLock: replaced by API threads, read by
   /// the drainer).
@@ -330,6 +399,10 @@ private:
     obs::Counter *IssuesFoundTotal = nullptr;
     obs::Counter *SnapshotsEmittedTotal = nullptr;
     obs::Counter *SnapshotsSkippedTotal = nullptr;
+    obs::Counter *RingFallbacksTotal = nullptr;
+    obs::Counter *RingDropsTotal = nullptr;
+    obs::Counter *DrainRestartsTotal = nullptr;
+    obs::Counter *WatchdogChecksTotal = nullptr;
     obs::Counter *TypeChecksTotal = nullptr;
     obs::Counter *LegacyTypeChecksTotal = nullptr;
     obs::Counter *BoundsChecksTotal = nullptr;
@@ -343,6 +416,7 @@ private:
     obs::Counter *MagazineRefillsTotal = nullptr;
     obs::Counter *StealsTotal = nullptr;
     obs::Gauge *TenantsOpen = nullptr;
+    obs::Gauge *HealthState = nullptr; ///< 0/1/2 = healthy/degraded/critical.
     obs::Gauge *RingOccupancyPct = nullptr;
     obs::Gauge *BlockBytesInUse = nullptr;
     obs::Gauge *QuarantinedBytes = nullptr;
@@ -365,6 +439,33 @@ private:
   bool InTick = false;
   bool Stop = false;
   std::thread Drainer;
+
+  /// Self-healing machinery. The drain thread keeps DrainerAlive true
+  /// for exactly the span of drainLoop() and stamps Heartbeat once per
+  /// completed tick; the watchdog samples both on its own cadence and
+  /// restarts a dead drainer (bounded, then the Critical latch plus one
+  /// escalation through the snapshot hook). A wedged-but-alive drainer
+  /// (stuck inside one tick across several checks) is never restarted —
+  /// the ring's single-consumer contract forbids a second drainer — it
+  /// only degrades health.
+  std::atomic<bool> DrainerAlive{false};
+  std::atomic<uint64_t> Heartbeat{0};
+  std::atomic<uint64_t> DrainRestarts{0};
+  std::atomic<uint64_t> WatchdogChecks{0};
+  std::atomic<bool> CriticalLatch{false};
+  std::atomic<bool> DrainWedged{false};
+  bool EscalationFired = false; ///< Watchdog thread only.
+  unsigned WedgedStreak = 0;    ///< Watchdog thread only.
+  uint64_t LastSeenBeat = 0;    ///< Watchdog thread only.
+  /// Serializes restartDrainer() against the destructor's final join.
+  std::mutex RestartLock;
+  bool WatchdogEnabled;
+  uint64_t WatchdogMicros;
+  unsigned MaxDrainRestarts;
+  std::mutex WatchdogLock;
+  std::condition_variable WatchdogCV;
+  bool WatchdogStop = false;
+  std::thread Watchdog;
 };
 
 } // namespace service

@@ -132,3 +132,41 @@ TEST(Docs, StackGlobalSectionsArePinned) {
       std::string::npos)
       << "worked example missing";
 }
+
+TEST(Docs, ResilienceSectionsArePinned) {
+  // PR 10's doc surface: the resilience guide (fault-point catalogue,
+  // health state machine, replay workflow), the ABI 1.9 catalogue +
+  // changelog row, and the README/SERVICE coverage.
+  ASSERT_TRUE(fs::exists(Root / "docs" / "RESILIENCE.md"));
+  std::string Res = slurp(Root / "docs" / "RESILIENCE.md");
+  for (const char *Point :
+       {"heap_exhausted", "heap_slice_exhausted", "heap_magazine_refill",
+        "heap_quarantine_overrun", "ring_full", "site_register",
+        "drain_stall", "snapshot_hook", "governor_misfire"})
+    EXPECT_NE(Res.find(Point), std::string::npos)
+        << "catalogue missing fault point: " << Point;
+  EXPECT_NE(Res.find("## Deterministic replay"), std::string::npos);
+  EXPECT_NE(Res.find("### Health state machine"), std::string::npos);
+  EXPECT_NE(Res.find("EFFSAN_FAULTS"), std::string::npos);
+  EXPECT_NE(Res.find("count:N@S"), std::string::npos)
+      << "spec grammar missing";
+
+  std::string Abi = slurp(Root / "docs" / "ABI.md");
+  EXPECT_NE(Abi.find("### 1.9 — resilience"), std::string::npos);
+  EXPECT_NE(Abi.find("effsan_fault_configure"), std::string::npos);
+  EXPECT_NE(Abi.find("effsan_service_health"), std::string::npos);
+  EXPECT_NE(Abi.find("effsan_service_checkout_hint"), std::string::npos);
+  EXPECT_NE(Abi.find("EFFSAN_ERROR_RESOURCE_EXHAUSTED"), std::string::npos);
+  EXPECT_NE(Abi.find("| 1.9 | PR 10 |"), std::string::npos)
+      << "changelog row missing";
+
+  std::string Service = slurp(Root / "docs" / "SERVICE.md");
+  EXPECT_NE(Service.find("## Self-healing and health (since 1.9)"),
+            std::string::npos);
+  EXPECT_NE(Service.find("\"ring_fallbacks\""), std::string::npos)
+      << "snapshot schema must carry the resilience counters";
+
+  std::string Readme = slurp(Root / "README.md");
+  EXPECT_NE(Readme.find("## Resilience"), std::string::npos);
+  EXPECT_NE(Readme.find("docs/RESILIENCE.md"), std::string::npos);
+}

@@ -200,7 +200,8 @@ TEST(TracerTest, EventKindTablesCoverEveryKind) {
     EXPECT_TRUE(std::strcmp(Cat, "check") == 0 ||
                 std::strcmp(Cat, "alloc") == 0 ||
                 std::strcmp(Cat, "concurrent") == 0 ||
-                std::strcmp(Cat, "service") == 0)
+                std::strcmp(Cat, "service") == 0 ||
+                std::strcmp(Cat, "resilience") == 0)
         << "kind " << K << " category " << Cat;
   }
 }
